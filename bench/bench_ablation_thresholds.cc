@@ -1,0 +1,130 @@
+// Ablations of the design choices §3.2 calls out (beyond the paper's
+// headline figures):
+//
+//   A. journal-bypass threshold Tj — "larger thresholds lead to heavier use
+//      of journals but higher overall backup performance": sweep Tj for a
+//      32 KB random-write workload (journaled when Tj >= 32K, bypassed to
+//      HDD otherwise);
+//   B. client-directed threshold Tc — tiny-write latency with and without
+//      client-directed replication (paper: reduces latency of tiny writes);
+//   C. journal placement — primary journal on a co-located SSD vs on the
+//      backup HDD itself (paper: SSD placement keeps replay continuous
+//      without disturbing the arm);
+//   D. index level-0 merge threshold — insert cost vs memory of the
+//      two-level index (§3.3's background-merge design).
+#include <chrono>
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/core/system.h"
+#include "src/index/range_index.h"
+
+using namespace ursa;
+
+int main() {
+  std::printf("=== Ablations: Tj, Tc, journal placement, index merge threshold ===\n\n");
+
+  bool ok = true;
+  auto check = [&ok](bool cond, const char* what) {
+    std::printf("  %-64s %s\n", what, cond ? "OK" : "MISMATCH");
+    ok = ok && cond;
+  };
+
+  // --- A: journal-bypass threshold Tj, 32 KB random writes ---
+  std::printf("--- (A) Tj sweep: random 32KB writes, qd16 ---\n");
+  core::Table a({"Tj", "Write IOPS", "journaled", "bypassed"});
+  double tj_iops[3];
+  int ti = 0;
+  for (uint64_t tj : {16 * kKiB, 64 * kKiB, 256 * kKiB}) {
+    core::SystemProfile profile = core::UrsaHybridProfile(3);
+    profile.cluster.journal.bypass_threshold = tj;
+    core::TestBed bed(profile);
+    auto* disk = bed.NewDisk(4ull * kGiB);
+    core::WorkloadSpec spec;
+    spec.block_size = 32 * kKiB;
+    spec.queue_depth = 16;
+    spec.read_fraction = 0.0;
+    core::RunMetrics m = bed.RunWorkload(disk, spec, msec(300), sec(2), "tj");
+    uint64_t journaled = 0;
+    uint64_t bypassed = 0;
+    for (const auto* jm : bed.cluster().journal_managers()) {
+      journaled += jm->stats().journaled_writes;
+      bypassed += jm->stats().bypassed_writes;
+    }
+    tj_iops[ti++] = m.write_iops();
+    a.AddRow({std::to_string(tj / 1024) + "K", core::Table::Int(m.write_iops()),
+              std::to_string(journaled), std::to_string(bypassed)});
+  }
+  a.Print();
+  check(tj_iops[1] > 2 * tj_iops[0], "Tj=64K (journaled) >> Tj=16K (bypassed to HDD)");
+
+  // --- B: client-directed threshold Tc, 4 KB write latency ---
+  std::printf("\n--- (B) Tc: 4KB write latency, client-directed vs primary-driven ---\n");
+  core::Table b({"Replication", "Write mean us", "Write p99 us"});
+  double lat[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    core::SystemProfile profile = core::UrsaHybridProfile(3);
+    profile.client.client_directed = mode == 1;
+    core::TestBed bed(profile);
+    auto* disk = bed.NewDisk(4ull * kGiB);
+    core::WorkloadSpec spec;
+    spec.block_size = 4 * kKiB;
+    spec.queue_depth = 1;
+    spec.read_fraction = 0.0;
+    core::RunMetrics m = bed.RunWorkload(disk, spec, msec(300), sec(2), "tc");
+    lat[mode] = m.write_latency_us.Mean();
+    b.AddRow({mode == 1 ? "client-directed (Tc=8K)" : "primary-driven",
+              core::Table::Num(m.write_latency_us.Mean(), 0),
+              core::Table::Num(static_cast<double>(m.write_latency_us.Percentile(99)), 0)});
+  }
+  b.Print();
+  check(lat[1] < lat[0], "client-directed replication lowers tiny-write latency");
+
+  // --- C: journal placement, sustained 4 KB random writes ---
+  std::printf("\n--- (C) journal placement: SSD vs backup HDD ---\n");
+  core::Table c({"Journal placement", "Write IOPS", "Write p99 us"});
+  double placement_iops[2];
+  for (int on_ssd = 1; on_ssd >= 0; --on_ssd) {
+    core::SystemProfile profile = core::UrsaHybridProfile(3);
+    profile.cluster.journal_primary_on_ssd = on_ssd == 1;
+    profile.cluster.hdd_journal_bytes = 16 * kGiB;
+    core::TestBed bed(profile);
+    auto* disk = bed.NewDisk(4ull * kGiB);
+    core::WorkloadSpec spec;
+    spec.block_size = 4 * kKiB;
+    spec.queue_depth = 16;
+    spec.read_fraction = 0.0;
+    core::RunMetrics m = bed.RunWorkload(disk, spec, msec(300), sec(3), "placement");
+    placement_iops[on_ssd] = m.write_iops();
+    c.AddRow({on_ssd == 1 ? "co-located SSD" : "backup HDD",
+              core::Table::Int(m.write_iops()),
+              core::Table::Num(static_cast<double>(m.write_latency_us.Percentile(99)), 0)});
+  }
+  c.Print();
+  check(placement_iops[1] > placement_iops[0],
+        "SSD-placed journals beat HDD-placed journals");
+
+  // --- D: index merge threshold (real data structure) ---
+  std::printf("\n--- (D) index level-0 merge threshold: insert rate & memory ---\n");
+  core::Table d({"Merge threshold", "Inserts/s", "Memory bytes", "array entries"});
+  for (size_t threshold : {size_t{256}, size_t{8192}, size_t{1} << 30}) {
+    index::RangeIndex idx(threshold);
+    Rng rng(5);
+    constexpr size_t kN = 300000;
+    auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < kN; ++i) {
+      idx.Insert(static_cast<uint32_t>(rng.Uniform((1u << 20) - 64)),
+                 static_cast<uint32_t>(rng.UniformRange(1, 64)), rng.Uniform(1u << 28));
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    double rate = kN / std::chrono::duration<double>(t1 - t0).count();
+    d.AddRow({threshold > (size_t{1} << 29) ? "unbounded (tree only)"
+                                            : std::to_string(threshold),
+              core::Table::Int(rate), std::to_string(idx.MemoryBytes()),
+              std::to_string(idx.array_size())});
+  }
+  d.Print();
+
+  std::printf("\nAblation %s\n", ok ? "SHAPE-OK" : "SHAPE-MISMATCH");
+  return 0;
+}

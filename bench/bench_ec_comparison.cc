@@ -1,0 +1,203 @@
+// §7 quantified: why Ursa chose replication over erasure coding.
+//
+// "Compared to replication, EC optimizes for capacity at the expense of I/O
+// performance. Since (HDD) capacity is the least valuable resource in a
+// hybrid architecture, we prefer Ursa to PariX."
+//
+// This bench measures, at the storage level on identical SSD device models:
+//   * 3-way replication (one write per replica, all parallel)
+//   * EC(4+2), read-modify-write partial writes (Sheepdog-style RMW cost)
+//   * EC(4+2), parity logging (Chan et al.: sequential delta appends)
+// for random 4 KB writes and for full-stripe writes, plus each scheme's
+// capacity overhead — making the §7 trade-off explicit.
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/core/metrics.h"
+#include "src/ec/ec_stripe_store.h"
+#include "src/storage/ssd_model.h"
+
+using namespace ursa;
+
+namespace {
+
+struct SchemeResult {
+  std::string name;
+  double small_iops;
+  double small_lat_us;
+  double overwrite_iops;  // hot 4 MB span: mostly overwrites
+  double full_mbps;
+  double capacity_overhead;
+};
+
+constexpr uint64_t kUnit = 64 * kKiB;
+constexpr uint64_t kRows = 512;
+constexpr Nanos kMeasure = sec(2);
+
+// Closed-loop driver at qd16 over a generic async write function.
+template <typename WriteFn>
+std::pair<double, double> DriveSmallWrites(sim::Simulator* sim, WriteFn write, uint64_t span,
+                                           uint64_t seed = 7) {
+  Rng rng(seed);
+  uint64_t completed = 0;
+  Histogram lat;
+  Nanos stop = sim->Now() + kMeasure;
+  std::function<void()> issue = [&]() {
+    if (sim->Now() >= stop) {
+      return;
+    }
+    uint64_t offset = rng.Uniform((span - 4096) / 4096) * 4096;
+    Nanos t0 = sim->Now();
+    write(offset, 4096, [&, t0](const Status& s) {
+      if (s.ok()) {
+        ++completed;
+        lat.Record(static_cast<int64_t>(ToUsec(sim->Now() - t0)));
+      }
+      issue();
+    });
+  };
+  for (int i = 0; i < 16; ++i) {
+    issue();
+  }
+  sim->RunUntil(stop + msec(100));
+  return {static_cast<double>(completed) / ToSec(kMeasure), lat.Mean()};
+}
+
+template <typename WriteFn>
+double DriveFullWrites(sim::Simulator* sim, WriteFn write, uint64_t stripe_bytes,
+                       uint64_t span) {
+  uint64_t bytes = 0;
+  uint64_t cursor = 0;
+  Nanos stop = sim->Now() + kMeasure;
+  std::function<void()> issue = [&]() {
+    if (sim->Now() >= stop) {
+      return;
+    }
+    uint64_t offset = cursor % (span - stripe_bytes + stripe_bytes);
+    if (offset + stripe_bytes > span) {
+      cursor = 0;
+      offset = 0;
+    }
+    cursor += stripe_bytes;
+    write(offset, stripe_bytes, [&](const Status& s) {
+      if (s.ok()) {
+        bytes += stripe_bytes;
+      }
+      issue();
+    });
+  };
+  for (int i = 0; i < 4; ++i) {
+    issue();
+  }
+  sim->RunUntil(stop + msec(100));
+  return static_cast<double>(bytes) / ToSec(kMeasure) / 1e6;
+}
+
+SchemeResult RunReplication() {
+  sim::Simulator sim;
+  std::vector<std::unique_ptr<storage::SsdModel>> ssds;
+  for (int i = 0; i < 3; ++i) {
+    storage::SsdParams p;
+    p.capacity = kRows * kUnit * 4 + kMiB;
+    ssds.push_back(std::make_unique<storage::SsdModel>(&sim, p));
+  }
+  uint64_t span = kRows * kUnit * 4;
+  auto write = [&](uint64_t offset, uint64_t len, storage::IoCallback done) {
+    auto joiner = std::make_shared<int>(3);
+    auto shared = std::make_shared<storage::IoCallback>(std::move(done));
+    for (auto& ssd : ssds) {
+      ssd->Submit(storage::IoRequest{storage::IoType::kWrite, offset, len, nullptr, nullptr,
+                                     false, [joiner, shared](const Status& s) {
+                                       if (--*joiner == 0) {
+                                         (*shared)(s);
+                                       }
+                                     }});
+    }
+  };
+  SchemeResult r;
+  r.name = "3-replication";
+  std::tie(r.small_iops, r.small_lat_us) = DriveSmallWrites(&sim, write, span);
+  r.overwrite_iops = DriveSmallWrites(&sim, write, 4 * kMiB, 11).first;
+  r.full_mbps = DriveFullWrites(&sim, write, 4 * kUnit, span);
+  r.capacity_overhead = 3.0;
+  return r;
+}
+
+SchemeResult RunEc(ec::PartialWriteMode mode, const char* name) {
+  sim::Simulator sim;
+  ec::EcStripeConfig config;
+  config.k = 4;
+  config.m = 2;
+  config.stripe_unit = kUnit;
+  config.mode = mode;
+  config.parity_log_bytes = 256 * kMiB;
+  std::vector<std::unique_ptr<storage::SsdModel>> ssds;
+  std::vector<storage::BlockDevice*> devices;
+  for (int i = 0; i < 6; ++i) {
+    storage::SsdParams p;
+    p.capacity = kRows * kUnit + config.parity_log_bytes + kMiB;
+    ssds.push_back(std::make_unique<storage::SsdModel>(&sim, p));
+    devices.push_back(ssds.back().get());
+  }
+  ec::EcStripeStore store(&sim, devices, kRows, config);
+  uint64_t span = store.logical_size();
+  auto write = [&](uint64_t offset, uint64_t len, storage::IoCallback done) {
+    store.Write(offset, len, nullptr, std::move(done));
+  };
+  SchemeResult r;
+  r.name = name;
+  std::tie(r.small_iops, r.small_lat_us) = DriveSmallWrites(&sim, write, span);
+  // Hot 4 MB span: most writes are overwrites — PariX's speculative case.
+  r.overwrite_iops = DriveSmallWrites(&sim, write, 4 * kMiB, 11).first;
+  r.full_mbps = DriveFullWrites(&sim, write, 4 * kUnit, span);
+  r.capacity_overhead = 6.0 / 4.0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Replication vs erasure coding (the paper's §7 trade-off) ===\n\n");
+
+  std::vector<SchemeResult> results;
+  results.push_back(RunReplication());
+  results.push_back(RunEc(ec::PartialWriteMode::kReadModifyWrite, "EC(4+2) RMW"));
+  results.push_back(RunEc(ec::PartialWriteMode::kParityLogging, "EC(4+2) parity-log"));
+  results.push_back(RunEc(ec::PartialWriteMode::kParixSpeculative, "EC(4+2) PariX"));
+
+  core::Table table({"Scheme", "4K write IOPS", "4K write us", "4K overwrite IOPS",
+                     "full-stripe MB/s", "capacity x"});
+  for (const SchemeResult& r : results) {
+    table.AddRow({r.name, core::Table::Int(r.small_iops), core::Table::Num(r.small_lat_us, 0),
+                  core::Table::Int(r.overwrite_iops), core::Table::Int(r.full_mbps),
+                  core::Table::Num(r.capacity_overhead, 2)});
+  }
+  table.Print();
+
+  bool ok = true;
+  auto check = [&ok](bool cond, const char* what) {
+    std::printf("  %-64s %s\n", what, cond ? "OK" : "MISMATCH");
+    ok = ok && cond;
+  };
+  std::printf("\n--- shape checks (paper, §7) ---\n");
+  check(results[0].small_iops > 1.5 * results[1].small_iops,
+        "replication beats EC-RMW on random small writes");
+  check(results[2].small_iops > results[1].small_iops,
+        "parity logging improves on RMW partial writes");
+  check(results[3].overwrite_iops > 1.2 * results[1].overwrite_iops,
+        "PariX speculation beats RMW on overwrite-heavy writes");
+  check(results[0].small_lat_us < results[1].small_lat_us,
+        "replication's small-write latency is lower than EC-RMW's");
+  check(results[1].capacity_overhead < results[0].capacity_overhead,
+        "EC halves the capacity overhead (1.5x vs 3x)");
+  std::printf("\n(EC optimizes capacity at the expense of small-write I/O — and HDD\n");
+  std::printf(" capacity is the cheapest resource in the hybrid design, hence Ursa\n");
+  std::printf(" chose replication + journals over EC/PariX — though PariX narrows the\n");
+  std::printf(" overwrite gap, exactly its design goal.)\n");
+  std::printf("EC %s\n", ok ? "SHAPE-OK" : "SHAPE-MISMATCH");
+  return 0;
+}

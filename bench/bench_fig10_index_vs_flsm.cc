@@ -1,0 +1,122 @@
+// Figure 10: Ursa's range-native journal index vs a PebblesDB-style FLSM.
+//
+// Paper methodology: insert 700,000 random ranges (start in [0, 2^20),
+// length in [1, 64]); for Ursa, 100,000 ranges live in the red-black tree and
+// 600,000 in the sorted array. Then run 100,000 random range queries.
+// Paper result: Ursa 2.17 M inserts/s and 1.35 M queries/s; PebblesDB 19 K
+// and 18 K — two orders of magnitude apart on BOTH operations.
+//
+// Unlike the simulation benches this one measures REAL wall-clock time of
+// real data structures.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/metrics.h"
+#include "src/index/flsm_index.h"
+#include "src/index/range_index.h"
+
+using namespace ursa;
+
+namespace {
+
+struct Op {
+  uint32_t offset;
+  uint32_t length;
+  uint64_t j_offset;
+};
+
+std::vector<Op> MakeOps(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Op> ops;
+  ops.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Op op;
+    op.offset = static_cast<uint32_t>(rng.Uniform((1u << 20) - 64));
+    op.length = static_cast<uint32_t>(rng.UniformRange(1, 64));
+    op.j_offset = rng.Uniform(1u << 28);
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 10: Ursa index vs PebblesDB-style FLSM ===\n");
+  std::printf("(paper: Ursa 2.17M/1.35M vs PebblesDB 19K/18K range insert/query per sec)\n\n");
+
+  constexpr size_t kInserts = 700000;
+  constexpr size_t kArrayResident = 600000;  // paper: 600K in the array level
+  constexpr size_t kQueries = 100000;
+  std::vector<Op> inserts = MakeOps(kInserts, 1);
+  std::vector<Op> queries = MakeOps(kQueries, 2);
+
+  // --- Ursa index ---
+  index::RangeIndex ursa_index(/*merge_threshold=*/SIZE_MAX);  // manual compaction
+  auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < kInserts; ++i) {
+    ursa_index.Insert(inserts[i].offset, inserts[i].length, inserts[i].j_offset);
+    if (i + 1 == kArrayResident) {
+      ursa_index.Compact();  // paper setup: 600K in the array, 100K in the tree
+    }
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  double ursa_insert_rate = kInserts / Seconds(t0, t1);
+
+  volatile uint64_t sink = 0;
+  t0 = std::chrono::steady_clock::now();
+  for (const Op& q : queries) {
+    auto segs = ursa_index.Query(q.offset, q.length);
+    sink += segs.size();
+  }
+  t1 = std::chrono::steady_clock::now();
+  double ursa_query_rate = kQueries / Seconds(t0, t1);
+
+  std::printf("Ursa index levels after load: tree=%zu array=%zu (%.1f MB)\n",
+              ursa_index.tree_size(), ursa_index.array_size(),
+              static_cast<double>(ursa_index.MemoryBytes()) / 1e6);
+
+  // --- FLSM baseline ---
+  index::FlsmIndex flsm;
+  t0 = std::chrono::steady_clock::now();
+  for (const Op& op : inserts) {
+    flsm.Insert(op.offset, op.length, op.j_offset);
+  }
+  t1 = std::chrono::steady_clock::now();
+  double flsm_insert_rate = kInserts / Seconds(t0, t1);
+
+  t0 = std::chrono::steady_clock::now();
+  for (const Op& q : queries) {
+    auto segs = flsm.Query(q.offset, q.length);
+    sink += segs.size();
+  }
+  t1 = std::chrono::steady_clock::now();
+  double flsm_query_rate = kQueries / Seconds(t0, t1);
+
+  core::Table table({"Structure", "Range insert/s", "Range query/s"});
+  table.AddRow({"PebblesDB-FLSM", core::Table::Int(flsm_insert_rate),
+                core::Table::Int(flsm_query_rate)});
+  table.AddRow({"Ursa index", core::Table::Int(ursa_insert_rate),
+                core::Table::Int(ursa_query_rate)});
+  table.Print();
+
+  double insert_ratio = ursa_insert_rate / flsm_insert_rate;
+  double query_ratio = ursa_query_rate / flsm_query_rate;
+  std::printf("\nInsert speedup: %.0fx   Query speedup: %.0fx  (paper: ~114x / ~75x)\n",
+              insert_ratio, query_ratio);
+  std::printf("(our FLSM is RAM-only — no WAL, SSTable I/O, or bloom checks — so its\n");
+  std::printf(" absolute rates run ~2-3x above real PebblesDB and the gap narrows; the\n");
+  std::printf(" structural order-of-magnitude separation is what the check verifies)\n");
+  bool ok = insert_ratio > 10 && query_ratio > 10 && ursa_insert_rate > 5e5 &&
+            ursa_query_rate > 1e6;
+  std::printf("Fig10 %s\n", ok ? "SHAPE-OK" : "SHAPE-MISMATCH");
+  (void)sink;
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Figure 13: scalability.
+//
+//   (a) aggregate random 4K IOPS scales linearly, 11 -> 44 machines
+//   (b) aggregate sequential 1 MB throughput scales linearly
+//   (c) striping: parallel 1 MB throughput grows with the stripe group size
+//       {non-striping, 2, 4, 8} from a dedicated two-NIC client (qd16)
+//
+// Clients run on every storage machine (paper: "to saturate the system").
+// Absolute IOPS depend on clients-per-machine; the paper's claim is the
+// LINEAR scaling, which is what the shape check verifies.
+#include <cstdio>
+#include <vector>
+
+#include "src/core/system.h"
+
+using namespace ursa;
+
+namespace {
+
+struct ScalePoint {
+  int machines;
+  double read_iops, write_iops;
+  double read_gbps, write_gbps;
+};
+
+ScalePoint RunScale(int machines) {
+  ScalePoint point;
+  point.machines = machines;
+
+  {  // (a) random IOPS: one client per machine, qd32.
+    core::TestBed bed(core::UrsaHybridProfile(machines));
+    std::vector<std::pair<client::VirtualDisk*, core::WorkloadSpec>> jobs;
+    core::WorkloadSpec spec;
+    spec.block_size = 4 * kKiB;
+    spec.queue_depth = 32;
+    spec.read_fraction = 1.0;
+    for (int m = 0; m < machines; ++m) {
+      spec.seed = 1000 + m;
+      jobs.emplace_back(bed.NewDiskOn(&bed.cluster().machine(m), 2ull * kGiB), spec);
+    }
+    core::RunMetrics r = bed.RunWorkloads(jobs, msec(100), msec(400), "iops-read");
+    point.read_iops = r.read_iops();
+    for (auto& [disk, s] : jobs) {
+      s.read_fraction = 0.0;
+    }
+    std::vector<std::pair<client::VirtualDisk*, core::WorkloadSpec>> wjobs;
+    for (auto& [disk, s] : jobs) {
+      core::WorkloadSpec ws = s;
+      ws.read_fraction = 0.0;
+      wjobs.emplace_back(disk, ws);
+    }
+    core::RunMetrics w = bed.RunWorkloads(wjobs, msec(100), msec(400), "iops-write");
+    point.write_iops = w.write_iops();
+  }
+  {  // (b) sequential throughput: one client per machine, 1 MB qd1 (the
+     //     paper's Fig. 6c configuration, aggregated over the fleet).
+    core::TestBed bed(core::UrsaHybridProfile(machines));
+    std::vector<std::pair<client::VirtualDisk*, core::WorkloadSpec>> jobs;
+    core::WorkloadSpec spec;
+    spec.pattern = core::WorkloadSpec::Pattern::kSequential;
+    spec.block_size = 1 * kMiB;
+    spec.queue_depth = 1;
+    spec.read_fraction = 1.0;
+    for (int m = 0; m < machines; ++m) {
+      spec.seed = 2000 + m;
+      jobs.emplace_back(bed.NewDiskOn(&bed.cluster().machine(m), 4ull * kGiB, 3, 4), spec);
+    }
+    core::RunMetrics r = bed.RunWorkloads(jobs, msec(100), msec(400), "tp-read");
+    point.read_gbps = r.read_mbps() / 1000.0;
+    std::vector<std::pair<client::VirtualDisk*, core::WorkloadSpec>> wjobs;
+    for (auto& [disk, s] : jobs) {
+      core::WorkloadSpec ws = s;
+      ws.read_fraction = 0.0;
+      wjobs.emplace_back(disk, ws);
+    }
+    core::RunMetrics w = bed.RunWorkloads(wjobs, msec(100), msec(400), "tp-write");
+    point.write_gbps = w.write_mbps() / 1000.0;
+  }
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 13: scalability ===\n\n");
+
+  std::vector<ScalePoint> points;
+  for (int machines : {11, 22, 33, 44}) {
+    points.push_back(RunScale(machines));
+    std::printf("measured %d machines...\n", machines);
+  }
+
+  std::printf("\n--- (a) aggregate random 4K IOPS (qd32, 1 client/machine) ---\n");
+  core::Table a({"Machines", "Read IOPS", "Write IOPS"});
+  for (const auto& p : points) {
+    a.AddRow({std::to_string(p.machines), core::Table::Int(p.read_iops),
+              core::Table::Int(p.write_iops)});
+  }
+  a.Print();
+
+  std::printf("\n--- (b) aggregate sequential throughput (1MB), GB/s ---\n");
+  core::Table b({"Machines", "Read GB/s", "Write GB/s"});
+  for (const auto& p : points) {
+    b.AddRow({std::to_string(p.machines), core::Table::Num(p.read_gbps, 1),
+              core::Table::Num(p.write_gbps, 1)});
+  }
+  b.Print();
+
+  std::printf("\n--- (c) striping: parallel 1MB throughput vs stripe group (44 machines) ---\n");
+  core::Table c({"Stripe group", "Read MB/s", "Write MB/s"});
+  std::vector<double> stripe_read;
+  {
+    core::TestBed bed(core::UrsaHybridProfile(44));
+    for (int group : {1, 2, 4, 8}) {
+      auto* disk = bed.NewDisk(8ull * kGiB, 3, group);
+      core::WorkloadSpec spec;
+      spec.pattern = core::WorkloadSpec::Pattern::kSequential;
+      spec.block_size = 1 * kMiB;
+      spec.queue_depth = 16;
+      spec.read_fraction = 1.0;
+      core::RunMetrics r = bed.RunWorkload(disk, spec, msec(100), msec(500), "stripe-r");
+      spec.read_fraction = 0.0;
+      core::RunMetrics w = bed.RunWorkload(disk, spec, msec(100), msec(500), "stripe-w");
+      stripe_read.push_back(r.read_mbps());
+      c.AddRow({group == 1 ? "non-striping" : std::to_string(group),
+                core::Table::Int(r.read_mbps()), core::Table::Int(w.write_mbps())});
+    }
+  }
+  c.Print();
+
+  bool ok = true;
+  auto check = [&ok](bool cond, const char* what) {
+    std::printf("  %-60s %s\n", what, cond ? "OK" : "MISMATCH");
+    ok = ok && cond;
+  };
+  std::printf("\n--- shape checks (paper) ---\n");
+  double read_ratio = points[3].read_iops / points[0].read_iops;
+  double write_ratio = points[3].write_iops / points[0].write_iops;
+  double tp_ratio = points[3].read_gbps / points[0].read_gbps;
+  check(read_ratio > 3.0 && read_ratio < 5.0, "read IOPS scale ~linearly (4x machines)");
+  check(write_ratio > 3.0 && write_ratio < 5.0, "write IOPS scale ~linearly");
+  check(tp_ratio > 3.0 && tp_ratio < 5.0, "throughput scales ~linearly");
+  check(stripe_read[3] > 1.3 * stripe_read[0], "striping raises parallel read TP");
+  std::printf("Fig13 %s\n", ok ? "SHAPE-OK" : "SHAPE-MISMATCH");
+  return 0;
+}

@@ -1,0 +1,159 @@
+// A "VM" talking to Ursa exactly the way QEMU would (§3.1): raw NBD wire
+// bytes into the client portal, which translates them into the replication
+// protocol against the hybrid cluster. The VM formats a toy filesystem
+// superblock, writes a few files, rereads them through the wire, and
+// disconnects.
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/client/block_layer.h"
+#include "src/client/nbd.h"
+#include "src/core/system.h"
+
+using namespace ursa;
+
+namespace {
+
+// Minimal in-example NBD "initiator": frames requests, matches replies by
+// handle.
+class VmNbdInitiator {
+ public:
+  VmNbdInitiator(sim::Simulator* sim, client::NbdSession* session)
+      : sim_(sim), session_(session) {}
+
+  // Feed server->client bytes here.
+  void OnServerBytes(std::vector<uint8_t> bytes) {
+    inbound_.insert(inbound_.end(), bytes.begin(), bytes.end());
+  }
+
+  bool Write(uint64_t offset, const std::vector<uint8_t>& data) {
+    client::NbdRequest req;
+    req.command = client::NbdCommand::kWrite;
+    req.handle = next_handle_++;
+    req.offset = offset;
+    req.length = static_cast<uint32_t>(data.size());
+    SendRequest(req, data);
+    return AwaitReply(req.handle, nullptr, 0);
+  }
+
+  bool Read(uint64_t offset, uint32_t length, std::vector<uint8_t>* out) {
+    client::NbdRequest req;
+    req.command = client::NbdCommand::kRead;
+    req.handle = next_handle_++;
+    req.offset = offset;
+    req.length = length;
+    SendRequest(req, {});
+    return AwaitReply(req.handle, out, length);
+  }
+
+  void Disconnect() {
+    client::NbdRequest req;
+    req.command = client::NbdCommand::kDisconnect;
+    req.handle = next_handle_++;
+    SendRequest(req, {});
+    sim_->RunUntil(sim_->Now() + msec(10));
+  }
+
+ private:
+  void SendRequest(const client::NbdRequest& req, const std::vector<uint8_t>& payload) {
+    std::vector<uint8_t> wire(client::NbdRequest::kWireSize);
+    req.EncodeTo(wire.data());
+    wire.insert(wire.end(), payload.begin(), payload.end());
+    session_->Consume(wire.data(), wire.size());
+  }
+
+  bool AwaitReply(uint64_t handle, std::vector<uint8_t>* payload, uint32_t payload_len) {
+    sim_->RunUntil(sim_->Now() + sec(2));
+    if (inbound_.size() < client::NbdReply::kWireSize + payload_len) {
+      return false;
+    }
+    Result<client::NbdReply> reply = client::NbdReply::Decode(inbound_.data());
+    if (!reply.ok() || reply->handle != handle || reply->error != client::kNbdOk) {
+      return false;
+    }
+    if (payload != nullptr) {
+      payload->assign(inbound_.begin() + client::NbdReply::kWireSize,
+                      inbound_.begin() + client::NbdReply::kWireSize + payload_len);
+    }
+    inbound_.erase(inbound_.begin(),
+                   inbound_.begin() + client::NbdReply::kWireSize + payload_len);
+    return true;
+  }
+
+  sim::Simulator* sim_;
+  client::NbdSession* session_;
+  std::vector<uint8_t> inbound_;
+  uint64_t next_handle_ = 1;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== A VM on Ursa via the NBD wire protocol ==\n\n");
+  core::TestBed bed(core::UrsaHybridProfile(3));
+  client::VirtualDisk* disk = bed.NewDisk(256 * kMiB);
+  client::VirtualDiskLayer layer(disk);
+
+  VmNbdInitiator* vm_ptr = nullptr;
+  client::NbdSession session(&layer, [&vm_ptr](std::vector<uint8_t> bytes) {
+    if (vm_ptr != nullptr) {
+      vm_ptr->OnServerBytes(std::move(bytes));
+    }
+  });
+  VmNbdInitiator vm(&bed.sim(), &session);
+  vm_ptr = &vm;
+
+  // 1. "mkfs": a superblock at LBA 0.
+  std::vector<uint8_t> superblock(4096, 0);
+  std::snprintf(reinterpret_cast<char*>(superblock.data()), superblock.size(),
+                "TOYFS v1 blocks=%llu", static_cast<unsigned long long>(disk->size() / 4096));
+  if (!vm.Write(0, superblock)) {
+    std::printf("mkfs failed\n");
+    return 1;
+  }
+  std::printf("mkfs: wrote superblock over NBD\n");
+
+  // 2. Write a handful of "files" (one 16 KiB extent each).
+  constexpr int kFiles = 10;
+  std::vector<std::vector<uint8_t>> files;
+  for (int f = 0; f < kFiles; ++f) {
+    std::vector<uint8_t> content(16 * kKiB);
+    for (size_t i = 0; i < content.size(); ++i) {
+      content[i] = static_cast<uint8_t>(f * 31 + i);
+    }
+    if (!vm.Write(64 * kKiB + static_cast<uint64_t>(f) * 16 * kKiB, content)) {
+      std::printf("file %d write failed\n", f);
+      return 1;
+    }
+    files.push_back(std::move(content));
+  }
+  std::printf("wrote %d files (%d KiB each) over NBD\n", kFiles, 16);
+
+  // 3. Remount: reread the superblock and verify every file byte-for-byte.
+  std::vector<uint8_t> sb_back;
+  if (!vm.Read(0, 4096, &sb_back) || sb_back != superblock) {
+    std::printf("superblock verification failed\n");
+    return 1;
+  }
+  int verified = 0;
+  for (int f = 0; f < kFiles; ++f) {
+    std::vector<uint8_t> back;
+    if (vm.Read(64 * kKiB + static_cast<uint64_t>(f) * 16 * kKiB, 16 * kKiB, &back) &&
+        back == files[f]) {
+      ++verified;
+    }
+  }
+  std::printf("remount: superblock OK, %d/%d files verified\n", verified, kFiles);
+
+  vm.Disconnect();
+  std::printf("\nNBD session: %llu requests served, %llu errors; VM latency view: "
+              "read %.0f us / write %.0f us mean\n",
+              static_cast<unsigned long long>(session.requests_served()),
+              static_cast<unsigned long long>(session.errors_returned()),
+              disk->stats().read_latency_us.Mean(), disk->stats().write_latency_us.Mean());
+  std::printf("demo %s\n", verified == kFiles ? "PASSED" : "FAILED");
+  return verified == kFiles ? 0 : 1;
+}

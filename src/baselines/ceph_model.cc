@@ -1,0 +1,31 @@
+#include "src/baselines/ceph_model.h"
+
+namespace ursa::baselines {
+
+core::SystemProfile CephProfile(int machines) {
+  core::SystemProfile p;
+  p.name = "Ceph";
+  p.cluster.machines = machines;
+  p.cluster.machine = core::PaperMachineConfig();
+  p.cluster.mode = cluster::StorageMode::kSsdOnly;
+
+  // OSD-class software overhead: a modest critical-path share plus a large
+  // parallel worker-thread share (see core/params.h for the calibration).
+  p.cluster.server.cpu.server_op = usec(45);
+  p.cluster.server.cpu.replicate_op = usec(20);
+  // FileStore-era Ceph journals every write before committing it (a serial
+  // double-write on the critical path) on top of the worker-thread burn.
+  p.cluster.server.cpu.server_write_extra = usec(260);
+  p.cluster.server.cpu.server_background = usec(210);
+
+  // librbd client inside QEMU: all writes primary-driven, no tiny-write
+  // optimization, costlier per-request client path than Ursa's.
+  p.client.client_directed = false;
+  p.client.tiny_write_threshold = 0;
+  p.client.loop_issue_cost = usec(14);
+  p.client.loop_complete_cost = usec(12);
+  p.client.vmm_overhead = usec(60);
+  return p;
+}
+
+}  // namespace ursa::baselines

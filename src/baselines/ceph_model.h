@@ -1,0 +1,26 @@
+// Ceph-style baseline (§6): SSD-only replicated block storage with
+// primary-chained (OSD-driven) replication and OSD-class software overhead.
+//
+// What is modelled, mirroring Ceph's RBD data path architecture:
+//   * all writes are primary-driven — the client never replicates directly
+//     (client_directed = false, so even tiny writes take the two-hop path);
+//   * the OSD burns substantially more CPU per request than Ursa's server
+//     (Fig. 7 shows Ursa ahead by orders of magnitude in IOPS/core); most of
+//     that cost is parallel worker-thread overhead, so read latency stays
+//     close to the other systems (Fig. 6b) while per-core efficiency and
+//     peak IOPS collapse;
+//   * the in-QEMU librbd client is moderately more expensive per request
+//     than Ursa's client and has no pipelining optimizations.
+#ifndef URSA_BASELINES_CEPH_MODEL_H_
+#define URSA_BASELINES_CEPH_MODEL_H_
+
+#include "src/core/params.h"
+
+namespace ursa::baselines {
+
+// SSD-only cluster + client options modelling Ceph (librbd + OSD).
+core::SystemProfile CephProfile(int machines = 3);
+
+}  // namespace ursa::baselines
+
+#endif  // URSA_BASELINES_CEPH_MODEL_H_

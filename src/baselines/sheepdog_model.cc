@@ -1,0 +1,26 @@
+#include "src/baselines/sheepdog_model.h"
+
+namespace ursa::baselines {
+
+core::SystemProfile SheepdogProfile(int machines) {
+  core::SystemProfile p;
+  p.name = "Sheepdog";
+  p.cluster.machines = machines;
+  p.cluster.machine = core::PaperMachineConfig();
+  p.cluster.mode = cluster::StorageMode::kSsdOnly;
+
+  p.cluster.server.cpu.server_op = usec(28);
+  p.cluster.server.cpu.replicate_op = usec(8);
+  p.cluster.server.cpu.server_write_extra = usec(90);
+  p.cluster.server.cpu.server_background = usec(8);
+
+  // Client-parallel writes for every size; costly single-threaded client.
+  p.client.client_directed = true;
+  p.client.tiny_write_threshold = UINT64_MAX;
+  p.client.loop_issue_cost = usec(26);
+  p.client.loop_complete_cost = usec(22);
+  p.client.vmm_overhead = usec(60);
+  return p;
+}
+
+}  // namespace ursa::baselines

@@ -1,0 +1,22 @@
+// Sheepdog-style baseline (§6): SSD-only replicated block storage where the
+// client always issues all primary/backup writes in parallel.
+//
+// What is modelled, mirroring Sheepdog's architecture:
+//   * every write is client-directed, regardless of size (the paper: "Sheep-
+//     dog always has the client issue all primary/backup writes in parallel");
+//   * per-request software costs sit between Ursa and Ceph (Fig. 7 places
+//     Sheepdog's efficiency well below Ursa but above Ceph);
+//   * no multi-level pipelining optimizations: the client event loop is
+//     substantially more expensive per request, which caps its IOPS.
+#ifndef URSA_BASELINES_SHEEPDOG_MODEL_H_
+#define URSA_BASELINES_SHEEPDOG_MODEL_H_
+
+#include "src/core/params.h"
+
+namespace ursa::baselines {
+
+core::SystemProfile SheepdogProfile(int machines = 3);
+
+}  // namespace ursa::baselines
+
+#endif  // URSA_BASELINES_SHEEPDOG_MODEL_H_

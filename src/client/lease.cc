@@ -1,0 +1,37 @@
+#include "src/client/lease.h"
+
+namespace ursa::client {
+
+LeaseKeeper::LeaseKeeper(sim::Simulator* sim, cluster::Master* master, cluster::DiskId disk,
+                         cluster::ClientId client, Nanos renew_interval)
+    : sim_(sim), master_(master), disk_(disk), client_(client), renew_interval_(renew_interval) {}
+
+LeaseKeeper::~LeaseKeeper() { Stop(); }
+
+void LeaseKeeper::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  pending_event_ = sim_->After(renew_interval_, [this]() { Tick(); });
+}
+
+void LeaseKeeper::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  sim_->Cancel(pending_event_);
+}
+
+void LeaseKeeper::Tick() {
+  if (!running_) {
+    return;
+  }
+  Status s = master_->RenewLease(disk_, client_);
+  healthy_ = s.ok();
+  ++renewals_;
+  pending_event_ = sim_->After(renew_interval_, [this]() { Tick(); });
+}
+
+}  // namespace ursa::client

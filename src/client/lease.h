@@ -1,0 +1,44 @@
+// Lease maintenance (§4.1): at most one client holds a virtual disk at any
+// time; the holder renews periodically (paper: "usually every tens of
+// seconds") and loses the disk when renewal lapses past the master's term.
+#ifndef URSA_CLIENT_LEASE_H_
+#define URSA_CLIENT_LEASE_H_
+
+#include "src/cluster/master.h"
+#include "src/sim/simulator.h"
+
+namespace ursa::client {
+
+class LeaseKeeper {
+ public:
+  LeaseKeeper(sim::Simulator* sim, cluster::Master* master, cluster::DiskId disk,
+              cluster::ClientId client, Nanos renew_interval = sec(10));
+  ~LeaseKeeper();
+
+  // Begins periodic renewal (the disk must already be opened by `client`).
+  void Start();
+  // Stops renewing (e.g. client shutdown); the lease then expires naturally.
+  void Stop();
+
+  bool running() const { return running_; }
+  uint64_t renewals() const { return renewals_; }
+  // True if the last renewal attempt succeeded.
+  bool healthy() const { return healthy_; }
+
+ private:
+  void Tick();
+
+  sim::Simulator* sim_;
+  cluster::Master* master_;
+  cluster::DiskId disk_;
+  cluster::ClientId client_;
+  Nanos renew_interval_;
+  bool running_ = false;
+  bool healthy_ = true;
+  uint64_t renewals_ = 0;
+  sim::EventId pending_event_ = 0;
+};
+
+}  // namespace ursa::client
+
+#endif  // URSA_CLIENT_LEASE_H_

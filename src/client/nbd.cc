@@ -1,0 +1,172 @@
+#include "src/client/nbd.h"
+
+#include <cstring>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace ursa::client {
+
+namespace {
+
+void PutBe16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v >> 8);
+  p[1] = static_cast<uint8_t>(v);
+}
+void PutBe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+void PutBe64(uint8_t* p, uint64_t v) {
+  PutBe32(p, static_cast<uint32_t>(v >> 32));
+  PutBe32(p + 4, static_cast<uint32_t>(v));
+}
+uint16_t GetBe16(const uint8_t* p) {
+  return static_cast<uint16_t>(static_cast<uint16_t>(p[0]) << 8 | p[1]);
+}
+uint32_t GetBe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) << 24 | static_cast<uint32_t>(p[1]) << 16 |
+         static_cast<uint32_t>(p[2]) << 8 | static_cast<uint32_t>(p[3]);
+}
+uint64_t GetBe64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetBe32(p)) << 32 | GetBe32(p + 4);
+}
+
+}  // namespace
+
+void NbdRequest::EncodeTo(uint8_t* out) const {
+  PutBe32(out + 0, kNbdRequestMagic);
+  PutBe16(out + 4, flags);
+  PutBe16(out + 6, static_cast<uint16_t>(command));
+  PutBe64(out + 8, handle);
+  PutBe64(out + 16, offset);
+  PutBe32(out + 24, length);
+}
+
+Result<NbdRequest> NbdRequest::Decode(const uint8_t* in) {
+  if (GetBe32(in) != kNbdRequestMagic) {
+    return Corruption("bad NBD request magic");
+  }
+  NbdRequest req;
+  req.flags = GetBe16(in + 4);
+  req.command = static_cast<NbdCommand>(GetBe16(in + 6));
+  req.handle = GetBe64(in + 8);
+  req.offset = GetBe64(in + 16);
+  req.length = GetBe32(in + 24);
+  return req;
+}
+
+void NbdReply::EncodeTo(uint8_t* out) const {
+  PutBe32(out + 0, kNbdReplyMagic);
+  PutBe32(out + 4, error);
+  PutBe64(out + 8, handle);
+}
+
+Result<NbdReply> NbdReply::Decode(const uint8_t* in) {
+  if (GetBe32(in) != kNbdReplyMagic) {
+    return Corruption("bad NBD reply magic");
+  }
+  NbdReply reply;
+  reply.error = GetBe32(in + 4);
+  reply.handle = GetBe64(in + 8);
+  return reply;
+}
+
+void NbdSession::Consume(const uint8_t* data, size_t len) {
+  if (disconnected_) {
+    return;
+  }
+  buffer_.insert(buffer_.end(), data, data + len);
+  TryDispatch();
+}
+
+void NbdSession::TryDispatch() {
+  while (!disconnected_ && buffer_.size() >= NbdRequest::kWireSize) {
+    Result<NbdRequest> request = NbdRequest::Decode(buffer_.data());
+    if (!request.ok()) {
+      // Stream desynchronized: drop the connection, as real servers do.
+      disconnected_ = true;
+      return;
+    }
+    size_t need = NbdRequest::kWireSize;
+    if (request->command == NbdCommand::kWrite) {
+      need += request->length;
+    }
+    if (buffer_.size() < need) {
+      return;  // wait for the rest of the payload
+    }
+    std::vector<uint8_t> payload;
+    if (request->command == NbdCommand::kWrite) {
+      payload.assign(buffer_.begin() + NbdRequest::kWireSize, buffer_.begin() + need);
+    }
+    buffer_.erase(buffer_.begin(), buffer_.begin() + need);
+    Dispatch(*request, std::move(payload));
+  }
+}
+
+void NbdSession::Dispatch(const NbdRequest& request, std::vector<uint8_t> payload) {
+  switch (request.command) {
+    case NbdCommand::kRead: {
+      if (request.length == 0 || request.offset % 512 != 0 || request.length % 512 != 0 ||
+          request.offset + request.length > disk_->size()) {
+        Reply(request.handle, kNbdEinval, {});
+        return;
+      }
+      auto buf = std::make_shared<std::vector<uint8_t>>(request.length);
+      disk_->Read(request.offset, request.length, buf->data(),
+                  [this, handle = request.handle, buf](const Status& s) {
+                    if (s.ok()) {
+                      Reply(handle, kNbdOk, std::move(*buf));
+                    } else {
+                      Reply(handle, kNbdEio, {});
+                    }
+                  });
+      return;
+    }
+    case NbdCommand::kWrite: {
+      if (payload.empty() || request.offset % 512 != 0 || payload.size() % 512 != 0 ||
+          request.offset + payload.size() > disk_->size()) {
+        Reply(request.handle, kNbdEinval, {});
+        return;
+      }
+      auto buf = std::make_shared<std::vector<uint8_t>>(std::move(payload));
+      disk_->Write(request.offset, buf->size(), buf->data(),
+                   [this, handle = request.handle, buf](const Status& s) {
+                     Reply(handle, s.ok() ? kNbdOk : kNbdEio, {});
+                   });
+      return;
+    }
+    case NbdCommand::kFlush:
+      // Ursa writes are durable at commit; a flush has nothing left to do.
+      Reply(request.handle, kNbdOk, {});
+      return;
+    case NbdCommand::kTrim:
+      // Advisory; accepted and ignored.
+      Reply(request.handle, kNbdOk, {});
+      return;
+    case NbdCommand::kDisconnect:
+      disconnected_ = true;
+      return;
+  }
+  Reply(request.handle, kNbdEinval, {});
+}
+
+void NbdSession::Reply(uint64_t handle, uint32_t error, std::vector<uint8_t> read_payload) {
+  ++requests_served_;
+  if (error != kNbdOk) {
+    ++errors_returned_;
+  }
+  std::vector<uint8_t> out(NbdReply::kWireSize + read_payload.size());
+  NbdReply reply;
+  reply.error = error;
+  reply.handle = handle;
+  reply.EncodeTo(out.data());
+  if (!read_payload.empty()) {
+    std::memcpy(out.data() + NbdReply::kWireSize, read_payload.data(), read_payload.size());
+  }
+  send_(std::move(out));
+}
+
+}  // namespace ursa::client

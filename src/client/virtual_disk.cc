@@ -1,0 +1,568 @@
+#include "src/client/virtual_disk.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/net/message.h"
+#include "src/net/rpc.h"
+
+namespace ursa::client {
+
+using cluster::ChunkLayout;
+using cluster::ChunkServer;
+using cluster::ReplicaRef;
+using net::MessageType;
+using net::PendingCall;
+using net::QuorumTracker;
+using net::WireBytes;
+using storage::ChunkId;
+
+VirtualDisk::VirtualDisk(cluster::Cluster* cluster, cluster::Machine* host,
+                         cluster::ClientId client_id, const VirtualDiskClientOptions& options)
+    : sim_(cluster->simulator()),
+      cluster_(cluster),
+      host_(host),
+      client_id_(client_id),
+      options_(options) {
+  loop_ = std::make_unique<sim::Resource>(sim_, "client" + std::to_string(client_id) + "/loop",
+                                          1);
+}
+
+Status VirtualDisk::Open(cluster::DiskId disk) {
+  Result<const cluster::DiskMeta*> meta = cluster_->master().OpenDisk(disk, client_id_);
+  if (!meta.ok()) {
+    return meta.status();
+  }
+  meta_ = **meta;
+  chunk_states_.assign(meta_.chunks.size(), ChunkState{});
+
+  // Initialization (§4.2.1): confirm the per-chunk version numbers with the
+  // replicas and pick the preferred primary (the SSD replica).
+  for (size_t i = 0; i < meta_.chunks.size(); ++i) {
+    const ChunkLayout& layout = meta_.chunks[i];
+    ChunkState& cs = chunk_states_[i];
+    uint64_t version = 0;
+    for (size_t r = 0; r < layout.replicas.size(); ++r) {
+      ChunkServer* server = Server(layout.replicas[r].server);
+      if (server == nullptr || server->crashed()) {
+        continue;
+      }
+      Result<ChunkServer::ReplicaState> st = server->GetState(layout.chunk);
+      if (st.ok()) {
+        version = std::max(version, st->version);
+      }
+    }
+    cs.version = version;
+    cs.primary = 0;
+    for (size_t r = 0; r < layout.replicas.size(); ++r) {
+      if (layout.replicas[r].on_ssd) {
+        cs.primary = r;
+        break;
+      }
+    }
+  }
+  open_ = true;
+  return OkStatus();
+}
+
+Status VirtualDisk::Close() {
+  if (!open_) {
+    return OkStatus();
+  }
+  open_ = false;
+  return cluster_->master().CloseDisk(meta_.id, client_id_);
+}
+
+void VirtualDisk::RefreshLayout() {
+  Result<const cluster::DiskMeta*> meta = cluster_->master().GetDisk(meta_.id);
+  if (!meta.ok()) {
+    return;
+  }
+  // Preserve per-chunk client state; only the layout (replicas, views) moved.
+  for (size_t i = 0; i < meta_.chunks.size(); ++i) {
+    meta_.chunks[i] = (*meta)->chunks[i];
+  }
+}
+
+std::vector<VirtualDisk::SubRequest> VirtualDisk::SplitRequest(uint64_t offset,
+                                                               uint64_t length) const {
+  URSA_CHECK_EQ(offset % journal::kSector, 0u);
+  URSA_CHECK_EQ(length % journal::kSector, 0u);
+  URSA_CHECK_GT(length, 0u);
+  URSA_CHECK_LE(offset + length, meta_.size);
+
+  uint64_t g = static_cast<uint64_t>(meta_.stripe_group);
+  uint64_t u = meta_.stripe_unit;
+  uint64_t c = meta_.chunk_size;
+  uint64_t group_span = g * c;
+
+  std::vector<SubRequest> subs;
+  uint64_t pos = offset;
+  uint64_t remaining = length;
+  while (remaining > 0) {
+    uint64_t group = pos / group_span;
+    uint64_t within = pos % group_span;
+    uint64_t stripe = within / u;
+    uint64_t in_unit = within % u;
+    uint64_t chunk_index = group * g + stripe % g;
+    uint64_t chunk_off = (stripe / g) * u + in_unit;
+    uint64_t run = std::min(remaining, u - in_unit);
+    URSA_CHECK_LT(chunk_index, meta_.chunks.size());
+
+    if (!subs.empty() && subs.back().chunk_index == chunk_index &&
+        subs.back().chunk_offset + subs.back().length == chunk_off) {
+      subs.back().length += run;  // contiguous in the same chunk: merge
+    } else {
+      subs.push_back(SubRequest{chunk_index, chunk_off, run, pos - offset});
+    }
+    pos += run;
+    remaining -= run;
+  }
+  return subs;
+}
+
+void VirtualDisk::Read(uint64_t offset, uint64_t length, void* out, storage::IoCallback done) {
+  URSA_CHECK(open_);
+  if (upgrading_) {
+    // Core/shell upgrade in progress: buffer the request; it resumes on the
+    // new core (§5.2).
+    paused_ops_.push_back([this, offset, length, out, done = std::move(done)]() mutable {
+      Read(offset, length, out, std::move(done));
+    });
+    return;
+  }
+  ++inflight_user_ops_;
+  done = [this, done = std::move(done)](const Status& s) {
+    --inflight_user_ops_;
+    done(s);
+  };
+  ++stats_.reads;
+  stats_.read_bytes += length;
+  Nanos start = sim_->Now();
+
+  std::vector<SubRequest> subs = SplitRequest(offset, length);
+  auto remaining = std::make_shared<size_t>(subs.size());
+  auto first_error = std::make_shared<Status>();
+  auto finish = [this, start, remaining, first_error,
+                 done = std::move(done)](const Status& s) {
+    if (!s.ok() && first_error->ok()) {
+      *first_error = s;
+    }
+    if (--*remaining > 0) {
+      return;
+    }
+    // VMM/NBD fixed return-path cost, then the user callback.
+    sim_->After(options_.vmm_overhead, [this, start, first_error, done = std::move(done)]() {
+      stats_.read_latency_us.Record(static_cast<int64_t>(ToUsec(sim_->Now() - start)));
+      done(*first_error);
+    });
+  };
+
+  for (const SubRequest& sub : subs) {
+    void* dest = out == nullptr ? nullptr : static_cast<uint8_t*>(out) + sub.user_offset;
+    // VMM/NBD entry cost, then the client loop issues the request.
+    sim_->After(options_.vmm_overhead, [this, sub, dest, finish]() {
+      loop_->Submit(options_.loop_issue_cost,
+                    [this, sub, dest, finish]() { IssueRead(sub, dest, 1, finish); });
+    });
+  }
+}
+
+void VirtualDisk::IssueRead(const SubRequest& sub, void* out, int attempt,
+                            storage::IoCallback done) {
+  const ChunkLayout& layout = Layout(sub.chunk_index);
+  ChunkState& cs = chunk_states_[sub.chunk_index];
+  const ReplicaRef replica = layout.replicas[cs.primary % layout.replicas.size()];
+
+  auto replied_version = std::make_shared<uint64_t>(0);
+  auto guard = PendingCall::Start(
+      sim_, options_.request_timeout,
+      [this, sub, out, attempt, done, replied_version](const Status& s) {
+        Nanos copy_cost = static_cast<Nanos>(options_.loop_byte_cost_ns *
+                                             static_cast<double>(sub.length));
+        loop_->Submit(options_.loop_complete_cost + (s.ok() ? copy_cost : 0),
+                      [this, sub, out, attempt, done, s, replied_version]() {
+                        if (s.ok()) {
+                          done(OkStatus());
+                          return;
+                        }
+                        if (s.code() == StatusCode::kVersionMismatch &&
+                            *replied_version > chunk_states_[sub.chunk_index].version) {
+                          chunk_states_[sub.chunk_index].version = *replied_version;
+                        }
+                        HandleAttemptFailure(sub, s, attempt, done, [this, sub, out, attempt,
+                                                                     done]() {
+                          IssueRead(sub, out, attempt + 1, done);
+                        });
+                      });
+      });
+
+  uint64_t view = layout.view;
+  uint64_t version = cs.version;
+  ChunkId chunk = layout.chunk;
+  cluster_->transport().Send(
+      host_->node(), replica.node, WireBytes(MessageType::kReadRequest),
+      [this, replica, chunk, sub, view, version, out, guard, replied_version]() {
+        ChunkServer* server = Server(replica.server);
+        if (server == nullptr) {
+          return;  // the guard's timeout handles it
+        }
+        server->HandleRead(
+            chunk, sub.chunk_offset, sub.length, view, version, out,
+            [this, replica, sub, guard, replied_version](const Status& s, uint64_t ver) {
+              *replied_version = ver;
+              uint64_t bytes = s.ok() ? sub.length : 0;
+              cluster_->transport().Send(replica.node, host_->node(),
+                                         WireBytes(MessageType::kReadReply, bytes),
+                                         [guard, s]() { guard->Complete(s); });
+            });
+      });
+}
+
+void VirtualDisk::Write(uint64_t offset, uint64_t length, const void* data,
+                        storage::IoCallback done) {
+  URSA_CHECK(open_);
+  if (upgrading_) {
+    paused_ops_.push_back([this, offset, length, data, done = std::move(done)]() mutable {
+      Write(offset, length, data, std::move(done));
+    });
+    return;
+  }
+  // Master-imposed throttle (§3.2): delay the write until a token is free.
+  Nanos wait = write_limiter_.Acquire(sim_->Now());
+  if (wait > 0) {
+    ++stats_.throttled_writes;
+    sim_->After(wait, [this, offset, length, data, done = std::move(done)]() mutable {
+      Write(offset, length, data, std::move(done));
+    });
+    return;
+  }
+  ++inflight_user_ops_;
+  done = [this, done = std::move(done)](const Status& s) {
+    --inflight_user_ops_;
+    done(s);
+  };
+  ++stats_.writes;
+  stats_.write_bytes += length;
+  Nanos start = sim_->Now();
+
+  std::vector<SubRequest> subs = SplitRequest(offset, length);
+  auto remaining = std::make_shared<size_t>(subs.size());
+  auto first_error = std::make_shared<Status>();
+  auto finish = [this, start, remaining, first_error,
+                 done = std::move(done)](const Status& s) {
+    if (!s.ok() && first_error->ok()) {
+      *first_error = s;
+    }
+    if (--*remaining > 0) {
+      return;
+    }
+    sim_->After(options_.vmm_overhead, [this, start, first_error, done = std::move(done)]() {
+      stats_.write_latency_us.Record(static_cast<int64_t>(ToUsec(sim_->Now() - start)));
+      done(*first_error);
+    });
+  };
+
+  for (const SubRequest& sub : subs) {
+    const void* src =
+        data == nullptr ? nullptr : static_cast<const uint8_t*>(data) + sub.user_offset;
+    sim_->After(options_.vmm_overhead, [this, sub, src, finish]() {
+      size_t idx = sub.chunk_index;
+      ChunkState& cs = chunk_states_[idx];
+      // Writes to one chunk are ordered by version; queue and pipeline.
+      cs.write_queue.push_back(PendingWrite{
+          [this, sub, src, finish, idx]() {
+            IssueWrite(sub, src, 1, [this, finish, idx](const Status& s) {
+              chunk_states_[idx].write_inflight = false;
+              PumpWriteQueue(idx);
+              finish(s);
+            });
+          },
+          sub.length});
+      PumpWriteQueue(idx);
+    });
+  }
+}
+
+void VirtualDisk::PumpWriteQueue(size_t chunk_index) {
+  ChunkState& cs = chunk_states_[chunk_index];
+  if (cs.write_inflight || cs.write_queue.empty()) {
+    return;
+  }
+  cs.write_inflight = true;
+  PendingWrite next = std::move(cs.write_queue.front());
+  cs.write_queue.pop_front();
+  Nanos copy_cost =
+      static_cast<Nanos>(options_.loop_byte_cost_ns * static_cast<double>(next.bytes));
+  loop_->Submit(options_.loop_issue_cost + copy_cost, std::move(next.fn));
+}
+
+void VirtualDisk::IssueWrite(const SubRequest& sub, const void* data, int attempt,
+                             storage::IoCallback done) {
+  IssueWriteAttempt(sub, data, attempt, std::move(done));
+}
+
+void VirtualDisk::IssueWriteAttempt(const SubRequest& sub, const void* data, int attempt,
+                                    storage::IoCallback done) {
+  if (options_.client_directed && sub.length <= options_.tiny_write_threshold) {
+    ClientDirectedWrite(sub, data, attempt, std::move(done));
+  } else {
+    PrimaryDrivenWrite(sub, data, attempt, std::move(done));
+  }
+}
+
+void VirtualDisk::ClientDirectedWrite(const SubRequest& sub, const void* data, int attempt,
+                                      storage::IoCallback done) {
+  const ChunkLayout& layout = Layout(sub.chunk_index);
+  ChunkState& cs = chunk_states_[sub.chunk_index];
+  uint64_t view = layout.view;
+  uint64_t version = cs.version;
+  ChunkId chunk = layout.chunk;
+
+  int total = static_cast<int>(layout.replicas.size());
+  int majority = total / 2 + 1;
+
+  auto saw_mismatch = std::make_shared<bool>(false);
+  auto replied_version = std::make_shared<uint64_t>(0);
+
+  auto guard = PendingCall::Start(
+      sim_, options_.request_timeout,
+      [this, sub, data, attempt, done, saw_mismatch, replied_version](const Status& s) {
+        loop_->Submit(
+            options_.loop_complete_cost,
+            [this, sub, data, attempt, done, s, saw_mismatch, replied_version]() {
+              if (s.ok()) {
+                ++chunk_states_[sub.chunk_index].version;
+                done(OkStatus());
+                return;
+              }
+              Status effective = *saw_mismatch ? VersionMismatch("replica ahead/behind") : s;
+              if (*saw_mismatch &&
+                  *replied_version > chunk_states_[sub.chunk_index].version) {
+                chunk_states_[sub.chunk_index].version = *replied_version;
+              }
+              HandleAttemptFailure(sub, effective, attempt, done,
+                                   [this, sub, data, attempt, done]() {
+                                     IssueWriteAttempt(sub, data, attempt + 1, done);
+                                   });
+            });
+      });
+
+  auto tracker = std::make_shared<QuorumTracker>(
+      total, majority,
+      [this, guard, chunk](const Status& s, int successes, int failures) {
+        if (s.ok() && failures > 0) {
+          // Committed on a majority: notify the master to fix the lagging
+          // replicas (§4.1 — "the client also notifies the master to fix the
+          // problem").
+          cluster_->master().RepairChunkReplicas(chunk);
+        }
+        guard->Complete(s);
+      });
+  sim::EventId commit_timer =
+      sim_->After(options_.commit_timeout, [tracker]() { tracker->TimeoutExpired(); });
+  auto leg = [this, tracker, commit_timer, saw_mismatch, replied_version](const Status& s,
+                                                                          uint64_t ver) {
+    if (s.ok()) {
+      tracker->RecordSuccess();
+    } else {
+      if (s.code() == StatusCode::kVersionMismatch) {
+        *saw_mismatch = true;
+        *replied_version = std::max(*replied_version, ver);
+      }
+      tracker->RecordFailure();
+    }
+    if (tracker->decided()) {
+      sim_->Cancel(commit_timer);
+    }
+  };
+
+  // Client-directed replication (§3.2): one message per replica in parallel.
+  for (const ReplicaRef& replica : layout.replicas) {
+    cluster_->transport().Send(
+        host_->node(), replica.node, WireBytes(MessageType::kReplicate, sub.length),
+        [this, replica, chunk, sub, view, version, data, leg]() {
+          ChunkServer* server = Server(replica.server);
+          if (server == nullptr) {
+            return;  // silent drop; timeout/quorum handles it
+          }
+          server->HandleReplicate(
+              chunk, sub.chunk_offset, sub.length, view, version, data,
+              [this, replica, leg](const Status& s, uint64_t ver) {
+                cluster_->transport().Send(replica.node, host_->node(),
+                                           WireBytes(MessageType::kReplicateReply),
+                                           [leg, s, ver]() { leg(s, ver); });
+              });
+        });
+  }
+}
+
+void VirtualDisk::PrimaryDrivenWrite(const SubRequest& sub, const void* data, int attempt,
+                                     storage::IoCallback done) {
+  const ChunkLayout& layout = Layout(sub.chunk_index);
+  ChunkState& cs = chunk_states_[sub.chunk_index];
+  size_t primary_idx = cs.primary % layout.replicas.size();
+  const ReplicaRef primary = layout.replicas[primary_idx];
+
+  std::vector<ReplicaRef> backups;
+  for (size_t r = 0; r < layout.replicas.size(); ++r) {
+    if (r != primary_idx) {
+      backups.push_back(layout.replicas[r]);
+    }
+  }
+
+  auto replied_version = std::make_shared<uint64_t>(0);
+  auto guard = PendingCall::Start(
+      sim_, options_.request_timeout,
+      [this, sub, data, attempt, done, replied_version](const Status& s) {
+        loop_->Submit(options_.loop_complete_cost, [this, sub, data, attempt, done, s,
+                                                    replied_version]() {
+          if (s.ok()) {
+            chunk_states_[sub.chunk_index].version =
+                std::max(chunk_states_[sub.chunk_index].version + 1, *replied_version);
+            done(OkStatus());
+            return;
+          }
+          if (s.code() == StatusCode::kVersionMismatch &&
+              *replied_version > chunk_states_[sub.chunk_index].version) {
+            chunk_states_[sub.chunk_index].version = *replied_version;
+          }
+          HandleAttemptFailure(sub, s, attempt, done, [this, sub, data, attempt, done]() {
+            IssueWriteAttempt(sub, data, attempt + 1, done);
+          });
+        });
+      });
+
+  uint64_t view = layout.view;
+  uint64_t version = cs.version;
+  ChunkId chunk = layout.chunk;
+  cluster_->transport().Send(
+      host_->node(), primary.node, WireBytes(MessageType::kWriteRequest, sub.length),
+      [this, primary, chunk, sub, view, version, data, backups = std::move(backups), guard,
+       replied_version]() {
+        ChunkServer* server = Server(primary.server);
+        if (server == nullptr) {
+          return;
+        }
+        server->HandleWrite(
+            chunk, sub.chunk_offset, sub.length, view, version, data, backups,
+            [this, primary, guard, replied_version](const Status& s, uint64_t new_version) {
+              *replied_version = new_version;
+              cluster_->transport().Send(primary.node, host_->node(),
+                                         WireBytes(MessageType::kWriteReply),
+                                         [guard, s]() { guard->Complete(s); });
+            });
+      });
+}
+
+void VirtualDisk::Upgrade(const std::string& version, Nanos swap_window,
+                          std::function<void()> done) {
+  URSA_CHECK(!upgrading_);
+  upgrading_ = true;  // (i) stop receiving new I/O requests from the VMM
+
+  // (ii) complete pending requests, polling until the core is quiescent.
+  auto wait_drain = std::make_shared<std::function<void()>>();
+  *wait_drain = [this, version, swap_window, done = std::move(done), wait_drain]() mutable {
+    if (inflight_user_ops_ > 0) {
+      sim_->After(msec(1), *wait_drain);
+      return;
+    }
+    // (iii) save status, exit; the shell starts the new core, which reads
+    // its status and resumes service.
+    sim_->After(swap_window, [this, version, done = std::move(done)]() {
+      software_version_ = version;
+      upgrading_ = false;
+      std::vector<std::function<void()>> resume;
+      resume.swap(paused_ops_);
+      for (auto& op : resume) {
+        op();
+      }
+      done();
+    });
+  };
+  (*wait_drain)();
+}
+
+void VirtualDisk::HandleAttemptFailure(const SubRequest& sub, const Status& status, int attempt,
+                                       storage::IoCallback done, std::function<void()> retry) {
+  if (attempt >= options_.max_attempts) {
+    done(status);
+    return;
+  }
+  ++stats_.retries;
+  const ChunkLayout& layout = Layout(sub.chunk_index);
+  ChunkState& cs = chunk_states_[sub.chunk_index];
+
+  if (status.code() == StatusCode::kVersionMismatch) {
+    // Either the view moved under us, or the replica we asked is STALE
+    // (restored after missing committed writes). Refresh the layout, steer
+    // the next attempt at the freshest alive replica, and ask the master to
+    // repair the laggard in the background (§4.2.1: "the primary tries to
+    // update its state by incremental repair").
+    RefreshLayout();
+    const ChunkLayout& nl = Layout(sub.chunk_index);
+    cluster::ServerId stale = nl.replicas[cs.primary % nl.replicas.size()].server;
+    uint64_t best_version = 0;
+    size_t best = cs.primary % nl.replicas.size();
+    for (size_t r = 0; r < nl.replicas.size(); ++r) {
+      ChunkServer* server = Server(nl.replicas[r].server);
+      if (server == nullptr || server->crashed()) {
+        continue;
+      }
+      Result<ChunkServer::ReplicaState> st = server->GetState(nl.chunk);
+      if (st.ok() && (st->version > best_version ||
+                      (st->version == best_version && nl.replicas[r].on_ssd))) {
+        best_version = st->version;
+        best = r;
+      }
+    }
+    if (nl.replicas[best].server != stale) {
+      cs.primary = best;
+      cluster_->master().RepairReplica(nl.chunk, stale, [](Status) {});
+    }
+    // The single-writer client's version is authoritative: never lower it,
+    // only adopt newer observations.
+    cs.version = std::max(cs.version, best_version);
+    retry();
+    return;
+  }
+
+  // Timeout / unavailability: switch to a backup as temporary primary
+  // (§4.2.1) and ask the master to repair in parallel.
+  cluster::ServerId suspected = layout.replicas[cs.primary % layout.replicas.size()].server;
+  cs.primary = (cs.primary + 1) % layout.replicas.size();
+  ++stats_.primary_switches;
+  ++stats_.failures_reported;
+  cluster_->master().ReportReplicaFailure(
+      layout.chunk, suspected, [this, sub, retry = std::move(retry)](const Status& s) {
+        RefreshLayout();
+        // Resync the client version after the view change — upward only:
+        // the single-writer client's number is authoritative (§4.1).
+        const ChunkLayout& nl = Layout(sub.chunk_index);
+        ChunkState& ncs = chunk_states_[sub.chunk_index];
+        uint64_t version = ncs.version;
+        for (const ReplicaRef& r : nl.replicas) {
+          ChunkServer* server = Server(r.server);
+          if (server == nullptr || server->crashed()) {
+            continue;
+          }
+          Result<ChunkServer::ReplicaState> st = server->GetState(nl.chunk);
+          if (st.ok()) {
+            version = std::max(version, st->version);
+          }
+        }
+        ncs.version = version;
+        for (size_t r = 0; r < nl.replicas.size(); ++r) {
+          ChunkServer* server = Server(nl.replicas[r].server);
+          if (nl.replicas[r].on_ssd && server != nullptr && !server->crashed()) {
+            ncs.primary = r;
+            break;
+          }
+        }
+        retry();
+      });
+}
+
+}  // namespace ursa::client

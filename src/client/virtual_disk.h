@@ -1,0 +1,173 @@
+// The richly-featured Ursa client (§5.1): the portal that turns a VM's block
+// requests into the replication protocol.
+//
+// Responsibilities, matching the paper:
+//   * striping (§3.4): logical offsets interleave across a striping group of
+//     chunks at a fixed stripe unit; large requests fan out to many chunks
+//     and complete out of order, joined per user request;
+//   * per-chunk write ordering: writes to one chunk carry consecutive version
+//     numbers and are pipelined one-at-a-time (the "lock contention" that
+//     makes Fig. 9's sequential-write IOPS much lower than reads);
+//   * client-directed replication (§3.2): writes <= Tc go to all replicas in
+//     parallel from the client; larger writes are primary-driven (Fig. 5);
+//   * commit rule (§4.1): all-success, or majority-after-timeout;
+//   * primary switching and failure reporting (§4.2): on timeout the client
+//     retries against a backup as temporary primary and notifies the master,
+//     refreshing the layout after the view change;
+//   * the client process event loop is a single-threaded resource — its
+//     per-request cost is the client-side CPU term of Fig. 7.
+#ifndef URSA_CLIENT_VIRTUAL_DISK_H_
+#define URSA_CLIENT_VIRTUAL_DISK_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/histogram.h"
+#include "src/common/rate_limiter.h"
+
+namespace ursa::client {
+
+struct VirtualDiskClientOptions {
+  Nanos request_timeout = msec(800);   // per-attempt replica timeout
+  int max_attempts = 4;                // retries across primary switches
+  uint64_t tiny_write_threshold = cluster::kTinyWriteThreshold;  // Tc
+  bool client_directed = true;         // Ursa replicates tiny writes itself
+  Nanos commit_timeout = msec(200);    // majority-commit authorization delay
+  Nanos loop_issue_cost = usec(4);     // client event-loop CPU per issue
+  Nanos loop_complete_cost = usec(3);  // and per completion
+  Nanos vmm_overhead = usec(55);       // NBD/QEMU fixed path cost (each way)
+  // Per-byte client-side cost (NBD socket + VMM copies), charged on the
+  // event loop with the sub-request that carries the bytes (~2.9 GB/s).
+  double loop_byte_cost_ns = 0.35;
+};
+
+struct ClientStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t read_bytes = 0;
+  uint64_t write_bytes = 0;
+  uint64_t retries = 0;
+  uint64_t throttled_writes = 0;
+  uint64_t primary_switches = 0;
+  uint64_t failures_reported = 0;
+  Histogram read_latency_us;
+  Histogram write_latency_us;
+};
+
+class VirtualDisk {
+ public:
+  VirtualDisk(cluster::Cluster* cluster, cluster::Machine* host, cluster::ClientId client_id,
+              const VirtualDiskClientOptions& options = {});
+
+  // Opens the disk: acquires the lease, fetches the layout, confirms per-
+  // chunk versions with the replicas (initialization protocol, §4.2.1).
+  Status Open(cluster::DiskId disk);
+  Status Close();
+
+  uint64_t size() const { return meta_.size; }
+  bool is_open() const { return open_; }
+
+  // Async block I/O. Offsets/lengths must be 512-byte aligned. Buffers (when
+  // non-null) must outlive the callback.
+  void Read(uint64_t offset, uint64_t length, void* out, storage::IoCallback done);
+  void Write(uint64_t offset, uint64_t length, const void* data, storage::IoCallback done);
+
+  ClientStats& stats() { return stats_; }
+  const ClientStats& stats() const { return stats_; }
+
+  // Client event-loop busy time (client-side CPU for Fig. 7).
+  Nanos loop_busy_time() const { return loop_->busy_time(); }
+  void ResetLoopStats() { loop_->ResetStats(); }
+
+  // Re-reads the layout from the master (after a view change).
+  void RefreshLayout();
+
+  cluster::ClientId client_id() const { return client_id_; }
+
+  // ---- Online client upgrade (§5.2, core/shell split) ----
+  // Stops accepting new I/O from the VMM, completes pending requests, saves
+  // state, swaps in the new core, and resumes buffered I/O. The VMM's
+  // connection (here: the caller's view of the object) never drops.
+  void Upgrade(const std::string& version, Nanos swap_window, std::function<void()> done);
+  const std::string& software_version() const { return software_version_; }
+  bool upgrading() const { return upgrading_; }
+
+  // ---- Master-imposed rate limit (§3.2) ----
+  // Caps the client's WRITE rate; 0 = unlimited. The master applies this to
+  // clients aggressive enough to threaten journal quotas.
+  void SetWriteRateLimit(double ops_per_sec) { write_limiter_.SetRate(ops_per_sec); }
+  double write_rate_limit() const { return write_limiter_.rate(); }
+
+ private:
+  struct SubRequest {
+    size_t chunk_index = 0;
+    uint64_t chunk_offset = 0;
+    uint64_t length = 0;
+    uint64_t user_offset = 0;  // offset within the user buffer
+  };
+
+  struct PendingWrite {
+    std::function<void()> fn;
+    uint64_t bytes = 0;  // payload size, for the per-byte loop cost
+  };
+
+  struct ChunkState {
+    uint64_t version = 0;
+    size_t primary = 0;  // index into layout replicas
+    std::deque<PendingWrite> write_queue;
+    bool write_inflight = false;
+  };
+
+  // Maps a logical byte range to per-chunk sub-requests (striping).
+  std::vector<SubRequest> SplitRequest(uint64_t offset, uint64_t length) const;
+
+  void IssueRead(const SubRequest& sub, void* out, int attempt, storage::IoCallback done);
+  void IssueWrite(const SubRequest& sub, const void* data, int attempt,
+                  storage::IoCallback done);
+  void IssueWriteAttempt(const SubRequest& sub, const void* data, int attempt,
+                         storage::IoCallback done);
+  void ClientDirectedWrite(const SubRequest& sub, const void* data, int attempt,
+                           storage::IoCallback done);
+  void PrimaryDrivenWrite(const SubRequest& sub, const void* data, int attempt,
+                          storage::IoCallback done);
+
+  // Failure path: switch primaries / report to the master / resync, then
+  // retry via `retry`.
+  void HandleAttemptFailure(const SubRequest& sub, const Status& status, int attempt,
+                            storage::IoCallback done, std::function<void()> retry);
+
+  void PumpWriteQueue(size_t chunk_index);
+
+  const cluster::ChunkLayout& Layout(size_t chunk_index) const {
+    return meta_.chunks[chunk_index];
+  }
+  cluster::ChunkServer* Server(cluster::ServerId id) { return cluster_->server(id); }
+
+  sim::Simulator* sim_;
+  cluster::Cluster* cluster_;
+  cluster::Machine* host_;
+  cluster::ClientId client_id_;
+  VirtualDiskClientOptions options_;
+  std::unique_ptr<sim::Resource> loop_;  // single-threaded client process
+
+  bool open_ = false;
+  cluster::DiskMeta meta_;  // client's copy of the layout
+  std::vector<ChunkState> chunk_states_;
+  ClientStats stats_;
+
+  // Upgrade machinery (§5.2).
+  bool upgrading_ = false;
+  std::string software_version_ = "v1";
+  uint64_t inflight_user_ops_ = 0;
+  std::vector<std::function<void()>> paused_ops_;
+
+  // Master-imposed write throttle (§3.2).
+  RateLimiter write_limiter_;
+};
+
+}  // namespace ursa::client
+
+#endif  // URSA_CLIENT_VIRTUAL_DISK_H_

@@ -1,0 +1,280 @@
+#include "src/cluster/chunk_server.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace ursa::cluster {
+
+ChunkServer::ChunkServer(sim::Simulator* sim, net::Transport* transport, Machine* machine,
+                         ServerId id, storage::ChunkStore* store,
+                         journal::JournalManager* journal_manager, bool on_ssd,
+                         const ChunkServerConfig& config)
+    : sim_(sim),
+      transport_(transport),
+      machine_(machine),
+      id_(id),
+      store_(store),
+      journal_manager_(journal_manager),
+      on_ssd_(on_ssd),
+      config_(config) {}
+
+Status ChunkServer::AllocateChunk(ChunkId chunk, uint64_t view) {
+  URSA_RETURN_IF_ERROR(store_->Allocate(chunk));
+  states_[chunk] = ReplicaState{0, view};
+  return OkStatus();
+}
+
+Status ChunkServer::FreeChunk(ChunkId chunk) {
+  URSA_RETURN_IF_ERROR(store_->Free(chunk));
+  states_.erase(chunk);
+  return OkStatus();
+}
+
+Result<ChunkServer::ReplicaState> ChunkServer::GetState(ChunkId chunk) const {
+  auto it = states_.find(chunk);
+  if (it == states_.end()) {
+    return NotFound("no such chunk replica");
+  }
+  return it->second;
+}
+
+void ChunkServer::SetState(ChunkId chunk, uint64_t version, uint64_t view) {
+  states_[chunk] = ReplicaState{version, view};
+}
+
+void ChunkServer::BackupWrite(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t version,
+                              const void* data, storage::IoCallback done) {
+  if (journal_manager_ != nullptr) {
+    journal_manager_->Write(chunk, offset, length, version, data, std::move(done));
+  } else {
+    store_->Write(chunk, offset, length, data, std::move(done));
+  }
+}
+
+void ChunkServer::BackupRead(ChunkId chunk, uint64_t offset, uint64_t length, void* out,
+                             storage::IoCallback done) {
+  if (journal_manager_ != nullptr) {
+    journal_manager_->Read(chunk, offset, length, out, std::move(done));
+  } else {
+    store_->Read(chunk, offset, length, out, std::move(done));
+  }
+}
+
+void ChunkServer::HandleRead(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t view,
+                             uint64_t expected_version, void* out, ReadCallback done_arg) {
+  if (crashed_ || draining_) {
+    return;  // silence; the client's timeout machinery reacts
+  }
+  auto done = TrackOp(std::move(done_arg));
+  machine_->BurnCpu(config_.cpu.server_background);
+  machine_->RunOnCpu(config_.cpu.server_op, [this, chunk, offset, length, view, expected_version,
+                                             out, done = std::move(done)]() mutable {
+    auto it = states_.find(chunk);
+    if (it == states_.end()) {
+      done(NotFound("chunk not hosted here"), 0);
+      return;
+    }
+    const ReplicaState& st = it->second;
+    if (st.view != view) {
+      done(VersionMismatch("stale view"), st.version);
+      return;
+    }
+    if (st.version < expected_version) {
+      // Stale replica: it has not executed writes the client already knows
+      // committed. A replica AHEAD of the client's number is fine — the disk
+      // has a single writer (§4.1), so any newer version is this client's own
+      // pipelined write, already committed or in flight from this client.
+      done(VersionMismatch("replica version is stale"), st.version);
+      return;
+    }
+    ++reads_served_;
+    uint64_t version = st.version;
+    auto io_done = [done = std::move(done), version](const Status& s) { done(s, version); };
+    if (on_ssd_ && journal_manager_ == nullptr) {
+      store_->Read(chunk, offset, length, out, std::move(io_done));
+    } else {
+      BackupRead(chunk, offset, length, out, std::move(io_done));
+    }
+  });
+}
+
+void ChunkServer::HandleWrite(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t view,
+                              uint64_t version, const void* data, std::vector<ReplicaRef> backups,
+                              WriteCallback done_arg) {
+  if (crashed_ || draining_) {
+    return;
+  }
+  auto done = TrackOp(std::move(done_arg));
+  machine_->BurnCpu(config_.cpu.server_background);
+  machine_->RunOnCpu(config_.cpu.server_op + config_.cpu.server_write_extra,
+                     [this, chunk, offset, length, view, version, data,
+                      backups = std::move(backups), done = std::move(done)]() mutable {
+    auto it = states_.find(chunk);
+    if (it == states_.end()) {
+      done(NotFound("chunk not hosted here"), 0);
+      return;
+    }
+    ReplicaState& st = it->second;
+    if (st.view != view) {
+      done(VersionMismatch("stale view"), st.version);
+      return;
+    }
+    bool skip_local = false;
+    if (version == st.version) {
+      // Normal case: execute locally and advance the version.
+      st.version = version + 1;
+    } else if (version + 1 == st.version) {
+      // Already executed (client retry after partial failure): skip the
+      // local write but still forward to backups (§4.2.1).
+      skip_local = true;
+    } else {
+      done(VersionMismatch("version gap; repair required"), st.version);
+      return;
+    }
+    ++writes_served_;
+    uint64_t new_version = version + 1;
+    journal_lite_.Record(chunk, new_version, offset, length);
+
+    int total = 1 + static_cast<int>(backups.size());
+    int majority = total / 2 + 1;
+    auto tracker = std::make_shared<net::QuorumTracker>(
+        total, majority,
+        [done = std::move(done), new_version](const Status& s, int, int) {
+          done(s, new_version);
+        });
+    // Authorize majority commit after the timeout (§4.1 step 6).
+    sim::EventId timeout_event =
+        sim_->After(config_.majority_commit_timeout, [tracker]() { tracker->TimeoutExpired(); });
+    auto leg = [this, tracker, timeout_event](const Status& s) {
+      if (s.ok()) {
+        tracker->RecordSuccess();
+      } else {
+        tracker->RecordFailure();
+      }
+      if (tracker->decided()) {
+        sim_->Cancel(timeout_event);
+      }
+    };
+
+    // Local chunk write (LCW).
+    if (skip_local) {
+      sim_->After(0, [leg]() { leg(OkStatus()); });
+    } else if (journal_manager_ != nullptr) {
+      BackupWrite(chunk, offset, length, new_version, data, leg);
+    } else {
+      store_->Write(chunk, offset, length, data, leg);
+    }
+
+    // Parallel replication to backups over the network.
+    for (const ReplicaRef& backup : backups) {
+      uint64_t wire = net::WireBytes(net::MessageType::kReplicate, length);
+      transport_->Send(node(), backup.node, wire,
+                       [this, backup, chunk, offset, length, view, version, data, leg]() {
+                         ChunkServer* server = resolver_(backup.server);
+                         if (server == nullptr) {
+                           leg(Unavailable("backup server gone"));
+                           return;
+                         }
+                         server->HandleReplicate(
+                             chunk, offset, length, view, version, data,
+                             [this, backup, leg](const Status& s, uint64_t) {
+                               // Reply travels back over the network.
+                               uint64_t rwire =
+                                   net::WireBytes(net::MessageType::kReplicateReply);
+                               transport_->Send(backup.node, node(), rwire,
+                                                [leg, s]() { leg(s); });
+                             });
+                       });
+    }
+  });
+}
+
+void ChunkServer::HandleReplicate(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t view,
+                                  uint64_t version, const void* data, WriteCallback done_arg) {
+  if (crashed_ || draining_) {
+    return;
+  }
+  auto done = TrackOp(std::move(done_arg));
+  machine_->BurnCpu(config_.cpu.server_background);
+  machine_->RunOnCpu(
+      config_.cpu.server_op + config_.cpu.replicate_op + config_.cpu.server_write_extra,
+      [this, chunk, offset, length, view, version, data, done = std::move(done)]() mutable {
+        auto it = states_.find(chunk);
+        if (it == states_.end()) {
+          done(NotFound("chunk not hosted here"), 0);
+          return;
+        }
+        ReplicaState& st = it->second;
+        if (st.view != view) {
+          done(VersionMismatch("stale view"), st.version);
+          return;
+        }
+        if (version + 1 == st.version) {
+          done(OkStatus(), st.version);  // duplicate delivery
+          return;
+        }
+        if (version != st.version) {
+          done(VersionMismatch("version gap; repair required"), st.version);
+          return;
+        }
+        st.version = version + 1;
+        ++replicates_served_;
+        uint64_t new_version = st.version;
+        journal_lite_.Record(chunk, new_version, offset, length);
+        BackupWrite(chunk, offset, length, new_version, data,
+                    [done = std::move(done), new_version](const Status& s) {
+                      done(s, new_version);
+                    });
+      });
+}
+
+void ChunkServer::HandleVersionQuery(ChunkId chunk, StateCallback done) {
+  if (crashed_ || draining_) {
+    return;
+  }
+  machine_->RunOnCpu(config_.cpu.server_op, [this, chunk, done = std::move(done)]() mutable {
+    auto it = states_.find(chunk);
+    if (it == states_.end()) {
+      done(NotFound("chunk not hosted here"), ReplicaState{});
+      return;
+    }
+    done(OkStatus(), it->second);
+  });
+}
+
+void ChunkServer::HandleRecoveryRead(ChunkId chunk, uint64_t offset, uint64_t length, void* out,
+                                     ReadCallback done) {
+  if (crashed_) {
+    return;
+  }
+  machine_->RunOnCpu(config_.cpu.server_op, [this, chunk, offset, length, out,
+                                             done = std::move(done)]() mutable {
+    auto it = states_.find(chunk);
+    if (it == states_.end()) {
+      done(NotFound("chunk not hosted here"), 0);
+      return;
+    }
+    uint64_t version = it->second.version;
+    BackupRead(chunk, offset, length, out,
+               [done = std::move(done), version](const Status& s) { done(s, version); });
+  });
+}
+
+void ChunkServer::HandleRecoveryWrite(ChunkId chunk, uint64_t offset, uint64_t length,
+                                      const void* data, storage::IoCallback done) {
+  if (crashed_) {
+    return;
+  }
+  machine_->RunOnCpu(config_.cpu.server_op,
+                     [this, chunk, offset, length, data, done = std::move(done)]() mutable {
+                       if (!store_->Contains(chunk)) {
+                         done(NotFound("recovery target chunk not allocated"));
+                         return;
+                       }
+                       store_->Write(chunk, offset, length, data, std::move(done));
+                     });
+}
+
+}  // namespace ursa::cluster

@@ -1,0 +1,174 @@
+// Chunk server: stores chunk replicas on one disk and executes the
+// replication protocol's server side (§4.2).
+//
+// A primary-capable server fronts an SSD ChunkStore; a backup server fronts
+// an HDD ChunkStore through a JournalManager (hybrid mode) or a plain store
+// (SSD-only / HDD-only modes). Servers are stateless toward clients beyond
+// per-chunk {version, view} numbers; write requests carry the replica list,
+// so any replica can act as primary for a request (the temporary-primary
+// switch of §4.2.1 needs no reconfiguration).
+//
+// Every handled message charges the hosting machine's CPU, which is what the
+// Fig. 7 per-core efficiency experiment measures.
+#ifndef URSA_CLUSTER_CHUNK_SERVER_H_
+#define URSA_CLUSTER_CHUNK_SERVER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/machine.h"
+#include "src/cluster/types.h"
+#include "src/journal/journal_lite.h"
+#include "src/journal/journal_manager.h"
+#include "src/net/message.h"
+#include "src/net/rpc.h"
+#include "src/net/transport.h"
+
+namespace ursa::cluster {
+
+struct ChunkServerConfig {
+  CpuCosts cpu;
+  // Wait before committing on a bare majority (§4.1 step 6). In the normal
+  // case all replicas reply far sooner and the timeout is cancelled.
+  Nanos majority_commit_timeout = msec(200);
+};
+
+// Resolves a ServerId to the in-process server object (set up by Cluster).
+using ServerResolver = std::function<class ChunkServer*(ServerId)>;
+
+class ChunkServer {
+ public:
+  ChunkServer(sim::Simulator* sim, net::Transport* transport, Machine* machine, ServerId id,
+              storage::ChunkStore* store, journal::JournalManager* journal_manager,
+              bool on_ssd, const ChunkServerConfig& config);
+
+  ServerId id() const { return id_; }
+  net::NodeId node() const { return machine_->node(); }
+  Machine* machine() const { return machine_; }
+  bool on_ssd() const { return on_ssd_; }
+  storage::ChunkStore* store() const { return store_; }
+  journal::JournalManager* journal_manager() const { return journal_manager_; }
+  void set_resolver(ServerResolver resolver) { resolver_ = std::move(resolver); }
+
+  // ---- Control plane (master-invoked, no network modelling) ----
+
+  struct ReplicaState {
+    uint64_t version = 0;
+    uint64_t view = 0;
+  };
+
+  Status AllocateChunk(ChunkId chunk, uint64_t view);
+  Status FreeChunk(ChunkId chunk);
+  bool HasChunk(ChunkId chunk) const { return states_.find(chunk) != states_.end(); }
+  Result<ReplicaState> GetState(ChunkId chunk) const;
+  void SetState(ChunkId chunk, uint64_t version, uint64_t view);
+
+  // Fault injection: a crashed server drops every message (clients time out).
+  void SetCrashed(bool crashed) { crashed_ = crashed; }
+  bool crashed() const { return crashed_; }
+
+  // Hot-upgrade support (§5.2): a draining server has closed its service
+  // port — new requests are dropped (clients retry elsewhere / later) while
+  // in-flight ones complete. `inflight_ops` counts admitted-but-unfinished
+  // requests; the UpgradeCoordinator polls it before swapping processes.
+  void SetDraining(bool draining) { draining_ = draining; }
+  bool draining() const { return draining_; }
+  uint64_t inflight_ops() const { return inflight_ops_; }
+  const std::string& software_version() const { return software_version_; }
+  void set_software_version(const std::string& v) { software_version_ = v; }
+
+  // ---- Data plane (invoked at this machine after transport delivery) ----
+
+  using ReadCallback = std::function<void(const Status&, uint64_t version)>;
+  using WriteCallback = std::function<void(const Status&, uint64_t new_version)>;
+
+  // Serves a read; `expected_version` must match the replica's state (§4.1:
+  // any replica with a matching version number may serve reads).
+  void HandleRead(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t view,
+                  uint64_t expected_version, void* out, ReadCallback done);
+
+  // Primary-driven write (Fig. 5): version/view checks, local chunk write,
+  // parallel REPLICATE to `backups`, commit on all-success or
+  // majority-after-timeout; replies with the new version.
+  void HandleWrite(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t view,
+                   uint64_t version, const void* data, std::vector<ReplicaRef> backups,
+                   WriteCallback done);
+
+  // Backup-side replication (also the per-replica leg of client-directed
+  // tiny writes, §3.2): journal append in hybrid mode, direct write
+  // otherwise.
+  void HandleReplicate(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t view,
+                       uint64_t version, const void* data, WriteCallback done);
+
+  // Initialization protocol: report {version, view} for a chunk.
+  using StateCallback = std::function<void(const Status&, ReplicaState)>;
+  void HandleVersionQuery(ChunkId chunk, StateCallback done);
+
+  // Recovery read: newest data regardless of version (journal-aware on
+  // backups); reports the replica's version alongside.
+  void HandleRecoveryRead(ChunkId chunk, uint64_t offset, uint64_t length, void* out,
+                          ReadCallback done);
+
+  // Recovery write at the transfer target (no version checks; the master
+  // installs {version, view} via SetState once the copy completes).
+  void HandleRecoveryWrite(ChunkId chunk, uint64_t offset, uint64_t length, const void* data,
+                           storage::IoCallback done);
+
+  // Incremental repair support: ranges of `chunk` modified after `version`,
+  // from this replica's journal lite; false => history lost, full copy.
+  bool ModifiedSince(ChunkId chunk, uint64_t version, std::vector<Interval>* out) const {
+    return journal_lite_.ModifiedSince(chunk, version, out);
+  }
+
+  // ---- Stats ----
+  uint64_t reads_served() const { return reads_served_; }
+  uint64_t writes_served() const { return writes_served_; }
+  uint64_t replicates_served() const { return replicates_served_; }
+
+ private:
+  // Writes through the journal manager when present, else the plain store.
+  void BackupWrite(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t version,
+                   const void* data, storage::IoCallback done);
+  void BackupRead(ChunkId chunk, uint64_t offset, uint64_t length, void* out,
+                  storage::IoCallback done);
+
+  sim::Simulator* sim_;
+  net::Transport* transport_;
+  Machine* machine_;
+  ServerId id_;
+  storage::ChunkStore* store_;
+  journal::JournalManager* journal_manager_;  // null for non-journaled roles
+  bool on_ssd_;
+  ChunkServerConfig config_;
+  ServerResolver resolver_;
+  std::map<ChunkId, ReplicaState> states_;
+  // Wraps a completion so inflight_ops_ tracks admitted requests. The
+  // callback is held behind a shared_ptr so the wrapper stays copyable and
+  // const-invocable inside nested non-mutable lambdas.
+  template <typename Callback>
+  auto TrackOp(Callback done) {
+    ++inflight_ops_;
+    auto held = std::make_shared<Callback>(std::move(done));
+    return [this, held](auto&&... args) {
+      --inflight_ops_;
+      (*held)(std::forward<decltype(args)>(args)...);
+    };
+  }
+
+  journal::JournalLite journal_lite_;
+  bool crashed_ = false;
+  bool draining_ = false;
+  uint64_t inflight_ops_ = 0;
+  std::string software_version_ = "v1";
+
+  uint64_t reads_served_ = 0;
+  uint64_t writes_served_ = 0;
+  uint64_t replicates_served_ = 0;
+};
+
+}  // namespace ursa::cluster
+
+#endif  // URSA_CLUSTER_CHUNK_SERVER_H_

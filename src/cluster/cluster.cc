@@ -1,0 +1,195 @@
+#include "src/cluster/cluster.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace ursa::cluster {
+
+Cluster::Cluster(sim::Simulator* sim, const ClusterConfig& config)
+    : sim_(sim), config_(config) {
+  transport_ = std::make_unique<net::Transport>(sim);
+
+  primary_pool_.resize(config.machines);
+  backup_pool_.resize(config.machines);
+
+  for (int m = 0; m < config.machines; ++m) {
+    machines_.push_back(std::make_unique<Machine>(sim, transport_.get(),
+                                                  static_cast<MachineId>(m), config.machine));
+    Machine* machine = machines_.back().get();
+    switch (config.mode) {
+      case StorageMode::kHybrid:
+        BuildHybridMachine(machine);
+        break;
+      case StorageMode::kSsdOnly:
+        BuildFlatMachine(machine, /*on_ssd=*/true);
+        break;
+      case StorageMode::kHddOnly:
+        BuildFlatMachine(machine, /*on_ssd=*/false);
+        break;
+    }
+  }
+
+  std::vector<ChunkServer*> server_ptrs;
+  server_ptrs.reserve(servers_.size());
+  for (auto& s : servers_) {
+    server_ptrs.push_back(s.get());
+  }
+  master_ = std::make_unique<Master>(sim, transport_.get(),
+                                     Placement(primary_pool_, backup_pool_), server_ptrs);
+  master_->set_chunk_size(config.chunk_size);
+
+  // Servers resolve each other through the registry (replication fan-out).
+  for (auto& s : servers_) {
+    s->set_resolver([this](ServerId id) -> ChunkServer* {
+      if (id >= servers_.size()) {
+        return nullptr;
+      }
+      ChunkServer* server = servers_[id].get();
+      return server->crashed() ? nullptr : server;
+    });
+  }
+
+  for (journal::JournalManager* jm : journal_manager_ptrs_) {
+    jm->StartReplay();
+  }
+}
+
+Cluster::~Cluster() = default;
+
+ChunkServer* Cluster::MakeServer(Machine* machine, storage::ChunkStore* store,
+                                 journal::JournalManager* jm, bool on_ssd) {
+  auto server = std::make_unique<ChunkServer>(sim_, transport_.get(), machine,
+                                              static_cast<ServerId>(servers_.size()), store, jm,
+                                              on_ssd, config_.server);
+  servers_.push_back(std::move(server));
+  return servers_.back().get();
+}
+
+void Cluster::BuildHybridMachine(Machine* machine) {
+  MachineId m = machine->id();
+  int nssd = machine->num_ssds();
+  int nhdd = machine->num_hdds();
+  URSA_CHECK_GT(nssd, 0);
+  URSA_CHECK_GT(nhdd, 0);
+
+  // Journal regions live at the top of each SSD: the quota (1/10 capacity)
+  // is split among the backup HDDs journaling to that SSD (primary regions)
+  // plus the ones expanding to it.
+  uint64_t ssd_capacity = machine->ssd(0).capacity();
+  uint64_t quota = static_cast<uint64_t>(static_cast<double>(ssd_capacity) *
+                                         config_.journal_quota_fraction);
+  int regions_per_ssd = (nhdd + nssd - 1) / nssd;  // primary regions
+  if (config_.enable_expansion_journal) {
+    regions_per_ssd *= 2;
+  }
+  uint64_t region_bytes = quota / regions_per_ssd;
+  region_bytes -= region_bytes % journal::kSector;
+  uint64_t chunk_region = ssd_capacity - quota;
+
+  // One primary-capable server per SSD.
+  std::vector<storage::ChunkStore*> ssd_stores;
+  for (int i = 0; i < nssd; ++i) {
+    stores_.push_back(std::make_unique<storage::ChunkStore>(&machine->ssd(i),
+                                                            config_.chunk_size, 0, chunk_region));
+    ssd_stores.push_back(stores_.back().get());
+    ChunkServer* server = MakeServer(machine, ssd_stores.back(), nullptr, /*on_ssd=*/true);
+    primary_pool_[m].push_back(server->id());
+  }
+
+  // One backup server per HDD with a journal manager.
+  std::vector<uint64_t> ssd_journal_cursor(nssd, chunk_region);
+  for (int k = 0; k < nhdd; ++k) {
+    storage::HddModel& hdd = machine->hdd(k);
+    uint64_t hdd_journal = config_.enable_hdd_journal ? config_.hdd_journal_bytes : 0;
+    stores_.push_back(std::make_unique<storage::ChunkStore>(
+        &hdd, config_.chunk_size, hdd_journal, hdd.capacity() - hdd_journal));
+    storage::ChunkStore* backup_store = stores_.back().get();
+
+    auto jm = std::make_unique<journal::JournalManager>(sim_, backup_store, config_.journal);
+
+    int primary_ssd = k % nssd;
+    if (config_.journal_primary_on_ssd) {
+      jm->AddJournal(std::make_unique<journal::JournalWriter>(
+                         sim_, &machine->ssd(primary_ssd), ssd_journal_cursor[primary_ssd],
+                         region_bytes, machine->name() + "/j-ssd" + std::to_string(primary_ssd)),
+                     /*on_hdd=*/false);
+      ssd_journal_cursor[primary_ssd] += region_bytes;
+    }
+
+    if (config_.journal_primary_on_ssd && config_.enable_expansion_journal && nssd > 1) {
+      int expansion_ssd = (k + 1) % nssd;
+      jm->AddJournal(
+          std::make_unique<journal::JournalWriter>(
+              sim_, &machine->ssd(expansion_ssd), ssd_journal_cursor[expansion_ssd],
+              region_bytes, machine->name() + "/j-exp" + std::to_string(expansion_ssd)),
+          /*on_hdd=*/false);
+      ssd_journal_cursor[expansion_ssd] += region_bytes;
+    }
+
+    if (config_.enable_hdd_journal) {
+      // As an overflow journal it is replayed only when the disk is idle
+      // (§3.2); as the PRIMARY journal (ablation) it replays continuously,
+      // contending with appends on the same arm — the cost §3.2 avoids.
+      jm->AddJournal(std::make_unique<journal::JournalWriter>(
+                         sim_, &hdd, 0, hdd_journal,
+                         machine->name() + "/j-hdd" + std::to_string(k)),
+                     /*on_hdd=*/config_.journal_primary_on_ssd);
+    }
+
+    journal_manager_ptrs_.push_back(jm.get());
+    journal_managers_.push_back(std::move(jm));
+    ChunkServer* server =
+        MakeServer(machine, backup_store, journal_manager_ptrs_.back(), /*on_ssd=*/false);
+    backup_pool_[m].push_back(server->id());
+  }
+}
+
+void Cluster::BuildFlatMachine(Machine* machine, bool on_ssd) {
+  MachineId m = machine->id();
+  int ndisks = on_ssd ? machine->num_ssds() : machine->num_hdds();
+  URSA_CHECK_GT(ndisks, 0);
+  for (int i = 0; i < ndisks; ++i) {
+    storage::BlockDevice* device =
+        on_ssd ? static_cast<storage::BlockDevice*>(&machine->ssd(i))
+               : static_cast<storage::BlockDevice*>(&machine->hdd(i));
+    stores_.push_back(std::make_unique<storage::ChunkStore>(device, config_.chunk_size));
+    ChunkServer* server = MakeServer(machine, stores_.back().get(), nullptr, on_ssd);
+    primary_pool_[m].push_back(server->id());
+    backup_pool_[m].push_back(server->id());
+  }
+}
+
+Machine* Cluster::AddClientMachine(int cores) {
+  MachineConfig cfg = config_.machine;
+  cfg.cores = cores;
+  cfg.ssds = 0;
+  cfg.hdds = 0;
+  client_machines_.push_back(std::make_unique<Machine>(
+      sim_, transport_.get(),
+      static_cast<MachineId>(1000 + client_machines_.size()), cfg));
+  return client_machines_.back().get();
+}
+
+void Cluster::CrashServer(ServerId id) {
+  URSA_CHECK_LT(id, servers_.size());
+  servers_[id]->SetCrashed(true);
+}
+
+void Cluster::RestoreServer(ServerId id) {
+  URSA_CHECK_LT(id, servers_.size());
+  servers_[id]->SetCrashed(false);
+}
+
+Nanos Cluster::TotalCpuBusyTime() const {
+  Nanos total = 0;
+  for (const auto& machine : machines_) {
+    total += machine->cpu().busy_time();
+  }
+  for (const auto& machine : client_machines_) {
+    total += machine->cpu().busy_time();
+  }
+  return total;
+}
+
+}  // namespace ursa::cluster

@@ -1,0 +1,99 @@
+// Cluster builder: constructs machines, carves SSDs into chunk + journal
+// regions, wires chunk servers and journal managers per storage mode, and
+// instantiates the master.
+//
+// Hybrid mode (§3.2): one primary-capable server per SSD (chunk region =
+// capacity minus the 1/10 journal quota); one backup server per HDD whose
+// JournalManager gets, in preference order, a journal region on a co-located
+// SSD, an expansion region on the next SSD, and an HDD journal region
+// reserved at the front of its own HDD.
+// SSD-only: one server per SSD, in both the primary and backup pools, no
+// journals. HDD-only: likewise on HDDs.
+#ifndef URSA_CLUSTER_CLUSTER_H_
+#define URSA_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cluster/chunk_server.h"
+#include "src/cluster/machine.h"
+#include "src/cluster/master.h"
+#include "src/cluster/types.h"
+
+namespace ursa::cluster {
+
+struct ClusterConfig {
+  int machines = 3;
+  MachineConfig machine;
+  StorageMode mode = StorageMode::kHybrid;
+  ChunkServerConfig server;
+  journal::JournalManagerOptions journal;
+  double journal_quota_fraction = 0.1;  // of SSD capacity (§3.2)
+  uint64_t hdd_journal_bytes = 4 * kGiB;
+  uint64_t chunk_size = storage::kDefaultChunkSize;
+  bool enable_hdd_journal = true;
+  bool enable_expansion_journal = true;
+  // Ablation knob: place the primary journal on the backup HDD itself
+  // instead of a co-located SSD (§3.2 argues SSD placement; this measures
+  // what it buys).
+  bool journal_primary_on_ssd = true;
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Simulator* sim, const ClusterConfig& config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Simulator* simulator() { return sim_; }
+  net::Transport& transport() { return *transport_; }
+  Master& master() { return *master_; }
+  Machine& machine(size_t i) { return *machines_[i]; }
+  size_t num_machines() const { return machines_.size(); }
+  ChunkServer* server(ServerId id) { return servers_[id].get(); }
+  size_t num_servers() const { return servers_.size(); }
+  const ClusterConfig& config() const { return config_; }
+
+  // A diskless machine for clients (VMM hosts). Returned pointer is owned by
+  // the cluster.
+  Machine* AddClientMachine(int cores = 16);
+
+  // Crash / restore a server (fault injection used by tests and Fig. 11/12).
+  void CrashServer(ServerId id);
+  void RestoreServer(ServerId id);
+
+  // Aggregate CPU busy time across all cluster machines (Fig. 7 accounting).
+  Nanos TotalCpuBusyTime() const;
+
+  // Journal managers in creation order (backup servers only; empty in
+  // SSD-only / HDD-only modes).
+  const std::vector<journal::JournalManager*>& journal_managers() const {
+    return journal_manager_ptrs_;
+  }
+
+ private:
+  void BuildHybridMachine(Machine* machine);
+  void BuildFlatMachine(Machine* machine, bool on_ssd);
+
+  ChunkServer* MakeServer(Machine* machine, storage::ChunkStore* store,
+                          journal::JournalManager* jm, bool on_ssd);
+
+  sim::Simulator* sim_;
+  ClusterConfig config_;
+  std::unique_ptr<net::Transport> transport_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  std::vector<std::unique_ptr<Machine>> client_machines_;
+  std::vector<std::unique_ptr<storage::ChunkStore>> stores_;
+  std::vector<std::unique_ptr<journal::JournalManager>> journal_managers_;
+  std::vector<journal::JournalManager*> journal_manager_ptrs_;
+  std::vector<std::unique_ptr<ChunkServer>> servers_;
+  std::vector<std::vector<ServerId>> primary_pool_;  // per machine
+  std::vector<std::vector<ServerId>> backup_pool_;   // per machine
+  std::unique_ptr<Master> master_;
+};
+
+}  // namespace ursa::cluster
+
+#endif  // URSA_CLUSTER_CLUSTER_H_

@@ -1,0 +1,66 @@
+#include "src/cluster/failure_injector.h"
+
+namespace ursa::cluster {
+
+const char* ComponentKindName(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kHdd:
+      return "HDD";
+    case ComponentKind::kSsd:
+      return "SSD";
+    case ComponentKind::kRam:
+      return "RAM";
+    case ComponentKind::kPower:
+      return "Power";
+    case ComponentKind::kCpu:
+      return "CPU";
+    case ComponentKind::kOther:
+      return "Other";
+  }
+  return "?";
+}
+
+namespace {
+uint64_t PoissonCount(double mean, Rng* rng) {
+  // Knuth's algorithm is fine for the small per-device means involved.
+  if (mean <= 0) {
+    return 0;
+  }
+  double l = std::exp(-mean);
+  uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng->NextDouble();
+  } while (p > l);
+  return k - 1;
+}
+}  // namespace
+
+FleetFailureCounts SimulateFleetFailures(const FleetModel& model, int machines, double years,
+                                         Rng* rng) {
+  FleetFailureCounts out;
+  struct Component {
+    ComponentKind kind;
+    double afr;
+    int per_machine;
+  };
+  const Component components[] = {
+      {ComponentKind::kHdd, model.hdd_afr, model.hdds_per_machine},
+      {ComponentKind::kSsd, model.ssd_afr, model.ssds_per_machine},
+      {ComponentKind::kRam, model.ram_afr, model.ram_per_machine},
+      {ComponentKind::kPower, model.power_afr, model.power_per_machine},
+      {ComponentKind::kCpu, model.cpu_afr, model.cpu_per_machine},
+      {ComponentKind::kOther, model.other_afr, model.other_per_machine},
+  };
+  for (int m = 0; m < machines; ++m) {
+    for (const Component& c : components) {
+      for (int d = 0; d < c.per_machine; ++d) {
+        out.counts[static_cast<int>(c.kind)] += PoissonCount(c.afr * years, rng);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ursa::cluster

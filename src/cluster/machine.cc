@@ -1,0 +1,21 @@
+#include "src/cluster/machine.h"
+
+namespace ursa::cluster {
+
+Machine::Machine(sim::Simulator* sim, net::Transport* transport, MachineId id,
+                 const MachineConfig& config)
+    : sim_(sim), id_(id), name_("m" + std::to_string(id)) {
+  node_ = transport->AddNode(name_, config.net);
+  cpu_ = std::make_unique<sim::Resource>(sim, name_ + "/cpu", config.cores);
+  ssds_.reserve(config.ssds);
+  for (int i = 0; i < config.ssds; ++i) {
+    ssds_.push_back(std::make_unique<storage::SsdModel>(sim, config.ssd,
+                                                        name_ + "/ssd" + std::to_string(i)));
+  }
+  hdds_.reserve(config.hdds);
+  for (int i = 0; i < config.hdds; ++i) {
+    hdds_.push_back(std::make_unique<storage::HddModel>(sim, config.hdd));
+  }
+}
+
+}  // namespace ursa::cluster

@@ -1,0 +1,521 @@
+#include "src/cluster/master.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/net/message.h"
+
+namespace ursa::cluster {
+
+Master::Master(sim::Simulator* sim, net::Transport* transport, Placement placement,
+               std::vector<ChunkServer*> servers)
+    : sim_(sim),
+      transport_(transport),
+      placement_(std::move(placement)),
+      servers_(std::move(servers)) {}
+
+Result<DiskId> Master::CreateDisk(const std::string& name, uint64_t size, int replication,
+                                  int stripe_group) {
+  if (size == 0 || replication < 1 || stripe_group < 1) {
+    return InvalidArgument("bad disk parameters");
+  }
+  DiskMeta meta;
+  meta.id = next_disk_id_++;
+  meta.name = name;
+  meta.size = size;
+  meta.replication = replication;
+  meta.stripe_group = stripe_group;
+  meta.chunk_size = chunk_size_;
+
+  uint64_t num_chunks = (size + meta.chunk_size - 1) / meta.chunk_size;
+  // Striping (§3.4) addresses whole groups; round the chunk count up so the
+  // last group is complete (the extra capacity is simply allocated).
+  uint64_t group = static_cast<uint64_t>(stripe_group);
+  num_chunks = (num_chunks + group - 1) / group * group;
+  meta.chunks.reserve(num_chunks);
+  for (uint64_t seq = 0; seq < num_chunks; ++seq) {
+    Result<std::vector<ServerId>> servers =
+        placement_.PlaceChunk(seq, replication, meta.id * 7919);
+    if (!servers.ok()) {
+      return servers.status();
+    }
+    ChunkLayout layout;
+    layout.chunk = next_chunk_id_++;
+    layout.view = 1;
+    for (ServerId sid : *servers) {
+      ChunkServer* server = servers_[sid];
+      Status s = server->AllocateChunk(layout.chunk, layout.view);
+      if (!s.ok()) {
+        return s;
+      }
+      layout.replicas.push_back(ReplicaRef{sid, server->node(), server->on_ssd()});
+    }
+    chunk_refs_[layout.chunk] = ChunkRef{meta.id, seq};
+    meta.chunks.push_back(std::move(layout));
+  }
+  DiskId id = meta.id;
+  disks_[id] = std::move(meta);
+  return id;
+}
+
+Result<const DiskMeta*> Master::OpenDisk(DiskId disk, ClientId client) {
+  auto it = disks_.find(disk);
+  if (it == disks_.end()) {
+    return NotFound("no such disk");
+  }
+  DiskMeta& meta = it->second;
+  Nanos now = sim_->Now();
+  if (meta.lease_holder != 0 && meta.lease_holder != client && meta.lease_expiry > now) {
+    return Unavailable("disk leased by another client");
+  }
+  meta.lease_holder = client;
+  meta.lease_expiry = now + lease_term_;
+  return &meta;
+}
+
+Status Master::RenewLease(DiskId disk, ClientId client) {
+  auto it = disks_.find(disk);
+  if (it == disks_.end()) {
+    return NotFound("no such disk");
+  }
+  DiskMeta& meta = it->second;
+  if (meta.lease_holder != client) {
+    return Unavailable("lease held by another client");
+  }
+  meta.lease_expiry = sim_->Now() + lease_term_;
+  return OkStatus();
+}
+
+Status Master::CloseDisk(DiskId disk, ClientId client) {
+  auto it = disks_.find(disk);
+  if (it == disks_.end()) {
+    return NotFound("no such disk");
+  }
+  if (it->second.lease_holder == client) {
+    it->second.lease_holder = 0;
+    it->second.lease_expiry = 0;
+  }
+  return OkStatus();
+}
+
+Result<const DiskMeta*> Master::GetDisk(DiskId disk) const {
+  auto it = disks_.find(disk);
+  if (it == disks_.end()) {
+    return NotFound("no such disk");
+  }
+  return &it->second;
+}
+
+Master::Checkpoint Master::TakeCheckpoint() const {
+  Checkpoint cp;
+  cp.disks = disks_;
+  cp.next_disk_id = next_disk_id_;
+  cp.next_chunk_id = next_chunk_id_;
+  return cp;
+}
+
+void Master::Restore(const Checkpoint& checkpoint) {
+  disks_ = checkpoint.disks;
+  next_disk_id_ = checkpoint.next_disk_id;
+  next_chunk_id_ = checkpoint.next_chunk_id;
+  // Rebuild the chunk index; leases are deliberately NOT restored — clients
+  // re-acquire them after a master restart (their timing constraints make
+  // interleaving impossible, §4.1).
+  chunk_refs_.clear();
+  for (auto& [disk_id, meta] : disks_) {
+    meta.lease_holder = 0;
+    meta.lease_expiry = 0;
+    for (size_t i = 0; i < meta.chunks.size(); ++i) {
+      chunk_refs_[meta.chunks[i].chunk] = ChunkRef{disk_id, i};
+    }
+  }
+}
+
+ChunkLayout* Master::FindLayout(ChunkId chunk) {
+  auto ref = chunk_refs_.find(chunk);
+  if (ref == chunk_refs_.end()) {
+    return nullptr;
+  }
+  return &disks_[ref->second.disk].chunks[ref->second.index];
+}
+
+void Master::TransferChunk(ChunkId chunk, ChunkServer* source, ChunkServer* target,
+                           uint64_t chunk_size, std::function<void(Status, uint64_t)> done) {
+  // Sliding window of `recovery_window_` pieces, each `recovery_piece_`
+  // bytes: read at the source (journal-aware), ship over the network, write
+  // at the target. Saturates the target's inbound NIC when sources are fast
+  // enough — the Fig. 12 bound.
+  struct State {
+    uint64_t next_offset = 0;
+    uint64_t completed = 0;
+    uint64_t total_pieces = 0;
+    uint64_t source_version = 0;
+    bool failed = false;
+    std::function<void(Status, uint64_t)> done;
+  };
+  auto st = std::make_shared<State>();
+  st->total_pieces = (chunk_size + recovery_piece_ - 1) / recovery_piece_;
+  st->done = std::move(done);
+
+  auto pump = std::make_shared<std::function<void()>>();
+  *pump = [this, chunk, source, target, chunk_size, st, pump]() {
+    if (st->failed) {
+      return;
+    }
+    while (st->next_offset < chunk_size &&
+           (st->next_offset / recovery_piece_) - st->completed <
+               static_cast<uint64_t>(recovery_window_)) {
+      uint64_t offset = st->next_offset;
+      uint64_t len = std::min(recovery_piece_, chunk_size - offset);
+      st->next_offset += len;
+      std::shared_ptr<std::vector<uint8_t>> buf;
+      if (recovery_carries_data_) {
+        buf = std::make_shared<std::vector<uint8_t>>(len);
+      }
+      void* buf_ptr = buf ? buf->data() : nullptr;
+      source->HandleRecoveryRead(
+          chunk, offset, len, buf_ptr,
+          [this, chunk, source, target, offset, len, st, pump, buf](const Status& s,
+                                                                    uint64_t version) {
+            if (st->failed) {
+              return;
+            }
+            if (!s.ok()) {
+              st->failed = true;
+              st->done(s, 0);
+              return;
+            }
+            st->source_version = std::max(st->source_version, version);
+            uint64_t wire = net::WireBytes(net::MessageType::kRecoveryData, len);
+            transport_->Send(source->node(), target->node(), wire,
+                             [this, chunk, target, offset, len, st, pump, buf]() {
+                               target->HandleRecoveryWrite(
+                                   chunk, offset, len, buf ? buf->data() : nullptr,
+                                   [this, len, st, pump, buf](const Status& s2) {
+                                     if (st->failed) {
+                                       return;
+                                     }
+                                     if (!s2.ok()) {
+                                       st->failed = true;
+                                       st->done(s2, 0);
+                                       return;
+                                     }
+                                     ++st->completed;
+                                     recovery_stats_.bytes_transferred += len;
+                                     if (st->completed == st->total_pieces) {
+                                       st->done(OkStatus(), st->source_version);
+                                     } else {
+                                       (*pump)();
+                                     }
+                                   });
+                             });
+          });
+    }
+  };
+  (*pump)();
+}
+
+void Master::TransferRanges(ChunkId chunk, ChunkServer* source, ChunkServer* target,
+                            std::vector<Interval> ranges, std::function<void(Status)> done) {
+  if (ranges.empty()) {
+    sim_->After(0, [done = std::move(done)]() { done(OkStatus()); });
+    return;
+  }
+  auto remaining = std::make_shared<size_t>(ranges.size());
+  auto failed = std::make_shared<bool>(false);
+  auto done_shared = std::make_shared<std::function<void(Status)>>(std::move(done));
+  for (const Interval& range : ranges) {
+    std::shared_ptr<std::vector<uint8_t>> buf;
+    if (recovery_carries_data_) {
+      buf = std::make_shared<std::vector<uint8_t>>(range.length);
+    }
+    void* buf_ptr = buf ? buf->data() : nullptr;
+    source->HandleRecoveryRead(
+        chunk, range.offset, range.length, buf_ptr,
+        [this, chunk, source, target, range, remaining, failed, done_shared,
+         buf](const Status& s, uint64_t) {
+          if (*failed) {
+            return;
+          }
+          if (!s.ok()) {
+            *failed = true;
+            (*done_shared)(s);
+            return;
+          }
+          uint64_t wire = net::WireBytes(net::MessageType::kRecoveryData, range.length);
+          transport_->Send(
+              source->node(), target->node(), wire,
+              [this, chunk, target, range, remaining, failed, done_shared, buf]() {
+                target->HandleRecoveryWrite(
+                    chunk, range.offset, range.length, buf ? buf->data() : nullptr,
+                    [this, range, remaining, failed, done_shared, buf](const Status& s2) {
+                      if (*failed) {
+                        return;
+                      }
+                      if (!s2.ok()) {
+                        *failed = true;
+                        (*done_shared)(s2);
+                        return;
+                      }
+                      recovery_stats_.bytes_transferred += range.length;
+                      if (--*remaining == 0) {
+                        (*done_shared)(OkStatus());
+                      }
+                    });
+              });
+        });
+  }
+}
+
+void Master::ReportReplicaFailure(ChunkId chunk, ServerId failed,
+                                  std::function<void(Status)> done) {
+  ChunkLayout* layout = FindLayout(chunk);
+  if (layout == nullptr) {
+    done(NotFound("unknown chunk"));
+    return;
+  }
+  auto ref = chunk_refs_.find(chunk);
+  const DiskMeta& disk = disks_[ref->second.disk];
+
+  // Verify the suspicion before acting (§4.2.2: Ursa deliberately avoids
+  // declaring replicas dead on a timeout alone). A client timeout can stem
+  // from transient slowness or from a DIFFERENT stale replica failing the
+  // quorum; replacing a healthy replica would discard its (possibly
+  // freshest) data. If the suspect responds, repair lagging replicas
+  // instead of changing the view.
+  if (failed < servers_.size() && !servers_[failed]->crashed()) {
+    auto remaining = std::make_shared<size_t>(layout->replicas.size());
+    auto done_shared = std::make_shared<std::function<void(Status)>>(std::move(done));
+    for (const ReplicaRef& r : layout->replicas) {
+      RepairReplica(chunk, r.server, [remaining, done_shared](Status) {
+        if (--*remaining == 0) {
+          (*done_shared)(OkStatus());
+        }
+      });
+    }
+    return;
+  }
+
+  // Collect survivors and their versions (the master "tries to collect
+  // version numbers from a majority of replicas", §4.2.2).
+  std::vector<ReplicaRef> survivors;
+  bool failed_was_primary_capable = false;
+  for (const ReplicaRef& r : layout->replicas) {
+    if (r.server == failed) {
+      failed_was_primary_capable = r.on_ssd;
+      continue;
+    }
+    if (!servers_[r.server]->crashed()) {
+      survivors.push_back(r);
+    }
+  }
+  if (survivors.empty()) {
+    done(Unavailable("no surviving replica: data loss"));
+    return;
+  }
+
+  uint64_t version_h = 0;
+  ChunkServer* source = nullptr;
+  for (const ReplicaRef& r : survivors) {
+    Result<ChunkServer::ReplicaState> st = servers_[r.server]->GetState(chunk);
+    if (st.ok() && st->version >= version_h) {
+      // Prefer an SSD-hosted source at equal versions (faster reads).
+      if (st->version > version_h || source == nullptr || r.on_ssd) {
+        version_h = st->version;
+        source = servers_[r.server];
+      }
+    }
+  }
+  if (source == nullptr) {
+    done(Unavailable("no readable survivor"));
+    return;
+  }
+
+  // Allocate the replacement on a machine hosting no survivor.
+  std::vector<MachineId> exclude;
+  for (const ReplicaRef& r : survivors) {
+    exclude.push_back(placement_.MachineOf(r.server));
+  }
+  ChunkServer* target = nullptr;
+  for (uint64_t salt = chunk; salt < chunk + num_servers(); ++salt) {
+    Result<ServerId> candidate =
+        placement_.PlaceReplacement(failed_was_primary_capable, exclude, salt);
+    if (!candidate.ok()) {
+      continue;
+    }
+    ChunkServer* server = servers_[*candidate];
+    // Never reuse the failed server or any server already hosting the chunk
+    // (possible on small clusters where every machine holds a survivor).
+    if (*candidate != failed && !server->crashed() && !server->HasChunk(chunk)) {
+      target = server;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    done(ResourceExhausted("no replacement server available"));
+    return;
+  }
+  uint64_t new_view = layout->view + 1;
+  Status alloc = target->AllocateChunk(chunk, new_view);
+  if (!alloc.ok()) {
+    done(alloc);
+    return;
+  }
+
+  uint64_t chunk_size = disk.chunk_size;
+  ChunkServer* source_ptr = source;
+  TransferChunk(
+      chunk, source, target, chunk_size,
+      [this, chunk, layout, failed, source_ptr, target, new_view, version_h, chunk_size,
+       done = std::move(done)](const Status& s, uint64_t) {
+        if (!s.ok()) {
+          done(s);
+          return;
+        }
+        // Before installing the new view, bring every LAGGING survivor up to
+        // versionH with real data (incremental repair from the source's
+        // journal lite, or a full copy when history is gone) — a bare
+        // version fast-forward would hide lost writes.
+        auto laggards = std::make_shared<std::vector<ChunkServer*>>();
+        for (const ReplicaRef& r : layout->replicas) {
+          if (r.server == failed || servers_[r.server]->crashed()) {
+            continue;
+          }
+          Result<ChunkServer::ReplicaState> st = servers_[r.server]->GetState(chunk);
+          if (st.ok() && st->version < version_h) {
+            laggards->push_back(servers_[r.server]);
+          }
+        }
+        auto finish = [this, chunk, layout, failed, target, new_view, version_h,
+                       done = std::move(done)]() {
+          // Install the new view. Writes kept committing during the
+          // transfer, so survivors may have advanced past versionH — never
+          // move a replica's version backward, only adopt the new view.
+          target->SetState(chunk, version_h, new_view);
+          for (ReplicaRef& r : layout->replicas) {
+            if (r.server == failed) {
+              r = ReplicaRef{target->id(), target->node(), target->on_ssd()};
+            } else {
+              Result<ChunkServer::ReplicaState> st = servers_[r.server]->GetState(chunk);
+              if (st.ok()) {
+                servers_[r.server]->SetState(chunk, std::max(st->version, version_h),
+                                             new_view);
+              }
+            }
+          }
+          layout->view = new_view;
+          // Keep the preferred primary first (an SSD replica if any).
+          std::stable_sort(layout->replicas.begin(), layout->replicas.end(),
+                           [](const ReplicaRef& a, const ReplicaRef& b) {
+                             return a.on_ssd && !b.on_ssd;
+                           });
+          ++recovery_stats_.chunks_recovered;
+          ++recovery_stats_.view_changes;
+          done(OkStatus());
+        };
+        if (laggards->empty()) {
+          finish();
+          return;
+        }
+        auto remaining = std::make_shared<size_t>(laggards->size());
+        auto finish_shared = std::make_shared<std::function<void()>>(std::move(finish));
+        for (ChunkServer* laggard : *laggards) {
+          Result<ChunkServer::ReplicaState> st = laggard->GetState(chunk);
+          uint64_t from_version = st.ok() ? st->version : 0;
+          std::vector<Interval> ranges;
+          auto on_done = [remaining, finish_shared](Status) {
+            if (--*remaining == 0) {
+              (*finish_shared)();
+            }
+          };
+          if (source_ptr->ModifiedSince(chunk, from_version, &ranges)) {
+            ++recovery_stats_.incremental_repairs;
+            TransferRanges(chunk, source_ptr, laggard, std::move(ranges), on_done);
+          } else {
+            ++recovery_stats_.full_copies;
+            TransferChunk(chunk, source_ptr, laggard, chunk_size,
+                          [on_done](Status s2, uint64_t) { on_done(s2); });
+          }
+        }
+      });
+}
+
+void Master::RepairChunkReplicas(ChunkId chunk) {
+  ChunkLayout* layout = FindLayout(chunk);
+  if (layout == nullptr) {
+    return;
+  }
+  for (const ReplicaRef& r : layout->replicas) {
+    if (!servers_[r.server]->crashed()) {
+      RepairReplica(chunk, r.server, [](Status) {});
+    }
+  }
+}
+
+void Master::RepairReplica(ChunkId chunk, ServerId lagging, std::function<void(Status)> done) {
+  ChunkLayout* layout = FindLayout(chunk);
+  if (layout == nullptr) {
+    done(NotFound("unknown chunk"));
+    return;
+  }
+  ChunkServer* laggard = servers_[lagging];
+  Result<ChunkServer::ReplicaState> lag_state = laggard->GetState(chunk);
+  if (!lag_state.ok()) {
+    done(lag_state.status());
+    return;
+  }
+
+  // Find the freshest peer.
+  uint64_t version_h = lag_state->version;
+  ChunkServer* source = nullptr;
+  for (const ReplicaRef& r : layout->replicas) {
+    if (r.server == lagging || servers_[r.server]->crashed()) {
+      continue;
+    }
+    Result<ChunkServer::ReplicaState> st = servers_[r.server]->GetState(chunk);
+    if (st.ok() && st->version > version_h) {
+      version_h = st->version;
+      source = servers_[r.server];
+    }
+  }
+  if (source == nullptr) {
+    done(OkStatus());  // already up to date
+    return;
+  }
+
+  auto ref = chunk_refs_.find(chunk);
+  uint64_t chunk_size = disks_[ref->second.disk].chunk_size;
+  uint64_t target_version = version_h;
+  uint64_t view = layout->view;
+
+  // The laggard may receive replications while the repair transfer runs;
+  // never move its version backward when installing the repaired state.
+  auto install = [laggard, chunk, target_version, view](const Status& s) {
+    if (s.ok()) {
+      Result<ChunkServer::ReplicaState> now = laggard->GetState(chunk);
+      uint64_t v = now.ok() ? std::max(now->version, target_version) : target_version;
+      laggard->SetState(chunk, v, view);
+    }
+  };
+  std::vector<Interval> ranges;
+  if (source->ModifiedSince(chunk, lag_state->version, &ranges)) {
+    ++recovery_stats_.incremental_repairs;
+    TransferRanges(chunk, source, laggard, std::move(ranges),
+                   [install, done = std::move(done)](Status s) {
+                     install(s);
+                     done(s);
+                   });
+  } else {
+    // History GC'd: transfer the whole chunk (§4.2.1).
+    ++recovery_stats_.full_copies;
+    TransferChunk(chunk, source, laggard, chunk_size,
+                  [install, done = std::move(done)](Status s, uint64_t) {
+                    install(s);
+                    done(s);
+                  });
+  }
+}
+
+}  // namespace ursa::cluster

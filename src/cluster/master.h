@@ -1,0 +1,152 @@
+// The global master (§3.1): virtual-disk metadata, chunk placement, leases,
+// and failure recovery (view change, §4.2.2).
+//
+// The master is deliberately off the normal I/O path — clients talk to it
+// only for disk create/open, lease renewal, and failure reports — so its
+// operations are modelled as direct in-process calls (their cost is not part
+// of any measured data path, matching the paper's design goal).
+#ifndef URSA_CLUSTER_MASTER_H_
+#define URSA_CLUSTER_MASTER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/chunk_server.h"
+#include "src/cluster/placement.h"
+#include "src/cluster/types.h"
+#include "src/net/transport.h"
+
+namespace ursa::cluster {
+
+using ClientId = uint64_t;
+
+struct DiskMeta {
+  DiskId id = 0;
+  std::string name;
+  uint64_t size = 0;
+  int replication = 3;
+  int stripe_group = 2;          // chunks per striping group (§3.4)
+  uint64_t stripe_unit = 512 * kKiB;  // interleaving granularity
+  uint64_t chunk_size = storage::kDefaultChunkSize;
+  std::vector<ChunkLayout> chunks;
+
+  // Lease state (§4.1): at most one client holds a disk at a time.
+  ClientId lease_holder = 0;
+  Nanos lease_expiry = 0;
+};
+
+struct RecoveryStats {
+  uint64_t chunks_recovered = 0;
+  uint64_t bytes_transferred = 0;
+  uint64_t incremental_repairs = 0;
+  uint64_t full_copies = 0;
+  uint64_t view_changes = 0;
+};
+
+class Master {
+ public:
+  Master(sim::Simulator* sim, net::Transport* transport, Placement placement,
+         std::vector<ChunkServer*> servers);
+
+  // ---- Virtual disk management ----
+
+  Result<DiskId> CreateDisk(const std::string& name, uint64_t size, int replication,
+                            int stripe_group);
+
+  // Grants (or renews) the lease and returns the disk's layout. Fails with
+  // kUnavailable when another client holds an unexpired lease.
+  Result<const DiskMeta*> OpenDisk(DiskId disk, ClientId client);
+  Status RenewLease(DiskId disk, ClientId client);
+  Status CloseDisk(DiskId disk, ClientId client);
+
+  Result<const DiskMeta*> GetDisk(DiskId disk) const;
+
+  // ---- Failure handling (§4.2.2) ----
+
+  // Client-reported replica failure: allocate a replacement, transfer the
+  // newest data (from the survivor with the highest version among a majority),
+  // incremental-repair lagging survivors, then bump the chunk's view.
+  // `done` runs when the new view is installed.
+  void ReportReplicaFailure(ChunkId chunk, ServerId failed, std::function<void(Status)> done);
+
+  // Incremental repair of a lagging replica using a peer's journal lite
+  // (§4.2.1); falls back to a full chunk copy when history is gone.
+  void RepairReplica(ChunkId chunk, ServerId lagging, std::function<void(Status)> done);
+
+  // Repairs every lagging replica of `chunk` toward the freshest alive one
+  // (fire-and-forget; used when a client reports a degraded commit).
+  void RepairChunkReplicas(ChunkId chunk);
+
+  // ---- Master recovery (§4.2.2: "the master is recovered first") ----
+  // The master's durable state is its metadata; a restart restores the
+  // checkpoint and re-verifies replica versions lazily through the normal
+  // repair paths (chunk state lives on the chunk servers, GFS-style).
+  struct Checkpoint {
+    std::map<DiskId, DiskMeta> disks;
+    DiskId next_disk_id = 1;
+    ChunkId next_chunk_id = 1;
+  };
+  Checkpoint TakeCheckpoint() const;
+  void Restore(const Checkpoint& checkpoint);
+
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+  ChunkServer* server(ServerId id) const { return servers_[id]; }
+  size_t num_servers() const { return servers_.size(); }
+  const Placement& placement() const { return placement_; }
+
+  // Lease term granted to clients.
+  Nanos lease_term() const { return lease_term_; }
+  void set_lease_term(Nanos term) { lease_term_ = term; }
+
+  // Chunk size for newly created disks (set by Cluster from its config).
+  uint64_t chunk_size() const { return chunk_size_; }
+  void set_chunk_size(uint64_t size) { chunk_size_ = size; }
+
+  // Transfer piece size and window for recovery copies.
+  void set_recovery_piece(uint64_t bytes) { recovery_piece_ = bytes; }
+  void set_recovery_window(int pieces) { recovery_window_ = pieces; }
+
+  // Whether recovery transfers carry real bytes (default) or model timing
+  // only (large-scale benchmarks, where materializing chunk contents in the
+  // page stores would waste memory).
+  void set_recovery_carries_data(bool v) { recovery_carries_data_ = v; }
+
+ private:
+  struct ChunkRef {
+    DiskId disk;
+    size_t index;  // position in DiskMeta::chunks
+  };
+
+  // Copies [0, chunk_size) of `chunk` from `source` to `target` over the
+  // network in pieces; `done` runs with the source's version on success.
+  void TransferChunk(ChunkId chunk, ChunkServer* source, ChunkServer* target,
+                     uint64_t chunk_size, std::function<void(Status, uint64_t)> done);
+
+  // Copies specific ranges (incremental repair).
+  void TransferRanges(ChunkId chunk, ChunkServer* source, ChunkServer* target,
+                      std::vector<Interval> ranges, std::function<void(Status)> done);
+
+  ChunkLayout* FindLayout(ChunkId chunk);
+
+  sim::Simulator* sim_;
+  net::Transport* transport_;
+  Placement placement_;
+  std::vector<ChunkServer*> servers_;
+  std::map<DiskId, DiskMeta> disks_;
+  std::map<ChunkId, ChunkRef> chunk_refs_;
+  DiskId next_disk_id_ = 1;
+  ChunkId next_chunk_id_ = 1;
+  Nanos lease_term_ = sec(30);
+  uint64_t chunk_size_ = storage::kDefaultChunkSize;
+  uint64_t recovery_piece_ = 1 * kMiB;
+  int recovery_window_ = 8;
+  bool recovery_carries_data_ = true;
+  RecoveryStats recovery_stats_;
+};
+
+}  // namespace ursa::cluster
+
+#endif  // URSA_CLUSTER_MASTER_H_

@@ -1,0 +1,97 @@
+#include "src/cluster/placement.h"
+
+#include "src/common/logging.h"
+
+namespace ursa::cluster {
+
+Placement::Placement(std::vector<std::vector<ServerId>> primary_servers,
+                     std::vector<std::vector<ServerId>> backup_servers)
+    : primary_servers_(std::move(primary_servers)), backup_servers_(std::move(backup_servers)) {
+  URSA_CHECK_EQ(primary_servers_.size(), backup_servers_.size());
+  URSA_CHECK_GT(primary_servers_.size(), 0u);
+  primary_cursor_.assign(primary_servers_.size(), 0);
+  backup_cursor_.assign(backup_servers_.size(), 0);
+}
+
+Result<std::vector<ServerId>> Placement::PlaceChunk(uint64_t chunk_seq, int replication,
+                                                    uint64_t salt) const {
+  size_t machines = primary_servers_.size();
+  if (static_cast<size_t>(replication) > machines) {
+    return ResourceExhausted("replication factor exceeds machine count");
+  }
+  std::vector<ServerId> out;
+  out.reserve(replication);
+
+  // Rotate the starting machine per chunk so consecutive chunks of a striping
+  // group spread across machines; the per-machine cursor rotates through the
+  // machine's disks so chunks of one group never share a disk.
+  size_t m0 = (chunk_seq + salt) % machines;
+
+  const std::vector<ServerId>& primaries = primary_servers_[m0];
+  if (primaries.empty()) {
+    return ResourceExhausted("no primary-capable server on machine");
+  }
+  out.push_back(primaries[primary_cursor_[m0]++ % primaries.size()]);
+
+  for (int r = 1; r < replication; ++r) {
+    size_t m = (m0 + r) % machines;
+    const std::vector<ServerId>& backups = backup_servers_[m];
+    if (backups.empty()) {
+      return ResourceExhausted("no backup server on machine");
+    }
+    out.push_back(backups[backup_cursor_[m]++ % backups.size()]);
+  }
+  return out;
+}
+
+Result<ServerId> Placement::PlaceReplacement(bool like_primary,
+                                             const std::vector<MachineId>& exclude,
+                                             uint64_t salt) const {
+  size_t machines = primary_servers_.size();
+  for (size_t i = 0; i < machines; ++i) {
+    MachineId m = static_cast<MachineId>((salt + i) % machines);
+    bool excluded = false;
+    for (MachineId e : exclude) {
+      if (e == m) {
+        excluded = true;
+        break;
+      }
+    }
+    if (excluded) {
+      continue;
+    }
+    const auto& pool = like_primary ? primary_servers_[m] : backup_servers_[m];
+    if (!pool.empty()) {
+      return pool[salt % pool.size()];
+    }
+  }
+  // Fall back to any machine (co-location beats data loss), e.g. the paper's
+  // small-testbed recovery to the SSD co-located with the failed one (§6.2).
+  for (size_t i = 0; i < machines; ++i) {
+    MachineId m = static_cast<MachineId>((salt + i) % machines);
+    const auto& pool = like_primary ? primary_servers_[m] : backup_servers_[m];
+    if (!pool.empty()) {
+      return pool[(salt + 1) % pool.size()];
+    }
+  }
+  return ResourceExhausted("no replacement server available");
+}
+
+MachineId Placement::MachineOf(ServerId server) const {
+  for (size_t m = 0; m < primary_servers_.size(); ++m) {
+    for (ServerId s : primary_servers_[m]) {
+      if (s == server) {
+        return static_cast<MachineId>(m);
+      }
+    }
+    for (ServerId s : backup_servers_[m]) {
+      if (s == server) {
+        return static_cast<MachineId>(m);
+      }
+    }
+  }
+  URSA_LOG(FATAL) << "unknown server " << server;
+  return 0;
+}
+
+}  // namespace ursa::cluster

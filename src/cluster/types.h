@@ -1,0 +1,59 @@
+// Shared identifiers and protocol types for the Ursa cluster.
+#ifndef URSA_CLUSTER_TYPES_H_
+#define URSA_CLUSTER_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/storage/chunk_store.h"
+
+namespace ursa::cluster {
+
+using MachineId = uint32_t;
+using ServerId = uint32_t;  // cluster-global chunk-server index
+using DiskId = uint64_t;    // virtual disk id
+using storage::ChunkId;
+
+// Replica placement mode (§6: SSD-HDD-hybrid vs SSD-only vs HDD-only).
+enum class StorageMode { kHybrid, kSsdOnly, kHddOnly };
+
+// Per-request CPU service costs (one core-time slice per event). These are
+// the calibrated "software overhead" scalars separating Ursa from the
+// baselines in Fig. 7; see core/params.h for the derivations.
+struct CpuCosts {
+  Nanos client_op = usec(7);     // client-side cost per I/O request
+  Nanos server_op = usec(9);     // chunk-server critical-path cost per request
+  Nanos replicate_op = usec(4);  // extra cost per backup replication
+  // Additional critical-path cost for WRITE execution (journaling /
+  // double-write overheads of FileStore-class backends; ~0 for Ursa).
+  Nanos server_write_extra = 0;
+  // CPU burned per request in parallel worker threads: occupies cores (and
+  // thus counts against per-core efficiency, Fig. 7) without extending the
+  // request's latency. Near zero for Ursa; large for Ceph-class software.
+  Nanos server_background = 0;
+};
+
+class ChunkServer;
+
+// One replica of a chunk as seen in the cluster layout.
+struct ReplicaRef {
+  ServerId server = 0;
+  uint32_t node = 0;       // transport NodeId of the hosting machine
+  bool on_ssd = false;     // primary-capable
+};
+
+// Layout of one chunk: replica set plus the view number that versioned it.
+struct ChunkLayout {
+  ChunkId chunk = 0;
+  uint64_t view = 0;
+  std::vector<ReplicaRef> replicas;  // replicas[0] is the preferred primary
+};
+
+// Protocol constants (§3.2).
+inline constexpr uint64_t kTinyWriteThreshold = 8 * kKiB;    // Tc: client-directed
+inline constexpr uint64_t kJournalBypassThreshold = 64 * kKiB;  // Tj
+
+}  // namespace ursa::cluster
+
+#endif  // URSA_CLUSTER_TYPES_H_

@@ -1,0 +1,76 @@
+// Online component upgrade (§5.2).
+//
+// Ursa evolves in place: clients, chunk servers, and the master are upgraded
+// one process at a time while the cluster keeps serving I/O.
+//
+//   * Chunk-server hot upgrade: the server (i) closes its service port and
+//     stops accepting new requests, (ii) waits for in-flight requests to
+//     complete, (iii) starts the new version, (iv) health-checks it. On
+//     success the old process exits and clients reconnect; on failure the
+//     old process re-opens its port and keeps serving (rollback).
+//   * Client upgrade (core/shell split): the core stops accepting I/O from
+//     the VMM, completes pending requests, saves its state to the shell, and
+//     the shell starts the new core, which resumes from the saved state —
+//     the VMM's connection never drops.
+//   * Incremental rollout: one process at a time, confirming each before the
+//     next; backward compatibility lets mixed versions coexist.
+//
+// The simulator models upgrades at the same fidelity as the rest of the
+// control plane: draining is real (requests admitted before the upgrade
+// complete; requests arriving during the swap window are dropped exactly as
+// a closed port drops them, and client timeouts/retries mask the blip).
+#ifndef URSA_CLUSTER_UPGRADE_H_
+#define URSA_CLUSTER_UPGRADE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+
+namespace ursa::cluster {
+
+struct UpgradeReport {
+  int upgraded = 0;
+  int rolled_back = 0;
+  std::vector<std::string> log;
+};
+
+// Orchestrates §5.2's incremental rollout across a cluster's chunk servers.
+class UpgradeCoordinator {
+ public:
+  UpgradeCoordinator(sim::Simulator* sim, Cluster* cluster) : sim_(sim), cluster_(cluster) {}
+
+  // Hot-upgrades one chunk server to `version`. `health_check` decides
+  // whether the new process comes up correctly (step iv); on false the old
+  // version keeps serving. `done(true)` = upgraded, `done(false)` = rolled
+  // back.
+  void UpgradeServer(ServerId server, const std::string& version,
+                     std::function<bool()> health_check, std::function<void(bool)> done);
+
+  // Upgrades every chunk server, strictly one at a time, confirming each
+  // before starting the next (§5.2 "incremental upgrade"); servers whose
+  // health check fails are rolled back and counted, and the rollout
+  // continues.
+  void UpgradeAllServers(const std::string& version, std::function<bool(ServerId)> health_check,
+                         std::function<void(UpgradeReport)> done);
+
+  // Time a server waits for in-flight requests before swapping processes.
+  void set_drain_poll(Nanos poll) { drain_poll_ = poll; }
+  // Duration of the swap window (new process start + port handover).
+  void set_swap_window(Nanos window) { swap_window_ = window; }
+
+ private:
+  void DrainThenSwap(ServerId server, const std::string& version,
+                     std::function<bool()> health_check, std::function<void(bool)> done,
+                     int polls_left);
+
+  sim::Simulator* sim_;
+  Cluster* cluster_;
+  Nanos drain_poll_ = msec(10);
+  Nanos swap_window_ = msec(50);
+};
+
+}  // namespace ursa::cluster
+
+#endif  // URSA_CLUSTER_UPGRADE_H_

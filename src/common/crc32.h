@@ -1,0 +1,15 @@
+// CRC32C (Castagnoli) — protects journal records against torn writes.
+#ifndef URSA_COMMON_CRC32_H_
+#define URSA_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ursa {
+
+// CRC32C over [data, data+len), continuing from `seed` (0 for a fresh CRC).
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace ursa
+
+#endif  // URSA_COMMON_CRC32_H_

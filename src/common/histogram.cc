@@ -1,0 +1,137 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace ursa {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) { Reset(); }
+
+void Histogram::Reset() {
+  count_ = 0;
+  min_ = std::numeric_limits<int64_t>::max();
+  max_ = 0;
+  sum_ = 0;
+  sum_sq_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+int Histogram::BucketFor(int64_t value) {
+  if (value <= 1) {
+    return 0;
+  }
+  int b = static_cast<int>(std::log10(static_cast<double>(value)) * kBucketsPerDecade);
+  return std::min(b, kNumBuckets - 1);
+}
+
+double Histogram::BucketLower(int bucket) {
+  return std::pow(10.0, static_cast<double>(bucket) / kBucketsPerDecade);
+}
+
+double Histogram::BucketUpper(int bucket) {
+  return std::pow(10.0, static_cast<double>(bucket + 1) / kBucketsPerDecade);
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) {
+    value = 0;
+  }
+  ++count_;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  auto v = static_cast<double>(value);
+  sum_ += v;
+  sum_sq_ += v * v;
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+double Histogram::Mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+double Histogram::Stddev() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  double n = static_cast<double>(count_);
+  double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1);
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  auto target = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_));
+  if (target >= count_) {
+    target = count_ - 1;
+  }
+  uint64_t cum = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    if (cum + buckets_[i] > target) {
+      // Interpolate within the bucket.
+      double frac = static_cast<double>(target - cum) / static_cast<double>(buckets_[i]);
+      double lo = BucketLower(i);
+      double hi = BucketUpper(i);
+      double v = lo + frac * (hi - lo);
+      v = std::clamp(v, static_cast<double>(min_), static_cast<double>(max_));
+      return static_cast<int64_t>(v);
+    }
+    cum += buckets_[i];
+  }
+  return max_;
+}
+
+std::vector<std::pair<double, double>> Histogram::Pdf(int bins) const {
+  std::vector<std::pair<double, double>> out;
+  if (count_ == 0 || bins <= 0 || max_ <= min_) {
+    return out;
+  }
+  double width = static_cast<double>(max_ - min_) / bins;
+  std::vector<double> mass(bins, 0.0);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    double center = (BucketLower(i) + BucketUpper(i)) / 2;
+    int bin = static_cast<int>((center - static_cast<double>(min_)) / width);
+    bin = std::clamp(bin, 0, bins - 1);
+    mass[bin] += static_cast<double>(buckets_[i]);
+  }
+  out.reserve(bins);
+  for (int b = 0; b < bins; ++b) {
+    double center = static_cast<double>(min_) + (b + 0.5) * width;
+    out.emplace_back(center, mass[b] / static_cast<double>(count_));
+  }
+  return out;
+}
+
+std::string Histogram::Summary(const std::string& unit) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%.1f%s p50=%lld%s p99=%lld%s max=%lld%s",
+                static_cast<unsigned long long>(count_), Mean(), unit.c_str(),
+                static_cast<long long>(Percentile(50)), unit.c_str(),
+                static_cast<long long>(Percentile(99)), unit.c_str(),
+                static_cast<long long>(max()), unit.c_str());
+  return buf;
+}
+
+}  // namespace ursa

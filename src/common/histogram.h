@@ -1,0 +1,56 @@
+// Latency/size histogram with log-spaced buckets and percentile queries.
+//
+// Used by every benchmark to report mean / p1 / p50 / p99 / p999 latencies and
+// by the metrics module for IOPS-over-time series.
+#ifndef URSA_COMMON_HISTOGRAM_H_
+#define URSA_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ursa {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(int64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return max_; }
+  double Mean() const;
+  double Stddev() const;
+
+  // Value at percentile p in [0, 100]. Returns an interpolated bucket value.
+  int64_t Percentile(double p) const;
+
+  // Probability density over `bins` equal-width bins across [min, max]:
+  // pairs of (bin_center, fraction_of_samples).
+  std::vector<std::pair<double, double>> Pdf(int bins) const;
+
+  // One-line summary: count, mean, p50, p99, max.
+  std::string Summary(const std::string& unit) const;
+
+ private:
+  static constexpr int kBucketsPerDecade = 64;
+  static constexpr int kNumBuckets = 64 * 12;  // covers up to ~1e12
+
+  static int BucketFor(int64_t value);
+  static double BucketLower(int bucket);
+  static double BucketUpper(int bucket);
+
+  uint64_t count_;
+  int64_t min_;
+  int64_t max_;
+  double sum_;
+  double sum_sq_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace ursa
+
+#endif  // URSA_COMMON_HISTOGRAM_H_

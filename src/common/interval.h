@@ -1,0 +1,64 @@
+// Half-open byte interval [offset, offset+length) helpers.
+//
+// Chunk-offset ranges appear everywhere: journal index keys, request
+// splitting, repair ranges. Keeping the intersection/subtraction logic here
+// avoids re-deriving the edge cases in each module.
+#ifndef URSA_COMMON_INTERVAL_H_
+#define URSA_COMMON_INTERVAL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace ursa {
+
+struct Interval {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+
+  uint64_t end() const { return offset + length; }
+  bool empty() const { return length == 0; }
+
+  bool Contains(uint64_t pos) const { return pos >= offset && pos < end(); }
+
+  bool Overlaps(const Interval& other) const {
+    return offset < other.end() && other.offset < end();
+  }
+
+  // The paper's LESS relation over composite keys: x LESS y iff x.end <= y.offset.
+  bool Less(const Interval& other) const { return end() <= other.offset; }
+
+  Interval Intersect(const Interval& other) const {
+    uint64_t lo = std::max(offset, other.offset);
+    uint64_t hi = std::min(end(), other.end());
+    if (hi <= lo) {
+      return {0, 0};
+    }
+    return {lo, hi - lo};
+  }
+
+  bool operator==(const Interval& other) const {
+    return offset == other.offset && length == other.length;
+  }
+};
+
+// this minus other: the 0, 1, or 2 remaining pieces of `a` not covered by `b`.
+inline std::vector<Interval> Subtract(const Interval& a, const Interval& b) {
+  std::vector<Interval> out;
+  Interval isect = a.Intersect(b);
+  if (isect.empty()) {
+    out.push_back(a);
+    return out;
+  }
+  if (isect.offset > a.offset) {
+    out.push_back({a.offset, isect.offset - a.offset});
+  }
+  if (isect.end() < a.end()) {
+    out.push_back({isect.end(), a.end() - isect.end()});
+  }
+  return out;
+}
+
+}  // namespace ursa
+
+#endif  // URSA_COMMON_INTERVAL_H_

@@ -1,0 +1,82 @@
+// Minimal leveled logger.
+//
+// Usage: URSA_LOG(INFO) << "recovered chunk " << id;
+// The default threshold is WARNING so tests and benchmarks stay quiet; raise
+// it with Logger::SetLevel. URSA_CHECK aborts on violated invariants.
+#ifndef URSA_COMMON_LOGGING_H_
+#define URSA_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ursa {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+class Logger {
+ public:
+  static LogLevel level() { return level_; }
+  static void SetLevel(LogLevel level) { level_ = level; }
+
+ private:
+  static LogLevel level_;
+};
+
+// Accumulates one log line and emits it (with level prefix) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the message is below threshold.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+#define URSA_LOG_DEBUG ::ursa::LogLevel::kDebug
+#define URSA_LOG_INFO ::ursa::LogLevel::kInfo
+#define URSA_LOG_WARNING ::ursa::LogLevel::kWarning
+#define URSA_LOG_ERROR ::ursa::LogLevel::kError
+#define URSA_LOG_FATAL ::ursa::LogLevel::kFatal
+
+#define URSA_LOG(severity)                              \
+  (URSA_LOG_##severity < ::ursa::Logger::level())       \
+      ? (void)0                                         \
+      : ::ursa::LogVoidify() &                          \
+            ::ursa::LogMessage(URSA_LOG_##severity, __FILE__, __LINE__).stream()
+
+// Helper allowing the ternary above to have type void.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+#define URSA_CHECK(cond)                                                          \
+  (cond) ? (void)0                                                               \
+         : ::ursa::LogVoidify() & ::ursa::LogMessage(::ursa::LogLevel::kFatal,   \
+                                                     __FILE__, __LINE__)         \
+                                      .stream()                                  \
+               << "Check failed: " #cond " "
+
+#define URSA_CHECK_EQ(a, b) URSA_CHECK((a) == (b))
+#define URSA_CHECK_NE(a, b) URSA_CHECK((a) != (b))
+#define URSA_CHECK_LE(a, b) URSA_CHECK((a) <= (b))
+#define URSA_CHECK_LT(a, b) URSA_CHECK((a) < (b))
+#define URSA_CHECK_GE(a, b) URSA_CHECK((a) >= (b))
+#define URSA_CHECK_GT(a, b) URSA_CHECK((a) > (b))
+
+}  // namespace ursa
+
+#endif  // URSA_COMMON_LOGGING_H_

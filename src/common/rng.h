@@ -1,0 +1,92 @@
+// Deterministic fast PRNG (xoshiro256**) plus common variates.
+//
+// Simulation runs must be reproducible, so every stochastic component takes an
+// explicit Rng seeded by the experiment harness; nothing reads global entropy.
+#ifndef URSA_COMMON_RNG_H_
+#define URSA_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace ursa {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t* s = state_;
+    uint64_t result = Rotl(s[1] * 5, 7) * 9;
+    uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = Rotl(s[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) { return lo + Uniform(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean) {
+    double u = NextDouble();
+    if (u <= 0.0) {
+      u = 1e-18;
+    }
+    return -mean * std::log(1.0 - u);
+  }
+
+  // Standard normal via Box-Muller (single value; discards the pair).
+  double Normal(double mean, double stddev) {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 <= 0.0) {
+      u1 = 1e-18;
+    }
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    return mean + stddev * z;
+  }
+
+  // Lognormal with log-space parameters mu/sigma.
+  double Lognormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+  // Zipf-like rank selection over [0, n) with exponent theta in (0, 1].
+  // Uses the standard inverse-power approximation; good enough for workload skew.
+  uint64_t Zipf(uint64_t n, double theta) {
+    double u = NextDouble();
+    double v = std::pow(u, 1.0 / (1.0 - theta));
+    auto r = static_cast<uint64_t>(v * static_cast<double>(n));
+    return r >= n ? n - 1 : r;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace ursa
+
+#endif  // URSA_COMMON_RNG_H_

@@ -1,0 +1,127 @@
+// Error handling primitives: Status and Result<T>.
+//
+// Ursa avoids exceptions on I/O paths (os-systems convention); fallible
+// operations return Status, and value-producing ones return Result<T>.
+#ifndef URSA_COMMON_STATUS_H_
+#define URSA_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ursa {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,  // e.g. journal quota exhausted
+  kUnavailable,        // replica down / network fault
+  kTimedOut,
+  kCorruption,      // CRC mismatch, torn record
+  kVersionMismatch, // replication protocol version/view check failed
+  kAborted,
+  kInternal,
+};
+
+// Human-readable name of a code, e.g. "VERSION_MISMATCH".
+const char* StatusCodeName(StatusCode code);
+
+// A cheap value type describing the outcome of an operation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE_NAME>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgument(std::string m) {
+  return Status(StatusCode::kInvalidArgument, std::move(m));
+}
+inline Status NotFound(std::string m) { return Status(StatusCode::kNotFound, std::move(m)); }
+inline Status AlreadyExists(std::string m) {
+  return Status(StatusCode::kAlreadyExists, std::move(m));
+}
+inline Status OutOfRange(std::string m) { return Status(StatusCode::kOutOfRange, std::move(m)); }
+inline Status ResourceExhausted(std::string m) {
+  return Status(StatusCode::kResourceExhausted, std::move(m));
+}
+inline Status Unavailable(std::string m) { return Status(StatusCode::kUnavailable, std::move(m)); }
+inline Status TimedOut(std::string m) { return Status(StatusCode::kTimedOut, std::move(m)); }
+inline Status Corruption(std::string m) { return Status(StatusCode::kCorruption, std::move(m)); }
+inline Status VersionMismatch(std::string m) {
+  return Status(StatusCode::kVersionMismatch, std::move(m));
+}
+inline Status Aborted(std::string m) { return Status(StatusCode::kAborted, std::move(m)); }
+inline Status Internal(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
+
+// Result<T> holds either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : value_(std::move(status)) {  // NOLINT: implicit by design
+    assert(!std::get<Status>(value_).ok() && "Result<T> must not hold an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  Status status() const {
+    if (ok()) {
+      return OkStatus();
+    }
+    return std::get<Status>(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+// Propagates a non-OK status out of the enclosing function.
+#define URSA_RETURN_IF_ERROR(expr)        \
+  do {                                    \
+    ::ursa::Status _ursa_status = (expr); \
+    if (!_ursa_status.ok()) {             \
+      return _ursa_status;                \
+    }                                     \
+  } while (0)
+
+}  // namespace ursa
+
+#endif  // URSA_COMMON_STATUS_H_

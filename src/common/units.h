@@ -1,0 +1,41 @@
+// Size and time unit helpers used throughout Ursa.
+//
+// All simulated time in Ursa is expressed in nanoseconds as int64_t (see
+// sim/clock.h). All sizes are bytes as uint64_t. These constexpr helpers keep
+// calibration constants readable, e.g. `64 * kKiB` or `usec(250)`.
+#ifndef URSA_COMMON_UNITS_H_
+#define URSA_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace ursa {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+inline constexpr uint64_t kTiB = 1024 * kGiB;
+
+// Simulated time is int64_t nanoseconds.
+using Nanos = int64_t;
+
+constexpr Nanos nsec(int64_t n) { return n; }
+constexpr Nanos usec(int64_t n) { return n * 1000; }
+constexpr Nanos msec(int64_t n) { return n * 1000 * 1000; }
+constexpr Nanos sec(int64_t n) { return n * 1000 * 1000 * 1000; }
+
+constexpr double ToUsec(Nanos t) { return static_cast<double>(t) / 1e3; }
+constexpr double ToMsec(Nanos t) { return static_cast<double>(t) / 1e6; }
+constexpr double ToSec(Nanos t) { return static_cast<double>(t) / 1e9; }
+
+// Time to move `bytes` at `bytes_per_sec`, rounded up to whole nanoseconds.
+constexpr Nanos TransferTime(uint64_t bytes, double bytes_per_sec) {
+  if (bytes_per_sec <= 0) {
+    return 0;
+  }
+  double t = static_cast<double>(bytes) / bytes_per_sec * 1e9;
+  return static_cast<Nanos>(t + 0.999999);
+}
+
+}  // namespace ursa
+
+#endif  // URSA_COMMON_UNITS_H_

@@ -1,0 +1,67 @@
+#include "src/core/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+namespace ursa::core {
+
+double RunMetrics::ClientIopsPerCore() const {
+  double busy_cores = seconds > 0 ? ToSec(client_cpu_busy) / seconds : 0;
+  return busy_cores > 0 ? iops() / busy_cores : 0;
+}
+
+double RunMetrics::ServerIopsPerCore() const {
+  double busy_cores = seconds > 0 ? ToSec(server_cpu_busy) / seconds : 0;
+  return busy_cores > 0 ? iops() / busy_cores : 0;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+void Table::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      line += cell;
+      line.append(widths[c] > cell.size() ? widths[c] - cell.size() + 2 : 2, ' ');
+    }
+    std::cout << line << "\n";
+  };
+  print_row(headers_);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule.append(widths[c], '-');
+    rule.append(2, ' ');
+  }
+  std::cout << rule << "\n";
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  std::cout.flush();
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Int(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f", v);
+  return buf;
+}
+
+}  // namespace ursa::core

@@ -1,0 +1,57 @@
+// Experiment metrics and table formatting shared by all benchmarks.
+#ifndef URSA_CORE_METRICS_H_
+#define URSA_CORE_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/units.h"
+
+namespace ursa::core {
+
+// Results of one measured workload window.
+struct RunMetrics {
+  std::string label;
+  double seconds = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t read_bytes = 0;
+  uint64_t write_bytes = 0;
+  Histogram read_latency_us;
+  Histogram write_latency_us;
+  Nanos server_cpu_busy = 0;  // all cluster machines
+  Nanos client_cpu_busy = 0;  // client event loop(s)
+
+  double iops() const { return seconds > 0 ? (reads + writes) / seconds : 0; }
+  double read_iops() const { return seconds > 0 ? reads / seconds : 0; }
+  double write_iops() const { return seconds > 0 ? writes / seconds : 0; }
+  double read_mbps() const {
+    return seconds > 0 ? static_cast<double>(read_bytes) / seconds / 1e6 : 0;
+  }
+  double write_mbps() const {
+    return seconds > 0 ? static_cast<double>(write_bytes) / seconds / 1e6 : 0;
+  }
+  // IOPS per busy core (Fig. 7's efficiency metric).
+  double ClientIopsPerCore() const;
+  double ServerIopsPerCore() const;
+};
+
+// Fixed-width console table writer, so every bench prints uniform rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+  static std::string Num(double v, int precision = 1);
+  static std::string Int(double v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ursa::core
+
+#endif  // URSA_CORE_METRICS_H_

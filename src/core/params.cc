@@ -1,0 +1,57 @@
+#include "src/core/params.h"
+
+namespace ursa::core {
+
+cluster::MachineConfig PaperMachineConfig() {
+  cluster::MachineConfig m;
+  m.cores = 16;  // dual 8-core Xeon E5-2650
+  m.ssds = 2;    // Intel 750 PCIe 400 GB
+  m.hdds = 8;    // 7200 RPM 1 TB
+  m.ssd = storage::SsdParams{};
+  m.hdd = storage::HddParams{};
+  m.net = net::NetParams{};  // two 10 GbE NICs
+  return m;
+}
+
+namespace {
+core::SystemProfile UrsaBase(int machines) {
+  core::SystemProfile p;
+  p.name = "Ursa";
+  p.cluster.machines = machines;
+  p.cluster.machine = PaperMachineConfig();
+  // Ursa server: ~9 us/op critical path -> ~100 K IOPS/core (Fig. 7).
+  p.cluster.server.cpu.server_op = usec(9);
+  p.cluster.server.cpu.replicate_op = usec(4);
+  p.cluster.server.cpu.server_background = 0;
+  // Ursa client loop: 4+3 us/op -> ~140 K IOPS/core (Fig. 7).
+  p.client.loop_issue_cost = usec(4);
+  p.client.loop_complete_cost = usec(3);
+  p.client.vmm_overhead = usec(55);
+  p.client.client_directed = true;
+  p.client.tiny_write_threshold = cluster::kTinyWriteThreshold;
+  return p;
+}
+}  // namespace
+
+SystemProfile UrsaHybridProfile(int machines) {
+  SystemProfile p = UrsaBase(machines);
+  p.name = "Ursa-Hybrid";
+  p.cluster.mode = cluster::StorageMode::kHybrid;
+  return p;
+}
+
+SystemProfile UrsaSsdProfile(int machines) {
+  SystemProfile p = UrsaBase(machines);
+  p.name = "Ursa-SSD";
+  p.cluster.mode = cluster::StorageMode::kSsdOnly;
+  return p;
+}
+
+SystemProfile UrsaHddProfile(int machines) {
+  SystemProfile p = UrsaBase(machines);
+  p.name = "Ursa-HDD";
+  p.cluster.mode = cluster::StorageMode::kHddOnly;
+  return p;
+}
+
+}  // namespace ursa::core

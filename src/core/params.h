@@ -1,0 +1,41 @@
+// Calibration constants for every modelled system, with derivations.
+//
+// The device models are calibrated to the paper's testbed hardware (Intel
+// 750-class PCIe SSDs, 7200 RPM HDDs, 10 GbE); the per-request CPU costs are
+// calibrated to the paper's Fig. 6/7 results:
+//
+//   * Ursa client  ≈ 140 K IOPS/core (Fig. 7)  -> 7 us of client-loop CPU/op
+//   * Ursa server  ≈ 100 K IOPS/core           -> ~9 us server CPU/op
+//   * Sheepdog     ≈ 20-30 K IOPS/core         -> ~50 us client, ~30 us server
+//   * Ceph OSD     ≈ a few K IOPS/core         -> ~250 us of CPU burned/op
+//
+// Ceph/Sheepdog burn most of that CPU in parallel worker threads rather than
+// serially per request (their read latency is close to Ursa's, Fig. 6b), so
+// the cost is split into a small critical-path share and a "background" share
+// that occupies cores without extending the request (see Machine::BurnCpu).
+#ifndef URSA_CORE_PARAMS_H_
+#define URSA_CORE_PARAMS_H_
+
+#include "src/client/virtual_disk.h"
+#include "src/cluster/cluster.h"
+
+namespace ursa::core {
+
+// One named, ready-to-run configuration (cluster + client behaviour).
+struct SystemProfile {
+  std::string name;
+  cluster::ClusterConfig cluster;
+  client::VirtualDiskClientOptions client;
+};
+
+// Paper-testbed machine: dual 8-core Xeon, 2 PCIe SSDs, 8 HDDs, 2x10 GbE.
+cluster::MachineConfig PaperMachineConfig();
+
+// Ursa in its three replication modes (§6).
+SystemProfile UrsaHybridProfile(int machines = 3);
+SystemProfile UrsaSsdProfile(int machines = 3);
+SystemProfile UrsaHddProfile(int machines = 3);
+
+}  // namespace ursa::core
+
+#endif  // URSA_CORE_PARAMS_H_

@@ -1,0 +1,81 @@
+// TestBed: one self-contained experiment instance — simulator, cluster,
+// clients — plus closed-loop workload drivers. Every benchmark builds one (or
+// several) TestBeds from a SystemProfile and measures RunMetrics windows.
+#ifndef URSA_CORE_SYSTEM_H_
+#define URSA_CORE_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/client/virtual_disk.h"
+#include "src/cluster/cluster.h"
+#include "src/core/metrics.h"
+#include "src/core/params.h"
+#include "src/trace/trace.h"
+
+namespace ursa::core {
+
+struct WorkloadSpec {
+  enum class Pattern { kRandom, kSequential };
+  Pattern pattern = Pattern::kRandom;
+  uint64_t block_size = 4 * kKiB;
+  int queue_depth = 16;
+  double read_fraction = 1.0;  // 1.0 = pure reads, 0.0 = pure writes
+  uint64_t span = 0;           // bytes of the disk to touch; 0 = whole disk
+  uint64_t seed = 42;
+};
+
+class TestBed {
+ public:
+  explicit TestBed(const SystemProfile& profile);
+  ~TestBed();
+
+  sim::Simulator& sim() { return sim_; }
+  cluster::Cluster& cluster() { return *cluster_; }
+  const SystemProfile& profile() const { return profile_; }
+
+  // Creates a virtual disk and opens it from a fresh client hosted on a
+  // dedicated (diskless) machine. The returned disk is owned by the TestBed.
+  client::VirtualDisk* NewDisk(uint64_t size, int replication = 3, int stripe_group = 2);
+
+  // Same, but the client runs on an existing machine (Fig. 13 runs clients
+  // on every storage machine).
+  client::VirtualDisk* NewDiskOn(cluster::Machine* host, uint64_t size, int replication = 3,
+                                 int stripe_group = 2);
+
+  // Drives the spec closed-loop at its queue depth: `warmup` unmeasured, then
+  // a measured window of `duration`.
+  RunMetrics RunWorkload(client::VirtualDisk* disk, const WorkloadSpec& spec, Nanos warmup,
+                         Nanos duration, const std::string& label);
+
+  // Several concurrent drivers (one per disk), aggregate metrics.
+  RunMetrics RunWorkloads(const std::vector<std::pair<client::VirtualDisk*, WorkloadSpec>>& jobs,
+                          Nanos warmup, Nanos duration, const std::string& label);
+
+  // Replays a trace closed-loop (timestamps ignored, fixed queue depth, the
+  // paper's §6.4 methodology). Offsets wrap within the disk.
+  RunMetrics RunTrace(client::VirtualDisk* disk, const std::vector<trace::TraceRecord>& records,
+                      int queue_depth, const std::string& label);
+
+ private:
+  class Driver;
+
+  void ResetMeasurementState(const std::vector<client::VirtualDisk*>& disks);
+  RunMetrics Collect(const std::vector<std::unique_ptr<Driver>>& drivers, Nanos measured,
+                     const std::string& label);
+
+  SystemProfile profile_;
+  sim::Simulator sim_;
+  uint64_t run_counter_ = 0;  // mixed into workload seeds so repeated
+                              // measurement windows do not replay identical
+                              // offset sequences
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::vector<std::unique_ptr<client::VirtualDisk>> disks_;
+  cluster::ClientId next_client_id_ = 1;
+};
+
+}  // namespace ursa::core
+
+#endif  // URSA_CORE_SYSTEM_H_

@@ -1,0 +1,524 @@
+#include "src/ec/ec_stripe_store.h"
+
+#include <cstring>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace ursa::ec {
+
+namespace {
+
+struct Joiner {
+  size_t remaining;
+  Status status;
+  storage::IoCallback done;
+
+  void Finish(const Status& s) {
+    if (!s.ok() && status.ok()) {
+      status = s;
+    }
+    if (--remaining == 0) {
+      done(status);
+    }
+  }
+};
+
+std::shared_ptr<Joiner> MakeJoiner(size_t n, storage::IoCallback done) {
+  auto j = std::make_shared<Joiner>();
+  j->remaining = n;
+  j->done = std::move(done);
+  return j;
+}
+
+}  // namespace
+
+EcStripeStore::EcStripeStore(sim::Simulator* sim, std::vector<storage::BlockDevice*> devices,
+                             uint64_t rows, const EcStripeConfig& config)
+    : sim_(sim),
+      devices_(std::move(devices)),
+      rows_(rows),
+      config_(config),
+      rs_(config.k, config.m) {
+  URSA_CHECK_EQ(devices_.size(), static_cast<size_t>(config.k + config.m));
+  alive_.assign(devices_.size(), true);
+  uint64_t shard_bytes = rows_ * config_.stripe_unit;
+  for (int i = 0; i < config_.k; ++i) {
+    URSA_CHECK_GE(devices_[i]->capacity(), shard_bytes);
+  }
+  for (int p = 0; p < config_.m; ++p) {
+    URSA_CHECK_GE(devices_[config_.k + p]->capacity(),
+                  shard_bytes + config_.parity_log_bytes);
+  }
+}
+
+int EcStripeStore::alive_shards() const {
+  int n = 0;
+  for (bool a : alive_) {
+    n += a ? 1 : 0;
+  }
+  return n;
+}
+
+void EcStripeStore::FailShard(int shard) {
+  URSA_CHECK_LT(static_cast<size_t>(shard), alive_.size());
+  alive_[shard] = false;
+}
+
+std::vector<EcStripeStore::Extent> EcStripeStore::SplitLogical(uint64_t offset,
+                                                               uint64_t length) const {
+  URSA_CHECK_EQ(offset % 512, 0u);
+  URSA_CHECK_EQ(length % 512, 0u);
+  URSA_CHECK_LE(offset + length, logical_size());
+  uint64_t u = config_.stripe_unit;
+  uint64_t row_bytes = u * config_.k;
+  std::vector<Extent> out;
+  uint64_t pos = offset;
+  while (pos < offset + length) {
+    uint64_t row = pos / row_bytes;
+    uint64_t within = pos % row_bytes;
+    int shard = static_cast<int>(within / u);
+    uint64_t in_unit = within % u;
+    uint64_t run = std::min(u - in_unit, offset + length - pos);
+    out.push_back(Extent{row, shard, row * u + in_unit, run, pos - offset});
+    pos += run;
+  }
+  return out;
+}
+
+void EcStripeStore::ShardRead(int shard, uint64_t offset, uint64_t len, void* out,
+                              storage::IoCallback done) {
+  ++stats_.shard_reads;
+  devices_[shard]->Submit(storage::IoRequest{storage::IoType::kRead, offset, len, nullptr, out,
+                                             false, std::move(done)});
+}
+
+void EcStripeStore::ShardWrite(int shard, uint64_t offset, uint64_t len, const void* data,
+                               storage::IoCallback done) {
+  ++stats_.shard_writes;
+  devices_[shard]->Submit(storage::IoRequest{storage::IoType::kWrite, offset, len, data,
+                                             nullptr, false, std::move(done)});
+}
+
+void EcStripeStore::Write(uint64_t offset, uint64_t length, const void* data,
+                          storage::IoCallback done) {
+  uint64_t u = config_.stripe_unit;
+  uint64_t row_bytes = u * config_.k;
+  const auto* src = static_cast<const uint8_t*>(data);
+
+  // Separate full rows (cheap path) from partial extents.
+  struct FullRow {
+    uint64_t row;
+    uint64_t user_off;
+  };
+  std::vector<FullRow> full_rows;
+  std::vector<Extent> partials;
+  uint64_t pos = offset;
+  while (pos < offset + length) {
+    if (pos % row_bytes == 0 && offset + length - pos >= row_bytes) {
+      full_rows.push_back(FullRow{pos / row_bytes, pos - offset});
+      pos += row_bytes;
+    } else {
+      uint64_t run = std::min(row_bytes - pos % row_bytes, offset + length - pos);
+      for (const Extent& e : SplitLogical(pos, run)) {
+        Extent adjusted = e;
+        adjusted.user_off += pos - offset;
+        partials.push_back(adjusted);
+      }
+      pos += run;
+    }
+  }
+
+  auto joiner = MakeJoiner(full_rows.size() + partials.size(), std::move(done));
+
+  for (const FullRow& fr : full_rows) {
+    ++stats_.full_stripe_writes;
+    // A full-stripe write re-materializes the parity absolutely: pending
+    // parity-log deltas for this row are now stale and must be discarded.
+    uint64_t row_lo = fr.row * u;
+    uint64_t row_hi = row_lo + u;
+    for (auto it = parity_log_.begin(); it != parity_log_.end();) {
+      uint64_t e_len = it->delta ? it->delta->size() : 512;
+      if (it->offset < row_hi && row_lo < it->offset + e_len) {
+        it = parity_log_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // PariX speculation-cache entries for this row are stale too.
+    for (auto it = parix_cache_.begin(); it != parix_cache_.end();) {
+      if (it->first.second >= row_lo && it->first.second < row_hi) {
+        it = parix_cache_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Encode parity once, write all k+m shards in parallel.
+    std::shared_ptr<std::vector<std::vector<uint8_t>>> parity;
+    if (src != nullptr) {
+      parity = std::make_shared<std::vector<std::vector<uint8_t>>>(
+          config_.m, std::vector<uint8_t>(u));
+      std::vector<const uint8_t*> data_ptrs(config_.k);
+      std::vector<uint8_t*> parity_ptrs(config_.m);
+      for (int d = 0; d < config_.k; ++d) {
+        data_ptrs[d] = src + fr.user_off + static_cast<uint64_t>(d) * u;
+      }
+      for (int p = 0; p < config_.m; ++p) {
+        parity_ptrs[p] = (*parity)[p].data();
+      }
+      rs_.Encode(data_ptrs, parity_ptrs, u);
+    }
+    uint64_t shard_off = fr.row * u;
+    auto row_join = MakeJoiner(devices_.size(), [joiner](const Status& s) { joiner->Finish(s); });
+    for (int d = 0; d < config_.k; ++d) {
+      const void* bytes = src == nullptr ? nullptr : src + fr.user_off + uint64_t(d) * u;
+      if (!alive_[d]) {
+        sim_->After(0, [row_join]() { row_join->Finish(OkStatus()); });  // degraded: skip
+        continue;
+      }
+      ShardWrite(d, shard_off, u, bytes,
+                 [row_join, parity](const Status& s) { row_join->Finish(s); });
+    }
+    for (int p = 0; p < config_.m; ++p) {
+      int idx = config_.k + p;
+      const void* bytes = parity ? (*parity)[p].data() : nullptr;
+      if (!alive_[idx]) {
+        sim_->After(0, [row_join]() { row_join->Finish(OkStatus()); });
+        continue;
+      }
+      ShardWrite(idx, shard_off, u, bytes,
+                 [row_join, parity](const Status& s) { row_join->Finish(s); });
+    }
+  }
+
+  // Partial extents run SEQUENTIALLY: extents of a multi-shard write can
+  // target overlapping parity ranges, and concurrent read-xor-write parity
+  // updates would lose deltas.
+  if (!partials.empty()) {
+    auto idx = std::make_shared<size_t>(0);
+    auto exts = std::make_shared<std::vector<Extent>>(std::move(partials));
+    auto pump = std::make_shared<std::function<void()>>();
+    *pump = [this, idx, exts, src, joiner, pump]() {
+      if (*idx >= exts->size()) {
+        return;
+      }
+      const Extent& ext = (*exts)[(*idx)++];
+      const uint8_t* bytes = src == nullptr ? nullptr : src + ext.user_off;
+      PartialWriteExtent(ext, bytes, [joiner, pump](const Status& s) {
+        joiner->Finish(s);
+        (*pump)();
+      });
+    };
+    (*pump)();
+  }
+}
+
+void EcStripeStore::PartialWriteExtent(const Extent& ext, const uint8_t* data,
+                                       storage::IoCallback done) {
+  ++stats_.partial_writes;
+  if (!alive_[ext.shard]) {
+    done(Unavailable("degraded partial writes to a failed shard are unsupported"));
+    return;
+  }
+  // PariX fast path: an overwrite of a range written since the last flush
+  // computes its delta from the speculation cache — no device read.
+  if (config_.mode == PartialWriteMode::kParixSpeculative) {
+    auto key = std::make_pair(ext.shard, ext.shard_off);
+    auto it = parix_cache_.find(key);
+    bool hit = it != parix_cache_.end() &&
+               (data == nullptr ? it->second.empty() : it->second.size() == ext.len);
+    if (hit) {
+      ++stats_.speculative_hits;
+      std::shared_ptr<std::vector<uint8_t>> delta;
+      if (data != nullptr) {
+        delta = std::make_shared<std::vector<uint8_t>>(ext.len);
+        for (uint64_t i = 0; i < ext.len; ++i) {
+          (*delta)[i] = static_cast<uint8_t>(data[i] ^ it->second[i]);
+        }
+        it->second.assign(data, data + ext.len);
+      }
+      int alive_parities = 0;
+      for (int p = 0; p < config_.m; ++p) {
+        alive_parities += alive_[config_.k + p] ? 1 : 0;
+      }
+      auto joiner = MakeJoiner(1 + alive_parities, std::move(done));
+      ShardWrite(ext.shard, ext.shard_off, ext.len, data,
+                 [joiner](const Status& s2) { joiner->Finish(s2); });
+      for (int p = 0; p < config_.m; ++p) {
+        int idx = config_.k + p;
+        if (!alive_[idx]) {
+          continue;
+        }
+        std::shared_ptr<std::vector<uint8_t>> scaled;
+        if (delta) {
+          scaled = std::make_shared<std::vector<uint8_t>>(ext.len, 0);
+          rs_.UpdateParity(p, ext.shard, delta->data(), scaled->data(), ext.len);
+        }
+        uint64_t log_base = rows_ * config_.stripe_unit;
+        uint64_t cursor = parity_log_used_ % (config_.parity_log_bytes - ext.len + 1);
+        parity_log_.push_back(LogEntry{p, ext.shard_off, scaled});
+        parity_log_used_ += ext.len;
+        ++stats_.parity_log_appends;
+        ++stats_.shard_writes;
+        devices_[idx]->Submit(storage::IoRequest{
+            storage::IoType::kWrite, log_base + cursor, ext.len,
+            scaled ? scaled->data() : nullptr, nullptr, false,
+            [joiner](const Status& s2) { joiner->Finish(s2); }});
+      }
+      return;
+    }
+  }
+  // 1. Read the old data (needed for the parity delta in every scheme).
+  auto old_data =
+      data == nullptr ? nullptr : std::make_shared<std::vector<uint8_t>>(ext.len);
+  ShardRead(
+      ext.shard, ext.shard_off, ext.len, old_data ? old_data->data() : nullptr,
+      [this, ext, data, old_data, done = std::move(done)](const Status& s) mutable {
+        if (!s.ok()) {
+          done(s);
+          return;
+        }
+        // 2. Compute the raw delta and write the new data.
+        std::shared_ptr<std::vector<uint8_t>> delta;
+        if (data != nullptr) {
+          delta = std::make_shared<std::vector<uint8_t>>(ext.len);
+          for (uint64_t i = 0; i < ext.len; ++i) {
+            (*delta)[i] = static_cast<uint8_t>(data[i] ^ (*old_data)[i]);
+          }
+        }
+        if (config_.mode == PartialWriteMode::kParixSpeculative) {
+          // Remember the new value so the next overwrite skips the read.
+          auto& cached = parix_cache_[std::make_pair(ext.shard, ext.shard_off)];
+          if (data != nullptr) {
+            cached.assign(data, data + ext.len);
+          } else {
+            cached.clear();
+          }
+        }
+        int alive_parities = 0;
+        for (int p = 0; p < config_.m; ++p) {
+          alive_parities += alive_[config_.k + p] ? 1 : 0;
+        }
+        auto joiner = MakeJoiner(1 + alive_parities, std::move(done));
+        ShardWrite(ext.shard, ext.shard_off, ext.len, data,
+                   [joiner](const Status& s2) { joiner->Finish(s2); });
+
+        // 3. Update each alive parity.
+        for (int p = 0; p < config_.m; ++p) {
+          int idx = config_.k + p;
+          if (!alive_[idx]) {
+            continue;
+          }
+          // Per-parity scaled delta: coef(p, shard) * raw delta.
+          std::shared_ptr<std::vector<uint8_t>> scaled;
+          if (delta) {
+            scaled = std::make_shared<std::vector<uint8_t>>(ext.len, 0);
+            rs_.UpdateParity(p, ext.shard, delta->data(), scaled->data(), ext.len);
+          }
+          if (config_.mode != PartialWriteMode::kReadModifyWrite) {
+            // Append to the parity's log region (sequential) and buffer the
+            // delta for lazy application at Flush().
+            uint64_t log_base = rows_ * config_.stripe_unit;
+            uint64_t cursor = parity_log_used_ % (config_.parity_log_bytes - ext.len + 1);
+            parity_log_.push_back(LogEntry{p, ext.shard_off, scaled});
+            parity_log_used_ += ext.len;
+            ++stats_.parity_log_appends;
+            ++stats_.shard_writes;
+            devices_[idx]->Submit(storage::IoRequest{
+                storage::IoType::kWrite, log_base + cursor, ext.len,
+                scaled ? scaled->data() : nullptr, nullptr, false,
+                [joiner](const Status& s2) { joiner->Finish(s2); }});
+          } else {
+            // RMW: read old parity, xor in the scaled delta, write back.
+            auto parity_buf =
+                scaled ? std::make_shared<std::vector<uint8_t>>(ext.len) : nullptr;
+            ShardRead(idx, ext.shard_off, ext.len, parity_buf ? parity_buf->data() : nullptr,
+                      [this, idx, ext, scaled, parity_buf, joiner](const Status& s2) {
+                        if (!s2.ok()) {
+                          joiner->Finish(s2);
+                          return;
+                        }
+                        if (parity_buf) {
+                          for (uint64_t i = 0; i < ext.len; ++i) {
+                            (*parity_buf)[i] ^= (*scaled)[i];
+                          }
+                        }
+                        ShardWrite(idx, ext.shard_off, ext.len,
+                                   parity_buf ? parity_buf->data() : nullptr,
+                                   [joiner, parity_buf](const Status& s3) {
+                                     joiner->Finish(s3);
+                                   });
+                      });
+          }
+        }
+      });
+}
+
+void EcStripeStore::Read(uint64_t offset, uint64_t length, void* out, storage::IoCallback done) {
+  std::vector<Extent> extents = SplitLogical(offset, length);
+  auto joiner = MakeJoiner(extents.size(), std::move(done));
+  auto* dst = static_cast<uint8_t*>(out);
+  for (const Extent& ext : extents) {
+    uint8_t* bytes = dst == nullptr ? nullptr : dst + ext.user_off;
+    if (alive_[ext.shard]) {
+      ShardRead(ext.shard, ext.shard_off, ext.len, bytes,
+                [joiner](const Status& s) { joiner->Finish(s); });
+    } else {
+      DegradedReadExtent(ext, bytes, [joiner](const Status& s) { joiner->Finish(s); });
+    }
+  }
+}
+
+void EcStripeStore::DegradedReadExtent(const Extent& ext, uint8_t* out,
+                                       storage::IoCallback done) {
+  ++stats_.degraded_reads;
+  int n = rs_.n();
+  // Read the same shard range from k surviving shards, then reconstruct.
+  std::vector<int> sources;
+  for (int i = 0; i < n && static_cast<int>(sources.size()) < config_.k; ++i) {
+    if (alive_[i]) {
+      sources.push_back(i);
+    }
+  }
+  if (static_cast<int>(sources.size()) < config_.k) {
+    done(Unavailable("fewer than k shards alive"));
+    return;
+  }
+  struct State {
+    std::vector<std::shared_ptr<std::vector<uint8_t>>> bufs;
+  };
+  auto state = std::make_shared<State>();
+  state->bufs.resize(n);
+  auto finish = [this, ext, out, state, n, done = std::move(done)](const Status& s) {
+    if (!s.ok() || out == nullptr) {
+      done(s);
+      return;
+    }
+    // Apply pending parity-log deltas to the parity buffers we read.
+    for (const LogEntry& entry : parity_log_) {
+      int idx = config_.k + entry.parity;
+      if (!state->bufs[idx] || !entry.delta) {
+        continue;
+      }
+      uint64_t lo = std::max(entry.offset, ext.shard_off);
+      uint64_t hi = std::min(entry.offset + entry.delta->size(), ext.shard_off + ext.len);
+      for (uint64_t b = lo; b < hi; ++b) {
+        (*state->bufs[idx])[b - ext.shard_off] ^= (*entry.delta)[b - entry.offset];
+      }
+    }
+    std::vector<const uint8_t*> shards(n, nullptr);
+    std::vector<uint8_t*> rebuild(n, nullptr);
+    std::vector<std::vector<uint8_t>> scratch(n);
+    for (int i = 0; i < n; ++i) {
+      if (state->bufs[i]) {
+        shards[i] = state->bufs[i]->data();
+      } else {
+        scratch[i].resize(ext.len);
+        rebuild[i] = scratch[i].data();
+      }
+    }
+    Status rec = rs_.Reconstruct(shards, rebuild, ext.len);
+    if (!rec.ok()) {
+      done(rec);
+      return;
+    }
+    std::memcpy(out, rebuild[ext.shard] != nullptr ? rebuild[ext.shard] : shards[ext.shard],
+                ext.len);
+    done(OkStatus());
+  };
+  auto joiner = MakeJoiner(sources.size(), std::move(finish));
+  for (int src : sources) {
+    if (out != nullptr) {
+      state->bufs[src] = std::make_shared<std::vector<uint8_t>>(ext.len);
+    }
+    ShardRead(src, ext.shard_off, ext.len,
+              state->bufs[src] ? state->bufs[src]->data() : nullptr,
+              [joiner](const Status& s) { joiner->Finish(s); });
+  }
+}
+
+void EcStripeStore::Flush(storage::IoCallback done) {
+  if (parity_log_.empty()) {
+    sim_->After(0, [done = std::move(done)]() { done(OkStatus()); });
+    return;
+  }
+  std::deque<LogEntry> entries;
+  entries.swap(parity_log_);
+  parix_cache_.clear();
+  auto joiner = MakeJoiner(entries.size(), std::move(done));
+  for (const LogEntry& entry : entries) {
+    int idx = config_.k + entry.parity;
+    ++stats_.parity_log_applied;
+    if (!alive_[idx]) {
+      sim_->After(0, [joiner]() { joiner->Finish(OkStatus()); });
+      continue;
+    }
+    uint64_t len = entry.delta ? entry.delta->size() : 512;
+    auto parity_buf = entry.delta ? std::make_shared<std::vector<uint8_t>>(len) : nullptr;
+    auto delta = entry.delta;
+    uint64_t off = entry.offset;
+    ShardRead(idx, off, len, parity_buf ? parity_buf->data() : nullptr,
+              [this, idx, off, len, delta, parity_buf, joiner](const Status& s) {
+                if (!s.ok()) {
+                  joiner->Finish(s);
+                  return;
+                }
+                if (parity_buf) {
+                  for (uint64_t i = 0; i < len; ++i) {
+                    (*parity_buf)[i] ^= (*delta)[i];
+                  }
+                }
+                ShardWrite(idx, off, len, parity_buf ? parity_buf->data() : nullptr,
+                           [joiner, parity_buf](const Status& s2) { joiner->Finish(s2); });
+              });
+  }
+}
+
+void EcStripeStore::RepairShard(int shard, storage::BlockDevice* replacement,
+                                storage::IoCallback done) {
+  URSA_CHECK_LT(static_cast<size_t>(shard), devices_.size());
+  URSA_CHECK(!alive_[shard]) << "repairing a live shard";
+  // Pending parity deltas must be durable in the parity shards before they
+  // serve as reconstruction sources.
+  Flush([this, shard, replacement, done = std::move(done)](const Status& fs) mutable {
+    if (!fs.ok()) {
+      done(fs);
+      return;
+    }
+    uint64_t u = config_.stripe_unit;
+    auto row = std::make_shared<uint64_t>(0);
+    auto step = std::make_shared<std::function<void()>>();
+    auto done_shared = std::make_shared<storage::IoCallback>(std::move(done));
+    *step = [this, shard, replacement, row, step, u, done_shared]() {
+      if (*row >= rows_) {
+        devices_[shard] = replacement;
+        alive_[shard] = true;
+        (*done_shared)(OkStatus());
+        return;
+      }
+      uint64_t shard_off = *row * u;
+      Extent ext{*row, shard, shard_off, u, 0};
+      auto buf = std::make_shared<std::vector<uint8_t>>(u);
+      DegradedReadExtent(ext, buf->data(),
+                         [this, replacement, shard_off, u, buf, row, step,
+                          done_shared](const Status& s) {
+                           if (!s.ok()) {
+                             (*done_shared)(s);
+                             return;
+                           }
+                           replacement->Submit(storage::IoRequest{
+                               storage::IoType::kWrite, shard_off, u, buf->data(), nullptr,
+                               false, [buf, row, step](const Status& s2) {
+                                 if (!s2.ok()) {
+                                   return;  // dropped; caller times out
+                                 }
+                                 ++*row;
+                                 (*step)();
+                               }});
+                         });
+    };
+    (*step)();
+  });
+}
+
+}  // namespace ursa::ec

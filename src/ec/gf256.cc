@@ -1,0 +1,70 @@
+#include "src/ec/gf256.h"
+
+#include "src/common/logging.h"
+
+namespace ursa::ec {
+
+const Gf256& Gf256::Instance() {
+  static const Gf256 instance;
+  return instance;
+}
+
+Gf256::Gf256() {
+  uint16_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    exp_[i] = static_cast<uint8_t>(x);
+    log_[x] = i;
+    x <<= 1;
+    if (x & 0x100) {
+      x ^= 0x11D;
+    }
+  }
+  for (int i = 255; i < 512; ++i) {
+    exp_[i] = exp_[i - 255];
+  }
+  log_[0] = 0;  // never consulted: Mul/Div guard zero explicitly
+}
+
+uint8_t Gf256::Div(uint8_t a, uint8_t b) const {
+  URSA_CHECK_NE(b, 0) << "division by zero in GF(256)";
+  if (a == 0) {
+    return 0;
+  }
+  return exp_[log_[a] + 255 - log_[b]];
+}
+
+uint8_t Gf256::Inv(uint8_t a) const {
+  URSA_CHECK_NE(a, 0) << "zero has no inverse";
+  return exp_[255 - log_[a]];
+}
+
+uint8_t Gf256::Pow(uint8_t a, unsigned n) const {
+  if (n == 0) {
+    return 1;
+  }
+  if (a == 0) {
+    return 0;
+  }
+  return exp_[(static_cast<unsigned>(log_[a]) * n) % 255];
+}
+
+void Gf256::MulAccum(uint8_t coef, const uint8_t* in, uint8_t* out, size_t len) const {
+  if (coef == 0) {
+    return;
+  }
+  if (coef == 1) {
+    for (size_t i = 0; i < len; ++i) {
+      out[i] ^= in[i];
+    }
+    return;
+  }
+  int log_c = log_[coef];
+  for (size_t i = 0; i < len; ++i) {
+    uint8_t v = in[i];
+    if (v != 0) {
+      out[i] ^= exp_[log_c + log_[v]];
+    }
+  }
+}
+
+}  // namespace ursa::ec

@@ -1,0 +1,54 @@
+// GF(2^8) arithmetic for Reed-Solomon coding.
+//
+// The paper's §7 weighs erasure coding (Sheepdog's full-write emulation,
+// parity logging, their own PariX) against replication and chooses
+// replication because HDD capacity is the cheapest resource in the hybrid
+// design. This module and reed_solomon.h implement the EC substrate so that
+// trade-off can be measured rather than asserted (bench_ec_comparison).
+//
+// Field: polynomial 0x11D (x^8 + x^4 + x^3 + x^2 + 1), generator 2 —
+// the conventional choice in storage systems.
+#ifndef URSA_EC_GF256_H_
+#define URSA_EC_GF256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ursa::ec {
+
+class Gf256 {
+ public:
+  // Table singleton; construction fills log/exp tables.
+  static const Gf256& Instance();
+
+  uint8_t Mul(uint8_t a, uint8_t b) const {
+    if (a == 0 || b == 0) {
+      return 0;
+    }
+    return exp_[log_[a] + log_[b]];
+  }
+
+  uint8_t Div(uint8_t a, uint8_t b) const;
+
+  uint8_t Inv(uint8_t a) const;
+
+  // a ^ n (field exponentiation of the generator-based element).
+  uint8_t Pow(uint8_t a, unsigned n) const;
+
+  static uint8_t Add(uint8_t a, uint8_t b) { return a ^ b; }  // = Sub
+
+  // out[i] ^= coef * in[i] for i in [0, len): the inner loop of encoding,
+  // delta updates, and decoding.
+  void MulAccum(uint8_t coef, const uint8_t* in, uint8_t* out, size_t len) const;
+
+ private:
+  Gf256();
+
+  std::array<uint8_t, 512> exp_;  // doubled so Mul skips the mod-255
+  std::array<int, 256> log_;
+};
+
+}  // namespace ursa::ec
+
+#endif  // URSA_EC_GF256_H_

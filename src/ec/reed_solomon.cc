@@ -1,0 +1,138 @@
+#include "src/ec/reed_solomon.h"
+
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace ursa::ec {
+
+ReedSolomon::ReedSolomon(int k, int m) : k_(k), m_(m) {
+  URSA_CHECK_GE(k, 1);
+  URSA_CHECK_GE(m, 0);
+  URSA_CHECK_LE(k + m, 255);
+  const Gf256& gf = Gf256::Instance();
+
+  // Cauchy matrix: coding[p][d] = 1 / (x_p + y_d) with disjoint x/y sets —
+  // every square submatrix is invertible, which is exactly the MDS property.
+  rows_.assign(k + m, std::vector<uint8_t>(k, 0));
+  for (int d = 0; d < k; ++d) {
+    rows_[d][d] = 1;
+  }
+  coding_.assign(m, std::vector<uint8_t>(k, 0));
+  for (int p = 0; p < m; ++p) {
+    for (int d = 0; d < k; ++d) {
+      uint8_t x = static_cast<uint8_t>(k + p);  // x_p in [k, k+m)
+      uint8_t y = static_cast<uint8_t>(d);      // y_d in [0, k)
+      coding_[p][d] = gf.Inv(Gf256::Add(x, y));
+      rows_[k + p][d] = coding_[p][d];
+    }
+  }
+}
+
+void ReedSolomon::Encode(const std::vector<const uint8_t*>& data,
+                         const std::vector<uint8_t*>& parity, size_t len) const {
+  URSA_CHECK_EQ(data.size(), static_cast<size_t>(k_));
+  URSA_CHECK_EQ(parity.size(), static_cast<size_t>(m_));
+  const Gf256& gf = Gf256::Instance();
+  for (int p = 0; p < m_; ++p) {
+    std::memset(parity[p], 0, len);
+    for (int d = 0; d < k_; ++d) {
+      gf.MulAccum(coding_[p][d], data[d], parity[p], len);
+    }
+  }
+}
+
+bool ReedSolomon::Invert(std::vector<std::vector<uint8_t>>* matrix) {
+  const Gf256& gf = Gf256::Instance();
+  size_t n = matrix->size();
+  // Augment with the identity.
+  for (size_t r = 0; r < n; ++r) {
+    (*matrix)[r].resize(2 * n, 0);
+    (*matrix)[r][n + r] = 1;
+  }
+  for (size_t col = 0; col < n; ++col) {
+    // Pivot.
+    size_t pivot = col;
+    while (pivot < n && (*matrix)[pivot][col] == 0) {
+      ++pivot;
+    }
+    if (pivot == n) {
+      return false;
+    }
+    std::swap((*matrix)[pivot], (*matrix)[col]);
+    uint8_t inv = gf.Inv((*matrix)[col][col]);
+    for (size_t c = 0; c < 2 * n; ++c) {
+      (*matrix)[col][c] = gf.Mul((*matrix)[col][c], inv);
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col || (*matrix)[r][col] == 0) {
+        continue;
+      }
+      uint8_t factor = (*matrix)[r][col];
+      for (size_t c = 0; c < 2 * n; ++c) {
+        (*matrix)[r][c] = Gf256::Add((*matrix)[r][c], gf.Mul(factor, (*matrix)[col][c]));
+      }
+    }
+  }
+  // Keep only the right half (the inverse).
+  for (size_t r = 0; r < n; ++r) {
+    (*matrix)[r].erase((*matrix)[r].begin(), (*matrix)[r].begin() + n);
+  }
+  return true;
+}
+
+Status ReedSolomon::Reconstruct(const std::vector<const uint8_t*>& shards,
+                                std::vector<uint8_t*> out, size_t len) const {
+  URSA_CHECK_EQ(shards.size(), static_cast<size_t>(n()));
+  const Gf256& gf = Gf256::Instance();
+
+  // Collect k surviving shards and the encoding rows that produced them.
+  std::vector<int> alive;
+  for (int i = 0; i < n() && static_cast<int>(alive.size()) < k_; ++i) {
+    if (shards[i] != nullptr) {
+      alive.push_back(i);
+    }
+  }
+  if (static_cast<int>(alive.size()) < k_) {
+    return Unavailable("fewer than k shards survive; stripe unrecoverable");
+  }
+
+  std::vector<std::vector<uint8_t>> sub(k_);
+  for (int r = 0; r < k_; ++r) {
+    sub[r] = rows_[alive[r]];
+  }
+  if (!Invert(&sub)) {
+    return Internal("singular decoding matrix (should be impossible for Cauchy)");
+  }
+
+  // data[d] = sum_r inverse[d][r] * survivor[r]; rebuild only missing data.
+  std::vector<std::vector<uint8_t>> data_bufs;
+  std::vector<const uint8_t*> data(k_);
+  for (int d = 0; d < k_; ++d) {
+    if (shards[d] != nullptr) {
+      data[d] = shards[d];
+      continue;
+    }
+    URSA_CHECK(out[d] != nullptr) << "missing shard needs an output buffer";
+    std::memset(out[d], 0, len);
+    for (int r = 0; r < k_; ++r) {
+      gf.MulAccum(sub[d][r], shards[alive[r]], out[d], len);
+    }
+    data[d] = out[d];
+  }
+  // Re-encode any missing parity from the (now complete) data.
+  for (int p = 0; p < m_; ++p) {
+    int idx = k_ + p;
+    if (shards[idx] != nullptr) {
+      continue;
+    }
+    URSA_CHECK(out[idx] != nullptr);
+    std::memset(out[idx], 0, len);
+    for (int d = 0; d < k_; ++d) {
+      gf.MulAccum(coding_[p][d], data[d], out[idx], len);
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace ursa::ec

@@ -1,0 +1,61 @@
+// Systematic Reed-Solomon (k data + m parity) over GF(2^8).
+//
+// Encoding matrix: the k x k identity stacked on an m x k Cauchy-derived
+// matrix, so any k of the k+m shards reconstruct the stripe. Supports
+// incremental parity updates (parity_delta = coef * data_delta), which is
+// what makes partial-write strategies — RMW, parity logging (Chan et al.),
+// PariX-style speculation — implementable without full-stripe rewrites.
+#ifndef URSA_EC_REED_SOLOMON_H_
+#define URSA_EC_REED_SOLOMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ec/gf256.h"
+
+namespace ursa::ec {
+
+class ReedSolomon {
+ public:
+  // Requires 1 <= k, 0 <= m, k + m <= 255.
+  ReedSolomon(int k, int m);
+
+  int k() const { return k_; }
+  int m() const { return m_; }
+  int n() const { return k_ + m_; }
+
+  // Computes the m parity shards from the k data shards (all `len` bytes).
+  void Encode(const std::vector<const uint8_t*>& data, const std::vector<uint8_t*>& parity,
+              size_t len) const;
+
+  // Coefficient of data shard `d` in parity shard `p` — the scalar for
+  // incremental parity updates: new_parity = old_parity + coef*(new - old).
+  uint8_t ParityCoefficient(int p, int d) const { return coding_[p][d]; }
+
+  // Applies a data delta (new XOR old) of shard `d` to parity shard `p`.
+  void UpdateParity(int p, int d, const uint8_t* delta, uint8_t* parity, size_t len) const {
+    Gf256::Instance().MulAccum(coding_[p][d], delta, parity, len);
+  }
+
+  // Reconstructs the full stripe from any k surviving shards.
+  // `shards[i]` is shard i's bytes or nullptr if lost; lost shards must point
+  // at writable buffers in `out[i]`. Fails when fewer than k survive.
+  Status Reconstruct(const std::vector<const uint8_t*>& shards, std::vector<uint8_t*> out,
+                     size_t len) const;
+
+ private:
+  // Inverts a square GF(256) matrix in place; false if singular.
+  static bool Invert(std::vector<std::vector<uint8_t>>* matrix);
+
+  int k_;
+  int m_;
+  // Full (k+m) x k encoding matrix rows; first k rows = identity.
+  std::vector<std::vector<uint8_t>> rows_;
+  // Convenience view of the parity rows (m x k).
+  std::vector<std::vector<uint8_t>> coding_;
+};
+
+}  // namespace ursa::ec
+
+#endif  // URSA_EC_REED_SOLOMON_H_

@@ -1,0 +1,225 @@
+#include "src/index/flsm_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace ursa::index {
+
+FlsmIndex::FlsmIndex() : FlsmIndex(Options{}) {}
+
+FlsmIndex::FlsmIndex(const Options& options) : options_(options) {
+  URSA_CHECK_GT(options_.num_guards, 0u);
+  guards_.resize(options_.num_guards);
+}
+
+size_t FlsmIndex::GuardFor(uint32_t key) const {
+  uint64_t span = (static_cast<uint64_t>(kMaxOffset) + 1) / options_.num_guards;
+  size_t g = key / span;
+  return std::min(g, options_.num_guards - 1);
+}
+
+void FlsmIndex::Insert(uint32_t offset, uint32_t length, uint64_t j_offset) {
+  // FLSM stores point mappings: one KV per sector of the range.
+  for (uint32_t i = 0; i < length; ++i) {
+    memtable_[offset + i] = j_offset + i;
+    if (memtable_.size() >= options_.memtable_limit) {
+      FlushMemtable();
+    }
+  }
+}
+
+void FlsmIndex::EraseRange(uint32_t offset, uint32_t length) {
+  for (uint32_t i = 0; i < length; ++i) {
+    memtable_[offset + i] = kTombstone;
+    if (memtable_.size() >= options_.memtable_limit) {
+      FlushMemtable();
+    }
+  }
+}
+
+void FlsmIndex::FlushMemtable() {
+  if (memtable_.empty()) {
+    return;
+  }
+  // Partition the sorted memtable into per-guard runs; append each as a new
+  // fragment without merging into existing runs (the FLSM write path).
+  uint64_t gen = next_generation_++;
+  auto it = memtable_.begin();
+  while (it != memtable_.end()) {
+    size_t guard = GuardFor(it->first);
+    Run run;
+    run.generation = gen;
+    while (it != memtable_.end() && GuardFor(it->first) == guard) {
+      run.entries.emplace_back(it->first, it->second);
+      ++it;
+    }
+    guards_[guard].runs.push_back(std::move(run));
+    if (guards_[guard].runs.size() > options_.max_runs_per_guard) {
+      CompactGuard(&guards_[guard]);
+    }
+  }
+  memtable_.clear();
+}
+
+void FlsmIndex::CompactGuard(Guard* guard) {
+  // Full merge of the guard's runs, newest generation wins per key.
+  std::map<uint32_t, std::pair<uint64_t, uint64_t>> merged;  // key -> (gen, value)
+  for (const Run& run : guard->runs) {
+    for (const auto& [key, value] : run.entries) {
+      auto it = merged.find(key);
+      if (it == merged.end() || it->second.first < run.generation) {
+        merged[key] = {run.generation, value};
+      }
+    }
+  }
+  Run out;
+  out.generation = next_generation_++;
+  out.entries.reserve(merged.size());
+  for (const auto& [key, gv] : merged) {
+    if (gv.second != kTombstone) {  // nothing older remains to shadow
+      out.entries.emplace_back(key, gv.second);
+    }
+  }
+  guard->runs.clear();
+  guard->runs.push_back(std::move(out));
+}
+
+bool FlsmIndex::Lookup(uint32_t key, uint64_t* value) const {
+  auto mit = memtable_.find(key);
+  if (mit != memtable_.end()) {
+    if (mit->second == kTombstone) {
+      return false;
+    }
+    *value = mit->second;
+    return true;
+  }
+  const Guard& guard = guards_[GuardFor(key)];
+  uint64_t best_gen = 0;
+  uint64_t best_value = kTombstone;
+  bool found = false;
+  for (const Run& run : guard.runs) {
+    auto it = std::lower_bound(run.entries.begin(), run.entries.end(), key,
+                               [](const auto& e, uint32_t k) { return e.first < k; });
+    if (it != run.entries.end() && it->first == key && run.generation >= best_gen) {
+      best_gen = run.generation;
+      best_value = it->second;
+      found = true;
+    }
+  }
+  if (!found || best_value == kTombstone) {
+    return false;
+  }
+  *value = best_value;
+  return true;
+}
+
+std::vector<Segment> FlsmIndex::Query(uint32_t offset, uint32_t length) const {
+  // seek(): position a cursor in the memtable and in every run of the guards
+  // covering the range. next(): k-way merge, one key at a time, newest
+  // generation winning on duplicates (the memtable is always newest).
+  struct Cursor {
+    const std::vector<std::pair<uint32_t, uint64_t>>* entries;
+    size_t pos;
+    uint64_t generation;
+  };
+  if (length == 0) {
+    return {};
+  }
+  uint32_t lo = offset;
+  uint32_t hi = offset + length;
+
+  std::vector<Cursor> cursors;
+  size_t g_lo = GuardFor(lo);
+  size_t g_hi = GuardFor(hi - 1);
+  for (size_t g = g_lo; g <= g_hi; ++g) {
+    for (const Run& run : guards_[g].runs) {
+      auto it = std::lower_bound(run.entries.begin(), run.entries.end(), lo,
+                                 [](const auto& e, uint32_t k) { return e.first < k; });
+      cursors.push_back(
+          Cursor{&run.entries, static_cast<size_t>(it - run.entries.begin()), run.generation});
+    }
+  }
+  auto mem_it = memtable_.lower_bound(lo);
+  constexpr uint64_t kMemtableGen = std::numeric_limits<uint64_t>::max();
+
+  std::vector<Segment> out;
+  uint32_t pos = lo;
+  while (pos < hi) {
+    uint32_t best_key = hi;  // sentinel: nothing found
+    uint64_t best_gen = 0;
+    uint64_t best_value = kTombstone;
+    for (Cursor& c : cursors) {
+      while (c.pos < c.entries->size() && (*c.entries)[c.pos].first < pos) {
+        ++c.pos;
+      }
+      if (c.pos >= c.entries->size()) {
+        continue;
+      }
+      uint32_t key = (*c.entries)[c.pos].first;
+      if (key >= hi) {
+        continue;
+      }
+      if (key < best_key || (key == best_key && c.generation > best_gen)) {
+        best_key = key;
+        best_gen = c.generation;
+        best_value = (*c.entries)[c.pos].second;
+      }
+    }
+    while (mem_it != memtable_.end() && mem_it->first < pos) {
+      ++mem_it;
+    }
+    if (mem_it != memtable_.end() && mem_it->first < hi && mem_it->first <= best_key) {
+      best_key = mem_it->first;
+      best_gen = kMemtableGen;
+      best_value = mem_it->second;
+    }
+    if (best_key >= hi) {
+      break;
+    }
+    if (best_key > pos) {
+      out.push_back(Segment{pos, best_key - pos, 0, false});
+    }
+    if (best_value == kTombstone) {
+      out.push_back(Segment{best_key, 1, 0, false});
+    } else if (!out.empty() && out.back().mapped &&
+               out.back().offset + out.back().length == best_key &&
+               out.back().j_offset + out.back().length == best_value) {
+      ++out.back().length;
+    } else {
+      out.push_back(Segment{best_key, 1, best_value, true});
+    }
+    pos = best_key + 1;
+  }
+  if (pos < hi) {
+    out.push_back(Segment{pos, hi - pos, 0, false});
+  }
+
+  // Coalesce adjacent unmapped segments (tombstones next to true gaps).
+  std::vector<Segment> merged;
+  merged.reserve(out.size());
+  for (const Segment& seg : out) {
+    if (!merged.empty() && !merged.back().mapped && !seg.mapped &&
+        merged.back().offset + merged.back().length == seg.offset) {
+      merged.back().length += seg.length;
+    } else {
+      merged.push_back(seg);
+    }
+  }
+  return merged;
+}
+
+size_t FlsmIndex::size() const {
+  size_t n = memtable_.size();
+  for (const Guard& guard : guards_) {
+    for (const Run& run : guard.runs) {
+      n += run.entries.size();
+    }
+  }
+  return n;
+}
+
+size_t FlsmIndex::total_stored_keys() const { return size(); }
+
+}  // namespace ursa::index

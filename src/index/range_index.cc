@@ -1,0 +1,274 @@
+#include "src/index/range_index.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace ursa::index {
+
+void RangeIndex::Insert(uint32_t offset, uint32_t length, uint64_t j_offset) {
+  URSA_CHECK_GT(length, 0u);
+  URSA_CHECK_LE(length, kMaxLength);
+  URSA_CHECK_LE(static_cast<uint64_t>(offset) + length, static_cast<uint64_t>(kMaxOffset) + 1);
+  URSA_CHECK_LE(j_offset + length, kMaxJOffset + 1);
+  CarveTree(offset, offset + length, /*tombstone=*/false);
+  tree_[offset] = TreeVal{length, j_offset, /*tombstone=*/false};
+  MaybeCompact();
+}
+
+void RangeIndex::EraseRange(uint32_t offset, uint32_t length) {
+  if (length == 0) {
+    return;
+  }
+  CarveTree(offset, offset + length, /*tombstone=*/false);
+  if (!array_.empty()) {
+    // A tombstone shadows any stale array mappings under the erased range.
+    tree_[offset] = TreeVal{length, 0, /*tombstone=*/true};
+  }
+  MaybeCompact();
+}
+
+void RangeIndex::EraseIfMapsTo(uint32_t offset, uint32_t length, uint64_t j_offset) {
+  std::vector<Segment> mapped = QueryMapped(offset, length);
+  for (const Segment& seg : mapped) {
+    uint64_t expected_j = j_offset + (seg.offset - offset);
+    if (seg.j_offset == expected_j) {
+      EraseRange(seg.offset, seg.length);
+    }
+  }
+}
+
+void RangeIndex::CarveTree(uint32_t lo, uint32_t hi, bool /*tombstone*/) {
+  if (tree_.empty() || lo >= hi) {
+    return;
+  }
+  auto it = tree_.lower_bound(lo);
+  // The predecessor may straddle lo.
+  if (it != tree_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.length > lo) {
+      it = prev;
+    }
+  }
+  while (it != tree_.end() && it->first < hi) {
+    uint32_t e_off = it->first;
+    TreeVal val = it->second;
+    uint32_t e_end = e_off + val.length;
+    it = tree_.erase(it);
+    if (e_off < lo) {
+      // Left remainder keeps its original mapping base.
+      tree_[e_off] = TreeVal{lo - e_off, val.j_offset, val.tombstone};
+    }
+    if (e_end > hi) {
+      // Right remainder: re-base the journal offset past the carved span.
+      uint64_t j = val.tombstone ? 0 : val.j_offset + (hi - e_off);
+      tree_[hi] = TreeVal{e_end - hi, j, val.tombstone};
+      break;  // nothing past e_end can start before hi (entries are disjoint)
+    }
+  }
+}
+
+void RangeIndex::QueryArray(uint32_t lo, uint32_t hi, std::vector<Segment>* out) const {
+  uint32_t pos = lo;
+  if (!array_.empty()) {
+    // First entry whose end is past lo.
+    auto it = std::lower_bound(array_.begin(), array_.end(), lo,
+                               [](const Packed& p, uint32_t v) { return p.offset() < v; });
+    if (it != array_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->end() > lo) {
+        it = prev;
+      }
+    }
+    for (; it != array_.end() && it->offset() < hi; ++it) {
+      uint32_t e_lo = std::max(it->offset(), lo);
+      uint32_t e_hi = std::min(it->end(), hi);
+      if (e_lo >= e_hi) {
+        continue;
+      }
+      if (pos < e_lo) {
+        out->push_back(Segment{pos, e_lo - pos, 0, false});
+      }
+      out->push_back(Segment{e_lo, e_hi - e_lo, it->j_offset() + (e_lo - it->offset()), true});
+      pos = e_hi;
+    }
+  }
+  if (pos < hi) {
+    out->push_back(Segment{pos, hi - pos, 0, false});
+  }
+}
+
+std::vector<Segment> RangeIndex::Query(uint32_t offset, uint32_t length) const {
+  std::vector<Segment> out;
+  if (length == 0) {
+    return out;
+  }
+  uint32_t lo = offset;
+  uint32_t hi = offset + length;
+  uint32_t pos = lo;
+
+  auto it = tree_.lower_bound(lo);
+  if (it != tree_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.length > lo) {
+      it = prev;
+    }
+  }
+  for (; it != tree_.end() && it->first < hi; ++it) {
+    uint32_t e_lo = std::max(it->first, lo);
+    uint32_t e_hi = std::min(it->first + it->second.length, hi);
+    if (e_lo >= e_hi) {
+      continue;
+    }
+    if (pos < e_lo) {
+      QueryArray(pos, e_lo, &out);  // gap between tree entries -> level 1
+    }
+    if (it->second.tombstone) {
+      out.push_back(Segment{e_lo, e_hi - e_lo, 0, false});
+    } else {
+      out.push_back(
+          Segment{e_lo, e_hi - e_lo, it->second.j_offset + (e_lo - it->first), true});
+    }
+    pos = e_hi;
+  }
+  if (pos < hi) {
+    QueryArray(pos, hi, &out);
+  }
+
+  // Coalesce adjacent unmapped segments (tombstones next to true gaps).
+  std::vector<Segment> merged;
+  merged.reserve(out.size());
+  for (const Segment& seg : out) {
+    if (!merged.empty() && !merged.back().mapped && !seg.mapped &&
+        merged.back().offset + merged.back().length == seg.offset) {
+      merged.back().length += seg.length;
+    } else {
+      merged.push_back(seg);
+    }
+  }
+  return merged;
+}
+
+std::vector<Segment> RangeIndex::QueryMapped(uint32_t offset, uint32_t length) const {
+  std::vector<Segment> all = Query(offset, length);
+  std::vector<Segment> mapped;
+  for (const Segment& seg : all) {
+    if (seg.mapped) {
+      mapped.push_back(seg);
+    }
+  }
+  return mapped;
+}
+
+void RangeIndex::Compact() {
+  std::vector<Packed> merged;
+  merged.reserve(array_.size() + tree_.size());
+
+  // Push with composite-key coalescing: contiguous chunk ranges whose journal
+  // offsets are also contiguous fuse into one key (§3.3 "composite keys").
+  auto push = [&merged](uint32_t off, uint32_t len, uint64_t j) {
+    if (!merged.empty()) {
+      Packed& last = merged.back();
+      if (last.end() == off && last.j_offset() + last.length() == j &&
+          static_cast<uint64_t>(last.length()) + len <= kMaxLength) {
+        last = Packed::Make(last.offset(), last.length() + len, last.j_offset());
+        return;
+      }
+    }
+    merged.push_back(Packed::Make(off, len, j));
+  };
+
+  size_t ai = 0;
+  bool have_cur = false;
+  uint32_t cur_off = 0;
+  uint32_t cur_len = 0;
+  uint64_t cur_j = 0;
+  auto load_next = [&]() {
+    if (ai < array_.size()) {
+      cur_off = array_[ai].offset();
+      cur_len = array_[ai].length();
+      cur_j = array_[ai].j_offset();
+      ++ai;
+      have_cur = true;
+    }
+  };
+  load_next();
+
+  // Emits array content strictly below `bound`, keeping any remainder.
+  auto emit_array_until = [&](uint64_t bound) {
+    while (have_cur && cur_off < bound) {
+      uint32_t end = cur_off + cur_len;
+      uint32_t stop = static_cast<uint32_t>(std::min<uint64_t>(end, bound));
+      if (stop > cur_off) {
+        push(cur_off, stop - cur_off, cur_j);
+      }
+      if (stop < end) {
+        cur_j += stop - cur_off;
+        cur_len = end - stop;
+        cur_off = stop;
+        return;
+      }
+      have_cur = false;
+      load_next();
+    }
+  };
+  // Drops array content strictly below `bound` (shadowed by a tree entry).
+  auto skip_array_until = [&](uint64_t bound) {
+    while (have_cur && cur_off < bound) {
+      uint32_t end = cur_off + cur_len;
+      if (end <= bound) {
+        have_cur = false;
+        load_next();
+      } else {
+        uint32_t stop = static_cast<uint32_t>(bound);
+        cur_j += stop - cur_off;
+        cur_len = end - stop;
+        cur_off = stop;
+      }
+    }
+  };
+
+  for (const auto& [off, val] : tree_) {
+    emit_array_until(off);
+    skip_array_until(static_cast<uint64_t>(off) + val.length);
+    if (!val.tombstone) {
+      // Tree entries can exceed kMaxLength only via EraseRange tombstones;
+      // mapped entries were validated at Insert.
+      push(off, val.length, val.j_offset);
+    }
+  }
+  emit_array_until(static_cast<uint64_t>(kMaxOffset) + 1);
+
+  array_ = std::move(merged);
+  tree_.clear();
+}
+
+void RangeIndex::MaybeCompact() {
+  if (tree_.size() >= merge_threshold_) {
+    Compact();
+  }
+}
+
+size_t RangeIndex::size() const {
+  size_t n = array_.size();
+  for (const auto& [off, val] : tree_) {
+    if (!val.tombstone) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+size_t RangeIndex::MemoryBytes() const {
+  // Array entries are exactly 8 bytes; red-black tree nodes carry three
+  // pointers + color + key/value (the overhead §3.3 calls out).
+  constexpr size_t kTreeNodeBytes = 3 * sizeof(void*) + 8 + sizeof(TreeVal);
+  return array_.size() * sizeof(Packed) + tree_.size() * kTreeNodeBytes;
+}
+
+void RangeIndex::Clear() {
+  tree_.clear();
+  array_.clear();
+}
+
+}  // namespace ursa::index

@@ -1,0 +1,369 @@
+#include "src/journal/journal_manager.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace ursa::journal {
+
+namespace {
+
+// Aggregates N sub-operation completions into one callback; first error wins.
+struct Joiner {
+  size_t remaining;
+  Status status;
+  storage::IoCallback done;
+
+  void Finish(const Status& s) {
+    if (!s.ok() && status.ok()) {
+      status = s;
+    }
+    if (--remaining == 0) {
+      done(status);
+    }
+  }
+};
+
+}  // namespace
+
+JournalManager::JournalManager(sim::Simulator* sim, storage::ChunkStore* backup_store,
+                               const JournalManagerOptions& options)
+    : sim_(sim), backup_store_(backup_store), options_(options) {}
+
+void JournalManager::AddJournal(std::unique_ptr<JournalWriter> writer, bool on_hdd) {
+  URSA_CHECK_LT(journals_.size() * kWindowSectors, index::kMaxJOffset)
+      << "too many journals for the 30-bit j-space";
+  journals_.push_back(JournalSlot{std::move(writer), on_hdd});
+}
+
+index::RangeIndex& JournalManager::IndexFor(storage::ChunkId chunk) {
+  auto it = indexes_.find(chunk);
+  if (it == indexes_.end()) {
+    it = indexes_.emplace(chunk, index::RangeIndex(options_.index_merge_threshold)).first;
+  }
+  return it->second;
+}
+
+void JournalManager::Write(storage::ChunkId chunk, uint64_t offset, uint64_t length,
+                           uint64_t version, const void* data, storage::IoCallback done) {
+  URSA_CHECK_EQ(offset % kSector, 0u);
+  URSA_CHECK_EQ(length % kSector, 0u);
+  URSA_CHECK_GT(length, 0u);
+
+  if (length > options_.bypass_threshold || journals_.empty()) {
+    // Journal bypass (§3.2): large sequential writes go straight to the HDD;
+    // obsolete overlapped journal appends are invalidated in the index AND a
+    // durable header-only invalidation record lands in the journal, so a
+    // post-crash scan cannot resurrect the superseded appends. The write
+    // acks only when both the HDD write and the marker are durable.
+    IndexFor(chunk).EraseRange(static_cast<uint32_t>(offset / kSector),
+                               static_cast<uint32_t>(length / kSector));
+    ++stats_.bypassed_writes;
+    bool need_marker = false;
+    for (size_t k = 0; k < journals_.size() && !need_marker; ++k) {
+      need_marker = journals_[k].writer->appended_records() > 0;
+    }
+    if (!need_marker) {
+      backup_store_->Write(chunk, offset, length, data, std::move(done));
+      return;
+    }
+    auto joiner = std::make_shared<Joiner>();
+    joiner->remaining = 2;
+    joiner->done = std::move(done);
+    backup_store_->Write(chunk, offset, length, data,
+                         [joiner](const Status& s) { joiner->Finish(s); });
+    bool appended = false;
+    for (size_t k = active_; k < journals_.size() && !appended; ++k) {
+      Result<uint64_t> j = journals_[k].writer->AppendInvalidation(
+          chunk, static_cast<uint32_t>(offset), static_cast<uint32_t>(length), version,
+          [joiner](const Status& s) { joiner->Finish(s); });
+      appended = j.ok();
+    }
+    if (!appended) {
+      // Journals full: fall back to acking on the HDD write alone (recovery
+      // will replay stale appends, but the overlapped HDD ranges get
+      // re-overwritten by the replay of those same appends — consistent,
+      // merely conservative).
+      joiner->Finish(OkStatus());
+    }
+    Kick();
+    return;
+  }
+
+  // Scan journals in preference order: replay continuously frees SSD-journal
+  // space, so after an expansion the load returns to the SSD journal as soon
+  // as it has room again.
+  for (size_t k = 0; k < journals_.size(); ++k) {
+    if (!journals_[k].writer->CanFit(length)) {
+      continue;
+    }
+    Result<uint64_t> j_off = journals_[k].writer->Append(
+        chunk, static_cast<uint32_t>(offset), static_cast<uint32_t>(length), version, data,
+        std::move(done));
+    URSA_CHECK(j_off.ok());  // CanFit guaranteed space
+    if (k > active_) {
+      ++stats_.expansions;
+      URSA_LOG(INFO) << "journal expansion to " << journals_[k].writer->name();
+    }
+    active_ = k;
+    ++stats_.journaled_writes;
+    IndexFor(chunk).Insert(static_cast<uint32_t>(offset / kSector),
+                           static_cast<uint32_t>(length / kSector), ToJSector(k, *j_off));
+    Kick();
+    return;
+  }
+
+  // Every journal is full: fall back to a direct backup write.
+  ++stats_.direct_fallback_writes;
+  IndexFor(chunk).EraseRange(static_cast<uint32_t>(offset / kSector),
+                             static_cast<uint32_t>(length / kSector));
+  backup_store_->Write(chunk, offset, length, data, std::move(done));
+}
+
+void JournalManager::Read(storage::ChunkId chunk, uint64_t offset, uint64_t length, void* out,
+                          storage::IoCallback done) {
+  URSA_CHECK_EQ(offset % kSector, 0u);
+  URSA_CHECK_EQ(length % kSector, 0u);
+
+  auto it = indexes_.find(chunk);
+  std::vector<index::Segment> segments;
+  if (it != indexes_.end()) {
+    segments = it->second.Query(static_cast<uint32_t>(offset / kSector),
+                                static_cast<uint32_t>(length / kSector));
+  } else {
+    segments.push_back(index::Segment{static_cast<uint32_t>(offset / kSector),
+                                      static_cast<uint32_t>(length / kSector), 0, false});
+  }
+
+  auto joiner = std::make_shared<Joiner>();
+  joiner->remaining = segments.size();
+  joiner->done = std::move(done);
+  for (const index::Segment& seg : segments) {
+    uint64_t seg_offset = static_cast<uint64_t>(seg.offset) * kSector;
+    uint64_t seg_length = static_cast<uint64_t>(seg.length) * kSector;
+    void* dest =
+        out == nullptr ? nullptr : static_cast<uint8_t*>(out) + (seg_offset - offset);
+    auto cb = [joiner](const Status& s) { joiner->Finish(s); };
+    if (seg.mapped) {
+      size_t k = JournalOf(seg.j_offset);
+      URSA_CHECK_LT(k, journals_.size());
+      journals_[k].writer->ReadPayload(ByteOffsetOf(seg.j_offset),
+                                       static_cast<uint32_t>(seg_length), dest, std::move(cb));
+    } else {
+      backup_store_->Read(chunk, seg_offset, seg_length, dest, std::move(cb));
+    }
+  }
+}
+
+void JournalManager::RecoverFromJournals(storage::IoCallback done) {
+  indexes_.clear();
+  auto remaining = std::make_shared<size_t>(journals_.size());
+  auto first_error = std::make_shared<Status>();
+  auto all = std::make_shared<std::vector<std::vector<AppendedRecord>>>(journals_.size());
+  auto done_shared = std::make_shared<storage::IoCallback>(std::move(done));
+  auto finish = [this, remaining, first_error, all, done_shared]() {
+    if (--*remaining > 0) {
+      return;
+    }
+    if (!first_error->ok()) {
+      (*done_shared)(*first_error);
+      return;
+    }
+    // Apply all surviving records in per-chunk version order so the newest
+    // mapping wins (Insert invalidates older intersecting entries).
+    struct Tagged {
+      size_t journal;
+      AppendedRecord rec;
+    };
+    std::vector<Tagged> tagged;
+    for (size_t k = 0; k < all->size(); ++k) {
+      for (const AppendedRecord& rec : (*all)[k]) {
+        tagged.push_back(Tagged{k, rec});
+      }
+    }
+    std::stable_sort(tagged.begin(), tagged.end(), [](const Tagged& a, const Tagged& b) {
+      if (a.rec.chunk_id != b.rec.chunk_id) {
+        return a.rec.chunk_id < b.rec.chunk_id;
+      }
+      return a.rec.version < b.rec.version;
+    });
+    for (const Tagged& t : tagged) {
+      if (t.rec.invalidation) {
+        // A bypass superseded this range: drop any older journal mappings.
+        IndexFor(t.rec.chunk_id)
+            .EraseRange(static_cast<uint32_t>(t.rec.chunk_offset / kSector),
+                        static_cast<uint32_t>(t.rec.length / kSector));
+      } else {
+        IndexFor(t.rec.chunk_id)
+            .Insert(static_cast<uint32_t>(t.rec.chunk_offset / kSector),
+                    static_cast<uint32_t>(t.rec.length / kSector),
+                    ToJSector(t.journal, t.rec.j_offset));
+      }
+    }
+    for (size_t k = 0; k < journals_.size(); ++k) {
+      journals_[k].writer->RestorePending(std::move((*all)[k]));
+    }
+    active_ = 0;
+    Kick();
+    (*done_shared)(OkStatus());
+  };
+  for (size_t k = 0; k < journals_.size(); ++k) {
+    journals_[k].writer->Scan(
+        [k, all, first_error, finish](const Status& s, std::vector<AppendedRecord> records) {
+          if (!s.ok() && first_error->ok()) {
+            *first_error = s;
+          }
+          (*all)[k] = std::move(records);
+          finish();
+        });
+  }
+}
+
+void JournalManager::StartReplay() {
+  replay_running_ = true;
+  Kick();
+}
+
+bool JournalManager::ReplayDrained() const {
+  for (const JournalSlot& slot : journals_) {
+    if (slot.writer->HasPending()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<index::Segment> JournalManager::IndexSnapshot(storage::ChunkId chunk) const {
+  auto it = indexes_.find(chunk);
+  if (it == indexes_.end()) {
+    return {};
+  }
+  return it->second.QueryMapped(0, index::kMaxOffset);
+}
+
+void JournalManager::Kick() {
+  if (!replay_running_ || replay_wave_inflight_ || tick_scheduled_) {
+    return;
+  }
+  tick_scheduled_ = true;
+  sim_->After(0, [this]() {
+    tick_scheduled_ = false;
+    ReplayTick();
+  });
+}
+
+void JournalManager::ReplayTick() {
+  if (!replay_running_ || replay_wave_inflight_) {
+    return;
+  }
+  // Prefer SSD journals (replayed continuously, §3.2); HDD journals are
+  // replayed only when their device is idle.
+  size_t chosen = journals_.size();
+  bool waiting_on_busy_hdd = false;
+  for (size_t k = 0; k < journals_.size(); ++k) {
+    if (!journals_[k].writer->HasPending()) {
+      continue;
+    }
+    if (!journals_[k].on_hdd) {
+      chosen = k;
+      break;
+    }
+    if (journals_[k].writer->device()->inflight() == 0) {
+      if (chosen == journals_.size()) {
+        chosen = k;
+      }
+    } else {
+      waiting_on_busy_hdd = true;
+    }
+  }
+  if (chosen == journals_.size()) {
+    if (waiting_on_busy_hdd) {
+      // Poll for idleness; bounded because the HDD must eventually drain.
+      tick_scheduled_ = true;
+      sim_->After(options_.replay_poll_interval, [this]() {
+        tick_scheduled_ = false;
+        ReplayTick();
+      });
+    }
+    return;  // fully drained: stop; the next Write() re-kicks us
+  }
+
+  JournalWriter* writer = journals_[chosen].writer.get();
+  size_t n = std::min(options_.replay_batch, writer->pending().size());
+  URSA_CHECK_GT(n, 0u);
+  replay_wave_inflight_ = true;
+
+  auto remaining = std::make_shared<size_t>(n);
+  auto wave_done = [this, writer, n, remaining]() {
+    if (--*remaining > 0) {
+      return;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      writer->PopFrontAndFree();
+    }
+    replay_wave_inflight_ = false;
+    Kick();
+  };
+  for (size_t i = 0; i < n; ++i) {
+    ReplayOne(chosen, i, wave_done);
+  }
+}
+
+void JournalManager::ReplayOne(size_t idx, size_t record_pos, std::function<void()> done) {
+  JournalWriter* writer = journals_[idx].writer.get();
+  const AppendedRecord rec = writer->pending()[record_pos];
+
+  // Which sub-ranges of this record are still live (not overwritten by a
+  // newer append or bypass)? Dead ranges are skipped — this is the overwrite
+  // merging that lets journals outperform direct HDD backup writes (§3.2).
+  uint32_t lo = static_cast<uint32_t>(rec.chunk_offset / kSector);
+  uint32_t len = static_cast<uint32_t>(rec.length / kSector);
+  uint64_t rec_j = ToJSector(idx, rec.j_offset);
+  std::vector<index::Segment> live;
+  for (const index::Segment& seg : IndexFor(rec.chunk_id).QueryMapped(lo, len)) {
+    if (seg.j_offset == rec_j + (seg.offset - lo)) {
+      live.push_back(seg);
+    }
+  }
+  if (live.empty()) {
+    ++stats_.merged_records;
+    // Consume asynchronously so a wave of fully-merged records cannot
+    // re-enter the writer's deque state machine synchronously.
+    sim_->After(0, std::move(done));
+    return;
+  }
+
+  auto remaining = std::make_shared<size_t>(live.size());
+  for (const index::Segment& seg : live) {
+    uint64_t seg_bytes = static_cast<uint64_t>(seg.length) * kSector;
+    std::shared_ptr<std::vector<uint8_t>> buf;
+    void* buf_ptr = nullptr;
+    if (rec.has_data) {
+      buf = std::make_shared<std::vector<uint8_t>>(seg_bytes);
+      buf_ptr = buf->data();
+    }
+    uint64_t journal_byte_off = ByteOffsetOf(seg.j_offset);
+    writer->ReadPayload(
+        journal_byte_off, static_cast<uint32_t>(seg_bytes), buf_ptr,
+        [this, idx, seg, seg_bytes, buf, buf_ptr, remaining, done,
+         chunk = rec.chunk_id](const Status& s) {
+          URSA_CHECK(s.ok()) << "journal read failed during replay: " << s.ToString();
+          uint64_t chunk_byte_off = static_cast<uint64_t>(seg.offset) * kSector;
+          backup_store_->WriteBackground(
+              chunk, chunk_byte_off, seg_bytes, buf_ptr,
+              [this, chunk, seg, seg_bytes, buf, remaining, done](const Status& s2) {
+                URSA_CHECK(s2.ok()) << "backup write failed during replay: " << s2.ToString();
+                IndexFor(chunk).EraseIfMapsTo(seg.offset, seg.length, seg.j_offset);
+                stats_.replayed_bytes += seg_bytes;
+                if (--*remaining == 0) {
+                  ++stats_.replayed_records;
+                  done();
+                }
+              });
+        });
+  }
+}
+
+}  // namespace ursa::journal

@@ -1,0 +1,134 @@
+// JournalManager: the SSD-HDD-hybrid backup write path (§3.2).
+//
+// One manager serves one backup HDD. Small backup writes (<= Tj = 64 KB)
+// become sequential appends to a journal — preferably a quota-bounded region
+// of a co-located SSD — and are acknowledged as soon as the append is
+// durable. A replay worker asynchronously merges journal records into the
+// backup HDD's chunk store, skipping records whose ranges were overwritten by
+// newer appends (overwrite merging) and writing in elevator-friendly order.
+// Large writes (> Tj) bypass journals straight to the HDD, invalidating any
+// overlapped journal mappings in the per-chunk RangeIndex.
+//
+// On-demand expansion (§3.2): when the active journal's ring is full, the
+// manager moves on to the next registered journal (least-loaded co-located
+// SSD, then an HDD journal that is replayed only when the disk is idle). When
+// every journal is full the write falls through to a direct HDD write (the
+// cluster additionally rate-limits such clients).
+#ifndef URSA_JOURNAL_JOURNAL_MANAGER_H_
+#define URSA_JOURNAL_JOURNAL_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/index/range_index.h"
+#include "src/journal/journal_writer.h"
+#include "src/sim/simulator.h"
+#include "src/storage/chunk_store.h"
+
+namespace ursa::journal {
+
+struct JournalManagerOptions {
+  uint64_t bypass_threshold = 64 * kKiB;  // Tj: larger writes skip journals
+  size_t replay_batch = 8;                // records merged per replay wave
+  Nanos replay_poll_interval = usec(200);  // idle-poll period for HDD journals
+  size_t index_merge_threshold = 8192;     // RangeIndex level-0 size trigger
+};
+
+struct JournalStats {
+  uint64_t journaled_writes = 0;
+  uint64_t bypassed_writes = 0;
+  uint64_t direct_fallback_writes = 0;  // all journals full
+  uint64_t replayed_records = 0;
+  uint64_t merged_records = 0;  // skipped at replay: fully overwritten
+  uint64_t replayed_bytes = 0;
+  uint64_t expansions = 0;  // active-journal switches due to full rings
+};
+
+class JournalManager {
+ public:
+  JournalManager(sim::Simulator* sim, storage::ChunkStore* backup_store,
+                 const JournalManagerOptions& options = {});
+
+  // Registers a journal in preference order (primary SSD journal first). An
+  // `on_hdd` journal is replayed only when its device is otherwise idle.
+  void AddJournal(std::unique_ptr<JournalWriter> writer, bool on_hdd);
+
+  // Backup write: journal append, bypass, or direct fallback. `done` runs
+  // when the write is durable on the journal or the HDD respectively.
+  void Write(storage::ChunkId chunk, uint64_t offset, uint64_t length, uint64_t version,
+             const void* data, storage::IoCallback done);
+
+  // Reads the newest backup data: journal overlays the HDD chunk store.
+  // Needed when a backup serves as temporary primary (§4.2.1) and during
+  // failure recovery. Offset/length must be sector-aligned.
+  void Read(storage::ChunkId chunk, uint64_t offset, uint64_t length, void* out,
+            storage::IoCallback done);
+
+  // Begins continuous replay; reschedules itself until destroyed.
+  void StartReplay();
+
+  // Crash recovery: scans every journal ring, rebuilds the per-chunk indexes
+  // (records applied in per-chunk version order, newest winning) and the
+  // replay queues. The HDD chunk stores already hold everything replayed
+  // before the crash; un-replayed records are re-discovered here and will be
+  // replayed again (replay is idempotent). `done` fires when all journals
+  // are recovered.
+  void RecoverFromJournals(storage::IoCallback done);
+
+  // True when every journal has been fully merged into the HDD.
+  bool ReplayDrained() const;
+
+  const JournalStats& stats() const { return stats_; }
+  size_t num_journals() const { return journals_.size(); }
+  size_t active_journal() const { return active_; }
+  const JournalWriter& journal(size_t i) const { return *journals_[i].writer; }
+
+  // Live journal-index mappings for `chunk` (whole-chunk query).
+  std::vector<index::Segment> IndexSnapshot(storage::ChunkId chunk) const;
+
+ private:
+  // Each journal occupies a disjoint 64 GiB window of the index's 30-bit
+  // sector-granular j-space so a j_offset identifies (journal, position).
+  static constexpr uint64_t kWindowSectors = (64ull * kGiB) / kSector;
+
+  struct JournalSlot {
+    std::unique_ptr<JournalWriter> writer;
+    bool on_hdd = false;
+  };
+
+  uint64_t ToJSector(size_t journal_idx, uint64_t byte_offset) const {
+    return journal_idx * kWindowSectors + byte_offset / kSector;
+  }
+  size_t JournalOf(uint64_t j_sector) const { return j_sector / kWindowSectors; }
+  uint64_t ByteOffsetOf(uint64_t j_sector) const {
+    return (j_sector % kWindowSectors) * kSector;
+  }
+
+  index::RangeIndex& IndexFor(storage::ChunkId chunk);
+
+  // Schedules a ReplayTick if replay is running and none is queued.
+  void Kick();
+  void ReplayTick();
+  // Merges the record at `record_pos` in journal `idx`'s pending deque;
+  // invokes `done` when the record has been consumed (either skipped or
+  // durably written to the HDD).
+  void ReplayOne(size_t idx, size_t record_pos, std::function<void()> done);
+
+  sim::Simulator* sim_;
+  storage::ChunkStore* backup_store_;
+  JournalManagerOptions options_;
+  std::vector<JournalSlot> journals_;
+  size_t active_ = 0;
+  std::map<storage::ChunkId, index::RangeIndex> indexes_;
+  JournalStats stats_;
+  bool replay_running_ = false;
+  bool replay_wave_inflight_ = false;
+  bool tick_scheduled_ = false;
+};
+
+}  // namespace ursa::journal
+
+#endif  // URSA_JOURNAL_JOURNAL_MANAGER_H_

@@ -1,0 +1,28 @@
+// Replay logic lives in JournalManager (ReplayTick/ReplayOne); this
+// translation unit exists to keep the build layout one-file-per-component
+// and hosts replay-related free functions.
+#include "src/journal/journal_replayer.h"
+
+#include "src/journal/journal_manager.h"
+
+namespace ursa::journal {
+
+// Estimates the long-term sustainable replay rate (records/s) for a backup
+// HDD given an average record payload and the fraction of records that the
+// overwrite merge eliminates. Used by benchmarks to sanity-check measured
+// replay throughput against the device model.
+double EstimateReplayRate(const storage::HddParams& hdd, uint64_t avg_payload,
+                          double merged_fraction) {
+  // A merged record costs nothing on the HDD; a live one costs roughly one
+  // positioning delay (elevator-shortened) plus the transfer.
+  double positioning_s = ToSec(hdd.min_seek + hdd.half_rotation / 2);
+  double transfer_s = static_cast<double>(avg_payload) / hdd.media_bw;
+  double per_live = positioning_s + transfer_s;
+  double live_fraction = 1.0 - merged_fraction;
+  if (live_fraction <= 0) {
+    return 1e12;
+  }
+  return 1.0 / (per_live * live_fraction);
+}
+
+}  // namespace ursa::journal

@@ -1,0 +1,20 @@
+// Analytical helpers for journal replay (the merge path itself is part of
+// JournalManager).
+#ifndef URSA_JOURNAL_JOURNAL_REPLAYER_H_
+#define URSA_JOURNAL_JOURNAL_REPLAYER_H_
+
+#include <cstdint>
+
+#include "src/storage/hdd_model.h"
+
+namespace ursa::journal {
+
+// Estimated long-term sustainable replay rate (records/s) for a backup HDD
+// given an average record payload and the fraction of records eliminated by
+// overwrite merging. Benchmarks use this to sanity-check measured rates.
+double EstimateReplayRate(const storage::HddParams& hdd, uint64_t avg_payload,
+                          double merged_fraction);
+
+}  // namespace ursa::journal
+
+#endif  // URSA_JOURNAL_JOURNAL_REPLAYER_H_

@@ -1,0 +1,216 @@
+#include "src/journal/journal_writer.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace ursa::journal {
+
+JournalWriter::JournalWriter(sim::Simulator* sim, storage::BlockDevice* device,
+                             uint64_t region_offset, uint64_t region_length, std::string name)
+    : sim_(sim),
+      device_(device),
+      region_offset_(region_offset),
+      region_length_(region_length),
+      name_(std::move(name)) {
+  URSA_CHECK_GT(region_length, 0u);
+  URSA_CHECK_EQ(region_length % kSector, 0u);
+  URSA_CHECK_LE(region_offset + region_length, device->capacity());
+}
+
+bool JournalWriter::CanFit(uint64_t payload_len) const {
+  uint64_t footprint = RecordFootprint(payload_len);
+  uint64_t phys = PhysicalPos(logical_head_);
+  uint64_t pad = phys + footprint > region_length_ ? region_length_ - phys : 0;
+  return footprint + pad <= free_bytes();
+}
+
+Result<uint64_t> JournalWriter::AppendInvalidation(storage::ChunkId chunk_id,
+                                                   uint32_t chunk_offset, uint32_t length,
+                                                   uint64_t version, storage::IoCallback done) {
+  uint64_t footprint = kSector;
+  uint64_t phys = PhysicalPos(logical_head_);
+  uint64_t pad = phys + footprint > region_length_ ? region_length_ - phys : 0;
+  if (footprint + pad > free_bytes()) {
+    return ResourceExhausted(name_ + " journal full");
+  }
+  uint64_t record_logical = logical_head_ + pad;
+  uint64_t record_phys = PhysicalPos(record_logical);
+  logical_head_ = record_logical + footprint;
+  ++appended_records_;
+
+  RecordHeader header;
+  header.chunk_id = chunk_id;
+  header.chunk_offset = chunk_offset;
+  header.length = length;
+  header.version = version;
+  header.flags = kFlagInvalidation;
+
+  AppendedRecord meta;
+  meta.chunk_id = chunk_id;
+  meta.chunk_offset = chunk_offset;
+  meta.length = length;
+  meta.version = version;
+  meta.j_offset = record_phys + kSector;
+  meta.record_start = record_phys;
+  meta.logical_start = record_logical;
+  meta.invalidation = true;
+  pending_.push_back(meta);
+
+  auto image = std::make_shared<std::vector<uint8_t>>(kSector, 0);
+  header.crc = header.ComputeCrc(nullptr);
+  header.EncodeTo(image->data());
+  storage::IoRequest req;
+  req.type = storage::IoType::kWrite;
+  req.offset = region_offset_ + record_phys;
+  req.length = kSector;
+  req.data = image->data();
+  req.done = [done = std::move(done), image](const Status& s) { done(s); };
+  device_->Submit(std::move(req));
+  return meta.j_offset;
+}
+
+Result<uint64_t> JournalWriter::Append(storage::ChunkId chunk_id, uint32_t chunk_offset,
+                                       uint32_t length, uint64_t version, const void* data,
+                                       storage::IoCallback done) {
+  URSA_CHECK_GT(length, 0u);
+  uint64_t footprint = RecordFootprint(length);
+
+  // Never let a record straddle the ring wrap: skip the remainder of the
+  // region by burning it as pad (the replayer frees it with the record that
+  // precedes it, since logical positions stay monotone).
+  uint64_t phys = PhysicalPos(logical_head_);
+  uint64_t pad = 0;
+  if (phys + footprint > region_length_) {
+    pad = region_length_ - phys;
+  }
+  if (footprint + pad > free_bytes()) {
+    return ResourceExhausted(name_ + " journal full");
+  }
+  uint64_t record_logical = logical_head_ + pad;
+  uint64_t record_phys = PhysicalPos(record_logical);
+  logical_head_ = record_logical + footprint;
+  ++appended_records_;
+
+  RecordHeader header;
+  header.chunk_id = chunk_id;
+  header.chunk_offset = chunk_offset;
+  header.length = length;
+  header.version = version;
+
+  AppendedRecord meta;
+  meta.chunk_id = chunk_id;
+  meta.chunk_offset = chunk_offset;
+  meta.length = length;
+  meta.version = version;
+  meta.j_offset = record_phys + kSector;
+  meta.record_start = record_phys;
+  meta.logical_start = record_logical;
+  meta.has_data = data != nullptr;
+  pending_.push_back(meta);
+
+  storage::IoRequest req;
+  req.type = storage::IoType::kWrite;
+  req.offset = region_offset_ + record_phys;
+  req.length = footprint;
+
+  if (data != nullptr) {
+    // Carry real bytes: build the full record image and hand it to the device
+    // via a heap buffer kept alive by the completion callback.
+    auto image = std::make_shared<std::vector<uint8_t>>(EncodeRecord(header, data));
+    req.data = image->data();
+    req.done = [done = std::move(done), image](const Status& s) { done(s); };
+  } else {
+    req.done = std::move(done);
+  }
+  device_->Submit(std::move(req));
+  return meta.j_offset;
+}
+
+void JournalWriter::ReadPayload(uint64_t j_offset, uint32_t length, void* out,
+                                storage::IoCallback done) {
+  URSA_CHECK_LE(j_offset + length, region_length_);
+  storage::IoRequest req;
+  req.type = storage::IoType::kRead;
+  req.offset = region_offset_ + j_offset;
+  req.length = length;
+  req.out = out;
+  req.done = std::move(done);
+  device_->Submit(std::move(req));
+}
+
+void JournalWriter::Scan(ScanCallback done) {
+  // Read the full region, then walk it sector by sector validating headers.
+  auto image = std::make_shared<std::vector<uint8_t>>(region_length_);
+  storage::IoRequest req;
+  req.type = storage::IoType::kRead;
+  req.offset = region_offset_;
+  req.length = region_length_;
+  req.out = image->data();
+  req.done = [this, image, done = std::move(done)](const Status& s) {
+    if (!s.ok()) {
+      done(s, {});
+      return;
+    }
+    std::vector<AppendedRecord> records;
+    uint64_t pos = 0;
+    while (pos + kSector <= region_length_) {
+      Result<RecordHeader> header = RecordHeader::Decode(image->data() + pos);
+      if (!header.ok() || header->length == 0 ||
+          header->Footprint() > region_length_ - pos) {
+        pos += kSector;
+        continue;
+      }
+      const uint8_t* payload =
+          header->invalidation() ? nullptr : image->data() + pos + kSector;
+      if (header->crc != header->ComputeCrc(payload)) {
+        pos += kSector;  // torn or stale record
+        continue;
+      }
+      AppendedRecord rec;
+      rec.chunk_id = header->chunk_id;
+      rec.chunk_offset = header->chunk_offset;
+      rec.length = header->length;
+      rec.version = header->version;
+      rec.j_offset = pos + kSector;
+      rec.record_start = pos;
+      rec.logical_start = pos;
+      rec.has_data = !header->invalidation();
+      rec.invalidation = header->invalidation();
+      records.push_back(rec);
+      pos += header->Footprint();
+    }
+    done(OkStatus(), std::move(records));
+  };
+  device_->Submit(std::move(req));
+}
+
+void JournalWriter::RestorePending(std::vector<AppendedRecord> records) {
+  pending_.assign(records.begin(), records.end());
+  uint64_t head = 0;
+  for (const AppendedRecord& rec : pending_) {
+    head = std::max(head, rec.record_start + rec.footprint());
+  }
+  // Conservative restart: treat [0, head) as occupied until replay frees it.
+  logical_tail_ = 0;
+  logical_head_ = head;
+  appended_records_ = pending_.size();
+}
+
+void JournalWriter::PopFrontAndFree() {
+  URSA_CHECK(!pending_.empty());
+  const AppendedRecord& front = pending_.front();
+  uint64_t new_tail = front.logical_start + front.footprint();
+  URSA_CHECK_GE(new_tail, logical_tail_);
+  logical_tail_ = new_tail;
+  pending_.pop_front();
+  if (pending_.empty()) {
+    // Everything merged: resynchronize the tail with the head so pad bytes
+    // burned at the wrap point are reclaimed too.
+    logical_tail_ = logical_head_;
+  }
+}
+
+}  // namespace ursa::journal

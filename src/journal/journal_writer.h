@@ -1,0 +1,109 @@
+// Append-only ring journal over a region of a BlockDevice.
+//
+// Appends are strictly sequential (the property that lets HDD-placed journals
+// work at media rate and SSD-placed ones avoid disturbing co-located reads,
+// §3.2). Space is a ring: `head` advances on append, `tail` advances when the
+// replayer has durably merged the oldest record into the backup HDD. Records
+// never straddle the wrap point — a pad skip is inserted instead.
+#ifndef URSA_JOURNAL_JOURNAL_WRITER_H_
+#define URSA_JOURNAL_JOURNAL_WRITER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "src/journal/journal_record.h"
+#include "src/sim/simulator.h"
+#include "src/storage/block_device.h"
+
+namespace ursa::journal {
+
+// Metadata of one appended record, retained in FIFO order for the replayer.
+struct AppendedRecord {
+  storage::ChunkId chunk_id = 0;
+  uint32_t chunk_offset = 0;  // bytes
+  uint32_t length = 0;        // payload bytes
+  uint64_t version = 0;
+  uint64_t j_offset = 0;       // region-relative payload byte offset
+  uint64_t record_start = 0;   // region-relative byte offset of the header
+  uint64_t logical_start = 0;  // monotone logical position (for tail math)
+  bool has_data = false;       // real bytes vs timing-only
+  bool invalidation = false;   // header-only bypass-invalidation marker
+
+  uint64_t footprint() const {
+    return invalidation ? kSector : RecordFootprint(length);
+  }
+};
+
+class JournalWriter {
+ public:
+  // Journal occupies [region_offset, region_offset+region_length) on device.
+  JournalWriter(sim::Simulator* sim, storage::BlockDevice* device, uint64_t region_offset,
+                uint64_t region_length, std::string name = "journal");
+
+  // Appends one record. The slot is reserved synchronously: on success the
+  // returned value is the region-relative payload byte offset (so the caller
+  // can update the journal index in submission order even though device
+  // completions may reorder); `done` fires when the append is durable.
+  // Fails immediately with kResourceExhausted when the ring lacks space (the
+  // caller then expands to another journal, §3.2) — `done` is not invoked.
+  Result<uint64_t> Append(storage::ChunkId chunk_id, uint32_t chunk_offset, uint32_t length,
+                          uint64_t version, const void* data, storage::IoCallback done);
+
+  // True when a record with `payload_len` payload bytes would fit right now
+  // (accounting for wrap-point padding).
+  bool CanFit(uint64_t payload_len) const;
+
+  // Appends a header-only INVALIDATION record: durable evidence that
+  // [chunk_offset, chunk_offset+length) was superseded by a journal-bypass
+  // write, so a post-crash scan must not resurrect older appends for it.
+  Result<uint64_t> AppendInvalidation(storage::ChunkId chunk_id, uint32_t chunk_offset,
+                                      uint32_t length, uint64_t version,
+                                      storage::IoCallback done);
+
+  // Reads `length` payload bytes at region-relative `j_offset`.
+  void ReadPayload(uint64_t j_offset, uint32_t length, void* out, storage::IoCallback done);
+
+  // FIFO of records not yet replayed. The replayer consumes from the front
+  // and calls PopFrontAndFree() after merging.
+  const std::deque<AppendedRecord>& pending() const { return pending_; }
+  bool HasPending() const { return !pending_.empty(); }
+  void PopFrontAndFree();
+
+  // ---- Crash recovery ----
+  // Scans the whole ring for valid records (magic + CRC over header and
+  // payload), in physical-offset order. The in-memory index and replay queue
+  // are volatile; after a restart the manager rebuilds them from this scan.
+  // `done` receives the surviving records.
+  using ScanCallback = std::function<void(const Status&, std::vector<AppendedRecord>)>;
+  void Scan(ScanCallback done);
+
+  // Reinstalls a recovered replay queue (records in replay order) and
+  // repositions the ring's head past the newest record.
+  void RestorePending(std::vector<AppendedRecord> records);
+
+  uint64_t used_bytes() const { return logical_head_ - logical_tail_; }
+  uint64_t free_bytes() const { return region_length_ - used_bytes(); }
+  uint64_t region_length() const { return region_length_; }
+  uint64_t appended_records() const { return appended_records_; }
+  storage::BlockDevice* device() const { return device_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  uint64_t PhysicalPos(uint64_t logical) const { return logical % region_length_; }
+
+  sim::Simulator* sim_;
+  storage::BlockDevice* device_;
+  uint64_t region_offset_;
+  uint64_t region_length_;
+  std::string name_;
+
+  uint64_t logical_head_ = 0;  // monotone append position
+  uint64_t logical_tail_ = 0;  // monotone free position
+  uint64_t appended_records_ = 0;
+  std::deque<AppendedRecord> pending_;
+};
+
+}  // namespace ursa::journal
+
+#endif  // URSA_JOURNAL_JOURNAL_WRITER_H_

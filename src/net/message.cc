@@ -1,0 +1,65 @@
+#include "src/net/message.h"
+
+namespace ursa::net {
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kReadRequest:
+      return "READ_REQUEST";
+    case MessageType::kReadReply:
+      return "READ_REPLY";
+    case MessageType::kWriteRequest:
+      return "WRITE_REQUEST";
+    case MessageType::kWriteReply:
+      return "WRITE_REPLY";
+    case MessageType::kReplicate:
+      return "REPLICATE";
+    case MessageType::kReplicateReply:
+      return "REPLICATE_REPLY";
+    case MessageType::kVersionQuery:
+      return "VERSION_QUERY";
+    case MessageType::kVersionReply:
+      return "VERSION_REPLY";
+    case MessageType::kMasterOp:
+      return "MASTER_OP";
+    case MessageType::kMasterReply:
+      return "MASTER_REPLY";
+    case MessageType::kRecoveryRead:
+      return "RECOVERY_READ";
+    case MessageType::kRecoveryData:
+      return "RECOVERY_DATA";
+    case MessageType::kLeaseRenew:
+      return "LEASE_RENEW";
+    case MessageType::kLeaseGrant:
+      return "LEASE_GRANT";
+  }
+  return "UNKNOWN";
+}
+
+uint64_t FixedBytes(MessageType type) {
+  switch (type) {
+    case MessageType::kReadRequest:
+    case MessageType::kWriteRequest:
+    case MessageType::kReplicate:
+      return 64;  // ids, offsets, lengths, view + version numbers
+    case MessageType::kReadReply:
+    case MessageType::kWriteReply:
+    case MessageType::kReplicateReply:
+      return 32;  // status + version
+    case MessageType::kVersionQuery:
+    case MessageType::kVersionReply:
+    case MessageType::kLeaseRenew:
+    case MessageType::kLeaseGrant:
+      return 48;
+    case MessageType::kMasterOp:
+    case MessageType::kMasterReply:
+      return 256;  // metadata-bearing control plane messages
+    case MessageType::kRecoveryRead:
+      return 64;
+    case MessageType::kRecoveryData:
+      return 64;
+  }
+  return 64;
+}
+
+}  // namespace ursa::net

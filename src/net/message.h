@@ -1,0 +1,43 @@
+// Logical message catalogue and wire-size accounting.
+//
+// Protocol content travels in active-message closures (see transport.h);
+// this header centralizes how many bytes each logical message occupies on
+// the wire so every component charges the network consistently.
+#ifndef URSA_NET_MESSAGE_H_
+#define URSA_NET_MESSAGE_H_
+
+#include <cstdint>
+
+namespace ursa::net {
+
+enum class MessageType {
+  kReadRequest,
+  kReadReply,
+  kWriteRequest,    // client -> primary (data attached)
+  kWriteReply,
+  kReplicate,       // primary -> backup (data attached)
+  kReplicateReply,
+  kVersionQuery,    // client -> replica at open
+  kVersionReply,
+  kMasterOp,        // disk create/open, view queries, failure notices
+  kMasterReply,
+  kRecoveryRead,    // new replica <- survivor (data attached on reply)
+  kRecoveryData,
+  kLeaseRenew,
+  kLeaseGrant,
+};
+
+const char* MessageTypeName(MessageType type);
+
+// Fixed header cost of each message type (request metadata, ids, versions).
+uint64_t FixedBytes(MessageType type);
+
+// Full wire payload: fixed part plus attached data (0 for control messages,
+// the I/O length for data-carrying ones).
+inline uint64_t WireBytes(MessageType type, uint64_t data_bytes = 0) {
+  return FixedBytes(type) + data_bytes;
+}
+
+}  // namespace ursa::net
+
+#endif  // URSA_NET_MESSAGE_H_

@@ -1,0 +1,114 @@
+#include "src/net/transport.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace ursa::net {
+
+NodeId Transport::AddNode(const std::string& name, const NetParams& params) {
+  auto node = std::make_unique<Node>();
+  node->name = name;
+  node->params = params;
+  for (int n = 0; n < params.nics; ++n) {
+    node->egress.push_back(
+        std::make_unique<sim::Resource>(sim_, name + "/tx" + std::to_string(n), 1));
+    node->ingress.push_back(
+        std::make_unique<sim::Resource>(sim_, name + "/rx" + std::to_string(n), 1));
+  }
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+bool Transport::LinkBroken(NodeId a, NodeId b) const {
+  for (const auto& [x, y] : broken_links_) {
+    if ((x == a && y == b) || (x == b && y == a)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Transport::SetNodeDown(NodeId node, bool down) {
+  URSA_CHECK_LT(node, nodes_.size());
+  nodes_[node]->down = down;
+}
+
+bool Transport::IsNodeDown(NodeId node) const {
+  URSA_CHECK_LT(node, nodes_.size());
+  return nodes_[node]->down;
+}
+
+void Transport::SetLinkBroken(NodeId a, NodeId b, bool broken) {
+  auto match = [&](const std::pair<NodeId, NodeId>& p) {
+    return (p.first == a && p.second == b) || (p.first == b && p.second == a);
+  };
+  if (broken) {
+    if (!LinkBroken(a, b)) {
+      broken_links_.emplace_back(a, b);
+    }
+  } else {
+    broken_links_.erase(std::remove_if(broken_links_.begin(), broken_links_.end(), match),
+                        broken_links_.end());
+  }
+}
+
+void Transport::Send(NodeId from, NodeId to, uint64_t payload_bytes, sim::EventFn deliver) {
+  URSA_CHECK_LT(from, nodes_.size());
+  URSA_CHECK_LT(to, nodes_.size());
+  Node& src = *nodes_[from];
+  Node& dst = *nodes_[to];
+
+  if (src.down || dst.down || LinkBroken(from, to)) {
+    return;  // dropped; the sender's timeout machinery notices
+  }
+
+  uint64_t wire_bytes = payload_bytes + src.params.overhead_bytes;
+  src.bytes_out += wire_bytes;
+
+  if (from == to) {
+    // Loopback: no NIC occupancy, just a scheduler hop.
+    sim_->After(usec(2), [this, &dst, wire_bytes, deliver = std::move(deliver)]() mutable {
+      dst.bytes_in += wire_bytes;
+      ++messages_delivered_;
+      deliver();
+    });
+    return;
+  }
+
+  Nanos tx_time = TransferTime(wire_bytes, src.params.nic_bw);
+  Nanos rx_time = TransferTime(wire_bytes, dst.params.nic_bw);
+  Nanos propagation = src.params.propagation;
+
+  // LACP-style flow pinning: the (from,to) pair always uses the same NIC
+  // index at both endpoints.
+  uint64_t flow_hash = (static_cast<uint64_t>(from) * 0x9E3779B1u) ^
+                       (static_cast<uint64_t>(to) * 0x85EBCA77u);
+  size_t tx_nic = flow_hash % src.egress.size();
+  size_t rx_nic = flow_hash % dst.ingress.size();
+
+  src.egress[tx_nic]->Submit(
+      tx_time, [this, to, wire_bytes, rx_time, rx_nic, propagation,
+                deliver = std::move(deliver)]() mutable {
+        sim_->After(propagation, [this, to, wire_bytes, rx_time, rx_nic,
+                                  deliver = std::move(deliver)]() mutable {
+          Node& dst2 = *nodes_[to];
+          if (dst2.down) {
+            return;  // destination died while in flight
+          }
+          dst2.ingress[rx_nic]->Submit(rx_time, [this, to, wire_bytes,
+                                                 deliver = std::move(deliver)]() mutable {
+            Node& dst3 = *nodes_[to];
+            if (dst3.down) {
+              return;
+            }
+            dst3.bytes_in += wire_bytes;
+            ++messages_delivered_;
+            deliver();
+          });
+        });
+      });
+}
+
+}  // namespace ursa::net

@@ -1,0 +1,92 @@
+// Simulated cluster network.
+//
+// Each registered node (machine) has `nics` full-duplex links. A message
+// occupies one egress link server for its serialization time, propagates for
+// a fixed delay, then occupies one ingress link server at the destination —
+// a store-and-forward approximation that (a) caps each direction of each
+// machine at NIC bandwidth, the constraint that bounds Fig. 12's recovery at
+// ~10 Gbps inbound, and (b) pipelines naturally: many messages overlap their
+// serialization/propagation stages, which is the in-network parallelism of
+// §3.4. A flow (src,dst pair) pins to one NIC at each end (LACP-style
+// connection hashing), and messages between two nodes are delivered in FIFO
+// order (per-NIC queues preserve per-flow ordering).
+//
+// Payloads are modelled as active messages: the sender provides a closure to
+// run at the destination after the network delay. The protocol content lives
+// in the capture; the transport only models bytes and time.
+#ifndef URSA_NET_TRANSPORT_H_
+#define URSA_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/sim/resource.h"
+#include "src/sim/simulator.h"
+
+namespace ursa::net {
+
+using NodeId = uint32_t;
+
+struct NetParams {
+  double nic_bw = 1.25e9;        // bytes/s per NIC direction (10 GbE)
+  int nics = 2;                  // paper testbed: two 10 GbE NICs per machine
+  Nanos propagation = usec(25);  // switch + cable + kernel stack latency
+  uint64_t overhead_bytes = 128;  // per-message framing/header overhead
+};
+
+class Transport {
+ public:
+  explicit Transport(sim::Simulator* sim) : sim_(sim) {}
+
+  NodeId AddNode(const std::string& name, const NetParams& params = NetParams());
+
+  // Sends `payload_bytes` (+ framing overhead) from -> to; `deliver` runs at
+  // the destination once the message has fully arrived. Loopback (from == to)
+  // skips the NICs and costs a small fixed delay.
+  void Send(NodeId from, NodeId to, uint64_t payload_bytes, sim::EventFn deliver);
+
+  // Marks a node unreachable: messages to/from it are silently dropped
+  // (their deliver closures never run) — models machine/network failure.
+  void SetNodeDown(NodeId node, bool down);
+  bool IsNodeDown(NodeId node) const;
+
+  // Cuts (or restores) the directed pair both ways — a network partition
+  // between two specific nodes, for the hybrid fault model tests (§4.1).
+  void SetLinkBroken(NodeId a, NodeId b, bool broken);
+
+  uint64_t bytes_in(NodeId node) const { return nodes_[node]->bytes_in; }
+  uint64_t bytes_out(NodeId node) const { return nodes_[node]->bytes_out; }
+  uint64_t messages_delivered() const { return messages_delivered_; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  double nic_bw(NodeId node) const { return nodes_[node]->params.nic_bw; }
+
+ private:
+  struct Node {
+    std::string name;
+    NetParams params;
+    // One Resource per NIC direction; a flow (src,dst) hashes to a fixed
+    // NIC on both ends, like LACP/ECMP pinning a TCP connection: one flow
+    // cannot exceed a single NIC's bandwidth (visible in Fig. 13c's
+    // non-striped throughput), while different flows spread across NICs.
+    std::vector<std::unique_ptr<sim::Resource>> egress;
+    std::vector<std::unique_ptr<sim::Resource>> ingress;
+    uint64_t bytes_in = 0;
+    uint64_t bytes_out = 0;
+    bool down = false;
+  };
+
+  bool LinkBroken(NodeId a, NodeId b) const;
+
+  sim::Simulator* sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::pair<NodeId, NodeId>> broken_links_;
+  uint64_t messages_delivered_ = 0;
+};
+
+}  // namespace ursa::net
+
+#endif  // URSA_NET_TRANSPORT_H_

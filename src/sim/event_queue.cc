@@ -1,0 +1,45 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace ursa::sim {
+
+EventId EventQueue::Schedule(Nanos when, EventFn fn) {
+  EventId id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  // Lazy deletion: drop from the pending set; the heap entry is skipped when
+  // it reaches the head.
+  return pending_.erase(id) > 0;
+}
+
+void EventQueue::SkipCancelled() const {
+  while (!heap_.empty() && pending_.find(heap_.top().id) == pending_.end()) {
+    heap_.pop();
+  }
+}
+
+Nanos EventQueue::NextTime() const {
+  SkipCancelled();
+  URSA_CHECK(!heap_.empty());
+  return heap_.top().when;
+}
+
+EventFn EventQueue::PopNext(Nanos* when) {
+  SkipCancelled();
+  URSA_CHECK(!heap_.empty());
+  const Entry& top = heap_.top();
+  *when = top.when;
+  EventFn fn = std::move(top.fn);
+  pending_.erase(top.id);
+  heap_.pop();
+  return fn;
+}
+
+}  // namespace ursa::sim

@@ -1,0 +1,68 @@
+// Time-ordered event queue for the discrete-event simulator.
+//
+// Events at equal timestamps fire in insertion order (a monotonically
+// increasing sequence number breaks ties), which keeps runs deterministic.
+#ifndef URSA_SIM_EVENT_QUEUE_H_
+#define URSA_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace ursa::sim {
+
+using EventFn = std::function<void()>;
+using EventId = uint64_t;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  // Schedules fn at absolute time `when`; returns an id usable with Cancel.
+  EventId Schedule(Nanos when, EventFn fn);
+
+  // Cancels a pending event. Returns false if already fired or cancelled.
+  bool Cancel(EventId id);
+
+  bool empty() const { return pending_.empty(); }
+  size_t size() const { return pending_.size(); }
+
+  // Time of the earliest pending event; only valid when !empty().
+  Nanos NextTime() const;
+
+  // Pops the earliest live event; sets *when to its timestamp.
+  // Only valid when !empty().
+  EventFn PopNext(Nanos* when);
+
+ private:
+  struct Entry {
+    Nanos when;
+    uint64_t seq;
+    EventId id;
+    mutable EventFn fn;  // moved out on pop; the heap never reorders after that
+  };
+  struct EntryGreater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Drops cancelled entries sitting at the heap head.
+  void SkipCancelled() const;
+
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  mutable std::priority_queue<Entry, std::vector<Entry>, EntryGreater> heap_;
+  std::unordered_set<EventId> pending_;  // ids of live (not cancelled, not fired) events
+};
+
+}  // namespace ursa::sim
+
+#endif  // URSA_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,94 @@
+// Abstract asynchronous block device.
+//
+// Three implementations:
+//   MemDevice  — completes instantly (next event tick); used by unit tests so
+//                protocol/journal logic is exercised with real bytes.
+//   SsdModel   — multi-channel queueing model of a PCIe SSD.
+//   HddModel   — seek + rotation + transfer model with elevator scheduling.
+#ifndef URSA_STORAGE_BLOCK_DEVICE_H_
+#define URSA_STORAGE_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/storage/io_request.h"
+
+namespace ursa::storage {
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  // Submits an async operation. The completion callback runs from the
+  // simulator event loop; it must not be invoked synchronously from Submit.
+  virtual void Submit(IoRequest req) = 0;
+
+  virtual uint64_t capacity() const = 0;
+
+  const DeviceStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DeviceStats{}; }
+
+  // Number of operations submitted but not yet completed.
+  virtual size_t inflight() const = 0;
+
+ protected:
+  DeviceStats stats_;
+};
+
+// Sparse page-granular byte store backing devices that carry real data.
+// Pages materialize on first write; reads of untouched pages return zeros.
+class PageStore {
+ public:
+  static constexpr uint64_t kPageSize = 4096;
+
+  void Write(uint64_t offset, const void* data, uint64_t length);
+  void Read(uint64_t offset, void* out, uint64_t length) const;
+
+  size_t allocated_pages() const { return pages_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, std::vector<uint8_t>> pages_;
+};
+
+inline void PageStore::Write(uint64_t offset, const void* data, uint64_t length) {
+  const auto* src = static_cast<const uint8_t*>(data);
+  while (length > 0) {
+    uint64_t page = offset / kPageSize;
+    uint64_t in_page = offset % kPageSize;
+    uint64_t n = std::min(kPageSize - in_page, length);
+    auto& bytes = pages_[page];
+    if (bytes.empty()) {
+      bytes.assign(kPageSize, 0);
+    }
+    std::copy(src, src + n, bytes.begin() + static_cast<ptrdiff_t>(in_page));
+    src += n;
+    offset += n;
+    length -= n;
+  }
+}
+
+inline void PageStore::Read(uint64_t offset, void* out, uint64_t length) const {
+  auto* dst = static_cast<uint8_t*>(out);
+  while (length > 0) {
+    uint64_t page = offset / kPageSize;
+    uint64_t in_page = offset % kPageSize;
+    uint64_t n = std::min(kPageSize - in_page, length);
+    auto it = pages_.find(page);
+    if (it == pages_.end()) {
+      std::fill(dst, dst + n, 0);
+    } else {
+      std::copy(it->second.begin() + static_cast<ptrdiff_t>(in_page),
+                it->second.begin() + static_cast<ptrdiff_t>(in_page + n), dst);
+    }
+    dst += n;
+    offset += n;
+    length -= n;
+  }
+}
+
+}  // namespace ursa::storage
+
+#endif  // URSA_STORAGE_BLOCK_DEVICE_H_

@@ -1,0 +1,103 @@
+#include "src/storage/chunk_store.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace ursa::storage {
+
+ChunkStore::ChunkStore(BlockDevice* device, uint64_t chunk_size, uint64_t region_offset,
+                       uint64_t region_length)
+    : device_(device), chunk_size_(chunk_size), region_offset_(region_offset) {
+  URSA_CHECK_GT(chunk_size, 0u);
+  URSA_CHECK_LE(region_offset, device->capacity());
+  if (region_length == 0) {
+    region_length = device->capacity() - region_offset;
+  }
+  URSA_CHECK_LE(region_offset + region_length, device->capacity());
+  uint64_t slots = region_length / chunk_size;
+  free_slots_.reserve(slots);
+  // Push in reverse so allocation proceeds from the start of the region.
+  for (uint64_t s = slots; s > 0; --s) {
+    free_slots_.push_back(s - 1);
+  }
+}
+
+Status ChunkStore::Allocate(ChunkId id) {
+  if (slots_.find(id) != slots_.end()) {
+    return AlreadyExists("chunk " + std::to_string(id) + " already allocated");
+  }
+  if (free_slots_.empty()) {
+    return ResourceExhausted("no free chunk slots");
+  }
+  uint64_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  slots_.emplace(id, slot);
+  return OkStatus();
+}
+
+Status ChunkStore::Free(ChunkId id) {
+  auto it = slots_.find(id);
+  if (it == slots_.end()) {
+    return NotFound("chunk " + std::to_string(id) + " not allocated");
+  }
+  free_slots_.push_back(it->second);
+  slots_.erase(it);
+  return OkStatus();
+}
+
+uint64_t ChunkStore::SlotOffset(ChunkId id) const {
+  auto it = slots_.find(id);
+  URSA_CHECK(it != slots_.end()) << "chunk " << id << " not allocated";
+  return region_offset_ + it->second * chunk_size_;
+}
+
+Status ChunkStore::CheckRange(ChunkId id, uint64_t offset, uint64_t length,
+                              uint64_t* device_offset) const {
+  auto it = slots_.find(id);
+  if (it == slots_.end()) {
+    return NotFound("chunk " + std::to_string(id) + " not allocated");
+  }
+  if (offset + length > chunk_size_ || length == 0) {
+    return OutOfRange("chunk I/O out of range");
+  }
+  *device_offset = region_offset_ + it->second * chunk_size_ + offset;
+  return OkStatus();
+}
+
+void ChunkStore::Read(ChunkId id, uint64_t offset, uint64_t length, void* out, IoCallback done) {
+  uint64_t device_offset = 0;
+  Status s = CheckRange(id, offset, length, &device_offset);
+  if (!s.ok()) {
+    done(s);
+    return;
+  }
+  device_->Submit(IoRequest{IoType::kRead, device_offset, length, nullptr, out,
+                            /*background=*/false, std::move(done)});
+}
+
+void ChunkStore::Write(ChunkId id, uint64_t offset, uint64_t length, const void* data,
+                       IoCallback done) {
+  uint64_t device_offset = 0;
+  Status s = CheckRange(id, offset, length, &device_offset);
+  if (!s.ok()) {
+    done(s);
+    return;
+  }
+  device_->Submit(IoRequest{IoType::kWrite, device_offset, length, data, nullptr,
+                            /*background=*/false, std::move(done)});
+}
+
+void ChunkStore::WriteBackground(ChunkId id, uint64_t offset, uint64_t length, const void* data,
+                                 IoCallback done) {
+  uint64_t device_offset = 0;
+  Status s = CheckRange(id, offset, length, &device_offset);
+  if (!s.ok()) {
+    done(s);
+    return;
+  }
+  device_->Submit(IoRequest{IoType::kWrite, device_offset, length, data, nullptr,
+                            /*background=*/true, std::move(done)});
+}
+
+}  // namespace ursa::storage

@@ -1,0 +1,66 @@
+// Fixed-size chunk layout on top of a BlockDevice.
+//
+// Virtual-disk data is organized into fixed-size chunks (64 MB by default,
+// matching the paper §2 fn.2). A ChunkStore owns the slot allocation on one
+// device and translates (chunk_id, offset_in_chunk) to device offsets.
+#ifndef URSA_STORAGE_CHUNK_STORE_H_
+#define URSA_STORAGE_CHUNK_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/storage/block_device.h"
+
+namespace ursa::storage {
+
+inline constexpr uint64_t kDefaultChunkSize = 64 * kMiB;
+
+using ChunkId = uint64_t;
+
+class ChunkStore {
+ public:
+  // `region_offset`/`region_length` restrict the store to a sub-range of the
+  // device (the rest may hold journals). region_length == 0 means "to end".
+  ChunkStore(BlockDevice* device, uint64_t chunk_size = kDefaultChunkSize,
+             uint64_t region_offset = 0, uint64_t region_length = 0);
+
+  // Allocates a slot for `id`. Fails with kAlreadyExists / kResourceExhausted.
+  Status Allocate(ChunkId id);
+
+  // Frees the slot for `id` (data is not scrubbed).
+  Status Free(ChunkId id);
+
+  bool Contains(ChunkId id) const { return slots_.find(id) != slots_.end(); }
+
+  // Async chunk-relative I/O. Validates bounds, then forwards to the device.
+  void Read(ChunkId id, uint64_t offset, uint64_t length, void* out, IoCallback done);
+  void Write(ChunkId id, uint64_t offset, uint64_t length, const void* data, IoCallback done);
+  // Background-priority write (journal replay): yields to foreground I/O.
+  void WriteBackground(ChunkId id, uint64_t offset, uint64_t length, const void* data,
+                       IoCallback done);
+
+  uint64_t chunk_size() const { return chunk_size_; }
+  size_t allocated_chunks() const { return slots_.size(); }
+  size_t total_slots() const { return free_slots_.size() + slots_.size(); }
+  BlockDevice* device() const { return device_; }
+
+  // Device-absolute offset of a chunk (for recovery transfers). Requires the
+  // chunk to exist.
+  uint64_t SlotOffset(ChunkId id) const;
+
+ private:
+  Status CheckRange(ChunkId id, uint64_t offset, uint64_t length, uint64_t* device_offset) const;
+
+  BlockDevice* device_;
+  uint64_t chunk_size_;
+  uint64_t region_offset_;
+  std::unordered_map<ChunkId, uint64_t> slots_;  // chunk id -> slot index
+  std::vector<uint64_t> free_slots_;             // LIFO free list
+};
+
+}  // namespace ursa::storage
+
+#endif  // URSA_STORAGE_CHUNK_STORE_H_

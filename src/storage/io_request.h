@@ -1,0 +1,52 @@
+// Asynchronous block-I/O request descriptor shared by all device types.
+#ifndef URSA_STORAGE_IO_REQUEST_H_
+#define URSA_STORAGE_IO_REQUEST_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/status.h"
+
+namespace ursa::storage {
+
+enum class IoType { kRead, kWrite };
+
+using IoCallback = std::function<void(const Status&)>;
+
+// One async device operation. `data` (writes) and `out` (reads) may be null:
+// performance experiments often model timing only, while correctness tests
+// carry real bytes. Devices honour bytes whenever pointers are provided.
+struct IoRequest {
+  IoType type = IoType::kRead;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  const void* data = nullptr;  // source buffer for writes
+  void* out = nullptr;         // destination buffer for reads
+  // Background work (journal replay) yields to client-facing I/O: the HDD
+  // elevator serves background requests only when no foreground request is
+  // queued (§5.3's single-threaded per-disk scheduling).
+  bool background = false;
+  IoCallback done;
+};
+
+// Per-device counters. Latency is measured submit -> completion.
+struct DeviceStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+
+  void RecordSubmit(const IoRequest& req) {
+    if (req.type == IoType::kRead) {
+      ++reads;
+      bytes_read += req.length;
+    } else {
+      ++writes;
+      bytes_written += req.length;
+    }
+  }
+};
+
+}  // namespace ursa::storage
+
+#endif  // URSA_STORAGE_IO_REQUEST_H_

@@ -1,0 +1,42 @@
+#include "src/storage/mem_device.h"
+
+#include <utility>
+
+namespace ursa::storage {
+
+MemDevice::MemDevice(sim::Simulator* sim, uint64_t capacity, Nanos fixed_latency)
+    : sim_(sim), capacity_(capacity), fixed_latency_(fixed_latency) {}
+
+void MemDevice::Submit(IoRequest req) {
+  URSA_CHECK_LE(req.offset + req.length, capacity_) << "I/O beyond device capacity";
+  stats_.RecordSubmit(req);
+  ++inflight_;
+
+  if (fail_next_ > 0) {
+    --fail_next_;
+    sim_->After(fixed_latency_, [this, done = std::move(req.done)]() {
+      --inflight_;
+      if (done) {
+        done(Unavailable("injected device failure"));
+      }
+    });
+    return;
+  }
+
+  // Perform the data movement immediately (device state reflects the write as
+  // of submission order) but report completion through the event loop.
+  if (req.type == IoType::kWrite && req.data != nullptr) {
+    store_.Write(req.offset, req.data, req.length);
+  } else if (req.type == IoType::kRead && req.out != nullptr) {
+    store_.Read(req.offset, req.out, req.length);
+  }
+
+  sim_->After(fixed_latency_, [this, done = std::move(req.done)]() {
+    --inflight_;
+    if (done) {
+      done(OkStatus());
+    }
+  });
+}
+
+}  // namespace ursa::storage

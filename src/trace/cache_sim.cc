@@ -1,0 +1,40 @@
+#include "src/trace/cache_sim.h"
+
+#include <unordered_set>
+
+namespace ursa::trace {
+
+CacheSimResult SimulateUnlimitedCache(const std::vector<TraceRecord>& records,
+                                      uint32_t block_size) {
+  CacheSimResult result;
+  std::unordered_set<uint64_t> resident;
+  resident.reserve(records.size());
+
+  for (const TraceRecord& rec : records) {
+    uint64_t first = rec.offset / block_size;
+    uint64_t last = (rec.offset + rec.length - 1) / block_size;
+    if (rec.is_write) {
+      ++result.writes;
+      for (uint64_t b = first; b <= last; ++b) {
+        resident.insert(b);  // write-back: block becomes resident (and clean,
+                             // since write-back speed is infinite)
+      }
+    } else {
+      ++result.reads;
+      bool hit = true;
+      for (uint64_t b = first; b <= last; ++b) {
+        if (resident.find(b) == resident.end()) {
+          hit = false;
+          resident.insert(b);  // miss fills the cache
+        }
+      }
+      if (hit) {
+        ++result.read_hits;
+      }
+    }
+  }
+  result.resident_blocks = resident.size();
+  return result;
+}
+
+}  // namespace ursa::trace

@@ -1,0 +1,35 @@
+// Write-back cache simulator for the Fig. 2 experiment (§2).
+//
+// Replays a trace against an idealized cache — unlimited size, infinite
+// write-back speed (cached blocks always clean) — and reports the read hit
+// ratio. Matching the paper's methodology, this is an upper bound: a real
+// bounded cache with eviction only does worse.
+#ifndef URSA_TRACE_CACHE_SIM_H_
+#define URSA_TRACE_CACHE_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace ursa::trace {
+
+struct CacheSimResult {
+  uint64_t reads = 0;
+  uint64_t read_hits = 0;   // every touched block already resident
+  uint64_t writes = 0;
+  uint64_t resident_blocks = 0;
+
+  double ReadHitRatio() const {
+    return reads == 0 ? 0.0 : static_cast<double>(read_hits) / static_cast<double>(reads);
+  }
+};
+
+// `block_size` is the cache-line granularity (default 4 KB pages). A read
+// counts as a hit only if all of its blocks are resident.
+CacheSimResult SimulateUnlimitedCache(const std::vector<TraceRecord>& records,
+                                      uint32_t block_size = 4096);
+
+}  // namespace ursa::trace
+
+#endif  // URSA_TRACE_CACHE_SIM_H_

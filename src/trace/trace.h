@@ -1,0 +1,19 @@
+// Block-trace record shared by the synthesizer, cache simulator, and the
+// trace-replay driver.
+#ifndef URSA_TRACE_TRACE_H_
+#define URSA_TRACE_TRACE_H_
+
+#include <cstdint>
+
+namespace ursa::trace {
+
+struct TraceRecord {
+  int64_t ts_ns = 0;  // trace timestamp (ignored by the qd-driven replayer)
+  bool is_write = false;
+  uint64_t offset = 0;  // byte offset within the volume
+  uint32_t length = 0;  // bytes
+};
+
+}  // namespace ursa::trace
+
+#endif  // URSA_TRACE_TRACE_H_

@@ -1,0 +1,50 @@
+#include "src/trace/workload.h"
+
+#include "src/common/logging.h"
+#include "src/common/units.h"
+
+namespace ursa::trace {
+
+const std::vector<std::pair<uint32_t, double>>& BlockSizeCdf() {
+  // Anchors: >=72% at <=8 KB, ~98.5% at <=64 KB (Fig. 1).
+  static const std::vector<std::pair<uint32_t, double>> cdf = {
+      {512, 0.02},          {1 * 1024, 0.05},   {2 * 1024, 0.10},  {4 * 1024, 0.45},
+      {8 * 1024, 0.72},     {16 * 1024, 0.82},  {32 * 1024, 0.90}, {64 * 1024, 0.985},
+      {128 * 1024, 0.995},  {256 * 1024, 0.998}, {512 * 1024, 0.9995},
+      {1024 * 1024, 1.0},
+  };
+  return cdf;
+}
+
+uint32_t SampleBlockSize(Rng* rng) {
+  double u = rng->NextDouble();
+  for (const auto& [size, cum] : BlockSizeCdf()) {
+    if (u <= cum) {
+      return size;
+    }
+  }
+  return BlockSizeCdf().back().first;
+}
+
+OffsetStream::OffsetStream(uint64_t span, uint32_t align, bool sequential, uint64_t seed)
+    : span_(span), align_(align), sequential_(sequential), rng_(seed) {
+  URSA_CHECK_GT(span, 0u);
+  URSA_CHECK_GT(align, 0u);
+  URSA_CHECK_EQ(span % align, 0u);
+}
+
+uint64_t OffsetStream::Next(uint32_t length) {
+  uint64_t limit = span_ > length ? span_ - length : 0;
+  if (sequential_) {
+    if (cursor_ > limit) {
+      cursor_ = 0;
+    }
+    uint64_t offset = cursor_;
+    cursor_ += length;
+    return offset;
+  }
+  uint64_t slots = limit / align_ + 1;
+  return (rng_.Next() % slots) * align_;
+}
+
+}  // namespace ursa::trace

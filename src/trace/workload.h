@@ -1,0 +1,40 @@
+// Fig. 1 block-size distribution and simple offset streams.
+//
+// The MSR block-storage traces' size mix (Fig. 1): more than 70% of I/Os are
+// at most 8 KB and almost all are at most 64 KB, with 512-byte sector
+// granularity. The empirical CDF below reproduces those anchor points.
+#ifndef URSA_TRACE_WORKLOAD_H_
+#define URSA_TRACE_WORKLOAD_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace ursa::trace {
+
+// (block_size_bytes, cumulative_probability), ascending.
+const std::vector<std::pair<uint32_t, double>>& BlockSizeCdf();
+
+// Samples a block size from the Fig. 1 distribution.
+uint32_t SampleBlockSize(Rng* rng);
+
+// Closed-form stream of aligned offsets over [0, span).
+class OffsetStream {
+ public:
+  OffsetStream(uint64_t span, uint32_t align, bool sequential, uint64_t seed);
+
+  uint64_t Next(uint32_t length);
+
+ private:
+  uint64_t span_;
+  uint32_t align_;
+  bool sequential_;
+  uint64_t cursor_ = 0;
+  Rng rng_;
+};
+
+}  // namespace ursa::trace
+
+#endif  // URSA_TRACE_WORKLOAD_H_

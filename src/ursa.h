@@ -1,0 +1,33 @@
+// Umbrella header: the public surface of the Ursa reproduction.
+//
+// Most programs only need core/system.h (TestBed + profiles); include this
+// when you want the whole toolbox (cluster internals, journals, EC, NBD,
+// client modules) without hunting for individual headers.
+#ifndef URSA_URSA_H_
+#define URSA_URSA_H_
+
+#include "src/client/block_layer.h"
+#include "src/client/caching_layer.h"
+#include "src/client/lease.h"
+#include "src/client/nbd.h"
+#include "src/client/snapshot_layer.h"
+#include "src/client/virtual_disk.h"
+#include "src/cluster/cluster.h"
+#include "src/cluster/failure_injector.h"
+#include "src/cluster/upgrade.h"
+#include "src/common/histogram.h"
+#include "src/common/rate_limiter.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/core/metrics.h"
+#include "src/core/params.h"
+#include "src/core/system.h"
+#include "src/ec/ec_stripe_store.h"
+#include "src/index/flsm_index.h"
+#include "src/index/range_index.h"
+#include "src/journal/journal_manager.h"
+#include "src/trace/cache_sim.h"
+#include "src/trace/msr_generator.h"
+
+#endif  // URSA_URSA_H_

@@ -1,0 +1,229 @@
+// Tests for the chunk server's replication protocol (§4.2.1): version/view
+// checks, primary-driven replication (Fig. 5), duplicate handling, the
+// hybrid fault model's majority commit, and crash silence.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "test_util.h"
+
+namespace ursa::cluster {
+namespace {
+
+class ChunkServerTest : public ::testing::Test {
+ protected:
+  ChunkServerTest() : cluster_(&sim_, test::SmallClusterConfig()) {
+    // Allocate one chunk across three machines: primary on machine 0's SSD,
+    // backups on machine 1 and 2 HDD servers.
+    Result<DiskId> disk = cluster_.master().CreateDisk("d", 1 * kMiB, 3, 1);
+    EXPECT_TRUE(disk.ok());
+    const DiskMeta* meta = *cluster_.master().GetDisk(*disk);
+    layout_ = meta->chunks[0];
+    primary_ = cluster_.server(layout_.replicas[0].server);
+    backup1_ = cluster_.server(layout_.replicas[1].server);
+    backup2_ = cluster_.server(layout_.replicas[2].server);
+  }
+
+  std::vector<ReplicaRef> Backups() {
+    return {layout_.replicas[1], layout_.replicas[2]};
+  }
+
+  // Runs a primary-driven write, returns (status, new_version).
+  std::pair<Status, uint64_t> Write(uint64_t version, uint64_t offset = 0,
+                                    uint64_t length = 4096, const void* data = nullptr,
+                                    uint64_t view = 1) {
+    Status status = Internal("no reply");
+    uint64_t new_version = 0;
+    primary_->HandleWrite(layout_.chunk, offset, length, view, version, data, Backups(),
+                          [&](const Status& s, uint64_t v) {
+                            status = s;
+                            new_version = v;
+                          });
+    sim_.RunUntil(sim_.Now() + msec(500));
+    return {status, new_version};
+  }
+
+  sim::Simulator sim_;
+  Cluster cluster_;
+  ChunkLayout layout_;
+  ChunkServer* primary_;
+  ChunkServer* backup1_;
+  ChunkServer* backup2_;
+};
+
+TEST_F(ChunkServerTest, WriteAdvancesVersionEverywhere) {
+  auto [status, version] = Write(0);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(version, 1u);
+  EXPECT_EQ(primary_->GetState(layout_.chunk)->version, 1u);
+  EXPECT_EQ(backup1_->GetState(layout_.chunk)->version, 1u);
+  EXPECT_EQ(backup2_->GetState(layout_.chunk)->version, 1u);
+  EXPECT_EQ(primary_->writes_served(), 1u);
+  EXPECT_EQ(backup1_->replicates_served(), 1u);
+}
+
+TEST_F(ChunkServerTest, SequentialVersionsCommit) {
+  for (uint64_t v = 0; v < 5; ++v) {
+    auto [status, version] = Write(v);
+    ASSERT_TRUE(status.ok()) << "v=" << v;
+    EXPECT_EQ(version, v + 1);
+  }
+}
+
+TEST_F(ChunkServerTest, StaleViewRejected) {
+  auto [status, version] = Write(0, 0, 4096, nullptr, /*view=*/99);
+  EXPECT_EQ(status.code(), StatusCode::kVersionMismatch);
+  EXPECT_EQ(primary_->GetState(layout_.chunk)->version, 0u);
+}
+
+TEST_F(ChunkServerTest, VersionGapRejected) {
+  auto [status, version] = Write(5);  // replica is at version 0
+  EXPECT_EQ(status.code(), StatusCode::kVersionMismatch);
+}
+
+TEST_F(ChunkServerTest, RetryWithPreviousVersionSkipsLocalWrite) {
+  ASSERT_TRUE(Write(0).first.ok());
+  // Client retries the same write (it never saw the commit): version is one
+  // behind the primary's — the primary skips its local write but still
+  // forwards and acks (§4.2.1).
+  auto [status, version] = Write(0);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(version, 1u);
+  EXPECT_EQ(primary_->GetState(layout_.chunk)->version, 1u);
+  EXPECT_EQ(backup1_->GetState(layout_.chunk)->version, 1u);
+}
+
+TEST_F(ChunkServerTest, MajorityCommitWhenOneBackupCrashed) {
+  backup2_->SetCrashed(true);
+  Nanos before = sim_.Now();
+  auto [status, version] = Write(0);
+  // Commits via majority (primary + backup1) after the commit timeout.
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(version, 1u);
+  Nanos elapsed = sim_.Now() - before;
+  EXPECT_GE(elapsed, cluster_.config().server.majority_commit_timeout);
+  EXPECT_EQ(backup2_->GetState(layout_.chunk)->version, 0u);  // lagging
+}
+
+TEST_F(ChunkServerTest, NoReplyWhenMajorityUnreachable) {
+  backup1_->SetCrashed(true);
+  backup2_->SetCrashed(true);
+  Status status = Internal("no reply");
+  primary_->HandleWrite(layout_.chunk, 0, 4096, 1, 0, nullptr, Backups(),
+                        [&](const Status& s, uint64_t) { status = s; });
+  sim_.RunUntil(sim_.Now() + sec(1));
+  // Primary alone is 1 of 3 — not a majority; the request cannot commit.
+  // (The resolver returns null for crashed servers, so both legs fail fast.)
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ChunkServerTest, CrashedPrimaryIsSilent) {
+  primary_->SetCrashed(true);
+  bool replied = false;
+  primary_->HandleWrite(layout_.chunk, 0, 4096, 1, 0, nullptr, Backups(),
+                        [&](const Status&, uint64_t) { replied = true; });
+  primary_->HandleRead(layout_.chunk, 0, 4096, 1, 0, nullptr,
+                       [&](const Status&, uint64_t) { replied = true; });
+  sim_.RunUntil(sim_.Now() + sec(1));
+  EXPECT_FALSE(replied);
+}
+
+TEST_F(ChunkServerTest, ReadChecksVersion) {
+  ASSERT_TRUE(Write(0).first.ok());
+  Status status = Internal("no reply");
+  uint64_t replica_version = 0;
+  // A STALE replica (version below the client's expectation) is rejected and
+  // reports its actual version so the client can resync / pick another
+  // replica. Expecting version 5 when the replica is at 1:
+  primary_->HandleRead(layout_.chunk, 0, 4096, 1, 5, nullptr,
+                       [&](const Status& s, uint64_t v) {
+                         status = s;
+                         replica_version = v;
+                       });
+  sim_.RunUntil(sim_.Now() + msec(100));
+  EXPECT_EQ(status.code(), StatusCode::kVersionMismatch);
+  EXPECT_EQ(replica_version, 1u);
+
+  // Matching version is served.
+  primary_->HandleRead(layout_.chunk, 0, 4096, 1, 1, nullptr,
+                       [&](const Status& s, uint64_t) { status = s; });
+  sim_.RunUntil(sim_.Now() + msec(100));
+  EXPECT_TRUE(status.ok());
+
+  // A replica AHEAD of the expectation is served too: the single-writer
+  // client owns every newer version (§4.1), so the data is not stale.
+  primary_->HandleRead(layout_.chunk, 0, 4096, 1, 0, nullptr,
+                       [&](const Status& s, uint64_t) { status = s; });
+  sim_.RunUntil(sim_.Now() + msec(100));
+  EXPECT_TRUE(status.ok());
+}
+
+TEST_F(ChunkServerTest, BackupServesJournalAwareRead) {
+  auto data = test::Pattern(4096, 9);
+  ASSERT_TRUE(Write(0, 8192, 4096, data.data()).first.ok());
+  // Read from the backup as temporary primary (§4.2.1): the data is still in
+  // its journal, not yet on the HDD.
+  std::vector<uint8_t> out(4096);
+  Status status = Internal("no reply");
+  backup1_->HandleRead(layout_.chunk, 8192, 4096, 1, 1, out.data(),
+                       [&](const Status& s, uint64_t) { status = s; });
+  sim_.RunUntil(sim_.Now() + msec(100));
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(ChunkServerTest, DuplicateReplicateAcked) {
+  Status status = Internal("no reply");
+  backup1_->HandleReplicate(layout_.chunk, 0, 4096, 1, 0, nullptr,
+                            [&](const Status& s, uint64_t) { status = s; });
+  sim_.RunUntil(sim_.Now() + msec(100));
+  ASSERT_TRUE(status.ok());
+  // Redelivery of the same replication (version now one behind) is acked
+  // without re-execution.
+  status = Internal("no reply");
+  uint64_t version = 0;
+  backup1_->HandleReplicate(layout_.chunk, 0, 4096, 1, 0, nullptr,
+                            [&](const Status& s, uint64_t v) {
+                              status = s;
+                              version = v;
+                            });
+  sim_.RunUntil(sim_.Now() + msec(100));
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(version, 1u);
+  EXPECT_EQ(backup1_->replicates_served(), 1u);
+}
+
+TEST_F(ChunkServerTest, VersionQueryReportsState) {
+  ASSERT_TRUE(Write(0).first.ok());
+  ChunkServer::ReplicaState state;
+  Status status = Internal("no reply");
+  primary_->HandleVersionQuery(layout_.chunk, [&](const Status& s, ChunkServer::ReplicaState st) {
+    status = s;
+    state = st;
+  });
+  sim_.RunUntil(sim_.Now() + msec(100));
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(state.version, 1u);
+  EXPECT_EQ(state.view, 1u);
+}
+
+TEST_F(ChunkServerTest, UnknownChunkReportsNotFound) {
+  Status status;
+  primary_->HandleRead(999999, 0, 512, 1, 0, nullptr,
+                       [&](const Status& s, uint64_t) { status = s; });
+  sim_.RunUntil(sim_.Now() + msec(100));
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(ChunkServerTest, JournalLiteTracksWrites) {
+  ASSERT_TRUE(Write(0, 0, 4096).first.ok());
+  ASSERT_TRUE(Write(1, 8192, 4096).first.ok());
+  std::vector<Interval> ranges;
+  ASSERT_TRUE(backup1_->ModifiedSince(layout_.chunk, 1, &ranges));
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (Interval{8192, 4096}));
+}
+
+}  // namespace
+}  // namespace ursa::cluster

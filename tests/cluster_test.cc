@@ -1,0 +1,205 @@
+// Tests for cluster construction, placement policy, master metadata, leases,
+// and the fleet failure model (Table 1's generator).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/failure_injector.h"
+#include "test_util.h"
+
+namespace ursa::cluster {
+namespace {
+
+TEST(ClusterBuildTest, HybridModeWiring) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, test::SmallClusterConfig(StorageMode::kHybrid));
+  // 3 machines x (2 SSD primaries + 2 HDD backups) = 12 servers.
+  EXPECT_EQ(cluster.num_servers(), 12u);
+  EXPECT_EQ(cluster.journal_managers().size(), 6u);  // one per HDD
+  // Each backup journal manager has primary SSD + expansion SSD + HDD.
+  for (const auto* jm : cluster.journal_managers()) {
+    EXPECT_EQ(jm->num_journals(), 3u);
+  }
+  int primaries = 0;
+  int backups = 0;
+  for (size_t s = 0; s < cluster.num_servers(); ++s) {
+    if (cluster.server(s)->on_ssd()) {
+      ++primaries;
+      EXPECT_EQ(cluster.server(s)->journal_manager(), nullptr);
+    } else {
+      ++backups;
+      EXPECT_NE(cluster.server(s)->journal_manager(), nullptr);
+    }
+  }
+  EXPECT_EQ(primaries, 6);
+  EXPECT_EQ(backups, 6);
+}
+
+TEST(ClusterBuildTest, SsdOnlyModeHasNoJournals) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, test::SmallClusterConfig(StorageMode::kSsdOnly));
+  EXPECT_EQ(cluster.num_servers(), 6u);  // one per SSD
+  EXPECT_TRUE(cluster.journal_managers().empty());
+  for (size_t s = 0; s < cluster.num_servers(); ++s) {
+    EXPECT_TRUE(cluster.server(s)->on_ssd());
+  }
+}
+
+TEST(ClusterBuildTest, HddOnlyMode) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, test::SmallClusterConfig(StorageMode::kHddOnly));
+  EXPECT_EQ(cluster.num_servers(), 6u);  // one per HDD
+  for (size_t s = 0; s < cluster.num_servers(); ++s) {
+    EXPECT_FALSE(cluster.server(s)->on_ssd());
+  }
+}
+
+TEST(PlacementTest, ReplicasOnDistinctMachines) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, test::SmallClusterConfig());
+  const Placement& placement = cluster.master().placement();
+  for (uint64_t seq = 0; seq < 50; ++seq) {
+    Result<std::vector<ServerId>> servers = placement.PlaceChunk(seq, 3);
+    ASSERT_TRUE(servers.ok());
+    ASSERT_EQ(servers->size(), 3u);
+    std::set<MachineId> machines;
+    for (ServerId s : *servers) {
+      machines.insert(placement.MachineOf(s));
+    }
+    EXPECT_EQ(machines.size(), 3u) << "chunk " << seq;
+    // Primary on SSD, backups on HDD servers (hybrid pools).
+    EXPECT_TRUE(cluster.server((*servers)[0])->on_ssd());
+    EXPECT_FALSE(cluster.server((*servers)[1])->on_ssd());
+  }
+}
+
+TEST(PlacementTest, ConsecutiveChunksSpreadAcrossMachines) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, test::SmallClusterConfig());
+  const Placement& placement = cluster.master().placement();
+  // A striping group of 3 consecutive chunks: primaries on 3 machines.
+  std::set<MachineId> primary_machines;
+  for (uint64_t seq = 0; seq < 3; ++seq) {
+    Result<std::vector<ServerId>> servers = placement.PlaceChunk(seq, 3);
+    ASSERT_TRUE(servers.ok());
+    primary_machines.insert(placement.MachineOf((*servers)[0]));
+  }
+  EXPECT_EQ(primary_machines.size(), 3u);
+}
+
+TEST(PlacementTest, ReplicationBeyondMachinesFails) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, test::SmallClusterConfig());
+  EXPECT_FALSE(cluster.master().placement().PlaceChunk(0, 4).ok());
+}
+
+TEST(PlacementTest, ReplacementAvoidsExcludedMachines) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, test::SmallClusterConfig());
+  const Placement& placement = cluster.master().placement();
+  Result<ServerId> r = placement.PlaceReplacement(true, {0, 1}, 7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(placement.MachineOf(*r), 2u);
+  // All machines excluded: falls back to co-location rather than failing.
+  Result<ServerId> r2 = placement.PlaceReplacement(true, {0, 1, 2}, 7);
+  EXPECT_TRUE(r2.ok());
+}
+
+TEST(MasterTest, CreateDiskAllocatesChunksEverywhere) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, test::SmallClusterConfig());
+  Result<DiskId> disk = cluster.master().CreateDisk("d", 8 * kMiB, 3, 2);
+  ASSERT_TRUE(disk.ok());
+  Result<const DiskMeta*> meta = cluster.master().GetDisk(*disk);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ((*meta)->chunks.size(), 8u);  // 1 MiB chunks
+  for (const ChunkLayout& layout : (*meta)->chunks) {
+    EXPECT_EQ(layout.replicas.size(), 3u);
+    EXPECT_EQ(layout.view, 1u);
+    for (const ReplicaRef& r : layout.replicas) {
+      EXPECT_TRUE(cluster.server(r.server)->HasChunk(layout.chunk));
+    }
+  }
+}
+
+TEST(MasterTest, CreateDiskValidatesArgs) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, test::SmallClusterConfig());
+  EXPECT_FALSE(cluster.master().CreateDisk("d", 0, 3, 2).ok());
+  EXPECT_FALSE(cluster.master().CreateDisk("d", 1 * kMiB, 0, 2).ok());
+}
+
+TEST(MasterTest, LeaseExcludesSecondClient) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, test::SmallClusterConfig());
+  Master& master = cluster.master();
+  Result<DiskId> disk = master.CreateDisk("d", 2 * kMiB, 3, 1);
+  ASSERT_TRUE(disk.ok());
+  EXPECT_TRUE(master.OpenDisk(*disk, 1).ok());
+  EXPECT_EQ(master.OpenDisk(*disk, 2).status().code(), StatusCode::kUnavailable);
+  // Same client can re-open (renew).
+  EXPECT_TRUE(master.OpenDisk(*disk, 1).ok());
+}
+
+TEST(MasterTest, LeaseExpiresOverTime) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, test::SmallClusterConfig());
+  Master& master = cluster.master();
+  master.set_lease_term(sec(5));
+  Result<DiskId> disk = master.CreateDisk("d", 2 * kMiB, 3, 1);
+  ASSERT_TRUE(disk.ok());
+  ASSERT_TRUE(master.OpenDisk(*disk, 1).ok());
+  sim.RunUntil(sec(6));
+  EXPECT_TRUE(master.OpenDisk(*disk, 2).ok());  // lease lapsed
+}
+
+TEST(MasterTest, RenewKeepsLease) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, test::SmallClusterConfig());
+  Master& master = cluster.master();
+  master.set_lease_term(sec(5));
+  Result<DiskId> disk = master.CreateDisk("d", 2 * kMiB, 3, 1);
+  ASSERT_TRUE(master.OpenDisk(*disk, 1).ok());
+  sim.RunUntil(sec(4));
+  ASSERT_TRUE(master.RenewLease(*disk, 1).ok());
+  sim.RunUntil(sec(8));  // original term passed, renewed term active
+  EXPECT_EQ(master.OpenDisk(*disk, 2).status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(master.RenewLease(*disk, 2).code(), StatusCode::kUnavailable);
+}
+
+TEST(MasterTest, CloseReleasesLease) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, test::SmallClusterConfig());
+  Master& master = cluster.master();
+  Result<DiskId> disk = master.CreateDisk("d", 2 * kMiB, 3, 1);
+  ASSERT_TRUE(master.OpenDisk(*disk, 1).ok());
+  ASSERT_TRUE(master.CloseDisk(*disk, 1).ok());
+  EXPECT_TRUE(master.OpenDisk(*disk, 2).ok());
+}
+
+TEST(FleetFailureTest, HddDominatesPerTableOne) {
+  Rng rng(2024);
+  FleetModel model;
+  FleetFailureCounts counts = SimulateFleetFailures(model, 2000, 2.0, &rng);
+  ASSERT_GT(counts.total(), 500u);
+  double hdd = counts.Ratio(ComponentKind::kHdd);
+  double ssd = counts.Ratio(ComponentKind::kSsd);
+  // Table 1: HDD ~69%, SSD ~4% (an order of magnitude apart).
+  EXPECT_NEAR(hdd, 0.69, 0.08);
+  EXPECT_NEAR(ssd, 0.04, 0.03);
+  EXPECT_GT(hdd / ssd, 8.0);
+}
+
+TEST(FleetFailureTest, RatiosSumToOne) {
+  Rng rng(7);
+  FleetFailureCounts counts = SimulateFleetFailures(FleetModel{}, 500, 3.0, &rng);
+  double total = 0;
+  for (int k = 0; k < kNumComponentKinds; ++k) {
+    total += counts.Ratio(static_cast<ComponentKind>(k));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ursa::cluster

@@ -1,0 +1,296 @@
+// Unit tests for src/common: Status/Result, intervals, histogram, RNG, CRC.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "src/common/crc32.h"
+#include "src/common/histogram.h"
+#include "src/common/interval.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace ursa {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFound("missing chunk");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing chunk");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Unavailable("down");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_EQ(usec(1), 1000);
+  EXPECT_EQ(msec(1), 1000 * 1000);
+  EXPECT_EQ(sec(2), 2'000'000'000);
+  EXPECT_DOUBLE_EQ(ToUsec(usec(250)), 250.0);
+  EXPECT_DOUBLE_EQ(ToSec(sec(3)), 3.0);
+}
+
+TEST(UnitsTest, TransferTimeRoundsUp) {
+  // 1000 bytes at 1 GB/s = 1000 ns exactly.
+  EXPECT_EQ(TransferTime(1000, 1e9), 1000);
+  // Non-integral results round up.
+  EXPECT_EQ(TransferTime(1, 3e9), 1);
+  EXPECT_EQ(TransferTime(0, 1e9), 0);
+}
+
+TEST(IntervalTest, BasicPredicates) {
+  Interval a{100, 50};
+  EXPECT_EQ(a.end(), 150u);
+  EXPECT_TRUE(a.Contains(100));
+  EXPECT_TRUE(a.Contains(149));
+  EXPECT_FALSE(a.Contains(150));
+  EXPECT_FALSE(a.Contains(99));
+}
+
+TEST(IntervalTest, OverlapAndLess) {
+  Interval a{0, 10};
+  Interval b{10, 10};
+  Interval c{5, 10};
+  EXPECT_FALSE(a.Overlaps(b));
+  EXPECT_TRUE(a.Overlaps(c));
+  EXPECT_TRUE(b.Overlaps(c));
+  // The paper's LESS relation: total order over disjoint intervals.
+  EXPECT_TRUE(a.Less(b));
+  EXPECT_FALSE(b.Less(a));
+  EXPECT_FALSE(a.Less(c));
+  EXPECT_FALSE(c.Less(a));
+}
+
+TEST(IntervalTest, Intersect) {
+  Interval a{10, 20};
+  EXPECT_EQ(a.Intersect({15, 30}), (Interval{15, 15}));
+  EXPECT_EQ(a.Intersect({0, 100}), (Interval{10, 20}));
+  EXPECT_TRUE(a.Intersect({30, 5}).empty());
+}
+
+TEST(IntervalTest, SubtractMiddleSplits) {
+  std::vector<Interval> pieces = Subtract({0, 100}, {40, 20});
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0], (Interval{0, 40}));
+  EXPECT_EQ(pieces[1], (Interval{60, 40}));
+}
+
+TEST(IntervalTest, SubtractDisjointKeepsWhole) {
+  std::vector<Interval> pieces = Subtract({0, 10}, {20, 10});
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], (Interval{0, 10}));
+}
+
+TEST(IntervalTest, SubtractCoveringErases) {
+  EXPECT_TRUE(Subtract({10, 10}, {0, 100}).empty());
+}
+
+TEST(HistogramTest, CountMinMaxMean) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 10);
+  EXPECT_EQ(h.max(), 30);
+  EXPECT_NEAR(h.Mean(), 20.0, 1e-9);
+}
+
+TEST(HistogramTest, PercentilesMonotone) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Record(i);
+  }
+  int64_t p50 = h.Percentile(50);
+  int64_t p90 = h.Percentile(90);
+  int64_t p99 = h.Percentile(99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_NEAR(static_cast<double>(p50), 500, 60);
+  EXPECT_NEAR(static_cast<double>(p99), 990, 100);
+}
+
+TEST(HistogramTest, MergeAggregates) {
+  Histogram a;
+  Histogram b;
+  a.Record(100);
+  b.Record(300);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.max(), 300);
+  EXPECT_NEAR(a.Mean(), 200.0, 1e-9);
+}
+
+TEST(HistogramTest, PdfSumsToOne) {
+  Histogram h;
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    h.Record(static_cast<int64_t>(100 + rng.Uniform(400)));
+  }
+  auto pdf = h.Pdf(20);
+  ASSERT_EQ(pdf.size(), 20u);
+  double total = 0;
+  for (const auto& [center, mass] : pdf) {
+    total += mass;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    uint64_t v = rng.UniformRange(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sum += rng.Exponential(50.0);
+  }
+  EXPECT_NEAR(sum / 100000.0, 50.0, 1.0);
+}
+
+TEST(RngTest, ZipfSkewsLow) {
+  Rng rng(13);
+  int low = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Zipf(1000, 0.9) < 100) {
+      ++low;
+    }
+  }
+  // Heavily skewed: far more than the uniform 10% land in the lowest decile.
+  EXPECT_GT(low, 5000);
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC32C("123456789") = 0xE3069283 (well-known check value).
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32Test, SeedChaining) {
+  const char* data = "hello world";
+  uint32_t whole = Crc32c(data, 11);
+  uint32_t part = Crc32c(data, 5);
+  uint32_t chained = Crc32c(data + 5, 6, part);
+  EXPECT_EQ(whole, chained);
+}
+
+TEST(Crc32Test, DetectsCorruption) {
+  std::vector<uint8_t> buf(1024, 0xAB);
+  uint32_t before = Crc32c(buf.data(), buf.size());
+  buf[512] ^= 1;
+  EXPECT_NE(before, Crc32c(buf.data(), buf.size()));
+}
+
+}  // namespace
+}  // namespace ursa
+
+namespace ursa {
+namespace {
+
+TEST(HistogramTest, StddevOfConstantIsZero) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) {
+    h.Record(500);
+  }
+  EXPECT_NEAR(h.Stddev(), 0.0, 1e-6);
+}
+
+TEST(HistogramTest, StddevOfSpread) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    h.Record(static_cast<int64_t>(rng.Normal(1000, 100)));
+  }
+  EXPECT_NEAR(h.Stddev(), 100.0, 10.0);
+  EXPECT_NEAR(h.Mean(), 1000.0, 5.0);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(RngTest, LognormalMedian) {
+  Rng rng(17);
+  std::vector<double> samples;
+  for (int i = 0; i < 50001; ++i) {
+    samples.push_back(rng.Lognormal(std::log(400.0), 0.5));
+  }
+  std::nth_element(samples.begin(), samples.begin() + 25000, samples.end());
+  EXPECT_NEAR(samples[25000], 400.0, 25.0);  // median == exp(mu)
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto fails = []() -> Status {
+    URSA_RETURN_IF_ERROR(NotFound("inner"));
+    return OkStatus();  // unreachable
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kNotFound);
+  auto passes = []() -> Status {
+    URSA_RETURN_IF_ERROR(OkStatus());
+    return Internal("reached the end");
+  };
+  EXPECT_EQ(passes().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ursa

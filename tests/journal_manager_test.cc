@@ -1,0 +1,335 @@
+// Integration tests for the hybrid backup write path (§3.2): journaled
+// writes, bypass, journal-overlay reads, replay merging, expansion to
+// secondary SSD and HDD journals, and byte-level durability through replay.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/journal/journal_manager.h"
+#include "src/storage/mem_device.h"
+#include "test_util.h"
+
+namespace ursa::journal {
+namespace {
+
+class JournalManagerTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kChunkSize = 1 * kMiB;
+
+  void Build(JournalManagerOptions options = {}, uint64_t ssd_region = 256 * kKiB,
+             uint64_t exp_region = 128 * kKiB, uint64_t hdd_region = 512 * kKiB) {
+    ssd_ = std::make_unique<storage::MemDevice>(&sim_, 8 * kMiB);
+    hdd_ = std::make_unique<storage::MemDevice>(&sim_, 16 * kMiB);
+    // HDD layout: [0, hdd_region) journal, rest chunk store.
+    store_ = std::make_unique<storage::ChunkStore>(hdd_.get(), kChunkSize, hdd_region,
+                                                   hdd_->capacity() - hdd_region);
+    manager_ = std::make_unique<JournalManager>(&sim_, store_.get(), options);
+    manager_->AddJournal(
+        std::make_unique<JournalWriter>(&sim_, ssd_.get(), 0, ssd_region, "ssd"), false);
+    manager_->AddJournal(
+        std::make_unique<JournalWriter>(&sim_, ssd_.get(), ssd_region, exp_region, "exp"),
+        false);
+    manager_->AddJournal(std::make_unique<JournalWriter>(&sim_, hdd_.get(), 0, hdd_region, "hdd"),
+                         true);
+    ASSERT_TRUE(store_->Allocate(1).ok());
+  }
+
+  // Synchronous-ish helpers driving the simulator.
+  Status Write(uint64_t offset, const std::vector<uint8_t>& data, uint64_t version = 1) {
+    Status out = Internal("not completed");
+    manager_->Write(1, offset, data.size(), version, data.data(),
+                    [&](const Status& s) { out = s; });
+    sim_.RunUntil(sim_.Now() + msec(10));
+    return out;
+  }
+
+  std::vector<uint8_t> Read(uint64_t offset, uint64_t length) {
+    std::vector<uint8_t> out(length, 0xEE);
+    Status status = Internal("not completed");
+    manager_->Read(1, offset, length, out.data(), [&](const Status& s) { status = s; });
+    sim_.RunUntil(sim_.Now() + msec(10));
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return out;
+  }
+
+  void DrainReplay() {
+    manager_->StartReplay();
+    for (int i = 0; i < 1000 && !manager_->ReplayDrained(); ++i) {
+      sim_.RunUntil(sim_.Now() + msec(1));
+    }
+    EXPECT_TRUE(manager_->ReplayDrained());
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<storage::MemDevice> ssd_;
+  std::unique_ptr<storage::MemDevice> hdd_;
+  std::unique_ptr<storage::ChunkStore> store_;
+  std::unique_ptr<JournalManager> manager_;
+};
+
+TEST_F(JournalManagerTest, SmallWriteIsJournaled) {
+  Build();
+  auto data = test::Pattern(4096, 1);
+  ASSERT_TRUE(Write(0, data).ok());
+  EXPECT_EQ(manager_->stats().journaled_writes, 1u);
+  EXPECT_EQ(manager_->stats().bypassed_writes, 0u);
+  // The data is readable through the journal overlay before any replay.
+  EXPECT_EQ(Read(0, 4096), data);
+  // And the HDD chunk store does not have it yet.
+  std::vector<uint8_t> raw(4096);
+  hdd_->ReadSync(store_->SlotOffset(1), raw.data(), 4096);
+  EXPECT_NE(raw, data);
+}
+
+TEST_F(JournalManagerTest, LargeWriteBypassesJournal) {
+  Build();
+  auto data = test::Pattern(128 * kKiB, 2);  // > Tj = 64 KB
+  ASSERT_TRUE(Write(0, data).ok());
+  EXPECT_EQ(manager_->stats().journaled_writes, 0u);
+  EXPECT_EQ(manager_->stats().bypassed_writes, 1u);
+  EXPECT_EQ(Read(0, data.size()), data);
+  // Bypass goes straight to the chunk store on the HDD.
+  std::vector<uint8_t> raw(data.size());
+  hdd_->ReadSync(store_->SlotOffset(1), raw.data(), raw.size());
+  EXPECT_EQ(raw, data);
+}
+
+TEST_F(JournalManagerTest, BypassInvalidatesOverlappedJournalData) {
+  Build();
+  auto small = test::Pattern(4096, 3);
+  ASSERT_TRUE(Write(8192, small, 1).ok());
+  auto large = test::Pattern(128 * kKiB, 4);
+  ASSERT_TRUE(Write(0, large, 2).ok());  // covers the journaled range
+  EXPECT_EQ(Read(8192, 4096),
+            std::vector<uint8_t>(large.begin() + 8192, large.begin() + 8192 + 4096));
+  // The journal index holds nothing live for the chunk anymore.
+  EXPECT_TRUE(manager_->IndexSnapshot(1).empty());
+}
+
+TEST_F(JournalManagerTest, OverlayReadMixesJournalAndStore) {
+  Build();
+  auto base = test::Pattern(64 * kKiB, 5);
+  ASSERT_TRUE(Write(0, base, 1).ok());  // journaled (== Tj, not >)
+  DrainReplay();                        // now on the HDD
+  auto patch = test::Pattern(4096, 6);
+  ASSERT_TRUE(Write(8192, patch, 2).ok());  // journaled overlay
+  auto got = Read(0, 64 * kKiB);
+  std::vector<uint8_t> expect = base;
+  std::copy(patch.begin(), patch.end(), expect.begin() + 8192);
+  EXPECT_EQ(got, expect);
+}
+
+TEST_F(JournalManagerTest, ReplayMovesDataToHddAndFreesJournal) {
+  Build();
+  auto data = test::Pattern(4096, 7);
+  ASSERT_TRUE(Write(4096, data).ok());
+  DrainReplay();
+  EXPECT_EQ(manager_->stats().replayed_records, 1u);
+  EXPECT_TRUE(manager_->IndexSnapshot(1).empty());
+  std::vector<uint8_t> raw(4096);
+  hdd_->ReadSync(store_->SlotOffset(1) + 4096, raw.data(), 4096);
+  EXPECT_EQ(raw, data);
+  // Reads still return the right bytes after replay.
+  EXPECT_EQ(Read(4096, 4096), data);
+}
+
+TEST_F(JournalManagerTest, ReplayMergesOverwrites) {
+  Build();
+  // Ten overwrites of the same 4 KB range before replay starts: only the
+  // last version must reach the HDD, the rest are merged away (§3.2).
+  std::vector<uint8_t> last;
+  for (uint64_t v = 1; v <= 10; ++v) {
+    last = test::Pattern(4096, 100 + v);
+    ASSERT_TRUE(Write(0, last, v).ok());
+  }
+  DrainReplay();
+  EXPECT_EQ(manager_->stats().merged_records, 9u);
+  EXPECT_EQ(manager_->stats().replayed_records, 1u);
+  std::vector<uint8_t> raw(4096);
+  hdd_->ReadSync(store_->SlotOffset(1), raw.data(), 4096);
+  EXPECT_EQ(raw, last);
+}
+
+TEST_F(JournalManagerTest, PartialOverwriteReplaysLivePieces) {
+  Build();
+  auto a = test::Pattern(16 * kKiB, 20);
+  ASSERT_TRUE(Write(0, a, 1).ok());
+  auto b = test::Pattern(4096, 21);
+  ASSERT_TRUE(Write(4096, b, 2).ok());  // overwrites the middle of a
+  DrainReplay();
+  std::vector<uint8_t> expect = a;
+  std::copy(b.begin(), b.end(), expect.begin() + 4096);
+  std::vector<uint8_t> raw(16 * kKiB);
+  hdd_->ReadSync(store_->SlotOffset(1), raw.data(), raw.size());
+  EXPECT_EQ(raw, expect);
+  EXPECT_EQ(Read(0, 16 * kKiB), expect);
+}
+
+TEST_F(JournalManagerTest, ExpansionToSecondSsdJournal) {
+  // Tiny primary journal so it fills quickly; expansion region larger.
+  JournalManagerOptions options;
+  Build(options, /*ssd_region=*/32 * kKiB, /*exp_region=*/256 * kKiB);
+  size_t writes = 0;
+  // Without replay running, the primary ring fills and the manager expands.
+  while (manager_->stats().expansions == 0 && writes < 200) {
+    auto data = test::Pattern(4096, writes);
+    ASSERT_TRUE(Write(writes * 4096, data, writes + 1).ok());
+    ++writes;
+  }
+  EXPECT_EQ(manager_->stats().expansions, 1u);
+  EXPECT_EQ(manager_->active_journal(), 1u);
+  // All data still readable.
+  for (size_t i = 0; i < writes; ++i) {
+    EXPECT_EQ(Read(i * 4096, 4096), test::Pattern(4096, i)) << i;
+  }
+}
+
+TEST_F(JournalManagerTest, ExpansionToHddJournalAndFallback) {
+  Build({}, /*ssd_region=*/16 * kKiB, /*exp_region=*/16 * kKiB, /*hdd_region=*/32 * kKiB);
+  // Fill all three journals.
+  size_t writes = 0;
+  while (manager_->stats().direct_fallback_writes == 0 && writes < 200) {
+    auto data = test::Pattern(4096, 1000 + writes);
+    ASSERT_TRUE(Write(writes * 4096, data, writes + 1).ok());
+    ++writes;
+  }
+  EXPECT_EQ(manager_->stats().expansions, 2u);  // ssd -> exp -> hdd
+  EXPECT_GE(manager_->stats().direct_fallback_writes, 1u);
+  for (size_t i = 0; i < writes; ++i) {
+    EXPECT_EQ(Read(i * 4096, 4096), test::Pattern(4096, 1000 + i)) << i;
+  }
+}
+
+TEST_F(JournalManagerTest, ReplayDrainsBacklogAndRingRecycles) {
+  Build({}, /*ssd_region=*/64 * kKiB);
+  manager_->StartReplay();
+  // Stream far more data than the ring holds; replay must keep up.
+  for (uint64_t v = 1; v <= 300; ++v) {
+    auto data = test::Pattern(4096, 2000 + v);
+    uint64_t offset = (v % 64) * 4096;
+    ASSERT_TRUE(Write(offset, data, v).ok()) << v;
+  }
+  for (int i = 0; i < 1000 && !manager_->ReplayDrained(); ++i) {
+    sim_.RunUntil(sim_.Now() + msec(1));
+  }
+  EXPECT_TRUE(manager_->ReplayDrained());
+  EXPECT_EQ(manager_->stats().journaled_writes, 300u);
+  // Spot-check final contents: the newest version of each slot wins.
+  for (uint64_t slot = 1; slot <= 64; ++slot) {
+    uint64_t newest = slot + ((300 - slot) / 64) * 64;  // last v with v%64==slot%64
+    if (newest > 300) {
+      newest -= 64;
+    }
+    EXPECT_EQ(Read((slot % 64) * 4096, 4096), test::Pattern(4096, 2000 + newest))
+        << "slot " << slot;
+  }
+}
+
+TEST_F(JournalManagerTest, WriteAlignmentEnforced) {
+  Build();
+  EXPECT_DEATH(
+      {
+        manager_->Write(1, 100, 512, 1, nullptr, [](const Status&) {});
+      },
+      "");
+}
+
+
+// ---------------------------------------------------------------------------
+// Crash recovery: the in-memory index and replay queue are rebuilt by
+// scanning the journal rings (CRC-validated), including durable invalidation
+// markers left by journal-bypass writes.
+// ---------------------------------------------------------------------------
+class JournalCrashTest : public JournalManagerTest {
+ protected:
+  // "Crashes" the manager: throws away all volatile state by constructing a
+  // fresh JournalManager over the SAME devices and journal regions, then
+  // recovers it from the rings.
+  void CrashAndRecover() {
+    manager_ = std::make_unique<JournalManager>(&sim_, store_.get(), JournalManagerOptions{});
+    manager_->AddJournal(
+        std::make_unique<JournalWriter>(&sim_, ssd_.get(), 0, 256 * kKiB, "ssd"), false);
+    manager_->AddJournal(
+        std::make_unique<JournalWriter>(&sim_, ssd_.get(), 256 * kKiB, 128 * kKiB, "exp"),
+        false);
+    manager_->AddJournal(
+        std::make_unique<JournalWriter>(&sim_, hdd_.get(), 0, 512 * kKiB, "hdd"), true);
+    Status status = Internal("pending");
+    manager_->RecoverFromJournals([&](const Status& s) { status = s; });
+    sim_.RunUntil(sim_.Now() + msec(50));
+    ASSERT_TRUE(status.ok()) << status.ToString();
+  }
+};
+
+TEST_F(JournalCrashTest, UnreplayedWritesSurviveCrash) {
+  Build();
+  auto a = test::Pattern(4096, 61);
+  auto b = test::Pattern(8192, 62);
+  ASSERT_TRUE(Write(0, a, 1).ok());
+  ASSERT_TRUE(Write(65536, b, 2).ok());
+  // Crash BEFORE any replay: the data exists only in the journal ring.
+  CrashAndRecover();
+  EXPECT_EQ(Read(0, 4096), a);
+  EXPECT_EQ(Read(65536, 8192), b);
+  // And replay still drains the recovered queue into the HDD.
+  DrainReplay();
+  std::vector<uint8_t> raw(8192);
+  hdd_->ReadSync(store_->SlotOffset(1) + 65536, raw.data(), 8192);
+  EXPECT_EQ(raw, b);
+}
+
+TEST_F(JournalCrashTest, NewestVersionWinsAfterRecovery) {
+  Build();
+  std::vector<uint8_t> last;
+  for (uint64_t v = 1; v <= 6; ++v) {
+    last = test::Pattern(4096, 70 + v);
+    ASSERT_TRUE(Write(0, last, v).ok());
+  }
+  CrashAndRecover();
+  EXPECT_EQ(Read(0, 4096), last);
+}
+
+TEST_F(JournalCrashTest, BypassInvalidationSurvivesCrash) {
+  Build();
+  auto small = test::Pattern(4096, 80);
+  ASSERT_TRUE(Write(8192, small, 1).ok());
+  // A large bypass write supersedes the journaled range; its durable
+  // invalidation marker must prevent the old append from resurrecting.
+  auto large = test::Pattern(128 * kKiB, 81);
+  ASSERT_TRUE(Write(0, large, 2).ok());
+  CrashAndRecover();
+  EXPECT_EQ(Read(8192, 4096),
+            std::vector<uint8_t>(large.begin() + 8192, large.begin() + 8192 + 4096));
+  // The recovered index maps nothing for the superseded range.
+  for (const auto& seg : manager_->IndexSnapshot(1)) {
+    EXPECT_FALSE(seg.offset <= 8192 / 512 && 8192 / 512 < seg.offset + seg.length)
+        << "stale mapping resurrected at sector " << seg.offset;
+  }
+}
+
+TEST_F(JournalCrashTest, PartiallyReplayedJournalRecoversConsistently) {
+  Build();
+  std::vector<std::vector<uint8_t>> data;
+  for (uint64_t v = 1; v <= 8; ++v) {
+    data.push_back(test::Pattern(4096, 90 + v));
+    ASSERT_TRUE(Write((v - 1) * 8192, data.back(), v).ok());
+  }
+  // Let replay move SOME records to the HDD, then crash.
+  manager_->StartReplay();
+  sim_.RunUntil(sim_.Now() + msec(2));
+  CrashAndRecover();
+  // Every write is still readable (replayed ones possibly served twice —
+  // once from the HDD, once via the re-discovered journal mapping; both hold
+  // identical bytes, so replay is idempotent).
+  for (uint64_t v = 1; v <= 8; ++v) {
+    EXPECT_EQ(Read((v - 1) * 8192, 4096), data[v - 1]) << v;
+  }
+  DrainReplay();
+  for (uint64_t v = 1; v <= 8; ++v) {
+    EXPECT_EQ(Read((v - 1) * 8192, 4096), data[v - 1]) << v;
+  }
+}
+
+}  // namespace
+}  // namespace ursa::journal

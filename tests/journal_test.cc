@@ -1,0 +1,225 @@
+// Tests for journal record encoding, the ring JournalWriter, and JournalLite.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/journal/journal_lite.h"
+#include "src/journal/journal_record.h"
+#include "src/journal/journal_writer.h"
+#include "src/storage/mem_device.h"
+#include "test_util.h"
+
+namespace ursa::journal {
+namespace {
+
+TEST(RecordTest, EncodeDecodeRoundTrip) {
+  RecordHeader h;
+  h.chunk_id = 42;
+  h.chunk_offset = 8192;
+  h.length = 4096;
+  h.version = 17;
+  uint8_t buf[RecordHeader::kEncodedSize];
+  h.crc = h.ComputeCrc(nullptr);
+  h.EncodeTo(buf);
+  Result<RecordHeader> back = RecordHeader::Decode(buf);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->chunk_id, 42u);
+  EXPECT_EQ(back->chunk_offset, 8192u);
+  EXPECT_EQ(back->length, 4096u);
+  EXPECT_EQ(back->version, 17u);
+  EXPECT_EQ(back->crc, h.crc);
+}
+
+TEST(RecordTest, BadMagicRejected) {
+  uint8_t buf[RecordHeader::kEncodedSize] = {};
+  EXPECT_EQ(RecordHeader::Decode(buf).status().code(), StatusCode::kCorruption);
+}
+
+TEST(RecordTest, CrcCoversPayload) {
+  RecordHeader h;
+  h.chunk_id = 1;
+  h.length = 512;
+  auto payload = test::Pattern(512, 1);
+  uint32_t c1 = h.ComputeCrc(payload.data());
+  payload[100] ^= 0xFF;
+  uint32_t c2 = h.ComputeCrc(payload.data());
+  EXPECT_NE(c1, c2);
+}
+
+TEST(RecordTest, NullPayloadCrcMatchesZeros) {
+  RecordHeader h;
+  h.length = 2048;
+  std::vector<uint8_t> zeros(2048, 0);
+  EXPECT_EQ(h.ComputeCrc(nullptr), h.ComputeCrc(zeros.data()));
+}
+
+TEST(RecordTest, FootprintSectorRounded) {
+  EXPECT_EQ(RecordFootprint(1), kSector + kSector);
+  EXPECT_EQ(RecordFootprint(512), kSector + 512u);
+  EXPECT_EQ(RecordFootprint(513), kSector + 1024u);
+  EXPECT_EQ(RecordFootprint(4096), kSector + 4096u);
+}
+
+TEST(RecordTest, EncodeRecordImage) {
+  RecordHeader h;
+  h.chunk_id = 5;
+  h.chunk_offset = 1024;
+  h.length = 1024;
+  h.version = 3;
+  auto payload = test::Pattern(1024, 2);
+  std::vector<uint8_t> image = EncodeRecord(h, payload.data());
+  ASSERT_EQ(image.size(), RecordFootprint(1024));
+  Result<RecordHeader> back = RecordHeader::Decode(image.data());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->crc, back->ComputeCrc(image.data() + kSector));
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), image.begin() + kSector));
+}
+
+class JournalWriterTest : public ::testing::Test {
+ protected:
+  JournalWriterTest()
+      : device_(&sim_, 1 * kMiB), writer_(&sim_, &device_, 0, 256 * kKiB, "test") {}
+
+  sim::Simulator sim_;
+  storage::MemDevice device_;
+  JournalWriter writer_;
+};
+
+TEST_F(JournalWriterTest, AppendReturnsSectorAlignedPayloadOffset) {
+  Status status;
+  Result<uint64_t> j =
+      writer_.Append(1, 0, 4096, 1, nullptr, [&](const Status& s) { status = s; });
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(*j % kSector, 0u);
+  EXPECT_EQ(*j, kSector);  // first record: header sector then payload
+  sim_.RunToCompletion();
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(writer_.appended_records(), 1u);
+  EXPECT_EQ(writer_.used_bytes(), RecordFootprint(4096));
+}
+
+TEST_F(JournalWriterTest, PayloadRoundTrip) {
+  auto data = test::Pattern(4096, 3);
+  Result<uint64_t> j = writer_.Append(1, 8192, 4096, 1, data.data(), [](const Status&) {});
+  ASSERT_TRUE(j.ok());
+  sim_.RunToCompletion();
+  std::vector<uint8_t> out(4096);
+  writer_.ReadPayload(*j, 4096, out.data(), [](const Status& s) { ASSERT_TRUE(s.ok()); });
+  sim_.RunToCompletion();
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(JournalWriterTest, FillsAndReportsExhaustion) {
+  // 256 KiB ring; each 4 KiB record occupies 4.5 KiB.
+  size_t appended = 0;
+  while (true) {
+    Result<uint64_t> j = writer_.Append(1, 0, 4096, appended, nullptr, [](const Status&) {});
+    if (!j.ok()) {
+      EXPECT_EQ(j.status().code(), StatusCode::kResourceExhausted);
+      break;
+    }
+    ++appended;
+  }
+  EXPECT_EQ(appended, 256 * kKiB / RecordFootprint(4096));
+  EXPECT_FALSE(writer_.CanFit(4096));
+}
+
+TEST_F(JournalWriterTest, FreeingAllowsReuseAndWraps) {
+  // Fill, free everything, fill again: the ring must wrap cleanly.
+  for (int round = 0; round < 3; ++round) {
+    size_t appended = 0;
+    while (writer_.CanFit(4096)) {
+      ASSERT_TRUE(writer_.Append(1, 0, 4096, 1, nullptr, [](const Status&) {}).ok());
+      ++appended;
+    }
+    EXPECT_GT(appended, 50u);
+    sim_.RunToCompletion();
+    while (writer_.HasPending()) {
+      writer_.PopFrontAndFree();
+    }
+    EXPECT_EQ(writer_.used_bytes(), 0u);
+  }
+}
+
+TEST_F(JournalWriterTest, PendingFifoMetadata) {
+  writer_.Append(7, 1024, 512, 3, nullptr, [](const Status&) {});
+  writer_.Append(8, 2048, 1024, 4, nullptr, [](const Status&) {});
+  ASSERT_EQ(writer_.pending().size(), 2u);
+  EXPECT_EQ(writer_.pending()[0].chunk_id, 7u);
+  EXPECT_EQ(writer_.pending()[0].version, 3u);
+  EXPECT_EQ(writer_.pending()[1].chunk_id, 8u);
+  EXPECT_EQ(writer_.pending()[1].length, 1024u);
+  writer_.PopFrontAndFree();
+  ASSERT_EQ(writer_.pending().size(), 1u);
+  EXPECT_EQ(writer_.pending()[0].chunk_id, 8u);
+}
+
+TEST_F(JournalWriterTest, WrapNeverSplitsRecord) {
+  // Append 1.5 KiB-payload records well past one lap; every payload offset
+  // must leave the whole record inside the region.
+  for (int i = 0; i < 500; ++i) {
+    if (!writer_.CanFit(1536)) {
+      sim_.RunToCompletion();
+      while (writer_.HasPending()) {
+        writer_.PopFrontAndFree();
+      }
+    }
+    Result<uint64_t> j = writer_.Append(1, 0, 1536, 1, nullptr, [](const Status&) {});
+    ASSERT_TRUE(j.ok());
+    EXPECT_LE(*j + 1536, writer_.region_length());
+    EXPECT_GE(*j, kSector);
+  }
+}
+
+TEST(JournalLiteTest, RecordsAndReportsModifications) {
+  JournalLite lite(16);
+  lite.Record(1, 1, 0, 4096);
+  lite.Record(1, 2, 8192, 4096);
+  lite.Record(2, 1, 0, 512);  // other chunk
+  std::vector<Interval> ranges;
+  ASSERT_TRUE(lite.ModifiedSince(1, 0, &ranges));
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0], (Interval{0, 4096}));
+  EXPECT_EQ(ranges[1], (Interval{8192, 4096}));
+}
+
+TEST(JournalLiteTest, SinceVersionFilters) {
+  JournalLite lite(16);
+  lite.Record(1, 1, 0, 512);
+  lite.Record(1, 2, 1024, 512);
+  lite.Record(1, 3, 2048, 512);
+  std::vector<Interval> ranges;
+  ASSERT_TRUE(lite.ModifiedSince(1, 2, &ranges));
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (Interval{2048, 512}));
+}
+
+TEST(JournalLiteTest, MergesOverlappingRanges) {
+  JournalLite lite(16);
+  lite.Record(1, 1, 0, 1024);
+  lite.Record(1, 2, 512, 1024);
+  lite.Record(1, 3, 4096, 512);
+  std::vector<Interval> ranges;
+  ASSERT_TRUE(lite.ModifiedSince(1, 0, &ranges));
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0], (Interval{0, 1536}));
+  EXPECT_EQ(ranges[1], (Interval{4096, 512}));
+}
+
+TEST(JournalLiteTest, GcForcesFullCopy) {
+  JournalLite lite(4);
+  for (uint64_t v = 1; v <= 20; ++v) {
+    lite.Record(1, v, v * 512, 512);
+  }
+  std::vector<Interval> ranges;
+  // History no longer reaches back to version 2: full copy required.
+  EXPECT_FALSE(lite.ModifiedSince(1, 2, &ranges));
+  // But a recent version is still answerable; the three adjacent 512-byte
+  // writes (v18..v20) merge into one contiguous range.
+  EXPECT_TRUE(lite.ModifiedSince(1, 17, &ranges));
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (Interval{18 * 512, 3 * 512}));
+}
+
+}  // namespace
+}  // namespace ursa::journal

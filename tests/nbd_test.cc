@@ -1,0 +1,244 @@
+// Tests for the NBD frontend: byte-exact wire format, stream fragmentation,
+// command dispatch onto a real cluster-backed BlockLayer, error mapping, and
+// disconnect semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/client/block_layer.h"
+#include "src/client/nbd.h"
+#include "src/client/virtual_disk.h"
+#include "test_util.h"
+
+namespace ursa::client {
+namespace {
+
+TEST(NbdWireTest, RequestRoundTrip) {
+  NbdRequest req;
+  req.command = NbdCommand::kWrite;
+  req.flags = 0x0001;
+  req.handle = 0x1122334455667788ULL;
+  req.offset = 0xABCDEF00;
+  req.length = 4096;
+  uint8_t buf[NbdRequest::kWireSize];
+  req.EncodeTo(buf);
+  // Spot-check the big-endian layout.
+  EXPECT_EQ(buf[0], 0x25);
+  EXPECT_EQ(buf[1], 0x60);
+  EXPECT_EQ(buf[2], 0x95);
+  EXPECT_EQ(buf[3], 0x13);
+  EXPECT_EQ(buf[8], 0x11);   // handle MSB
+  EXPECT_EQ(buf[15], 0x88);  // handle LSB
+  Result<NbdRequest> back = NbdRequest::Decode(buf);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->command, NbdCommand::kWrite);
+  EXPECT_EQ(back->handle, req.handle);
+  EXPECT_EQ(back->offset, req.offset);
+  EXPECT_EQ(back->length, req.length);
+}
+
+TEST(NbdWireTest, ReplyRoundTrip) {
+  NbdReply reply;
+  reply.error = kNbdEio;
+  reply.handle = 42;
+  uint8_t buf[NbdReply::kWireSize];
+  reply.EncodeTo(buf);
+  EXPECT_EQ(buf[0], 0x67);
+  Result<NbdReply> back = NbdReply::Decode(buf);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->error, kNbdEio);
+  EXPECT_EQ(back->handle, 42u);
+}
+
+TEST(NbdWireTest, BadMagicRejected) {
+  uint8_t zeros[NbdRequest::kWireSize] = {};
+  EXPECT_FALSE(NbdRequest::Decode(zeros).ok());
+  EXPECT_FALSE(NbdReply::Decode(zeros).ok());
+}
+
+class NbdSessionTest : public ::testing::Test {
+ protected:
+  NbdSessionTest() : cluster_(&sim_, test::SmallClusterConfig()) {
+    disk_id_ = *cluster_.master().CreateDisk("d", 4 * kMiB, 3, 1);
+    disk_ = std::make_unique<VirtualDisk>(&cluster_, cluster_.AddClientMachine(), 1,
+                                          VirtualDiskClientOptions{});
+    EXPECT_TRUE(disk_->Open(disk_id_).ok());
+    layer_ = std::make_unique<VirtualDiskLayer>(disk_.get());
+    session_ = std::make_unique<NbdSession>(
+        layer_.get(), [this](std::vector<uint8_t> bytes) {
+          outbound_.insert(outbound_.end(), bytes.begin(), bytes.end());
+        });
+  }
+
+  // Sends a request (optionally fragmented into `pieces`) and runs the sim.
+  void Send(const NbdRequest& req, const std::vector<uint8_t>& payload = {},
+            size_t pieces = 1) {
+    std::vector<uint8_t> wire(NbdRequest::kWireSize);
+    req.EncodeTo(wire.data());
+    wire.insert(wire.end(), payload.begin(), payload.end());
+    size_t per = (wire.size() + pieces - 1) / pieces;
+    for (size_t at = 0; at < wire.size(); at += per) {
+      size_t n = std::min(per, wire.size() - at);
+      session_->Consume(wire.data() + at, n);
+    }
+    sim_.RunUntil(sim_.Now() + sec(2));
+  }
+
+  // Pops one reply (+ `payload_len` payload bytes) from the outbound stream.
+  NbdReply PopReply(std::vector<uint8_t>* payload, size_t payload_len) {
+    EXPECT_GE(outbound_.size(), NbdReply::kWireSize + payload_len);
+    Result<NbdReply> reply = NbdReply::Decode(outbound_.data());
+    EXPECT_TRUE(reply.ok());
+    payload->assign(outbound_.begin() + NbdReply::kWireSize,
+                    outbound_.begin() + NbdReply::kWireSize + payload_len);
+    outbound_.erase(outbound_.begin(),
+                    outbound_.begin() + NbdReply::kWireSize + payload_len);
+    return *reply;
+  }
+
+  sim::Simulator sim_;
+  cluster::Cluster cluster_;
+  cluster::DiskId disk_id_ = 0;
+  std::unique_ptr<VirtualDisk> disk_;
+  std::unique_ptr<VirtualDiskLayer> layer_;
+  std::unique_ptr<NbdSession> session_;
+  std::vector<uint8_t> outbound_;
+};
+
+TEST_F(NbdSessionTest, WriteThenReadThroughTheWire) {
+  auto data = test::Pattern(4096, 1);
+  NbdRequest wr;
+  wr.command = NbdCommand::kWrite;
+  wr.handle = 101;
+  wr.offset = 8192;
+  wr.length = 4096;
+  Send(wr, data);
+  std::vector<uint8_t> none;
+  NbdReply wreply = PopReply(&none, 0);
+  EXPECT_EQ(wreply.error, kNbdOk);
+  EXPECT_EQ(wreply.handle, 101u);
+
+  NbdRequest rd;
+  rd.command = NbdCommand::kRead;
+  rd.handle = 102;
+  rd.offset = 8192;
+  rd.length = 4096;
+  Send(rd);
+  std::vector<uint8_t> payload;
+  NbdReply rreply = PopReply(&payload, 4096);
+  EXPECT_EQ(rreply.error, kNbdOk);
+  EXPECT_EQ(rreply.handle, 102u);
+  EXPECT_EQ(payload, data);
+}
+
+TEST_F(NbdSessionTest, FragmentedStreamReassembles) {
+  auto data = test::Pattern(8192, 2);
+  NbdRequest wr;
+  wr.command = NbdCommand::kWrite;
+  wr.handle = 7;
+  wr.offset = 0;
+  wr.length = 8192;
+  Send(wr, data, /*pieces=*/13);  // deliberately awkward fragmentation
+  std::vector<uint8_t> none;
+  EXPECT_EQ(PopReply(&none, 0).error, kNbdOk);
+
+  NbdRequest rd;
+  rd.command = NbdCommand::kRead;
+  rd.handle = 8;
+  rd.offset = 0;
+  rd.length = 8192;
+  Send(rd, {}, /*pieces=*/5);
+  std::vector<uint8_t> payload;
+  EXPECT_EQ(PopReply(&payload, 8192).error, kNbdOk);
+  EXPECT_EQ(payload, data);
+}
+
+TEST_F(NbdSessionTest, PipelinedRequestsAllAnswered) {
+  // Three writes back-to-back in one Consume call.
+  std::vector<uint8_t> wire;
+  for (int i = 0; i < 3; ++i) {
+    NbdRequest wr;
+    wr.command = NbdCommand::kWrite;
+    wr.handle = 200 + i;
+    wr.offset = static_cast<uint64_t>(i) * 4096;
+    wr.length = 4096;
+    uint8_t hdr[NbdRequest::kWireSize];
+    wr.EncodeTo(hdr);
+    wire.insert(wire.end(), hdr, hdr + sizeof(hdr));
+    auto data = test::Pattern(4096, 10 + i);
+    wire.insert(wire.end(), data.begin(), data.end());
+  }
+  session_->Consume(wire.data(), wire.size());
+  sim_.RunUntil(sim_.Now() + sec(3));
+  EXPECT_EQ(session_->requests_served(), 3u);
+  std::vector<uint8_t> none;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(PopReply(&none, 0).error, kNbdOk);
+  }
+}
+
+TEST_F(NbdSessionTest, InvalidRequestsGetEinval) {
+  NbdRequest rd;
+  rd.command = NbdCommand::kRead;
+  rd.handle = 9;
+  rd.offset = 100;  // unaligned
+  rd.length = 4096;
+  Send(rd);
+  std::vector<uint8_t> none;
+  EXPECT_EQ(PopReply(&none, 0).error, kNbdEinval);
+
+  rd.offset = 0;
+  rd.length = 0;  // zero-length
+  Send(rd);
+  EXPECT_EQ(PopReply(&none, 0).error, kNbdEinval);
+
+  rd.offset = disk_->size();  // out of range
+  rd.length = 4096;
+  Send(rd);
+  EXPECT_EQ(PopReply(&none, 0).error, kNbdEinval);
+  EXPECT_EQ(session_->errors_returned(), 3u);
+}
+
+TEST_F(NbdSessionTest, FlushAndTrimAreAcknowledged) {
+  NbdRequest flush;
+  flush.command = NbdCommand::kFlush;
+  flush.handle = 31;
+  Send(flush);
+  std::vector<uint8_t> none;
+  EXPECT_EQ(PopReply(&none, 0).error, kNbdOk);
+
+  NbdRequest trim;
+  trim.command = NbdCommand::kTrim;
+  trim.handle = 32;
+  trim.offset = 0;
+  trim.length = 4096;
+  Send(trim);
+  EXPECT_EQ(PopReply(&none, 0).error, kNbdOk);
+}
+
+TEST_F(NbdSessionTest, DisconnectStopsService) {
+  NbdRequest disc;
+  disc.command = NbdCommand::kDisconnect;
+  disc.handle = 99;
+  Send(disc);
+  EXPECT_TRUE(session_->disconnected());
+  // Further bytes are ignored.
+  NbdRequest rd;
+  rd.command = NbdCommand::kRead;
+  rd.handle = 100;
+  rd.offset = 0;
+  rd.length = 4096;
+  Send(rd);
+  EXPECT_TRUE(outbound_.empty());
+}
+
+TEST_F(NbdSessionTest, GarbageStreamDropsConnection) {
+  std::vector<uint8_t> garbage(64, 0xFF);
+  session_->Consume(garbage.data(), garbage.size());
+  sim_.RunUntil(sim_.Now() + msec(10));
+  EXPECT_TRUE(session_->disconnected());
+}
+
+}  // namespace
+}  // namespace ursa::client

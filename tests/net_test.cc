@@ -1,0 +1,267 @@
+// Tests for the simulated network: serialization + propagation timing,
+// bandwidth contention, FIFO delivery, fault injection, and the RPC helpers
+// (PendingCall timeouts, QuorumTracker commit rules).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/message.h"
+#include "src/net/rpc.h"
+#include "src/net/transport.h"
+
+namespace ursa::net {
+namespace {
+
+TEST(TransportTest, PointToPointLatency) {
+  sim::Simulator sim;
+  Transport net(&sim);
+  NetParams params;
+  NodeId a = net.AddNode("a", params);
+  NodeId b = net.AddNode("b", params);
+
+  Nanos delivered = 0;
+  net.Send(a, b, 4096, [&]() { delivered = sim.Now(); });
+  sim.RunToCompletion();
+  uint64_t wire = 4096 + params.overhead_bytes;
+  Nanos expect = 2 * TransferTime(wire, params.nic_bw) + params.propagation;
+  EXPECT_EQ(delivered, expect);
+}
+
+TEST(TransportTest, FifoPerPair) {
+  sim::Simulator sim;
+  Transport net(&sim);
+  NodeId a = net.AddNode("a");
+  NodeId b = net.AddNode("b");
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    net.Send(a, b, 1000, [&order, i]() { order.push_back(i); });
+  }
+  sim.RunToCompletion();
+  ASSERT_EQ(order.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(TransportTest, BandwidthBoundsThroughput) {
+  sim::Simulator sim;
+  Transport net(&sim);
+  NetParams params;
+  params.nics = 1;
+  NodeId a = net.AddNode("a", params);
+  NodeId b = net.AddNode("b", params);
+
+  // Pump 1 MB messages for one second; delivered bytes are NIC-bound.
+  uint64_t delivered_bytes = 0;
+  std::function<void()> pump = [&]() {
+    if (sim.Now() >= sec(1)) {
+      return;
+    }
+    net.Send(a, b, 1 * kMiB, [&]() {
+      if (sim.Now() <= sec(1)) {
+        delivered_bytes += 1 * kMiB;
+      }
+    });
+    sim.After(usec(700), pump);  // faster than the link can drain
+  };
+  pump();
+  sim.RunUntil(sec(1) + msec(100));
+  double gbps = static_cast<double>(delivered_bytes) * 8 / 1e9;
+  EXPECT_LT(gbps, 10.5);  // one 10 GbE NIC
+  EXPECT_GT(gbps, 8.0);
+}
+
+TEST(TransportTest, PipeliningOverlapsTransfers) {
+  // qd=8 of 64 KB messages: total time far below 8x the single-message time.
+  sim::Simulator sim;
+  Transport net(&sim);
+  NodeId a = net.AddNode("a");
+  NodeId b = net.AddNode("b");
+  int remaining = 8;
+  Nanos finish = 0;
+  for (int i = 0; i < 8; ++i) {
+    net.Send(a, b, 64 * kKiB, [&]() {
+      if (--remaining == 0) {
+        finish = sim.Now();
+      }
+    });
+  }
+  sim.RunToCompletion();
+  Nanos single = 0;
+  {
+    sim::Simulator sim2;
+    Transport net2(&sim2);
+    NodeId c = net2.AddNode("c");
+    NodeId d = net2.AddNode("d");
+    net2.Send(c, d, 64 * kKiB, [&]() { single = sim2.Now(); });
+    sim2.RunToCompletion();
+  }
+  EXPECT_LT(finish, 8 * single);
+}
+
+TEST(TransportTest, LoopbackSkipsNics) {
+  sim::Simulator sim;
+  Transport net(&sim);
+  NodeId a = net.AddNode("a");
+  Nanos t = -1;
+  net.Send(a, a, 1 * kMiB, [&]() { t = sim.Now(); });
+  sim.RunToCompletion();
+  EXPECT_LT(t, usec(10));
+  EXPECT_GE(t, 0);
+}
+
+TEST(TransportTest, DownNodeDropsMessages) {
+  sim::Simulator sim;
+  Transport net(&sim);
+  NodeId a = net.AddNode("a");
+  NodeId b = net.AddNode("b");
+  net.SetNodeDown(b, true);
+  bool delivered = false;
+  net.Send(a, b, 100, [&]() { delivered = true; });
+  sim.RunToCompletion();
+  EXPECT_FALSE(delivered);
+  net.SetNodeDown(b, false);
+  net.Send(a, b, 100, [&]() { delivered = true; });
+  sim.RunToCompletion();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(TransportTest, BrokenLinkIsBidirectional) {
+  sim::Simulator sim;
+  Transport net(&sim);
+  NodeId a = net.AddNode("a");
+  NodeId b = net.AddNode("b");
+  NodeId c = net.AddNode("c");
+  net.SetLinkBroken(a, b, true);
+  int delivered = 0;
+  net.Send(a, b, 100, [&]() { ++delivered; });
+  net.Send(b, a, 100, [&]() { ++delivered; });
+  net.Send(a, c, 100, [&]() { ++delivered; });  // unrelated pair unaffected
+  sim.RunToCompletion();
+  EXPECT_EQ(delivered, 1);
+  net.SetLinkBroken(a, b, false);
+  net.Send(a, b, 100, [&]() { ++delivered; });
+  sim.RunToCompletion();
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(TransportTest, ByteCounters) {
+  sim::Simulator sim;
+  Transport net(&sim);
+  NetParams params;
+  NodeId a = net.AddNode("a", params);
+  NodeId b = net.AddNode("b", params);
+  net.Send(a, b, 1000, []() {});
+  sim.RunToCompletion();
+  EXPECT_EQ(net.bytes_out(a), 1000 + params.overhead_bytes);
+  EXPECT_EQ(net.bytes_in(b), 1000 + params.overhead_bytes);
+}
+
+TEST(MessageTest, WireBytesComposition) {
+  EXPECT_EQ(WireBytes(MessageType::kWriteRequest, 4096),
+            FixedBytes(MessageType::kWriteRequest) + 4096);
+  EXPECT_GT(FixedBytes(MessageType::kMasterOp), FixedBytes(MessageType::kReadReply));
+  for (int t = 0; t <= static_cast<int>(MessageType::kLeaseGrant); ++t) {
+    EXPECT_STRNE(MessageTypeName(static_cast<MessageType>(t)), "UNKNOWN");
+    EXPECT_GT(FixedBytes(static_cast<MessageType>(t)), 0u);
+  }
+}
+
+TEST(PendingCallTest, CompletesOnce) {
+  sim::Simulator sim;
+  int count = 0;
+  Status last;
+  auto call = PendingCall::Start(&sim, 0, [&](const Status& s) {
+    ++count;
+    last = s;
+  });
+  call->Complete(OkStatus());
+  call->Complete(Unavailable("late"));
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(last.ok());
+}
+
+TEST(PendingCallTest, TimeoutFires) {
+  sim::Simulator sim;
+  Status got;
+  auto call = PendingCall::Start(&sim, msec(5), [&](const Status& s) { got = s; });
+  sim.RunToCompletion();
+  EXPECT_EQ(got.code(), StatusCode::kTimedOut);
+}
+
+TEST(PendingCallTest, ReplyCancelsTimeout) {
+  sim::Simulator sim;
+  int count = 0;
+  auto call = PendingCall::Start(&sim, msec(5), [&](const Status&) { ++count; });
+  sim.After(msec(1), [call]() { call->Complete(OkStatus()); });
+  sim.RunToCompletion();
+  EXPECT_EQ(count, 1);
+  // The timeout event was cancelled, so time stops at the reply.
+  EXPECT_EQ(sim.Now(), msec(1));
+}
+
+TEST(QuorumTrackerTest, AllSuccessCommitsImmediately) {
+  Status decision;
+  bool decided = false;
+  QuorumTracker tracker(3, 2, [&](const Status& s, int, int) {
+    decision = s;
+    decided = true;
+  });
+  tracker.RecordSuccess();
+  tracker.RecordSuccess();
+  EXPECT_FALSE(decided);  // write-to-all first: waits for the third
+  tracker.RecordSuccess();
+  EXPECT_TRUE(decided);
+  EXPECT_TRUE(decision.ok());
+}
+
+TEST(QuorumTrackerTest, MajorityCommitsOnlyAfterTimeout) {
+  Status decision;
+  bool decided = false;
+  QuorumTracker tracker(3, 2, [&](const Status& s, int, int) {
+    decision = s;
+    decided = true;
+  });
+  tracker.RecordSuccess();
+  tracker.RecordSuccess();
+  tracker.RecordFailure();
+  EXPECT_FALSE(decided);  // majority reached, but no timeout yet (§4.1)
+  tracker.TimeoutExpired();
+  EXPECT_TRUE(decided);
+  EXPECT_TRUE(decision.ok());
+}
+
+TEST(QuorumTrackerTest, TimeoutFirstThenMajority) {
+  bool decided = false;
+  Status decision;
+  QuorumTracker tracker(3, 2, [&](const Status& s, int, int) {
+    decision = s;
+    decided = true;
+  });
+  tracker.TimeoutExpired();
+  EXPECT_FALSE(decided);
+  tracker.RecordSuccess();
+  tracker.RecordSuccess();
+  EXPECT_TRUE(decided);
+  EXPECT_TRUE(decision.ok());
+}
+
+TEST(QuorumTrackerTest, MajorityUnreachableFails) {
+  Status decision;
+  QuorumTracker tracker(3, 2, [&](const Status& s, int, int) { decision = s; });
+  tracker.RecordFailure();
+  tracker.RecordFailure();
+  EXPECT_EQ(decision.code(), StatusCode::kUnavailable);
+}
+
+TEST(QuorumTrackerTest, DecidesExactlyOnce) {
+  int decisions = 0;
+  QuorumTracker tracker(3, 2, [&](const Status&, int, int) { ++decisions; });
+  tracker.RecordSuccess();
+  tracker.RecordSuccess();
+  tracker.RecordSuccess();
+  tracker.TimeoutExpired();
+  tracker.RecordFailure();
+  EXPECT_EQ(decisions, 1);
+}
+
+}  // namespace
+}  // namespace ursa::net

@@ -1,0 +1,265 @@
+// Tests for the §3.3 journal index: range insert/query/erase semantics,
+// partial-overlap splitting with j_offset re-basing, two-level compaction,
+// tombstone shadowing, composite-key coalescing, and randomized equivalence
+// against a naive per-sector reference model.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/index/range_index.h"
+
+namespace ursa::index {
+namespace {
+
+// Resolves all mapped segments in [0, kMaxOffset] to a per-sector map.
+std::map<uint32_t, uint64_t> Flatten(const RangeIndex& index, uint32_t lo, uint32_t len) {
+  std::map<uint32_t, uint64_t> out;
+  for (const Segment& seg : index.QueryMapped(lo, len)) {
+    for (uint32_t i = 0; i < seg.length; ++i) {
+      out[seg.offset + i] = seg.j_offset + i;
+    }
+  }
+  return out;
+}
+
+TEST(RangeIndexTest, EmptyQueryIsUnmapped) {
+  RangeIndex index;
+  auto segs = index.Query(100, 50);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0], (Segment{100, 50, 0, false}));
+  EXPECT_TRUE(index.QueryMapped(0, 1000).empty());
+}
+
+TEST(RangeIndexTest, SingleInsertExactQuery) {
+  RangeIndex index;
+  index.Insert(100, 50, 7000);
+  auto segs = index.Query(100, 50);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0], (Segment{100, 50, 7000, true}));
+}
+
+TEST(RangeIndexTest, QueryCoversGapsAroundMapping) {
+  RangeIndex index;
+  index.Insert(100, 50, 7000);
+  auto segs = index.Query(50, 200);
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0], (Segment{50, 50, 0, false}));
+  EXPECT_EQ(segs[1], (Segment{100, 50, 7000, true}));
+  EXPECT_EQ(segs[2], (Segment{150, 100, 0, false}));
+}
+
+TEST(RangeIndexTest, PartialQueryRebasesJOffset) {
+  RangeIndex index;
+  index.Insert(100, 50, 7000);
+  auto segs = index.QueryMapped(120, 10);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0], (Segment{120, 10, 7020, true}));
+}
+
+TEST(RangeIndexTest, OverwriteMiddleSplitsOld) {
+  RangeIndex index;
+  index.Insert(0, 100, 1000);   // old mapping
+  index.Insert(40, 20, 5000);   // overwrite the middle
+  auto segs = index.QueryMapped(0, 100);
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0], (Segment{0, 40, 1000, true}));
+  EXPECT_EQ(segs[1], (Segment{40, 20, 5000, true}));
+  EXPECT_EQ(segs[2], (Segment{60, 40, 1060, true}));  // re-based past the carve
+}
+
+TEST(RangeIndexTest, OverwriteSpanningMultipleEntries) {
+  RangeIndex index;
+  index.Insert(0, 10, 100);
+  index.Insert(10, 10, 200);
+  index.Insert(20, 10, 300);
+  index.Insert(5, 20, 900);  // covers tail of 1st, all of 2nd, head of 3rd
+  auto segs = index.QueryMapped(0, 30);
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0], (Segment{0, 5, 100, true}));
+  EXPECT_EQ(segs[1], (Segment{5, 20, 900, true}));
+  EXPECT_EQ(segs[2], (Segment{25, 5, 305, true}));
+}
+
+TEST(RangeIndexTest, EraseRangeRemovesAndSplits) {
+  RangeIndex index;
+  index.Insert(0, 100, 1000);
+  index.EraseRange(30, 40);
+  auto segs = index.QueryMapped(0, 100);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0], (Segment{0, 30, 1000, true}));
+  EXPECT_EQ(segs[1], (Segment{70, 30, 1070, true}));
+}
+
+TEST(RangeIndexTest, EraseIfMapsToOnlyMatching) {
+  RangeIndex index;
+  index.Insert(0, 10, 1000);
+  index.Insert(10, 10, 2000);
+  // Replay of the record that mapped [0,10) -> 1000.
+  index.EraseIfMapsTo(0, 20, 1000);  // only [0,10) matches the j-base
+  auto segs = index.QueryMapped(0, 20);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0], (Segment{10, 10, 2000, true}));
+}
+
+TEST(RangeIndexTest, EraseIfMapsToIgnoresRemapped) {
+  RangeIndex index;
+  index.Insert(0, 10, 1000);
+  index.Insert(0, 10, 9000);  // overwritten before replay
+  index.EraseIfMapsTo(0, 10, 1000);
+  auto segs = index.QueryMapped(0, 10);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].j_offset, 9000u);
+}
+
+TEST(RangeIndexTest, CompactPreservesMappings) {
+  RangeIndex index;
+  index.Insert(0, 10, 100);
+  index.Insert(50, 10, 200);
+  index.Insert(5, 10, 300);  // overlaps the first
+  auto before = Flatten(index, 0, 100);
+  index.Compact();
+  EXPECT_EQ(index.tree_size(), 0u);
+  EXPECT_GT(index.array_size(), 0u);
+  EXPECT_EQ(Flatten(index, 0, 100), before);
+}
+
+TEST(RangeIndexTest, TreeShadowsArrayAfterCompact) {
+  RangeIndex index;
+  index.Insert(0, 100, 1000);
+  index.Compact();
+  index.Insert(20, 10, 5000);  // newer, lives in tree
+  auto segs = index.QueryMapped(0, 100);
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0], (Segment{0, 20, 1000, true}));
+  EXPECT_EQ(segs[1], (Segment{20, 10, 5000, true}));
+  EXPECT_EQ(segs[2], (Segment{30, 70, 1030, true}));
+}
+
+TEST(RangeIndexTest, TombstoneShadowsArray) {
+  RangeIndex index;
+  index.Insert(0, 100, 1000);
+  index.Compact();
+  index.EraseRange(10, 50);  // tombstone in tree must hide array mapping
+  auto segs = index.QueryMapped(0, 100);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0], (Segment{0, 10, 1000, true}));
+  EXPECT_EQ(segs[1], (Segment{60, 40, 1060, true}));
+  // And compaction applies the tombstone to the array for real.
+  index.Compact();
+  EXPECT_EQ(index.QueryMapped(0, 100), segs);
+}
+
+TEST(RangeIndexTest, CompactCoalescesContiguousKeys) {
+  RangeIndex index;
+  // Contiguous in both chunk space and journal space: one composite key.
+  index.Insert(0, 10, 100);
+  index.Insert(10, 10, 110);
+  index.Insert(20, 10, 120);
+  index.Compact();
+  EXPECT_EQ(index.array_size(), 1u);
+  auto segs = index.QueryMapped(0, 30);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0], (Segment{0, 30, 100, true}));
+}
+
+TEST(RangeIndexTest, CompactDoesNotCoalesceDiscontinuousJOffsets) {
+  RangeIndex index;
+  index.Insert(0, 10, 100);
+  index.Insert(10, 10, 500);  // chunk-contiguous but journal-discontiguous
+  index.Compact();
+  EXPECT_EQ(index.array_size(), 2u);
+}
+
+TEST(RangeIndexTest, AutoCompactAtThreshold) {
+  RangeIndex index(/*merge_threshold=*/16);
+  for (uint32_t i = 0; i < 64; ++i) {
+    index.Insert(i * 100, 10, static_cast<uint64_t>(i) * 1000);
+  }
+  EXPECT_LT(index.tree_size(), 16u);
+  EXPECT_GT(index.array_size(), 0u);
+  EXPECT_EQ(index.size(), 64u);
+}
+
+TEST(RangeIndexTest, PackedEntryBounds) {
+  RangeIndex index;
+  index.Insert(kMaxOffset + 1 - kMaxLength, kMaxLength, kMaxJOffset + 1 - kMaxLength);
+  index.Compact();
+  auto segs = index.QueryMapped(kMaxOffset + 1 - kMaxLength, kMaxLength);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].length, kMaxLength);
+  EXPECT_EQ(segs[0].j_offset, kMaxJOffset + 1 - kMaxLength);
+}
+
+TEST(RangeIndexTest, MemoryFootprintArrayIsEightBytesPerEntry) {
+  RangeIndex index;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    index.Insert(i * 20, 10, static_cast<uint64_t>(i) * 64);  // non-coalescable
+  }
+  index.Compact();
+  EXPECT_EQ(index.array_size(), 1000u);
+  EXPECT_EQ(index.MemoryBytes(), 8000u);
+}
+
+TEST(RangeIndexTest, ClearResets) {
+  RangeIndex index;
+  index.Insert(0, 10, 1);
+  index.Compact();
+  index.Insert(20, 10, 2);
+  index.Clear();
+  EXPECT_TRUE(index.empty());
+  EXPECT_TRUE(index.QueryMapped(0, 100).empty());
+}
+
+// Randomized differential test: RangeIndex vs a naive per-sector map, with
+// interleaved inserts, erases, compactions and queries.
+class RangeIndexFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RangeIndexFuzzTest, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  RangeIndex index(/*merge_threshold=*/64);
+  std::map<uint32_t, uint64_t> model;
+  constexpr uint32_t kSpace = 4096;
+
+  for (int step = 0; step < 2000; ++step) {
+    int op = static_cast<int>(rng.Uniform(10));
+    uint32_t offset = static_cast<uint32_t>(rng.Uniform(kSpace - 128));
+    uint32_t length = static_cast<uint32_t>(rng.UniformRange(1, 128));
+    if (op < 6) {
+      uint64_t j = rng.Uniform(1 << 20);
+      index.Insert(offset, length, j);
+      for (uint32_t i = 0; i < length; ++i) {
+        model[offset + i] = j + i;
+      }
+    } else if (op < 8) {
+      index.EraseRange(offset, length);
+      for (uint32_t i = 0; i < length; ++i) {
+        model.erase(offset + i);
+      }
+    } else if (op == 8) {
+      index.Compact();
+    } else {
+      auto got = Flatten(index, offset, length);
+      for (uint32_t i = offset; i < offset + length; ++i) {
+        auto mit = model.find(i);
+        auto git = got.find(i);
+        if (mit == model.end()) {
+          EXPECT_EQ(git, got.end()) << "sector " << i << " should be unmapped";
+        } else {
+          ASSERT_NE(git, got.end()) << "sector " << i << " should be mapped";
+          EXPECT_EQ(git->second, mit->second) << "sector " << i;
+        }
+      }
+    }
+  }
+  // Final full sweep.
+  auto got = Flatten(index, 0, kSpace);
+  EXPECT_EQ(got, model);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeIndexFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace ursa::index

@@ -1,0 +1,219 @@
+// Failure recovery tests (§4.2.2): view change after a replica failure, data
+// durability through recovery, temporary-primary switching, incremental
+// repair via journal lite, and client transparency across a crash.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/client/virtual_disk.h"
+#include "src/core/system.h"
+#include "test_util.h"
+
+namespace ursa::client {
+namespace {
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void Build() {
+    cluster_ = std::make_unique<cluster::Cluster>(&sim_, test::SmallClusterConfig());
+    disk_id_ = *cluster_->master().CreateDisk("d", 4 * kMiB, 3, 1);
+    VirtualDiskClientOptions options;
+    options.request_timeout = msec(300);  // fail fast in tests
+    disk_ = std::make_unique<VirtualDisk>(cluster_.get(), cluster_->AddClientMachine(), 1,
+                                          options);
+    ASSERT_TRUE(disk_->Open(disk_id_).ok());
+  }
+
+  Status WriteSync(uint64_t offset, const std::vector<uint8_t>& data, Nanos budget = sec(5)) {
+    Status out = Internal("pending");
+    disk_->Write(offset, data.size(), data.data(), [&](const Status& s) { out = s; });
+    sim_.RunUntil(sim_.Now() + budget);
+    return out;
+  }
+
+  std::vector<uint8_t> ReadSync(uint64_t offset, uint64_t length, Nanos budget = sec(5)) {
+    std::vector<uint8_t> out(length, 0xCD);
+    Status status = Internal("pending");
+    disk_->Read(offset, length, out.data(), [&](const Status& s) { status = s; });
+    sim_.RunUntil(sim_.Now() + budget);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return out;
+  }
+
+  // The layout of chunk 0 as the master currently records it.
+  cluster::ChunkLayout Layout0() {
+    return (*cluster_->master().GetDisk(disk_id_))->chunks[0];
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  cluster::DiskId disk_id_ = 0;
+  std::unique_ptr<VirtualDisk> disk_;
+};
+
+TEST_F(RecoveryTest, ExplicitViewChangeReplacesFailedReplica) {
+  Build();
+  auto data = test::Pattern(8192, 1);
+  ASSERT_TRUE(WriteSync(0, data).ok());
+
+  cluster::ChunkLayout before = Layout0();
+  cluster::ServerId failed = before.replicas[1].server;  // a backup
+  cluster_->CrashServer(failed);
+
+  Status recovery = Internal("pending");
+  cluster_->master().ReportReplicaFailure(before.chunk, failed,
+                                          [&](Status s) { recovery = s; });
+  sim_.RunUntil(sim_.Now() + sec(10));
+  ASSERT_TRUE(recovery.ok()) << recovery.ToString();
+
+  cluster::ChunkLayout after = Layout0();
+  EXPECT_EQ(after.view, before.view + 1);
+  bool still_there = false;
+  for (const auto& r : after.replicas) {
+    if (r.server == failed) {
+      still_there = true;
+    }
+  }
+  EXPECT_FALSE(still_there);
+  EXPECT_EQ(after.replicas.size(), 3u);
+  EXPECT_EQ(cluster_->master().recovery_stats().chunks_recovered, 1u);
+  EXPECT_GE(cluster_->master().recovery_stats().bytes_transferred, 1 * kMiB);
+
+  // The replacement holds the right version number.
+  for (const auto& r : after.replicas) {
+    auto st = cluster_->master().server(r.server)->GetState(after.chunk);
+    if (cluster_->master().server(r.server)->crashed()) {
+      continue;
+    }
+    ASSERT_TRUE(st.ok());
+    EXPECT_EQ(st->view, after.view);
+  }
+}
+
+TEST_F(RecoveryTest, ClientSurvivesBackupCrash) {
+  Build();
+  auto v1 = test::Pattern(4096, 2);
+  ASSERT_TRUE(WriteSync(0, v1).ok());
+
+  cluster::ChunkLayout layout = Layout0();
+  cluster_->CrashServer(layout.replicas[2].server);  // crash one backup
+
+  // Next write commits via timeout+majority, then the failure report path
+  // recovers in the background. The client keeps working throughout.
+  auto v2 = test::Pattern(4096, 3);
+  ASSERT_TRUE(WriteSync(0, v2, sec(10)).ok());
+  EXPECT_EQ(ReadSync(0, 4096), v2);
+}
+
+TEST_F(RecoveryTest, ClientSurvivesPrimaryCrashAndSwitchesPrimary) {
+  Build();
+  auto v1 = test::Pattern(4096, 4);
+  ASSERT_TRUE(WriteSync(0, v1).ok());
+
+  cluster::ChunkLayout layout = Layout0();
+  ASSERT_TRUE(layout.replicas[0].on_ssd);
+  cluster_->CrashServer(layout.replicas[0].server);  // crash the primary
+
+  // Read: client times out on the primary, switches to a backup (temporary
+  // primary, journal-aware read), reports the failure; data stays available.
+  EXPECT_EQ(ReadSync(0, 4096, sec(20)), v1);
+  EXPECT_GE(disk_->stats().primary_switches, 1u);
+
+  // After recovery completes, a new SSD primary exists and writes work.
+  sim_.RunUntil(sim_.Now() + sec(10));
+  auto v2 = test::Pattern(4096, 5);
+  ASSERT_TRUE(WriteSync(0, v2, sec(20)).ok());
+  EXPECT_EQ(ReadSync(0, 4096, sec(20)), v2);
+  cluster::ChunkLayout after = Layout0();
+  EXPECT_GT(after.view, layout.view);
+}
+
+TEST_F(RecoveryTest, DataIntegrityAfterFullRecoveryCycle) {
+  Build();
+  // Fill the first chunk with a known pattern via many writes.
+  std::vector<std::vector<uint8_t>> pieces;
+  for (int i = 0; i < 16; ++i) {
+    pieces.push_back(test::Pattern(16 * kKiB, 100 + i));
+    ASSERT_TRUE(WriteSync(i * 16 * kKiB, pieces.back()).ok());
+  }
+  cluster::ChunkLayout layout = Layout0();
+  cluster::ServerId failed = layout.replicas[0].server;
+  cluster_->CrashServer(failed);
+  Status recovery = Internal("pending");
+  cluster_->master().ReportReplicaFailure(layout.chunk, failed,
+                                          [&](Status s) { recovery = s; });
+  sim_.RunUntil(sim_.Now() + sec(20));
+  ASSERT_TRUE(recovery.ok());
+
+  // Every byte must survive, now served by the new layout.
+  disk_->RefreshLayout();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(ReadSync(i * 16 * kKiB, 16 * kKiB, sec(20)), pieces[i]) << i;
+  }
+}
+
+TEST_F(RecoveryTest, IncrementalRepairBringsLaggardCurrent) {
+  Build();
+  auto v1 = test::Pattern(4096, 6);
+  ASSERT_TRUE(WriteSync(0, v1).ok());
+
+  cluster::ChunkLayout layout = Layout0();
+  cluster::ServerId lagging = layout.replicas[2].server;
+  cluster_->CrashServer(lagging);
+
+  // Two more writes the laggard misses (majority commits).
+  auto v2 = test::Pattern(4096, 7);
+  auto v3 = test::Pattern(4096, 8);
+  ASSERT_TRUE(WriteSync(0, v2, sec(10)).ok());
+  ASSERT_TRUE(WriteSync(8192, v3, sec(10)).ok());
+
+  // The laggard comes back; incremental repair transfers only the ranges
+  // modified since its version (from a peer's journal lite).
+  cluster_->RestoreServer(lagging);
+  Status repair = Internal("pending");
+  cluster_->master().RepairReplica(layout.chunk, lagging, [&](Status s) { repair = s; });
+  sim_.RunUntil(sim_.Now() + sec(10));
+  ASSERT_TRUE(repair.ok()) << repair.ToString();
+  EXPECT_GE(cluster_->master().recovery_stats().incremental_repairs, 1u);
+
+  auto st = cluster_->master().server(lagging)->GetState(layout.chunk);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->version, 3u);
+}
+
+TEST_F(RecoveryTest, RecoveryPrefersDistinctMachine) {
+  Build();
+  cluster::ChunkLayout before = Layout0();
+  cluster::ServerId failed = before.replicas[1].server;
+  cluster_->CrashServer(failed);
+  Status recovery = Internal("pending");
+  cluster_->master().ReportReplicaFailure(before.chunk, failed,
+                                          [&](Status s) { recovery = s; });
+  sim_.RunUntil(sim_.Now() + sec(10));
+  ASSERT_TRUE(recovery.ok());
+
+  cluster::ChunkLayout after = Layout0();
+  const cluster::Placement& placement = cluster_->master().placement();
+  std::set<cluster::MachineId> machines;
+  for (const auto& r : after.replicas) {
+    machines.insert(placement.MachineOf(r.server));
+  }
+  EXPECT_EQ(machines.size(), 3u);
+}
+
+TEST_F(RecoveryTest, AllReplicasLostReportsDataLoss) {
+  Build();
+  cluster::ChunkLayout layout = Layout0();
+  for (const auto& r : layout.replicas) {
+    cluster_->CrashServer(r.server);
+  }
+  Status recovery;
+  cluster_->master().ReportReplicaFailure(layout.chunk, layout.replicas[0].server,
+                                          [&](Status s) { recovery = s; });
+  sim_.RunUntil(sim_.Now() + sec(5));
+  EXPECT_EQ(recovery.code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace ursa::client

@@ -1,0 +1,166 @@
+// Unit tests for the discrete-event simulator core.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/resource.h"
+#include "src/sim/simulator.h"
+
+namespace ursa::sim {
+namespace {
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Schedule(30, [&]() { fired.push_back(3); });
+  q.Schedule(10, [&]() { fired.push_back(1); });
+  q.Schedule(20, [&]() { fired.push_back(2); });
+  while (!q.empty()) {
+    Nanos when = 0;
+    q.PopNext(&when)();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoAtEqualTimes) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(100, [&fired, i]() { fired.push_back(i); });
+  }
+  while (!q.empty()) {
+    Nanos when = 0;
+    q.PopNext(&when)();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  EventId id = q.Schedule(10, [&]() { fired = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));  // second cancel is a no-op
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelMiddleKeepsOthers) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Schedule(10, [&]() { fired.push_back(1); });
+  EventId id = q.Schedule(20, [&]() { fired.push_back(2); });
+  q.Schedule(30, [&]() { fired.push_back(3); });
+  q.Cancel(id);
+  while (!q.empty()) {
+    Nanos when = 0;
+    q.PopNext(&when)();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(SimulatorTest, ClockAdvances) {
+  Simulator sim;
+  Nanos seen = -1;
+  sim.After(usec(5), [&]() { seen = sim.Now(); });
+  sim.RunToCompletion();
+  EXPECT_EQ(seen, usec(5));
+  EXPECT_EQ(sim.Now(), usec(5));
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 10) {
+      sim.After(100, recurse);
+    }
+  };
+  sim.After(0, recurse);
+  sim.RunToCompletion();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.Now(), 900);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.After(i * 100, [&]() { ++fired; });
+  }
+  sim.RunUntil(500);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.Now(), 500);
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.RunUntil(msec(5));
+  EXPECT_EQ(sim.Now(), msec(5));
+}
+
+TEST(ResourceTest, SerializesOnSingleServer) {
+  Simulator sim;
+  Resource r(&sim, "disk", 1);
+  std::vector<Nanos> completions;
+  for (int i = 0; i < 3; ++i) {
+    r.Submit(100, [&]() { completions.push_back(sim.Now()); });
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(completions, (std::vector<Nanos>{100, 200, 300}));
+}
+
+TEST(ResourceTest, ParallelServers) {
+  Simulator sim;
+  Resource r(&sim, "cpu", 4);
+  std::vector<Nanos> completions;
+  for (int i = 0; i < 4; ++i) {
+    r.Submit(100, [&]() { completions.push_back(sim.Now()); });
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(completions, (std::vector<Nanos>(4, 100)));
+}
+
+TEST(ResourceTest, UtilizationAccounting) {
+  Simulator sim;
+  Resource r(&sim, "cpu", 2);
+  r.Submit(usec(100), nullptr);
+  r.Submit(usec(100), nullptr);
+  sim.RunToCompletion();
+  // Both servers busy for the whole 100 us window: utilization = 2.0 cores.
+  EXPECT_EQ(r.busy_time(), 2 * usec(100));
+  EXPECT_NEAR(r.Utilization(), 2.0, 1e-9);
+  EXPECT_EQ(r.completed_jobs(), 2u);
+}
+
+TEST(ResourceTest, FifoOrder) {
+  Simulator sim;
+  Resource r(&sim, "q", 1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    r.Submit(10, [&order, i]() { order.push_back(i); });
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ResourceTest, ResubmitFromCompletionContinues) {
+  Simulator sim;
+  Resource r(&sim, "loop", 1);
+  int count = 0;
+  std::function<void()> again = [&]() {
+    if (++count < 5) {
+      r.Submit(10, again);
+    }
+  };
+  r.Submit(10, again);
+  sim.RunToCompletion();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.Now(), 50);
+}
+
+}  // namespace
+}  // namespace ursa::sim

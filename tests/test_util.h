@@ -1,0 +1,60 @@
+// Shared helpers for Ursa tests: small, fast cluster configurations and
+// byte-pattern utilities for end-to-end data verification.
+#ifndef URSA_TESTS_TEST_UTIL_H_
+#define URSA_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/core/params.h"
+
+namespace ursa::test {
+
+// A miniature paper machine: tiny devices and chunks so tests run in
+// milliseconds while exercising the same code paths.
+inline cluster::MachineConfig SmallMachineConfig() {
+  cluster::MachineConfig m;
+  m.cores = 4;
+  m.ssds = 2;
+  m.hdds = 2;
+  m.ssd.capacity = 64 * kMiB;
+  m.hdd.capacity = 256 * kMiB;
+  return m;
+}
+
+inline cluster::ClusterConfig SmallClusterConfig(
+    cluster::StorageMode mode = cluster::StorageMode::kHybrid) {
+  cluster::ClusterConfig c;
+  c.machines = 3;
+  c.machine = SmallMachineConfig();
+  c.mode = mode;
+  c.chunk_size = 1 * kMiB;
+  c.hdd_journal_bytes = 4 * kMiB;
+  return c;
+}
+
+inline core::SystemProfile SmallProfile(cluster::StorageMode mode =
+                                            cluster::StorageMode::kHybrid) {
+  core::SystemProfile p;
+  p.name = "small";
+  p.cluster = SmallClusterConfig(mode);
+  return p;
+}
+
+// Deterministic byte pattern for verifying data round trips.
+inline std::vector<uint8_t> Pattern(size_t length, uint64_t seed) {
+  std::vector<uint8_t> out(length);
+  uint64_t x = seed * 0x9e3779b97f4a7c15ULL + 1;
+  for (size_t i = 0; i < length; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    out[i] = static_cast<uint8_t>(x);
+  }
+  return out;
+}
+
+}  // namespace ursa::test
+
+#endif  // URSA_TESTS_TEST_UTIL_H_

@@ -1,0 +1,174 @@
+// Tests for trace synthesis (Fig. 1/2/14 inputs) and the cache simulator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/trace/cache_sim.h"
+#include "src/trace/msr_generator.h"
+#include "src/trace/workload.h"
+
+namespace ursa::trace {
+namespace {
+
+TEST(BlockSizeTest, CdfAnchorsMatchFigOne) {
+  const auto& cdf = BlockSizeCdf();
+  // >70% of I/O at most 8 KB; almost all (>=98%) at most 64 KB.
+  double at_8k = 0;
+  double at_64k = 0;
+  for (const auto& [size, cum] : cdf) {
+    if (size == 8 * 1024) {
+      at_8k = cum;
+    }
+    if (size == 64 * 1024) {
+      at_64k = cum;
+    }
+  }
+  EXPECT_GT(at_8k, 0.70);
+  EXPECT_GT(at_64k, 0.98);
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(BlockSizeTest, SampledDistributionMatchesCdf) {
+  Rng rng(3);
+  int small = 0;
+  int medium = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    uint32_t size = SampleBlockSize(&rng);
+    EXPECT_GE(size, 512u);
+    EXPECT_LE(size, 1024u * 1024u);
+    if (size <= 8 * 1024) {
+      ++small;
+    }
+    if (size <= 64 * 1024) {
+      ++medium;
+    }
+  }
+  EXPECT_NEAR(small / static_cast<double>(kN), 0.72, 0.02);
+  EXPECT_NEAR(medium / static_cast<double>(kN), 0.985, 0.01);
+}
+
+TEST(OffsetStreamTest, SequentialAdvancesAndWraps) {
+  OffsetStream stream(4096, 512, /*sequential=*/true, 1);
+  EXPECT_EQ(stream.Next(512), 0u);
+  EXPECT_EQ(stream.Next(512), 512u);
+  for (int i = 0; i < 6; ++i) {
+    stream.Next(512);
+  }
+  EXPECT_EQ(stream.Next(512), 0u);  // wrapped
+}
+
+TEST(OffsetStreamTest, RandomStaysAligned) {
+  OffsetStream stream(1 << 20, 512, /*sequential=*/false, 2);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t off = stream.Next(4096);
+    EXPECT_EQ(off % 512, 0u);
+    EXPECT_LE(off + 4096, 1u << 20);
+  }
+}
+
+TEST(MsrProfilesTest, ThirtySixVolumes) {
+  EXPECT_EQ(MsrTraceProfiles().size(), 36u);
+  std::set<std::string> names;
+  for (const auto& p : MsrTraceProfiles()) {
+    names.insert(p.name);
+    EXPECT_GE(p.write_fraction, 0.0);
+    EXPECT_LE(p.write_fraction, 1.0);
+  }
+  EXPECT_EQ(names.size(), 36u);  // unique
+}
+
+TEST(MsrProfilesTest, FindByName) {
+  ASSERT_NE(FindTraceProfile("prxy_0"), nullptr);
+  EXPECT_GT(FindTraceProfile("prxy_0")->write_fraction, 0.9);  // write-dominated
+  ASSERT_NE(FindTraceProfile("mds_1"), nullptr);
+  EXPECT_LT(FindTraceProfile("mds_1")->write_fraction, 0.2);  // read-heavy
+  EXPECT_EQ(FindTraceProfile("nope"), nullptr);
+}
+
+TEST(MsrProfilesTest, SeventeenLowHitVolumes) {
+  EXPECT_EQ(LowHitTraceNames().size(), 17u);
+  for (const auto& name : LowHitTraceNames()) {
+    const TraceProfile* p = FindTraceProfile(name);
+    ASSERT_NE(p, nullptr) << name;
+    EXPECT_LT(p->reread_fraction, 0.75) << name;
+  }
+}
+
+TEST(SynthesizeTest, RecordsAreWellFormed) {
+  const TraceProfile* p = FindTraceProfile("proj_0");
+  auto records = SynthesizeTrace(*p, 10000, 42);
+  ASSERT_EQ(records.size(), 10000u);
+  int64_t last_ts = -1;
+  int writes = 0;
+  for (const auto& r : records) {
+    EXPECT_GE(r.ts_ns, last_ts);  // timestamps non-decreasing
+    last_ts = r.ts_ns;
+    EXPECT_GT(r.length, 0u);
+    EXPECT_LE(r.offset + r.length, p->volume_bytes);
+    writes += r.is_write ? 1 : 0;
+  }
+  EXPECT_NEAR(writes / 10000.0, p->write_fraction, 0.03);
+}
+
+TEST(SynthesizeTest, Deterministic) {
+  const TraceProfile* p = FindTraceProfile("mds_1");
+  auto a = SynthesizeTrace(*p, 1000, 7);
+  auto b = SynthesizeTrace(*p, 1000, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].offset, b[i].offset);
+    EXPECT_EQ(a[i].length, b[i].length);
+    EXPECT_EQ(a[i].is_write, b[i].is_write);
+  }
+}
+
+TEST(CacheSimTest, WritesPopulateCache) {
+  std::vector<TraceRecord> records = {
+      {0, true, 0, 4096},    // write fills
+      {1, false, 0, 4096},   // read hits
+      {2, false, 8192, 4096},  // cold read misses
+      {3, false, 8192, 4096},  // now hits
+  };
+  CacheSimResult result = SimulateUnlimitedCache(records);
+  EXPECT_EQ(result.reads, 3u);
+  EXPECT_EQ(result.read_hits, 2u);
+  EXPECT_EQ(result.writes, 1u);
+}
+
+TEST(CacheSimTest, PartialResidencyIsMiss) {
+  std::vector<TraceRecord> records = {
+      {0, true, 0, 4096},
+      {1, false, 0, 8192},  // second page cold: whole read is a miss
+  };
+  CacheSimResult result = SimulateUnlimitedCache(records);
+  EXPECT_EQ(result.read_hits, 0u);
+}
+
+TEST(CacheSimTest, HighRereadProfileHitsHigh) {
+  const TraceProfile* p = FindTraceProfile("prxy_1");  // reread ~0.97
+  auto records = SynthesizeTrace(*p, 60000, 5);
+  CacheSimResult result = SimulateUnlimitedCache(records);
+  EXPECT_GT(result.ReadHitRatio(), 0.80);
+}
+
+TEST(CacheSimTest, LowRereadProfileHitsLow) {
+  const TraceProfile* p = FindTraceProfile("rsrch_2");  // reread ~0.05
+  auto records = SynthesizeTrace(*p, 60000, 5);
+  CacheSimResult result = SimulateUnlimitedCache(records);
+  EXPECT_LT(result.ReadHitRatio(), 0.40);
+}
+
+TEST(CacheSimTest, LowHitVolumesStayUnderSeventyFivePercent) {
+  // The Fig. 2 property: each of the 17 named volumes stays below 75% read
+  // hit even with an unlimited cache.
+  for (const auto& name : LowHitTraceNames()) {
+    const TraceProfile* p = FindTraceProfile(name);
+    auto records = SynthesizeTrace(*p, 40000, 11);
+    CacheSimResult result = SimulateUnlimitedCache(records);
+    EXPECT_LT(result.ReadHitRatio(), 0.75) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ursa::trace
