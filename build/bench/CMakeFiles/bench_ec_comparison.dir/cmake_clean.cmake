@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ec_comparison.dir/bench_ec_comparison.cc.o"
+  "CMakeFiles/bench_ec_comparison.dir/bench_ec_comparison.cc.o.d"
+  "bench_ec_comparison"
+  "bench_ec_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ec_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_cache_hit.dir/bench_fig02_cache_hit.cc.o"
+  "CMakeFiles/bench_fig02_cache_hit.dir/bench_fig02_cache_hit.cc.o.d"
+  "bench_fig02_cache_hit"
+  "bench_fig02_cache_hit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_cache_hit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_seq_read_iops.dir/bench_fig08_seq_read_iops.cc.o"
+  "CMakeFiles/bench_fig08_seq_read_iops.dir/bench_fig08_seq_read_iops.cc.o.d"
+  "bench_fig08_seq_read_iops"
+  "bench_fig08_seq_read_iops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_seq_read_iops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_seq_write_iops.dir/bench_fig09_seq_write_iops.cc.o"
+  "CMakeFiles/bench_fig09_seq_write_iops.dir/bench_fig09_seq_write_iops.cc.o.d"
+  "bench_fig09_seq_write_iops"
+  "bench_fig09_seq_write_iops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_seq_write_iops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_index_vs_flsm.dir/bench_fig10_index_vs_flsm.cc.o"
+  "CMakeFiles/bench_fig10_index_vs_flsm.dir/bench_fig10_index_vs_flsm.cc.o.d"
+  "bench_fig10_index_vs_flsm"
+  "bench_fig10_index_vs_flsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_index_vs_flsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_journal_expansion.dir/bench_fig11_journal_expansion.cc.o"
+  "CMakeFiles/bench_fig11_journal_expansion.dir/bench_fig11_journal_expansion.cc.o.d"
+  "bench_fig11_journal_expansion"
+  "bench_fig11_journal_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_journal_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14_trace_driven.cc" "bench/CMakeFiles/bench_fig14_trace_driven.dir/bench_fig14_trace_driven.cc.o" "gcc" "bench/CMakeFiles/bench_fig14_trace_driven.dir/bench_fig14_trace_driven.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ursa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_journal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

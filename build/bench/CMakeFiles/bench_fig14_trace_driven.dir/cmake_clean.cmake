@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_trace_driven.dir/bench_fig14_trace_driven.cc.o"
+  "CMakeFiles/bench_fig14_trace_driven.dir/bench_fig14_trace_driven.cc.o.d"
+  "bench_fig14_trace_driven"
+  "bench_fig14_trace_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_trace_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_failure_ratios.dir/bench_table1_failure_ratios.cc.o"
+  "CMakeFiles/bench_table1_failure_ratios.dir/bench_table1_failure_ratios.cc.o.d"
+  "bench_table1_failure_ratios"
+  "bench_table1_failure_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_failure_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

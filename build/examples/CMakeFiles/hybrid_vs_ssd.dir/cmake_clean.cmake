@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_vs_ssd.dir/hybrid_vs_ssd.cpp.o"
+  "CMakeFiles/hybrid_vs_ssd.dir/hybrid_vs_ssd.cpp.o.d"
+  "hybrid_vs_ssd"
+  "hybrid_vs_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_vs_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_store_on_ursa.dir/kv_store_on_ursa.cpp.o"
+  "CMakeFiles/kv_store_on_ursa.dir/kv_store_on_ursa.cpp.o.d"
+  "kv_store_on_ursa"
+  "kv_store_on_ursa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_store_on_ursa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

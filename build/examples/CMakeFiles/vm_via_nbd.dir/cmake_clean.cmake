@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_via_nbd.dir/vm_via_nbd.cpp.o"
+  "CMakeFiles/vm_via_nbd.dir/vm_via_nbd.cpp.o.d"
+  "vm_via_nbd"
+  "vm_via_nbd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_via_nbd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_baselines.dir/baselines/ceph_model.cc.o"
+  "CMakeFiles/ursa_baselines.dir/baselines/ceph_model.cc.o.d"
+  "CMakeFiles/ursa_baselines.dir/baselines/sheepdog_model.cc.o"
+  "CMakeFiles/ursa_baselines.dir/baselines/sheepdog_model.cc.o.d"
+  "libursa_baselines.a"
+  "libursa_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

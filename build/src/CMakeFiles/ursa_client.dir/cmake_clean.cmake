@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_client.dir/client/lease.cc.o"
+  "CMakeFiles/ursa_client.dir/client/lease.cc.o.d"
+  "CMakeFiles/ursa_client.dir/client/nbd.cc.o"
+  "CMakeFiles/ursa_client.dir/client/nbd.cc.o.d"
+  "CMakeFiles/ursa_client.dir/client/virtual_disk.cc.o"
+  "CMakeFiles/ursa_client.dir/client/virtual_disk.cc.o.d"
+  "libursa_client.a"
+  "libursa_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

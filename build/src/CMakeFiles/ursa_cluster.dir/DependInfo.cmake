@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/chunk_server.cc" "src/CMakeFiles/ursa_cluster.dir/cluster/chunk_server.cc.o" "gcc" "src/CMakeFiles/ursa_cluster.dir/cluster/chunk_server.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/ursa_cluster.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/ursa_cluster.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/failure_injector.cc" "src/CMakeFiles/ursa_cluster.dir/cluster/failure_injector.cc.o" "gcc" "src/CMakeFiles/ursa_cluster.dir/cluster/failure_injector.cc.o.d"
+  "/root/repo/src/cluster/machine.cc" "src/CMakeFiles/ursa_cluster.dir/cluster/machine.cc.o" "gcc" "src/CMakeFiles/ursa_cluster.dir/cluster/machine.cc.o.d"
+  "/root/repo/src/cluster/master.cc" "src/CMakeFiles/ursa_cluster.dir/cluster/master.cc.o" "gcc" "src/CMakeFiles/ursa_cluster.dir/cluster/master.cc.o.d"
+  "/root/repo/src/cluster/placement.cc" "src/CMakeFiles/ursa_cluster.dir/cluster/placement.cc.o" "gcc" "src/CMakeFiles/ursa_cluster.dir/cluster/placement.cc.o.d"
+  "/root/repo/src/cluster/upgrade.cc" "src/CMakeFiles/ursa_cluster.dir/cluster/upgrade.cc.o" "gcc" "src/CMakeFiles/ursa_cluster.dir/cluster/upgrade.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ursa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_journal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

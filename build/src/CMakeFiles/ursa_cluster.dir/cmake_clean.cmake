@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_cluster.dir/cluster/chunk_server.cc.o"
+  "CMakeFiles/ursa_cluster.dir/cluster/chunk_server.cc.o.d"
+  "CMakeFiles/ursa_cluster.dir/cluster/cluster.cc.o"
+  "CMakeFiles/ursa_cluster.dir/cluster/cluster.cc.o.d"
+  "CMakeFiles/ursa_cluster.dir/cluster/failure_injector.cc.o"
+  "CMakeFiles/ursa_cluster.dir/cluster/failure_injector.cc.o.d"
+  "CMakeFiles/ursa_cluster.dir/cluster/machine.cc.o"
+  "CMakeFiles/ursa_cluster.dir/cluster/machine.cc.o.d"
+  "CMakeFiles/ursa_cluster.dir/cluster/master.cc.o"
+  "CMakeFiles/ursa_cluster.dir/cluster/master.cc.o.d"
+  "CMakeFiles/ursa_cluster.dir/cluster/placement.cc.o"
+  "CMakeFiles/ursa_cluster.dir/cluster/placement.cc.o.d"
+  "CMakeFiles/ursa_cluster.dir/cluster/upgrade.cc.o"
+  "CMakeFiles/ursa_cluster.dir/cluster/upgrade.cc.o.d"
+  "libursa_cluster.a"
+  "libursa_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

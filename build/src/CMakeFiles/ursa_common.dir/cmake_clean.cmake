@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_common.dir/common/crc32.cc.o"
+  "CMakeFiles/ursa_common.dir/common/crc32.cc.o.d"
+  "CMakeFiles/ursa_common.dir/common/histogram.cc.o"
+  "CMakeFiles/ursa_common.dir/common/histogram.cc.o.d"
+  "CMakeFiles/ursa_common.dir/common/logging.cc.o"
+  "CMakeFiles/ursa_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/ursa_common.dir/common/status.cc.o"
+  "CMakeFiles/ursa_common.dir/common/status.cc.o.d"
+  "libursa_common.a"
+  "libursa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

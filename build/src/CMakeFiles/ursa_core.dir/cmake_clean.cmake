@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_core.dir/core/metrics.cc.o"
+  "CMakeFiles/ursa_core.dir/core/metrics.cc.o.d"
+  "CMakeFiles/ursa_core.dir/core/params.cc.o"
+  "CMakeFiles/ursa_core.dir/core/params.cc.o.d"
+  "CMakeFiles/ursa_core.dir/core/system.cc.o"
+  "CMakeFiles/ursa_core.dir/core/system.cc.o.d"
+  "libursa_core.a"
+  "libursa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

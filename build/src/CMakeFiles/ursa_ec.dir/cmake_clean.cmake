@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_ec.dir/ec/ec_stripe_store.cc.o"
+  "CMakeFiles/ursa_ec.dir/ec/ec_stripe_store.cc.o.d"
+  "CMakeFiles/ursa_ec.dir/ec/gf256.cc.o"
+  "CMakeFiles/ursa_ec.dir/ec/gf256.cc.o.d"
+  "CMakeFiles/ursa_ec.dir/ec/reed_solomon.cc.o"
+  "CMakeFiles/ursa_ec.dir/ec/reed_solomon.cc.o.d"
+  "libursa_ec.a"
+  "libursa_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

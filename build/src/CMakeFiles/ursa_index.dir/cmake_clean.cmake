@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_index.dir/index/flsm_index.cc.o"
+  "CMakeFiles/ursa_index.dir/index/flsm_index.cc.o.d"
+  "CMakeFiles/ursa_index.dir/index/range_index.cc.o"
+  "CMakeFiles/ursa_index.dir/index/range_index.cc.o.d"
+  "libursa_index.a"
+  "libursa_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

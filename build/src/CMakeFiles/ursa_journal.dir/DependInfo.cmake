@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/journal/journal_lite.cc" "src/CMakeFiles/ursa_journal.dir/journal/journal_lite.cc.o" "gcc" "src/CMakeFiles/ursa_journal.dir/journal/journal_lite.cc.o.d"
+  "/root/repo/src/journal/journal_manager.cc" "src/CMakeFiles/ursa_journal.dir/journal/journal_manager.cc.o" "gcc" "src/CMakeFiles/ursa_journal.dir/journal/journal_manager.cc.o.d"
+  "/root/repo/src/journal/journal_record.cc" "src/CMakeFiles/ursa_journal.dir/journal/journal_record.cc.o" "gcc" "src/CMakeFiles/ursa_journal.dir/journal/journal_record.cc.o.d"
+  "/root/repo/src/journal/journal_replayer.cc" "src/CMakeFiles/ursa_journal.dir/journal/journal_replayer.cc.o" "gcc" "src/CMakeFiles/ursa_journal.dir/journal/journal_replayer.cc.o.d"
+  "/root/repo/src/journal/journal_writer.cc" "src/CMakeFiles/ursa_journal.dir/journal/journal_writer.cc.o" "gcc" "src/CMakeFiles/ursa_journal.dir/journal/journal_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ursa_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

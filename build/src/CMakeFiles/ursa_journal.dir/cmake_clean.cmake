@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_journal.dir/journal/journal_lite.cc.o"
+  "CMakeFiles/ursa_journal.dir/journal/journal_lite.cc.o.d"
+  "CMakeFiles/ursa_journal.dir/journal/journal_manager.cc.o"
+  "CMakeFiles/ursa_journal.dir/journal/journal_manager.cc.o.d"
+  "CMakeFiles/ursa_journal.dir/journal/journal_record.cc.o"
+  "CMakeFiles/ursa_journal.dir/journal/journal_record.cc.o.d"
+  "CMakeFiles/ursa_journal.dir/journal/journal_replayer.cc.o"
+  "CMakeFiles/ursa_journal.dir/journal/journal_replayer.cc.o.d"
+  "CMakeFiles/ursa_journal.dir/journal/journal_writer.cc.o"
+  "CMakeFiles/ursa_journal.dir/journal/journal_writer.cc.o.d"
+  "libursa_journal.a"
+  "libursa_journal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_journal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_net.dir/net/message.cc.o"
+  "CMakeFiles/ursa_net.dir/net/message.cc.o.d"
+  "CMakeFiles/ursa_net.dir/net/rpc.cc.o"
+  "CMakeFiles/ursa_net.dir/net/rpc.cc.o.d"
+  "CMakeFiles/ursa_net.dir/net/transport.cc.o"
+  "CMakeFiles/ursa_net.dir/net/transport.cc.o.d"
+  "libursa_net.a"
+  "libursa_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/ursa_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/ursa_sim.dir/sim/resource.cc.o"
+  "CMakeFiles/ursa_sim.dir/sim/resource.cc.o.d"
+  "CMakeFiles/ursa_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/ursa_sim.dir/sim/simulator.cc.o.d"
+  "libursa_sim.a"
+  "libursa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

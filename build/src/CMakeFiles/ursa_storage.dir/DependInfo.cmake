@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/chunk_store.cc" "src/CMakeFiles/ursa_storage.dir/storage/chunk_store.cc.o" "gcc" "src/CMakeFiles/ursa_storage.dir/storage/chunk_store.cc.o.d"
+  "/root/repo/src/storage/hdd_model.cc" "src/CMakeFiles/ursa_storage.dir/storage/hdd_model.cc.o" "gcc" "src/CMakeFiles/ursa_storage.dir/storage/hdd_model.cc.o.d"
+  "/root/repo/src/storage/mem_device.cc" "src/CMakeFiles/ursa_storage.dir/storage/mem_device.cc.o" "gcc" "src/CMakeFiles/ursa_storage.dir/storage/mem_device.cc.o.d"
+  "/root/repo/src/storage/ssd_model.cc" "src/CMakeFiles/ursa_storage.dir/storage/ssd_model.cc.o" "gcc" "src/CMakeFiles/ursa_storage.dir/storage/ssd_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ursa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ursa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

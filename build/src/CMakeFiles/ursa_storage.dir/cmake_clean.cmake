@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_storage.dir/storage/chunk_store.cc.o"
+  "CMakeFiles/ursa_storage.dir/storage/chunk_store.cc.o.d"
+  "CMakeFiles/ursa_storage.dir/storage/hdd_model.cc.o"
+  "CMakeFiles/ursa_storage.dir/storage/hdd_model.cc.o.d"
+  "CMakeFiles/ursa_storage.dir/storage/mem_device.cc.o"
+  "CMakeFiles/ursa_storage.dir/storage/mem_device.cc.o.d"
+  "CMakeFiles/ursa_storage.dir/storage/ssd_model.cc.o"
+  "CMakeFiles/ursa_storage.dir/storage/ssd_model.cc.o.d"
+  "libursa_storage.a"
+  "libursa_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/cache_sim.cc" "src/CMakeFiles/ursa_trace.dir/trace/cache_sim.cc.o" "gcc" "src/CMakeFiles/ursa_trace.dir/trace/cache_sim.cc.o.d"
+  "/root/repo/src/trace/msr_generator.cc" "src/CMakeFiles/ursa_trace.dir/trace/msr_generator.cc.o" "gcc" "src/CMakeFiles/ursa_trace.dir/trace/msr_generator.cc.o.d"
+  "/root/repo/src/trace/workload.cc" "src/CMakeFiles/ursa_trace.dir/trace/workload.cc.o" "gcc" "src/CMakeFiles/ursa_trace.dir/trace/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ursa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_trace.dir/trace/cache_sim.cc.o"
+  "CMakeFiles/ursa_trace.dir/trace/cache_sim.cc.o.d"
+  "CMakeFiles/ursa_trace.dir/trace/msr_generator.cc.o"
+  "CMakeFiles/ursa_trace.dir/trace/msr_generator.cc.o.d"
+  "CMakeFiles/ursa_trace.dir/trace/workload.cc.o"
+  "CMakeFiles/ursa_trace.dir/trace/workload.cc.o.d"
+  "libursa_trace.a"
+  "libursa_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunk_server_test.dir/chunk_server_test.cc.o"
+  "CMakeFiles/chunk_server_test.dir/chunk_server_test.cc.o.d"
+  "chunk_server_test"
+  "chunk_server_test.pdb"
+  "chunk_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunk_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

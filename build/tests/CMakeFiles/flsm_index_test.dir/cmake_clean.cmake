@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flsm_index_test.dir/flsm_index_test.cc.o"
+  "CMakeFiles/flsm_index_test.dir/flsm_index_test.cc.o.d"
+  "flsm_index_test"
+  "flsm_index_test.pdb"
+  "flsm_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flsm_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

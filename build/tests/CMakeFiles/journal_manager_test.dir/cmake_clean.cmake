@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/journal_manager_test.dir/journal_manager_test.cc.o"
+  "CMakeFiles/journal_manager_test.dir/journal_manager_test.cc.o.d"
+  "journal_manager_test"
+  "journal_manager_test.pdb"
+  "journal_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/journal_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/master_metrics_test.dir/master_metrics_test.cc.o"
+  "CMakeFiles/master_metrics_test.dir/master_metrics_test.cc.o.d"
+  "master_metrics_test"
+  "master_metrics_test.pdb"
+  "master_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/master_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbd_test.dir/nbd_test.cc.o"
+  "CMakeFiles/nbd_test.dir/nbd_test.cc.o.d"
+  "nbd_test"
+  "nbd_test.pdb"
+  "nbd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_index_test.dir/range_index_test.cc.o"
+  "CMakeFiles/range_index_test.dir/range_index_test.cc.o.d"
+  "range_index_test"
+  "range_index_test.pdb"
+  "range_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
