@@ -28,6 +28,24 @@ VirtualDisk::VirtualDisk(cluster::Cluster* cluster, cluster::Machine* host,
       options_(options) {
   loop_ = std::make_unique<sim::Resource>(sim_, "client" + std::to_string(client_id) + "/loop",
                                           1);
+  obs::MetricsRegistry& registry = cluster_->metrics();
+  obs::Labels labels{{"client", std::to_string(client_id)}};
+  registry.RegisterCallbackCounter("client.reads", labels,
+                                   [this]() { return static_cast<double>(stats_.reads); });
+  registry.RegisterCallbackCounter("client.writes", labels,
+                                   [this]() { return static_cast<double>(stats_.writes); });
+  registry.RegisterCallbackCounter("client.read_bytes", labels,
+                                   [this]() { return static_cast<double>(stats_.read_bytes); });
+  registry.RegisterCallbackCounter("client.write_bytes", labels, [this]() {
+    return static_cast<double>(stats_.write_bytes);
+  });
+  registry.RegisterCallbackCounter("client.retries", labels,
+                                   [this]() { return static_cast<double>(stats_.retries); });
+  registry.RegisterCallbackCounter("client.throttled_writes", labels, [this]() {
+    return static_cast<double>(stats_.throttled_writes);
+  });
+  registry.RegisterHistogram("client.read_latency_us", labels, &stats_.read_latency_us);
+  registry.RegisterHistogram("client.write_latency_us", labels, &stats_.write_latency_us);
 }
 
 Status VirtualDisk::Open(cluster::DiskId disk) {
@@ -141,11 +159,16 @@ void VirtualDisk::Read(uint64_t offset, uint64_t length, void* out, storage::IoC
   ++stats_.reads;
   stats_.read_bytes += length;
   Nanos start = sim_->Now();
+  obs::SpanRef span = cluster_->tracer().StartSpan(/*is_write=*/false, start);
+  if (span != nullptr) {
+    // Both fixed VMM/NBD hops are deterministic configured costs.
+    span->RecordStage(obs::Stage::kVmm, 2 * options_.vmm_overhead);
+  }
 
   std::vector<SubRequest> subs = SplitRequest(offset, length);
   auto remaining = std::make_shared<size_t>(subs.size());
   auto first_error = std::make_shared<Status>();
-  auto finish = [this, start, remaining, first_error,
+  auto finish = [this, start, remaining, first_error, span,
                  done = std::move(done)](const Status& s) {
     if (!s.ok() && first_error->ok()) {
       *first_error = s;
@@ -154,8 +177,12 @@ void VirtualDisk::Read(uint64_t offset, uint64_t length, void* out, storage::IoC
       return;
     }
     // VMM/NBD fixed return-path cost, then the user callback.
-    sim_->After(options_.vmm_overhead, [this, start, first_error, done = std::move(done)]() {
+    sim_->After(options_.vmm_overhead,
+                [this, start, first_error, span, done = std::move(done)]() {
       stats_.read_latency_us.Record(static_cast<int64_t>(ToUsec(sim_->Now() - start)));
+      if (span != nullptr) {
+        cluster_->tracer().FinishSpan(span, sim_->Now());
+      }
       done(*first_error);
     });
   };
@@ -163,15 +190,20 @@ void VirtualDisk::Read(uint64_t offset, uint64_t length, void* out, storage::IoC
   for (const SubRequest& sub : subs) {
     void* dest = out == nullptr ? nullptr : static_cast<uint8_t*>(out) + sub.user_offset;
     // VMM/NBD entry cost, then the client loop issues the request.
-    sim_->After(options_.vmm_overhead, [this, sub, dest, finish]() {
+    sim_->After(options_.vmm_overhead, [this, sub, dest, finish, span]() {
       loop_->Submit(options_.loop_issue_cost,
-                    [this, sub, dest, finish]() { IssueRead(sub, dest, 1, finish); });
+                    [this, sub, dest, finish, span]() { IssueRead(sub, dest, 1, finish, span); });
     });
   }
 }
 
 void VirtualDisk::IssueRead(const SubRequest& sub, void* out, int attempt,
-                            storage::IoCallback done) {
+                            storage::IoCallback done, const obs::SpanRef& span) {
+  if (span != nullptr) {
+    // Loop queue + issue cost since the VMM entry hop completed.
+    span->RecordStage(obs::Stage::kClientIssue,
+                      sim_->Now() - span->start() - options_.vmm_overhead);
+  }
   const ChunkLayout& layout = Layout(sub.chunk_index);
   ChunkState& cs = chunk_states_[sub.chunk_index];
   const ReplicaRef replica = layout.replicas[cs.primary % layout.replicas.size()];
@@ -179,11 +211,15 @@ void VirtualDisk::IssueRead(const SubRequest& sub, void* out, int attempt,
   auto replied_version = std::make_shared<uint64_t>(0);
   auto guard = PendingCall::Start(
       sim_, options_.request_timeout,
-      [this, sub, out, attempt, done, replied_version](const Status& s) {
+      [this, sub, out, attempt, done, replied_version, span](const Status& s) {
         Nanos copy_cost = static_cast<Nanos>(options_.loop_byte_cost_ns *
                                              static_cast<double>(sub.length));
+        Nanos replied = sim_->Now();
         loop_->Submit(options_.loop_complete_cost + (s.ok() ? copy_cost : 0),
-                      [this, sub, out, attempt, done, s, replied_version]() {
+                      [this, sub, out, attempt, done, s, replied_version, replied, span]() {
+                        if (span != nullptr) {
+                          span->RecordStage(obs::Stage::kClientComplete, sim_->Now() - replied);
+                        }
                         if (s.ok()) {
                           done(OkStatus());
                           return;
@@ -193,8 +229,8 @@ void VirtualDisk::IssueRead(const SubRequest& sub, void* out, int attempt,
                           chunk_states_[sub.chunk_index].version = *replied_version;
                         }
                         HandleAttemptFailure(sub, s, attempt, done, [this, sub, out, attempt,
-                                                                     done]() {
-                          IssueRead(sub, out, attempt + 1, done);
+                                                                     done, span]() {
+                          IssueRead(sub, out, attempt + 1, done, span);
                         });
                       });
       });
@@ -204,21 +240,24 @@ void VirtualDisk::IssueRead(const SubRequest& sub, void* out, int attempt,
   ChunkId chunk = layout.chunk;
   cluster_->transport().Send(
       host_->node(), replica.node, WireBytes(MessageType::kReadRequest),
-      [this, replica, chunk, sub, view, version, out, guard, replied_version]() {
+      [this, replica, chunk, sub, view, version, out, guard, replied_version, span]() {
         ChunkServer* server = Server(replica.server);
         if (server == nullptr) {
           return;  // the guard's timeout handles it
         }
         server->HandleRead(
             chunk, sub.chunk_offset, sub.length, view, version, out,
-            [this, replica, sub, guard, replied_version](const Status& s, uint64_t ver) {
+            [this, replica, sub, guard, replied_version, span](const Status& s, uint64_t ver) {
               *replied_version = ver;
               uint64_t bytes = s.ok() ? sub.length : 0;
               cluster_->transport().Send(replica.node, host_->node(),
                                          WireBytes(MessageType::kReadReply, bytes),
-                                         [guard, s]() { guard->Complete(s); });
-            });
-      });
+                                         [guard, s]() { guard->Complete(s); }, span,
+                                         obs::Stage::kNetReply);
+            },
+            span);
+      },
+      span, obs::Stage::kNetRequest);
 }
 
 void VirtualDisk::Write(uint64_t offset, uint64_t length, const void* data,
@@ -247,11 +286,15 @@ void VirtualDisk::Write(uint64_t offset, uint64_t length, const void* data,
   ++stats_.writes;
   stats_.write_bytes += length;
   Nanos start = sim_->Now();
+  obs::SpanRef span = cluster_->tracer().StartSpan(/*is_write=*/true, start);
+  if (span != nullptr) {
+    span->RecordStage(obs::Stage::kVmm, 2 * options_.vmm_overhead);
+  }
 
   std::vector<SubRequest> subs = SplitRequest(offset, length);
   auto remaining = std::make_shared<size_t>(subs.size());
   auto first_error = std::make_shared<Status>();
-  auto finish = [this, start, remaining, first_error,
+  auto finish = [this, start, remaining, first_error, span,
                  done = std::move(done)](const Status& s) {
     if (!s.ok() && first_error->ok()) {
       *first_error = s;
@@ -259,8 +302,12 @@ void VirtualDisk::Write(uint64_t offset, uint64_t length, const void* data,
     if (--*remaining > 0) {
       return;
     }
-    sim_->After(options_.vmm_overhead, [this, start, first_error, done = std::move(done)]() {
+    sim_->After(options_.vmm_overhead,
+                [this, start, first_error, span, done = std::move(done)]() {
       stats_.write_latency_us.Record(static_cast<int64_t>(ToUsec(sim_->Now() - start)));
+      if (span != nullptr) {
+        cluster_->tracer().FinishSpan(span, sim_->Now());
+      }
       done(*first_error);
     });
   };
@@ -268,17 +315,19 @@ void VirtualDisk::Write(uint64_t offset, uint64_t length, const void* data,
   for (const SubRequest& sub : subs) {
     const void* src =
         data == nullptr ? nullptr : static_cast<const uint8_t*>(data) + sub.user_offset;
-    sim_->After(options_.vmm_overhead, [this, sub, src, finish]() {
+    sim_->After(options_.vmm_overhead, [this, sub, src, finish, span]() {
       size_t idx = sub.chunk_index;
       ChunkState& cs = chunk_states_[idx];
       // Writes to one chunk are ordered by version; queue and pipeline.
       cs.write_queue.push_back(PendingWrite{
-          [this, sub, src, finish, idx]() {
-            IssueWrite(sub, src, 1, [this, finish, idx](const Status& s) {
-              chunk_states_[idx].write_inflight = false;
-              PumpWriteQueue(idx);
-              finish(s);
-            });
+          [this, sub, src, finish, idx, span]() {
+            IssueWrite(sub, src, 1,
+                       [this, finish, idx](const Status& s) {
+                         chunk_states_[idx].write_inflight = false;
+                         PumpWriteQueue(idx);
+                         finish(s);
+                       },
+                       span);
           },
           sub.length});
       PumpWriteQueue(idx);
@@ -300,21 +349,26 @@ void VirtualDisk::PumpWriteQueue(size_t chunk_index) {
 }
 
 void VirtualDisk::IssueWrite(const SubRequest& sub, const void* data, int attempt,
-                             storage::IoCallback done) {
-  IssueWriteAttempt(sub, data, attempt, std::move(done));
+                             storage::IoCallback done, const obs::SpanRef& span) {
+  if (span != nullptr) {
+    // Loop queue + per-chunk write-order queue + issue cost since VMM entry.
+    span->RecordStage(obs::Stage::kClientIssue,
+                      sim_->Now() - span->start() - options_.vmm_overhead);
+  }
+  IssueWriteAttempt(sub, data, attempt, std::move(done), span);
 }
 
 void VirtualDisk::IssueWriteAttempt(const SubRequest& sub, const void* data, int attempt,
-                                    storage::IoCallback done) {
+                                    storage::IoCallback done, const obs::SpanRef& span) {
   if (options_.client_directed && sub.length <= options_.tiny_write_threshold) {
-    ClientDirectedWrite(sub, data, attempt, std::move(done));
+    ClientDirectedWrite(sub, data, attempt, std::move(done), span);
   } else {
-    PrimaryDrivenWrite(sub, data, attempt, std::move(done));
+    PrimaryDrivenWrite(sub, data, attempt, std::move(done), span);
   }
 }
 
 void VirtualDisk::ClientDirectedWrite(const SubRequest& sub, const void* data, int attempt,
-                                      storage::IoCallback done) {
+                                      storage::IoCallback done, const obs::SpanRef& span) {
   const ChunkLayout& layout = Layout(sub.chunk_index);
   ChunkState& cs = chunk_states_[sub.chunk_index];
   uint64_t view = layout.view;
@@ -329,10 +383,15 @@ void VirtualDisk::ClientDirectedWrite(const SubRequest& sub, const void* data, i
 
   auto guard = PendingCall::Start(
       sim_, options_.request_timeout,
-      [this, sub, data, attempt, done, saw_mismatch, replied_version](const Status& s) {
+      [this, sub, data, attempt, done, saw_mismatch, replied_version, span](const Status& s) {
+        Nanos replied = sim_->Now();
         loop_->Submit(
             options_.loop_complete_cost,
-            [this, sub, data, attempt, done, s, saw_mismatch, replied_version]() {
+            [this, sub, data, attempt, done, s, saw_mismatch, replied_version, replied,
+             span]() {
+              if (span != nullptr) {
+                span->RecordStage(obs::Stage::kClientComplete, sim_->Now() - replied);
+              }
               if (s.ok()) {
                 ++chunk_states_[sub.chunk_index].version;
                 done(OkStatus());
@@ -344,8 +403,8 @@ void VirtualDisk::ClientDirectedWrite(const SubRequest& sub, const void* data, i
                 chunk_states_[sub.chunk_index].version = *replied_version;
               }
               HandleAttemptFailure(sub, effective, attempt, done,
-                                   [this, sub, data, attempt, done]() {
-                                     IssueWriteAttempt(sub, data, attempt + 1, done);
+                                   [this, sub, data, attempt, done, span]() {
+                                     IssueWriteAttempt(sub, data, attempt + 1, done, span);
                                    });
             });
       });
@@ -379,28 +438,34 @@ void VirtualDisk::ClientDirectedWrite(const SubRequest& sub, const void* data, i
     }
   };
 
-  // Client-directed replication (§3.2): one message per replica in parallel.
+  // Client-directed replication (§3.2): one message per replica in parallel;
+  // all legs stamp the shared span, which keeps the per-stage maximum (the
+  // quorum waits for all replicas in the common case, so the slowest leg is
+  // the critical path).
   for (const ReplicaRef& replica : layout.replicas) {
     cluster_->transport().Send(
         host_->node(), replica.node, WireBytes(MessageType::kReplicate, sub.length),
-        [this, replica, chunk, sub, view, version, data, leg]() {
+        [this, replica, chunk, sub, view, version, data, leg, span]() {
           ChunkServer* server = Server(replica.server);
           if (server == nullptr) {
             return;  // silent drop; timeout/quorum handles it
           }
           server->HandleReplicate(
               chunk, sub.chunk_offset, sub.length, view, version, data,
-              [this, replica, leg](const Status& s, uint64_t ver) {
+              [this, replica, leg, span](const Status& s, uint64_t ver) {
                 cluster_->transport().Send(replica.node, host_->node(),
                                            WireBytes(MessageType::kReplicateReply),
-                                           [leg, s, ver]() { leg(s, ver); });
-              });
-        });
+                                           [leg, s, ver]() { leg(s, ver); }, span,
+                                           obs::Stage::kNetReply);
+              },
+              span);
+        },
+        span, obs::Stage::kNetRequest);
   }
 }
 
 void VirtualDisk::PrimaryDrivenWrite(const SubRequest& sub, const void* data, int attempt,
-                                     storage::IoCallback done) {
+                                     storage::IoCallback done, const obs::SpanRef& span) {
   const ChunkLayout& layout = Layout(sub.chunk_index);
   ChunkState& cs = chunk_states_[sub.chunk_index];
   size_t primary_idx = cs.primary % layout.replicas.size();
@@ -416,9 +481,13 @@ void VirtualDisk::PrimaryDrivenWrite(const SubRequest& sub, const void* data, in
   auto replied_version = std::make_shared<uint64_t>(0);
   auto guard = PendingCall::Start(
       sim_, options_.request_timeout,
-      [this, sub, data, attempt, done, replied_version](const Status& s) {
+      [this, sub, data, attempt, done, replied_version, span](const Status& s) {
+        Nanos replied = sim_->Now();
         loop_->Submit(options_.loop_complete_cost, [this, sub, data, attempt, done, s,
-                                                    replied_version]() {
+                                                    replied_version, replied, span]() {
+          if (span != nullptr) {
+            span->RecordStage(obs::Stage::kClientComplete, sim_->Now() - replied);
+          }
           if (s.ok()) {
             chunk_states_[sub.chunk_index].version =
                 std::max(chunk_states_[sub.chunk_index].version + 1, *replied_version);
@@ -429,8 +498,9 @@ void VirtualDisk::PrimaryDrivenWrite(const SubRequest& sub, const void* data, in
               *replied_version > chunk_states_[sub.chunk_index].version) {
             chunk_states_[sub.chunk_index].version = *replied_version;
           }
-          HandleAttemptFailure(sub, s, attempt, done, [this, sub, data, attempt, done]() {
-            IssueWriteAttempt(sub, data, attempt + 1, done);
+          HandleAttemptFailure(sub, s, attempt, done, [this, sub, data, attempt, done,
+                                                       span]() {
+            IssueWriteAttempt(sub, data, attempt + 1, done, span);
           });
         });
       });
@@ -441,20 +511,24 @@ void VirtualDisk::PrimaryDrivenWrite(const SubRequest& sub, const void* data, in
   cluster_->transport().Send(
       host_->node(), primary.node, WireBytes(MessageType::kWriteRequest, sub.length),
       [this, primary, chunk, sub, view, version, data, backups = std::move(backups), guard,
-       replied_version]() {
+       replied_version, span]() {
         ChunkServer* server = Server(primary.server);
         if (server == nullptr) {
           return;
         }
         server->HandleWrite(
             chunk, sub.chunk_offset, sub.length, view, version, data, backups,
-            [this, primary, guard, replied_version](const Status& s, uint64_t new_version) {
+            [this, primary, guard, replied_version, span](const Status& s,
+                                                          uint64_t new_version) {
               *replied_version = new_version;
               cluster_->transport().Send(primary.node, host_->node(),
                                          WireBytes(MessageType::kWriteReply),
-                                         [guard, s]() { guard->Complete(s); });
-            });
-      });
+                                         [guard, s]() { guard->Complete(s); }, span,
+                                         obs::Stage::kNetReply);
+            },
+            span);
+      },
+      span, obs::Stage::kNetRequest);
 }
 
 void VirtualDisk::Upgrade(const std::string& version, Nanos swap_window,

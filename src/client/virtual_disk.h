@@ -124,15 +124,19 @@ class VirtualDisk {
   // Maps a logical byte range to per-chunk sub-requests (striping).
   std::vector<SubRequest> SplitRequest(uint64_t offset, uint64_t length) const;
 
-  void IssueRead(const SubRequest& sub, void* out, int attempt, storage::IoCallback done);
+  // The span (null when the request is unsampled) rides along every attempt;
+  // retries max-merge into the same span, inflating kClientIssue — acceptable
+  // for a failure-path sample, and the common case has one attempt.
+  void IssueRead(const SubRequest& sub, void* out, int attempt, storage::IoCallback done,
+                 const obs::SpanRef& span);
   void IssueWrite(const SubRequest& sub, const void* data, int attempt,
-                  storage::IoCallback done);
+                  storage::IoCallback done, const obs::SpanRef& span);
   void IssueWriteAttempt(const SubRequest& sub, const void* data, int attempt,
-                         storage::IoCallback done);
+                         storage::IoCallback done, const obs::SpanRef& span);
   void ClientDirectedWrite(const SubRequest& sub, const void* data, int attempt,
-                           storage::IoCallback done);
+                           storage::IoCallback done, const obs::SpanRef& span);
   void PrimaryDrivenWrite(const SubRequest& sub, const void* data, int attempt,
-                          storage::IoCallback done);
+                          storage::IoCallback done, const obs::SpanRef& span);
 
   // Failure path: switch primaries / report to the master / resync, then
   // retry via `retry`.

@@ -44,10 +44,31 @@ void ChunkServer::SetState(ChunkId chunk, uint64_t version, uint64_t view) {
   states_[chunk] = ReplicaState{version, view};
 }
 
+void ChunkServer::RegisterMetrics(obs::MetricsRegistry* registry) {
+  obs::Labels labels{{"server", std::to_string(id_)}};
+  registry->RegisterCallbackCounter("server.reads_served", labels,
+                                    [this]() { return static_cast<double>(reads_served_); });
+  registry->RegisterCallbackCounter("server.writes_served", labels,
+                                    [this]() { return static_cast<double>(writes_served_); });
+  registry->RegisterCallbackCounter(
+      "server.replicates_served", labels,
+      [this]() { return static_cast<double>(replicates_served_); });
+  registry->RegisterCallbackGauge("server.inflight_ops", labels,
+                                  [this]() { return static_cast<double>(inflight_ops_); });
+}
+
 void ChunkServer::BackupWrite(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t version,
-                              const void* data, storage::IoCallback done) {
+                              const void* data, storage::IoCallback done,
+                              const obs::SpanRef& span) {
   if (journal_manager_ != nullptr) {
-    journal_manager_->Write(chunk, offset, length, version, data, std::move(done));
+    journal_manager_->Write(chunk, offset, length, version, data, std::move(done), span);
+  } else if (span != nullptr) {
+    Nanos entered = sim_->Now();
+    store_->Write(chunk, offset, length, data,
+                  [this, span, entered, done = std::move(done)](const Status& s) {
+                    span->RecordStage(obs::Stage::kBackupJournal, sim_->Now() - entered);
+                    done(s);
+                  });
   } else {
     store_->Write(chunk, offset, length, data, std::move(done));
   }
@@ -63,14 +84,20 @@ void ChunkServer::BackupRead(ChunkId chunk, uint64_t offset, uint64_t length, vo
 }
 
 void ChunkServer::HandleRead(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t view,
-                             uint64_t expected_version, void* out, ReadCallback done_arg) {
+                             uint64_t expected_version, void* out, ReadCallback done_arg,
+                             const obs::SpanRef& span) {
   if (crashed_ || draining_) {
     return;  // silence; the client's timeout machinery reacts
   }
   auto done = TrackOp(std::move(done_arg));
   machine_->BurnCpu(config_.cpu.server_background);
+  Nanos entered = sim_->Now();
   machine_->RunOnCpu(config_.cpu.server_op, [this, chunk, offset, length, view, expected_version,
-                                             out, done = std::move(done)]() mutable {
+                                             out, entered, span,
+                                             done = std::move(done)]() mutable {
+    if (span != nullptr) {
+      span->RecordStage(obs::Stage::kServerCpu, sim_->Now() - entered);
+    }
     auto it = states_.find(chunk);
     if (it == states_.end()) {
       done(NotFound("chunk not hosted here"), 0);
@@ -91,7 +118,13 @@ void ChunkServer::HandleRead(ChunkId chunk, uint64_t offset, uint64_t length, ui
     }
     ++reads_served_;
     uint64_t version = st.version;
-    auto io_done = [done = std::move(done), version](const Status& s) { done(s, version); };
+    Nanos io_start = sim_->Now();
+    auto io_done = [this, span, io_start, done = std::move(done), version](const Status& s) {
+      if (span != nullptr) {
+        span->RecordStage(obs::Stage::kPrimaryStorage, sim_->Now() - io_start);
+      }
+      done(s, version);
+    };
     if (on_ssd_ && journal_manager_ == nullptr) {
       store_->Read(chunk, offset, length, out, std::move(io_done));
     } else {
@@ -102,15 +135,19 @@ void ChunkServer::HandleRead(ChunkId chunk, uint64_t offset, uint64_t length, ui
 
 void ChunkServer::HandleWrite(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t view,
                               uint64_t version, const void* data, std::vector<ReplicaRef> backups,
-                              WriteCallback done_arg) {
+                              WriteCallback done_arg, const obs::SpanRef& span) {
   if (crashed_ || draining_) {
     return;
   }
   auto done = TrackOp(std::move(done_arg));
   machine_->BurnCpu(config_.cpu.server_background);
+  Nanos entered = sim_->Now();
   machine_->RunOnCpu(config_.cpu.server_op + config_.cpu.server_write_extra,
-                     [this, chunk, offset, length, view, version, data,
+                     [this, chunk, offset, length, view, version, data, entered, span,
                       backups = std::move(backups), done = std::move(done)]() mutable {
+    if (span != nullptr) {
+      span->RecordStage(obs::Stage::kServerCpu, sim_->Now() - entered);
+    }
     auto it = states_.find(chunk);
     if (it == states_.end()) {
       done(NotFound("chunk not hosted here"), 0);
@@ -158,20 +195,30 @@ void ChunkServer::HandleWrite(ChunkId chunk, uint64_t offset, uint64_t length, u
       }
     };
 
-    // Local chunk write (LCW).
+    // Local chunk write (LCW). The primary's device time is its own stage so
+    // the trace separates it from the parallel backup legs.
+    storage::IoCallback local_leg = leg;
+    if (span != nullptr) {
+      Nanos io_start = sim_->Now();
+      local_leg = [this, span, io_start, leg](const Status& s) {
+        span->RecordStage(obs::Stage::kPrimaryStorage, sim_->Now() - io_start);
+        leg(s);
+      };
+    }
     if (skip_local) {
-      sim_->After(0, [leg]() { leg(OkStatus()); });
+      sim_->After(0, [local_leg]() { local_leg(OkStatus()); });
     } else if (journal_manager_ != nullptr) {
-      BackupWrite(chunk, offset, length, new_version, data, leg);
+      BackupWrite(chunk, offset, length, new_version, data, local_leg);
     } else {
-      store_->Write(chunk, offset, length, data, leg);
+      store_->Write(chunk, offset, length, data, local_leg);
     }
 
-    // Parallel replication to backups over the network.
+    // Parallel replication to backups over the network. The shared span
+    // max-merges the backup legs' journal appends against the local write.
     for (const ReplicaRef& backup : backups) {
       uint64_t wire = net::WireBytes(net::MessageType::kReplicate, length);
       transport_->Send(node(), backup.node, wire,
-                       [this, backup, chunk, offset, length, view, version, data, leg]() {
+                       [this, backup, chunk, offset, length, view, version, data, leg, span]() {
                          ChunkServer* server = resolver_(backup.server);
                          if (server == nullptr) {
                            leg(Unavailable("backup server gone"));
@@ -185,22 +232,29 @@ void ChunkServer::HandleWrite(ChunkId chunk, uint64_t offset, uint64_t length, u
                                    net::WireBytes(net::MessageType::kReplicateReply);
                                transport_->Send(backup.node, node(), rwire,
                                                 [leg, s]() { leg(s); });
-                             });
+                             },
+                             span);
                        });
     }
   });
 }
 
 void ChunkServer::HandleReplicate(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t view,
-                                  uint64_t version, const void* data, WriteCallback done_arg) {
+                                  uint64_t version, const void* data, WriteCallback done_arg,
+                                  const obs::SpanRef& span) {
   if (crashed_ || draining_) {
     return;
   }
   auto done = TrackOp(std::move(done_arg));
   machine_->BurnCpu(config_.cpu.server_background);
+  Nanos entered = sim_->Now();
   machine_->RunOnCpu(
       config_.cpu.server_op + config_.cpu.replicate_op + config_.cpu.server_write_extra,
-      [this, chunk, offset, length, view, version, data, done = std::move(done)]() mutable {
+      [this, chunk, offset, length, view, version, data, entered, span,
+       done = std::move(done)]() mutable {
+        if (span != nullptr) {
+          span->RecordStage(obs::Stage::kServerCpu, sim_->Now() - entered);
+        }
         auto it = states_.find(chunk);
         if (it == states_.end()) {
           done(NotFound("chunk not hosted here"), 0);
@@ -226,7 +280,8 @@ void ChunkServer::HandleReplicate(ChunkId chunk, uint64_t offset, uint64_t lengt
         BackupWrite(chunk, offset, length, new_version, data,
                     [done = std::move(done), new_version](const Status& s) {
                       done(s, new_version);
-                    });
+                    },
+                    span);
       });
 }
 

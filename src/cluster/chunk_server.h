@@ -26,6 +26,8 @@
 #include "src/net/message.h"
 #include "src/net/rpc.h"
 #include "src/net/transport.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 
 namespace ursa::cluster {
 
@@ -86,22 +88,26 @@ class ChunkServer {
   using WriteCallback = std::function<void(const Status&, uint64_t new_version)>;
 
   // Serves a read; `expected_version` must match the replica's state (§4.1:
-  // any replica with a matching version number may serve reads).
+  // any replica with a matching version number may serve reads). A non-null
+  // `span` gets the CPU-queue time (kServerCpu) and the device read
+  // (kPrimaryStorage) stamped in.
   void HandleRead(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t view,
-                  uint64_t expected_version, void* out, ReadCallback done);
+                  uint64_t expected_version, void* out, ReadCallback done,
+                  const obs::SpanRef& span = {});
 
   // Primary-driven write (Fig. 5): version/view checks, local chunk write,
   // parallel REPLICATE to `backups`, commit on all-success or
   // majority-after-timeout; replies with the new version.
   void HandleWrite(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t view,
                    uint64_t version, const void* data, std::vector<ReplicaRef> backups,
-                   WriteCallback done);
+                   WriteCallback done, const obs::SpanRef& span = {});
 
   // Backup-side replication (also the per-replica leg of client-directed
   // tiny writes, §3.2): journal append in hybrid mode, direct write
-  // otherwise.
+  // otherwise. Parallel replica legs max-merge into the shared span.
   void HandleReplicate(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t view,
-                       uint64_t version, const void* data, WriteCallback done);
+                       uint64_t version, const void* data, WriteCallback done,
+                       const obs::SpanRef& span = {});
 
   // Initialization protocol: report {version, view} for a chunk.
   using StateCallback = std::function<void(const Status&, ReplicaState)>;
@@ -128,10 +134,15 @@ class ChunkServer {
   uint64_t writes_served() const { return writes_served_; }
   uint64_t replicates_served() const { return replicates_served_; }
 
+  // Publishes this server's op counters and inflight gauge under the label
+  // server=<id>. The registry must outlive this server.
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+
  private:
   // Writes through the journal manager when present, else the plain store.
+  // A non-null `span` receives the durable-write duration (kBackupJournal).
   void BackupWrite(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t version,
-                   const void* data, storage::IoCallback done);
+                   const void* data, storage::IoCallback done, const obs::SpanRef& span = {});
   void BackupRead(ChunkId chunk, uint64_t offset, uint64_t length, void* out,
                   storage::IoCallback done);
 

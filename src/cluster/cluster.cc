@@ -7,8 +7,9 @@
 namespace ursa::cluster {
 
 Cluster::Cluster(sim::Simulator* sim, const ClusterConfig& config)
-    : sim_(sim), config_(config) {
+    : sim_(sim), config_(config), tracer_(static_cast<uint32_t>(config.trace_sample_every)) {
   transport_ = std::make_unique<net::Transport>(sim);
+  transport_->RegisterMetrics(&metrics_);
 
   primary_pool_.resize(config.machines);
   backup_pool_.resize(config.machines);
@@ -38,6 +39,7 @@ Cluster::Cluster(sim::Simulator* sim, const ClusterConfig& config)
   master_ = std::make_unique<Master>(sim, transport_.get(),
                                      Placement(primary_pool_, backup_pool_), server_ptrs);
   master_->set_chunk_size(config.chunk_size);
+  master_->RegisterMetrics(&metrics_);
 
   // Servers resolve each other through the registry (replication fan-out).
   for (auto& s : servers_) {
@@ -62,6 +64,7 @@ ChunkServer* Cluster::MakeServer(Machine* machine, storage::ChunkStore* store,
   auto server = std::make_unique<ChunkServer>(sim_, transport_.get(), machine,
                                               static_cast<ServerId>(servers_.size()), store, jm,
                                               on_ssd, config_.server);
+  server->RegisterMetrics(&metrics_);
   servers_.push_back(std::move(server));
   return servers_.back().get();
 }
@@ -106,7 +109,10 @@ void Cluster::BuildHybridMachine(Machine* machine) {
         &hdd, config_.chunk_size, hdd_journal, hdd.capacity() - hdd_journal));
     storage::ChunkStore* backup_store = stores_.back().get();
 
-    auto jm = std::make_unique<journal::JournalManager>(sim_, backup_store, config_.journal);
+    journal::JournalManagerOptions jm_options = config_.journal;
+    jm_options.name = machine->name() + "/hdd" + std::to_string(k);
+    auto jm =
+        std::make_unique<journal::JournalManager>(sim_, backup_store, jm_options, &metrics_);
 
     int primary_ssd = k % nssd;
     if (config_.journal_primary_on_ssd) {

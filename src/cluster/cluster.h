@@ -19,6 +19,8 @@
 #include "src/cluster/machine.h"
 #include "src/cluster/master.h"
 #include "src/cluster/types.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 
 namespace ursa::cluster {
 
@@ -37,6 +39,9 @@ struct ClusterConfig {
   // instead of a co-located SSD (§3.2 argues SSD placement; this measures
   // what it buys).
   bool journal_primary_on_ssd = true;
+  // Request tracing: sample every Nth client I/O into a latency-breakdown
+  // span (0 = tracing off; 1 = every request). See obs::Tracer.
+  uint64_t trace_sample_every = 0;
 };
 
 class Cluster {
@@ -49,6 +54,8 @@ class Cluster {
 
   sim::Simulator* simulator() { return sim_; }
   net::Transport& transport() { return *transport_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::Tracer& tracer() { return tracer_; }
   Master& master() { return *master_; }
   Machine& machine(size_t i) { return *machines_[i]; }
   size_t num_machines() const { return machines_.size(); }
@@ -82,6 +89,10 @@ class Cluster {
 
   sim::Simulator* sim_;
   ClusterConfig config_;
+  // Declared before every component so the registry's callback closures
+  // (which reference components) are unregistered-by-destruction last.
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
   std::unique_ptr<net::Transport> transport_;
   std::vector<std::unique_ptr<Machine>> machines_;
   std::vector<std::unique_ptr<Machine>> client_machines_;

@@ -16,6 +16,28 @@ Master::Master(sim::Simulator* sim, net::Transport* transport, Placement placeme
       placement_(std::move(placement)),
       servers_(std::move(servers)) {}
 
+void Master::RegisterMetrics(obs::MetricsRegistry* registry) {
+  registry->RegisterCallbackCounter("master.chunks_recovered", {}, [this]() {
+    return static_cast<double>(recovery_stats_.chunks_recovered);
+  });
+  registry->RegisterCallbackCounter("master.recovery_bytes_transferred", {}, [this]() {
+    return static_cast<double>(recovery_stats_.bytes_transferred);
+  });
+  registry->RegisterCallbackCounter("master.incremental_repairs", {}, [this]() {
+    return static_cast<double>(recovery_stats_.incremental_repairs);
+  });
+  registry->RegisterCallbackCounter("master.full_copies", {}, [this]() {
+    return static_cast<double>(recovery_stats_.full_copies);
+  });
+  registry->RegisterCallbackCounter("master.view_changes", {}, [this]() {
+    return static_cast<double>(recovery_stats_.view_changes);
+  });
+  registry->RegisterCallbackGauge(
+      "master.disks", {}, [this]() { return static_cast<double>(disks_.size()); });
+  registry->RegisterCallbackGauge(
+      "master.chunks", {}, [this]() { return static_cast<double>(chunk_refs_.size()); });
+}
+
 Result<DiskId> Master::CreateDisk(const std::string& name, uint64_t size, int replication,
                                   int stripe_group) {
   if (size == 0 || replication < 1 || stripe_group < 1) {

@@ -93,6 +93,11 @@ class Master {
   void Restore(const Checkpoint& checkpoint);
 
   const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
+  // Publishes recovery counters and disk/chunk population gauges. The
+  // registry must outlive this master.
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+
   ChunkServer* server(ServerId id) const { return servers_[id]; }
   size_t num_servers() const { return servers_.size(); }
   const Placement& placement() const { return placement_; }

@@ -2,9 +2,46 @@
 
 namespace ursa {
 
-LogLevel Logger::level_ = LogLevel::kWarning;
+std::atomic<LogLevel> Logger::level_{LogLevel::kWarning};
+
+LogLevel ParseLogLevel(const std::string& name, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c);
+  }
+  if (lower == "debug" || lower == "0") {
+    return LogLevel::kDebug;
+  }
+  if (lower == "info" || lower == "1") {
+    return LogLevel::kInfo;
+  }
+  if (lower == "warning" || lower == "warn" || lower == "2") {
+    return LogLevel::kWarning;
+  }
+  if (lower == "error" || lower == "3") {
+    return LogLevel::kError;
+  }
+  if (lower == "fatal" || lower == "4") {
+    return LogLevel::kFatal;
+  }
+  return fallback;
+}
+
+void Logger::InitFromEnvironment() {
+  const char* env = std::getenv("URSA_LOG_LEVEL");
+  if (env != nullptr && *env != '\0') {
+    SetLevel(ParseLogLevel(env, level()));
+  }
+}
 
 namespace {
+
+// Applies URSA_LOG_LEVEL before main() runs.
+[[maybe_unused]] const bool g_env_initialized = []() {
+  Logger::InitFromEnvironment();
+  return true;
+}();
 const char* LevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:

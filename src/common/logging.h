@@ -6,6 +6,7 @@
 #ifndef URSA_COMMON_LOGGING_H_
 #define URSA_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -15,13 +16,23 @@ namespace ursa {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
+// Parses a level name ("debug", "INFO", "warn"/"warning", "error", "fatal",
+// or a bare digit "0".."4"), case-insensitively. Returns `fallback` for
+// anything unrecognized.
+LogLevel ParseLogLevel(const std::string& name, LogLevel fallback = LogLevel::kWarning);
+
 class Logger {
  public:
-  static LogLevel level() { return level_; }
-  static void SetLevel(LogLevel level) { level_ = level; }
+  static LogLevel level() { return level_.load(std::memory_order_relaxed); }
+  static void SetLevel(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+
+  // Applies the URSA_LOG_LEVEL environment variable (if set). Called once at
+  // startup from a static initializer; safe to call again after SetLevel to
+  // re-assert the environment.
+  static void InitFromEnvironment();
 
  private:
-  static LogLevel level_;
+  static std::atomic<LogLevel> level_;
 };
 
 // Accumulates one log line and emits it (with level prefix) on destruction.

@@ -2,9 +2,56 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 
+#include "src/obs/metrics_registry.h"
+
 namespace ursa::core {
+
+namespace {
+
+void WriteHistogramJson(std::ostream& os, const Histogram& h) {
+  os << "{\"count\":" << h.count();
+  if (h.count() > 0) {
+    os << ",\"mean\":" << h.Mean() << ",\"min\":" << h.min() << ",\"max\":" << h.max()
+       << ",\"p50\":" << h.Percentile(50) << ",\"p90\":" << h.Percentile(90)
+       << ",\"p99\":" << h.Percentile(99) << ",\"p999\":" << h.Percentile(99.9);
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void RunMetrics::WriteJson(std::ostream& os) const {
+  os << "{\"label\":";
+  obs::WriteJsonString(os, label);
+  os << ",\"seconds\":" << seconds << ",\"reads\":" << reads << ",\"writes\":" << writes
+     << ",\"read_bytes\":" << read_bytes << ",\"write_bytes\":" << write_bytes
+     << ",\"iops\":" << iops() << ",\"read_mbps\":" << read_mbps()
+     << ",\"write_mbps\":" << write_mbps() << ",\"server_cpu_busy_ns\":" << server_cpu_busy
+     << ",\"client_cpu_busy_ns\":" << client_cpu_busy << ",\"read_latency_us\":";
+  WriteHistogramJson(os, read_latency_us);
+  os << ",\"write_latency_us\":";
+  WriteHistogramJson(os, write_latency_us);
+  os << "}";
+}
+
+std::string MetricsJsonPath(int argc, char** argv) {
+  const char* kFlag = "--metrics-json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      const char* rest = argv[i] + std::strlen(kFlag);
+      if (*rest == '=') {
+        return rest + 1;
+      }
+      if (*rest == '\0' && i + 1 < argc) {
+        return argv[i + 1];
+      }
+    }
+  }
+  return "";
+}
 
 double RunMetrics::ClientIopsPerCore() const {
   double busy_cores = seconds > 0 ? ToSec(client_cpu_busy) / seconds : 0;

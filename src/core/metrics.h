@@ -2,6 +2,7 @@
 #ifndef URSA_CORE_METRICS_H_
 #define URSA_CORE_METRICS_H_
 
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -35,7 +36,15 @@ struct RunMetrics {
   // IOPS per busy core (Fig. 7's efficiency metric).
   double ClientIopsPerCore() const;
   double ServerIopsPerCore() const;
+
+  // One JSON object: label, window, op/byte counts, latency percentiles.
+  void WriteJson(std::ostream& os) const;
 };
+
+// Returns the value of a `--metrics-json=<path>` (or `--metrics-json <path>`)
+// command-line argument, or "" when absent. Benchmarks pass argc/argv through
+// so runs can archive a machine-readable metrics artifact.
+std::string MetricsJsonPath(int argc, char** argv);
 
 // Fixed-width console table writer, so every bench prints uniform rows.
 class Table {

@@ -1,6 +1,7 @@
 #include "src/core/system.h"
 
 #include <algorithm>
+#include <fstream>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -133,7 +134,55 @@ TestBed::TestBed(const SystemProfile& profile) : profile_(profile) {
   cluster_ = std::make_unique<cluster::Cluster>(&sim_, profile.cluster);
 }
 
-TestBed::~TestBed() = default;
+TestBed::~TestBed() {
+  // The sampler's tick closures reference the cluster's registry; stop them
+  // before the cluster goes away.
+  if (sampler_ != nullptr) {
+    sampler_->Stop();
+  }
+}
+
+void TestBed::EnableSampling(Nanos interval) {
+  if (sampler_ != nullptr) {
+    sampler_->Stop();
+  }
+  sampler_ = std::make_unique<obs::StatsSampler>(&sim_, &cluster_->metrics(), interval);
+  sampler_->Start();
+}
+
+void TestBed::StopSampling() {
+  if (sampler_ != nullptr) {
+    sampler_->Stop();
+  }
+}
+
+void TestBed::DumpMetricsJson(const std::string& path) {
+  if (path.empty()) {
+    return;
+  }
+  std::ofstream os(path);
+  if (!os) {
+    URSA_LOG(ERROR) << "cannot open metrics JSON path " << path;
+    return;
+  }
+  os << "{\"metrics\":";
+  cluster_->metrics().WriteJson(os);
+  os << ",\"trace\":";
+  cluster_->tracer().WriteJson(os);
+  if (sampler_ != nullptr) {
+    os << ",\"samples\":";
+    sampler_->WriteJson(os);
+  }
+  os << ",\"runs\":[";
+  for (size_t i = 0; i < run_history_.size(); ++i) {
+    if (i > 0) {
+      os << ",";
+    }
+    run_history_[i].WriteJson(os);
+  }
+  os << "]}\n";
+  URSA_LOG(INFO) << "metrics JSON written to " << path;
+}
 
 client::VirtualDisk* TestBed::NewDisk(uint64_t size, int replication, int stripe_group) {
   return NewDiskOn(cluster_->AddClientMachine(), size, replication, stripe_group);
@@ -178,6 +227,7 @@ RunMetrics TestBed::Collect(const std::vector<std::unique_ptr<Driver>>& drivers,
   for (size_t m = 0; m < cluster_->num_machines(); ++m) {
     out.server_cpu_busy += cluster_->machine(m).cpu().busy_time();
   }
+  run_history_.push_back(out);
   return out;
 }
 

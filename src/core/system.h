@@ -13,6 +13,7 @@
 #include "src/cluster/cluster.h"
 #include "src/core/metrics.h"
 #include "src/core/params.h"
+#include "src/obs/stats_sampler.h"
 #include "src/trace/trace.h"
 
 namespace ursa::core {
@@ -35,6 +36,28 @@ class TestBed {
   sim::Simulator& sim() { return sim_; }
   cluster::Cluster& cluster() { return *cluster_; }
   const SystemProfile& profile() const { return profile_; }
+  obs::MetricsRegistry& metrics() { return cluster_->metrics(); }
+  obs::Tracer& tracer() { return cluster_->tracer(); }
+
+  // ---- Observability (see DESIGN.md "Observability") ----
+
+  // Samples every Nth client I/O into a latency-breakdown span (0 disables).
+  // Takes effect for requests issued after the call.
+  void EnableTracing(uint32_t sample_every) { cluster_->tracer().set_sample_every(sample_every); }
+
+  // Starts periodic sampling of the registry into time series. Call before
+  // the measured window; the sampler keeps ticking until StopSampling().
+  void EnableSampling(Nanos interval);
+  void StopSampling();
+  const obs::StatsSampler* sampler() const { return sampler_.get(); }
+
+  // Measured windows in Run* call order (for the JSON artifact).
+  const std::vector<RunMetrics>& run_history() const { return run_history_; }
+
+  // Writes one JSON artifact: registry snapshot, trace breakdowns, sampler
+  // time series (when enabled) and the run history. Empty path = no-op, so
+  // benches can pass MetricsJsonPath(argc, argv) through unconditionally.
+  void DumpMetricsJson(const std::string& path);
 
   // Creates a virtual disk and opens it from a fresh client hosted on a
   // dedicated (diskless) machine. The returned disk is owned by the TestBed.
@@ -72,7 +95,9 @@ class TestBed {
                               // measurement windows do not replay identical
                               // offset sequences
   std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<obs::StatsSampler> sampler_;
   std::vector<std::unique_ptr<client::VirtualDisk>> disks_;
+  std::vector<RunMetrics> run_history_;
   cluster::ClientId next_client_id_ = 1;
 };
 

@@ -29,8 +29,68 @@ struct Joiner {
 }  // namespace
 
 JournalManager::JournalManager(sim::Simulator* sim, storage::ChunkStore* backup_store,
-                               const JournalManagerOptions& options)
-    : sim_(sim), backup_store_(backup_store), options_(options) {}
+                               const JournalManagerOptions& options,
+                               obs::MetricsRegistry* registry)
+    : sim_(sim), backup_store_(backup_store), options_(options) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  obs::Labels labels;
+  if (!options_.name.empty()) {
+    labels.emplace_back("journal", options_.name);
+  }
+  journaled_writes_ = registry->GetCounter("journal.journaled_writes", labels);
+  bypassed_writes_ = registry->GetCounter("journal.bypassed_writes", labels);
+  direct_fallback_writes_ = registry->GetCounter("journal.direct_fallback_writes", labels);
+  replayed_records_ = registry->GetCounter("journal.replayed_records", labels);
+  merged_records_ = registry->GetCounter("journal.merged_records", labels);
+  replayed_bytes_ = registry->GetCounter("journal.replayed_bytes", labels);
+  expansions_ = registry->GetCounter("journal.expansions", labels);
+  registry->RegisterCallbackGauge("journal.backlog_bytes", labels,
+                                  [this]() { return static_cast<double>(BacklogBytes()); });
+  registry->RegisterCallbackGauge("journal.pending_records", labels,
+                                  [this]() { return static_cast<double>(PendingRecords()); });
+  registry->RegisterCallbackGauge("journal.index_segments", labels,
+                                  [this]() { return static_cast<double>(IndexSegments()); });
+}
+
+const JournalStats& JournalManager::stats() const {
+  stats_cache_.journaled_writes = journaled_writes_->value();
+  stats_cache_.bypassed_writes = bypassed_writes_->value();
+  stats_cache_.direct_fallback_writes = direct_fallback_writes_->value();
+  stats_cache_.replayed_records = replayed_records_->value();
+  stats_cache_.merged_records = merged_records_->value();
+  stats_cache_.replayed_bytes = replayed_bytes_->value();
+  stats_cache_.expansions = expansions_->value();
+  return stats_cache_;
+}
+
+uint64_t JournalManager::BacklogBytes() const {
+  uint64_t total = 0;
+  for (const JournalSlot& slot : journals_) {
+    for (const AppendedRecord& rec : slot.writer->pending()) {
+      total += rec.length;
+    }
+  }
+  return total;
+}
+
+uint64_t JournalManager::PendingRecords() const {
+  uint64_t total = 0;
+  for (const JournalSlot& slot : journals_) {
+    total += slot.writer->pending().size();
+  }
+  return total;
+}
+
+uint64_t JournalManager::IndexSegments() const {
+  uint64_t total = 0;
+  for (const auto& [chunk, index] : indexes_) {
+    total += index.QueryMapped(0, index::kMaxOffset).size();
+  }
+  return total;
+}
 
 void JournalManager::AddJournal(std::unique_ptr<JournalWriter> writer, bool on_hdd) {
   URSA_CHECK_LT(journals_.size() * kWindowSectors, index::kMaxJOffset)
@@ -47,10 +107,22 @@ index::RangeIndex& JournalManager::IndexFor(storage::ChunkId chunk) {
 }
 
 void JournalManager::Write(storage::ChunkId chunk, uint64_t offset, uint64_t length,
-                           uint64_t version, const void* data, storage::IoCallback done) {
+                           uint64_t version, const void* data, storage::IoCallback done,
+                           const obs::SpanRef& span) {
   URSA_CHECK_EQ(offset % kSector, 0u);
   URSA_CHECK_EQ(length % kSector, 0u);
   URSA_CHECK_GT(length, 0u);
+
+  if (span != nullptr) {
+    // Stamp the durable-append (or fallback HDD write) duration; the replica
+    // legs run in parallel so the tracer max-merges this with the primary's
+    // storage stage.
+    Nanos entered = sim_->Now();
+    done = [this, span, entered, done = std::move(done)](const Status& s) {
+      span->RecordStage(obs::Stage::kBackupJournal, sim_->Now() - entered);
+      done(s);
+    };
+  }
 
   if (length > options_.bypass_threshold || journals_.empty()) {
     // Journal bypass (§3.2): large sequential writes go straight to the HDD;
@@ -60,7 +132,7 @@ void JournalManager::Write(storage::ChunkId chunk, uint64_t offset, uint64_t len
     // acks only when both the HDD write and the marker are durable.
     IndexFor(chunk).EraseRange(static_cast<uint32_t>(offset / kSector),
                                static_cast<uint32_t>(length / kSector));
-    ++stats_.bypassed_writes;
+    bypassed_writes_->Increment();
     bool need_marker = false;
     for (size_t k = 0; k < journals_.size() && !need_marker; ++k) {
       need_marker = journals_[k].writer->appended_records() > 0;
@@ -104,11 +176,11 @@ void JournalManager::Write(storage::ChunkId chunk, uint64_t offset, uint64_t len
         std::move(done));
     URSA_CHECK(j_off.ok());  // CanFit guaranteed space
     if (k > active_) {
-      ++stats_.expansions;
+      expansions_->Increment();
       URSA_LOG(INFO) << "journal expansion to " << journals_[k].writer->name();
     }
     active_ = k;
-    ++stats_.journaled_writes;
+    journaled_writes_->Increment();
     IndexFor(chunk).Insert(static_cast<uint32_t>(offset / kSector),
                            static_cast<uint32_t>(length / kSector), ToJSector(k, *j_off));
     Kick();
@@ -116,7 +188,7 @@ void JournalManager::Write(storage::ChunkId chunk, uint64_t offset, uint64_t len
   }
 
   // Every journal is full: fall back to a direct backup write.
-  ++stats_.direct_fallback_writes;
+  direct_fallback_writes_->Increment();
   IndexFor(chunk).EraseRange(static_cast<uint32_t>(offset / kSector),
                              static_cast<uint32_t>(length / kSector));
   backup_store_->Write(chunk, offset, length, data, std::move(done));
@@ -328,7 +400,7 @@ void JournalManager::ReplayOne(size_t idx, size_t record_pos, std::function<void
     }
   }
   if (live.empty()) {
-    ++stats_.merged_records;
+    merged_records_->Increment();
     // Consume asynchronously so a wave of fully-merged records cannot
     // re-enter the writer's deque state machine synchronously.
     sim_->After(0, std::move(done));
@@ -356,9 +428,9 @@ void JournalManager::ReplayOne(size_t idx, size_t record_pos, std::function<void
               [this, chunk, seg, seg_bytes, buf, remaining, done](const Status& s2) {
                 URSA_CHECK(s2.ok()) << "backup write failed during replay: " << s2.ToString();
                 IndexFor(chunk).EraseIfMapsTo(seg.offset, seg.length, seg.j_offset);
-                stats_.replayed_bytes += seg_bytes;
+                replayed_bytes_->Add(seg_bytes);
                 if (--*remaining == 0) {
-                  ++stats_.replayed_records;
+                  replayed_records_->Increment();
                   done();
                 }
               });

@@ -25,6 +25,8 @@
 #include "src/common/units.h"
 #include "src/index/range_index.h"
 #include "src/journal/journal_writer.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 #include "src/storage/chunk_store.h"
 
@@ -35,8 +37,11 @@ struct JournalManagerOptions {
   size_t replay_batch = 8;                // records merged per replay wave
   Nanos replay_poll_interval = usec(200);  // idle-poll period for HDD journals
   size_t index_merge_threshold = 8192;     // RangeIndex level-0 size trigger
+  std::string name;  // metrics label ("journal=<name>"); empty = unlabeled
 };
 
+// Read-back view of the manager's registry counters (see stats()). Kept as a
+// plain struct so existing call sites compare fields directly.
 struct JournalStats {
   uint64_t journaled_writes = 0;
   uint64_t bypassed_writes = 0;
@@ -49,17 +54,22 @@ struct JournalStats {
 
 class JournalManager {
  public:
+  // `registry` receives this manager's counters and backlog gauges; when
+  // null the manager keeps a private registry so standalone instances (unit
+  // tests) still count. The registry must outlive the manager.
   JournalManager(sim::Simulator* sim, storage::ChunkStore* backup_store,
-                 const JournalManagerOptions& options = {});
+                 const JournalManagerOptions& options = {},
+                 obs::MetricsRegistry* registry = nullptr);
 
   // Registers a journal in preference order (primary SSD journal first). An
   // `on_hdd` journal is replayed only when its device is otherwise idle.
   void AddJournal(std::unique_ptr<JournalWriter> writer, bool on_hdd);
 
   // Backup write: journal append, bypass, or direct fallback. `done` runs
-  // when the write is durable on the journal or the HDD respectively.
+  // when the write is durable on the journal or the HDD respectively. A
+  // non-null `span` gets the durable-append duration under kBackupJournal.
   void Write(storage::ChunkId chunk, uint64_t offset, uint64_t length, uint64_t version,
-             const void* data, storage::IoCallback done);
+             const void* data, storage::IoCallback done, const obs::SpanRef& span = {});
 
   // Reads the newest backup data: journal overlays the HDD chunk store.
   // Needed when a backup serves as temporary primary (§4.2.1) and during
@@ -81,7 +91,16 @@ class JournalManager {
   // True when every journal has been fully merged into the HDD.
   bool ReplayDrained() const;
 
-  const JournalStats& stats() const { return stats_; }
+  // Thin shim over the registry counters (refreshed on each call), preserved
+  // for callers that predate the metrics registry.
+  const JournalStats& stats() const;
+
+  // Total bytes of appended-but-not-yet-replayed journal data (replay lag).
+  uint64_t BacklogBytes() const;
+  // Records awaiting replay across every journal.
+  uint64_t PendingRecords() const;
+  // Live journal-index segments across all chunks (the §3.3 index footprint).
+  uint64_t IndexSegments() const;
   size_t num_journals() const { return journals_.size(); }
   size_t active_journal() const { return active_; }
   const JournalWriter& journal(size_t i) const { return *journals_[i].writer; }
@@ -123,7 +142,19 @@ class JournalManager {
   std::vector<JournalSlot> journals_;
   size_t active_ = 0;
   std::map<storage::ChunkId, index::RangeIndex> indexes_;
-  JournalStats stats_;
+
+  // Registry-backed counters (owned_registry_ backs them when the caller
+  // provided none); stats_cache_ is the stats() read-back shim.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::Counter* journaled_writes_;
+  obs::Counter* bypassed_writes_;
+  obs::Counter* direct_fallback_writes_;
+  obs::Counter* replayed_records_;
+  obs::Counter* merged_records_;
+  obs::Counter* replayed_bytes_;
+  obs::Counter* expansions_;
+  mutable JournalStats stats_cache_;
+
   bool replay_running_ = false;
   bool replay_wave_inflight_ = false;
   bool tick_scheduled_ = false;

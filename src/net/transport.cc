@@ -54,6 +54,50 @@ void Transport::SetLinkBroken(NodeId a, NodeId b, bool broken) {
   }
 }
 
+void Transport::Send(NodeId from, NodeId to, uint64_t payload_bytes, sim::EventFn deliver,
+                     const obs::SpanRef& span, obs::Stage stage) {
+  if (span == nullptr) {
+    Send(from, to, payload_bytes, std::move(deliver));
+    return;
+  }
+  Nanos sent = sim_->Now();
+  Send(from, to, payload_bytes,
+       [this, span, stage, sent, deliver = std::move(deliver)]() mutable {
+         span->RecordStage(stage, sim_->Now() - sent);
+         deliver();
+       });
+}
+
+void Transport::RegisterMetrics(obs::MetricsRegistry* registry) {
+  registry->RegisterCallbackCounter("net.messages_delivered", {},
+                                    [this]() { return static_cast<double>(messages_delivered_); });
+  registry->RegisterCallbackCounter("net.bytes_sent", {}, [this]() {
+    uint64_t total = 0;
+    for (const auto& node : nodes_) {
+      total += node->bytes_out;
+    }
+    return static_cast<double>(total);
+  });
+  registry->RegisterCallbackGauge("net.egress_queue_depth", {}, [this]() {
+    size_t depth = 0;
+    for (const auto& node : nodes_) {
+      for (const auto& nic : node->egress) {
+        depth += nic->queue_depth();
+      }
+    }
+    return static_cast<double>(depth);
+  });
+  registry->RegisterCallbackGauge("net.ingress_queue_depth", {}, [this]() {
+    size_t depth = 0;
+    for (const auto& node : nodes_) {
+      for (const auto& nic : node->ingress) {
+        depth += nic->queue_depth();
+      }
+    }
+    return static_cast<double>(depth);
+  });
+}
+
 void Transport::Send(NodeId from, NodeId to, uint64_t payload_bytes, sim::EventFn deliver) {
   URSA_CHECK_LT(from, nodes_.size());
   URSA_CHECK_LT(to, nodes_.size());

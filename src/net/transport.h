@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "src/common/units.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 #include "src/sim/resource.h"
 #include "src/sim/simulator.h"
 
@@ -47,6 +49,17 @@ class Transport {
   // the destination once the message has fully arrived. Loopback (from == to)
   // skips the NICs and costs a small fixed delay.
   void Send(NodeId from, NodeId to, uint64_t payload_bytes, sim::EventFn deliver);
+
+  // Traced variant: stamps the wire time (send call to delivery, covering
+  // egress queue + serialization + propagation + ingress) into `span` under
+  // `stage`. A null span degrades to the untraced Send.
+  void Send(NodeId from, NodeId to, uint64_t payload_bytes, sim::EventFn deliver,
+            const obs::SpanRef& span, obs::Stage stage);
+
+  // Registers transport-wide metrics (message/byte counters, NIC queue
+  // depths) with `registry`. Call once after construction; the registry must
+  // outlive this transport.
+  void RegisterMetrics(obs::MetricsRegistry* registry);
 
   // Marks a node unreachable: messages to/from it are silently dropped
   // (their deliver closures never run) — models machine/network failure.

@@ -1,0 +1,254 @@
+#include "src/obs/metrics_registry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace ursa::obs {
+
+namespace {
+
+std::string LabelsSuffix(const Labels& labels) {
+  if (labels.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += labels[i].first + "=" + labels[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+const char* KindName(MetricsRegistry::Kind kind) {
+  switch (kind) {
+    case MetricsRegistry::Kind::kCounter:
+    case MetricsRegistry::Kind::kCallbackCounter:
+      return "counter";
+    case MetricsRegistry::Kind::kGauge:
+    case MetricsRegistry::Kind::kCallbackGauge:
+      return "gauge";
+    case MetricsRegistry::Kind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+// Formats doubles compactly: integers without a fraction, else 3 decimals.
+std::string FormatValue(double v) {
+  char buf[64];
+  if (std::nearbyint(v) == v && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+void WriteJsonString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+std::string MetricsRegistry::Sample::Key() const { return MakeKey(name, labels); }
+
+std::string MetricsRegistry::MakeKey(const std::string& name, const Labels& labels) {
+  return name + LabelsSuffix(labels);
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrNull(const std::string& key) {
+  auto it = by_key_.find(key);
+  return it == by_key_.end() ? nullptr : entries_[it->second].get();
+}
+
+MetricsRegistry::Entry* MetricsRegistry::Add(const std::string& name, Labels labels, Kind kind) {
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = std::move(labels);
+  entry->kind = kind;
+  by_key_[MakeKey(name, entry->labels)] = entries_.size();
+  entries_.push_back(std::move(entry));
+  return entries_.back().get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, Labels labels) {
+  Entry* e = FindOrNull(MakeKey(name, labels));
+  if (e == nullptr) {
+    e = Add(name, std::move(labels), Kind::kCounter);
+    e->counter = std::make_unique<Counter>();
+  }
+  URSA_CHECK(e->kind == Kind::kCounter) << "metric " << name << " registered with another kind";
+  return e->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, Labels labels) {
+  Entry* e = FindOrNull(MakeKey(name, labels));
+  if (e == nullptr) {
+    e = Add(name, std::move(labels), Kind::kGauge);
+    e->gauge = std::make_unique<Gauge>();
+  }
+  URSA_CHECK(e->kind == Kind::kGauge) << "metric " << name << " registered with another kind";
+  return e->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name, Labels labels) {
+  Entry* e = FindOrNull(MakeKey(name, labels));
+  if (e == nullptr) {
+    e = Add(name, std::move(labels), Kind::kHistogram);
+    e->owned_hist = std::make_unique<Histogram>();
+  }
+  URSA_CHECK(e->kind == Kind::kHistogram && e->owned_hist != nullptr)
+      << "metric " << name << " registered with another kind";
+  return e->owned_hist.get();
+}
+
+void MetricsRegistry::RegisterCallbackCounter(const std::string& name, Labels labels,
+                                              ValueFn fn) {
+  Entry* e = FindOrNull(MakeKey(name, labels));
+  if (e == nullptr) {
+    e = Add(name, std::move(labels), Kind::kCallbackCounter);
+  }
+  e->fn = std::move(fn);
+}
+
+void MetricsRegistry::RegisterCallbackGauge(const std::string& name, Labels labels, ValueFn fn) {
+  Entry* e = FindOrNull(MakeKey(name, labels));
+  if (e == nullptr) {
+    e = Add(name, std::move(labels), Kind::kCallbackGauge);
+  }
+  e->fn = std::move(fn);
+}
+
+void MetricsRegistry::RegisterHistogram(const std::string& name, Labels labels,
+                                        const Histogram* hist) {
+  Entry* e = FindOrNull(MakeKey(name, labels));
+  if (e == nullptr) {
+    e = Add(name, std::move(labels), Kind::kHistogram);
+  }
+  e->external_hist = hist;
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
+  std::vector<Sample> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    Sample s;
+    s.name = e->name;
+    s.labels = e->labels;
+    s.kind = e->kind;
+    switch (e->kind) {
+      case Kind::kCounter:
+        s.value = static_cast<double>(e->counter->value());
+        break;
+      case Kind::kGauge:
+        s.value = static_cast<double>(e->gauge->value());
+        break;
+      case Kind::kCallbackCounter:
+      case Kind::kCallbackGauge:
+        s.value = e->fn ? e->fn() : 0;
+        break;
+      case Kind::kHistogram:
+        s.hist = e->external_hist != nullptr ? e->external_hist : e->owned_hist.get();
+        s.value = s.hist != nullptr ? static_cast<double>(s.hist->count()) : 0;
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToTable() const {
+  std::ostringstream os;
+  size_t width = 12;
+  std::vector<Sample> samples = Snapshot();
+  for (const Sample& s : samples) {
+    width = std::max(width, s.Key().size());
+  }
+  for (const Sample& s : samples) {
+    std::string key = s.Key();
+    os << key << std::string(width - key.size() + 2, ' ');
+    if (s.kind == Kind::kHistogram) {
+      os << (s.hist != nullptr ? s.hist->Summary("") : "(unset)");
+    } else {
+      os << FormatValue(s.value) << "  (" << KindName(s.kind) << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  std::vector<Sample> samples = Snapshot();
+  os << "{";
+  const char* section_names[] = {"counters", "gauges", "histograms"};
+  for (int section = 0; section < 3; ++section) {
+    if (section > 0) {
+      os << ",";
+    }
+    WriteJsonString(os, section_names[section]);
+    os << ":{";
+    bool first = true;
+    for (const Sample& s : samples) {
+      bool is_counter = s.kind == Kind::kCounter || s.kind == Kind::kCallbackCounter;
+      bool is_gauge = s.kind == Kind::kGauge || s.kind == Kind::kCallbackGauge;
+      bool is_hist = s.kind == Kind::kHistogram;
+      if ((section == 0 && !is_counter) || (section == 1 && !is_gauge) ||
+          (section == 2 && !is_hist)) {
+        continue;
+      }
+      if (!first) {
+        os << ",";
+      }
+      first = false;
+      WriteJsonString(os, s.Key());
+      os << ":";
+      if (is_hist) {
+        const Histogram* h = s.hist;
+        os << "{\"count\":" << (h != nullptr ? h->count() : 0);
+        if (h != nullptr && h->count() > 0) {
+          os << ",\"mean\":" << h->Mean() << ",\"min\":" << h->min() << ",\"max\":" << h->max()
+             << ",\"p50\":" << h->Percentile(50) << ",\"p90\":" << h->Percentile(90)
+             << ",\"p99\":" << h->Percentile(99) << ",\"p999\":" << h->Percentile(99.9);
+        }
+        os << "}";
+      } else {
+        os << FormatValue(s.value);
+      }
+    }
+    os << "}";
+  }
+  os << "}";
+}
+
+}  // namespace ursa::obs

@@ -1,0 +1,133 @@
+// Unified metrics registry: named, labeled counters / gauges / histograms
+// that components register at construction and exporters read at the end of a
+// run (text table, JSON) or periodically (StatsSampler time series).
+//
+// Design points:
+//   * Metric cells are owned by the registry and never move once created, so
+//     components cache raw pointers and the hot path is a single increment —
+//     no lookup, no lock (the simulator is single-threaded).
+//   * Callback metrics (RegisterCallbackGauge / RegisterCallbackCounter)
+//     evaluate a closure at snapshot time; components expose derived values
+//     (queue depths, backlog bytes, index sizes) without double bookkeeping.
+//   * External histograms (RegisterHistogram) let a component keep its
+//     existing Histogram member while making it visible to the exporters.
+//
+// Naming scheme (see DESIGN.md "Observability"): dotted lowercase paths,
+// `<subsystem>.<metric>`, e.g. "journal.backlog_bytes"; instance identity
+// goes into labels, e.g. {server=3} or {journal=m0/hdd1}, never the name.
+#ifndef URSA_OBS_METRICS_REGISTRY_H_
+#define URSA_OBS_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/histogram.h"
+
+namespace ursa::obs {
+
+// Ordered label set; kept tiny (1-2 entries) so a flat vector beats a map.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment() { ++value_; }
+  void Add(uint64_t n) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Point-in-time level (queue depth, bytes in flight, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_ = v; }
+  void Add(int64_t n) { value_ += n; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  enum class Kind { kCounter, kGauge, kCallbackCounter, kCallbackGauge, kHistogram };
+
+  using ValueFn = std::function<double()>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Get-or-create. Returned pointers stay valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name, Labels labels = {});
+  Gauge* GetGauge(const std::string& name, Labels labels = {});
+  Histogram* GetHistogram(const std::string& name, Labels labels = {});
+
+  // Callback metrics: `fn` is evaluated at every Snapshot(). A callback
+  // counter is treated as monotone by the sampler (exported as a rate).
+  void RegisterCallbackCounter(const std::string& name, Labels labels, ValueFn fn);
+  void RegisterCallbackGauge(const std::string& name, Labels labels, ValueFn fn);
+
+  // Registers a view of an externally-owned histogram (must outlive the
+  // registry or be removed by destroying the owning component first — in
+  // practice components are destroyed before the registry that outlives the
+  // run). Re-registering the same name+labels replaces the pointer.
+  void RegisterHistogram(const std::string& name, Labels labels, const Histogram* hist);
+
+  // One exported value (or histogram) at snapshot time.
+  struct Sample {
+    std::string name;
+    Labels labels;
+    Kind kind = Kind::kCounter;
+    double value = 0;               // counters/gauges (and histogram count)
+    const Histogram* hist = nullptr;  // set for Kind::kHistogram
+
+    std::string Key() const;  // "name{k=v,...}" — stable series identity
+  };
+
+  // Evaluates callbacks and returns every metric in registration order.
+  std::vector<Sample> Snapshot() const;
+
+  // Fixed-width text table of every metric (histograms as one-line summary).
+  std::string ToTable() const;
+
+  // JSON object: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  // Histograms export count/mean/min/max plus p50/p90/p99/p999.
+  void WriteJson(std::ostream& os) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> owned_hist;
+    const Histogram* external_hist = nullptr;
+    ValueFn fn;
+  };
+
+  static std::string MakeKey(const std::string& name, const Labels& labels);
+  Entry* FindOrNull(const std::string& key);
+  Entry* Add(const std::string& name, Labels labels, Kind kind);
+
+  std::vector<std::unique_ptr<Entry>> entries_;  // registration order
+  std::map<std::string, size_t> by_key_;
+};
+
+// Writes a JSON-escaped string literal (with surrounding quotes).
+void WriteJsonString(std::ostream& os, const std::string& s);
+
+}  // namespace ursa::obs
+
+#endif  // URSA_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,104 @@
+#include "src/obs/stats_sampler.h"
+
+#include "src/common/logging.h"
+
+namespace ursa::obs {
+
+StatsSampler::StatsSampler(sim::Simulator* sim, MetricsRegistry* registry, Nanos interval,
+                           size_t max_points)
+    : sim_(sim), registry_(registry), interval_(interval), max_points_(max_points) {
+  URSA_CHECK_GT(interval, 0);
+}
+
+void StatsSampler::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  ++epoch_;
+  // Take an immediate baseline snapshot so the first interval has a delta.
+  Tick();
+}
+
+void StatsSampler::Stop() {
+  running_ = false;
+  ++epoch_;  // orphan the scheduled tick
+  have_prev_ = false;
+}
+
+void StatsSampler::Tick() {
+  if (!running_) {
+    return;
+  }
+  Nanos now = sim_->Now();
+  std::vector<MetricsRegistry::Sample> snapshot = registry_->Snapshot();
+  for (const MetricsRegistry::Sample& s : snapshot) {
+    bool is_counter = s.kind == MetricsRegistry::Kind::kCounter ||
+                      s.kind == MetricsRegistry::Kind::kCallbackCounter;
+    bool is_gauge = s.kind == MetricsRegistry::Kind::kGauge ||
+                    s.kind == MetricsRegistry::Kind::kCallbackGauge;
+    // Histograms are sampled by cumulative count (a counter → ops/s rate).
+    double value = s.value;
+    std::string key = s.Key();
+    if (is_counter || s.kind == MetricsRegistry::Kind::kHistogram) {
+      double prev = 0;
+      auto it = prev_counters_.find(key);
+      if (it != prev_counters_.end()) {
+        prev = it->second;
+      }
+      prev_counters_[key] = value;
+      if (!have_prev_ || now <= prev_time_) {
+        continue;  // baseline sample: no interval to rate over
+      }
+      value = (value - prev) / ToSec(now - prev_time_);
+    } else if (!is_gauge) {
+      continue;
+    }
+    auto idx = series_index_.find(key);
+    if (idx == series_index_.end()) {
+      idx = series_index_.emplace(key, series_.size()).first;
+      series_.push_back(Series{key, is_counter || s.kind == MetricsRegistry::Kind::kHistogram,
+                               {}});
+    }
+    if (total_points_ < max_points_) {
+      series_[idx->second].points.push_back(Point{now, value});
+      ++total_points_;
+    }
+  }
+  prev_time_ = now;
+  have_prev_ = true;
+
+  uint64_t epoch = epoch_;
+  sim_->After(interval_, [this, epoch]() {
+    if (epoch == epoch_) {
+      Tick();
+    }
+  });
+}
+
+void StatsSampler::WriteJson(std::ostream& os) const {
+  os << "{\"interval_ns\":" << interval_ << ",\"series\":[";
+  bool first = true;
+  for (const Series& s : series_) {
+    if (s.points.empty()) {
+      continue;
+    }
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "{\"key\":";
+    WriteJsonString(os, s.key);
+    os << ",\"rate\":" << (s.is_rate ? "true" : "false") << ",\"points\":[";
+    for (size_t i = 0; i < s.points.size(); ++i) {
+      if (i > 0) {
+        os << ",";
+      }
+      os << "[" << s.points[i].t << "," << s.points[i].value << "]";
+    }
+    os << "]}";
+  }
+  os << "]}";
+}
+
+}  // namespace ursa::obs

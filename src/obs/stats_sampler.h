@@ -1,0 +1,73 @@
+// Sim-driven periodic sampler: turns registry counters into rate time series
+// (IOPS, bytes/s) and gauges into level time series (journal backlog, queue
+// depths), for Fig.-over-time style plots and the JSON metrics artifact.
+//
+// The sampler reschedules itself on the simulator while running, so it keeps
+// the event queue non-empty; benchmarks Start() it around measured windows
+// and Stop() it before draining, or simply rely on RunUntil-style loops that
+// terminate on time rather than queue exhaustion.
+#ifndef URSA_OBS_STATS_SAMPLER_H_
+#define URSA_OBS_STATS_SAMPLER_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics_registry.h"
+#include "src/sim/simulator.h"
+
+namespace ursa::obs {
+
+class StatsSampler {
+ public:
+  struct Point {
+    Nanos t = 0;
+    double value = 0;
+  };
+
+  struct Series {
+    std::string key;    // metric Key(): "name{labels}"
+    bool is_rate = false;  // counters exported as per-second rates
+    std::vector<Point> points;
+  };
+
+  // Caps total stored points across all series; sampling stops recording
+  // (but keeps ticking) once reached, so a forgotten sampler cannot eat the
+  // heap on a long run.
+  StatsSampler(sim::Simulator* sim, MetricsRegistry* registry, Nanos interval,
+               size_t max_points = 1 << 20);
+
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+  Nanos interval() const { return interval_; }
+
+  const std::vector<Series>& series() const { return series_; }
+
+  // {"interval_ns": ..., "series": [{"key": ..., "rate": bool,
+  //  "points": [[t_ns, value], ...]}, ...]}
+  void WriteJson(std::ostream& os) const;
+
+ private:
+  void Tick();
+
+  sim::Simulator* sim_;
+  MetricsRegistry* registry_;
+  Nanos interval_;
+  size_t max_points_;
+  size_t total_points_ = 0;
+  bool running_ = false;
+  uint64_t epoch_ = 0;  // invalidates in-flight ticks across Stop/Start
+
+  std::map<std::string, size_t> series_index_;
+  std::vector<Series> series_;
+  // Previous counter snapshot (by key) for rate computation.
+  std::map<std::string, double> prev_counters_;
+  Nanos prev_time_ = 0;
+  bool have_prev_ = false;
+};
+
+}  // namespace ursa::obs
+
+#endif  // URSA_OBS_STATS_SAMPLER_H_

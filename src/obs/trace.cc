@@ -1,0 +1,177 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/obs/metrics_registry.h"
+
+namespace ursa::obs {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kVmm:
+      return "vmm";
+    case Stage::kClientIssue:
+      return "client_issue";
+    case Stage::kNetRequest:
+      return "net_request";
+    case Stage::kServerCpu:
+      return "server_cpu";
+    case Stage::kPrimaryStorage:
+      return "primary_storage";
+    case Stage::kBackupJournal:
+      return "backup_journal";
+    case Stage::kNetReply:
+      return "net_reply";
+    case Stage::kClientComplete:
+      return "client_complete";
+  }
+  return "?";
+}
+
+namespace {
+
+// The device-side stages run in parallel on the replicated write path, so
+// critical-path sums take the larger of the two.
+double DeviceMedianUs(const StageBreakdown& b) {
+  double primary =
+      static_cast<double>(b.stage_us[static_cast<int>(Stage::kPrimaryStorage)].Percentile(50));
+  double journal =
+      static_cast<double>(b.stage_us[static_cast<int>(Stage::kBackupJournal)].Percentile(50));
+  return std::max(primary, journal);
+}
+
+}  // namespace
+
+double StageBreakdown::StageMedianSum() const {
+  double sum = DeviceMedianUs(*this);
+  for (int i = 0; i < kNumStages; ++i) {
+    Stage s = static_cast<Stage>(i);
+    if (s == Stage::kPrimaryStorage || s == Stage::kBackupJournal) {
+      continue;
+    }
+    sum += static_cast<double>(stage_us[i].Percentile(50));
+  }
+  return sum;
+}
+
+double StageBreakdown::ReconciliationError() const {
+  if (end_to_end_us.count() == 0) {
+    return 0;
+  }
+  double p50 = static_cast<double>(end_to_end_us.Percentile(50));
+  if (p50 <= 0) {
+    return 0;
+  }
+  return std::abs(StageMedianSum() - p50) / p50;
+}
+
+SpanRef Tracer::StartSpan(bool is_write, Nanos now) {
+  if (sample_every_ == 0) {
+    return nullptr;
+  }
+  if (++request_counter_ % sample_every_ != 0) {
+    return nullptr;
+  }
+  ++spans_started_;
+  return std::make_shared<Span>(is_write, now);
+}
+
+void Tracer::FinishSpan(const SpanRef& span, Nanos now) {
+  if (span == nullptr) {
+    return;
+  }
+  ++spans_finished_;
+  StageBreakdown& b = span->is_write() ? writes_ : reads_;
+  Nanos e2e = now - span->start();
+  b.end_to_end_us.Record(static_cast<int64_t>(ToUsec(e2e)));
+  Nanos sum = 0;
+  Nanos device = std::max(span->stage(Stage::kPrimaryStorage), span->stage(Stage::kBackupJournal));
+  for (int i = 0; i < kNumStages; ++i) {
+    Stage s = static_cast<Stage>(i);
+    Nanos d = span->stage(s);
+    b.stage_us[i].Record(static_cast<int64_t>(ToUsec(d)));
+    if (s != Stage::kPrimaryStorage && s != Stage::kBackupJournal) {
+      sum += d;
+    }
+  }
+  b.stage_sum_us.Record(static_cast<int64_t>(ToUsec(sum + device)));
+}
+
+void Tracer::Reset() {
+  request_counter_ = 0;
+  spans_started_ = 0;
+  spans_finished_ = 0;
+  reads_ = StageBreakdown{};
+  writes_ = StageBreakdown{};
+}
+
+std::string Tracer::BreakdownTable() const {
+  std::ostringstream os;
+  char buf[160];
+  auto section = [&](const char* title, const StageBreakdown& b) {
+    if (b.end_to_end_us.count() == 0) {
+      return;
+    }
+    double p50 = static_cast<double>(b.end_to_end_us.Percentile(50));
+    std::snprintf(buf, sizeof(buf), "%s (%llu spans)\n", title,
+                  static_cast<unsigned long long>(b.end_to_end_us.count()));
+    os << buf;
+    std::snprintf(buf, sizeof(buf), "  %-16s %10s %10s %8s\n", "stage", "p50 us", "p99 us",
+                  "of e2e");
+    os << buf;
+    for (int i = 0; i < kNumStages; ++i) {
+      const Histogram& h = b.stage_us[i];
+      double med = static_cast<double>(h.Percentile(50));
+      std::snprintf(buf, sizeof(buf), "  %-16s %10.1f %10.1f %7.1f%%\n",
+                    StageName(static_cast<Stage>(i)), med,
+                    static_cast<double>(h.Percentile(99)), p50 > 0 ? 100.0 * med / p50 : 0.0);
+      os << buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  %-16s %10.1f      (stage medians, device = max(storage, journal))\n",
+                  "sum", b.StageMedianSum());
+    os << buf;
+    std::snprintf(buf, sizeof(buf), "  %-16s %10.1f      (reconciliation error %.1f%%)\n",
+                  "end-to-end p50", p50, 100.0 * b.ReconciliationError());
+    os << buf;
+  };
+  section("READS", reads_);
+  section("WRITES", writes_);
+  if (reads_.end_to_end_us.count() == 0 && writes_.end_to_end_us.count() == 0) {
+    os << "(no spans traced — tracing disabled or no sampled requests completed)\n";
+  }
+  return os.str();
+}
+
+void Tracer::WriteJson(std::ostream& os) const {
+  auto breakdown = [&](const StageBreakdown& b) {
+    os << "{\"spans\":" << b.end_to_end_us.count();
+    if (b.end_to_end_us.count() > 0) {
+      os << ",\"e2e_p50_us\":" << b.end_to_end_us.Percentile(50)
+         << ",\"e2e_p99_us\":" << b.end_to_end_us.Percentile(99)
+         << ",\"stage_median_sum_us\":" << b.StageMedianSum()
+         << ",\"reconciliation_error\":" << b.ReconciliationError() << ",\"stages\":{";
+      for (int i = 0; i < kNumStages; ++i) {
+        if (i > 0) {
+          os << ",";
+        }
+        WriteJsonString(os, StageName(static_cast<Stage>(i)));
+        os << ":{\"p50\":" << b.stage_us[i].Percentile(50)
+           << ",\"p99\":" << b.stage_us[i].Percentile(99) << ",\"mean\":" << b.stage_us[i].Mean()
+           << "}";
+      }
+      os << "}";
+    }
+    os << "}";
+  };
+  os << "{\"sample_every\":" << sample_every_ << ",\"spans_started\":" << spans_started_
+     << ",\"spans_finished\":" << spans_finished_ << ",\"reads\":";
+  breakdown(reads_);
+  os << ",\"writes\":";
+  breakdown(writes_);
+  os << "}";
+}
+
+}  // namespace ursa::obs

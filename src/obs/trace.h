@@ -1,0 +1,131 @@
+// Cross-layer request tracing (Fig. 15/16-style latency decomposition).
+//
+// A sampled user I/O carries a Span (shared_ptr, so parallel sub-requests and
+// replica legs all stamp the same object) from the client's VMM entry through
+// the transport, the chunk server's CPU, the device (primary SSD service or
+// backup journal append) and back. Each layer records *segment durations*
+// measured on the sim clock; parallel legs max-merge per stage, so every
+// stage approximates the critical-path contribution and the per-stage sum
+// reconciles with the measured end-to-end latency (the Tracer records both
+// and ReconciliationError() reports the gap).
+//
+// Cost model: Tracer::StartSpan is one counter increment + one branch for
+// unsampled requests (sample_every = N traces 1-in-N; 0 disables tracing
+// entirely), so benchmarks with tracing off pay nothing measurable.
+#ifndef URSA_OBS_TRACE_H_
+#define URSA_OBS_TRACE_H_
+
+#include <array>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "src/common/histogram.h"
+#include "src/common/units.h"
+
+namespace ursa::obs {
+
+// Segments of one I/O's life. kVmm is the fixed NBD/VMM cost (both ways);
+// kClientIssue covers the client event-loop queue + issue (and, for writes,
+// the per-chunk ordering queue); kPrimaryStorage and kBackupJournal are the
+// two device-side services — parallel on the write path, so the breakdown
+// reconciles stage sums using max(primary, journal) as the device term.
+enum class Stage : int {
+  kVmm = 0,          // NBD/VMM fixed path cost, entry + return
+  kClientIssue,      // client loop queue + issue (+ write-order queue)
+  kNetRequest,       // request serialization + propagation + ingress
+  kServerCpu,        // chunk-server CPU queue + execution
+  kPrimaryStorage,   // primary (or serving) chunk-store device service
+  kBackupJournal,    // backup-path journal append / HDD service
+  kNetReply,         // reply network leg
+  kClientComplete,   // client loop completion (+ payload copy)
+};
+inline constexpr int kNumStages = static_cast<int>(Stage::kClientComplete) + 1;
+
+const char* StageName(Stage stage);
+
+// Per-request segment accumulator. Not thread-safe; the simulator is
+// single-threaded. Parallel legs recording the same stage keep the maximum —
+// an approximation of the critical path (legs are symmetric replicas).
+class Span {
+ public:
+  Span(bool is_write, Nanos start) : is_write_(is_write), start_(start) {}
+
+  void RecordStage(Stage stage, Nanos duration) {
+    if (duration < 0) {
+      duration = 0;
+    }
+    int i = static_cast<int>(stage);
+    if (duration > stage_ns_[i]) {
+      stage_ns_[i] = duration;
+    }
+  }
+
+  Nanos stage(Stage s) const { return stage_ns_[static_cast<int>(s)]; }
+  Nanos start() const { return start_; }
+  bool is_write() const { return is_write_; }
+
+ private:
+  bool is_write_;
+  Nanos start_;
+  std::array<Nanos, kNumStages> stage_ns_{};
+};
+
+using SpanRef = std::shared_ptr<Span>;
+
+// Aggregated per-stage breakdown for one op class (reads or writes).
+struct StageBreakdown {
+  Histogram end_to_end_us;                     // measured wall latency
+  std::array<Histogram, kNumStages> stage_us;  // per-stage durations
+  Histogram stage_sum_us;  // per-span critical-path sum (device = max of
+                           // primary storage and backup journal)
+
+  // |sum of stage medians - e2e p50| / e2e p50; the device term in the sum
+  // is max(primary median, journal median). 0 when no spans finished.
+  double ReconciliationError() const;
+  // Sum of per-stage medians with the device-max rule (microseconds).
+  double StageMedianSum() const;
+};
+
+class Tracer {
+ public:
+  // sample_every = 0 disables tracing; N traces every Nth started request.
+  explicit Tracer(uint32_t sample_every = 0) : sample_every_(sample_every) {}
+
+  void set_sample_every(uint32_t n) { sample_every_ = n; }
+  uint32_t sample_every() const { return sample_every_; }
+  bool enabled() const { return sample_every_ > 0; }
+
+  // Returns a span for sampled requests, nullptr otherwise. Callers guard
+  // every stamp with `if (span)`, so the unsampled path costs one branch.
+  SpanRef StartSpan(bool is_write, Nanos now);
+
+  // Rolls the span into the per-stage histograms. `now` is completion time.
+  void FinishSpan(const SpanRef& span, Nanos now);
+
+  const StageBreakdown& reads() const { return reads_; }
+  const StageBreakdown& writes() const { return writes_; }
+  uint64_t spans_started() const { return spans_started_; }
+  uint64_t spans_finished() const { return spans_finished_; }
+
+  void Reset();
+
+  // Fixed-width table: one row per stage (median/p99 us, share of e2e p50),
+  // plus the reconciliation line. Suitable for printing from benchmarks.
+  std::string BreakdownTable() const;
+
+  // {"reads": {...}, "writes": {...}} with per-stage percentiles.
+  void WriteJson(std::ostream& os) const;
+
+ private:
+  uint32_t sample_every_;
+  uint64_t request_counter_ = 0;
+  uint64_t spans_started_ = 0;
+  uint64_t spans_finished_ = 0;
+  StageBreakdown reads_;
+  StageBreakdown writes_;
+};
+
+}  // namespace ursa::obs
+
+#endif  // URSA_OBS_TRACE_H_

@@ -9,6 +9,7 @@
 #include "src/common/crc32.h"
 #include "src/common/histogram.h"
 #include "src/common/interval.h"
+#include "src/common/logging.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/common/units.h"
@@ -290,6 +291,35 @@ TEST(ResultTest, MoveOutValue) {
   Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
   std::vector<int> v = std::move(r).value();
   EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(LoggingTest, ParseLogLevelNames) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Warning"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("ERROR"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("fatal"), LogLevel::kFatal);
+}
+
+TEST(LoggingTest, ParseLogLevelDigits) {
+  EXPECT_EQ(ParseLogLevel("0"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("1"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("4"), LogLevel::kFatal);
+}
+
+TEST(LoggingTest, ParseLogLevelFallback) {
+  EXPECT_EQ(ParseLogLevel(""), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("verbose"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("7"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("nope", LogLevel::kError), LogLevel::kError);
+}
+
+TEST(LoggingTest, SetLevelRoundTrips) {
+  LogLevel saved = Logger::level();
+  Logger::SetLevel(LogLevel::kError);
+  EXPECT_EQ(Logger::level(), LogLevel::kError);
+  Logger::SetLevel(saved);
 }
 
 }  // namespace

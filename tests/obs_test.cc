@@ -1,0 +1,265 @@
+// Observability subsystem: metrics registry, tracer spans, stats sampler,
+// plus Histogram edge cases the exporters rely on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/histogram.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/stats_sampler.h"
+#include "src/obs/trace.h"
+#include "src/sim/simulator.h"
+
+namespace ursa {
+namespace {
+
+// ---- Histogram edge cases ----
+
+TEST(HistogramEdgeTest, EmptyPercentilesAreZero) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0), 0);
+  EXPECT_EQ(h.Percentile(50), 0);
+  EXPECT_EQ(h.Percentile(100), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramEdgeTest, SingleSamplePercentiles) {
+  Histogram h;
+  h.Record(1000);
+  // Log-spaced buckets: every percentile lands in the sample's bucket
+  // (~3.7% wide at 64 buckets per decade).
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_NEAR(static_cast<double>(h.Percentile(p)), 1000.0, 1000.0 * 0.05) << "p" << p;
+  }
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 1000);
+}
+
+TEST(HistogramEdgeTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Record(-50);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramEdgeTest, MergeDisjointRanges) {
+  Histogram low;
+  Histogram high;
+  for (int i = 0; i < 100; ++i) {
+    low.Record(10);
+    high.Record(100000);
+  }
+  Histogram merged;
+  merged.Merge(low);
+  merged.Merge(high);
+  EXPECT_EQ(merged.count(), 200u);
+  EXPECT_EQ(merged.min(), 10);
+  EXPECT_EQ(merged.max(), 100000);
+  // Low half under p49, high half above p51.
+  EXPECT_LT(merged.Percentile(25), 100);
+  EXPECT_GT(merged.Percentile(75), 50000);
+}
+
+TEST(HistogramEdgeTest, MergeEmptyIsNoop) {
+  Histogram h;
+  h.Record(42);
+  Histogram empty;
+  h.Merge(empty);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42);
+}
+
+// ---- MetricsRegistry ----
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsStablePointer) {
+  obs::MetricsRegistry reg;
+  obs::Counter* a = reg.GetCounter("x.count", {{"id", "1"}});
+  obs::Counter* b = reg.GetCounter("x.count", {{"id", "1"}});
+  obs::Counter* c = reg.GetCounter("x.count", {{"id", "2"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  a->Increment();
+  a->Add(4);
+  EXPECT_EQ(b->value(), 5u);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, SnapshotEvaluatesCallbacks) {
+  obs::MetricsRegistry reg;
+  int depth = 3;
+  reg.RegisterCallbackGauge("q.depth", {}, [&depth]() { return depth; });
+  reg.GetGauge("g.level")->Set(-7);
+  auto samples = reg.Snapshot();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(samples[0].value, 3.0);
+  depth = 9;
+  EXPECT_DOUBLE_EQ(reg.Snapshot()[0].value, 9.0);
+  EXPECT_DOUBLE_EQ(reg.Snapshot()[1].value, -7.0);
+}
+
+TEST(MetricsRegistryTest, SampleKeyIncludesLabels) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("io.reads", {{"server", "3"}, {"disk", "ssd0"}});
+  auto samples = reg.Snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].Key(), "io.reads{server=3,disk=ssd0}");
+}
+
+TEST(MetricsRegistryTest, ExternalHistogramAndJson) {
+  obs::MetricsRegistry reg;
+  Histogram lat;
+  lat.Record(100);
+  lat.Record(200);
+  reg.RegisterHistogram("lat.us", {{"op", "read"}}, &lat);
+  reg.GetCounter("ops")->Add(2);
+  std::ostringstream os;
+  reg.WriteJson(os);
+  std::string json = os.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("lat.us{op=read}"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_FALSE(reg.ToTable().empty());
+}
+
+// ---- Tracer ----
+
+TEST(TracerTest, DisabledStartsNoSpans) {
+  obs::Tracer tracer(0);
+  EXPECT_FALSE(tracer.enabled());
+  EXPECT_EQ(tracer.StartSpan(false, 0), nullptr);
+  EXPECT_EQ(tracer.spans_started(), 0u);
+}
+
+TEST(TracerTest, SamplesOneInN) {
+  obs::Tracer tracer(4);
+  int sampled = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (tracer.StartSpan(false, i)) {
+      ++sampled;
+    }
+  }
+  EXPECT_EQ(sampled, 25);
+  EXPECT_EQ(tracer.spans_started(), 25u);
+}
+
+TEST(TracerTest, ParallelLegsMaxMerge) {
+  obs::Span span(/*is_write=*/true, /*start=*/0);
+  span.RecordStage(obs::Stage::kBackupJournal, 300);
+  span.RecordStage(obs::Stage::kBackupJournal, 500);  // slower replica leg
+  span.RecordStage(obs::Stage::kBackupJournal, 400);
+  EXPECT_EQ(span.stage(obs::Stage::kBackupJournal), 500);
+  span.RecordStage(obs::Stage::kVmm, -5);  // negative clamps to 0
+  EXPECT_EQ(span.stage(obs::Stage::kVmm), 0);
+}
+
+TEST(TracerTest, StageSumsReconcileWithEndToEnd) {
+  obs::Tracer tracer(1);
+  // Synthetic spans whose stages exactly partition the e2e latency: the
+  // reconciliation error must be within bucket resolution.
+  for (int i = 0; i < 200; ++i) {
+    obs::SpanRef span = tracer.StartSpan(/*is_write=*/false, /*now=*/0);
+    ASSERT_NE(span, nullptr);
+    span->RecordStage(obs::Stage::kVmm, usec(100));
+    span->RecordStage(obs::Stage::kNetRequest, usec(30));
+    span->RecordStage(obs::Stage::kServerCpu, usec(10));
+    span->RecordStage(obs::Stage::kPrimaryStorage, usec(90));
+    span->RecordStage(obs::Stage::kNetReply, usec(30));
+    tracer.FinishSpan(span, usec(260));
+  }
+  EXPECT_EQ(tracer.spans_finished(), 200u);
+  EXPECT_LE(tracer.reads().ReconciliationError(), 0.05);
+  EXPECT_NEAR(tracer.reads().StageMedianSum(), 260.0, 15.0);
+  EXPECT_FALSE(tracer.BreakdownTable().empty());
+}
+
+TEST(TracerTest, WriteDeviceTermIsMaxOfStorageAndJournal) {
+  obs::Tracer tracer(1);
+  obs::SpanRef span = tracer.StartSpan(/*is_write=*/true, /*now=*/0);
+  span->RecordStage(obs::Stage::kPrimaryStorage, usec(80));
+  span->RecordStage(obs::Stage::kBackupJournal, usec(120));  // parallel, slower
+  tracer.FinishSpan(span, usec(120));
+  // Sum must use max(80, 120) = 120, not 200.
+  EXPECT_NEAR(tracer.writes().StageMedianSum(), 120.0, 10.0);
+}
+
+TEST(TracerTest, ResetClearsAggregates) {
+  obs::Tracer tracer(1);
+  obs::SpanRef span = tracer.StartSpan(false, 0);
+  tracer.FinishSpan(span, usec(50));
+  tracer.Reset();
+  EXPECT_EQ(tracer.spans_finished(), 0u);
+  EXPECT_EQ(tracer.reads().end_to_end_us.count(), 0u);
+}
+
+// ---- StatsSampler ----
+
+TEST(StatsSamplerTest, CountersBecomeRatesGaugesBecomeLevels) {
+  sim::Simulator sim;
+  obs::MetricsRegistry reg;
+  obs::Counter* ops = reg.GetCounter("ops");
+  obs::Gauge* depth = reg.GetGauge("depth");
+  obs::StatsSampler sampler(&sim, &reg, /*interval=*/msec(10));
+  sampler.Start();
+  // 100 ops per 10 ms tick = 10000 ops/s; gauge parked at 7.
+  depth->Set(7);
+  for (int tick = 0; tick < 5; ++tick) {
+    sim.After(msec(10) * tick + msec(5), [ops]() { ops->Add(100); });
+  }
+  sim.RunUntil(msec(55));
+  sampler.Stop();
+
+  const obs::StatsSampler::Series* ops_series = nullptr;
+  const obs::StatsSampler::Series* depth_series = nullptr;
+  for (const auto& s : sampler.series()) {
+    if (s.key == "ops") ops_series = &s;
+    if (s.key == "depth") depth_series = &s;
+  }
+  ASSERT_NE(ops_series, nullptr);
+  ASSERT_NE(depth_series, nullptr);
+  EXPECT_TRUE(ops_series->is_rate);
+  EXPECT_FALSE(depth_series->is_rate);
+  ASSERT_GE(ops_series->points.size(), 3u);
+  // Steady-state rate points (skip the first, which covers the ramp).
+  EXPECT_NEAR(ops_series->points.back().value, 10000.0, 500.0);
+  EXPECT_DOUBLE_EQ(depth_series->points.back().value, 7.0);
+}
+
+TEST(StatsSamplerTest, StopHaltsTicksAndRestartWorks) {
+  sim::Simulator sim;
+  obs::MetricsRegistry reg;
+  reg.GetGauge("g")->Set(1);
+  obs::StatsSampler sampler(&sim, &reg, msec(1));
+  sampler.Start();
+  sim.RunUntil(msec(5));
+  sampler.Stop();
+  size_t frozen = sampler.series()[0].points.size();
+  sim.RunUntil(msec(20));
+  EXPECT_EQ(sampler.series()[0].points.size(), frozen);
+  sampler.Start();
+  sim.RunUntil(msec(25));
+  EXPECT_GT(sampler.series()[0].points.size(), frozen);
+  sampler.Stop();
+}
+
+TEST(StatsSamplerTest, JsonShape) {
+  sim::Simulator sim;
+  obs::MetricsRegistry reg;
+  reg.GetCounter("c")->Add(5);
+  obs::StatsSampler sampler(&sim, &reg, msec(2));
+  sampler.Start();
+  sim.RunUntil(msec(10));
+  sampler.Stop();
+  std::ostringstream os;
+  sampler.WriteJson(os);
+  std::string json = os.str();
+  EXPECT_NE(json.find("\"interval_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"series\""), std::string::npos);
+  EXPECT_NE(json.find("\"points\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ursa
