@@ -13,7 +13,7 @@
 
 using namespace ursa;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Figure 12: failure recovery traffic ===\n\n");
 
   core::TestBed bed(core::UrsaHybridProfile(3));
@@ -102,5 +102,6 @@ int main() {
   bool ok = failures == 0 && done_count == victim_chunks.size() && steady > 250 &&
             steady < 2600;
   std::printf("Fig12 %s\n", ok ? "SHAPE-OK" : "SHAPE-MISMATCH");
+  bed.DumpMetricsJson(core::MetricsJsonPath(argc, argv));
   return 0;
 }

@@ -1,0 +1,67 @@
+// Chaos smoke driver: runs the seeded chaos harness over a seed list and
+// exits nonzero if any seed fails its safety checks (linearizability,
+// replica convergence, corruption repair). CI runs this on fixed seeds under
+// sanitizers; locally it is the reproduction tool for a failing seed:
+//
+//   chaos_smoke --seeds=42          # replay one seed, print its fault trace
+//   chaos_smoke --seeds=1,2,3 -v    # sweep, verbose per-seed summaries
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/chaos/chaos_runner.h"
+
+namespace {
+
+std::vector<uint64_t> ParseSeeds(const std::string& list) {
+  std::vector<uint64_t> seeds;
+  size_t pos = 0;
+  while (pos < list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = list.size();
+    }
+    seeds.push_back(std::strtoull(list.substr(pos, comma - pos).c_str(), nullptr, 10));
+    pos = comma + 1;
+  }
+  return seeds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<uint64_t> seeds = {1, 2, 3};
+  bool verbose = false;
+  int ops = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--seeds=", 8) == 0) {
+      seeds = ParseSeeds(arg + 8);
+    } else if (std::strncmp(arg, "--ops=", 6) == 0) {
+      ops = std::atoi(arg + 6);
+    } else if (std::strcmp(arg, "-v") == 0 || std::strcmp(arg, "--verbose") == 0) {
+      verbose = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--seeds=a,b,c] [--ops=N] [-v]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  int failures = 0;
+  for (uint64_t seed : seeds) {
+    ursa::chaos::ChaosPlan plan;
+    plan.seed = seed;
+    if (ops > 0) {
+      plan.ops = ops;
+    }
+    ursa::chaos::ChaosReport report = ursa::chaos::RunChaos(plan);
+    if (!report.ok || verbose) {
+      std::printf("%s\n", report.Summary().c_str());
+    }
+    failures += report.ok ? 0 : 1;
+  }
+  std::printf("chaos smoke: %zu seeds, %d failed\n", seeds.size(), failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+// ChaosEngine: turns a ChaosPlan into a concrete, seeded fault schedule
+// against a live Cluster.
+//
+// ScheduleFaults() samples every episode up front (start time, duration,
+// target, magnitude) from the plan's seed and registers simulator events that
+// inject and later heal each fault:
+//   * network  — per-link LinkChaosRule episodes (drop/delay/jitter/dup) and
+//     blocked links (asymmetric partitions) via Transport::SetLinkChaos;
+//   * storage  — gray failures via BlockDevice::SetFault (latency inflation,
+//     stuck I/O) and journal payload bit flips via JournalManager::
+//     InjectBitFlip (exercising CRC detection + quarantine + re-replication);
+//   * process  — server crash/restore via Cluster::CrashServer.
+// Every injection appends a timestamped line to trace(), so a failing run
+// prints the exact fault history alongside its seed.
+#ifndef URSA_CHAOS_CHAOS_ENGINE_H_
+#define URSA_CHAOS_CHAOS_ENGINE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/chaos/chaos_plan.h"
+#include "src/cluster/cluster.h"
+#include "src/common/rng.h"
+#include "src/net/transport.h"
+
+namespace ursa::chaos {
+
+class ChaosEngine {
+ public:
+  ChaosEngine(sim::Simulator* sim, cluster::Cluster* cluster, const ChaosPlan& plan);
+
+  // Registers a client machine's node so client<->server links are fault
+  // candidates too (the interesting partitions are often client-side).
+  void AddClientNode(net::NodeId node);
+
+  // Samples and schedules the full fault plan relative to sim->Now().
+  // Call once, before driving the workload.
+  void ScheduleFaults();
+
+  // Reverts everything still active: link rules, device faults (re-admitting
+  // stuck I/O), crashed servers. Idempotent.
+  void HealAll();
+
+  // Timestamped human-readable fault history ("t=12345us crash server 4").
+  const std::vector<std::string>& trace() const { return trace_; }
+  uint64_t bit_flips_landed() const { return bit_flips_landed_; }
+
+ private:
+  void Note(const std::string& line);
+  std::vector<net::NodeId> AllNodes() const;
+  // Uniformly picks an ordered (from, to) pair of distinct nodes.
+  std::pair<net::NodeId, net::NodeId> PickLink();
+  storage::BlockDevice* PickDevice(std::string* name);
+
+  void InjectNetFault();
+  void InjectPartition();
+  void InjectDiskFault(bool stuck);
+  void InjectCrash();
+  void InjectBitFlip();
+
+  sim::Simulator* sim_;
+  cluster::Cluster* cluster_;
+  ChaosPlan plan_;
+  Rng rng_;       // fault sampling (schedule time)
+  Rng flip_rng_;  // bit-flip target selection (fire time)
+  std::vector<net::NodeId> client_nodes_;
+  std::vector<std::string> trace_;
+
+  // Active-fault bookkeeping so HealAll can revert mid-flight episodes.
+  std::vector<std::pair<net::NodeId, net::NodeId>> active_links_;
+  std::vector<storage::BlockDevice*> active_devices_;
+  std::vector<cluster::ServerId> crashed_servers_;
+
+  // Per-fault-type counters in the cluster's metrics registry.
+  obs::Counter* ctr_net_;
+  obs::Counter* ctr_partition_;
+  obs::Counter* ctr_disk_;
+  obs::Counter* ctr_stuck_;
+  obs::Counter* ctr_crash_;
+  obs::Counter* ctr_flip_;
+  obs::Counter* ctr_heal_;
+
+  uint64_t bit_flips_landed_ = 0;
+};
+
+}  // namespace ursa::chaos
+
+#endif  // URSA_CHAOS_CHAOS_ENGINE_H_

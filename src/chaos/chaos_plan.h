@@ -1,0 +1,71 @@
+// ChaosPlan: the seeded, declarative description of one chaos run.
+//
+// A plan fully determines a run: the cluster under test, the client workload,
+// and how many faults of each kind are injected over the fault window. Every
+// random decision — fault times, targets, magnitudes, workload ops, transport
+// coin flips — derives from `seed`, so a failing seed replays the exact same
+// schedule (the whole point of the harness: a chaos failure is a regression
+// test, not an anecdote).
+#ifndef URSA_CHAOS_CHAOS_PLAN_H_
+#define URSA_CHAOS_CHAOS_PLAN_H_
+
+#include <cstdint>
+
+#include "src/cluster/cluster.h"
+#include "src/common/units.h"
+
+namespace ursa::chaos {
+
+// A compact hybrid cluster: 3 machines x (2 SSD + 2 HDD), 1 MiB chunks —
+// small enough that a 20-seed sweep runs in seconds, with every production
+// code path (journals, replication, recovery) still exercised.
+inline cluster::ClusterConfig DefaultChaosCluster() {
+  cluster::ClusterConfig c;
+  c.machines = 3;
+  c.machine.cores = 4;
+  c.machine.ssds = 2;
+  c.machine.hdds = 2;
+  c.machine.ssd.capacity = 64 * kMiB;
+  c.machine.hdd.capacity = 256 * kMiB;
+  c.chunk_size = 1 * kMiB;
+  c.hdd_journal_bytes = 4 * kMiB;
+  return c;
+}
+
+struct ChaosPlan {
+  uint64_t seed = 1;
+
+  // ---- System under test ----
+  cluster::ClusterConfig cluster = DefaultChaosCluster();
+  uint64_t disk_size = 4 * kMiB;
+  int replication = 3;
+  int stripe_group = 1;
+
+  // ---- Workload: one client, mixed 4K reads/writes over `blocks` blocks,
+  // paced uniformly across the fault window so faults land mid-traffic. ----
+  int ops = 200;
+  int blocks = 16;
+  double write_fraction = 0.5;
+  Nanos request_timeout = msec(300);  // client per-attempt timeout
+
+  // ---- Fault schedule: event counts sampled over [warmup, warmup+window) ----
+  Nanos warmup = msec(20);       // let the first writes land before chaos
+  Nanos fault_window = sec(2);   // injection interval; workload spans it
+  Nanos min_fault_len = msec(40);   // per-episode duration bounds
+  Nanos max_fault_len = msec(400);
+
+  int net_faults = 3;    // degraded links: drop / extra delay / jitter / dup
+  int partitions = 1;    // blocked link (50% asymmetric), scheduled heal
+  int disk_faults = 2;   // gray-slow device (latency inflation)
+  int stuck_faults = 1;  // stuck-I/O device; heal re-admits held requests
+  int crashes = 1;       // server crash + scheduled restore
+  int bit_flips = 2;     // journal payload corruption (CRC must catch)
+
+  // ---- Post-heal convergence budget ----
+  Nanos drain_step = sec(2);  // settle time per repair round
+  int drain_rounds = 6;       // repair/settle rounds before declaring failure
+};
+
+}  // namespace ursa::chaos
+
+#endif  // URSA_CHAOS_CHAOS_PLAN_H_

@@ -1,0 +1,291 @@
+#include "src/chaos/chaos_runner.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "src/chaos/chaos_engine.h"
+#include "src/client/virtual_disk.h"
+#include "src/common/logging.h"
+
+namespace ursa::chaos {
+
+namespace {
+
+constexpr uint64_t kBlock = 4096;
+constexpr uint64_t kWorkloadSalt = 0x0515CA11ull;
+constexpr uint64_t kTransportSalt = 0x7E1E7A05ull;
+
+// Single-writer per-block history + the Appendix A visibility bounds.
+// Failed writes stay uncommitted: they never raise the lower bound but may
+// legally be visible (the client gave up; a replica may still have applied
+// them), which the upper bound already allows.
+class BlockHistory {
+ public:
+  uint32_t OnWriteInvoke(Nanos now) {
+    writes_.push_back(WriteRecord{next_seq_, now, -1});
+    return next_seq_++;
+  }
+  void OnWriteCommit(uint32_t seq, Nanos now) {
+    for (auto& w : writes_) {
+      if (w.seq == seq) {
+        w.commit = now;
+      }
+    }
+  }
+
+  // Returns "" when the read is linearizable, else a description.
+  std::string CheckRead(uint32_t seq, Nanos invoke, Nanos response) const {
+    uint32_t min_seq = 0;
+    uint32_t max_seq = 0;
+    for (const auto& w : writes_) {
+      if (w.commit >= 0 && w.commit < invoke) {
+        min_seq = std::max(min_seq, w.seq);
+      }
+      if (w.invoke < response) {
+        max_seq = std::max(max_seq, w.seq);
+      }
+    }
+    if (seq < min_seq) {
+      return "STALE read: returned seq " + std::to_string(seq) + " but write " +
+             std::to_string(min_seq) + " committed before the read was invoked";
+    }
+    if (seq > max_seq) {
+      return "FUTURE read: returned seq " + std::to_string(seq) + " but only " +
+             std::to_string(max_seq) + " writes were invoked before the read responded";
+    }
+    return "";
+  }
+
+ private:
+  struct WriteRecord {
+    uint32_t seq;
+    Nanos invoke;
+    Nanos commit;  // -1 until committed
+  };
+  uint32_t next_seq_ = 1;
+  std::vector<WriteRecord> writes_;
+};
+
+}  // namespace
+
+std::string ChaosReport::Summary() const {
+  std::string out = "chaos seed " + std::to_string(seed) + ": " + (ok ? "OK" : "FAILED") +
+                    " (reads_checked=" + std::to_string(checked_reads) +
+                    " writes_committed=" + std::to_string(committed_writes) +
+                    " ops_failed=" + std::to_string(failed_ops) +
+                    " bit_flips=" + std::to_string(bit_flips) +
+                    " corruptions_detected=" + std::to_string(corruptions_detected) +
+                    " corruptions_repaired=" + std::to_string(corruptions_repaired) + ")";
+  if (!ok) {
+    for (const auto& v : violations) {
+      out += "\n  violation: " + v;
+    }
+    out += "\n  fault trace (replay with this seed):";
+    for (const auto& f : fault_trace) {
+      out += "\n    " + f;
+    }
+  }
+  return out;
+}
+
+ChaosReport RunChaos(const ChaosPlan& plan) {
+  ChaosReport report;
+  report.seed = plan.seed;
+
+  sim::Simulator sim;
+  Rng transport_rng(plan.seed ^ kTransportSalt);
+  Rng workload_rng(plan.seed ^ kWorkloadSalt);
+  cluster::Cluster cluster(&sim, plan.cluster);
+  cluster.transport().SetChaosRng(&transport_rng);
+
+  Result<cluster::DiskId> disk_id =
+      cluster.master().CreateDisk("chaos", plan.disk_size, plan.replication, plan.stripe_group);
+  URSA_CHECK(disk_id.ok());
+
+  client::VirtualDiskClientOptions options;
+  options.request_timeout = plan.request_timeout;
+  cluster::Machine* host = cluster.AddClientMachine();
+  client::VirtualDisk disk(&cluster, host, /*client_id=*/1, options);
+  Status open = disk.Open(*disk_id);
+  URSA_CHECK(open.ok());
+
+  ChaosEngine engine(&sim, &cluster, plan);
+  engine.AddClientNode(host->node());
+  engine.ScheduleFaults();
+
+  // ---- Paced workload across the fault window ----
+  int blocks = std::max(1, plan.blocks);
+  uint64_t stride = plan.disk_size / static_cast<uint64_t>(blocks);
+  stride -= stride % kBlock;
+  URSA_CHECK_GE(stride, kBlock);
+  std::vector<BlockHistory> histories(blocks);
+  int issued = 0;
+  auto completed = std::make_shared<int>(0);
+
+  auto issue_op = [&]() {
+    int block = static_cast<int>(workload_rng.Uniform(static_cast<uint64_t>(blocks)));
+    uint64_t offset = static_cast<uint64_t>(block) * stride;
+    ++issued;
+    if (workload_rng.Bernoulli(plan.write_fraction)) {
+      uint32_t seq = histories[block].OnWriteInvoke(sim.Now());
+      auto buf = std::make_shared<std::vector<uint8_t>>(kBlock, 0);
+      std::memcpy(buf->data(), &seq, sizeof(seq));
+      disk.Write(offset, kBlock, buf->data(),
+                 [&, block, seq, buf, completed](const Status& s) {
+                   ++*completed;
+                   if (s.ok()) {
+                     histories[block].OnWriteCommit(seq, sim.Now());
+                     ++report.committed_writes;
+                   } else {
+                     ++report.failed_ops;
+                   }
+                 });
+    } else {
+      auto buf = std::make_shared<std::vector<uint8_t>>(kBlock, 0);
+      Nanos invoke = sim.Now();
+      disk.Read(offset, kBlock, buf->data(),
+                [&, block, invoke, buf, completed](const Status& s) {
+                  ++*completed;
+                  if (!s.ok()) {
+                    ++report.failed_ops;  // failed reads make no visibility claim
+                    return;
+                  }
+                  uint32_t seq = 0;
+                  std::memcpy(&seq, buf->data(), sizeof(seq));
+                  std::string err = histories[block].CheckRead(seq, invoke, sim.Now());
+                  if (!err.empty()) {
+                    report.violations.push_back("block " + std::to_string(block) + ": " + err);
+                  }
+                  ++report.checked_reads;
+                });
+    }
+  };
+
+  Nanos workload_start = sim.Now();
+  Nanos span = plan.warmup + plan.fault_window;
+  Nanos spacing = span / std::max(1, plan.ops);
+  for (int i = 0; i < plan.ops; ++i) {
+    issue_op();
+    sim.RunUntil(workload_start + static_cast<Nanos>(i + 1) * spacing);
+  }
+
+  // Let scheduled heal events fire, then force-heal whatever is left and
+  // wait for in-flight ops to resolve (commit or exhaust retries).
+  sim.RunUntil(sim.Now() + plan.max_fault_len + plan.request_timeout);
+  engine.HealAll();
+  for (int round = 0; round < plan.drain_rounds && *completed < issued; ++round) {
+    sim.RunUntil(sim.Now() + plan.drain_step);
+  }
+  if (*completed < issued) {
+    report.violations.push_back("stuck ops: " + std::to_string(issued - *completed) + " of " +
+                                std::to_string(issued) + " never completed after heal");
+  }
+
+  // ---- Convergence: repair, then require equal versions + identical bytes
+  // (journal overlay included) on every replica of every chunk. ----
+  const cluster::DiskMeta* meta = *cluster.master().GetDisk(*disk_id);
+  auto check_convergence = [&](std::vector<std::string>* problems) {
+    for (const cluster::ChunkLayout& layout : meta->chunks) {
+      uint64_t version0 = 0;
+      std::vector<std::vector<uint8_t>> images;
+      for (size_t r = 0; r < layout.replicas.size(); ++r) {
+        cluster::ChunkServer* server = cluster.server(layout.replicas[r].server);
+        Result<cluster::ChunkServer::ReplicaState> st = server->GetState(layout.chunk);
+        if (!st.ok()) {
+          problems->push_back("chunk " + std::to_string(layout.chunk) + " replica " +
+                              std::to_string(r) + ": no state");
+          continue;
+        }
+        if (r == 0) {
+          version0 = st->version;
+        } else if (st->version != version0) {
+          problems->push_back("chunk " + std::to_string(layout.chunk) + " version skew: replica " +
+                              std::to_string(r) + " at " + std::to_string(st->version) +
+                              " vs " + std::to_string(version0));
+        }
+        images.emplace_back(meta->chunk_size, 0);
+        auto read_ok = std::make_shared<Status>(Unavailable("recovery read never completed"));
+        server->HandleRecoveryRead(layout.chunk, 0, meta->chunk_size, images.back().data(),
+                                   [read_ok](const Status& s, uint64_t) { *read_ok = s; });
+        sim.RunUntil(sim.Now() + sec(2));
+        if (!read_ok->ok()) {
+          problems->push_back("chunk " + std::to_string(layout.chunk) + " replica " +
+                              std::to_string(r) + " recovery read: " + read_ok->ToString());
+        }
+      }
+      for (size_t r = 1; r < images.size(); ++r) {
+        if (images[r] != images[0]) {
+          problems->push_back("chunk " + std::to_string(layout.chunk) + " replica " +
+                              std::to_string(r) + " bytes diverge from replica 0");
+        }
+      }
+    }
+  };
+
+  bool converged = false;
+  std::vector<std::string> last_problems;
+  for (int round = 0; round < plan.drain_rounds && !converged; ++round) {
+    for (const cluster::ChunkLayout& layout : meta->chunks) {
+      cluster.master().RepairChunkReplicas(layout.chunk);
+    }
+    sim.RunUntil(sim.Now() + plan.drain_step);
+    last_problems.clear();
+    check_convergence(&last_problems);
+    converged = last_problems.empty();
+  }
+  if (!converged) {
+    for (auto& p : last_problems) {
+      report.violations.push_back("no convergence: " + std::move(p));
+    }
+  }
+
+  // ---- Final read-back through the client: repaired data must be current,
+  // never the stale pre-corruption bytes. ----
+  for (int block = 0; block < blocks; ++block) {
+    auto buf = std::make_shared<std::vector<uint8_t>>(kBlock, 0);
+    Nanos invoke = sim.Now();
+    auto done = std::make_shared<bool>(false);
+    disk.Read(static_cast<uint64_t>(block) * stride, kBlock, buf->data(),
+              [&, block, invoke, buf, done](const Status& s) {
+                *done = true;
+                if (!s.ok()) {
+                  report.violations.push_back("final read of block " + std::to_string(block) +
+                                              " failed after heal: " + s.ToString());
+                  return;
+                }
+                uint32_t seq = 0;
+                std::memcpy(&seq, buf->data(), sizeof(seq));
+                std::string err = histories[block].CheckRead(seq, invoke, sim.Now());
+                if (!err.empty()) {
+                  report.violations.push_back("final read of block " + std::to_string(block) +
+                                              ": " + err);
+                }
+                ++report.checked_reads;
+              });
+    sim.RunUntil(sim.Now() + sec(2));
+    if (!*done) {
+      report.violations.push_back("final read of block " + std::to_string(block) + " hung");
+    }
+  }
+
+  report.bit_flips = engine.bit_flips_landed();
+  for (const journal::JournalManager* jm : cluster.journal_managers()) {
+    report.corruptions_detected += jm->stats().corruptions_detected;
+    report.corruptions_repaired += jm->stats().corruptions_repaired;
+  }
+  report.fault_trace = engine.trace();
+  report.ok = report.violations.empty() && report.committed_writes > 0 &&
+              report.checked_reads > 0;
+  if (report.committed_writes == 0) {
+    report.violations.push_back("no writes committed: fault plan starved the workload");
+  }
+  if (report.checked_reads == 0) {
+    report.violations.push_back("no reads checked: fault plan starved the workload");
+  }
+  return report;
+}
+
+}  // namespace ursa::chaos

@@ -25,7 +25,8 @@ VirtualDisk::VirtualDisk(cluster::Cluster* cluster, cluster::Machine* host,
       cluster_(cluster),
       host_(host),
       client_id_(client_id),
-      options_(options) {
+      options_(options),
+      retry_rng_(0x9E3779B97F4A7C15ull ^ client_id) {
   loop_ = std::make_unique<sim::Resource>(sim_, "client" + std::to_string(client_id) + "/loop",
                                           1);
   obs::MetricsRegistry& registry = cluster_->metrics();
@@ -43,6 +44,17 @@ VirtualDisk::VirtualDisk(cluster::Cluster* cluster, cluster::Machine* host,
                                    [this]() { return static_cast<double>(stats_.retries); });
   registry.RegisterCallbackCounter("client.throttled_writes", labels, [this]() {
     return static_cast<double>(stats_.throttled_writes);
+  });
+  registry.RegisterCallbackCounter("client.timeouts", labels,
+                                   [this]() { return static_cast<double>(stats_.timeouts); });
+  registry.RegisterCallbackCounter("client.explicit_failures", labels, [this]() {
+    return static_cast<double>(stats_.explicit_failures);
+  });
+  registry.RegisterCallbackCounter("client.integrity_errors", labels, [this]() {
+    return static_cast<double>(stats_.integrity_errors);
+  });
+  registry.RegisterCallbackCounter("client.backoff_retries", labels, [this]() {
+    return static_cast<double>(stats_.backoff_retries);
   });
   registry.RegisterHistogram("client.read_latency_us", labels, &stats_.read_latency_us);
   registry.RegisterHistogram("client.write_latency_us", labels, &stats_.write_latency_us);
@@ -221,6 +233,7 @@ void VirtualDisk::IssueRead(const SubRequest& sub, void* out, int attempt,
                           span->RecordStage(obs::Stage::kClientComplete, sim_->Now() - replied);
                         }
                         if (s.ok()) {
+                          chunk_states_[sub.chunk_index].timeout_streak = 0;
                           done(OkStatus());
                           return;
                         }
@@ -292,6 +305,11 @@ void VirtualDisk::Write(uint64_t offset, uint64_t length, const void* data,
   }
 
   std::vector<SubRequest> subs = SplitRequest(offset, length);
+  for (SubRequest& sub : subs) {
+    // Stable per-sub-write identity (survives retries); client id folded in
+    // so concurrent clients never collide.
+    sub.write_id = (client_id_ << 40) | ++next_write_id_;
+  }
   auto remaining = std::make_shared<size_t>(subs.size());
   auto first_error = std::make_shared<Status>();
   auto finish = [this, start, remaining, first_error, span,
@@ -383,17 +401,25 @@ void VirtualDisk::ClientDirectedWrite(const SubRequest& sub, const void* data, i
 
   auto guard = PendingCall::Start(
       sim_, options_.request_timeout,
-      [this, sub, data, attempt, done, saw_mismatch, replied_version, span](const Status& s) {
+      [this, sub, data, attempt, done, version, saw_mismatch, replied_version,
+       span](const Status& s) {
         Nanos replied = sim_->Now();
         loop_->Submit(
             options_.loop_complete_cost,
-            [this, sub, data, attempt, done, s, saw_mismatch, replied_version, replied,
-             span]() {
+            [this, sub, data, attempt, done, s, version, saw_mismatch, replied_version,
+             replied, span]() {
               if (span != nullptr) {
                 span->RecordStage(obs::Stage::kClientComplete, sim_->Now() - replied);
               }
               if (s.ok()) {
-                ++chunk_states_[sub.chunk_index].version;
+                // This attempt committed exactly version+1. Concurrent reads
+                // (or earlier failed attempts) may have ALREADY adopted that
+                // number after observing our write applied at a replica, so
+                // a blind ++ here would double-count the same commit and
+                // strand the client one version above every replica forever.
+                ChunkState& ok_cs = chunk_states_[sub.chunk_index];
+                ok_cs.version = std::max(ok_cs.version, version + 1);
+                ok_cs.timeout_streak = 0;
                 done(OkStatus());
                 return;
               }
@@ -441,24 +467,35 @@ void VirtualDisk::ClientDirectedWrite(const SubRequest& sub, const void* data, i
   // Client-directed replication (§3.2): one message per replica in parallel;
   // all legs stamp the shared span, which keeps the per-stage maximum (the
   // quorum waits for all replicas in the common case, so the slowest leg is
-  // the critical path).
-  for (const ReplicaRef& replica : layout.replicas) {
+  // the critical path). Each replica counts toward the quorum at most once:
+  // a chaos-duplicated request or reply must not let one replica's ack
+  // masquerade as a majority.
+  auto leg_fired = std::make_shared<std::vector<bool>>(layout.replicas.size(), false);
+  for (size_t r = 0; r < layout.replicas.size(); ++r) {
+    const ReplicaRef& replica = layout.replicas[r];
+    auto leg_once = [leg, leg_fired, r](const Status& s, uint64_t ver) {
+      if ((*leg_fired)[r]) {
+        return;
+      }
+      (*leg_fired)[r] = true;
+      leg(s, ver);
+    };
     cluster_->transport().Send(
         host_->node(), replica.node, WireBytes(MessageType::kReplicate, sub.length),
-        [this, replica, chunk, sub, view, version, data, leg, span]() {
+        [this, replica, chunk, sub, view, version, data, leg_once, span]() {
           ChunkServer* server = Server(replica.server);
           if (server == nullptr) {
             return;  // silent drop; timeout/quorum handles it
           }
           server->HandleReplicate(
               chunk, sub.chunk_offset, sub.length, view, version, data,
-              [this, replica, leg, span](const Status& s, uint64_t ver) {
+              [this, replica, leg_once, span](const Status& s, uint64_t ver) {
                 cluster_->transport().Send(replica.node, host_->node(),
                                            WireBytes(MessageType::kReplicateReply),
-                                           [leg, s, ver]() { leg(s, ver); }, span,
+                                           [leg_once, s, ver]() { leg_once(s, ver); }, span,
                                            obs::Stage::kNetReply);
               },
-              span);
+              span, sub.write_id);
         },
         span, obs::Stage::kNetRequest);
   }
@@ -478,19 +515,28 @@ void VirtualDisk::PrimaryDrivenWrite(const SubRequest& sub, const void* data, in
     }
   }
 
+  uint64_t view = layout.view;
+  uint64_t version = cs.version;
+  ChunkId chunk = layout.chunk;
+
   auto replied_version = std::make_shared<uint64_t>(0);
   auto guard = PendingCall::Start(
       sim_, options_.request_timeout,
-      [this, sub, data, attempt, done, replied_version, span](const Status& s) {
+      [this, sub, data, attempt, done, version, replied_version, span](const Status& s) {
         Nanos replied = sim_->Now();
         loop_->Submit(options_.loop_complete_cost, [this, sub, data, attempt, done, s,
-                                                    replied_version, replied, span]() {
+                                                    version, replied_version, replied,
+                                                    span]() {
           if (span != nullptr) {
             span->RecordStage(obs::Stage::kClientComplete, sim_->Now() - replied);
           }
           if (s.ok()) {
-            chunk_states_[sub.chunk_index].version =
-                std::max(chunk_states_[sub.chunk_index].version + 1, *replied_version);
+            // Commit is idempotent against concurrent version adoption (see
+            // ClientDirectedWrite): this attempt committed version+1 — the
+            // primary's replied new_version — never a blind increment.
+            ChunkState& ok_cs = chunk_states_[sub.chunk_index];
+            ok_cs.version = std::max({ok_cs.version, version + 1, *replied_version});
+            ok_cs.timeout_streak = 0;
             done(OkStatus());
             return;
           }
@@ -505,9 +551,6 @@ void VirtualDisk::PrimaryDrivenWrite(const SubRequest& sub, const void* data, in
         });
       });
 
-  uint64_t view = layout.view;
-  uint64_t version = cs.version;
-  ChunkId chunk = layout.chunk;
   cluster_->transport().Send(
       host_->node(), primary.node, WireBytes(MessageType::kWriteRequest, sub.length),
       [this, primary, chunk, sub, view, version, data, backups = std::move(backups), guard,
@@ -526,7 +569,7 @@ void VirtualDisk::PrimaryDrivenWrite(const SubRequest& sub, const void* data, in
                                          [guard, s]() { guard->Complete(s); }, span,
                                          obs::Stage::kNetReply);
             },
-            span);
+            span, sub.write_id);
       },
       span, obs::Stage::kNetRequest);
 }
@@ -559,15 +602,53 @@ void VirtualDisk::Upgrade(const std::string& version, Nanos swap_window,
   (*wait_drain)();
 }
 
+Nanos VirtualDisk::BackoffDelay(int attempt) {
+  if (options_.retry_backoff_base <= 0) {
+    return 0;
+  }
+  // attempt k failed -> wait base * 2^(k-1), capped. Jitter keeps retried
+  // clients from re-colliding: half the delay is fixed, half uniform.
+  Nanos d = options_.retry_backoff_base;
+  for (int i = 1; i < attempt && d < options_.retry_backoff_max; ++i) {
+    d *= 2;
+  }
+  d = std::min(d, options_.retry_backoff_max);
+  Nanos half = d / 2;
+  return half + static_cast<Nanos>(retry_rng_.Uniform(static_cast<uint64_t>(half) + 1));
+}
+
+void VirtualDisk::ScheduleRetry(int attempt, std::function<void()> retry) {
+  Nanos delay = BackoffDelay(attempt);
+  if (delay <= 0) {
+    retry();
+    return;
+  }
+  ++stats_.backoff_retries;
+  stats_.backoff_wait_ns += delay;
+  sim_->After(delay, std::move(retry));
+}
+
 void VirtualDisk::HandleAttemptFailure(const SubRequest& sub, const Status& status, int attempt,
                                        storage::IoCallback done, std::function<void()> retry) {
+  ChunkState& cs = chunk_states_[sub.chunk_index];
+  // Classify first (timeout vs explicit-fail vs integrity): the class drives
+  // both the counters and the reaction below.
+  const bool is_timeout = status.code() == StatusCode::kTimedOut;
+  const bool is_integrity = status.code() == StatusCode::kCorruption;
+  if (is_timeout) {
+    ++stats_.timeouts;
+  } else if (is_integrity) {
+    ++stats_.integrity_errors;
+  } else {
+    ++stats_.explicit_failures;
+  }
+
   if (attempt >= options_.max_attempts) {
     done(status);
     return;
   }
   ++stats_.retries;
   const ChunkLayout& layout = Layout(sub.chunk_index);
-  ChunkState& cs = chunk_states_[sub.chunk_index];
 
   if (status.code() == StatusCode::kVersionMismatch) {
     // Either the view moved under us, or the replica we asked is STALE
@@ -599,9 +680,32 @@ void VirtualDisk::HandleAttemptFailure(const SubRequest& sub, const Status& stat
     // The single-writer client's version is authoritative: never lower it,
     // only adopt newer observations.
     cs.version = std::max(cs.version, best_version);
+    cs.timeout_streak = 0;
     retry();
     return;
   }
+
+  if (is_integrity) {
+    // The replica's data failed CRC (or overlaps a quarantined range). The
+    // bytes are gone there, not late: switch away immediately and let the
+    // master re-replicate the range; the quarantine lifts when it lands.
+    cs.timeout_streak = 0;
+    cs.primary = (cs.primary + 1) % layout.replicas.size();
+    ++stats_.primary_switches;
+    cluster_->master().RepairChunkReplicas(layout.chunk);
+    ScheduleRetry(attempt, std::move(retry));
+    return;
+  }
+
+  if (is_timeout && ++cs.timeout_streak < options_.primary_switch_hysteresis) {
+    // A single timeout is weak evidence (gray-slow disk, queueing spike):
+    // retry the same primary after a backoff before declaring it failed.
+    // Persistent timeouts exhaust the hysteresis and fall through to the
+    // switch-and-report path below.
+    ScheduleRetry(attempt, std::move(retry));
+    return;
+  }
+  cs.timeout_streak = 0;
 
   // Timeout / unavailability: switch to a backup as temporary primary
   // (§4.2.1) and ask the master to repair in parallel.
@@ -610,7 +714,8 @@ void VirtualDisk::HandleAttemptFailure(const SubRequest& sub, const Status& stat
   ++stats_.primary_switches;
   ++stats_.failures_reported;
   cluster_->master().ReportReplicaFailure(
-      layout.chunk, suspected, [this, sub, retry = std::move(retry)](const Status& s) {
+      layout.chunk, suspected,
+      [this, sub, attempt, retry = std::move(retry)](const Status& s) {
         RefreshLayout();
         // Resync the client version after the view change — upward only:
         // the single-writer client's number is authoritative (§4.1).
@@ -635,7 +740,7 @@ void VirtualDisk::HandleAttemptFailure(const SubRequest& sub, const Status& stat
             break;
           }
         }
-        retry();
+        ScheduleRetry(attempt, std::move(retry));
       });
 }
 

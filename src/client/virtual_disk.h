@@ -27,6 +27,7 @@
 #include "src/cluster/cluster.h"
 #include "src/common/histogram.h"
 #include "src/common/rate_limiter.h"
+#include "src/common/rng.h"
 
 namespace ursa::client {
 
@@ -42,6 +43,18 @@ struct VirtualDiskClientOptions {
   // Per-byte client-side cost (NBD socket + VMM copies), charged on the
   // event loop with the sub-request that carries the bytes (~2.9 GB/s).
   double loop_byte_cost_ns = 0.35;
+
+  // ---- Retry hardening (see DESIGN.md "Fault model & chaos harness") ----
+  // Bounded exponential backoff between failed attempts: attempt k waits
+  // base * 2^(k-1) capped at max, with deterministic jitter (half fixed, half
+  // uniform from the client's seeded rng). 0 base disables backoff.
+  Nanos retry_backoff_base = msec(2);
+  Nanos retry_backoff_max = msec(100);
+  // Consecutive per-chunk timeouts tolerated on the same primary before
+  // switching and reporting to the master: one latency spike (gray-slow disk,
+  // transient queueing) should not thrash views. Explicit failures and
+  // integrity errors switch immediately. 1 = switch on first timeout.
+  int primary_switch_hysteresis = 2;
 };
 
 struct ClientStats {
@@ -53,6 +66,12 @@ struct ClientStats {
   uint64_t throttled_writes = 0;
   uint64_t primary_switches = 0;
   uint64_t failures_reported = 0;
+  // Error classification (timeout vs explicit-fail vs integrity).
+  uint64_t timeouts = 0;           // per-attempt rpc timeouts
+  uint64_t explicit_failures = 0;  // replica said no (mismatch, unavailable…)
+  uint64_t integrity_errors = 0;   // kCorruption: CRC-failed / quarantined data
+  uint64_t backoff_retries = 0;    // retries that waited a backoff delay
+  Nanos backoff_wait_ns = 0;       // total time spent backing off
   Histogram read_latency_us;
   Histogram write_latency_us;
 };
@@ -87,6 +106,11 @@ class VirtualDisk {
 
   cluster::ClientId client_id() const { return client_id_; }
 
+  // Test/debug introspection: the client's cached version and current
+  // primary index for chunk `index` of the open disk.
+  uint64_t chunk_version(size_t index) const { return chunk_states_[index].version; }
+  size_t chunk_primary(size_t index) const { return chunk_states_[index].primary; }
+
   // ---- Online client upgrade (§5.2, core/shell split) ----
   // Stops accepting new I/O from the VMM, completes pending requests, saves
   // state, swaps in the new core, and resumes buffered I/O. The VMM's
@@ -107,6 +131,10 @@ class VirtualDisk {
     uint64_t chunk_offset = 0;
     uint64_t length = 0;
     uint64_t user_offset = 0;  // offset within the user buffer
+    // Unique id of this logical write (0 for reads), stable across retries:
+    // lets replicas tell a retry of an applied write from a different write
+    // reusing the version of one that failed client-side.
+    uint64_t write_id = 0;
   };
 
   struct PendingWrite {
@@ -119,6 +147,7 @@ class VirtualDisk {
     size_t primary = 0;  // index into layout replicas
     std::deque<PendingWrite> write_queue;
     bool write_inflight = false;
+    int timeout_streak = 0;  // consecutive timeouts on the current primary
   };
 
   // Maps a logical byte range to per-chunk sub-requests (striping).
@@ -138,10 +167,16 @@ class VirtualDisk {
   void PrimaryDrivenWrite(const SubRequest& sub, const void* data, int attempt,
                           storage::IoCallback done, const obs::SpanRef& span);
 
-  // Failure path: switch primaries / report to the master / resync, then
-  // retry via `retry`.
+  // Failure path: classify the error (timeout / explicit / integrity), apply
+  // primary-switch hysteresis, report to the master when warranted, then
+  // retry via `retry` after a bounded-backoff delay.
   void HandleAttemptFailure(const SubRequest& sub, const Status& status, int attempt,
                             storage::IoCallback done, std::function<void()> retry);
+
+  // Backoff delay before retry attempt `attempt`+1 (0 = immediate).
+  Nanos BackoffDelay(int attempt);
+  // Runs `retry` after BackoffDelay(attempt), tracking backoff stats.
+  void ScheduleRetry(int attempt, std::function<void()> retry);
 
   void PumpWriteQueue(size_t chunk_index);
 
@@ -170,6 +205,13 @@ class VirtualDisk {
 
   // Master-imposed write throttle (§3.2).
   RateLimiter write_limiter_;
+
+  // Deterministic per-client jitter stream for retry backoff.
+  Rng retry_rng_;
+
+  // Logical-write id generator (see SubRequest::write_id). Client ids are
+  // folded in so two clients never mint the same id.
+  uint64_t next_write_id_ = 0;
 };
 
 }  // namespace ursa::client

@@ -135,7 +135,8 @@ void ChunkServer::HandleRead(ChunkId chunk, uint64_t offset, uint64_t length, ui
 
 void ChunkServer::HandleWrite(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t view,
                               uint64_t version, const void* data, std::vector<ReplicaRef> backups,
-                              WriteCallback done_arg, const obs::SpanRef& span) {
+                              WriteCallback done_arg, const obs::SpanRef& span,
+                              uint64_t write_id) {
   if (crashed_ || draining_) {
     return;
   }
@@ -143,7 +144,7 @@ void ChunkServer::HandleWrite(ChunkId chunk, uint64_t offset, uint64_t length, u
   machine_->BurnCpu(config_.cpu.server_background);
   Nanos entered = sim_->Now();
   machine_->RunOnCpu(config_.cpu.server_op + config_.cpu.server_write_extra,
-                     [this, chunk, offset, length, view, version, data, entered, span,
+                     [this, chunk, offset, length, view, version, data, entered, span, write_id,
                       backups = std::move(backups), done = std::move(done)]() mutable {
     if (span != nullptr) {
       span->RecordStage(obs::Stage::kServerCpu, sim_->Now() - entered);
@@ -162,10 +163,17 @@ void ChunkServer::HandleWrite(ChunkId chunk, uint64_t offset, uint64_t length, u
     if (version == st.version) {
       // Normal case: execute locally and advance the version.
       st.version = version + 1;
-    } else if (version + 1 == st.version) {
+      st.last_write_id = write_id;
+    } else if (version + 1 == st.version &&
+               (write_id == 0 || write_id == st.last_write_id)) {
       // Already executed (client retry after partial failure): skip the
       // local write but still forward to backups (§4.2.1).
       skip_local = true;
+    } else if (version + 1 == st.version) {
+      // A DIFFERENT write reusing the version of one that failed at the
+      // client. Acking it would lose its data; make the client resync.
+      done(VersionMismatch("stale client version; resync required"), st.version);
+      return;
     } else {
       done(VersionMismatch("version gap; repair required"), st.version);
       return;
@@ -215,25 +223,38 @@ void ChunkServer::HandleWrite(ChunkId chunk, uint64_t offset, uint64_t length, u
 
     // Parallel replication to backups over the network. The shared span
     // max-merges the backup legs' journal appends against the local write.
-    for (const ReplicaRef& backup : backups) {
+    // Each backup counts toward the quorum at most once: under chaos a
+    // request or reply can be duplicated in flight, and double-counting one
+    // backup's ack could commit a write that only a minority holds.
+    auto leg_fired = std::make_shared<std::vector<bool>>(backups.size(), false);
+    for (size_t b = 0; b < backups.size(); ++b) {
+      const ReplicaRef& backup = backups[b];
+      auto leg_once = [leg, leg_fired, b](const Status& s) {
+        if ((*leg_fired)[b]) {
+          return;
+        }
+        (*leg_fired)[b] = true;
+        leg(s);
+      };
       uint64_t wire = net::WireBytes(net::MessageType::kReplicate, length);
       transport_->Send(node(), backup.node, wire,
-                       [this, backup, chunk, offset, length, view, version, data, leg, span]() {
+                       [this, backup, chunk, offset, length, view, version, data, leg_once,
+                        span, write_id]() {
                          ChunkServer* server = resolver_(backup.server);
                          if (server == nullptr) {
-                           leg(Unavailable("backup server gone"));
+                           leg_once(Unavailable("backup server gone"));
                            return;
                          }
                          server->HandleReplicate(
                              chunk, offset, length, view, version, data,
-                             [this, backup, leg](const Status& s, uint64_t) {
+                             [this, backup, leg_once](const Status& s, uint64_t) {
                                // Reply travels back over the network.
                                uint64_t rwire =
                                    net::WireBytes(net::MessageType::kReplicateReply);
                                transport_->Send(backup.node, node(), rwire,
-                                                [leg, s]() { leg(s); });
+                                                [leg_once, s]() { leg_once(s); });
                              },
-                             span);
+                             span, write_id);
                        });
     }
   });
@@ -241,7 +262,7 @@ void ChunkServer::HandleWrite(ChunkId chunk, uint64_t offset, uint64_t length, u
 
 void ChunkServer::HandleReplicate(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t view,
                                   uint64_t version, const void* data, WriteCallback done_arg,
-                                  const obs::SpanRef& span) {
+                                  const obs::SpanRef& span, uint64_t write_id) {
   if (crashed_ || draining_) {
     return;
   }
@@ -250,7 +271,7 @@ void ChunkServer::HandleReplicate(ChunkId chunk, uint64_t offset, uint64_t lengt
   Nanos entered = sim_->Now();
   machine_->RunOnCpu(
       config_.cpu.server_op + config_.cpu.replicate_op + config_.cpu.server_write_extra,
-      [this, chunk, offset, length, view, version, data, entered, span,
+      [this, chunk, offset, length, view, version, data, entered, span, write_id,
        done = std::move(done)]() mutable {
         if (span != nullptr) {
           span->RecordStage(obs::Stage::kServerCpu, sim_->Now() - entered);
@@ -265,8 +286,14 @@ void ChunkServer::HandleReplicate(ChunkId chunk, uint64_t offset, uint64_t lengt
           done(VersionMismatch("stale view"), st.version);
           return;
         }
+        if (version + 1 == st.version && (write_id == 0 || write_id == st.last_write_id)) {
+          done(OkStatus(), st.version);  // duplicate delivery of the applied write
+          return;
+        }
         if (version + 1 == st.version) {
-          done(OkStatus(), st.version);  // duplicate delivery
+          // Different write reusing a failed predecessor's version (see
+          // HandleWrite): acking without writing would lose its data.
+          done(VersionMismatch("stale client version; resync required"), st.version);
           return;
         }
         if (version != st.version) {
@@ -274,6 +301,7 @@ void ChunkServer::HandleReplicate(ChunkId chunk, uint64_t offset, uint64_t lengt
           return;
         }
         st.version = version + 1;
+        st.last_write_id = write_id;
         ++replicates_served_;
         uint64_t new_version = st.version;
         journal_lite_.Record(chunk, new_version, offset, length);

@@ -60,6 +60,11 @@ class ChunkServer {
   struct ReplicaState {
     uint64_t version = 0;
     uint64_t view = 0;
+    // Identity of the last write applied here. Version numbers alone cannot
+    // distinguish "retry of the write I already executed" (ack without
+    // re-applying) from "a DIFFERENT write reusing the version of one that
+    // failed client-side" (must NOT be acked: its data was never written).
+    uint64_t last_write_id = 0;
   };
 
   Status AllocateChunk(ChunkId chunk, uint64_t view);
@@ -97,17 +102,23 @@ class ChunkServer {
 
   // Primary-driven write (Fig. 5): version/view checks, local chunk write,
   // parallel REPLICATE to `backups`, commit on all-success or
-  // majority-after-timeout; replies with the new version.
+  // majority-after-timeout; replies with the new version. A nonzero
+  // `write_id` identifies the logical client write: a request whose version
+  // says "already executed" is acked as a duplicate only when the id matches
+  // the applied write — otherwise it is a different write reusing a failed
+  // predecessor's version and gets a VERSION_MISMATCH (the client resyncs
+  // and retries; a data-blind ack here would silently lose the write).
   void HandleWrite(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t view,
                    uint64_t version, const void* data, std::vector<ReplicaRef> backups,
-                   WriteCallback done, const obs::SpanRef& span = {});
+                   WriteCallback done, const obs::SpanRef& span = {}, uint64_t write_id = 0);
 
   // Backup-side replication (also the per-replica leg of client-directed
   // tiny writes, §3.2): journal append in hybrid mode, direct write
   // otherwise. Parallel replica legs max-merge into the shared span.
+  // `write_id` semantics as in HandleWrite.
   void HandleReplicate(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t view,
                        uint64_t version, const void* data, WriteCallback done,
-                       const obs::SpanRef& span = {});
+                       const obs::SpanRef& span = {}, uint64_t write_id = 0);
 
   // Initialization protocol: report {version, view} for a chunk.
   using StateCallback = std::function<void(const Status&, ReplicaState)>;

@@ -52,6 +52,35 @@ Cluster::Cluster(sim::Simulator* sim, const ClusterConfig& config)
     });
   }
 
+  // CRC-detected journal corruption heals through the master: quarantine the
+  // range (the manager already did), re-replicate it from a healthy replica,
+  // then lift the quarantine. Wired here because the master is built last.
+  for (auto& s : servers_) {
+    journal::JournalManager* jm = s->journal_manager();
+    if (jm == nullptr) {
+      continue;
+    }
+    ServerId sid = s->id();
+    jm->SetCorruptionHandler([this, sid](storage::ChunkId chunk, uint64_t offset,
+                                         uint64_t length, std::function<void()> healed) {
+      // Retry until a healthy source exists: during a partition or multi-
+      // fault window every peer may be unreachable, and giving up would
+      // strand the quarantine (reads would fail kCorruption forever).
+      auto attempt = std::make_shared<std::function<void()>>();
+      *attempt = [this, sid, chunk, offset, length, healed = std::move(healed), attempt]() {
+        master_->RepairCorruptRange(chunk, sid, offset, length,
+                                    [this, healed, attempt](Status s2) {
+                                      if (s2.ok()) {
+                                        healed();
+                                      } else {
+                                        sim_->After(msec(100), *attempt);
+                                      }
+                                    });
+      };
+      (*attempt)();
+    });
+  }
+
   for (journal::JournalManager* jm : journal_manager_ptrs_) {
     jm->StartReplay();
   }

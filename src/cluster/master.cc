@@ -32,6 +32,9 @@ void Master::RegisterMetrics(obs::MetricsRegistry* registry) {
   registry->RegisterCallbackCounter("master.view_changes", {}, [this]() {
     return static_cast<double>(recovery_stats_.view_changes);
   });
+  registry->RegisterCallbackCounter("master.corruption_repairs", {}, [this]() {
+    return static_cast<double>(recovery_stats_.corruption_repairs);
+  });
   registry->RegisterCallbackGauge(
       "master.disks", {}, [this]() { return static_cast<double>(disks_.size()); });
   registry->RegisterCallbackGauge(
@@ -474,6 +477,41 @@ void Master::RepairChunkReplicas(ChunkId chunk) {
       RepairReplica(chunk, r.server, [](Status) {});
     }
   }
+}
+
+void Master::RepairCorruptRange(ChunkId chunk, ServerId corrupt_server, uint64_t offset,
+                                uint64_t length, std::function<void(Status)> done) {
+  ChunkLayout* layout = FindLayout(chunk);
+  if (layout == nullptr) {
+    sim_->After(0, [done = std::move(done)]() { done(NotFound("unknown chunk")); });
+    return;
+  }
+  // Freshest alive replica OTHER than the damaged one. Version order does not
+  // gate this repair: the corrupt replica may well hold the highest version —
+  // the flipped bits destroyed its data, not its metadata.
+  ChunkServer* source = nullptr;
+  uint64_t best_version = 0;
+  for (const ReplicaRef& r : layout->replicas) {
+    if (r.server == corrupt_server || servers_[r.server]->crashed()) {
+      continue;
+    }
+    Result<ChunkServer::ReplicaState> st = servers_[r.server]->GetState(chunk);
+    if (st.ok() && (source == nullptr || st->version > best_version)) {
+      best_version = st->version;
+      source = servers_[r.server];
+    }
+  }
+  if (source == nullptr) {
+    // No healthy replica to heal from: leave the range quarantined (reads
+    // keep failing with kCorruption rather than serving stale bytes).
+    sim_->After(0, [done = std::move(done)]() {
+      done(Unavailable("no healthy replica for corruption repair"));
+    });
+    return;
+  }
+  ++recovery_stats_.corruption_repairs;
+  ChunkServer* target = servers_[corrupt_server];
+  TransferRanges(chunk, source, target, {Interval{offset, length}}, std::move(done));
 }
 
 void Master::RepairReplica(ChunkId chunk, ServerId lagging, std::function<void(Status)> done) {

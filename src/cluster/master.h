@@ -44,6 +44,7 @@ struct RecoveryStats {
   uint64_t incremental_repairs = 0;
   uint64_t full_copies = 0;
   uint64_t view_changes = 0;
+  uint64_t corruption_repairs = 0;  // CRC-detected ranges re-replicated
 };
 
 class Master {
@@ -79,6 +80,15 @@ class Master {
   // Repairs every lagging replica of `chunk` toward the freshest alive one
   // (fire-and-forget; used when a client reports a degraded commit).
   void RepairChunkReplicas(ChunkId chunk);
+
+  // Re-replicates [offset, offset+length) of `chunk` onto `corrupt_server`
+  // from the freshest OTHER alive replica. Unlike RepairReplica, this runs
+  // even when the damaged replica holds the highest version: CRC-detected
+  // corruption destroys data without lowering the version, so version
+  // comparison alone would never repair it. `done` runs once the range is
+  // rewritten (and must only then lift the read quarantine).
+  void RepairCorruptRange(ChunkId chunk, ServerId corrupt_server, uint64_t offset,
+                          uint64_t length, std::function<void(Status)> done);
 
   // ---- Master recovery (§4.2.2: "the master is recovered first") ----
   // The master's durable state is its metadata; a restart restores the

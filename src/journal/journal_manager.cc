@@ -1,6 +1,7 @@
 #include "src/journal/journal_manager.h"
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
 #include <utility>
 
@@ -47,6 +48,9 @@ JournalManager::JournalManager(sim::Simulator* sim, storage::ChunkStore* backup_
   merged_records_ = registry->GetCounter("journal.merged_records", labels);
   replayed_bytes_ = registry->GetCounter("journal.replayed_bytes", labels);
   expansions_ = registry->GetCounter("journal.expansions", labels);
+  corruptions_detected_ = registry->GetCounter("journal.corruptions_detected", labels);
+  corruptions_repaired_ = registry->GetCounter("journal.corruptions_repaired", labels);
+  torn_tail_bytes_ = registry->GetCounter("journal.torn_tail_bytes", labels);
   registry->RegisterCallbackGauge("journal.backlog_bytes", labels,
                                   [this]() { return static_cast<double>(BacklogBytes()); });
   registry->RegisterCallbackGauge("journal.pending_records", labels,
@@ -63,6 +67,9 @@ const JournalStats& JournalManager::stats() const {
   stats_cache_.merged_records = merged_records_->value();
   stats_cache_.replayed_bytes = replayed_bytes_->value();
   stats_cache_.expansions = expansions_->value();
+  stats_cache_.corruptions_detected = corruptions_detected_->value();
+  stats_cache_.corruptions_repaired = corruptions_repaired_->value();
+  stats_cache_.torn_tail_bytes = torn_tail_bytes_->value();
   return stats_cache_;
 }
 
@@ -199,6 +206,15 @@ void JournalManager::Read(storage::ChunkId chunk, uint64_t offset, uint64_t leng
   URSA_CHECK_EQ(offset % kSector, 0u);
   URSA_CHECK_EQ(length % kSector, 0u);
 
+  if (IsQuarantined(chunk, offset, length)) {
+    // Detected-corrupt, not yet re-replicated: an explicit integrity error is
+    // the contract — never stale bytes.
+    sim_->After(0, [done = std::move(done)]() {
+      done(Corruption("backup range quarantined pending repair"));
+    });
+    return;
+  }
+
   auto it = indexes_.find(chunk);
   std::vector<index::Segment> segments;
   if (it != indexes_.end()) {
@@ -221,8 +237,34 @@ void JournalManager::Read(storage::ChunkId chunk, uint64_t offset, uint64_t leng
     if (seg.mapped) {
       size_t k = JournalOf(seg.j_offset);
       URSA_CHECK_LT(k, journals_.size());
-      journals_[k].writer->ReadPayload(ByteOffsetOf(seg.j_offset),
-                                       static_cast<uint32_t>(seg_length), dest, std::move(cb));
+      uint64_t byte_off = ByteOffsetOf(seg.j_offset);
+      const AppendedRecord* rec = FindPendingRecord(k, byte_off);
+      if (rec != nullptr && rec->has_data && dest != nullptr) {
+        // Verify the covering record's CRC against the on-device bytes before
+        // serving any slice of it: the stored CRC spans the whole payload, so
+        // the whole payload is read (records are <= Tj = 64 KB).
+        AppendedRecord rc = *rec;
+        auto buf = std::make_shared<std::vector<uint8_t>>(rc.length);
+        journals_[k].writer->ReadPayload(
+            rc.j_offset, rc.length, buf->data(),
+            [this, k, rc, buf, byte_off, seg_length, dest,
+             cb = std::move(cb)](const Status& s) mutable {
+              if (!s.ok()) {
+                cb(s);
+                return;
+              }
+              if (rc.ToHeader().ComputeCrc(buf->data()) != rc.crc) {
+                OnCorruptRecord(k, rc);
+                cb(Corruption("journal record failed CRC on read"));
+                return;
+              }
+              std::memcpy(dest, buf->data() + (byte_off - rc.j_offset), seg_length);
+              cb(OkStatus());
+            });
+        continue;
+      }
+      journals_[k].writer->ReadPayload(byte_off, static_cast<uint32_t>(seg_length), dest,
+                                       std::move(cb));
     } else {
       backup_store_->Read(chunk, seg_offset, seg_length, dest, std::move(cb));
     }
@@ -231,6 +273,7 @@ void JournalManager::Read(storage::ChunkId chunk, uint64_t offset, uint64_t leng
 
 void JournalManager::RecoverFromJournals(storage::IoCallback done) {
   indexes_.clear();
+  quarantine_.clear();  // rebuilt from scratch: scans re-detect damage
   auto remaining = std::make_shared<size_t>(journals_.size());
   auto first_error = std::make_shared<Status>();
   auto all = std::make_shared<std::vector<std::vector<AppendedRecord>>>(journals_.size());
@@ -282,14 +325,21 @@ void JournalManager::RecoverFromJournals(storage::IoCallback done) {
     (*done_shared)(OkStatus());
   };
   for (size_t k = 0; k < journals_.size(); ++k) {
-    journals_[k].writer->Scan(
-        [k, all, first_error, finish](const Status& s, std::vector<AppendedRecord> records) {
-          if (!s.ok() && first_error->ok()) {
-            *first_error = s;
-          }
-          (*all)[k] = std::move(records);
-          finish();
-        });
+    journals_[k].writer->Scan([this, k, all, first_error, finish](
+                                  const Status& s, std::vector<AppendedRecord> records,
+                                  ScanReport report) {
+      if (!s.ok() && first_error->ok()) {
+        *first_error = s;
+      }
+      if (report.torn_tail_bytes > 0) {
+        torn_tail_bytes_->Add(static_cast<double>(report.torn_tail_bytes));
+        URSA_LOG(INFO) << journals_[k].writer->name() << ": truncated "
+                       << report.torn_tail_records << " torn tail record(s), "
+                       << report.torn_tail_bytes << " bytes";
+      }
+      (*all)[k] = std::move(records);
+      finish();
+    });
   }
 }
 
@@ -383,6 +433,117 @@ void JournalManager::ReplayTick() {
   }
 }
 
+bool JournalManager::IsQuarantined(storage::ChunkId chunk, uint64_t offset,
+                                   uint64_t length) const {
+  auto it = quarantine_.find(chunk);
+  if (it == quarantine_.end()) {
+    return false;
+  }
+  for (const auto& [q_off, q_len] : it->second) {
+    if (offset < q_off + q_len && q_off < offset + length) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void JournalManager::AddQuarantine(storage::ChunkId chunk, uint64_t offset, uint64_t length) {
+  quarantine_[chunk].emplace_back(offset, length);
+}
+
+void JournalManager::ClearQuarantine(storage::ChunkId chunk, uint64_t offset,
+                                     uint64_t length) {
+  auto it = quarantine_.find(chunk);
+  if (it == quarantine_.end()) {
+    return;
+  }
+  auto& ranges = it->second;
+  ranges.erase(std::remove_if(ranges.begin(), ranges.end(),
+                              [&](const std::pair<uint64_t, uint64_t>& r) {
+                                return r.first >= offset && r.first + r.second <= offset + length;
+                              }),
+               ranges.end());
+  if (ranges.empty()) {
+    quarantine_.erase(it);
+  }
+}
+
+const AppendedRecord* JournalManager::FindPendingRecord(size_t idx, uint64_t byte_off) const {
+  for (const AppendedRecord& rec : journals_[idx].writer->pending()) {
+    if (!rec.invalidation && byte_off >= rec.j_offset && byte_off < rec.j_offset + rec.length) {
+      return &rec;
+    }
+  }
+  return nullptr;
+}
+
+void JournalManager::OnCorruptRecord(size_t idx, const AppendedRecord& rec) {
+  corruptions_detected_->Increment();
+  URSA_LOG(INFO) << journals_[idx].writer->name() << ": CRC mismatch on record for chunk "
+                 << rec.chunk_id << " [" << rec.chunk_offset << ", +" << rec.length
+                 << "), quarantining";
+  // Drop the stale mappings so no read resolves into the damaged record, and
+  // quarantine the range so reads fail with kCorruption (not old HDD bytes)
+  // until the cluster re-replicates it.
+  uint32_t lo = rec.chunk_offset / static_cast<uint32_t>(kSector);
+  uint32_t len = static_cast<uint32_t>(rec.length / kSector);
+  uint64_t rec_j = ToJSector(idx, rec.j_offset);
+  index::RangeIndex& index = IndexFor(rec.chunk_id);
+  for (const index::Segment& seg : index.QueryMapped(lo, len)) {
+    if (seg.j_offset == rec_j + (seg.offset - lo)) {
+      index.EraseIfMapsTo(seg.offset, seg.length, seg.j_offset);
+    }
+  }
+  AddQuarantine(rec.chunk_id, rec.chunk_offset, rec.length);
+  if (corruption_handler_) {
+    corruption_handler_(rec.chunk_id, rec.chunk_offset, rec.length,
+                        [this, chunk = rec.chunk_id, offset = static_cast<uint64_t>(rec.chunk_offset),
+                         length = static_cast<uint64_t>(rec.length)]() {
+                          ClearQuarantine(chunk, offset, length);
+                          corruptions_repaired_->Increment();
+                        });
+  }
+}
+
+bool JournalManager::InjectBitFlip(Rng& rng) {
+  struct Candidate {
+    size_t journal;
+    const AppendedRecord* rec;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t k = 0; k < journals_.size(); ++k) {
+    for (const AppendedRecord& rec : journals_[k].writer->pending()) {
+      if (!rec.has_data || rec.invalidation || rec.length == 0) {
+        continue;
+      }
+      // Only records the index still maps (some range not yet overwritten or
+      // merged) — flipping a dead record is undetectable by design, since
+      // nothing will ever read it back.
+      uint32_t lo = static_cast<uint32_t>(rec.chunk_offset / kSector);
+      uint32_t len = static_cast<uint32_t>(rec.length / kSector);
+      uint64_t rec_j = ToJSector(k, rec.j_offset);
+      bool live = false;
+      for (const index::Segment& seg : IndexFor(rec.chunk_id).QueryMapped(lo, len)) {
+        if (seg.j_offset == rec_j + (seg.offset - lo)) {
+          live = true;
+          break;
+        }
+      }
+      if (live) {
+        candidates.push_back(Candidate{k, &rec});
+      }
+    }
+  }
+  if (candidates.empty()) {
+    return false;
+  }
+  const Candidate& c = candidates[rng.Uniform(candidates.size())];
+  uint64_t byte = rng.Uniform(c.rec->length);
+  uint8_t mask = static_cast<uint8_t>(1u << rng.Uniform(8));
+  journals_[c.journal].writer->CorruptByte(c.rec->j_offset + byte, mask);
+  return true;
+}
+
 void JournalManager::ReplayOne(size_t idx, size_t record_pos, std::function<void()> done) {
   JournalWriter* writer = journals_[idx].writer.get();
   const AppendedRecord rec = writer->pending()[record_pos];
@@ -407,25 +568,59 @@ void JournalManager::ReplayOne(size_t idx, size_t record_pos, std::function<void
     return;
   }
 
+  if (rec.has_data) {
+    // Read the whole payload once: the stored CRC32C covers the full record,
+    // and the bytes are needed for the merge anyway. A mismatch means the
+    // journal was silently corrupted after the durable append (bit flip, lost
+    // write) — the record's live ranges are quarantined and re-replicated
+    // from a healthy replica instead of being replayed as garbage.
+    auto buf = std::make_shared<std::vector<uint8_t>>(rec.length);
+    writer->ReadPayload(
+        rec.j_offset, rec.length, buf->data(),
+        [this, idx, rec, live, buf, done](const Status& s) {
+          URSA_CHECK(s.ok()) << "journal read failed during replay: " << s.ToString();
+          if (rec.ToHeader().ComputeCrc(buf->data()) != rec.crc) {
+            OnCorruptRecord(idx, rec);
+            sim_->After(0, done);  // consume: the record's data is unusable
+            return;
+          }
+          auto remaining = std::make_shared<size_t>(live.size());
+          for (const index::Segment& seg : live) {
+            uint64_t seg_bytes = static_cast<uint64_t>(seg.length) * kSector;
+            uint64_t chunk_byte_off = static_cast<uint64_t>(seg.offset) * kSector;
+            const uint8_t* src = buf->data() + (ByteOffsetOf(seg.j_offset) - rec.j_offset);
+            backup_store_->WriteBackground(
+                rec.chunk_id, chunk_byte_off, seg_bytes, src,
+                [this, chunk = rec.chunk_id, seg, seg_bytes, buf, remaining,
+                 done](const Status& s2) {
+                  URSA_CHECK(s2.ok())
+                      << "backup write failed during replay: " << s2.ToString();
+                  IndexFor(chunk).EraseIfMapsTo(seg.offset, seg.length, seg.j_offset);
+                  replayed_bytes_->Add(seg_bytes);
+                  if (--*remaining == 0) {
+                    replayed_records_->Increment();
+                    done();
+                  }
+                });
+          }
+        });
+    return;
+  }
+
+  // Timing-only records carry no bytes to verify; keep the per-segment I/O
+  // shape so performance experiments see the same device traffic as before.
   auto remaining = std::make_shared<size_t>(live.size());
   for (const index::Segment& seg : live) {
     uint64_t seg_bytes = static_cast<uint64_t>(seg.length) * kSector;
-    std::shared_ptr<std::vector<uint8_t>> buf;
-    void* buf_ptr = nullptr;
-    if (rec.has_data) {
-      buf = std::make_shared<std::vector<uint8_t>>(seg_bytes);
-      buf_ptr = buf->data();
-    }
     uint64_t journal_byte_off = ByteOffsetOf(seg.j_offset);
     writer->ReadPayload(
-        journal_byte_off, static_cast<uint32_t>(seg_bytes), buf_ptr,
-        [this, idx, seg, seg_bytes, buf, buf_ptr, remaining, done,
-         chunk = rec.chunk_id](const Status& s) {
+        journal_byte_off, static_cast<uint32_t>(seg_bytes), nullptr,
+        [this, seg, seg_bytes, remaining, done, chunk = rec.chunk_id](const Status& s) {
           URSA_CHECK(s.ok()) << "journal read failed during replay: " << s.ToString();
           uint64_t chunk_byte_off = static_cast<uint64_t>(seg.offset) * kSector;
           backup_store_->WriteBackground(
-              chunk, chunk_byte_off, seg_bytes, buf_ptr,
-              [this, chunk, seg, seg_bytes, buf, remaining, done](const Status& s2) {
+              chunk, chunk_byte_off, seg_bytes, nullptr,
+              [this, chunk, seg, seg_bytes, remaining, done](const Status& s2) {
                 URSA_CHECK(s2.ok()) << "backup write failed during replay: " << s2.ToString();
                 IndexFor(chunk).EraseIfMapsTo(seg.offset, seg.length, seg.j_offset);
                 replayed_bytes_->Add(seg_bytes);

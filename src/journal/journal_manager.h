@@ -18,10 +18,12 @@
 #define URSA_JOURNAL_JOURNAL_MANAGER_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/index/range_index.h"
 #include "src/journal/journal_writer.h"
@@ -50,6 +52,9 @@ struct JournalStats {
   uint64_t merged_records = 0;  // skipped at replay: fully overwritten
   uint64_t replayed_bytes = 0;
   uint64_t expansions = 0;  // active-journal switches due to full rings
+  uint64_t corruptions_detected = 0;  // CRC mismatches caught (replay + read)
+  uint64_t corruptions_repaired = 0;  // quarantined ranges healed by the master
+  uint64_t torn_tail_bytes = 0;       // bytes truncated by recovery scans
 };
 
 class JournalManager {
@@ -79,6 +84,30 @@ class JournalManager {
 
   // Begins continuous replay; reschedules itself until destroyed.
   void StartReplay();
+
+  // ---- Data integrity (see DESIGN.md "Fault model & chaos harness") ----
+  //
+  // Replay and journal-overlay reads re-verify each data record's CRC32C
+  // against the bytes actually on the device. A mismatch (bit flip, torn
+  // write that escaped the scan) quarantines the record's live ranges: the
+  // stale mappings are dropped, reads overlapping the range fail with
+  // kCorruption (never stale data), and the corruption handler is invoked so
+  // the cluster can re-replicate the range from a healthy replica. The
+  // handler's `healed` callback lifts the quarantine.
+  using CorruptionHandler = std::function<void(storage::ChunkId chunk, uint64_t offset,
+                                               uint64_t length, std::function<void()> healed)>;
+  void SetCorruptionHandler(CorruptionHandler handler) {
+    corruption_handler_ = std::move(handler);
+  }
+
+  // True while [offset, offset+length) of `chunk` intersects a quarantined
+  // (detected-corrupt, not yet repaired) range.
+  bool IsQuarantined(storage::ChunkId chunk, uint64_t offset, uint64_t length) const;
+
+  // Chaos hook: flips one random payload bit of one random pending data
+  // record (uniform over journals and records). Returns false when no
+  // data-carrying record is pending. Deterministic given `rng`.
+  bool InjectBitFlip(Rng& rng);
 
   // Crash recovery: scans every journal ring, rebuilds the per-chunk indexes
   // (records applied in per-chunk version order, newest winning) and the
@@ -128,6 +157,18 @@ class JournalManager {
 
   index::RangeIndex& IndexFor(storage::ChunkId chunk);
 
+  // Quarantine bookkeeping (byte ranges, per chunk).
+  void AddQuarantine(storage::ChunkId chunk, uint64_t offset, uint64_t length);
+  void ClearQuarantine(storage::ChunkId chunk, uint64_t offset, uint64_t length);
+
+  // Drops the record's live mappings, quarantines its range, reports the
+  // corruption, and asks the handler (if any) to re-replicate.
+  void OnCorruptRecord(size_t idx, const AppendedRecord& rec);
+
+  // Pending data record of journal `idx` whose payload covers region-relative
+  // `byte_off`; null when none does (e.g. already replayed).
+  const AppendedRecord* FindPendingRecord(size_t idx, uint64_t byte_off) const;
+
   // Schedules a ReplayTick if replay is running and none is queued.
   void Kick();
   void ReplayTick();
@@ -153,7 +194,13 @@ class JournalManager {
   obs::Counter* merged_records_;
   obs::Counter* replayed_bytes_;
   obs::Counter* expansions_;
+  obs::Counter* corruptions_detected_;
+  obs::Counter* corruptions_repaired_;
+  obs::Counter* torn_tail_bytes_;
   mutable JournalStats stats_cache_;
+
+  CorruptionHandler corruption_handler_;
+  std::map<storage::ChunkId, std::vector<std::pair<uint64_t, uint64_t>>> quarantine_;
 
   bool replay_running_ = false;
   bool replay_wave_inflight_ = false;

@@ -109,6 +109,12 @@ Result<uint64_t> JournalWriter::Append(storage::ChunkId chunk_id, uint32_t chunk
   meta.record_start = record_phys;
   meta.logical_start = record_logical;
   meta.has_data = data != nullptr;
+  if (data != nullptr) {
+    // Remember the stored CRC so replay/reads can re-verify the on-device
+    // image (timing-only appends carry no bytes, so there is nothing to
+    // verify and the CRC pass is skipped for them).
+    meta.crc = header.ComputeCrc(data);
+  }
   pending_.push_back(meta);
 
   storage::IoRequest req;
@@ -151,10 +157,18 @@ void JournalWriter::Scan(ScanCallback done) {
   req.out = image->data();
   req.done = [this, image, done = std::move(done)](const Status& s) {
     if (!s.ok()) {
-      done(s, {});
+      done(s, {}, ScanReport{});
       return;
     }
     std::vector<AppendedRecord> records;
+    // Sectors whose header decoded (valid magic, plausible footprint) but
+    // whose CRC failed: torn appends, bit flips, or stale partial overwrites.
+    struct CorruptAt {
+      uint64_t pos;
+      uint64_t footprint;
+    };
+    std::vector<CorruptAt> corrupt;
+    ScanReport report;
     uint64_t pos = 0;
     while (pos + kSector <= region_length_) {
       Result<RecordHeader> header = RecordHeader::Decode(image->data() + pos);
@@ -166,6 +180,8 @@ void JournalWriter::Scan(ScanCallback done) {
       const uint8_t* payload =
           header->invalidation() ? nullptr : image->data() + pos + kSector;
       if (header->crc != header->ComputeCrc(payload)) {
+        ++report.corrupt_sectors;
+        corrupt.push_back(CorruptAt{pos, header->Footprint()});
         pos += kSector;  // torn or stale record
         continue;
       }
@@ -174,6 +190,7 @@ void JournalWriter::Scan(ScanCallback done) {
       rec.chunk_offset = header->chunk_offset;
       rec.length = header->length;
       rec.version = header->version;
+      rec.crc = header->crc;
       rec.j_offset = pos + kSector;
       rec.record_start = pos;
       rec.logical_start = pos;
@@ -182,9 +199,48 @@ void JournalWriter::Scan(ScanCallback done) {
       records.push_back(rec);
       pos += header->Footprint();
     }
-    done(OkStatus(), std::move(records));
+    // Torn-tail accounting: corrupt records at or past the end of the last
+    // valid record are the crash-interrupted tail. RestorePending parks the
+    // head at `valid_end`, so these bytes are truncated (overwritten by the
+    // next append) rather than replayed.
+    uint64_t valid_end = 0;
+    for (const AppendedRecord& rec : records) {
+      valid_end = std::max(valid_end, rec.record_start + rec.footprint());
+    }
+    for (const CorruptAt& c : corrupt) {
+      if (c.pos >= valid_end) {
+        ++report.torn_tail_records;
+        report.torn_tail_bytes += std::min(c.footprint, region_length_ - c.pos);
+      }
+    }
+    done(OkStatus(), std::move(records), report);
   };
   device_->Submit(std::move(req));
+}
+
+void JournalWriter::CorruptByte(uint64_t region_byte, uint8_t xor_mask) {
+  URSA_CHECK_LT(region_byte, region_length_);
+  uint64_t sector_start = region_byte - region_byte % kSector;
+  auto buf = std::make_shared<std::vector<uint8_t>>(kSector);
+  storage::IoRequest read;
+  read.type = storage::IoType::kRead;
+  read.offset = region_offset_ + sector_start;
+  read.length = kSector;
+  read.out = buf->data();
+  read.done = [this, buf, sector_start, region_byte, xor_mask](const Status& s) {
+    if (!s.ok()) {
+      return;
+    }
+    (*buf)[region_byte % kSector] ^= xor_mask;
+    storage::IoRequest write;
+    write.type = storage::IoType::kWrite;
+    write.offset = region_offset_ + sector_start;
+    write.length = kSector;
+    write.data = buf->data();
+    write.done = [buf](const Status&) {};
+    device_->Submit(std::move(write));
+  };
+  device_->Submit(std::move(read));
 }
 
 void JournalWriter::RestorePending(std::vector<AppendedRecord> records) {

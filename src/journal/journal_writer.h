@@ -24,6 +24,7 @@ struct AppendedRecord {
   uint32_t chunk_offset = 0;  // bytes
   uint32_t length = 0;        // payload bytes
   uint64_t version = 0;
+  uint32_t crc = 0;            // header+payload CRC32C (data records only)
   uint64_t j_offset = 0;       // region-relative payload byte offset
   uint64_t record_start = 0;   // region-relative byte offset of the header
   uint64_t logical_start = 0;  // monotone logical position (for tail math)
@@ -33,6 +34,26 @@ struct AppendedRecord {
   uint64_t footprint() const {
     return invalidation ? kSector : RecordFootprint(length);
   }
+
+  // The header this record was written with (crc field as stored), for
+  // re-verification of the on-device image.
+  RecordHeader ToHeader() const {
+    RecordHeader h;
+    h.crc = crc;
+    h.chunk_id = chunk_id;
+    h.chunk_offset = chunk_offset;
+    h.length = length;
+    h.version = version;
+    h.flags = invalidation ? kFlagInvalidation : 0;
+    return h;
+  }
+};
+
+// Damage accounting from a recovery Scan (see DESIGN.md "Fault model").
+struct ScanReport {
+  uint64_t corrupt_sectors = 0;    // plausible header, CRC mismatch (anywhere)
+  uint64_t torn_tail_records = 0;  // corrupt records past the last valid one
+  uint64_t torn_tail_bytes = 0;    // bytes truncated with them
 };
 
 class JournalWriter {
@@ -74,9 +95,20 @@ class JournalWriter {
   // Scans the whole ring for valid records (magic + CRC over header and
   // payload), in physical-offset order. The in-memory index and replay queue
   // are volatile; after a restart the manager rebuilds them from this scan.
-  // `done` receives the surviving records.
-  using ScanCallback = std::function<void(const Status&, std::vector<AppendedRecord>)>;
+  // `done` receives the surviving records plus a damage report. A record cut
+  // mid-payload by a crash (torn tail) fails its CRC, is excluded, and is
+  // counted in the report; RestorePending then parks the head at the end of
+  // the last valid record, so the torn bytes are truncated — overwritten by
+  // the next append.
+  using ScanCallback =
+      std::function<void(const Status&, std::vector<AppendedRecord>, ScanReport)>;
   void Scan(ScanCallback done);
+
+  // Fault injection: XORs `xor_mask` into the byte at region-relative
+  // `region_byte` via a read-modify-write of its sector through the device
+  // (async, fire-and-forget). Used by the chaos harness to model silent media
+  // corruption under a journal record.
+  void CorruptByte(uint64_t region_byte, uint8_t xor_mask);
 
   // Reinstalls a recovered replay queue (records in replay order) and
   // repositions the ring's head past the newest record.

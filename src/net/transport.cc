@@ -40,6 +40,21 @@ bool Transport::IsNodeDown(NodeId node) const {
   return nodes_[node]->down;
 }
 
+void Transport::SetLinkChaos(NodeId from, NodeId to, const LinkChaosRule& rule) {
+  URSA_CHECK_LT(from, nodes_.size());
+  URSA_CHECK_LT(to, nodes_.size());
+  chaos_rules_[{from, to}] = rule;
+}
+
+void Transport::ClearLinkChaos(NodeId from, NodeId to) { chaos_rules_.erase({from, to}); }
+
+void Transport::ClearAllLinkChaos() { chaos_rules_.clear(); }
+
+const LinkChaosRule* Transport::FindLinkChaos(NodeId from, NodeId to) const {
+  auto it = chaos_rules_.find({from, to});
+  return it == chaos_rules_.end() ? nullptr : &it->second;
+}
+
 void Transport::SetLinkBroken(NodeId a, NodeId b, bool broken) {
   auto match = [&](const std::pair<NodeId, NodeId>& p) {
     return (p.first == a && p.second == b) || (p.first == b && p.second == a);
@@ -87,6 +102,15 @@ void Transport::RegisterMetrics(obs::MetricsRegistry* registry) {
     }
     return static_cast<double>(depth);
   });
+  registry->RegisterCallbackCounter("net.chaos_dropped", {}, [this]() {
+    return static_cast<double>(chaos_counters_.dropped);
+  });
+  registry->RegisterCallbackCounter("net.chaos_duplicated", {}, [this]() {
+    return static_cast<double>(chaos_counters_.duplicated);
+  });
+  registry->RegisterCallbackCounter("net.chaos_delayed", {}, [this]() {
+    return static_cast<double>(chaos_counters_.delayed);
+  });
   registry->RegisterCallbackGauge("net.ingress_queue_depth", {}, [this]() {
     size_t depth = 0;
     for (const auto& node : nodes_) {
@@ -108,22 +132,60 @@ void Transport::Send(NodeId from, NodeId to, uint64_t payload_bytes, sim::EventF
     return;  // dropped; the sender's timeout machinery notices
   }
 
+  const LinkChaosRule* rule = FindLinkChaos(from, to);
+  Nanos chaos_delay = 0;
+  bool duplicate = false;
+  if (rule != nullptr) {
+    if (rule->blocked || (rule->drop_prob > 0 && ChaosRng().Bernoulli(rule->drop_prob))) {
+      ++chaos_counters_.dropped;
+      return;  // same silent drop as a broken link
+    }
+    if (rule->extra_delay > 0 || rule->jitter > 0) {
+      chaos_delay = rule->extra_delay;
+      if (rule->jitter > 0) {
+        chaos_delay += static_cast<Nanos>(ChaosRng().Uniform(static_cast<uint64_t>(rule->jitter) + 1));
+      }
+      ++chaos_counters_.delayed;
+    }
+    duplicate = rule->dup_prob > 0 && ChaosRng().Bernoulli(rule->dup_prob);
+  }
+
   uint64_t wire_bytes = payload_bytes + src.params.overhead_bytes;
   src.bytes_out += wire_bytes;
 
   if (from == to) {
     // Loopback: no NIC occupancy, just a scheduler hop.
-    sim_->After(usec(2), [this, &dst, wire_bytes, deliver = std::move(deliver)]() mutable {
-      dst.bytes_in += wire_bytes;
-      ++messages_delivered_;
-      deliver();
-    });
+    sim_->After(usec(2) + chaos_delay,
+                [this, &dst, wire_bytes, deliver = std::move(deliver)]() mutable {
+                  dst.bytes_in += wire_bytes;
+                  ++messages_delivered_;
+                  deliver();
+                });
     return;
   }
 
+  if (duplicate) {
+    // The duplicate samples its own delay, so it can arrive before or after
+    // the original — both orders occur in real networks.
+    ++chaos_counters_.duplicated;
+    Nanos dup_delay = rule->extra_delay;
+    if (rule->jitter > 0) {
+      dup_delay += static_cast<Nanos>(ChaosRng().Uniform(static_cast<uint64_t>(rule->jitter) + 1));
+    }
+    src.bytes_out += wire_bytes;
+    Transmit(from, to, wire_bytes, dup_delay, deliver);  // copies the closure
+  }
+  Transmit(from, to, wire_bytes, chaos_delay, std::move(deliver));
+}
+
+void Transport::Transmit(NodeId from, NodeId to, uint64_t wire_bytes, Nanos extra_propagation,
+                         sim::EventFn deliver) {
+  Node& src = *nodes_[from];
+  Node& dst = *nodes_[to];
+
   Nanos tx_time = TransferTime(wire_bytes, src.params.nic_bw);
   Nanos rx_time = TransferTime(wire_bytes, dst.params.nic_bw);
-  Nanos propagation = src.params.propagation;
+  Nanos propagation = src.params.propagation + extra_propagation;
 
   // LACP-style flow pinning: the (from,to) pair always uses the same NIC
   // index at both endpoints.

@@ -18,10 +18,13 @@
 #define URSA_NET_TRANSPORT_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/trace.h"
@@ -37,6 +40,20 @@ struct NetParams {
   int nics = 2;                  // paper testbed: two 10 GbE NICs per machine
   Nanos propagation = usec(25);  // switch + cable + kernel stack latency
   uint64_t overhead_bytes = 128;  // per-message framing/header overhead
+};
+
+// Programmable per-link (directed, from -> to) fault rule for chaos testing.
+// Rules compose: a message is first subjected to blocking/probabilistic drop,
+// then optional duplication, then extra delay + jitter. Jitter larger than the
+// inter-message gap reorders messages on the link (each copy samples its own
+// delay, and delayed copies bypass the NIC FIFO of later undelayed ones only
+// in the propagation stage, where ordering is not enforced).
+struct LinkChaosRule {
+  bool blocked = false;    // asymmetric partition: drop everything from -> to
+  double drop_prob = 0.0;  // i.i.d. per-message drop probability
+  double dup_prob = 0.0;   // i.i.d. per-message duplicate-delivery probability
+  Nanos extra_delay = 0;   // fixed extra propagation delay
+  Nanos jitter = 0;        // + uniform [0, jitter] per message (reordering)
 };
 
 class Transport {
@@ -70,6 +87,29 @@ class Transport {
   // between two specific nodes, for the hybrid fault model tests (§4.1).
   void SetLinkBroken(NodeId a, NodeId b, bool broken);
 
+  // ---- Programmable chaos (see DESIGN.md "Fault model & chaos harness") ----
+
+  // Installs (replacing any previous) a directed fault rule on from -> to.
+  // The reverse direction is unaffected, which is what makes asymmetric
+  // partitions expressible. Rules apply to subsequently sent messages only.
+  void SetLinkChaos(NodeId from, NodeId to, const LinkChaosRule& rule);
+  void ClearLinkChaos(NodeId from, NodeId to);
+  void ClearAllLinkChaos();
+  const LinkChaosRule* FindLinkChaos(NodeId from, NodeId to) const;
+
+  // All chaos randomness (drop/dup coin flips, jitter) is drawn from this
+  // stream so a ChaosPlan seed reproduces the exact fault schedule. The rng
+  // is not owned and must outlive the transport; when unset, a fixed-seed
+  // internal stream is used (still deterministic).
+  void SetChaosRng(Rng* rng) { chaos_rng_ = rng; }
+
+  struct ChaosCounters {
+    uint64_t dropped = 0;     // blocked or probabilistically dropped
+    uint64_t duplicated = 0;  // extra copies delivered
+    uint64_t delayed = 0;     // messages given extra delay/jitter
+  };
+  const ChaosCounters& chaos_counters() const { return chaos_counters_; }
+
   uint64_t bytes_in(NodeId node) const { return nodes_[node]->bytes_in; }
   uint64_t bytes_out(NodeId node) const { return nodes_[node]->bytes_out; }
   uint64_t messages_delivered() const { return messages_delivered_; }
@@ -93,10 +133,20 @@ class Transport {
   };
 
   bool LinkBroken(NodeId a, NodeId b) const;
+  Rng& ChaosRng() { return chaos_rng_ != nullptr ? *chaos_rng_ : fallback_chaos_rng_; }
+
+  // The NIC-and-propagation delivery path shared by the original message and
+  // chaos duplicates. `extra_propagation` is the chaos delay for this copy.
+  void Transmit(NodeId from, NodeId to, uint64_t wire_bytes, Nanos extra_propagation,
+                sim::EventFn deliver);
 
   sim::Simulator* sim_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::pair<NodeId, NodeId>> broken_links_;
+  std::map<std::pair<NodeId, NodeId>, LinkChaosRule> chaos_rules_;
+  Rng* chaos_rng_ = nullptr;
+  Rng fallback_chaos_rng_{0xC4A05ULL};  // "CHAOS"
+  ChaosCounters chaos_counters_;
   uint64_t messages_delivered_ = 0;
 };
 

@@ -1,0 +1,35 @@
+#include "src/storage/block_device.h"
+
+#include <utility>
+
+namespace ursa::storage {
+
+void BlockDevice::Submit(IoRequest req) {
+  if (fault_.stuck) {
+    ++fault_stuck_ops_;
+    held_.push_back(std::move(req));
+    return;
+  }
+  if (fault_.extra_latency > 0) {
+    ++fault_delayed_ops_;
+    sim_->After(fault_.extra_latency,
+                [this, req = std::move(req)]() mutable { SubmitIo(std::move(req)); });
+    return;
+  }
+  SubmitIo(std::move(req));
+}
+
+void BlockDevice::SetFault(const DeviceFault& fault) {
+  bool was_stuck = fault_.stuck;
+  fault_ = fault;
+  if (was_stuck && !fault_.stuck && !held_.empty()) {
+    // Re-admit in arrival order through the (possibly still slow) fault path.
+    std::vector<IoRequest> held;
+    held.swap(held_);
+    for (auto& req : held) {
+      Submit(std::move(req));
+    }
+  }
+}
+
+}  // namespace ursa::storage

@@ -14,28 +14,70 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/sim/simulator.h"
 #include "src/storage/io_request.h"
 
 namespace ursa::storage {
 
+// Gray-failure state injectable on any device (see DESIGN.md "Fault model &
+// chaos harness"). Unlike a crash, the device keeps accepting requests — it
+// just serves them pathologically. Modelled after field reports of fail-slow
+// hardware ("Gray Failure", HotOS '17).
+struct DeviceFault {
+  // Added to every request before it reaches the device model — a slow disk
+  // (degraded media, firmware retry storms) rather than a dead one.
+  Nanos extra_latency = 0;
+  // Stuck I/O: requests are admitted but held indefinitely; they complete
+  // only after the fault is cleared. Upper layers see this as requests that
+  // never return — the hardest gray failure to distinguish from a crash.
+  bool stuck = false;
+};
+
 class BlockDevice {
  public:
+  explicit BlockDevice(sim::Simulator* sim) : sim_(sim) {}
   virtual ~BlockDevice() = default;
 
   // Submits an async operation. The completion callback runs from the
   // simulator event loop; it must not be invoked synchronously from Submit.
-  virtual void Submit(IoRequest req) = 0;
+  // Applies any injected gray fault, then forwards to the device model.
+  void Submit(IoRequest req);
 
   virtual uint64_t capacity() const = 0;
 
   const DeviceStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DeviceStats{}; }
 
-  // Number of operations submitted but not yet completed.
+  // Number of operations submitted but not yet completed. Requests held by a
+  // stuck fault have not reached the device model and are counted separately
+  // (held_requests) — a stuck disk looks idle from the outside, which is
+  // exactly what makes the failure "gray".
   virtual size_t inflight() const = 0;
 
+  // ---- Gray-failure injection ----
+
+  // Replaces the active fault. Clearing `stuck` releases every held request
+  // into the device model (in admission order).
+  void SetFault(const DeviceFault& fault);
+  void ClearFault() { SetFault(DeviceFault{}); }
+  const DeviceFault& fault() const { return fault_; }
+
+  size_t held_requests() const { return held_.size(); }
+  uint64_t fault_delayed_ops() const { return fault_delayed_ops_; }
+  uint64_t fault_stuck_ops() const { return fault_stuck_ops_; }
+
  protected:
+  // Device-model implementation of Submit; called after fault handling.
+  virtual void SubmitIo(IoRequest req) = 0;
+
+  sim::Simulator* sim_;
   DeviceStats stats_;
+
+ private:
+  DeviceFault fault_;
+  std::vector<IoRequest> held_;  // admitted while stuck, awaiting heal
+  uint64_t fault_delayed_ops_ = 0;
+  uint64_t fault_stuck_ops_ = 0;
 };
 
 // Sparse page-granular byte store backing devices that carry real data.

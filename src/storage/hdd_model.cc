@@ -5,9 +5,10 @@
 
 namespace ursa::storage {
 
-HddModel::HddModel(sim::Simulator* sim, const HddParams& params) : sim_(sim), params_(params) {}
+HddModel::HddModel(sim::Simulator* sim, const HddParams& params)
+    : BlockDevice(sim), params_(params) {}
 
-void HddModel::Submit(IoRequest req) {
+void HddModel::SubmitIo(IoRequest req) {
   URSA_CHECK_LE(req.offset + req.length, params_.capacity) << "I/O beyond HDD capacity";
   stats_.RecordSubmit(req);
 

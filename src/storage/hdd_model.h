@@ -44,7 +44,6 @@ class HddModel : public BlockDevice {
  public:
   HddModel(sim::Simulator* sim, const HddParams& params);
 
-  void Submit(IoRequest req) override;
   uint64_t capacity() const override { return params_.capacity; }
   size_t inflight() const override {
     return pending_.size() + background_.size() + (busy_ ? 1 : 0);
@@ -57,6 +56,9 @@ class HddModel : public BlockDevice {
   const HddParams& params() const { return params_; }
   Nanos busy_time() const { return busy_time_; }
 
+ protected:
+  void SubmitIo(IoRequest req) override;
+
  private:
   struct Pending {
     IoRequest req;
@@ -66,7 +68,6 @@ class HddModel : public BlockDevice {
   void Dispatch();
   Nanos ServiceTime(const IoRequest& req);
 
-  sim::Simulator* sim_;
   HddParams params_;
   // Elevator queues ordered by offset; multimap tolerates duplicate offsets.
   // Foreground requests always dispatch before background (replay) ones.

@@ -5,9 +5,9 @@
 namespace ursa::storage {
 
 MemDevice::MemDevice(sim::Simulator* sim, uint64_t capacity, Nanos fixed_latency)
-    : sim_(sim), capacity_(capacity), fixed_latency_(fixed_latency) {}
+    : BlockDevice(sim), capacity_(capacity), fixed_latency_(fixed_latency) {}
 
-void MemDevice::Submit(IoRequest req) {
+void MemDevice::SubmitIo(IoRequest req) {
   URSA_CHECK_LE(req.offset + req.length, capacity_) << "I/O beyond device capacity";
   stats_.RecordSubmit(req);
   ++inflight_;

@@ -18,7 +18,6 @@ class MemDevice : public BlockDevice {
  public:
   MemDevice(sim::Simulator* sim, uint64_t capacity, Nanos fixed_latency = 0);
 
-  void Submit(IoRequest req) override;
   uint64_t capacity() const override { return capacity_; }
   size_t inflight() const override { return inflight_; }
 
@@ -33,8 +32,10 @@ class MemDevice : public BlockDevice {
     store_.Write(offset, data, length);
   }
 
+ protected:
+  void SubmitIo(IoRequest req) override;
+
  private:
-  sim::Simulator* sim_;
   uint64_t capacity_;
   Nanos fixed_latency_;
   size_t inflight_ = 0;

@@ -7,7 +7,7 @@
 namespace ursa::storage {
 
 SsdModel::SsdModel(sim::Simulator* sim, const SsdParams& params, const std::string& name)
-    : sim_(sim), params_(params) {
+    : BlockDevice(sim), params_(params) {
   channels_.reserve(params_.channels);
   for (int c = 0; c < params_.channels; ++c) {
     channels_.push_back(
@@ -15,7 +15,7 @@ SsdModel::SsdModel(sim::Simulator* sim, const SsdParams& params, const std::stri
   }
 }
 
-void SsdModel::Submit(IoRequest req) {
+void SsdModel::SubmitIo(IoRequest req) {
   URSA_CHECK_LE(req.offset + req.length, params_.capacity) << "I/O beyond SSD capacity";
   stats_.RecordSubmit(req);
   ++inflight_;

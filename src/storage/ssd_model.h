@@ -34,7 +34,6 @@ class SsdModel : public BlockDevice {
  public:
   SsdModel(sim::Simulator* sim, const SsdParams& params, const std::string& name = "ssd");
 
-  void Submit(IoRequest req) override;
   uint64_t capacity() const override { return params_.capacity; }
   size_t inflight() const override { return inflight_; }
 
@@ -43,8 +42,10 @@ class SsdModel : public BlockDevice {
   // Aggregate busy time across channels (for utilization accounting).
   Nanos channel_busy_time() const;
 
+ protected:
+  void SubmitIo(IoRequest req) override;
+
  private:
-  sim::Simulator* sim_;
   SsdParams params_;
   std::vector<std::unique_ptr<sim::Resource>> channels_;
   size_t inflight_ = 0;

@@ -171,6 +171,91 @@ TEST_F(JournalWriterTest, WrapNeverSplitsRecord) {
   }
 }
 
+// A crash can tear the newest append mid-payload: the header and the first
+// payload sectors hit the platter, the rest never did. Recovery must refuse
+// the whole record (its CRC spans the full payload), truncate the torn bytes,
+// and leave the ring appendable — NOT replay half a write as if it finished.
+TEST_F(JournalWriterTest, ScanTruncatesRecordCutMidPayload) {
+  auto a = test::Pattern(4096, 1);
+  auto b = test::Pattern(8192, 2);
+  auto c = test::Pattern(4096, 3);
+  ASSERT_TRUE(writer_.Append(1, 0, a.size(), 1, a.data(), [](const Status&) {}).ok());
+  ASSERT_TRUE(writer_.Append(1, 4096, b.size(), 2, b.data(), [](const Status&) {}).ok());
+  Result<uint64_t> jc = writer_.Append(1, 16384, c.size(), 3, c.data(), [](const Status&) {});
+  ASSERT_TRUE(jc.ok());
+  sim_.RunToCompletion();
+
+  // Cut the last record mid-payload: its second half reads back as garbage.
+  writer_.CorruptByte(*jc + 2048, 0x5A);
+  writer_.CorruptByte(*jc + 3500, 0xFF);
+  sim_.RunToCompletion();
+
+  std::vector<AppendedRecord> survivors;
+  ScanReport report;
+  writer_.Scan([&](const Status& s, std::vector<AppendedRecord> recs, ScanReport rep) {
+    ASSERT_TRUE(s.ok());
+    survivors = std::move(recs);
+    report = rep;
+  });
+  sim_.RunToCompletion();
+
+  ASSERT_EQ(survivors.size(), 2u);
+  EXPECT_EQ(survivors[0].version, 1u);
+  EXPECT_EQ(survivors[1].version, 2u);
+  EXPECT_EQ(report.torn_tail_records, 1u);
+  EXPECT_GT(report.torn_tail_bytes, 0u);
+
+  // Truncation parks the head at the end of the last valid record, so the
+  // torn bytes get overwritten by the next append and scan back clean.
+  writer_.RestorePending(survivors);
+  auto d = test::Pattern(4096, 4);
+  Result<uint64_t> jd = writer_.Append(1, 16384, d.size(), 4, d.data(), [](const Status&) {});
+  ASSERT_TRUE(jd.ok());
+  EXPECT_EQ(*jd, *jc);  // reuses the truncated slot
+  sim_.RunToCompletion();
+
+  writer_.Scan([&](const Status& s, std::vector<AppendedRecord> recs, ScanReport rep) {
+    ASSERT_TRUE(s.ok());
+    survivors = std::move(recs);
+    report = rep;
+  });
+  sim_.RunToCompletion();
+  ASSERT_EQ(survivors.size(), 3u);
+  EXPECT_EQ(survivors.back().version, 4u);
+  EXPECT_EQ(report.torn_tail_records, 0u);
+}
+
+// Silent corruption in the MIDDLE of the ring (not the tail) must not hide
+// the valid records after it: only the damaged record is dropped.
+TEST_F(JournalWriterTest, ScanKeepsValidRecordsPastMidRingCorruption) {
+  auto a = test::Pattern(4096, 1);
+  auto b = test::Pattern(4096, 2);
+  auto c = test::Pattern(4096, 3);
+  ASSERT_TRUE(writer_.Append(1, 0, a.size(), 1, a.data(), [](const Status&) {}).ok());
+  Result<uint64_t> jb = writer_.Append(1, 4096, b.size(), 2, b.data(), [](const Status&) {});
+  ASSERT_TRUE(jb.ok());
+  ASSERT_TRUE(writer_.Append(1, 8192, c.size(), 3, c.data(), [](const Status&) {}).ok());
+  sim_.RunToCompletion();
+
+  writer_.CorruptByte(*jb + 100, 0x01);  // single flipped bit-pattern mid-ring
+  sim_.RunToCompletion();
+
+  std::vector<AppendedRecord> survivors;
+  ScanReport report;
+  writer_.Scan([&](const Status& s, std::vector<AppendedRecord> recs, ScanReport rep) {
+    ASSERT_TRUE(s.ok());
+    survivors = std::move(recs);
+    report = rep;
+  });
+  sim_.RunToCompletion();
+
+  ASSERT_EQ(survivors.size(), 2u);
+  EXPECT_EQ(survivors[0].version, 1u);
+  EXPECT_EQ(survivors[1].version, 3u);  // the record PAST the damage survives
+  EXPECT_GT(report.corrupt_sectors, 0u);
+  EXPECT_EQ(report.torn_tail_records, 0u);  // not a tail cut: no truncation
+}
+
 TEST(JournalLiteTest, RecordsAndReportsModifications) {
   JournalLite lite(16);
   lite.Record(1, 1, 0, 4096);

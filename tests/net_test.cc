@@ -263,5 +263,131 @@ TEST(QuorumTrackerTest, DecidesExactlyOnce) {
   EXPECT_EQ(decisions, 1);
 }
 
+// Regression: a straggler leg whose reply lands AFTER the quorum already
+// decided (majority-after-timeout) must not complete the call a second time
+// or disturb the recorded tallies. Under link chaos a delayed reply routinely
+// outlives the commit decision, and a double-completion would ack one write
+// twice (the client would bump its version for a commit that happened once).
+TEST(QuorumTrackerTest, LateStragglerAfterDecisionDoesNotDoubleComplete) {
+  int decisions = 0;
+  Status decision;
+  int final_successes = 0;
+  QuorumTracker tracker(3, 2, [&](const Status& s, int successes, int) {
+    ++decisions;
+    decision = s;
+    final_successes = successes;
+  });
+  tracker.RecordSuccess();
+  tracker.RecordFailure();
+  tracker.TimeoutExpired();
+  EXPECT_EQ(decisions, 0);  // 1 of 3 succeeded: not yet a majority
+  tracker.RecordSuccess();  // majority reached after the timeout
+  EXPECT_EQ(decisions, 1);
+  EXPECT_TRUE(decision.ok());
+  EXPECT_EQ(final_successes, 2);
+  tracker.RecordSuccess();  // the straggler finally replies
+  tracker.TimeoutExpired();
+  EXPECT_EQ(decisions, 1);  // decided exactly once, tallies frozen
+  EXPECT_EQ(final_successes, 2);
+}
+
+// ---- Link chaos rules (see DESIGN.md "Fault model & chaos harness") ----
+
+TEST(TransportChaosTest, BlockedLinkIsAsymmetric) {
+  sim::Simulator sim;
+  Transport net(&sim);
+  NodeId a = net.AddNode("a");
+  NodeId b = net.AddNode("b");
+  LinkChaosRule blocked;
+  blocked.blocked = true;
+  net.SetLinkChaos(a, b, blocked);
+
+  bool forward = false;
+  bool backward = false;
+  net.Send(a, b, 512, [&]() { forward = true; });
+  net.Send(b, a, 512, [&]() { backward = true; });
+  sim.RunToCompletion();
+  EXPECT_FALSE(forward);  // a -> b partitioned
+  EXPECT_TRUE(backward);  // b -> a untouched: asymmetric by design
+  EXPECT_EQ(net.chaos_counters().dropped, 1u);
+
+  net.ClearLinkChaos(a, b);
+  net.Send(a, b, 512, [&]() { forward = true; });
+  sim.RunToCompletion();
+  EXPECT_TRUE(forward);  // healed
+}
+
+TEST(TransportChaosTest, DropProbabilityIsDeterministicGivenRng) {
+  for (int trial = 0; trial < 2; ++trial) {
+    sim::Simulator sim;
+    Rng rng(42);
+    Transport net(&sim);
+    net.SetChaosRng(&rng);
+    NodeId a = net.AddNode("a");
+    NodeId b = net.AddNode("b");
+    LinkChaosRule lossy;
+    lossy.drop_prob = 0.5;
+    net.SetLinkChaos(a, b, lossy);
+
+    int delivered = 0;
+    for (int i = 0; i < 100; ++i) {
+      net.Send(a, b, 512, [&]() { ++delivered; });
+    }
+    sim.RunToCompletion();
+    EXPECT_GT(delivered, 20);
+    EXPECT_LT(delivered, 80);
+    // Same seed => exactly the same coin flips on both trials.
+    static int first_trial_delivered = -1;
+    if (trial == 0) {
+      first_trial_delivered = delivered;
+    } else {
+      EXPECT_EQ(delivered, first_trial_delivered);
+    }
+  }
+}
+
+TEST(TransportChaosTest, DuplicationDeliversExtraCopies) {
+  sim::Simulator sim;
+  Rng rng(7);
+  Transport net(&sim);
+  net.SetChaosRng(&rng);
+  NodeId a = net.AddNode("a");
+  NodeId b = net.AddNode("b");
+  LinkChaosRule dup;
+  dup.dup_prob = 1.0;  // every message duplicated
+  net.SetLinkChaos(a, b, dup);
+
+  int deliveries = 0;
+  net.Send(a, b, 512, [&]() { ++deliveries; });
+  sim.RunToCompletion();
+  EXPECT_EQ(deliveries, 2);
+  EXPECT_EQ(net.chaos_counters().duplicated, 1u);
+}
+
+TEST(TransportChaosTest, ExtraDelayShiftsDelivery) {
+  NetParams params;
+  Nanos base = 0;
+  {
+    sim::Simulator sim;
+    Transport net(&sim);
+    NodeId a = net.AddNode("a", params);
+    NodeId b = net.AddNode("b", params);
+    net.Send(a, b, 4096, [&]() { base = sim.Now(); });
+    sim.RunToCompletion();
+  }
+  sim::Simulator sim;
+  Transport net(&sim);
+  NodeId a = net.AddNode("a", params);
+  NodeId b = net.AddNode("b", params);
+  LinkChaosRule slow;
+  slow.extra_delay = msec(3);
+  net.SetLinkChaos(a, b, slow);
+  Nanos delayed = 0;
+  net.Send(a, b, 4096, [&]() { delayed = sim.Now(); });
+  sim.RunToCompletion();
+  EXPECT_EQ(delayed, base + msec(3));
+  EXPECT_EQ(net.chaos_counters().delayed, 1u);
+}
+
 }  // namespace
 }  // namespace ursa::net
