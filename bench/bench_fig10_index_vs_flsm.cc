@@ -8,8 +8,10 @@
 //
 // Unlike the simulation benches this one measures REAL wall-clock time of
 // real data structures.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -46,9 +48,23 @@ double Seconds(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double>(b - a).count();
 }
 
+// Queries are fast enough that one pass over the query set lasts ~20ms and
+// scheduler noise dominates; run `passes` and keep the best.
+template <typename Fn>
+double BestQueryRate(size_t queries, int passes, Fn&& fn) {
+  double best = 0;
+  for (int p = 0; p < passes; ++p) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    best = std::max(best, queries / Seconds(t0, t1));
+  }
+  return best;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Figure 10: Ursa index vs PebblesDB-style FLSM ===\n");
   std::printf("(paper: Ursa 2.17M/1.35M vs PebblesDB 19K/18K range insert/query per sec)\n\n");
 
@@ -71,13 +87,22 @@ int main() {
   double ursa_insert_rate = kInserts / Seconds(t0, t1);
 
   volatile uint64_t sink = 0;
-  t0 = std::chrono::steady_clock::now();
-  for (const Op& q : queries) {
-    auto segs = ursa_index.Query(q.offset, q.length);
-    sink += segs.size();
-  }
-  t1 = std::chrono::steady_clock::now();
-  double ursa_query_rate = kQueries / Seconds(t0, t1);
+  double ursa_query_rate = BestQueryRate(kQueries, 3, [&]() {
+    for (const Op& q : queries) {
+      auto segs = ursa_index.Query(q.offset, q.length);
+      sink = sink + segs.size();
+    }
+  });
+
+  // Allocation-free query path (what JournalManager's overlay reads use):
+  // one reused SegmentVec, zero allocations once warmed.
+  index::SegmentVec segvec;
+  double ursa_queryto_rate = BestQueryRate(kQueries, 3, [&]() {
+    for (const Op& q : queries) {
+      ursa_index.QueryTo(q.offset, q.length, &segvec);
+      sink = sink + segvec.size();
+    }
+  });
 
   std::printf("Ursa index levels after load: tree=%zu array=%zu (%.1f MB)\n",
               ursa_index.tree_size(), ursa_index.array_size(),
@@ -92,31 +117,48 @@ int main() {
   t1 = std::chrono::steady_clock::now();
   double flsm_insert_rate = kInserts / Seconds(t0, t1);
 
-  t0 = std::chrono::steady_clock::now();
-  for (const Op& q : queries) {
-    auto segs = flsm.Query(q.offset, q.length);
-    sink += segs.size();
-  }
-  t1 = std::chrono::steady_clock::now();
-  double flsm_query_rate = kQueries / Seconds(t0, t1);
+  double flsm_query_rate = BestQueryRate(kQueries, 3, [&]() {
+    for (const Op& q : queries) {
+      auto segs = flsm.Query(q.offset, q.length);
+      sink = sink + segs.size();
+    }
+  });
 
   core::Table table({"Structure", "Range insert/s", "Range query/s"});
   table.AddRow({"PebblesDB-FLSM", core::Table::Int(flsm_insert_rate),
                 core::Table::Int(flsm_query_rate)});
   table.AddRow({"Ursa index", core::Table::Int(ursa_insert_rate),
                 core::Table::Int(ursa_query_rate)});
+  table.AddRow({"Ursa index (QueryTo)", core::Table::Int(ursa_insert_rate),
+                core::Table::Int(ursa_queryto_rate)});
   table.Print();
 
   double insert_ratio = ursa_insert_rate / flsm_insert_rate;
   double query_ratio = ursa_query_rate / flsm_query_rate;
   std::printf("\nInsert speedup: %.0fx   Query speedup: %.0fx  (paper: ~114x / ~75x)\n",
               insert_ratio, query_ratio);
+  std::printf("Allocation-free QueryTo vs allocating Query: %.2fx\n",
+              ursa_queryto_rate / ursa_query_rate);
   std::printf("(our FLSM is RAM-only — no WAL, SSTable I/O, or bloom checks — so its\n");
   std::printf(" absolute rates run ~2-3x above real PebblesDB and the gap narrows; the\n");
   std::printf(" structural order-of-magnitude separation is what the check verifies)\n");
   bool ok = insert_ratio > 10 && query_ratio > 10 && ursa_insert_rate > 5e5 &&
             ursa_query_rate > 1e6;
   std::printf("Fig10 %s\n", ok ? "SHAPE-OK" : "SHAPE-MISMATCH");
+
+  std::string json_path = core::MetricsJsonPath(argc, argv);
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    os << "{\"bench\":\"fig10_index_vs_flsm\""
+       << ",\"ursa_insert_per_s\":" << ursa_insert_rate
+       << ",\"ursa_query_per_s\":" << ursa_query_rate
+       << ",\"ursa_queryto_per_s\":" << ursa_queryto_rate
+       << ",\"flsm_insert_per_s\":" << flsm_insert_rate
+       << ",\"flsm_query_per_s\":" << flsm_query_rate
+       << ",\"insert_speedup\":" << insert_ratio
+       << ",\"query_speedup\":" << query_ratio
+       << ",\"shape_ok\":" << (ok ? "true" : "false") << "}\n";
+  }
   (void)sink;
   return 0;
 }

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""CI regression gate for BENCH_*.json metrics.
+
+Usage: check_bench_regression.py --baselines bench/bench_baselines.json \
+           BENCH_hotpath.json [BENCH_fig10_index_vs_flsm.json ...]
+
+Each metrics file carries a "bench" key naming its baseline section. A metric
+fails when it drops more than the allowed slack (20%) below its checked-in
+baseline; metrics without a baseline entry are reported but not gated.
+Exits nonzero on any failure so the CI job fails.
+"""
+
+import argparse
+import json
+import sys
+
+SLACK = 0.80  # measured must be >= baseline * SLACK
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baselines", required=True)
+    parser.add_argument("metrics", nargs="+")
+    args = parser.parse_args()
+
+    with open(args.baselines) as f:
+        baselines = json.load(f)
+
+    failures = []
+    for path in args.metrics:
+        with open(path) as f:
+            metrics = json.load(f)
+        bench = metrics.get("bench")
+        section = baselines.get(bench)
+        if section is None:
+            print(f"{path}: no baseline section for bench={bench!r}, skipping")
+            continue
+        print(f"== {path} (bench={bench}) ==")
+        for key, floor in section.items():
+            measured = metrics.get(key)
+            if measured is None:
+                failures.append(f"{bench}.{key}: missing from {path}")
+                print(f"  {key:28s} MISSING (baseline {floor:g})")
+                continue
+            limit = floor * SLACK
+            ok = measured >= limit
+            status = "ok" if ok else "FAIL"
+            print(
+                f"  {key:28s} {measured:14.4g}  baseline {floor:10.4g}"
+                f"  floor {limit:10.4g}  {status}"
+            )
+            if not ok:
+                failures.append(
+                    f"{bench}.{key}: {measured:g} < {limit:g}"
+                    f" (baseline {floor:g} - 20%)"
+                )
+
+    if failures:
+        print("\nRegression gate FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nRegression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

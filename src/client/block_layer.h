@@ -26,6 +26,17 @@ class BlockLayer {
   virtual void Write(uint64_t offset, uint64_t length, const void* data,
                      storage::IoCallback done) = 0;
 
+  // Zero-copy write: layers that can forward the ref-counted view do so
+  // (VirtualDiskLayer); the default keeps the view alive until completion and
+  // routes through the raw-pointer virtual, so decorators that only know the
+  // legacy shape keep working unmodified.
+  virtual void Write(uint64_t offset, uint64_t length, ursa::BufferView data,
+                     storage::IoCallback done) {
+    const void* raw = data.data();
+    Write(offset, length, raw,
+          [held = std::move(data), done = std::move(done)](const Status& s) { done(s); });
+  }
+
   // Logical capacity exposed to the layer above.
   virtual uint64_t size() const = 0;
 };
@@ -41,6 +52,10 @@ class VirtualDiskLayer : public BlockLayer {
   void Write(uint64_t offset, uint64_t length, const void* data,
              storage::IoCallback done) override {
     disk_->Write(offset, length, data, std::move(done));
+  }
+  void Write(uint64_t offset, uint64_t length, ursa::BufferView data,
+             storage::IoCallback done) override {
+    disk_->Write(offset, length, std::move(data), std::move(done));
   }
   uint64_t size() const override { return disk_->size(); }
 

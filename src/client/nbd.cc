@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "src/common/buffer.h"
 #include "src/common/logging.h"
 
 namespace ursa::client {
@@ -131,9 +132,11 @@ void NbdSession::Dispatch(const NbdRequest& request, std::vector<uint8_t> payloa
         Reply(request.handle, kNbdEinval, {});
         return;
       }
-      auto buf = std::make_shared<std::vector<uint8_t>>(std::move(payload));
-      disk_->Write(request.offset, buf->size(), buf->data(),
-                   [this, handle = request.handle, buf](const Status& s) {
+      // Adopt the payload's storage; the view rides the write path zero-copy
+      // (the downstream IoRequests keep the bytes alive — no capture needed).
+      ursa::Buffer buf = ursa::Buffer::FromVector(std::move(payload));
+      disk_->Write(request.offset, buf.size(), buf.View(),
+                   [this, handle = request.handle](const Status& s) {
                      Reply(handle, s.ok() ? kNbdOk : kNbdEio, {});
                    });
       return;

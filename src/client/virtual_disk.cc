@@ -273,22 +273,24 @@ void VirtualDisk::IssueRead(const SubRequest& sub, void* out, int attempt,
       span, obs::Stage::kNetRequest);
 }
 
-void VirtualDisk::Write(uint64_t offset, uint64_t length, const void* data,
+void VirtualDisk::Write(uint64_t offset, uint64_t length, ursa::BufferView data,
                         storage::IoCallback done) {
   URSA_CHECK(open_);
   if (upgrading_) {
-    paused_ops_.push_back([this, offset, length, data, done = std::move(done)]() mutable {
-      Write(offset, length, data, std::move(done));
-    });
+    paused_ops_.push_back(
+        [this, offset, length, data = std::move(data), done = std::move(done)]() mutable {
+          Write(offset, length, std::move(data), std::move(done));
+        });
     return;
   }
   // Master-imposed throttle (§3.2): delay the write until a token is free.
   Nanos wait = write_limiter_.Acquire(sim_->Now());
   if (wait > 0) {
     ++stats_.throttled_writes;
-    sim_->After(wait, [this, offset, length, data, done = std::move(done)]() mutable {
-      Write(offset, length, data, std::move(done));
-    });
+    sim_->After(wait,
+                [this, offset, length, data = std::move(data), done = std::move(done)]() mutable {
+                  Write(offset, length, std::move(data), std::move(done));
+                });
     return;
   }
   ++inflight_user_ops_;
@@ -331,8 +333,8 @@ void VirtualDisk::Write(uint64_t offset, uint64_t length, const void* data,
   };
 
   for (const SubRequest& sub : subs) {
-    const void* src =
-        data == nullptr ? nullptr : static_cast<const uint8_t*>(data) + sub.user_offset;
+    // Slice shares the payload's refcount; a null view slices to a null view.
+    ursa::BufferView src = data.Slice(sub.user_offset, sub.length);
     sim_->After(options_.vmm_overhead, [this, sub, src, finish, span]() {
       size_t idx = sub.chunk_index;
       ChunkState& cs = chunk_states_[idx];
@@ -366,26 +368,26 @@ void VirtualDisk::PumpWriteQueue(size_t chunk_index) {
   loop_->Submit(options_.loop_issue_cost + copy_cost, std::move(next.fn));
 }
 
-void VirtualDisk::IssueWrite(const SubRequest& sub, const void* data, int attempt,
+void VirtualDisk::IssueWrite(const SubRequest& sub, ursa::BufferView data, int attempt,
                              storage::IoCallback done, const obs::SpanRef& span) {
   if (span != nullptr) {
     // Loop queue + per-chunk write-order queue + issue cost since VMM entry.
     span->RecordStage(obs::Stage::kClientIssue,
                       sim_->Now() - span->start() - options_.vmm_overhead);
   }
-  IssueWriteAttempt(sub, data, attempt, std::move(done), span);
+  IssueWriteAttempt(sub, std::move(data), attempt, std::move(done), span);
 }
 
-void VirtualDisk::IssueWriteAttempt(const SubRequest& sub, const void* data, int attempt,
+void VirtualDisk::IssueWriteAttempt(const SubRequest& sub, ursa::BufferView data, int attempt,
                                     storage::IoCallback done, const obs::SpanRef& span) {
   if (options_.client_directed && sub.length <= options_.tiny_write_threshold) {
-    ClientDirectedWrite(sub, data, attempt, std::move(done), span);
+    ClientDirectedWrite(sub, std::move(data), attempt, std::move(done), span);
   } else {
-    PrimaryDrivenWrite(sub, data, attempt, std::move(done), span);
+    PrimaryDrivenWrite(sub, std::move(data), attempt, std::move(done), span);
   }
 }
 
-void VirtualDisk::ClientDirectedWrite(const SubRequest& sub, const void* data, int attempt,
+void VirtualDisk::ClientDirectedWrite(const SubRequest& sub, ursa::BufferView data, int attempt,
                                       storage::IoCallback done, const obs::SpanRef& span) {
   const ChunkLayout& layout = Layout(sub.chunk_index);
   ChunkState& cs = chunk_states_[sub.chunk_index];
@@ -501,7 +503,7 @@ void VirtualDisk::ClientDirectedWrite(const SubRequest& sub, const void* data, i
   }
 }
 
-void VirtualDisk::PrimaryDrivenWrite(const SubRequest& sub, const void* data, int attempt,
+void VirtualDisk::PrimaryDrivenWrite(const SubRequest& sub, ursa::BufferView data, int attempt,
                                      storage::IoCallback done, const obs::SpanRef& span) {
   const ChunkLayout& layout = Layout(sub.chunk_index);
   ChunkState& cs = chunk_states_[sub.chunk_index];

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/cluster/cluster.h"
+#include "src/common/buffer.h"
 #include "src/common/histogram.h"
 #include "src/common/rate_limiter.h"
 #include "src/common/rng.h"
@@ -89,10 +90,16 @@ class VirtualDisk {
   uint64_t size() const { return meta_.size; }
   bool is_open() const { return open_; }
 
-  // Async block I/O. Offsets/lengths must be 512-byte aligned. Buffers (when
+  // Async block I/O. Offsets/lengths must be 512-byte aligned. The BufferView
+  // write shares the payload zero-copy down the whole stack (sub-requests
+  // slice it; replication legs ref it); a null view is a timing-only write.
+  // The raw-pointer overload keeps the legacy contract: the buffer (when
   // non-null) must outlive the callback.
   void Read(uint64_t offset, uint64_t length, void* out, storage::IoCallback done);
-  void Write(uint64_t offset, uint64_t length, const void* data, storage::IoCallback done);
+  void Write(uint64_t offset, uint64_t length, ursa::BufferView data, storage::IoCallback done);
+  void Write(uint64_t offset, uint64_t length, const void* data, storage::IoCallback done) {
+    Write(offset, length, ursa::BufferView::Unowned(data, length), std::move(done));
+  }
 
   ClientStats& stats() { return stats_; }
   const ClientStats& stats() const { return stats_; }
@@ -158,13 +165,13 @@ class VirtualDisk {
   // for a failure-path sample, and the common case has one attempt.
   void IssueRead(const SubRequest& sub, void* out, int attempt, storage::IoCallback done,
                  const obs::SpanRef& span);
-  void IssueWrite(const SubRequest& sub, const void* data, int attempt,
+  void IssueWrite(const SubRequest& sub, ursa::BufferView data, int attempt,
                   storage::IoCallback done, const obs::SpanRef& span);
-  void IssueWriteAttempt(const SubRequest& sub, const void* data, int attempt,
+  void IssueWriteAttempt(const SubRequest& sub, ursa::BufferView data, int attempt,
                          storage::IoCallback done, const obs::SpanRef& span);
-  void ClientDirectedWrite(const SubRequest& sub, const void* data, int attempt,
+  void ClientDirectedWrite(const SubRequest& sub, ursa::BufferView data, int attempt,
                            storage::IoCallback done, const obs::SpanRef& span);
-  void PrimaryDrivenWrite(const SubRequest& sub, const void* data, int attempt,
+  void PrimaryDrivenWrite(const SubRequest& sub, ursa::BufferView data, int attempt,
                           storage::IoCallback done, const obs::SpanRef& span);
 
   // Failure path: classify the error (timeout / explicit / integrity), apply

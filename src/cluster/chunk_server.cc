@@ -58,19 +58,20 @@ void ChunkServer::RegisterMetrics(obs::MetricsRegistry* registry) {
 }
 
 void ChunkServer::BackupWrite(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t version,
-                              const void* data, storage::IoCallback done,
+                              ursa::BufferView data, storage::IoCallback done,
                               const obs::SpanRef& span) {
   if (journal_manager_ != nullptr) {
-    journal_manager_->Write(chunk, offset, length, version, data, std::move(done), span);
+    journal_manager_->Write(chunk, offset, length, version, std::move(data), std::move(done),
+                            span);
   } else if (span != nullptr) {
     Nanos entered = sim_->Now();
-    store_->Write(chunk, offset, length, data,
+    store_->Write(chunk, offset, length, std::move(data),
                   [this, span, entered, done = std::move(done)](const Status& s) {
                     span->RecordStage(obs::Stage::kBackupJournal, sim_->Now() - entered);
                     done(s);
                   });
   } else {
-    store_->Write(chunk, offset, length, data, std::move(done));
+    store_->Write(chunk, offset, length, std::move(data), std::move(done));
   }
 }
 
@@ -134,9 +135,9 @@ void ChunkServer::HandleRead(ChunkId chunk, uint64_t offset, uint64_t length, ui
 }
 
 void ChunkServer::HandleWrite(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t view,
-                              uint64_t version, const void* data, std::vector<ReplicaRef> backups,
-                              WriteCallback done_arg, const obs::SpanRef& span,
-                              uint64_t write_id) {
+                              uint64_t version, ursa::BufferView data,
+                              std::vector<ReplicaRef> backups, WriteCallback done_arg,
+                              const obs::SpanRef& span, uint64_t write_id) {
   if (crashed_ || draining_) {
     return;
   }
@@ -261,7 +262,7 @@ void ChunkServer::HandleWrite(ChunkId chunk, uint64_t offset, uint64_t length, u
 }
 
 void ChunkServer::HandleReplicate(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t view,
-                                  uint64_t version, const void* data, WriteCallback done_arg,
+                                  uint64_t version, ursa::BufferView data, WriteCallback done_arg,
                                   const obs::SpanRef& span, uint64_t write_id) {
   if (crashed_ || draining_) {
     return;
@@ -346,17 +347,18 @@ void ChunkServer::HandleRecoveryRead(ChunkId chunk, uint64_t offset, uint64_t le
 }
 
 void ChunkServer::HandleRecoveryWrite(ChunkId chunk, uint64_t offset, uint64_t length,
-                                      const void* data, storage::IoCallback done) {
+                                      ursa::BufferView data, storage::IoCallback done) {
   if (crashed_) {
     return;
   }
   machine_->RunOnCpu(config_.cpu.server_op,
-                     [this, chunk, offset, length, data, done = std::move(done)]() mutable {
+                     [this, chunk, offset, length, data = std::move(data),
+                      done = std::move(done)]() mutable {
                        if (!store_->Contains(chunk)) {
                          done(NotFound("recovery target chunk not allocated"));
                          return;
                        }
-                       store_->Write(chunk, offset, length, data, std::move(done));
+                       store_->Write(chunk, offset, length, std::move(data), std::move(done));
                      });
 }
 

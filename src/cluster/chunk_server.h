@@ -21,6 +21,7 @@
 
 #include "src/cluster/machine.h"
 #include "src/cluster/types.h"
+#include "src/common/buffer.h"
 #include "src/journal/journal_lite.h"
 #include "src/journal/journal_manager.h"
 #include "src/net/message.h"
@@ -108,17 +109,32 @@ class ChunkServer {
   // the applied write — otherwise it is a different write reusing a failed
   // predecessor's version and gets a VERSION_MISMATCH (the client resyncs
   // and retries; a data-blind ack here would silently lose the write).
+  // `data` is a ref-counted BufferView shared by every hop (local journal
+  // append, all replication legs); a null view is a timing-only payload. The
+  // raw-pointer overloads keep the legacy buffer-outlives-callback contract.
+  void HandleWrite(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t view,
+                   uint64_t version, ursa::BufferView data, std::vector<ReplicaRef> backups,
+                   WriteCallback done, const obs::SpanRef& span = {}, uint64_t write_id = 0);
   void HandleWrite(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t view,
                    uint64_t version, const void* data, std::vector<ReplicaRef> backups,
-                   WriteCallback done, const obs::SpanRef& span = {}, uint64_t write_id = 0);
+                   WriteCallback done, const obs::SpanRef& span = {}, uint64_t write_id = 0) {
+    HandleWrite(chunk, offset, length, view, version, ursa::BufferView::Unowned(data, length),
+                std::move(backups), std::move(done), span, write_id);
+  }
 
   // Backup-side replication (also the per-replica leg of client-directed
   // tiny writes, §3.2): journal append in hybrid mode, direct write
   // otherwise. Parallel replica legs max-merge into the shared span.
   // `write_id` semantics as in HandleWrite.
   void HandleReplicate(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t view,
-                       uint64_t version, const void* data, WriteCallback done,
+                       uint64_t version, ursa::BufferView data, WriteCallback done,
                        const obs::SpanRef& span = {}, uint64_t write_id = 0);
+  void HandleReplicate(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t view,
+                       uint64_t version, const void* data, WriteCallback done,
+                       const obs::SpanRef& span = {}, uint64_t write_id = 0) {
+    HandleReplicate(chunk, offset, length, view, version,
+                    ursa::BufferView::Unowned(data, length), std::move(done), span, write_id);
+  }
 
   // Initialization protocol: report {version, view} for a chunk.
   using StateCallback = std::function<void(const Status&, ReplicaState)>;
@@ -131,8 +147,13 @@ class ChunkServer {
 
   // Recovery write at the transfer target (no version checks; the master
   // installs {version, view} via SetState once the copy completes).
+  void HandleRecoveryWrite(ChunkId chunk, uint64_t offset, uint64_t length,
+                           ursa::BufferView data, storage::IoCallback done);
   void HandleRecoveryWrite(ChunkId chunk, uint64_t offset, uint64_t length, const void* data,
-                           storage::IoCallback done);
+                           storage::IoCallback done) {
+    HandleRecoveryWrite(chunk, offset, length, ursa::BufferView::Unowned(data, length),
+                        std::move(done));
+  }
 
   // Incremental repair support: ranges of `chunk` modified after `version`,
   // from this replica's journal lite; false => history lost, full copy.
@@ -153,7 +174,8 @@ class ChunkServer {
   // Writes through the journal manager when present, else the plain store.
   // A non-null `span` receives the durable-write duration (kBackupJournal).
   void BackupWrite(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t version,
-                   const void* data, storage::IoCallback done, const obs::SpanRef& span = {});
+                   ursa::BufferView data, storage::IoCallback done,
+                   const obs::SpanRef& span = {});
   void BackupRead(ChunkId chunk, uint64_t offset, uint64_t length, void* out,
                   storage::IoCallback done);
 

@@ -1,0 +1,148 @@
+// Ref-counted payload buffers for the zero-copy data plane.
+//
+// A write's payload is allocated ONCE (at the edge that produces the bytes —
+// the NBD session, a benchmark, a test) and then flows client → transport →
+// chunk server → journal writer → device as BufferView slices that share the
+// same immutable body. Every hop that used to copy into a fresh
+// std::vector<uint8_t> now just bumps a refcount.
+//
+// Ownership rules (see DESIGN.md "Hot paths & memory discipline"):
+//   * Buffer owns a heap block; it is mutable only until published — once a
+//     BufferView of it has been handed to another component, treat the bytes
+//     as immutable (re-using the block for a different payload would be a
+//     data race in a real system and is a logic bug here).
+//   * BufferView is offset/length slice + strong ref: holding the view keeps
+//     the bytes alive. Closures capture views, never raw pointers.
+//   * BufferView::Unowned wraps a raw pointer WITHOUT taking ownership — the
+//     compatibility path for callers of the legacy `const void*` APIs, which
+//     keep their existing contract (buffer outlives the callback).
+//   * A null view (data() == nullptr) is a timing-only payload: it carries a
+//     length through the protocol but no bytes (simulated-cost writes).
+#ifndef URSA_COMMON_BUFFER_H_
+#define URSA_COMMON_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace ursa {
+
+class BufferView;
+
+class Buffer {
+ public:
+  Buffer() = default;
+
+  // Uninitialized storage — caller fills every byte before publishing views.
+  static Buffer Allocate(size_t n) {
+    Buffer b;
+    if (n > 0) {
+      b.data_ = std::shared_ptr<uint8_t[]>(new uint8_t[n]);
+    }
+    b.size_ = n;
+    return b;
+  }
+
+  static Buffer AllocateZeroed(size_t n) {
+    Buffer b = Allocate(n);
+    if (n > 0) {
+      std::memset(b.data_.get(), 0, n);
+    }
+    return b;
+  }
+
+  static Buffer CopyOf(const void* data, size_t n) {
+    Buffer b = Allocate(n);
+    if (n > 0) {
+      std::memcpy(b.data_.get(), data, n);
+    }
+    return b;
+  }
+
+  // Adopts a vector's storage without copying (aliasing shared_ptr keeps the
+  // vector alive). For edges that already materialized bytes in a vector.
+  static Buffer FromVector(std::vector<uint8_t> v) {
+    Buffer b;
+    b.size_ = v.size();
+    if (!v.empty()) {
+      auto holder = std::make_shared<std::vector<uint8_t>>(std::move(v));
+      b.data_ = std::shared_ptr<uint8_t[]>(holder, holder->data());
+    }
+    return b;
+  }
+
+  uint8_t* data() { return data_.get(); }
+  const uint8_t* data() const { return data_.get(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  explicit operator bool() const { return data_ != nullptr; }
+
+  // Whole-buffer and sliced views (defined after BufferView).
+  BufferView View() const;
+  BufferView View(size_t offset, size_t length) const;
+
+ private:
+  friend class BufferView;
+  std::shared_ptr<uint8_t[]> data_;
+  size_t size_ = 0;
+};
+
+class BufferView {
+ public:
+  // Null view: no bytes (timing-only payload).
+  BufferView() = default;
+
+  BufferView(const Buffer& b)  // NOLINT(google-explicit-constructor)
+      : owner_(b.data_), data_(b.data_.get()), size_(b.size_) {}
+
+  BufferView(const Buffer& b, size_t offset, size_t length)
+      : owner_(b.data_), data_(b.data_.get() + offset), size_(length) {}
+
+  // Wraps raw bytes without taking ownership: the caller guarantees the
+  // pointee outlives every use of the view (the legacy `const void*`
+  // contract). Passing nullptr yields a null view.
+  static BufferView Unowned(const void* data, size_t length) {
+    BufferView v;
+    if (data != nullptr) {
+      v.data_ = static_cast<const uint8_t*>(data);
+      v.size_ = length;
+    }
+    return v;
+  }
+
+  // Sub-slice sharing the same owner. Slicing a null view yields a null view
+  // (the length travels in the protocol headers, not the view).
+  BufferView Slice(size_t offset, size_t length) const {
+    if (data_ == nullptr) {
+      return BufferView();
+    }
+    BufferView v;
+    v.owner_ = owner_;
+    v.data_ = data_ + offset;
+    v.size_ = length;
+    return v;
+  }
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  // True when the view carries bytes (false = timing-only null view).
+  explicit operator bool() const { return data_ != nullptr; }
+
+ private:
+  std::shared_ptr<const uint8_t[]> owner_;  // null for unowned and null views
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+inline BufferView Buffer::View() const { return BufferView(*this); }
+inline BufferView Buffer::View(size_t offset, size_t length) const {
+  return BufferView(*this, offset, length);
+}
+
+}  // namespace ursa
+
+#endif  // URSA_COMMON_BUFFER_H_

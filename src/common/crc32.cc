@@ -1,9 +1,17 @@
 #include "src/common/crc32.h"
 
 #include <array>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <nmmintrin.h>
+#define URSA_CRC32_X86 1
+#endif
 
 namespace ursa {
 namespace {
+
+// ---- Byte-at-a-time table (reference implementation) ----
 
 // Table-driven CRC32C (polynomial 0x82F63B78, reflected).
 std::array<uint32_t, 256> BuildTable() {
@@ -23,9 +31,7 @@ const std::array<uint32_t, 256>& Table() {
   return table;
 }
 
-}  // namespace
-
-uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
+uint32_t CrcTable(const void* data, size_t len, uint32_t seed) {
   const auto* p = static_cast<const uint8_t*>(data);
   const auto& table = Table();
   uint32_t crc = ~seed;
@@ -34,5 +40,156 @@ uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
   }
   return ~crc;
 }
+
+// ---- Slicing-by-8 ----
+// Eight derived tables let the inner loop fold 8 input bytes per iteration:
+// table k advances a byte's contribution k further positions through the CRC
+// register. The combine step assumes little-endian loads; big-endian builds
+// fall back to the byte-at-a-time table.
+
+#if __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+#define URSA_CRC32_SLICE8 1
+
+using SliceTables = std::array<std::array<uint32_t, 256>, 8>;
+
+SliceTables BuildSliceTables() {
+  SliceTables t{};
+  t[0] = BuildTable();
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = t[0][i];
+    for (int k = 1; k < 8; ++k) {
+      crc = t[0][crc & 0xFF] ^ (crc >> 8);
+      t[k][i] = crc;
+    }
+  }
+  return t;
+}
+
+const SliceTables& Slice() {
+  static const SliceTables tables = BuildSliceTables();
+  return tables;
+}
+
+uint32_t CrcSlice8(const void* data, size_t len, uint32_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  const SliceTables& t = Slice();
+  uint32_t crc = ~seed;
+  while (len >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^
+          t[4][lo >> 24] ^ t[3][hi & 0xFF] ^ t[2][(hi >> 8) & 0xFF] ^
+          t[1][(hi >> 16) & 0xFF] ^ t[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+  const auto& table = t[0];
+  while (len-- > 0) {
+    crc = table[(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+#else
+uint32_t CrcSlice8(const void* data, size_t len, uint32_t seed) {
+  return CrcTable(data, len, seed);
+}
+#endif  // little-endian
+
+// ---- SSE4.2 hardware path ----
+// Compiled with a per-function target attribute so the rest of the build
+// keeps the baseline ISA; only reached after a cpuid check.
+
+#ifdef URSA_CRC32_X86
+__attribute__((target("sse4.2"))) uint32_t CrcHardware(const void* data, size_t len,
+                                                       uint32_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  // Byte steps until the pointer is 8-byte aligned (also covers short inputs).
+  while (len > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --len;
+  }
+  uint64_t crc64 = crc;
+  while (len >= 8) {
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    crc64 = _mm_crc32_u64(crc64, v);
+    p += 8;
+    len -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  while (len-- > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+  }
+  return ~crc;
+}
+
+bool HardwareAvailable() { return __builtin_cpu_supports("sse4.2") != 0; }
+#else
+uint32_t CrcHardware(const void* data, size_t len, uint32_t seed) {
+  return CrcSlice8(data, len, seed);
+}
+
+bool HardwareAvailable() { return false; }
+#endif  // URSA_CRC32_X86
+
+// ---- One-time runtime dispatch ----
+
+using CrcFn = uint32_t (*)(const void*, size_t, uint32_t);
+
+struct Dispatch {
+  CrcFn fn;
+  const char* name;
+};
+
+Dispatch PickBest() {
+  if (HardwareAvailable()) {
+    return {&CrcHardware, "hardware"};
+  }
+#ifdef URSA_CRC32_SLICE8
+  return {&CrcSlice8, "slice8"};
+#else
+  return {&CrcTable, "table"};
+#endif
+}
+
+const Dispatch& Best() {
+  static const Dispatch best = PickBest();
+  return best;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
+  return Best().fn(data, len, seed);
+}
+
+bool Crc32cImplAvailable(Crc32cImpl impl) {
+  switch (impl) {
+    case Crc32cImpl::kTable:
+    case Crc32cImpl::kSlice8:
+      return true;
+    case Crc32cImpl::kHardware:
+      return HardwareAvailable();
+  }
+  return false;
+}
+
+uint32_t Crc32cWith(Crc32cImpl impl, const void* data, size_t len, uint32_t seed) {
+  switch (impl) {
+    case Crc32cImpl::kTable:
+      return CrcTable(data, len, seed);
+    case Crc32cImpl::kSlice8:
+      return CrcSlice8(data, len, seed);
+    case Crc32cImpl::kHardware:
+      return CrcHardware(data, len, seed);
+  }
+  return CrcTable(data, len, seed);
+}
+
+const char* Crc32cImplName() { return Best().name; }
 
 }  // namespace ursa

@@ -1,0 +1,159 @@
+// InlineFn: a copyable `void()` functor with inline storage.
+//
+// Drop-in replacement for `std::function<void()>` on the simulator hot path.
+// Closures up to kInlineBytes live inside the object — no heap allocation on
+// construct, move, or copy. Larger closures (rare: deep capture chains in the
+// failure paths) fall back to a single heap cell, exactly like std::function.
+//
+// Semantics mirror std::function<void()>:
+//   * copyable (the transport's chaos duplicate path copies delivery
+//     closures), movable, empty-testable;
+//   * operator() is const but invokes the target as non-const, so `mutable`
+//     lambdas work.
+#ifndef URSA_COMMON_INLINE_FN_H_
+#define URSA_COMMON_INLINE_FN_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ursa {
+
+class InlineFn {
+ public:
+  // Sized so every closure on the simulator's hot path (event delivery,
+  // resource completions, RPC timeouts) stays inline. Measured: the largest
+  // transport delivery chain closures are ~56 bytes.
+  static constexpr size_t kInlineBytes = 64;
+
+  InlineFn() = default;
+  InlineFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    constexpr bool fits = sizeof(D) <= kInlineBytes && alignof(D) <= alignof(Storage) &&
+                          std::is_nothrow_move_constructible_v<D>;
+    if constexpr (fits) {
+      ::new (storage_.bytes) D(std::forward<F>(f));
+      ops_ = &InlineOps<D>::ops;
+    } else {
+      ::new (storage_.bytes) D*(new D(std::forward<F>(f)));
+      ops_ = &HeapOps<D>::ops;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { MoveFrom(std::move(other)); }
+  InlineFn(const InlineFn& other) { CopyFrom(other); }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+  InlineFn& operator=(const InlineFn& other) {
+    if (this != &other) {
+      InlineFn tmp(other);  // copy may throw; build aside first
+      Reset();
+      MoveFrom(std::move(tmp));
+    }
+    return *this;
+  }
+  InlineFn& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+
+  ~InlineFn() { Reset(); }
+
+  // Matches std::function: const call operator, non-const target invocation.
+  void operator()() const { ops_->invoke(storage_.bytes); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+ private:
+  union Storage {
+    alignas(std::max_align_t) mutable unsigned char bytes[kInlineBytes];
+  };
+
+  struct Ops {
+    void (*invoke)(unsigned char* s);
+    // Move-constructs dst from src and destroys src.
+    void (*relocate)(unsigned char* dst, unsigned char* src);
+    void (*copy)(unsigned char* dst, const unsigned char* src);
+    void (*destroy)(unsigned char* s);
+  };
+
+  template <typename D>
+  static D* Target(unsigned char* s) {
+    return std::launder(reinterpret_cast<D*>(s));
+  }
+  template <typename D>
+  static const D* Target(const unsigned char* s) {
+    return std::launder(reinterpret_cast<const D*>(s));
+  }
+
+  template <typename D>
+  struct InlineOps {
+    static void Invoke(unsigned char* s) { (*Target<D>(s))(); }
+    static void Relocate(unsigned char* dst, unsigned char* src) {
+      ::new (dst) D(std::move(*Target<D>(src)));
+      Target<D>(src)->~D();
+    }
+    static void Copy(unsigned char* dst, const unsigned char* src) {
+      ::new (dst) D(*Target<D>(src));
+    }
+    static void Destroy(unsigned char* s) { Target<D>(s)->~D(); }
+    static constexpr Ops ops{&Invoke, &Relocate, &Copy, &Destroy};
+  };
+
+  template <typename D>
+  struct HeapOps {
+    using P = D*;
+    static void Invoke(unsigned char* s) { (**Target<P>(s))(); }
+    static void Relocate(unsigned char* dst, unsigned char* src) {
+      ::new (dst) P(*Target<P>(src));
+      Target<P>(src)->~P();
+    }
+    static void Copy(unsigned char* dst, const unsigned char* src) {
+      ::new (dst) P(new D(**Target<P>(src)));
+    }
+    static void Destroy(unsigned char* s) {
+      delete *Target<P>(s);
+      Target<P>(s)->~P();
+    }
+    static constexpr Ops ops{&Invoke, &Relocate, &Copy, &Destroy};
+  };
+
+  void MoveFrom(InlineFn&& other) noexcept {
+    if (other.ops_ != nullptr) {
+      ops_ = other.ops_;
+      ops_->relocate(storage_.bytes, other.storage_.bytes);
+      other.ops_ = nullptr;
+    }
+  }
+  void CopyFrom(const InlineFn& other) {
+    if (other.ops_ != nullptr) {
+      other.ops_->copy(storage_.bytes, other.storage_.bytes);
+      ops_ = other.ops_;
+    }
+  }
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_.bytes);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  Storage storage_;
+};
+
+}  // namespace ursa
+
+#endif  // URSA_COMMON_INLINE_FN_H_

@@ -89,15 +89,25 @@ std::vector<EcStripeStore::Extent> EcStripeStore::SplitLogical(uint64_t offset,
 void EcStripeStore::ShardRead(int shard, uint64_t offset, uint64_t len, void* out,
                               storage::IoCallback done) {
   ++stats_.shard_reads;
-  devices_[shard]->Submit(storage::IoRequest{storage::IoType::kRead, offset, len, nullptr, out,
-                                             false, std::move(done)});
+  storage::IoRequest req;
+  req.type = storage::IoType::kRead;
+  req.offset = offset;
+  req.length = len;
+  req.out = out;
+  req.done = std::move(done);
+  devices_[shard]->Submit(std::move(req));
 }
 
 void EcStripeStore::ShardWrite(int shard, uint64_t offset, uint64_t len, const void* data,
                                storage::IoCallback done) {
   ++stats_.shard_writes;
-  devices_[shard]->Submit(storage::IoRequest{storage::IoType::kWrite, offset, len, data,
-                                             nullptr, false, std::move(done)});
+  storage::IoRequest req;
+  req.type = storage::IoType::kWrite;
+  req.offset = offset;
+  req.length = len;
+  req.data = data;
+  req.done = std::move(done);
+  devices_[shard]->Submit(std::move(req));
 }
 
 void EcStripeStore::Write(uint64_t offset, uint64_t length, const void* data,
@@ -260,10 +270,13 @@ void EcStripeStore::PartialWriteExtent(const Extent& ext, const uint8_t* data,
         parity_log_used_ += ext.len;
         ++stats_.parity_log_appends;
         ++stats_.shard_writes;
-        devices_[idx]->Submit(storage::IoRequest{
-            storage::IoType::kWrite, log_base + cursor, ext.len,
-            scaled ? scaled->data() : nullptr, nullptr, false,
-            [joiner](const Status& s2) { joiner->Finish(s2); }});
+        storage::IoRequest log_req;
+        log_req.type = storage::IoType::kWrite;
+        log_req.offset = log_base + cursor;
+        log_req.length = ext.len;
+        log_req.data = scaled ? scaled->data() : nullptr;
+        log_req.done = [joiner](const Status& s2) { joiner->Finish(s2); };
+        devices_[idx]->Submit(std::move(log_req));
       }
       return;
     }
@@ -324,10 +337,13 @@ void EcStripeStore::PartialWriteExtent(const Extent& ext, const uint8_t* data,
             parity_log_used_ += ext.len;
             ++stats_.parity_log_appends;
             ++stats_.shard_writes;
-            devices_[idx]->Submit(storage::IoRequest{
-                storage::IoType::kWrite, log_base + cursor, ext.len,
-                scaled ? scaled->data() : nullptr, nullptr, false,
-                [joiner](const Status& s2) { joiner->Finish(s2); }});
+            storage::IoRequest log_req;
+            log_req.type = storage::IoType::kWrite;
+            log_req.offset = log_base + cursor;
+            log_req.length = ext.len;
+            log_req.data = scaled ? scaled->data() : nullptr;
+            log_req.done = [joiner](const Status& s2) { joiner->Finish(s2); };
+            devices_[idx]->Submit(std::move(log_req));
           } else {
             // RMW: read old parity, xor in the scaled delta, write back.
             auto parity_buf =
@@ -506,15 +522,19 @@ void EcStripeStore::RepairShard(int shard, storage::BlockDevice* replacement,
                              (*done_shared)(s);
                              return;
                            }
-                           replacement->Submit(storage::IoRequest{
-                               storage::IoType::kWrite, shard_off, u, buf->data(), nullptr,
-                               false, [buf, row, step](const Status& s2) {
-                                 if (!s2.ok()) {
-                                   return;  // dropped; caller times out
-                                 }
-                                 ++*row;
-                                 (*step)();
-                               }});
+                           storage::IoRequest req;
+                           req.type = storage::IoType::kWrite;
+                           req.offset = shard_off;
+                           req.length = u;
+                           req.data = buf->data();
+                           req.done = [buf, row, step](const Status& s2) {
+                             if (!s2.ok()) {
+                               return;  // dropped; caller times out
+                             }
+                             ++*row;
+                             (*step)();
+                           };
+                           replacement->Submit(std::move(req));
                          });
     };
     (*step)();

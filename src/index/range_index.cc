@@ -5,6 +5,31 @@
 #include "src/common/logging.h"
 
 namespace ursa::index {
+namespace {
+
+// Pushes a segment, fusing it into the previous one when both are unmapped
+// and adjacent (same coalescing rule Query() applies in its final pass).
+void EmitSegment(SegmentVec* out, uint32_t off, uint32_t len, uint64_t j, bool mapped) {
+  if (!mapped && !out->empty()) {
+    Segment& b = out->back();
+    if (!b.mapped && b.offset + b.length == off) {
+      b.length += len;
+      return;
+    }
+  }
+  out->push_back(Segment{off, len, j, mapped});
+}
+
+}  // namespace
+
+void SegmentVec::Grow() {
+  size_t new_capacity = capacity_ * 2;
+  auto bigger = std::make_unique<Segment[]>(new_capacity);
+  std::copy(data_, data_ + size_, bigger.get());
+  heap_ = std::move(bigger);
+  data_ = heap_.get();
+  capacity_ = new_capacity;
+}
 
 void RangeIndex::Insert(uint32_t offset, uint32_t length, uint64_t j_offset) {
   URSA_CHECK_GT(length, 0u);
@@ -12,7 +37,7 @@ void RangeIndex::Insert(uint32_t offset, uint32_t length, uint64_t j_offset) {
   URSA_CHECK_LE(static_cast<uint64_t>(offset) + length, static_cast<uint64_t>(kMaxOffset) + 1);
   URSA_CHECK_LE(j_offset + length, kMaxJOffset + 1);
   CarveTree(offset, offset + length, /*tombstone=*/false);
-  tree_[offset] = TreeVal{length, j_offset, /*tombstone=*/false};
+  tree_.Put(offset, TreeVal{length, j_offset, /*tombstone=*/false});
   MaybeCompact();
 }
 
@@ -23,13 +48,14 @@ void RangeIndex::EraseRange(uint32_t offset, uint32_t length) {
   CarveTree(offset, offset + length, /*tombstone=*/false);
   if (!array_.empty()) {
     // A tombstone shadows any stale array mappings under the erased range.
-    tree_[offset] = TreeVal{length, 0, /*tombstone=*/true};
+    tree_.Put(offset, TreeVal{length, 0, /*tombstone=*/true});
   }
   MaybeCompact();
 }
 
 void RangeIndex::EraseIfMapsTo(uint32_t offset, uint32_t length, uint64_t j_offset) {
-  std::vector<Segment> mapped = QueryMapped(offset, length);
+  SegmentVec mapped;
+  QueryMappedTo(offset, length, &mapped);
   for (const Segment& seg : mapped) {
     uint64_t expected_j = j_offset + (seg.offset - offset);
     if (seg.j_offset == expected_j) {
@@ -50,6 +76,13 @@ void RangeIndex::CarveTree(uint32_t lo, uint32_t hi, bool /*tombstone*/) {
       it = prev;
     }
   }
+  // Remainders are re-inserted only after the scan: Put can split a B+-tree
+  // leaf and would invalidate `it`. At most one entry straddles lo (the
+  // first) and one straddles hi (the last), so two slots suffice.
+  bool have_left = false;
+  bool have_right = false;
+  TreeVal left_val, right_val;
+  uint32_t left_off = 0;
   while (it != tree_.end() && it->first < hi) {
     uint32_t e_off = it->first;
     TreeVal val = it->second;
@@ -57,14 +90,23 @@ void RangeIndex::CarveTree(uint32_t lo, uint32_t hi, bool /*tombstone*/) {
     it = tree_.erase(it);
     if (e_off < lo) {
       // Left remainder keeps its original mapping base.
-      tree_[e_off] = TreeVal{lo - e_off, val.j_offset, val.tombstone};
+      left_off = e_off;
+      left_val = TreeVal{lo - e_off, val.j_offset, val.tombstone};
+      have_left = true;
     }
     if (e_end > hi) {
       // Right remainder: re-base the journal offset past the carved span.
       uint64_t j = val.tombstone ? 0 : val.j_offset + (hi - e_off);
-      tree_[hi] = TreeVal{e_end - hi, j, val.tombstone};
+      right_val = TreeVal{e_end - hi, j, val.tombstone};
+      have_right = true;
       break;  // nothing past e_end can start before hi (entries are disjoint)
     }
+  }
+  if (have_left) {
+    tree_.Put(left_off, left_val);
+  }
+  if (have_right) {
+    tree_.Put(hi, right_val);
   }
 }
 
@@ -160,9 +202,138 @@ std::vector<Segment> RangeIndex::QueryMapped(uint32_t offset, uint32_t length) c
   return mapped;
 }
 
+size_t RangeIndex::ArrayLowerBound(uint32_t v) const {
+  // Branch-free binary search: each step halves the window with a conditional
+  // move instead of a taken/not-taken branch, and prefetches both possible
+  // next probe lines so the load latency overlaps the current compare.
+  const Packed* base = array_.data();
+  size_t n = array_.size();
+  if (!fence_.empty()) {
+    // The fence table (rebuilt at Compact) maps v's high offset bits to the
+    // index range that can contain lower_bound(v), so the binary search only
+    // touches a few contiguous cache lines instead of probing cold lines
+    // across the whole array.
+    size_t b = v >> fence_shift_;
+    size_t first = fence_[b];
+    base += first;
+    n = fence_[b + 1] - first;
+    if (n == 0) {
+      return first;
+    }
+  }
+  while (n > 1) {
+    size_t half = n >> 1;
+    __builtin_prefetch(base + (half >> 1));
+    __builtin_prefetch(base + half + (half >> 1));
+    base = (base[half - 1].offset() < v) ? base + half : base;
+    n -= half;
+  }
+  size_t i = static_cast<size_t>(base - array_.data());
+  return i + (n == 1 && base->offset() < v ? 1 : 0);
+}
+
+void RangeIndex::QueryArrayInto(uint32_t lo, uint32_t hi, bool mapped_only, uint32_t* pos,
+                                SegmentVec* out) const {
+  if (!array_.empty()) {
+    size_t i = ArrayLowerBound(lo);
+    // The predecessor may straddle lo.
+    if (i > 0 && array_[i - 1].end() > lo) {
+      --i;
+    }
+    for (; i < array_.size() && array_[i].offset() < hi; ++i) {
+      const Packed& p = array_[i];
+      uint32_t e_lo = std::max(p.offset(), lo);
+      uint32_t e_hi = std::min(p.end(), hi);
+      if (e_lo >= e_hi) {
+        continue;
+      }
+      if (*pos < e_lo && !mapped_only) {
+        EmitSegment(out, *pos, e_lo - *pos, 0, false);
+      }
+      out->push_back(Segment{e_lo, e_hi - e_lo, p.j_offset() + (e_lo - p.offset()), true});
+      *pos = e_hi;
+    }
+  }
+  if (*pos < hi) {
+    if (!mapped_only) {
+      EmitSegment(out, *pos, hi - *pos, 0, false);
+    }
+    *pos = hi;
+  }
+}
+
+void RangeIndex::PrefetchArrayWindow(uint32_t v) const {
+  // Issued before the level-0 tree walk: the red-black tree probe is a long
+  // dependent pointer chase (hundreds of ns on a large tree), so the array
+  // window the query will binary-search afterwards can stream into cache for
+  // free in its shadow.
+  if (fence_.empty()) {
+    return;
+  }
+  size_t b = v >> fence_shift_;
+  size_t first = fence_[b];
+  size_t last = fence_[b + 1];
+  const Packed* base = array_.data();
+  constexpr size_t kPackedPerLine = 64 / sizeof(Packed);
+  for (size_t i = first; i < last; i += kPackedPerLine) {
+    __builtin_prefetch(base + i);
+  }
+}
+
+void RangeIndex::QueryInto(uint32_t lo, uint32_t hi, bool mapped_only, SegmentVec* out) const {
+  PrefetchArrayWindow(lo);
+  uint32_t pos = lo;
+  auto it = tree_.lower_bound(lo);
+  if (it != tree_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.length > lo) {
+      it = prev;
+    }
+  }
+  for (; it != tree_.end() && it->first < hi; ++it) {
+    uint32_t e_lo = std::max(it->first, lo);
+    uint32_t e_hi = std::min(it->first + it->second.length, hi);
+    if (e_lo >= e_hi) {
+      continue;
+    }
+    if (pos < e_lo) {
+      QueryArrayInto(pos, e_lo, mapped_only, &pos, out);  // gap -> level 1
+    }
+    if (it->second.tombstone) {
+      if (!mapped_only) {
+        EmitSegment(out, e_lo, e_hi - e_lo, 0, false);
+      }
+    } else {
+      out->push_back(
+          Segment{e_lo, e_hi - e_lo, it->second.j_offset + (e_lo - it->first), true});
+    }
+    pos = e_hi;
+  }
+  if (pos < hi) {
+    QueryArrayInto(pos, hi, mapped_only, &pos, out);
+  }
+}
+
+void RangeIndex::QueryTo(uint32_t offset, uint32_t length, SegmentVec* out) const {
+  out->clear();
+  if (length == 0) {
+    return;
+  }
+  QueryInto(offset, offset + length, /*mapped_only=*/false, out);
+}
+
+void RangeIndex::QueryMappedTo(uint32_t offset, uint32_t length, SegmentVec* out) const {
+  out->clear();
+  if (length == 0) {
+    return;
+  }
+  QueryInto(offset, offset + length, /*mapped_only=*/true, out);
+}
+
 void RangeIndex::Compact() {
-  std::vector<Packed> merged;
-  merged.reserve(array_.size() + tree_.size());
+  scratch_.clear();
+  scratch_.reserve(array_.size() + tree_.size());
+  std::vector<Packed>& merged = scratch_;
 
   // Push with composite-key coalescing: contiguous chunk ranges whose journal
   // offsets are also contiguous fuse into one key (§3.3 "composite keys").
@@ -239,8 +410,36 @@ void RangeIndex::Compact() {
   }
   emit_array_until(static_cast<uint64_t>(kMaxOffset) + 1);
 
-  array_ = std::move(merged);
+  // Swap, don't move: array_'s old block becomes next Compact's scratch, so
+  // a steady-state index stops allocating on merges entirely.
+  array_.swap(scratch_);
   tree_.clear();
+  RebuildFence();
+}
+
+void RangeIndex::RebuildFence() {
+  fence_.clear();
+  if (array_.size() < 64) {
+    return;  // small arrays: the plain branch-free search is already cheap
+  }
+  // Size the table for ~64 entries per bucket so each narrowed search spans a
+  // handful of adjacent cache lines.
+  int buckets_log2 = 1;
+  while ((size_t{1} << buckets_log2) * 64 < array_.size() && buckets_log2 < kOffsetBits) {
+    ++buckets_log2;
+  }
+  fence_shift_ = kOffsetBits - buckets_log2;
+  size_t buckets = size_t{1} << buckets_log2;
+  fence_.resize(buckets + 1);
+  size_t i = 0;
+  for (size_t b = 0; b < buckets; ++b) {
+    uint32_t bound = static_cast<uint32_t>(b) << fence_shift_;
+    while (i < array_.size() && array_[i].offset() < bound) {
+      ++i;
+    }
+    fence_[b] = static_cast<uint32_t>(i);
+  }
+  fence_[buckets] = static_cast<uint32_t>(array_.size());
 }
 
 void RangeIndex::MaybeCompact() {
@@ -260,15 +459,17 @@ size_t RangeIndex::size() const {
 }
 
 size_t RangeIndex::MemoryBytes() const {
-  // Array entries are exactly 8 bytes; red-black tree nodes carry three
-  // pointers + color + key/value (the overhead §3.3 calls out).
-  constexpr size_t kTreeNodeBytes = 3 * sizeof(void*) + 8 + sizeof(TreeVal);
-  return array_.size() * sizeof(Packed) + tree_.size() * kTreeNodeBytes;
+  // Array entries are exactly 8 bytes; the level-0 tree pays per-node
+  // overhead (the asymmetry §3.3's two-level design exploits) plus the small
+  // fence table that accelerates array lower bounds.
+  return array_.size() * sizeof(Packed) + tree_.MemoryBytes() +
+         fence_.size() * sizeof(uint32_t);
 }
 
 void RangeIndex::Clear() {
   tree_.clear();
   array_.clear();
+  fence_.clear();
 }
 
 }  // namespace ursa::index

@@ -8,9 +8,11 @@
 // and insertions.
 //
 // Two-level storage:
-//   level 0 — red-black tree (std::map), fast insertion; acts as a write
-//             cache and always holds the newest mappings (plus tombstones
-//             recording explicit erases that must shadow the array).
+//   level 0 — ordered tree (the paper uses a red-black tree; we use a
+//             cache-friendly B+-tree with pooled nodes, see btree_map.h),
+//             fast insertion; acts as a write cache and always holds the
+//             newest mappings (plus tombstones recording explicit erases
+//             that must shadow the array).
 //   level 1 — sorted array of packed 8-byte entries; compact and fast to
 //             binary-search. A (conceptually background) merge folds level 0
 //             into level 1; here the merge runs when the tree exceeds a
@@ -24,8 +26,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <vector>
+
+#include "src/index/btree_map.h"
 
 namespace ursa::index {
 
@@ -53,6 +57,46 @@ struct Segment {
   }
 };
 
+// Small inline vector of query results. The first kInline segments live on
+// the stack; longer results spill to a heap block that clear() keeps, so a
+// SegmentVec reused across queries stops allocating once warmed. Most overlay
+// reads resolve to 1–3 segments, well inside the inline capacity.
+class SegmentVec {
+ public:
+  static constexpr size_t kInline = 8;
+
+  SegmentVec() = default;
+  SegmentVec(const SegmentVec&) = delete;
+  SegmentVec& operator=(const SegmentVec&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Segment& operator[](size_t i) const { return data_[i]; }
+  Segment& operator[](size_t i) { return data_[i]; }
+  Segment& back() { return data_[size_ - 1]; }
+  const Segment& back() const { return data_[size_ - 1]; }
+  const Segment* begin() const { return data_; }
+  const Segment* end() const { return data_ + size_; }
+  const Segment* data() const { return data_; }
+
+  void clear() { size_ = 0; }  // keeps any spilled capacity
+  void push_back(const Segment& s) {
+    if (size_ == capacity_) {
+      Grow();
+    }
+    data_[size_++] = s;
+  }
+
+ private:
+  void Grow();
+
+  Segment* data_ = inline_;
+  size_t size_ = 0;
+  size_t capacity_ = kInline;
+  std::unique_ptr<Segment[]> heap_;
+  Segment inline_[kInline];
+};
+
 class RangeIndex {
  public:
   explicit RangeIndex(size_t merge_threshold = 8192) : merge_threshold_(merge_threshold) {}
@@ -78,6 +122,14 @@ class RangeIndex {
 
   // Returns only the mapped segments (convenience for replay/recovery).
   std::vector<Segment> QueryMapped(uint32_t offset, uint32_t length) const;
+
+  // Allocation-free variants: resolve into a caller-provided SegmentVec
+  // (cleared first). With a reused SegmentVec these perform zero heap
+  // allocations per query; the array level is searched with a branch-free,
+  // prefetching lower bound. Results are segment-for-segment identical to
+  // Query()/QueryMapped() — a property test holds the two paths together.
+  void QueryTo(uint32_t offset, uint32_t length, SegmentVec* out) const;
+  void QueryMappedTo(uint32_t offset, uint32_t length, SegmentVec* out) const;
 
   // Folds the tree level into the array level. Normally triggered
   // automatically; exposed for benchmarks that want paper-like level sizes.
@@ -129,11 +181,33 @@ class RangeIndex {
   // Collects array segments intersecting [offset, end) in offset order.
   void QueryArray(uint32_t offset, uint32_t end, std::vector<Segment>* out) const;
 
+  // Allocation-free query plumbing (independent of the Query() code path).
+  // Branch-free lower bound: index of the first array entry with
+  // offset() >= v. Narrowed by the fence table when one is built.
+  size_t ArrayLowerBound(uint32_t v) const;
+
+  // Rebuilds fence_: fence_[b] is the index of the first array entry whose
+  // offset has high bits >= b (i.e. offset >= b << fence_shift_). Lets
+  // ArrayLowerBound search a ~64-entry window instead of the whole array.
+  // Cheap (one linear pass) and only needed when array_ changes, i.e. at
+  // Compact().
+  void RebuildFence();
+
+  // Streams the fence window for offset v into cache; issued before the tree
+  // walk so the array misses overlap the tree's pointer chase.
+  void PrefetchArrayWindow(uint32_t v) const;
+  void QueryInto(uint32_t lo, uint32_t hi, bool mapped_only, SegmentVec* out) const;
+  void QueryArrayInto(uint32_t lo, uint32_t hi, bool mapped_only, uint32_t* pos,
+                      SegmentVec* out) const;
+
   void MaybeCompact();
 
   size_t merge_threshold_;
-  std::map<uint32_t, TreeVal> tree_;  // level 0 (red-black tree)
+  BtreeMap<TreeVal> tree_;            // level 0 (cache-friendly B+-tree, §3.3's write cache)
   std::vector<Packed> array_;         // level 1, sorted by offset, non-overlapping
+  std::vector<Packed> scratch_;       // reused merge buffer for Compact()
+  std::vector<uint32_t> fence_;       // bucketed lower-bound hints into array_
+  int fence_shift_ = kOffsetBits;     // offset bits dropped to form a bucket
 };
 
 }  // namespace ursa::index

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <memory>
+#include <tuple>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -108,13 +109,16 @@ void JournalManager::AddJournal(std::unique_ptr<JournalWriter> writer, bool on_h
 index::RangeIndex& JournalManager::IndexFor(storage::ChunkId chunk) {
   auto it = indexes_.find(chunk);
   if (it == indexes_.end()) {
-    it = indexes_.emplace(chunk, index::RangeIndex(options_.index_merge_threshold)).first;
+    it = indexes_
+             .emplace(std::piecewise_construct, std::forward_as_tuple(chunk),
+                      std::forward_as_tuple(options_.index_merge_threshold))
+             .first;
   }
   return it->second;
 }
 
 void JournalManager::Write(storage::ChunkId chunk, uint64_t offset, uint64_t length,
-                           uint64_t version, const void* data, storage::IoCallback done,
+                           uint64_t version, ursa::BufferView data, storage::IoCallback done,
                            const obs::SpanRef& span) {
   URSA_CHECK_EQ(offset % kSector, 0u);
   URSA_CHECK_EQ(length % kSector, 0u);
@@ -216,10 +220,12 @@ void JournalManager::Read(storage::ChunkId chunk, uint64_t offset, uint64_t leng
   }
 
   auto it = indexes_.find(chunk);
-  std::vector<index::Segment> segments;
+  // Overlay resolution is allocation-free: segments land in an inline vector
+  // (heap only past SegmentVec::kInline segments per read).
+  index::SegmentVec segments;
   if (it != indexes_.end()) {
-    segments = it->second.Query(static_cast<uint32_t>(offset / kSector),
-                                static_cast<uint32_t>(length / kSector));
+    it->second.QueryTo(static_cast<uint32_t>(offset / kSector),
+                       static_cast<uint32_t>(length / kSector), &segments);
   } else {
     segments.push_back(index::Segment{static_cast<uint32_t>(offset / kSector),
                                       static_cast<uint32_t>(length / kSector), 0, false});
@@ -489,7 +495,9 @@ void JournalManager::OnCorruptRecord(size_t idx, const AppendedRecord& rec) {
   uint32_t len = static_cast<uint32_t>(rec.length / kSector);
   uint64_t rec_j = ToJSector(idx, rec.j_offset);
   index::RangeIndex& index = IndexFor(rec.chunk_id);
-  for (const index::Segment& seg : index.QueryMapped(lo, len)) {
+  index::SegmentVec mapped;
+  index.QueryMappedTo(lo, len, &mapped);
+  for (const index::Segment& seg : mapped) {
     if (seg.j_offset == rec_j + (seg.offset - lo)) {
       index.EraseIfMapsTo(seg.offset, seg.length, seg.j_offset);
     }
@@ -523,7 +531,9 @@ bool JournalManager::InjectBitFlip(Rng& rng) {
       uint32_t len = static_cast<uint32_t>(rec.length / kSector);
       uint64_t rec_j = ToJSector(k, rec.j_offset);
       bool live = false;
-      for (const index::Segment& seg : IndexFor(rec.chunk_id).QueryMapped(lo, len)) {
+      index::SegmentVec mapped;
+      IndexFor(rec.chunk_id).QueryMappedTo(lo, len, &mapped);
+      for (const index::Segment& seg : mapped) {
         if (seg.j_offset == rec_j + (seg.offset - lo)) {
           live = true;
           break;
@@ -554,8 +564,12 @@ void JournalManager::ReplayOne(size_t idx, size_t record_pos, std::function<void
   uint32_t lo = static_cast<uint32_t>(rec.chunk_offset / kSector);
   uint32_t len = static_cast<uint32_t>(rec.length / kSector);
   uint64_t rec_j = ToJSector(idx, rec.j_offset);
+  index::SegmentVec mapped;
+  IndexFor(rec.chunk_id).QueryMappedTo(lo, len, &mapped);
+  // `live` crosses an async boundary below, so it stays a plain vector the
+  // completion closures can own.
   std::vector<index::Segment> live;
-  for (const index::Segment& seg : IndexFor(rec.chunk_id).QueryMapped(lo, len)) {
+  for (const index::Segment& seg : mapped) {
     if (seg.j_offset == rec_j + (seg.offset - lo)) {
       live.push_back(seg);
     }

@@ -73,8 +73,16 @@ class JournalManager {
   // Backup write: journal append, bypass, or direct fallback. `done` runs
   // when the write is durable on the journal or the HDD respectively. A
   // non-null `span` gets the durable-append duration under kBackupJournal.
+  // The BufferView rides the downstream IoRequest (no copies except the
+  // journal's contiguous record image); the raw-pointer overload keeps the
+  // legacy buffer-outlives-callback contract.
   void Write(storage::ChunkId chunk, uint64_t offset, uint64_t length, uint64_t version,
-             const void* data, storage::IoCallback done, const obs::SpanRef& span = {});
+             ursa::BufferView data, storage::IoCallback done, const obs::SpanRef& span = {});
+  void Write(storage::ChunkId chunk, uint64_t offset, uint64_t length, uint64_t version,
+             const void* data, storage::IoCallback done, const obs::SpanRef& span = {}) {
+    Write(chunk, offset, length, version, ursa::BufferView::Unowned(data, length),
+          std::move(done), span);
+  }
 
   // Reads the newest backup data: journal overlays the HDD chunk store.
   // Needed when a backup serves as temporary primary (§4.2.1) and during

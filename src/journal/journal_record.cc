@@ -83,4 +83,24 @@ std::vector<uint8_t> EncodeRecord(const RecordHeader& header, const void* payloa
   return image;
 }
 
+Buffer EncodeRecordImage(const RecordHeader& header, BufferView payload) {
+  uint64_t footprint = RecordFootprint(header.length);
+  Buffer image = Buffer::Allocate(footprint);
+  RecordHeader h = header;
+  h.crc = h.ComputeCrc(payload.data());
+  // Zero only the bytes the payload does not cover: the header sector past
+  // the encoded fields and the sector-padding tail. Uninitialized padding
+  // would make on-device bytes nondeterministic (recovery scans re-read it).
+  std::memset(image.data(), 0, kSector);
+  h.EncodeTo(image.data());
+  if (payload.data() != nullptr) {
+    std::memcpy(image.data() + kSector, payload.data(), header.length);
+    std::memset(image.data() + kSector + header.length, 0,
+                footprint - kSector - header.length);
+  } else {
+    std::memset(image.data() + kSector, 0, footprint - kSector);
+  }
+  return image;
+}
+
 }  // namespace ursa::journal

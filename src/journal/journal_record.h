@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/buffer.h"
 #include "src/common/status.h"
 #include "src/storage/chunk_store.h"
 
@@ -62,6 +63,12 @@ struct RecordHeader {
 
 // Builds the full on-disk image of a record (header sector + padded payload).
 std::vector<uint8_t> EncodeRecord(const RecordHeader& header, const void* payload);
+
+// Zero-copy-path variant: one uninitialized allocation, header sector and
+// padding tail zeroed, payload copied once. Byte-identical to EncodeRecord.
+// This is the single payload copy on the journaled write path (the on-device
+// image must be contiguous); every hop before it shares the caller's Buffer.
+Buffer EncodeRecordImage(const RecordHeader& header, BufferView payload);
 
 }  // namespace ursa::journal
 

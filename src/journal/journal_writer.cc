@@ -59,21 +59,22 @@ Result<uint64_t> JournalWriter::AppendInvalidation(storage::ChunkId chunk_id,
   meta.invalidation = true;
   pending_.push_back(meta);
 
-  auto image = std::make_shared<std::vector<uint8_t>>(kSector, 0);
+  ursa::Buffer image = ursa::Buffer::AllocateZeroed(kSector);
   header.crc = header.ComputeCrc(nullptr);
-  header.EncodeTo(image->data());
+  header.EncodeTo(image.data());
   storage::IoRequest req;
   req.type = storage::IoType::kWrite;
   req.offset = region_offset_ + record_phys;
   req.length = kSector;
-  req.data = image->data();
-  req.done = [done = std::move(done), image](const Status& s) { done(s); };
+  req.data = image.data();
+  req.hold = image.View();  // keeps the image alive until the device is done
+  req.done = std::move(done);
   device_->Submit(std::move(req));
   return meta.j_offset;
 }
 
 Result<uint64_t> JournalWriter::Append(storage::ChunkId chunk_id, uint32_t chunk_offset,
-                                       uint32_t length, uint64_t version, const void* data,
+                                       uint32_t length, uint64_t version, ursa::BufferView data,
                                        storage::IoCallback done) {
   URSA_CHECK_GT(length, 0u);
   uint64_t footprint = RecordFootprint(length);
@@ -108,12 +109,12 @@ Result<uint64_t> JournalWriter::Append(storage::ChunkId chunk_id, uint32_t chunk
   meta.j_offset = record_phys + kSector;
   meta.record_start = record_phys;
   meta.logical_start = record_logical;
-  meta.has_data = data != nullptr;
-  if (data != nullptr) {
+  meta.has_data = static_cast<bool>(data);
+  if (data) {
     // Remember the stored CRC so replay/reads can re-verify the on-device
     // image (timing-only appends carry no bytes, so there is nothing to
     // verify and the CRC pass is skipped for them).
-    meta.crc = header.ComputeCrc(data);
+    meta.crc = header.ComputeCrc(data.data());
   }
   pending_.push_back(meta);
 
@@ -122,15 +123,15 @@ Result<uint64_t> JournalWriter::Append(storage::ChunkId chunk_id, uint32_t chunk
   req.offset = region_offset_ + record_phys;
   req.length = footprint;
 
-  if (data != nullptr) {
-    // Carry real bytes: build the full record image and hand it to the device
-    // via a heap buffer kept alive by the completion callback.
-    auto image = std::make_shared<std::vector<uint8_t>>(EncodeRecord(header, data));
-    req.data = image->data();
-    req.done = [done = std::move(done), image](const Status& s) { done(s); };
-  } else {
-    req.done = std::move(done);
+  if (data) {
+    // Carry real bytes: the contiguous on-device image is the single payload
+    // copy on the journaled path (header sector + payload + zero padding).
+    // The IoRequest holds the image; the caller's buffer is released here.
+    ursa::Buffer image = EncodeRecordImage(header, data);
+    req.data = image.data();
+    req.hold = image.View();
   }
+  req.done = std::move(done);
   device_->Submit(std::move(req));
   return meta.j_offset;
 }

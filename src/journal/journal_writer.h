@@ -68,8 +68,17 @@ class JournalWriter {
   // completions may reorder); `done` fires when the append is durable.
   // Fails immediately with kResourceExhausted when the ring lacks space (the
   // caller then expands to another journal, §3.2) — `done` is not invoked.
+  // `data` is a BufferView: the record image shares no state with it after
+  // encoding, so the caller's buffer is released as soon as Append returns
+  // (a null view appends a timing-only record). The raw-pointer overload
+  // wraps legacy callers.
   Result<uint64_t> Append(storage::ChunkId chunk_id, uint32_t chunk_offset, uint32_t length,
-                          uint64_t version, const void* data, storage::IoCallback done);
+                          uint64_t version, ursa::BufferView data, storage::IoCallback done);
+  Result<uint64_t> Append(storage::ChunkId chunk_id, uint32_t chunk_offset, uint32_t length,
+                          uint64_t version, const void* data, storage::IoCallback done) {
+    return Append(chunk_id, chunk_offset, length, version,
+                  ursa::BufferView::Unowned(data, length), std::move(done));
+  }
 
   // True when a record with `payload_len` payload bytes would fit right now
   // (accounting for wrap-point padding).

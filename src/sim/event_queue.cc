@@ -7,37 +7,60 @@
 namespace ursa::sim {
 
 EventId EventQueue::Schedule(Nanos when, EventFn fn) {
-  EventId id = next_id_++;
-  heap_.push(Entry{when, next_seq_++, id, std::move(fn)});
-  pending_.insert(id);
-  return id;
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  heap_.push(Entry{when, next_seq_++, slot, s.gen});
+  ++live_;
+  return MakeId(slot, s.gen);
+}
+
+void EventQueue::Retire(uint32_t slot) {
+  ++slots_[slot].gen;
+  free_slots_.push_back(slot);
 }
 
 bool EventQueue::Cancel(EventId id) {
-  // Lazy deletion: drop from the pending set; the heap entry is skipped when
-  // it reaches the head.
-  return pending_.erase(id) > 0;
+  uint32_t slot = static_cast<uint32_t>(id >> 32);
+  uint32_t gen = static_cast<uint32_t>(id);
+  if (slot >= slots_.size() || slots_[slot].gen != gen) {
+    return false;  // already fired or cancelled (or never existed)
+  }
+  slots_[slot].fn = nullptr;  // release captures now
+  Retire(slot);
+  --live_;
+  return true;
 }
 
-void EventQueue::SkipCancelled() const {
-  while (!heap_.empty() && pending_.find(heap_.top().id) == pending_.end()) {
+void EventQueue::SkipStale() const {
+  while (!heap_.empty() && !Live(heap_.top())) {
     heap_.pop();
   }
 }
 
 Nanos EventQueue::NextTime() const {
-  SkipCancelled();
+  SkipStale();
   URSA_CHECK(!heap_.empty());
   return heap_.top().when;
 }
 
 EventFn EventQueue::PopNext(Nanos* when) {
-  SkipCancelled();
+  SkipStale();
   URSA_CHECK(!heap_.empty());
   const Entry& top = heap_.top();
   *when = top.when;
-  EventFn fn = std::move(top.fn);
-  pending_.erase(top.id);
+  uint32_t slot = top.slot;
+  EventFn fn = std::move(slots_[slot].fn);
+  slots_[slot].fn = nullptr;
+  Retire(slot);
+  --live_;
   heap_.pop();
   return fn;
 }

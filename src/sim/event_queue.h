@@ -2,20 +2,29 @@
 //
 // Events at equal timestamps fire in insertion order (a monotonically
 // increasing sequence number breaks ties), which keeps runs deterministic.
+//
+// Hot-path design:
+//   * EventFn is an InlineFn — closures live inside the queue's slot array,
+//     no per-event heap allocation (std::function would allocate for nearly
+//     every capture on this path);
+//   * cancellation uses generation-tagged slots instead of a side
+//     unordered_set: an EventId is (slot << 32) | generation, Cancel bumps
+//     the slot's generation (freeing the closure immediately), and stale heap
+//     entries are skipped when they surface — the heap holds 24-byte PODs, so
+//     sift operations are trivial copies and tombstones cost nothing to drop.
 #ifndef URSA_SIM_EVENT_QUEUE_H_
 #define URSA_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "src/common/inline_fn.h"
 #include "src/common/units.h"
 
 namespace ursa::sim {
 
-using EventFn = std::function<void()>;
+using EventFn = InlineFn;
 using EventId = uint64_t;
 
 class EventQueue {
@@ -23,13 +32,16 @@ class EventQueue {
   EventQueue() = default;
 
   // Schedules fn at absolute time `when`; returns an id usable with Cancel.
+  // Ids are never 0, so 0 is safe as a caller-side "no event" sentinel.
   EventId Schedule(Nanos when, EventFn fn);
 
   // Cancels a pending event. Returns false if already fired or cancelled.
+  // The event's closure is destroyed immediately (captures released now, not
+  // when the tombstone surfaces at the heap head).
   bool Cancel(EventId id);
 
-  bool empty() const { return pending_.empty(); }
-  size_t size() const { return pending_.size(); }
+  bool empty() const { return live_ == 0; }
+  size_t size() const { return live_; }
 
   // Time of the earliest pending event; only valid when !empty().
   Nanos NextTime() const;
@@ -39,11 +51,13 @@ class EventQueue {
   EventFn PopNext(Nanos* when);
 
  private:
+  // POD heap entry: the closure stays put in slots_, so heap sifts move
+  // 24 trivially-copyable bytes instead of a type-erased functor.
   struct Entry {
     Nanos when;
     uint64_t seq;
-    EventId id;
-    mutable EventFn fn;  // moved out on pop; the heap never reorders after that
+    uint32_t slot;
+    uint32_t gen;
   };
   struct EntryGreater {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -53,14 +67,31 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+  struct Slot {
+    uint32_t gen = 1;  // starts at 1 so no EventId is ever 0
+    EventFn fn;
+  };
 
-  // Drops cancelled entries sitting at the heap head.
-  void SkipCancelled() const;
+  static EventId MakeId(uint32_t slot, uint32_t gen) {
+    return (static_cast<EventId>(slot) << 32) | gen;
+  }
+
+  // True when the heap entry still matches its slot's generation (i.e. was
+  // neither cancelled nor popped).
+  bool Live(const Entry& e) const { return slots_[e.slot].gen == e.gen; }
+
+  // Drops tombstoned entries sitting at the heap head.
+  void SkipStale() const;
+
+  // Retires slot `slot` (generation bump + free-list push). The caller is
+  // responsible for the closure and the live count.
+  void Retire(uint32_t slot);
 
   uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
+  size_t live_ = 0;
   mutable std::priority_queue<Entry, std::vector<Entry>, EntryGreater> heap_;
-  std::unordered_set<EventId> pending_;  // ids of live (not cancelled, not fired) events
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
 };
 
 }  // namespace ursa::sim

@@ -72,11 +72,16 @@ void ChunkStore::Read(ChunkId id, uint64_t offset, uint64_t length, void* out, I
     done(s);
     return;
   }
-  device_->Submit(IoRequest{IoType::kRead, device_offset, length, nullptr, out,
-                            /*background=*/false, std::move(done)});
+  IoRequest req;
+  req.type = IoType::kRead;
+  req.offset = device_offset;
+  req.length = length;
+  req.out = out;
+  req.done = std::move(done);
+  device_->Submit(std::move(req));
 }
 
-void ChunkStore::Write(ChunkId id, uint64_t offset, uint64_t length, const void* data,
+void ChunkStore::Write(ChunkId id, uint64_t offset, uint64_t length, BufferView data,
                        IoCallback done) {
   uint64_t device_offset = 0;
   Status s = CheckRange(id, offset, length, &device_offset);
@@ -84,11 +89,17 @@ void ChunkStore::Write(ChunkId id, uint64_t offset, uint64_t length, const void*
     done(s);
     return;
   }
-  device_->Submit(IoRequest{IoType::kWrite, device_offset, length, data, nullptr,
-                            /*background=*/false, std::move(done)});
+  IoRequest req;
+  req.type = IoType::kWrite;
+  req.offset = device_offset;
+  req.length = length;
+  req.data = data.data();
+  req.hold = std::move(data);
+  req.done = std::move(done);
+  device_->Submit(std::move(req));
 }
 
-void ChunkStore::WriteBackground(ChunkId id, uint64_t offset, uint64_t length, const void* data,
+void ChunkStore::WriteBackground(ChunkId id, uint64_t offset, uint64_t length, BufferView data,
                                  IoCallback done) {
   uint64_t device_offset = 0;
   Status s = CheckRange(id, offset, length, &device_offset);
@@ -96,8 +107,15 @@ void ChunkStore::WriteBackground(ChunkId id, uint64_t offset, uint64_t length, c
     done(s);
     return;
   }
-  device_->Submit(IoRequest{IoType::kWrite, device_offset, length, data, nullptr,
-                            /*background=*/true, std::move(done)});
+  IoRequest req;
+  req.type = IoType::kWrite;
+  req.offset = device_offset;
+  req.length = length;
+  req.data = data.data();
+  req.hold = std::move(data);
+  req.background = true;
+  req.done = std::move(done);
+  device_->Submit(std::move(req));
 }
 
 }  // namespace ursa::storage

@@ -36,11 +36,22 @@ class ChunkStore {
   bool Contains(ChunkId id) const { return slots_.find(id) != slots_.end(); }
 
   // Async chunk-relative I/O. Validates bounds, then forwards to the device.
+  // Writes take a BufferView (null view = timing-only): the view rides the
+  // IoRequest as a strong reference, so callers need not keep the bytes
+  // alive themselves. The raw-pointer overloads keep the legacy contract
+  // (buffer outlives the callback) for callers without a Buffer.
   void Read(ChunkId id, uint64_t offset, uint64_t length, void* out, IoCallback done);
-  void Write(ChunkId id, uint64_t offset, uint64_t length, const void* data, IoCallback done);
+  void Write(ChunkId id, uint64_t offset, uint64_t length, BufferView data, IoCallback done);
+  void Write(ChunkId id, uint64_t offset, uint64_t length, const void* data, IoCallback done) {
+    Write(id, offset, length, BufferView::Unowned(data, length), std::move(done));
+  }
   // Background-priority write (journal replay): yields to foreground I/O.
-  void WriteBackground(ChunkId id, uint64_t offset, uint64_t length, const void* data,
+  void WriteBackground(ChunkId id, uint64_t offset, uint64_t length, BufferView data,
                        IoCallback done);
+  void WriteBackground(ChunkId id, uint64_t offset, uint64_t length, const void* data,
+                       IoCallback done) {
+    WriteBackground(id, offset, length, BufferView::Unowned(data, length), std::move(done));
+  }
 
   uint64_t chunk_size() const { return chunk_size_; }
   size_t allocated_chunks() const { return slots_.size(); }

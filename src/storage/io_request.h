@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "src/common/buffer.h"
 #include "src/common/status.h"
 
 namespace ursa::storage {
@@ -27,6 +28,13 @@ struct IoRequest {
   // queued (§5.3's single-threaded per-disk scheduling).
   bool background = false;
   IoCallback done;
+  // Strong reference keeping `data` alive until the device consumes it (a
+  // stuck-fault device may hold the request indefinitely). Submitters on the
+  // zero-copy path set data = hold.data(); legacy raw-pointer callers leave
+  // it empty and keep their buffer-outlives-callback contract. Last so the
+  // positional {type, offset, length, data, out, background, done} aggregate
+  // initializations used across tests and benches stay valid.
+  BufferView hold;
 };
 
 // Per-device counters. Latency is measured submit -> completion.

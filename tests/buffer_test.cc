@@ -1,0 +1,118 @@
+// Buffer/BufferView semantics backing the zero-copy data plane: ownership
+// keeps bytes alive across the original's destruction, slices share storage,
+// null views propagate, and vector adoption avoids copying.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "src/common/buffer.h"
+
+namespace ursa {
+namespace {
+
+TEST(BufferTest, AllocateAndFill) {
+  Buffer b = Buffer::Allocate(16);
+  ASSERT_EQ(b.size(), 16u);
+  ASSERT_NE(b.data(), nullptr);
+  std::memset(b.data(), 0xAB, b.size());
+  BufferView v = b.View();
+  EXPECT_EQ(v.size(), 16u);
+  EXPECT_EQ(v.data()[0], 0xAB);
+  EXPECT_EQ(v.data()[15], 0xAB);
+}
+
+TEST(BufferTest, AllocateZeroedIsZero) {
+  Buffer b = Buffer::AllocateZeroed(64);
+  for (size_t i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(b.data()[i], 0);
+  }
+}
+
+TEST(BufferTest, CopyOfCopiesBytes) {
+  uint8_t src[4] = {1, 2, 3, 4};
+  Buffer b = Buffer::CopyOf(src, sizeof(src));
+  src[0] = 99;  // the copy must not alias the source
+  EXPECT_EQ(b.data()[0], 1);
+  EXPECT_EQ(b.data()[3], 4);
+}
+
+TEST(BufferTest, ViewOutlivesBuffer) {
+  BufferView v;
+  {
+    Buffer b = Buffer::CopyOf("payload", 7);
+    v = b.View();
+  }  // Buffer destroyed; the view's refcount keeps the bytes alive
+  ASSERT_EQ(v.size(), 7u);
+  EXPECT_EQ(std::memcmp(v.data(), "payload", 7), 0);
+}
+
+TEST(BufferTest, SliceSharesStorage) {
+  Buffer b = Buffer::CopyOf("0123456789", 10);
+  BufferView whole = b.View();
+  BufferView mid = whole.Slice(3, 4);
+  ASSERT_EQ(mid.size(), 4u);
+  EXPECT_EQ(mid.data(), whole.data() + 3);
+  EXPECT_EQ(std::memcmp(mid.data(), "3456", 4), 0);
+}
+
+TEST(BufferTest, SliceOutlivesEverythingElse) {
+  BufferView mid;
+  {
+    Buffer b = Buffer::CopyOf("0123456789", 10);
+    BufferView whole = b.View();
+    mid = whole.Slice(5, 5);
+  }
+  EXPECT_EQ(std::memcmp(mid.data(), "56789", 5), 0);
+}
+
+TEST(BufferTest, NullViewBehavior) {
+  BufferView null;
+  EXPECT_FALSE(static_cast<bool>(null));
+  EXPECT_EQ(null.data(), nullptr);
+  EXPECT_EQ(null.size(), 0u);
+  // Slicing a null view stays null: timing-only payloads carry their length
+  // in protocol headers, not in the view.
+  BufferView sliced = null.Slice(100, 50);
+  EXPECT_FALSE(static_cast<bool>(sliced));
+  EXPECT_EQ(sliced.data(), nullptr);
+}
+
+TEST(BufferTest, UnownedWrapsWithoutOwnership) {
+  uint8_t raw[8] = {9, 8, 7, 6, 5, 4, 3, 2};
+  BufferView v = BufferView::Unowned(raw, sizeof(raw));
+  EXPECT_TRUE(static_cast<bool>(v));
+  EXPECT_EQ(v.data(), raw);
+  EXPECT_EQ(v.size(), sizeof(raw));
+  // nullptr wraps to a null view regardless of the stated length.
+  BufferView n = BufferView::Unowned(nullptr, 128);
+  EXPECT_FALSE(static_cast<bool>(n));
+  EXPECT_EQ(n.size(), 0u);
+}
+
+TEST(BufferTest, FromVectorAdoptsStorage) {
+  std::vector<uint8_t> v(1024);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<uint8_t>(i);
+  }
+  const uint8_t* original = v.data();
+  Buffer b = Buffer::FromVector(std::move(v));
+  // Adoption, not copy: the buffer points at the vector's old storage.
+  EXPECT_EQ(b.data(), original);
+  EXPECT_EQ(b.size(), 1024u);
+  EXPECT_EQ(b.data()[777], static_cast<uint8_t>(777));
+}
+
+TEST(BufferTest, EmptyBufferAndViews) {
+  Buffer b = Buffer::Allocate(0);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_FALSE(static_cast<bool>(b));
+  Buffer fv = Buffer::FromVector({});
+  EXPECT_EQ(fv.size(), 0u);
+  BufferView v = b.View();
+  EXPECT_TRUE(v.empty());
+}
+
+}  // namespace
+}  // namespace ursa

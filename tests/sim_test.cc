@@ -1,6 +1,8 @@
 // Unit tests for the discrete-event simulator core.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
 #include <vector>
 
 #include "src/sim/event_queue.h"
@@ -58,6 +60,81 @@ TEST(EventQueueTest, CancelMiddleKeepsOthers) {
     q.PopNext(&when)();
   }
   EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, SlotReuseDoesNotAliasIds) {
+  // After a cancel frees a slot, a new event reuses it with a bumped
+  // generation: the stale id must not cancel (or fire as) the new event.
+  EventQueue q;
+  bool old_fired = false;
+  bool new_fired = false;
+  EventId stale = q.Schedule(10, [&]() { old_fired = true; });
+  EXPECT_TRUE(q.Cancel(stale));
+  EventId fresh = q.Schedule(10, [&]() { new_fired = true; });
+  EXPECT_FALSE(q.Cancel(stale));  // stale generation: must miss
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) {
+    Nanos when = 0;
+    q.PopNext(&when)();
+  }
+  EXPECT_FALSE(old_fired);
+  EXPECT_TRUE(new_fired);
+  EXPECT_FALSE(q.Cancel(fresh));  // already fired
+}
+
+TEST(EventQueueTest, CancelRescheduleStress) {
+  // Deterministic stress over the tombstone path: random interleaving of
+  // schedules, cancels, and pops, checked against a reference model keyed by
+  // a unique payload per event.
+  EventQueue q;
+  uint64_t state = 0x853C49E6748FEA9Bull;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  std::map<uint64_t, EventId> live;   // payload -> id
+  std::set<uint64_t> fired;           // payloads observed firing
+  std::set<uint64_t> expected_fired;  // payloads never cancelled
+  std::vector<uint64_t> results;
+  uint64_t payload_gen = 0;
+
+  for (int step = 0; step < 20000; ++step) {
+    uint64_t r = next() % 100;
+    if (r < 55 || live.empty()) {
+      uint64_t payload = ++payload_gen;
+      Nanos when = static_cast<Nanos>(next() % 1000);
+      live[payload] = q.Schedule(when, [payload, &fired]() { fired.insert(payload); });
+    } else if (r < 80) {
+      // Cancel a pseudo-random live event.
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(next() % live.size()));
+      EXPECT_TRUE(q.Cancel(it->second));
+      EXPECT_FALSE(q.Cancel(it->second));  // double-cancel is a miss
+      live.erase(it);
+    } else if (!q.empty()) {
+      Nanos when = 0;
+      EventFn fn = q.PopNext(&when);
+      fn();
+      // Whichever payload just fired was live (not cancelled): retire it.
+      for (auto it = live.begin(); it != live.end(); ++it) {
+        if (fired.count(it->first) && !expected_fired.count(it->first)) {
+          expected_fired.insert(it->first);
+          live.erase(it);
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(q.size(), live.size()) << "step " << step;
+  }
+  // Drain: everything still live fires exactly once; cancelled events never do.
+  while (!q.empty()) {
+    Nanos when = 0;
+    q.PopNext(&when)();
+  }
+  for (const auto& [payload, id] : live) {
+    EXPECT_TRUE(fired.count(payload)) << "live event " << payload << " lost";
+  }
+  EXPECT_EQ(fired.size(), expected_fired.size() + live.size());
 }
 
 TEST(SimulatorTest, ClockAdvances) {
