@@ -5,6 +5,7 @@
 //
 //   chaos_smoke --seeds=42          # replay one seed, print its fault trace
 //   chaos_smoke --seeds=1,2,3 -v    # sweep, verbose per-seed summaries
+//   chaos_smoke --seeds=7 --qos     # same faults with the QoS scheduler on
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +35,7 @@ std::vector<uint64_t> ParseSeeds(const std::string& list) {
 int main(int argc, char** argv) {
   std::vector<uint64_t> seeds = {1, 2, 3};
   bool verbose = false;
+  bool qos = false;
   int ops = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -41,10 +43,12 @@ int main(int argc, char** argv) {
       seeds = ParseSeeds(arg + 8);
     } else if (std::strncmp(arg, "--ops=", 6) == 0) {
       ops = std::atoi(arg + 6);
+    } else if (std::strcmp(arg, "--qos") == 0) {
+      qos = true;
     } else if (std::strcmp(arg, "-v") == 0 || std::strcmp(arg, "--verbose") == 0) {
       verbose = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--seeds=a,b,c] [--ops=N] [-v]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--seeds=a,b,c] [--ops=N] [--qos] [-v]\n", argv[0]);
       return 2;
     }
   }
@@ -53,6 +57,7 @@ int main(int argc, char** argv) {
   for (uint64_t seed : seeds) {
     ursa::chaos::ChaosPlan plan;
     plan.seed = seed;
+    plan.cluster.qos.enabled = qos;
     if (ops > 0) {
       plan.ops = ops;
     }

@@ -37,6 +37,8 @@ def main() -> int:
             continue
         print(f"== {path} (bench={bench}) ==")
         for key, floor in section.items():
+            if key.startswith("_"):  # annotation, not a metric
+                continue
             measured = metrics.get(key)
             if measured is None:
                 failures.append(f"{bench}.{key}: missing from {path}")

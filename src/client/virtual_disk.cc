@@ -710,40 +710,44 @@ void VirtualDisk::HandleAttemptFailure(const SubRequest& sub, const Status& stat
   cs.timeout_streak = 0;
 
   // Timeout / unavailability: switch to a backup as temporary primary
-  // (§4.2.1) and ask the master to repair in parallel.
+  // (§4.2.1) and ask the master to repair in parallel. The retry proceeds
+  // against the backup immediately — it must NOT wait for the repair to
+  // finish (a throttled re-replication can take seconds; blocking here
+  // would stall the whole queue-depth window behind one failed replica).
+  // When the repair's view change lands, resync the version and steer the
+  // chunk back to an SSD primary.
   cluster::ServerId suspected = layout.replicas[cs.primary % layout.replicas.size()].server;
   cs.primary = (cs.primary + 1) % layout.replicas.size();
   ++stats_.primary_switches;
   ++stats_.failures_reported;
-  cluster_->master().ReportReplicaFailure(
-      layout.chunk, suspected,
-      [this, sub, attempt, retry = std::move(retry)](const Status& s) {
-        RefreshLayout();
-        // Resync the client version after the view change — upward only:
-        // the single-writer client's number is authoritative (§4.1).
-        const ChunkLayout& nl = Layout(sub.chunk_index);
-        ChunkState& ncs = chunk_states_[sub.chunk_index];
-        uint64_t version = ncs.version;
-        for (const ReplicaRef& r : nl.replicas) {
-          ChunkServer* server = Server(r.server);
-          if (server == nullptr || server->crashed()) {
-            continue;
-          }
-          Result<ChunkServer::ReplicaState> st = server->GetState(nl.chunk);
-          if (st.ok()) {
-            version = std::max(version, st->version);
-          }
-        }
-        ncs.version = version;
-        for (size_t r = 0; r < nl.replicas.size(); ++r) {
-          ChunkServer* server = Server(nl.replicas[r].server);
-          if (nl.replicas[r].on_ssd && server != nullptr && !server->crashed()) {
-            ncs.primary = r;
-            break;
-          }
-        }
-        ScheduleRetry(attempt, std::move(retry));
-      });
+  cluster_->master().ReportReplicaFailure(layout.chunk, suspected, [this, sub](const Status& s) {
+    (void)s;
+    RefreshLayout();
+    // Resync the client version after the view change — upward only:
+    // the single-writer client's number is authoritative (§4.1).
+    const ChunkLayout& nl = Layout(sub.chunk_index);
+    ChunkState& ncs = chunk_states_[sub.chunk_index];
+    uint64_t version = ncs.version;
+    for (const ReplicaRef& r : nl.replicas) {
+      ChunkServer* server = Server(r.server);
+      if (server == nullptr || server->crashed()) {
+        continue;
+      }
+      Result<ChunkServer::ReplicaState> st = server->GetState(nl.chunk);
+      if (st.ok()) {
+        version = std::max(version, st->version);
+      }
+    }
+    ncs.version = version;
+    for (size_t r = 0; r < nl.replicas.size(); ++r) {
+      ChunkServer* server = Server(nl.replicas[r].server);
+      if (nl.replicas[r].on_ssd && server != nullptr && !server->crashed()) {
+        ncs.primary = r;
+        break;
+      }
+    }
+  });
+  ScheduleRetry(attempt, std::move(retry));
 }
 
 }  // namespace ursa::client

@@ -20,16 +20,25 @@ ChunkServer::ChunkServer(sim::Simulator* sim, net::Transport* transport, Machine
       on_ssd_(on_ssd),
       config_(config) {}
 
-Status ChunkServer::AllocateChunk(ChunkId chunk, uint64_t view) {
+Status ChunkServer::AllocateChunk(ChunkId chunk, uint64_t view, uint64_t tenant) {
   URSA_RETURN_IF_ERROR(store_->Allocate(chunk));
   states_[chunk] = ReplicaState{0, view};
+  if (tenant != 0) {
+    chunk_tenants_[chunk] = tenant;
+  }
   return OkStatus();
 }
 
 Status ChunkServer::FreeChunk(ChunkId chunk) {
   URSA_RETURN_IF_ERROR(store_->Free(chunk));
   states_.erase(chunk);
+  chunk_tenants_.erase(chunk);
   return OkStatus();
+}
+
+uint64_t ChunkServer::TenantOf(ChunkId chunk) const {
+  auto it = chunk_tenants_.find(chunk);
+  return it == chunk_tenants_.end() ? 0 : it->second;
 }
 
 Result<ChunkServer::ReplicaState> ChunkServer::GetState(ChunkId chunk) const {
@@ -59,28 +68,29 @@ void ChunkServer::RegisterMetrics(obs::MetricsRegistry* registry) {
 
 void ChunkServer::BackupWrite(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t version,
                               ursa::BufferView data, storage::IoCallback done,
-                              const obs::SpanRef& span) {
+                              const obs::SpanRef& span, storage::IoTag tag) {
   if (journal_manager_ != nullptr) {
     journal_manager_->Write(chunk, offset, length, version, std::move(data), std::move(done),
-                            span);
+                            span, tag);
   } else if (span != nullptr) {
     Nanos entered = sim_->Now();
     store_->Write(chunk, offset, length, std::move(data),
                   [this, span, entered, done = std::move(done)](const Status& s) {
                     span->RecordStage(obs::Stage::kBackupJournal, sim_->Now() - entered);
                     done(s);
-                  });
+                  },
+                  tag);
   } else {
-    store_->Write(chunk, offset, length, std::move(data), std::move(done));
+    store_->Write(chunk, offset, length, std::move(data), std::move(done), tag);
   }
 }
 
 void ChunkServer::BackupRead(ChunkId chunk, uint64_t offset, uint64_t length, void* out,
-                             storage::IoCallback done) {
+                             storage::IoCallback done, storage::IoTag tag) {
   if (journal_manager_ != nullptr) {
-    journal_manager_->Read(chunk, offset, length, out, std::move(done));
+    journal_manager_->Read(chunk, offset, length, out, std::move(done), tag);
   } else {
-    store_->Read(chunk, offset, length, out, std::move(done));
+    store_->Read(chunk, offset, length, out, std::move(done), tag);
   }
 }
 
@@ -126,10 +136,11 @@ void ChunkServer::HandleRead(ChunkId chunk, uint64_t offset, uint64_t length, ui
       }
       done(s, version);
     };
+    storage::IoTag tag{qos::ServiceClass::kForegroundRead, TenantOf(chunk)};
     if (on_ssd_ && journal_manager_ == nullptr) {
-      store_->Read(chunk, offset, length, out, std::move(io_done));
+      store_->Read(chunk, offset, length, out, std::move(io_done), tag);
     } else {
-      BackupRead(chunk, offset, length, out, std::move(io_done));
+      BackupRead(chunk, offset, length, out, std::move(io_done), tag);
     }
   });
 }
@@ -214,12 +225,13 @@ void ChunkServer::HandleWrite(ChunkId chunk, uint64_t offset, uint64_t length, u
         leg(s);
       };
     }
+    storage::IoTag tag{qos::ServiceClass::kForegroundWrite, TenantOf(chunk)};
     if (skip_local) {
       sim_->After(0, [local_leg]() { local_leg(OkStatus()); });
     } else if (journal_manager_ != nullptr) {
-      BackupWrite(chunk, offset, length, new_version, data, local_leg);
+      BackupWrite(chunk, offset, length, new_version, data, local_leg, {}, tag);
     } else {
-      store_->Write(chunk, offset, length, data, local_leg);
+      store_->Write(chunk, offset, length, data, local_leg, tag);
     }
 
     // Parallel replication to backups over the network. The shared span
@@ -237,26 +249,37 @@ void ChunkServer::HandleWrite(ChunkId chunk, uint64_t offset, uint64_t length, u
         (*leg_fired)[b] = true;
         leg(s);
       };
+      // Small replication legs (and their acks) coalesce: concurrent small
+      // writes to the same backup share one framed wire message.
+      bool coalesce =
+          config_.coalesce_max_bytes != 0 && length <= config_.coalesce_max_bytes;
       uint64_t wire = net::WireBytes(net::MessageType::kReplicate, length);
-      transport_->Send(node(), backup.node, wire,
-                       [this, backup, chunk, offset, length, view, version, data, leg_once,
-                        span, write_id]() {
-                         ChunkServer* server = resolver_(backup.server);
-                         if (server == nullptr) {
-                           leg_once(Unavailable("backup server gone"));
-                           return;
-                         }
-                         server->HandleReplicate(
-                             chunk, offset, length, view, version, data,
-                             [this, backup, leg_once](const Status& s, uint64_t) {
-                               // Reply travels back over the network.
-                               uint64_t rwire =
-                                   net::WireBytes(net::MessageType::kReplicateReply);
-                               transport_->Send(backup.node, node(), rwire,
-                                                [leg_once, s]() { leg_once(s); });
-                             },
-                             span, write_id);
-                       });
+      auto deliver = [this, backup, chunk, offset, length, view, version, data, leg_once,
+                      span, write_id, coalesce]() {
+        ChunkServer* server = resolver_(backup.server);
+        if (server == nullptr) {
+          leg_once(Unavailable("backup server gone"));
+          return;
+        }
+        server->HandleReplicate(
+            chunk, offset, length, view, version, data,
+            [this, backup, leg_once, coalesce](const Status& s, uint64_t) {
+              // Reply travels back over the network.
+              uint64_t rwire = net::WireBytes(net::MessageType::kReplicateReply);
+              auto reply = [leg_once, s]() { leg_once(s); };
+              if (coalesce) {
+                transport_->SendCoalesced(backup.node, node(), rwire, std::move(reply));
+              } else {
+                transport_->Send(backup.node, node(), rwire, std::move(reply));
+              }
+            },
+            span, write_id);
+      };
+      if (coalesce) {
+        transport_->SendCoalesced(node(), backup.node, wire, std::move(deliver));
+      } else {
+        transport_->Send(node(), backup.node, wire, std::move(deliver));
+      }
     }
   });
 }
@@ -310,7 +333,7 @@ void ChunkServer::HandleReplicate(ChunkId chunk, uint64_t offset, uint64_t lengt
                     [done = std::move(done), new_version](const Status& s) {
                       done(s, new_version);
                     },
-                    span);
+                    span, storage::IoTag{qos::ServiceClass::kForegroundWrite, TenantOf(chunk)});
       });
 }
 
@@ -329,11 +352,11 @@ void ChunkServer::HandleVersionQuery(ChunkId chunk, StateCallback done) {
 }
 
 void ChunkServer::HandleRecoveryRead(ChunkId chunk, uint64_t offset, uint64_t length, void* out,
-                                     ReadCallback done) {
+                                     ReadCallback done, qos::ServiceClass cls) {
   if (crashed_) {
     return;
   }
-  machine_->RunOnCpu(config_.cpu.server_op, [this, chunk, offset, length, out,
+  machine_->RunOnCpu(config_.cpu.server_op, [this, chunk, offset, length, out, cls,
                                              done = std::move(done)]() mutable {
     auto it = states_.find(chunk);
     if (it == states_.end()) {
@@ -342,23 +365,26 @@ void ChunkServer::HandleRecoveryRead(ChunkId chunk, uint64_t offset, uint64_t le
     }
     uint64_t version = it->second.version;
     BackupRead(chunk, offset, length, out,
-               [done = std::move(done), version](const Status& s) { done(s, version); });
+               [done = std::move(done), version](const Status& s) { done(s, version); },
+               storage::IoTag{cls, TenantOf(chunk)});
   });
 }
 
 void ChunkServer::HandleRecoveryWrite(ChunkId chunk, uint64_t offset, uint64_t length,
-                                      ursa::BufferView data, storage::IoCallback done) {
+                                      ursa::BufferView data, storage::IoCallback done,
+                                      qos::ServiceClass cls) {
   if (crashed_) {
     return;
   }
   machine_->RunOnCpu(config_.cpu.server_op,
-                     [this, chunk, offset, length, data = std::move(data),
+                     [this, chunk, offset, length, cls, data = std::move(data),
                       done = std::move(done)]() mutable {
                        if (!store_->Contains(chunk)) {
                          done(NotFound("recovery target chunk not allocated"));
                          return;
                        }
-                       store_->Write(chunk, offset, length, std::move(data), std::move(done));
+                       store_->Write(chunk, offset, length, std::move(data), std::move(done),
+                                     storage::IoTag{cls, TenantOf(chunk)});
                      });
 }
 

@@ -37,6 +37,11 @@ struct ChunkServerConfig {
   // Wait before committing on a bare majority (§4.1 step 6). In the normal
   // case all replicas reply far sooner and the timeout is cancelled.
   Nanos majority_commit_timeout = msec(200);
+  // Replication legs (and their acks) of writes at or below this size ride
+  // the transport's coalescing path: concurrent small writes to the same
+  // backup share one framed message. Larger writes are sent individually so
+  // a bulky message never delays a batch. 0 disables coalescing.
+  uint64_t coalesce_max_bytes = 64 * kKiB;
 };
 
 // Resolves a ServerId to the in-process server object (set up by Cluster).
@@ -68,8 +73,12 @@ class ChunkServer {
     uint64_t last_write_id = 0;
   };
 
-  Status AllocateChunk(ChunkId chunk, uint64_t view);
+  // `tenant` is the owning virtual disk's id; it rides every I/O this server
+  // issues for the chunk as the QoS tenant (per-disk fair shares).
+  Status AllocateChunk(ChunkId chunk, uint64_t view, uint64_t tenant = 0);
   Status FreeChunk(ChunkId chunk);
+  // QoS tenant recorded at allocation (0 when unknown).
+  uint64_t TenantOf(ChunkId chunk) const;
   bool HasChunk(ChunkId chunk) const { return states_.find(chunk) != states_.end(); }
   Result<ReplicaState> GetState(ChunkId chunk) const;
   void SetState(ChunkId chunk, uint64_t version, uint64_t view);
@@ -141,18 +150,23 @@ class ChunkServer {
   void HandleVersionQuery(ChunkId chunk, StateCallback done);
 
   // Recovery read: newest data regardless of version (journal-aware on
-  // backups); reports the replica's version alongside.
+  // backups); reports the replica's version alongside. `cls` is the QoS class
+  // the transfer runs under — kRecovery for re-replication, kScrub for
+  // corruption repair.
   void HandleRecoveryRead(ChunkId chunk, uint64_t offset, uint64_t length, void* out,
-                          ReadCallback done);
+                          ReadCallback done,
+                          qos::ServiceClass cls = qos::ServiceClass::kRecovery);
 
   // Recovery write at the transfer target (no version checks; the master
   // installs {version, view} via SetState once the copy completes).
   void HandleRecoveryWrite(ChunkId chunk, uint64_t offset, uint64_t length,
-                           ursa::BufferView data, storage::IoCallback done);
+                           ursa::BufferView data, storage::IoCallback done,
+                           qos::ServiceClass cls = qos::ServiceClass::kRecovery);
   void HandleRecoveryWrite(ChunkId chunk, uint64_t offset, uint64_t length, const void* data,
-                           storage::IoCallback done) {
+                           storage::IoCallback done,
+                           qos::ServiceClass cls = qos::ServiceClass::kRecovery) {
     HandleRecoveryWrite(chunk, offset, length, ursa::BufferView::Unowned(data, length),
-                        std::move(done));
+                        std::move(done), cls);
   }
 
   // Incremental repair support: ranges of `chunk` modified after `version`,
@@ -175,9 +189,9 @@ class ChunkServer {
   // A non-null `span` receives the durable-write duration (kBackupJournal).
   void BackupWrite(ChunkId chunk, uint64_t offset, uint64_t length, uint64_t version,
                    ursa::BufferView data, storage::IoCallback done,
-                   const obs::SpanRef& span = {});
+                   const obs::SpanRef& span = {}, storage::IoTag tag = {});
   void BackupRead(ChunkId chunk, uint64_t offset, uint64_t length, void* out,
-                  storage::IoCallback done);
+                  storage::IoCallback done, storage::IoTag tag = {});
 
   sim::Simulator* sim_;
   net::Transport* transport_;
@@ -189,6 +203,7 @@ class ChunkServer {
   ChunkServerConfig config_;
   ServerResolver resolver_;
   std::map<ChunkId, ReplicaState> states_;
+  std::map<ChunkId, uint64_t> chunk_tenants_;  // QoS tenant (virtual disk id)
   // Wraps a completion so inflight_ops_ tracks admitted requests. The
   // callback is held behind a shared_ptr so the wrapper stays copyable and
   // const-invocable inside nested non-mutable lambdas.

@@ -18,6 +18,19 @@ Cluster::Cluster(sim::Simulator* sim, const ClusterConfig& config)
     machines_.push_back(std::make_unique<Machine>(sim, transport_.get(),
                                                   static_cast<MachineId>(m), config.machine));
     Machine* machine = machines_.back().get();
+    if (config.qos.enabled) {
+      // One scheduler gate per device, attached before any server issues I/O.
+      for (int i = 0; i < machine->num_ssds(); ++i) {
+        schedulers_.push_back(std::make_unique<qos::IoScheduler>(
+            sim, &machine->ssd(i), config.qos, config.qos.ssd_depth,
+            machine->name() + "/ssd" + std::to_string(i), &metrics_));
+      }
+      for (int i = 0; i < machine->num_hdds(); ++i) {
+        schedulers_.push_back(std::make_unique<qos::IoScheduler>(
+            sim, &machine->hdd(i), config.qos, config.qos.hdd_depth,
+            machine->name() + "/hdd" + std::to_string(i), &metrics_));
+      }
+    }
     switch (config.mode) {
       case StorageMode::kHybrid:
         BuildHybridMachine(machine);

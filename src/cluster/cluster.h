@@ -21,6 +21,7 @@
 #include "src/cluster/types.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/trace.h"
+#include "src/qos/io_scheduler.h"
 
 namespace ursa::cluster {
 
@@ -42,6 +43,9 @@ struct ClusterConfig {
   // Request tracing: sample every Nth client I/O into a latency-breakdown
   // span (0 = tracing off; 1 = every request). See obs::Tracer.
   uint64_t trace_sample_every = 0;
+  // Per-device QoS scheduling (src/qos). When `qos.enabled`, every SSD and
+  // HDD gets an IoScheduler gate arbitrating service classes.
+  qos::QosConfig qos;
 };
 
 class Cluster {
@@ -95,6 +99,9 @@ class Cluster {
   obs::Tracer tracer_;
   std::unique_ptr<net::Transport> transport_;
   std::vector<std::unique_ptr<Machine>> machines_;
+  // After machines_: schedulers reference machine-owned devices, so they are
+  // destroyed first (reverse declaration order).
+  std::vector<std::unique_ptr<qos::IoScheduler>> schedulers_;
   std::vector<std::unique_ptr<Machine>> client_machines_;
   std::vector<std::unique_ptr<storage::ChunkStore>> stores_;
   std::vector<std::unique_ptr<journal::JournalManager>> journal_managers_;

@@ -71,7 +71,8 @@ Result<DiskId> Master::CreateDisk(const std::string& name, uint64_t size, int re
     layout.view = 1;
     for (ServerId sid : *servers) {
       ChunkServer* server = servers_[sid];
-      Status s = server->AllocateChunk(layout.chunk, layout.view);
+      // The disk id doubles as the QoS tenant for every replica's I/O.
+      Status s = server->AllocateChunk(layout.chunk, layout.view, meta.id);
       if (!s.ok()) {
         return s;
       }
@@ -167,7 +168,8 @@ ChunkLayout* Master::FindLayout(ChunkId chunk) {
 }
 
 void Master::TransferChunk(ChunkId chunk, ChunkServer* source, ChunkServer* target,
-                           uint64_t chunk_size, std::function<void(Status, uint64_t)> done) {
+                           uint64_t chunk_size, std::function<void(Status, uint64_t)> done,
+                           qos::ServiceClass cls) {
   // Sliding window of `recovery_window_` pieces, each `recovery_piece_`
   // bytes: read at the source (journal-aware), ship over the network, write
   // at the target. Saturates the target's inbound NIC when sources are fast
@@ -178,6 +180,7 @@ void Master::TransferChunk(ChunkId chunk, ChunkServer* source, ChunkServer* targ
     uint64_t total_pieces = 0;
     uint64_t source_version = 0;
     bool failed = false;
+    bool waiting = false;
     std::function<void(Status, uint64_t)> done;
   };
   auto st = std::make_shared<State>();
@@ -185,8 +188,20 @@ void Master::TransferChunk(ChunkId chunk, ChunkServer* source, ChunkServer* targ
   st->done = std::move(done);
 
   auto pump = std::make_shared<std::function<void()>>();
-  *pump = [this, chunk, source, target, chunk_size, st, pump]() {
-    if (st->failed) {
+  *pump = [this, chunk, source, target, chunk_size, cls, st, pump]() {
+    if (st->failed || st->waiting) {
+      return;
+    }
+    // QoS backpressure: when the target device's scheduler reports the
+    // recovery class past its queue-depth high watermark, pause issuing
+    // pieces until it drains to the low watermark (in-flight pieces finish).
+    storage::IoGate* gate = target->store()->device()->gate();
+    if (gate != nullptr && gate->ShouldThrottle(cls)) {
+      st->waiting = true;
+      gate->WhenReady(cls, [st, pump]() {
+        st->waiting = false;
+        (*pump)();
+      });
       return;
     }
     while (st->next_offset < chunk_size &&
@@ -202,8 +217,8 @@ void Master::TransferChunk(ChunkId chunk, ChunkServer* source, ChunkServer* targ
       void* buf_ptr = buf ? buf->data() : nullptr;
       source->HandleRecoveryRead(
           chunk, offset, len, buf_ptr,
-          [this, chunk, source, target, offset, len, st, pump, buf](const Status& s,
-                                                                    uint64_t version) {
+          [this, chunk, source, target, offset, len, cls, st, pump, buf](const Status& s,
+                                                                         uint64_t version) {
             if (st->failed) {
               return;
             }
@@ -215,7 +230,7 @@ void Master::TransferChunk(ChunkId chunk, ChunkServer* source, ChunkServer* targ
             st->source_version = std::max(st->source_version, version);
             uint64_t wire = net::WireBytes(net::MessageType::kRecoveryData, len);
             transport_->Send(source->node(), target->node(), wire,
-                             [this, chunk, target, offset, len, st, pump, buf]() {
+                             [this, chunk, target, offset, len, cls, st, pump, buf]() {
                                target->HandleRecoveryWrite(
                                    chunk, offset, len, buf ? buf->data() : nullptr,
                                    [this, len, st, pump, buf](const Status& s2) {
@@ -234,16 +249,19 @@ void Master::TransferChunk(ChunkId chunk, ChunkServer* source, ChunkServer* targ
                                      } else {
                                        (*pump)();
                                      }
-                                   });
+                                   },
+                                   cls);
                              });
-          });
+          },
+          cls);
     }
   };
   (*pump)();
 }
 
 void Master::TransferRanges(ChunkId chunk, ChunkServer* source, ChunkServer* target,
-                            std::vector<Interval> ranges, std::function<void(Status)> done) {
+                            std::vector<Interval> ranges, std::function<void(Status)> done,
+                            qos::ServiceClass cls) {
   if (ranges.empty()) {
     sim_->After(0, [done = std::move(done)]() { done(OkStatus()); });
     return;
@@ -259,7 +277,7 @@ void Master::TransferRanges(ChunkId chunk, ChunkServer* source, ChunkServer* tar
     void* buf_ptr = buf ? buf->data() : nullptr;
     source->HandleRecoveryRead(
         chunk, range.offset, range.length, buf_ptr,
-        [this, chunk, source, target, range, remaining, failed, done_shared,
+        [this, chunk, source, target, range, cls, remaining, failed, done_shared,
          buf](const Status& s, uint64_t) {
           if (*failed) {
             return;
@@ -272,7 +290,7 @@ void Master::TransferRanges(ChunkId chunk, ChunkServer* source, ChunkServer* tar
           uint64_t wire = net::WireBytes(net::MessageType::kRecoveryData, range.length);
           transport_->Send(
               source->node(), target->node(), wire,
-              [this, chunk, target, range, remaining, failed, done_shared, buf]() {
+              [this, chunk, target, range, cls, remaining, failed, done_shared, buf]() {
                 target->HandleRecoveryWrite(
                     chunk, range.offset, range.length, buf ? buf->data() : nullptr,
                     [this, range, remaining, failed, done_shared, buf](const Status& s2) {
@@ -288,9 +306,11 @@ void Master::TransferRanges(ChunkId chunk, ChunkServer* source, ChunkServer* tar
                       if (--*remaining == 0) {
                         (*done_shared)(OkStatus());
                       }
-                    });
+                    },
+                    cls);
               });
-        });
+        },
+        cls);
   }
 }
 
@@ -383,7 +403,7 @@ void Master::ReportReplicaFailure(ChunkId chunk, ServerId failed,
     return;
   }
   uint64_t new_view = layout->view + 1;
-  Status alloc = target->AllocateChunk(chunk, new_view);
+  Status alloc = target->AllocateChunk(chunk, new_view, ref->second.disk);
   if (!alloc.ok()) {
     done(alloc);
     return;
@@ -511,7 +531,10 @@ void Master::RepairCorruptRange(ChunkId chunk, ServerId corrupt_server, uint64_t
   }
   ++recovery_stats_.corruption_repairs;
   ChunkServer* target = servers_[corrupt_server];
-  TransferRanges(chunk, source, target, {Interval{offset, length}}, std::move(done));
+  // Scrub repair: lowest-priority class — it races nothing (reads of the
+  // range stay quarantined until `done`).
+  TransferRanges(chunk, source, target, {Interval{offset, length}}, std::move(done),
+                 qos::ServiceClass::kScrub);
 }
 
 void Master::RepairReplica(ChunkId chunk, ServerId lagging, std::function<void(Status)> done) {

@@ -137,12 +137,18 @@ class Master {
 
   // Copies [0, chunk_size) of `chunk` from `source` to `target` over the
   // network in pieces; `done` runs with the source's version on success.
+  // `cls` is the QoS class the transfer's device I/O runs under; when the
+  // target device has an I/O gate, the piece pump pauses at the recovery
+  // class's queue-depth high watermark and resumes on drain (backpressure —
+  // recovery yields to foreground instead of flooding the device queue).
   void TransferChunk(ChunkId chunk, ChunkServer* source, ChunkServer* target,
-                     uint64_t chunk_size, std::function<void(Status, uint64_t)> done);
+                     uint64_t chunk_size, std::function<void(Status, uint64_t)> done,
+                     qos::ServiceClass cls = qos::ServiceClass::kRecovery);
 
-  // Copies specific ranges (incremental repair).
+  // Copies specific ranges (incremental repair / corruption scrub).
   void TransferRanges(ChunkId chunk, ChunkServer* source, ChunkServer* target,
-                      std::vector<Interval> ranges, std::function<void(Status)> done);
+                      std::vector<Interval> ranges, std::function<void(Status)> done,
+                      qos::ServiceClass cls = qos::ServiceClass::kRecovery);
 
   ChunkLayout* FindLayout(ChunkId chunk);
 

@@ -3,56 +3,18 @@
 // §3.2: "clients that are too aggressive are rate-limited by the master
 // before SSDs on one machine exhaust their journal quotas." The limiter
 // lives in the client write path; the master sets/clears its rate.
+//
+// The implementation was absorbed into the QoS subsystem's token bucket
+// (src/qos/token_bucket.h) when per-device I/O scheduling landed; this alias
+// keeps the historical name and call sites working.
 #ifndef URSA_COMMON_RATE_LIMITER_H_
 #define URSA_COMMON_RATE_LIMITER_H_
 
-#include <algorithm>
-
-#include "src/common/units.h"
+#include "src/qos/token_bucket.h"
 
 namespace ursa {
 
-class RateLimiter {
- public:
-  // rate == 0 means unlimited.
-  explicit RateLimiter(double ops_per_sec = 0, double burst = 32)
-      : rate_(ops_per_sec), burst_(burst), tokens_(burst) {}
-
-  void SetRate(double ops_per_sec) {
-    rate_ = ops_per_sec;
-    tokens_ = std::min(tokens_, burst_);
-  }
-  double rate() const { return rate_; }
-  bool unlimited() const { return rate_ <= 0; }
-
-  // Tries to take one token at time `now`. On success returns 0; otherwise
-  // returns the delay after which the caller should retry.
-  Nanos Acquire(Nanos now) {
-    if (unlimited()) {
-      return 0;
-    }
-    Refill(now);
-    if (tokens_ >= 1.0) {
-      tokens_ -= 1.0;
-      return 0;
-    }
-    double missing = 1.0 - tokens_;
-    return static_cast<Nanos>(missing / rate_ * 1e9) + 1;
-  }
-
- private:
-  void Refill(Nanos now) {
-    if (now > last_refill_) {
-      tokens_ = std::min(burst_, tokens_ + rate_ * ToSec(now - last_refill_));
-      last_refill_ = now;
-    }
-  }
-
-  double rate_;
-  double burst_;
-  double tokens_;
-  Nanos last_refill_ = 0;
-};
+using RateLimiter = qos::TokenBucket;
 
 }  // namespace ursa
 

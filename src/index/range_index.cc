@@ -335,9 +335,31 @@ void RangeIndex::Compact() {
   scratch_.reserve(array_.size() + tree_.size());
   std::vector<Packed>& merged = scratch_;
 
+  // Fence table, built inline with the merge: entries are appended in offset
+  // order, so each bucket's lower bound is known the moment the first entry
+  // at or past its boundary is pushed — no separate rebuild pass over the
+  // finished array. Bucket count is sized from the merge's upper bound
+  // (pre-coalescing); if coalescing shrinks the result the buckets just get
+  // sparser, which only narrows search windows further.
+  size_t upper = array_.size() + tree_.size();
+  fence_.clear();
+  size_t buckets = 0;
+  if (upper >= 64) {
+    int buckets_log2 = 1;
+    while ((size_t{1} << buckets_log2) * 64 < upper && buckets_log2 < kOffsetBits) {
+      ++buckets_log2;
+    }
+    fence_shift_ = kOffsetBits - buckets_log2;
+    buckets = size_t{1} << buckets_log2;
+    fence_.resize(buckets + 1);
+  }
+  size_t next_bucket = 0;
+
   // Push with composite-key coalescing: contiguous chunk ranges whose journal
   // offsets are also contiguous fuse into one key (§3.3 "composite keys").
-  auto push = [&merged](uint32_t off, uint32_t len, uint64_t j) {
+  // Coalescing mutates the back entry in place without changing its offset,
+  // so fence values assigned at its append stay valid.
+  auto push = [&](uint32_t off, uint32_t len, uint64_t j) {
     if (!merged.empty()) {
       Packed& last = merged.back();
       if (last.end() == off && last.j_offset() + last.length() == j &&
@@ -345,6 +367,10 @@ void RangeIndex::Compact() {
         last = Packed::Make(last.offset(), last.length() + len, last.j_offset());
         return;
       }
+    }
+    while (next_bucket < buckets &&
+           (static_cast<uint32_t>(next_bucket) << fence_shift_) <= off) {
+      fence_[next_bucket++] = static_cast<uint32_t>(merged.size());
     }
     merged.push_back(Packed::Make(off, len, j));
   };
@@ -410,36 +436,16 @@ void RangeIndex::Compact() {
   }
   emit_array_until(static_cast<uint64_t>(kMaxOffset) + 1);
 
+  // Buckets past the last entry (and the end sentinel) point at the array
+  // end.
+  while (next_bucket <= buckets && !fence_.empty()) {
+    fence_[next_bucket++] = static_cast<uint32_t>(merged.size());
+  }
+
   // Swap, don't move: array_'s old block becomes next Compact's scratch, so
   // a steady-state index stops allocating on merges entirely.
   array_.swap(scratch_);
   tree_.clear();
-  RebuildFence();
-}
-
-void RangeIndex::RebuildFence() {
-  fence_.clear();
-  if (array_.size() < 64) {
-    return;  // small arrays: the plain branch-free search is already cheap
-  }
-  // Size the table for ~64 entries per bucket so each narrowed search spans a
-  // handful of adjacent cache lines.
-  int buckets_log2 = 1;
-  while ((size_t{1} << buckets_log2) * 64 < array_.size() && buckets_log2 < kOffsetBits) {
-    ++buckets_log2;
-  }
-  fence_shift_ = kOffsetBits - buckets_log2;
-  size_t buckets = size_t{1} << buckets_log2;
-  fence_.resize(buckets + 1);
-  size_t i = 0;
-  for (size_t b = 0; b < buckets; ++b) {
-    uint32_t bound = static_cast<uint32_t>(b) << fence_shift_;
-    while (i < array_.size() && array_[i].offset() < bound) {
-      ++i;
-    }
-    fence_[b] = static_cast<uint32_t>(i);
-  }
-  fence_[buckets] = static_cast<uint32_t>(array_.size());
 }
 
 void RangeIndex::MaybeCompact() {

@@ -186,12 +186,12 @@ class RangeIndex {
   // offset() >= v. Narrowed by the fence table when one is built.
   size_t ArrayLowerBound(uint32_t v) const;
 
-  // Rebuilds fence_: fence_[b] is the index of the first array entry whose
-  // offset has high bits >= b (i.e. offset >= b << fence_shift_). Lets
-  // ArrayLowerBound search a ~64-entry window instead of the whole array.
-  // Cheap (one linear pass) and only needed when array_ changes, i.e. at
-  // Compact().
-  void RebuildFence();
+  // fence_[b] is the index of the first array entry whose offset has high
+  // bits >= b (i.e. offset >= b << fence_shift_), letting ArrayLowerBound
+  // search a ~64-entry window instead of the whole array. It is built inside
+  // Compact()'s merge loop — entries are emitted in offset order, so each
+  // bucket's bound is crossed exactly once and no separate rebuild pass over
+  // the finished array is needed.
 
   // Streams the fence window for offset v into cache; issued before the tree
   // walk so the array misses overlap the tree's pointer chase.

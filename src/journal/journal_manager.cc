@@ -48,6 +48,7 @@ JournalManager::JournalManager(sim::Simulator* sim, storage::ChunkStore* backup_
   replayed_records_ = registry->GetCounter("journal.replayed_records", labels);
   merged_records_ = registry->GetCounter("journal.merged_records", labels);
   replayed_bytes_ = registry->GetCounter("journal.replayed_bytes", labels);
+  replay_submits_ = registry->GetCounter("journal.replay_submits", labels);
   expansions_ = registry->GetCounter("journal.expansions", labels);
   corruptions_detected_ = registry->GetCounter("journal.corruptions_detected", labels);
   corruptions_repaired_ = registry->GetCounter("journal.corruptions_repaired", labels);
@@ -67,6 +68,7 @@ const JournalStats& JournalManager::stats() const {
   stats_cache_.replayed_records = replayed_records_->value();
   stats_cache_.merged_records = merged_records_->value();
   stats_cache_.replayed_bytes = replayed_bytes_->value();
+  stats_cache_.replay_submits = replay_submits_->value();
   stats_cache_.expansions = expansions_->value();
   stats_cache_.corruptions_detected = corruptions_detected_->value();
   stats_cache_.corruptions_repaired = corruptions_repaired_->value();
@@ -119,7 +121,7 @@ index::RangeIndex& JournalManager::IndexFor(storage::ChunkId chunk) {
 
 void JournalManager::Write(storage::ChunkId chunk, uint64_t offset, uint64_t length,
                            uint64_t version, ursa::BufferView data, storage::IoCallback done,
-                           const obs::SpanRef& span) {
+                           const obs::SpanRef& span, storage::IoTag tag) {
   URSA_CHECK_EQ(offset % kSector, 0u);
   URSA_CHECK_EQ(length % kSector, 0u);
   URSA_CHECK_GT(length, 0u);
@@ -149,19 +151,19 @@ void JournalManager::Write(storage::ChunkId chunk, uint64_t offset, uint64_t len
       need_marker = journals_[k].writer->appended_records() > 0;
     }
     if (!need_marker) {
-      backup_store_->Write(chunk, offset, length, data, std::move(done));
+      backup_store_->Write(chunk, offset, length, data, std::move(done), tag);
       return;
     }
     auto joiner = std::make_shared<Joiner>();
     joiner->remaining = 2;
     joiner->done = std::move(done);
     backup_store_->Write(chunk, offset, length, data,
-                         [joiner](const Status& s) { joiner->Finish(s); });
+                         [joiner](const Status& s) { joiner->Finish(s); }, tag);
     bool appended = false;
     for (size_t k = active_; k < journals_.size() && !appended; ++k) {
       Result<uint64_t> j = journals_[k].writer->AppendInvalidation(
           chunk, static_cast<uint32_t>(offset), static_cast<uint32_t>(length), version,
-          [joiner](const Status& s) { joiner->Finish(s); });
+          [joiner](const Status& s) { joiner->Finish(s); }, tag);
       appended = j.ok();
     }
     if (!appended) {
@@ -184,7 +186,7 @@ void JournalManager::Write(storage::ChunkId chunk, uint64_t offset, uint64_t len
     }
     Result<uint64_t> j_off = journals_[k].writer->Append(
         chunk, static_cast<uint32_t>(offset), static_cast<uint32_t>(length), version, data,
-        std::move(done));
+        std::move(done), tag);
     URSA_CHECK(j_off.ok());  // CanFit guaranteed space
     if (k > active_) {
       expansions_->Increment();
@@ -202,11 +204,11 @@ void JournalManager::Write(storage::ChunkId chunk, uint64_t offset, uint64_t len
   direct_fallback_writes_->Increment();
   IndexFor(chunk).EraseRange(static_cast<uint32_t>(offset / kSector),
                              static_cast<uint32_t>(length / kSector));
-  backup_store_->Write(chunk, offset, length, data, std::move(done));
+  backup_store_->Write(chunk, offset, length, data, std::move(done), tag);
 }
 
 void JournalManager::Read(storage::ChunkId chunk, uint64_t offset, uint64_t length, void* out,
-                          storage::IoCallback done) {
+                          storage::IoCallback done, storage::IoTag tag) {
   URSA_CHECK_EQ(offset % kSector, 0u);
   URSA_CHECK_EQ(length % kSector, 0u);
 
@@ -266,13 +268,14 @@ void JournalManager::Read(storage::ChunkId chunk, uint64_t offset, uint64_t leng
               }
               std::memcpy(dest, buf->data() + (byte_off - rc.j_offset), seg_length);
               cb(OkStatus());
-            });
+            },
+            tag);
         continue;
       }
       journals_[k].writer->ReadPayload(byte_off, static_cast<uint32_t>(seg_length), dest,
-                                       std::move(cb));
+                                       std::move(cb), tag);
     } else {
-      backup_store_->Read(chunk, seg_offset, seg_length, dest, std::move(cb));
+      backup_store_->Read(chunk, seg_offset, seg_length, dest, std::move(cb), tag);
     }
   }
 }
@@ -382,8 +385,48 @@ void JournalManager::Kick() {
   });
 }
 
+// One pending merge write: a live segment of a wave record, addressed both in
+// chunk space (for the ChunkStore API) and device space (the elevator sort
+// key). A null `src` is a timing-only merge.
+struct JournalManager::ReplayWave {
+  struct Intent {
+    storage::ChunkId chunk = 0;
+    index::Segment seg{};    // for EraseIfMapsTo after the write lands
+    uint64_t chunk_off = 0;  // bytes within the chunk
+    uint64_t length = 0;     // bytes
+    const uint8_t* src = nullptr;
+    size_t record = 0;  // wave-local record position
+    uint64_t device_off = 0;
+  };
+
+  size_t journal = 0;
+  size_t records = 0;
+  size_t prep_remaining = 0;     // phase-A completions outstanding
+  size_t records_remaining = 0;  // records not yet consumed
+  std::vector<Intent> intents;
+  // Payload buffers backing `src` pointers; released when the wave's last
+  // completion drops the shared_ptr to the wave.
+  std::vector<std::shared_ptr<std::vector<uint8_t>>> buffers;
+  std::vector<size_t> segs_remaining;  // per record: merge writes outstanding
+};
+
 void JournalManager::ReplayTick() {
   if (!replay_running_ || replay_wave_inflight_) {
+    return;
+  }
+  // QoS backpressure: when the backup device's scheduler reports the replay
+  // class at its high watermark, pause producing waves and resume (one armed
+  // waiter at a time) once it drains to the low watermark. Without a gate
+  // this is a no-op.
+  storage::IoGate* gate = backup_store_->device()->gate();
+  if (gate != nullptr && gate->ShouldThrottle(qos::ServiceClass::kJournalReplay)) {
+    if (!replay_waiting_ready_) {
+      replay_waiting_ready_ = true;
+      gate->WhenReady(qos::ServiceClass::kJournalReplay, [this]() {
+        replay_waiting_ready_ = false;
+        Kick();
+      });
+    }
     return;
   }
   // Prefer SSD journals (replayed continuously, §3.2); HDD journals are
@@ -423,19 +466,14 @@ void JournalManager::ReplayTick() {
   URSA_CHECK_GT(n, 0u);
   replay_wave_inflight_ = true;
 
-  auto remaining = std::make_shared<size_t>(n);
-  auto wave_done = [this, writer, n, remaining]() {
-    if (--*remaining > 0) {
-      return;
-    }
-    for (size_t i = 0; i < n; ++i) {
-      writer->PopFrontAndFree();
-    }
-    replay_wave_inflight_ = false;
-    Kick();
-  };
+  auto wave = std::make_shared<ReplayWave>();
+  wave->journal = chosen;
+  wave->records = n;
+  wave->records_remaining = n;
+  wave->prep_remaining = n;
+  wave->segs_remaining.assign(n, 0);
   for (size_t i = 0; i < n; ++i) {
-    ReplayOne(chosen, i, wave_done);
+    PrepareReplay(chosen, i, wave);
   }
 }
 
@@ -554,9 +592,32 @@ bool JournalManager::InjectBitFlip(Rng& rng) {
   return true;
 }
 
-void JournalManager::ReplayOne(size_t idx, size_t record_pos, std::function<void()> done) {
+void JournalManager::RecordDone(const std::shared_ptr<ReplayWave>& wave) {
+  if (--wave->records_remaining > 0) {
+    return;
+  }
+  JournalWriter* writer = journals_[wave->journal].writer.get();
+  for (size_t i = 0; i < wave->records; ++i) {
+    writer->PopFrontAndFree();
+  }
+  replay_wave_inflight_ = false;
+  Kick();
+}
+
+void JournalManager::PrepDone(const std::shared_ptr<ReplayWave>& wave) {
+  if (--wave->prep_remaining > 0) {
+    return;
+  }
+  FlushWave(wave);
+}
+
+// Phase A for one record: decide live sub-ranges (overwrite merging, §3.2),
+// read + CRC-verify the payload, and queue merge intents on the wave.
+void JournalManager::PrepareReplay(size_t idx, size_t record_pos,
+                                   std::shared_ptr<ReplayWave> wave) {
   JournalWriter* writer = journals_[idx].writer.get();
   const AppendedRecord rec = writer->pending()[record_pos];
+  const storage::IoTag replay_tag{qos::ServiceClass::kJournalReplay, 0};
 
   // Which sub-ranges of this record are still live (not overwritten by a
   // newer append or bypass)? Dead ranges are skipped — this is the overwrite
@@ -566,8 +627,6 @@ void JournalManager::ReplayOne(size_t idx, size_t record_pos, std::function<void
   uint64_t rec_j = ToJSector(idx, rec.j_offset);
   index::SegmentVec mapped;
   IndexFor(rec.chunk_id).QueryMappedTo(lo, len, &mapped);
-  // `live` crosses an async boundary below, so it stays a plain vector the
-  // completion closures can own.
   std::vector<index::Segment> live;
   for (const index::Segment& seg : mapped) {
     if (seg.j_offset == rec_j + (seg.offset - lo)) {
@@ -576,11 +635,12 @@ void JournalManager::ReplayOne(size_t idx, size_t record_pos, std::function<void
   }
   if (live.empty()) {
     merged_records_->Increment();
-    // Consume asynchronously so a wave of fully-merged records cannot
-    // re-enter the writer's deque state machine synchronously.
-    sim_->After(0, std::move(done));
+    RecordDone(wave);
+    PrepDone(wave);
     return;
   }
+  wave->segs_remaining[record_pos] = live.size();
+  uint64_t slot_off = backup_store_->SlotOffset(rec.chunk_id);
 
   if (rec.has_data) {
     // Read the whole payload once: the stored CRC32C covers the full record,
@@ -589,61 +649,124 @@ void JournalManager::ReplayOne(size_t idx, size_t record_pos, std::function<void
     // write) — the record's live ranges are quarantined and re-replicated
     // from a healthy replica instead of being replayed as garbage.
     auto buf = std::make_shared<std::vector<uint8_t>>(rec.length);
+    wave->buffers.push_back(buf);
     writer->ReadPayload(
         rec.j_offset, rec.length, buf->data(),
-        [this, idx, rec, live, buf, done](const Status& s) {
+        [this, idx, rec, live, buf, wave, record_pos, slot_off](const Status& s) {
           URSA_CHECK(s.ok()) << "journal read failed during replay: " << s.ToString();
           if (rec.ToHeader().ComputeCrc(buf->data()) != rec.crc) {
             OnCorruptRecord(idx, rec);
-            sim_->After(0, done);  // consume: the record's data is unusable
+            wave->segs_remaining[record_pos] = 0;  // consume: data is unusable
+            RecordDone(wave);
+            PrepDone(wave);
             return;
           }
-          auto remaining = std::make_shared<size_t>(live.size());
           for (const index::Segment& seg : live) {
-            uint64_t seg_bytes = static_cast<uint64_t>(seg.length) * kSector;
-            uint64_t chunk_byte_off = static_cast<uint64_t>(seg.offset) * kSector;
-            const uint8_t* src = buf->data() + (ByteOffsetOf(seg.j_offset) - rec.j_offset);
-            backup_store_->WriteBackground(
-                rec.chunk_id, chunk_byte_off, seg_bytes, src,
-                [this, chunk = rec.chunk_id, seg, seg_bytes, buf, remaining,
-                 done](const Status& s2) {
-                  URSA_CHECK(s2.ok())
-                      << "backup write failed during replay: " << s2.ToString();
-                  IndexFor(chunk).EraseIfMapsTo(seg.offset, seg.length, seg.j_offset);
-                  replayed_bytes_->Add(seg_bytes);
-                  if (--*remaining == 0) {
-                    replayed_records_->Increment();
-                    done();
-                  }
-                });
+            ReplayWave::Intent intent;
+            intent.chunk = rec.chunk_id;
+            intent.seg = seg;
+            intent.chunk_off = static_cast<uint64_t>(seg.offset) * kSector;
+            intent.length = static_cast<uint64_t>(seg.length) * kSector;
+            intent.src = buf->data() + (ByteOffsetOf(seg.j_offset) - rec.j_offset);
+            intent.record = record_pos;
+            intent.device_off = slot_off + intent.chunk_off;
+            wave->intents.push_back(intent);
           }
-        });
+          PrepDone(wave);
+        },
+        replay_tag);
     return;
   }
 
-  // Timing-only records carry no bytes to verify; keep the per-segment I/O
-  // shape so performance experiments see the same device traffic as before.
+  // Timing-only records carry no bytes to verify; keep the per-segment
+  // journal-read legs so performance experiments see the same journal-device
+  // traffic as before, then queue null-src merge intents.
   auto remaining = std::make_shared<size_t>(live.size());
   for (const index::Segment& seg : live) {
     uint64_t seg_bytes = static_cast<uint64_t>(seg.length) * kSector;
-    uint64_t journal_byte_off = ByteOffsetOf(seg.j_offset);
     writer->ReadPayload(
-        journal_byte_off, static_cast<uint32_t>(seg_bytes), nullptr,
-        [this, seg, seg_bytes, remaining, done, chunk = rec.chunk_id](const Status& s) {
+        ByteOffsetOf(seg.j_offset), static_cast<uint32_t>(seg_bytes), nullptr,
+        [this, seg, seg_bytes, remaining, wave, record_pos, slot_off,
+         chunk = rec.chunk_id](const Status& s) {
           URSA_CHECK(s.ok()) << "journal read failed during replay: " << s.ToString();
-          uint64_t chunk_byte_off = static_cast<uint64_t>(seg.offset) * kSector;
-          backup_store_->WriteBackground(
-              chunk, chunk_byte_off, seg_bytes, nullptr,
-              [this, chunk, seg, seg_bytes, remaining, done](const Status& s2) {
-                URSA_CHECK(s2.ok()) << "backup write failed during replay: " << s2.ToString();
-                IndexFor(chunk).EraseIfMapsTo(seg.offset, seg.length, seg.j_offset);
-                replayed_bytes_->Add(seg_bytes);
-                if (--*remaining == 0) {
-                  replayed_records_->Increment();
-                  done();
-                }
-              });
-        });
+          ReplayWave::Intent intent;
+          intent.chunk = chunk;
+          intent.seg = seg;
+          intent.chunk_off = static_cast<uint64_t>(seg.offset) * kSector;
+          intent.length = seg_bytes;
+          intent.record = record_pos;
+          intent.device_off = slot_off + intent.chunk_off;
+          wave->intents.push_back(intent);
+          if (--*remaining == 0) {
+            PrepDone(wave);
+          }
+        },
+        replay_tag);
+  }
+}
+
+// Phase B: sort the wave's merge intents into ascending backup-device offset
+// and coalesce adjacent runs into single gather submits — the HDD's elevator
+// then services a replay wave as a handful of near-sequential writes instead
+// of replay_batch scattered ones.
+void JournalManager::FlushWave(const std::shared_ptr<ReplayWave>& wave) {
+  if (wave->intents.empty()) {
+    return;  // every record was merged or corrupt; RecordDone already ran
+  }
+  const storage::IoTag replay_tag{qos::ServiceClass::kJournalReplay, 0};
+  std::stable_sort(wave->intents.begin(), wave->intents.end(),
+                   [](const ReplayWave::Intent& a, const ReplayWave::Intent& b) {
+                     return a.device_off < b.device_off;
+                   });
+  size_t i = 0;
+  while (i < wave->intents.size()) {
+    // Live mappings are disjoint, so adjacency in device space means exact
+    // contiguity. Data and timing-only intents never mix in one run: a null
+    // gather segment writes zeros, which a timing-only merge must not do.
+    size_t j = i + 1;
+    while (j < wave->intents.size()) {
+      const ReplayWave::Intent& prev = wave->intents[j - 1];
+      const ReplayWave::Intent& next = wave->intents[j];
+      if (next.chunk != prev.chunk || (next.src == nullptr) != (prev.src == nullptr) ||
+          prev.device_off + prev.length != next.device_off) {
+        break;
+      }
+      ++j;
+    }
+    std::vector<ReplayWave::Intent> run(wave->intents.begin() + static_cast<ptrdiff_t>(i),
+                                        wave->intents.begin() + static_cast<ptrdiff_t>(j));
+    storage::ChunkId chunk = run.front().chunk;
+    uint64_t run_off = run.front().chunk_off;
+    replay_submits_->Increment();
+    auto on_written = [this, wave, run](const Status& s) {
+      URSA_CHECK(s.ok()) << "backup write failed during replay: " << s.ToString();
+      for (const ReplayWave::Intent& intent : run) {
+        IndexFor(intent.chunk).EraseIfMapsTo(intent.seg.offset, intent.seg.length,
+                                             intent.seg.j_offset);
+        replayed_bytes_->Add(static_cast<double>(intent.length));
+        if (--wave->segs_remaining[intent.record] == 0) {
+          replayed_records_->Increment();
+          RecordDone(wave);
+        }
+      }
+    };
+    if (run.front().src != nullptr) {
+      std::vector<storage::IoSegment> segments;
+      segments.reserve(run.size());
+      for (const ReplayWave::Intent& intent : run) {
+        segments.push_back(storage::IoSegment{intent.src, intent.length});
+      }
+      backup_store_->WriteGather(chunk, run_off, std::move(segments), /*background=*/true,
+                                 std::move(on_written), replay_tag);
+    } else {
+      uint64_t run_len = 0;
+      for (const ReplayWave::Intent& intent : run) {
+        run_len += intent.length;
+      }
+      backup_store_->WriteBackground(chunk, run_off, run_len, nullptr, std::move(on_written),
+                                     replay_tag);
+    }
+    i = j;
   }
 }
 

@@ -51,6 +51,8 @@ struct JournalStats {
   uint64_t replayed_records = 0;
   uint64_t merged_records = 0;  // skipped at replay: fully overwritten
   uint64_t replayed_bytes = 0;
+  uint64_t replay_submits = 0;  // backup-device writes issued by replay
+                                // (< live segments when runs coalesce)
   uint64_t expansions = 0;  // active-journal switches due to full rings
   uint64_t corruptions_detected = 0;  // CRC mismatches caught (replay + read)
   uint64_t corruptions_repaired = 0;  // quarantined ranges healed by the master
@@ -73,22 +75,25 @@ class JournalManager {
   // Backup write: journal append, bypass, or direct fallback. `done` runs
   // when the write is durable on the journal or the HDD respectively. A
   // non-null `span` gets the durable-append duration under kBackupJournal.
-  // The BufferView rides the downstream IoRequest (no copies except the
-  // journal's contiguous record image); the raw-pointer overload keeps the
-  // legacy buffer-outlives-callback contract.
+  // The BufferView rides the downstream IoRequest zero-copy (the journal
+  // append is a scatter write sharing the view); the raw-pointer overload
+  // keeps the legacy buffer-outlives-callback contract. `tag` classifies the
+  // device I/O for QoS (class + tenant).
   void Write(storage::ChunkId chunk, uint64_t offset, uint64_t length, uint64_t version,
-             ursa::BufferView data, storage::IoCallback done, const obs::SpanRef& span = {});
+             ursa::BufferView data, storage::IoCallback done, const obs::SpanRef& span = {},
+             storage::IoTag tag = {});
   void Write(storage::ChunkId chunk, uint64_t offset, uint64_t length, uint64_t version,
-             const void* data, storage::IoCallback done, const obs::SpanRef& span = {}) {
+             const void* data, storage::IoCallback done, const obs::SpanRef& span = {},
+             storage::IoTag tag = {}) {
     Write(chunk, offset, length, version, ursa::BufferView::Unowned(data, length),
-          std::move(done), span);
+          std::move(done), span, tag);
   }
 
   // Reads the newest backup data: journal overlays the HDD chunk store.
   // Needed when a backup serves as temporary primary (§4.2.1) and during
   // failure recovery. Offset/length must be sector-aligned.
   void Read(storage::ChunkId chunk, uint64_t offset, uint64_t length, void* out,
-            storage::IoCallback done);
+            storage::IoCallback done, storage::IoTag tag = {});
 
   // Begins continuous replay; reschedules itself until destroyed.
   void StartReplay();
@@ -180,10 +185,17 @@ class JournalManager {
   // Schedules a ReplayTick if replay is running and none is queued.
   void Kick();
   void ReplayTick();
-  // Merges the record at `record_pos` in journal `idx`'s pending deque;
-  // invokes `done` when the record has been consumed (either skipped or
-  // durably written to the HDD).
-  void ReplayOne(size_t idx, size_t record_pos, std::function<void()> done);
+
+  // One replay wave runs in two phases so the HDD sees elevator-friendly
+  // traffic: phase A reads and CRC-verifies every record payload of the wave
+  // (journal-device reads), collecting per-live-segment merge intents; phase
+  // B sorts the intents by backup-device offset and coalesces adjacent runs
+  // into single gather writes.
+  struct ReplayWave;
+  void PrepareReplay(size_t idx, size_t record_pos, std::shared_ptr<ReplayWave> wave);
+  void PrepDone(const std::shared_ptr<ReplayWave>& wave);
+  void FlushWave(const std::shared_ptr<ReplayWave>& wave);
+  void RecordDone(const std::shared_ptr<ReplayWave>& wave);
 
   sim::Simulator* sim_;
   storage::ChunkStore* backup_store_;
@@ -201,6 +213,7 @@ class JournalManager {
   obs::Counter* replayed_records_;
   obs::Counter* merged_records_;
   obs::Counter* replayed_bytes_;
+  obs::Counter* replay_submits_;
   obs::Counter* expansions_;
   obs::Counter* corruptions_detected_;
   obs::Counter* corruptions_repaired_;
@@ -213,6 +226,7 @@ class JournalManager {
   bool replay_running_ = false;
   bool replay_wave_inflight_ = false;
   bool tick_scheduled_ = false;
+  bool replay_waiting_ready_ = false;  // WhenReady backpressure waiter armed
 };
 
 }  // namespace ursa::journal

@@ -47,6 +47,22 @@ Result<RecordHeader> RecordHeader::Decode(const uint8_t* in) {
   return h;
 }
 
+namespace {
+
+// Folds `count` zero bytes into a running CRC32C (timing-only payloads, null
+// scatter segments): a real reader of a zero-filled PageStore still validates.
+uint32_t FoldZeros(uint32_t c, uint64_t count) {
+  static constexpr uint8_t kZeros[4096] = {};
+  while (count > 0) {
+    uint64_t n = count < sizeof(kZeros) ? count : sizeof(kZeros);
+    c = Crc32c(kZeros, n, c);
+    count -= n;
+  }
+  return c;
+}
+
+}  // namespace
+
 uint32_t RecordHeader::ComputeCrc(const void* payload) const {
   uint8_t buf[kEncodedSize];
   RecordHeader copy = *this;
@@ -59,14 +75,26 @@ uint32_t RecordHeader::ComputeCrc(const void* payload) const {
   if (payload != nullptr) {
     c = Crc32c(payload, length, c);
   } else {
-    // Timing-only writes have no bytes; fold in `length` zeros so a real
-    // reader of a zero-filled PageStore still validates.
-    static constexpr uint8_t kZeros[4096] = {};
-    uint32_t remaining = length;
-    while (remaining > 0) {
-      uint32_t n = remaining < sizeof(kZeros) ? remaining : sizeof(kZeros);
-      c = Crc32c(kZeros, n, c);
-      remaining -= n;
+    c = FoldZeros(c, length);
+  }
+  return c;
+}
+
+uint32_t RecordHeader::ComputeCrcVectored(const storage::IoSegment* segments,
+                                          size_t count) const {
+  uint8_t buf[kEncodedSize];
+  RecordHeader copy = *this;
+  copy.crc = 0;
+  copy.EncodeTo(buf);
+  uint32_t c = Crc32c(buf, kEncodedSize);
+  if (invalidation()) {
+    return c;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (segments[i].data != nullptr) {
+      c = Crc32c(segments[i].data, segments[i].length, c);
+    } else {
+      c = FoldZeros(c, segments[i].length);
     }
   }
   return c;

@@ -59,6 +59,13 @@ struct RecordHeader {
   // CRC over this header (with crc=0) plus `payload` (may be null => payload
   // bytes treated as zeros, matching PageStore's zero-fill semantics).
   uint32_t ComputeCrc(const void* payload) const;
+
+  // Vectored form: the payload is the concatenation of `count` scatter
+  // segments (null segment data = zeros). Streams CRC32C across the pieces
+  // via seed continuation — bit-identical to ComputeCrc over a contiguous
+  // copy, without materializing one. Segment lengths must sum to `length`.
+  // This is what lets the scatter append skip the record-image copy.
+  uint32_t ComputeCrcVectored(const storage::IoSegment* segments, size_t count) const;
 };
 
 // Builds the full on-disk image of a record (header sector + padded payload).

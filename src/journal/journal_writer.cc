@@ -29,7 +29,8 @@ bool JournalWriter::CanFit(uint64_t payload_len) const {
 
 Result<uint64_t> JournalWriter::AppendInvalidation(storage::ChunkId chunk_id,
                                                    uint32_t chunk_offset, uint32_t length,
-                                                   uint64_t version, storage::IoCallback done) {
+                                                   uint64_t version, storage::IoCallback done,
+                                                   storage::IoTag tag) {
   uint64_t footprint = kSector;
   uint64_t phys = PhysicalPos(logical_head_);
   uint64_t pad = phys + footprint > region_length_ ? region_length_ - phys : 0;
@@ -68,6 +69,7 @@ Result<uint64_t> JournalWriter::AppendInvalidation(storage::ChunkId chunk_id,
   req.length = kSector;
   req.data = image.data();
   req.hold = image.View();  // keeps the image alive until the device is done
+  req.tag = tag;
   req.done = std::move(done);
   device_->Submit(std::move(req));
   return meta.j_offset;
@@ -75,7 +77,7 @@ Result<uint64_t> JournalWriter::AppendInvalidation(storage::ChunkId chunk_id,
 
 Result<uint64_t> JournalWriter::Append(storage::ChunkId chunk_id, uint32_t chunk_offset,
                                        uint32_t length, uint64_t version, ursa::BufferView data,
-                                       storage::IoCallback done) {
+                                       storage::IoCallback done, storage::IoTag tag) {
   URSA_CHECK_GT(length, 0u);
   uint64_t footprint = RecordFootprint(length);
 
@@ -110,40 +112,49 @@ Result<uint64_t> JournalWriter::Append(storage::ChunkId chunk_id, uint32_t chunk
   meta.record_start = record_phys;
   meta.logical_start = record_logical;
   meta.has_data = static_cast<bool>(data);
-  if (data) {
-    // Remember the stored CRC so replay/reads can re-verify the on-device
-    // image (timing-only appends carry no bytes, so there is nothing to
-    // verify and the CRC pass is skipped for them).
-    meta.crc = header.ComputeCrc(data.data());
-  }
-  pending_.push_back(meta);
-
   storage::IoRequest req;
   req.type = storage::IoType::kWrite;
   req.offset = region_offset_ + record_phys;
   req.length = footprint;
+  req.tag = tag;
 
   if (data) {
-    // Carry real bytes: the contiguous on-device image is the single payload
-    // copy on the journaled path (header sector + payload + zero padding).
-    // The IoRequest holds the image; the caller's buffer is released here.
-    ursa::Buffer image = EncodeRecordImage(header, data);
-    req.data = image.data();
-    req.hold = image.View();
+    // Scatter append: the on-device image is assembled by the device from
+    // {header sector, caller's payload view, zeroed pad tail}, so the
+    // journaled path carries the payload with zero copies end to end. The CRC
+    // streams across the same segments (vectored), and the pad segment really
+    // writes zeros — ring space is reused, stale bytes must not survive.
+    // Byte-identical to the old contiguous EncodeRecordImage layout, which is
+    // what recovery Scan re-validates.
+    storage::IoSegment payload{data.data(), length};
+    header.crc = header.ComputeCrcVectored(&payload, 1);
+    meta.crc = header.crc;
+    ursa::Buffer hdr = ursa::Buffer::AllocateZeroed(kSector);
+    header.EncodeTo(hdr.data());
+    req.scatter.reserve(3);
+    req.scatter.push_back(storage::IoSegment{hdr.data(), kSector});
+    req.scatter.push_back(payload);
+    if (footprint > kSector + length) {
+      req.scatter.push_back(storage::IoSegment{nullptr, footprint - kSector - length});
+    }
+    req.hold = std::move(data);  // payload strong ref
+    req.hold2 = hdr.View();      // header sector
   }
+  pending_.push_back(meta);
   req.done = std::move(done);
   device_->Submit(std::move(req));
   return meta.j_offset;
 }
 
 void JournalWriter::ReadPayload(uint64_t j_offset, uint32_t length, void* out,
-                                storage::IoCallback done) {
+                                storage::IoCallback done, storage::IoTag tag) {
   URSA_CHECK_LE(j_offset + length, region_length_);
   storage::IoRequest req;
   req.type = storage::IoType::kRead;
   req.offset = region_offset_ + j_offset;
   req.length = length;
   req.out = out;
+  req.tag = tag;
   req.done = std::move(done);
   device_->Submit(std::move(req));
 }

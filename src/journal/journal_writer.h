@@ -68,16 +68,20 @@ class JournalWriter {
   // completions may reorder); `done` fires when the append is durable.
   // Fails immediately with kResourceExhausted when the ring lacks space (the
   // caller then expands to another journal, §3.2) — `done` is not invoked.
-  // `data` is a BufferView: the record image shares no state with it after
-  // encoding, so the caller's buffer is released as soon as Append returns
-  // (a null view appends a timing-only record). The raw-pointer overload
-  // wraps legacy callers.
+  // `data` is a BufferView appended zero-copy: the device request carries
+  // {header sector, payload view, zero pad} as scatter segments with the view
+  // riding along as a strong reference, so no contiguous record image is ever
+  // built (a null view appends a timing-only record). The raw-pointer
+  // overload keeps the legacy buffer-outlives-callback contract. The optional
+  // `tag` classifies the journal-device write for QoS.
   Result<uint64_t> Append(storage::ChunkId chunk_id, uint32_t chunk_offset, uint32_t length,
-                          uint64_t version, ursa::BufferView data, storage::IoCallback done);
+                          uint64_t version, ursa::BufferView data, storage::IoCallback done,
+                          storage::IoTag tag = {});
   Result<uint64_t> Append(storage::ChunkId chunk_id, uint32_t chunk_offset, uint32_t length,
-                          uint64_t version, const void* data, storage::IoCallback done) {
+                          uint64_t version, const void* data, storage::IoCallback done,
+                          storage::IoTag tag = {}) {
     return Append(chunk_id, chunk_offset, length, version,
-                  ursa::BufferView::Unowned(data, length), std::move(done));
+                  ursa::BufferView::Unowned(data, length), std::move(done), tag);
   }
 
   // True when a record with `payload_len` payload bytes would fit right now
@@ -89,10 +93,11 @@ class JournalWriter {
   // write, so a post-crash scan must not resurrect older appends for it.
   Result<uint64_t> AppendInvalidation(storage::ChunkId chunk_id, uint32_t chunk_offset,
                                       uint32_t length, uint64_t version,
-                                      storage::IoCallback done);
+                                      storage::IoCallback done, storage::IoTag tag = {});
 
   // Reads `length` payload bytes at region-relative `j_offset`.
-  void ReadPayload(uint64_t j_offset, uint32_t length, void* out, storage::IoCallback done);
+  void ReadPayload(uint64_t j_offset, uint32_t length, void* out, storage::IoCallback done,
+                   storage::IoTag tag = {});
 
   // FIFO of records not yet replayed. The replayer consumes from the front
   // and calls PopFrontAndFree() after merging.

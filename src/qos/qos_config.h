@@ -1,0 +1,77 @@
+// Configuration of the per-device I/O scheduler.
+//
+// Weights and watermarks are per service class; depths are per device kind.
+// Defaults are tuned for the paper-testbed hybrid cluster: foreground classes
+// dominate by weight, background classes are additionally bounded by queue
+// watermarks (producers pause) and optional byte-rate token buckets, and a
+// starvation guard grants background one slot after every
+// `background_slot_every` consecutive foreground dispatches so recovery and
+// replay always make progress (bounded, not starved).
+#ifndef URSA_QOS_QOS_CONFIG_H_
+#define URSA_QOS_QOS_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/units.h"
+#include "src/qos/service_class.h"
+
+namespace ursa::qos {
+
+struct ClassParams {
+  double weight = 1.0;            // DRR share (quantum multiplier)
+  double rate_bytes_per_sec = 0;  // token-bucket throttle; 0 = unlimited
+  double burst_bytes = static_cast<double>(1 * kMiB);
+  // Queue-depth watermarks driving producer backpressure: at or above `high`
+  // the producer should pause; waiters registered via WhenReady fire once the
+  // queue drains to `low` or below.
+  size_t high_watermark = 64;
+  size_t low_watermark = 8;
+};
+
+struct QosConfig {
+  bool enabled = false;
+
+  // Outstanding requests kept inside the device model. Small on HDDs so one
+  // elevator pass cannot bury a late-arriving foreground read; larger on SSDs
+  // to keep the channels fed.
+  size_t ssd_depth = 16;
+  size_t hdd_depth = 4;
+
+  // DRR quantum per weight unit, in bytes.
+  uint64_t quantum_bytes = 64 * kKiB;
+
+  // Starvation guard: after this many consecutive foreground dispatches with
+  // background work waiting, one background request is dispatched.
+  int background_slot_every = 16;
+
+  ClassParams fg_read{8.0, 0, static_cast<double>(1 * kMiB), 1024, 256};
+  ClassParams fg_write{8.0, 0, static_cast<double>(1 * kMiB), 1024, 256};
+  ClassParams replay{1.0, 0, static_cast<double>(2 * kMiB), 32, 8};
+  ClassParams recovery{1.0, 0, static_cast<double>(4 * kMiB), 32, 8};
+  ClassParams scrub{0.5, 0, static_cast<double>(1 * kMiB), 16, 4};
+
+  const ClassParams& Params(ServiceClass c) const {
+    switch (c) {
+      case ServiceClass::kForegroundWrite:
+        return fg_write;
+      case ServiceClass::kJournalReplay:
+        return replay;
+      case ServiceClass::kRecovery:
+        return recovery;
+      case ServiceClass::kScrub:
+        return scrub;
+      case ServiceClass::kAuto:
+      case ServiceClass::kForegroundRead:
+      default:
+        return fg_read;
+    }
+  }
+  ClassParams& MutableParams(ServiceClass c) {
+    return const_cast<ClassParams&>(Params(c));
+  }
+};
+
+}  // namespace ursa::qos
+
+#endif  // URSA_QOS_QOS_CONFIG_H_

@@ -1,0 +1,53 @@
+// Service classes for per-device I/O arbitration.
+//
+// Every request reaching a BlockDevice belongs to exactly one class; the
+// IoScheduler (src/qos/io_scheduler.h) arbitrates classes with weighted
+// deficit round-robin plus per-class token buckets. Kept dependency-free so
+// storage/io_request.h can carry the tag without a layering cycle: the qos
+// *library* depends on storage, but this header depends on nothing.
+#ifndef URSA_QOS_SERVICE_CLASS_H_
+#define URSA_QOS_SERVICE_CLASS_H_
+
+#include <cstdint>
+
+namespace ursa::qos {
+
+enum class ServiceClass : uint8_t {
+  // Untagged request: the scheduler derives the class from the request's
+  // IoType and `background` flag (reads/writes from legacy call sites land in
+  // the matching foreground class; background writes land in kJournalReplay).
+  kAuto = 0,
+  kForegroundRead,   // client-facing reads (latency-sensitive)
+  kForegroundWrite,  // client-facing writes + replication legs + journal appends
+  kJournalReplay,    // replay/merge of journaled writes into backup HDDs (§3.2)
+  kRecovery,         // re-replication / recovery transfers after failures (§4)
+  kScrub,            // CRC verification sweeps and quarantine re-reads
+};
+
+inline constexpr int kNumServiceClasses = 6;  // including kAuto
+
+constexpr const char* ServiceClassName(ServiceClass c) {
+  switch (c) {
+    case ServiceClass::kAuto:
+      return "auto";
+    case ServiceClass::kForegroundRead:
+      return "fg_read";
+    case ServiceClass::kForegroundWrite:
+      return "fg_write";
+    case ServiceClass::kJournalReplay:
+      return "replay";
+    case ServiceClass::kRecovery:
+      return "recovery";
+    case ServiceClass::kScrub:
+      return "scrub";
+  }
+  return "unknown";
+}
+
+constexpr bool IsForeground(ServiceClass c) {
+  return c == ServiceClass::kForegroundRead || c == ServiceClass::kForegroundWrite;
+}
+
+}  // namespace ursa::qos
+
+#endif  // URSA_QOS_SERVICE_CLASS_H_

@@ -1,0 +1,85 @@
+// Token bucket over simulated time — the single rate-limiting primitive.
+//
+// Used in two roles:
+//   * per-class byte throttles inside qos::IoScheduler (tokens = bytes);
+//   * the client write-path limiter the master drives (§3.2; tokens = ops) —
+//     common/rate_limiter.h aliases RateLimiter to this class.
+// Header-only and dependent only on common/units.h so it can be included
+// from anywhere without layering concerns.
+#ifndef URSA_QOS_TOKEN_BUCKET_H_
+#define URSA_QOS_TOKEN_BUCKET_H_
+
+#include <algorithm>
+
+#include "src/common/units.h"
+
+namespace ursa::qos {
+
+class TokenBucket {
+ public:
+  // rate == 0 means unlimited.
+  explicit TokenBucket(double tokens_per_sec = 0, double burst = 32)
+      : rate_(tokens_per_sec), burst_(burst), tokens_(burst) {}
+
+  void SetRate(double tokens_per_sec) {
+    rate_ = tokens_per_sec;
+    tokens_ = std::min(tokens_, burst_);
+  }
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+  bool unlimited() const { return rate_ <= 0; }
+
+  // Takes `tokens` at time `now` if available; returns whether they were.
+  bool TryConsume(double tokens, Nanos now) {
+    if (unlimited()) {
+      return true;
+    }
+    Refill(now);
+    if (tokens_ >= tokens) {
+      tokens_ -= tokens;
+      return true;
+    }
+    return false;
+  }
+
+  // Time from `now` until `tokens` will be available (0 when they already
+  // are). Requests larger than the burst would never fit; they are charged
+  // as a full-burst drain instead, so the wait stays finite.
+  Nanos DelayFor(double tokens, Nanos now) {
+    if (unlimited()) {
+      return 0;
+    }
+    Refill(now);
+    double need = std::min(tokens, burst_);
+    if (tokens_ >= need) {
+      return 0;
+    }
+    return static_cast<Nanos>((need - tokens_) / rate_ * 1e9) + 1;
+  }
+
+  // Legacy one-op acquire: on success returns 0; otherwise the delay after
+  // which the caller should retry (RateLimiter's historical contract).
+  Nanos Acquire(Nanos now) {
+    if (TryConsume(1.0, now)) {
+      return 0;
+    }
+    return DelayFor(1.0, now);
+  }
+
+ private:
+  void Refill(Nanos now) {
+    if (now > last_refill_) {
+      tokens_ = std::min(burst_, tokens_ + rate_ * ToSec(now - last_refill_));
+      last_refill_ = now;
+    }
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  Nanos last_refill_ = 0;
+};
+
+}  // namespace ursa::qos
+
+#endif  // URSA_QOS_TOKEN_BUCKET_H_

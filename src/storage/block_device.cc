@@ -5,6 +5,28 @@
 namespace ursa::storage {
 
 void BlockDevice::Submit(IoRequest req) {
+  if (gate_ != nullptr) {
+    if (req.type == IoType::kWrite) {
+      if (PageStore* store = mutable_page_store()) {
+        // Apply the payload now so scheduler reordering stays timing-only:
+        // data visibility keeps submission order, matching the ungated path
+        // where every device model applies bytes at SubmitIo. Dropping the
+        // payload refs afterwards releases buffers while the request queues
+        // and keeps the device model from re-applying.
+        ApplyWritePayload(*store, req);
+        req.data = nullptr;
+        req.scatter.clear();
+        req.hold = BufferView();
+        req.hold2 = BufferView();
+      }
+    }
+    gate_->OnSubmit(std::move(req));
+    return;
+  }
+  Admit(std::move(req));
+}
+
+void BlockDevice::Admit(IoRequest req) {
   if (fault_.stuck) {
     ++fault_stuck_ops_;
     held_.push_back(std::move(req));
@@ -24,10 +46,12 @@ void BlockDevice::SetFault(const DeviceFault& fault) {
   fault_ = fault;
   if (was_stuck && !fault_.stuck && !held_.empty()) {
     // Re-admit in arrival order through the (possibly still slow) fault path.
+    // Admit (not Submit): these requests already won QoS arbitration once;
+    // re-queueing them through the gate would double-count dispatches.
     std::vector<IoRequest> held;
     held.swap(held_);
     for (auto& req : held) {
-      Submit(std::move(req));
+      Admit(std::move(req));
     }
   }
 }

@@ -33,6 +33,28 @@ struct DeviceFault {
   bool stuck = false;
 };
 
+class PageStore;
+
+// Admission gate a QoS scheduler installs in front of a device. When a gate
+// is attached, BlockDevice::Submit hands every request to the gate instead of
+// the device model; the gate classifies/queues/throttles it and eventually
+// dispatches via BlockDevice::Admit. Defined here (not in src/qos) so storage
+// does not link against the scheduler — qos::IoScheduler implements it.
+class IoGate {
+ public:
+  virtual ~IoGate() = default;
+  virtual void OnSubmit(IoRequest req) = 0;
+
+  // Backpressure toward background producers: `ShouldThrottle` is true while
+  // the class's queue sits at or above its high watermark; `WhenReady`
+  // invokes `fn` once (asynchronously) when the queue has drained to the low
+  // watermark — immediately if it already has. Producers (journal replayer,
+  // recovery pump) ask before issuing each batch instead of letting device
+  // queues grow without bound.
+  virtual bool ShouldThrottle(qos::ServiceClass) const { return false; }
+  virtual void WhenReady(qos::ServiceClass, std::function<void()> fn) { fn(); }
+};
+
 class BlockDevice {
  public:
   explicit BlockDevice(sim::Simulator* sim) : sim_(sim) {}
@@ -40,8 +62,19 @@ class BlockDevice {
 
   // Submits an async operation. The completion callback runs from the
   // simulator event loop; it must not be invoked synchronously from Submit.
-  // Applies any injected gray fault, then forwards to the device model.
+  // Routes through the attached QoS gate when one is installed, otherwise
+  // applies any injected gray fault and forwards to the device model.
   void Submit(IoRequest req);
+
+  // Dispatches a request into the device, bypassing the gate (fault handling
+  // still applies). Called by the gate itself once a request wins arbitration;
+  // everyone else goes through Submit.
+  void Admit(IoRequest req);
+
+  // Installs/removes the QoS admission gate (not owned; must outlive the
+  // device or be detached first).
+  void SetGate(IoGate* gate) { gate_ = gate; }
+  IoGate* gate() const { return gate_; }
 
   virtual uint64_t capacity() const = 0;
 
@@ -70,10 +103,18 @@ class BlockDevice {
   // Device-model implementation of Submit; called after fault handling.
   virtual void SubmitIo(IoRequest req) = 0;
 
+  // Backing byte store of the device model, when it carries real data.
+  // Submit uses it to apply write payloads eagerly while a QoS gate is
+  // attached: the scheduler reorders requests for timing, but data
+  // visibility must keep submission order (the invariant every device model
+  // provides by applying bytes at SubmitIo in the ungated path).
+  virtual PageStore* mutable_page_store() { return nullptr; }
+
   sim::Simulator* sim_;
   DeviceStats stats_;
 
  private:
+  IoGate* gate_ = nullptr;
   DeviceFault fault_;
   std::vector<IoRequest> held_;  // admitted while stuck, awaiting heal
   uint64_t fault_delayed_ops_ = 0;
@@ -88,6 +129,9 @@ class PageStore {
 
   void Write(uint64_t offset, const void* data, uint64_t length);
   void Read(uint64_t offset, void* out, uint64_t length) const;
+  // Writes `length` zero bytes. Not a no-op: pages may hold earlier data
+  // (ring journals reuse space), so the zeros must land.
+  void WriteZeros(uint64_t offset, uint64_t length);
 
   size_t allocated_pages() const { return pages_.size(); }
 
@@ -109,6 +153,43 @@ inline void PageStore::Write(uint64_t offset, const void* data, uint64_t length)
     src += n;
     offset += n;
     length -= n;
+  }
+}
+
+inline void PageStore::WriteZeros(uint64_t offset, uint64_t length) {
+  while (length > 0) {
+    uint64_t page = offset / kPageSize;
+    uint64_t in_page = offset % kPageSize;
+    uint64_t n = std::min(kPageSize - in_page, length);
+    auto it = pages_.find(page);
+    if (it != pages_.end()) {
+      std::fill(it->second.begin() + static_cast<ptrdiff_t>(in_page),
+                it->second.begin() + static_cast<ptrdiff_t>(in_page + n), uint8_t{0});
+    }
+    // Untouched pages already read back as zeros; no need to materialize them.
+    offset += n;
+    length -= n;
+  }
+}
+
+// Applies a write request's payload to a PageStore, handling both the
+// contiguous (`data`) and scatter-gather (`scatter`) forms. Shared by every
+// device model that carries real bytes.
+inline void ApplyWritePayload(PageStore& store, const IoRequest& req) {
+  if (!req.scatter.empty()) {
+    uint64_t offset = req.offset;
+    for (const IoSegment& seg : req.scatter) {
+      if (seg.data != nullptr) {
+        store.Write(offset, seg.data, seg.length);
+      } else {
+        store.WriteZeros(offset, seg.length);
+      }
+      offset += seg.length;
+    }
+    return;
+  }
+  if (req.data != nullptr) {
+    store.Write(req.offset, req.data, req.length);
   }
 }
 

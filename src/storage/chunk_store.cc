@@ -65,7 +65,8 @@ Status ChunkStore::CheckRange(ChunkId id, uint64_t offset, uint64_t length,
   return OkStatus();
 }
 
-void ChunkStore::Read(ChunkId id, uint64_t offset, uint64_t length, void* out, IoCallback done) {
+void ChunkStore::Read(ChunkId id, uint64_t offset, uint64_t length, void* out, IoCallback done,
+                      IoTag tag) {
   uint64_t device_offset = 0;
   Status s = CheckRange(id, offset, length, &device_offset);
   if (!s.ok()) {
@@ -77,12 +78,13 @@ void ChunkStore::Read(ChunkId id, uint64_t offset, uint64_t length, void* out, I
   req.offset = device_offset;
   req.length = length;
   req.out = out;
+  req.tag = tag;
   req.done = std::move(done);
   device_->Submit(std::move(req));
 }
 
 void ChunkStore::Write(ChunkId id, uint64_t offset, uint64_t length, BufferView data,
-                       IoCallback done) {
+                       IoCallback done, IoTag tag) {
   uint64_t device_offset = 0;
   Status s = CheckRange(id, offset, length, &device_offset);
   if (!s.ok()) {
@@ -95,12 +97,13 @@ void ChunkStore::Write(ChunkId id, uint64_t offset, uint64_t length, BufferView 
   req.length = length;
   req.data = data.data();
   req.hold = std::move(data);
+  req.tag = tag;
   req.done = std::move(done);
   device_->Submit(std::move(req));
 }
 
 void ChunkStore::WriteBackground(ChunkId id, uint64_t offset, uint64_t length, BufferView data,
-                                 IoCallback done) {
+                                 IoCallback done, IoTag tag) {
   uint64_t device_offset = 0;
   Status s = CheckRange(id, offset, length, &device_offset);
   if (!s.ok()) {
@@ -114,6 +117,30 @@ void ChunkStore::WriteBackground(ChunkId id, uint64_t offset, uint64_t length, B
   req.data = data.data();
   req.hold = std::move(data);
   req.background = true;
+  req.tag = tag;
+  req.done = std::move(done);
+  device_->Submit(std::move(req));
+}
+
+void ChunkStore::WriteGather(ChunkId id, uint64_t offset, std::vector<IoSegment> segments,
+                             bool background, IoCallback done, IoTag tag) {
+  uint64_t length = 0;
+  for (const IoSegment& seg : segments) {
+    length += seg.length;
+  }
+  uint64_t device_offset = 0;
+  Status s = CheckRange(id, offset, length, &device_offset);
+  if (!s.ok()) {
+    done(s);
+    return;
+  }
+  IoRequest req;
+  req.type = IoType::kWrite;
+  req.offset = device_offset;
+  req.length = length;
+  req.scatter = std::move(segments);
+  req.background = background;
+  req.tag = tag;
   req.done = std::move(done);
   device_->Submit(std::move(req));
 }

@@ -39,19 +39,31 @@ class ChunkStore {
   // Writes take a BufferView (null view = timing-only): the view rides the
   // IoRequest as a strong reference, so callers need not keep the bytes
   // alive themselves. The raw-pointer overloads keep the legacy contract
-  // (buffer outlives the callback) for callers without a Buffer.
-  void Read(ChunkId id, uint64_t offset, uint64_t length, void* out, IoCallback done);
-  void Write(ChunkId id, uint64_t offset, uint64_t length, BufferView data, IoCallback done);
-  void Write(ChunkId id, uint64_t offset, uint64_t length, const void* data, IoCallback done) {
-    Write(id, offset, length, BufferView::Unowned(data, length), std::move(done));
+  // (buffer outlives the callback) for callers without a Buffer. The optional
+  // IoTag classifies the request for QoS scheduling (class + tenant).
+  void Read(ChunkId id, uint64_t offset, uint64_t length, void* out, IoCallback done,
+            IoTag tag = {});
+  void Write(ChunkId id, uint64_t offset, uint64_t length, BufferView data, IoCallback done,
+             IoTag tag = {});
+  void Write(ChunkId id, uint64_t offset, uint64_t length, const void* data, IoCallback done,
+             IoTag tag = {}) {
+    Write(id, offset, length, BufferView::Unowned(data, length), std::move(done), tag);
   }
   // Background-priority write (journal replay): yields to foreground I/O.
   void WriteBackground(ChunkId id, uint64_t offset, uint64_t length, BufferView data,
-                       IoCallback done);
+                       IoCallback done, IoTag tag = {});
   void WriteBackground(ChunkId id, uint64_t offset, uint64_t length, const void* data,
-                       IoCallback done) {
-    WriteBackground(id, offset, length, BufferView::Unowned(data, length), std::move(done));
+                       IoCallback done, IoTag tag = {}) {
+    WriteBackground(id, offset, length, BufferView::Unowned(data, length), std::move(done), tag);
   }
+  // Gather write: `segments` are concatenated at (id, offset). Segment buffers
+  // follow the legacy contract (caller keeps them alive until `done`), which
+  // replay does by capturing the payload buffers in the callback. A null
+  // segment data pointer writes zeros over that span. Used by the replayer to
+  // submit one elevator-friendly device request per coalesced run of
+  // offset-adjacent merged records.
+  void WriteGather(ChunkId id, uint64_t offset, std::vector<IoSegment> segments, bool background,
+                   IoCallback done, IoTag tag = {});
 
   uint64_t chunk_size() const { return chunk_size_; }
   size_t allocated_chunks() const { return slots_.size(); }

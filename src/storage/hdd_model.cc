@@ -12,9 +12,9 @@ void HddModel::SubmitIo(IoRequest req) {
   URSA_CHECK_LE(req.offset + req.length, params_.capacity) << "I/O beyond HDD capacity";
   stats_.RecordSubmit(req);
 
-  if (req.type == IoType::kWrite && req.data != nullptr) {
-    store_.Write(req.offset, req.data, req.length);
-  } else if (req.type == IoType::kRead && req.out != nullptr) {
+  if (req.type == IoType::kWrite) {
+    ApplyWritePayload(store_, req);
+  } else if (req.out != nullptr) {
     store_.Read(req.offset, req.out, req.length);
   }
 

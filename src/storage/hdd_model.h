@@ -58,6 +58,7 @@ class HddModel : public BlockDevice {
 
  protected:
   void SubmitIo(IoRequest req) override;
+  PageStore* mutable_page_store() override { return &store_; }
 
  private:
   struct Pending {

@@ -4,15 +4,32 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "src/common/buffer.h"
 #include "src/common/status.h"
+#include "src/qos/service_class.h"
 
 namespace ursa::storage {
 
 enum class IoType { kRead, kWrite };
 
 using IoCallback = std::function<void(const Status&)>;
+
+// One fragment of a scatter-gather write payload. A null `data` pointer means
+// `length` zero bytes (sector-padding tails on journal appends).
+struct IoSegment {
+  const void* data = nullptr;
+  uint64_t length = 0;
+};
+
+// QoS tag riding with a request: which service class it belongs to and which
+// tenant (virtual disk) issued it. Plumbed as one struct so call chains that
+// forward I/O (ChunkStore, JournalWriter) stay one-parameter wide.
+struct IoTag {
+  qos::ServiceClass service_class = qos::ServiceClass::kAuto;
+  uint64_t tenant = 0;  // virtual-disk id; 0 = system/untagged
+};
 
 // One async device operation. `data` (writes) and `out` (reads) may be null:
 // performance experiments often model timing only, while correctness tests
@@ -35,7 +52,34 @@ struct IoRequest {
   // positional {type, offset, length, data, out, background, done} aggregate
   // initializations used across tests and benches stay valid.
   BufferView hold;
+
+  // ---- Extensions (appended after `hold` for the same reason) ----
+
+  // QoS classification; kAuto derives from `type` + `background`.
+  IoTag tag;
+  // Scatter-gather write payload. When non-empty the on-device bytes are the
+  // concatenation of the segments (lengths must sum to `length`) and `data`
+  // is ignored; devices treat the request as one contiguous write for timing.
+  // Null-data segments write zeros (they really overwrite — ring journals
+  // reuse space, so stale bytes must not survive under the padding).
+  std::vector<IoSegment> scatter;
+  // Second strong reference for scatter appends (header sector buffer; the
+  // payload segment is kept alive by `hold`).
+  BufferView hold2;
 };
+
+// Effective service class of a request: the explicit tag, or for kAuto the
+// class implied by direction and background priority.
+inline qos::ServiceClass EffectiveClass(const IoRequest& req) {
+  if (req.tag.service_class != qos::ServiceClass::kAuto) {
+    return req.tag.service_class;
+  }
+  if (req.background) {
+    return qos::ServiceClass::kJournalReplay;
+  }
+  return req.type == IoType::kRead ? qos::ServiceClass::kForegroundRead
+                                   : qos::ServiceClass::kForegroundWrite;
+}
 
 // Per-device counters. Latency is measured submit -> completion.
 struct DeviceStats {

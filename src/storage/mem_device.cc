@@ -25,9 +25,9 @@ void MemDevice::SubmitIo(IoRequest req) {
 
   // Perform the data movement immediately (device state reflects the write as
   // of submission order) but report completion through the event loop.
-  if (req.type == IoType::kWrite && req.data != nullptr) {
-    store_.Write(req.offset, req.data, req.length);
-  } else if (req.type == IoType::kRead && req.out != nullptr) {
+  if (req.type == IoType::kWrite) {
+    ApplyWritePayload(store_, req);
+  } else if (req.out != nullptr) {
     store_.Read(req.offset, req.out, req.length);
   }
 

@@ -34,6 +34,7 @@ class MemDevice : public BlockDevice {
 
  protected:
   void SubmitIo(IoRequest req) override;
+  PageStore* mutable_page_store() override { return &store_; }
 
  private:
   uint64_t capacity_;

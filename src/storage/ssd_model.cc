@@ -20,9 +20,9 @@ void SsdModel::SubmitIo(IoRequest req) {
   stats_.RecordSubmit(req);
   ++inflight_;
 
-  if (req.type == IoType::kWrite && req.data != nullptr) {
-    store_.Write(req.offset, req.data, req.length);
-  } else if (req.type == IoType::kRead && req.out != nullptr) {
+  if (req.type == IoType::kWrite) {
+    ApplyWritePayload(store_, req);
+  } else if (req.out != nullptr) {
     store_.Read(req.offset, req.out, req.length);
   }
 

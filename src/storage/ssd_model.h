@@ -44,6 +44,7 @@ class SsdModel : public BlockDevice {
 
  protected:
   void SubmitIo(IoRequest req) override;
+  PageStore* mutable_page_store() override { return &store_; }
 
  private:
   SsdParams params_;

@@ -49,6 +49,25 @@ TEST(ChaosRunnerTest, SameSeedReplaysIdentically) {
   EXPECT_EQ(first.violations, second.violations);
 }
 
+// The same fault schedules with the per-device QoS scheduler arbitrating
+// every disk (DESIGN.md "QoS & background-traffic arbitration"): crash
+// recovery and journal replay now run throttled behind foreground traffic —
+// watermark backpressure pauses the replayer, recovery transfers yield — yet
+// every seed must still converge (the runner's post-heal checks require all
+// replicas caught up) and stay linearizable. Guards against a starved
+// background class wedging recovery forever.
+TEST(ChaosRunnerTest, SeedsConvergeWithQosSchedulerEnabled) {
+  for (uint64_t seed : {7ull, 13ull, 19ull, 42ull}) {
+    ChaosPlan plan;
+    plan.seed = seed;
+    plan.cluster.qos.enabled = true;
+    ChaosReport report = RunChaos(plan);
+    EXPECT_TRUE(report.ok) << "qos seed " << seed << ": " << report.Summary();
+    EXPECT_GT(report.committed_writes, 0) << "qos seed " << seed << " committed nothing";
+    EXPECT_GT(report.checked_reads, 0) << "qos seed " << seed << " checked nothing";
+  }
+}
+
 // Directed end-to-end integrity drill: commit a write, flip one bit under
 // its journal record, and require the cluster to detect the damage via CRC,
 // quarantine the range (reads fail, never stale bytes), re-replicate from a

@@ -53,6 +53,50 @@ TEST(RecordTest, NullPayloadCrcMatchesZeros) {
   EXPECT_EQ(h.ComputeCrc(nullptr), h.ComputeCrc(zeros.data()));
 }
 
+// KAT: the vectored CRC (streamed over arbitrary segment splits of the
+// payload, including null zero-run segments) must equal the contiguous CRC of
+// the equivalent flat buffer — the property the scatter append path relies on.
+TEST(RecordTest, VectoredCrcMatchesContiguous) {
+  RecordHeader h;
+  h.chunk_id = 9;
+  h.chunk_offset = 4096;
+  h.length = 3000;
+  h.version = 7;
+  auto payload = test::Pattern(3000, 3);
+  uint32_t flat = h.ComputeCrc(payload.data());
+
+  // Single segment.
+  storage::IoSegment whole{payload.data(), 3000};
+  EXPECT_EQ(h.ComputeCrcVectored(&whole, 1), flat);
+
+  // Split at several boundaries, including odd and sector-unaligned ones.
+  for (uint64_t split : {1ull, 511ull, 512ull, 513ull, 1499ull, 2999ull}) {
+    storage::IoSegment segs[2] = {{payload.data(), split},
+                                  {payload.data() + split, 3000 - split}};
+    EXPECT_EQ(h.ComputeCrcVectored(segs, 2), flat) << "split " << split;
+  }
+
+  // Many tiny segments.
+  std::vector<storage::IoSegment> fine;
+  for (uint64_t off = 0; off < 3000; off += 97) {
+    fine.push_back(storage::IoSegment{payload.data() + off, std::min<uint64_t>(97, 3000 - off)});
+  }
+  EXPECT_EQ(h.ComputeCrcVectored(fine.data(), fine.size()), flat);
+
+  // Null segments fold as zero runs: data + trailing zeros must match the
+  // contiguous CRC of the payload with a real zero tail.
+  RecordHeader hz = h;
+  hz.length = 3600;
+  std::vector<uint8_t> padded(3600, 0);
+  std::copy(payload.begin(), payload.end(), padded.begin());
+  storage::IoSegment with_zero_tail[2] = {{payload.data(), 3000}, {nullptr, 600}};
+  EXPECT_EQ(hz.ComputeCrcVectored(with_zero_tail, 2), hz.ComputeCrc(padded.data()));
+
+  // All-null vector equals the null-payload (all-zeros) contiguous CRC.
+  storage::IoSegment all_zero{nullptr, 3600};
+  EXPECT_EQ(hz.ComputeCrcVectored(&all_zero, 1), hz.ComputeCrc(nullptr));
+}
+
 TEST(RecordTest, FootprintSectorRounded) {
   EXPECT_EQ(RecordFootprint(1), kSector + kSector);
   EXPECT_EQ(RecordFootprint(512), kSector + 512u);

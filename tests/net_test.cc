@@ -155,6 +155,51 @@ TEST(TransportTest, ByteCounters) {
   EXPECT_EQ(net.bytes_in(b), 1000 + params.overhead_bytes);
 }
 
+TEST(TransportTest, CoalescedSendsMergeIntoOneWireMessage) {
+  sim::Simulator sim;
+  Transport net(&sim);
+  NetParams params;
+  NodeId a = net.AddNode("a", params);
+  NodeId b = net.AddNode("b", params);
+  // Four small sends to the same flow in one simulator instant: one wire
+  // message, one overhead charge, delivers in enqueue order.
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    net.SendCoalesced(a, b, 1000, [&order, i]() { order.push_back(i); });
+  }
+  sim.RunToCompletion();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  EXPECT_EQ(net.messages_delivered(), 1u);
+  EXPECT_EQ(net.coalesced_batches(), 1u);
+  EXPECT_EQ(net.coalesced_messages(), 3u);  // three riders on the first send
+  // One framing overhead for the whole batch instead of four.
+  EXPECT_EQ(net.bytes_out(a), 4 * 1000 + params.overhead_bytes);
+  EXPECT_EQ(net.bytes_in(b), 4 * 1000 + params.overhead_bytes);
+}
+
+TEST(TransportTest, CoalescingIsPerFlowAndPerInstant) {
+  sim::Simulator sim;
+  Transport net(&sim);
+  NodeId a = net.AddNode("a");
+  NodeId b = net.AddNode("b");
+  NodeId c = net.AddNode("c");
+  int delivered = 0;
+  auto bump = [&delivered]() { ++delivered; };
+  // Different destinations never share a batch.
+  net.SendCoalesced(a, b, 100, bump);
+  net.SendCoalesced(a, c, 100, bump);
+  sim.RunToCompletion();
+  EXPECT_EQ(net.messages_delivered(), 2u);
+  EXPECT_EQ(net.coalesced_batches(), 0u);
+  // A later instant starts a fresh batch.
+  net.SendCoalesced(a, b, 100, bump);
+  sim.RunToCompletion();
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(net.messages_delivered(), 3u);
+  EXPECT_EQ(net.coalesced_batches(), 0u);
+}
+
 TEST(MessageTest, WireBytesComposition) {
   EXPECT_EQ(WireBytes(MessageType::kWriteRequest, 4096),
             FixedBytes(MessageType::kWriteRequest) + 4096);

@@ -326,5 +326,58 @@ TEST_P(QueryToEquivalenceTest, MatchesAllocatingQuery) {
 INSTANTIATE_TEST_SUITE_P(Seeds, QueryToEquivalenceTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
 
+// Repeated compactions over a large, sparse key population. Each Compact()
+// rebuilds the fence table inside its merge loop; this holds the fenced
+// ArrayLowerBound path (QueryTo) to the fence-free reference path (Query)
+// after every merge, across arrays big enough to resize the bucket table
+// several times (including shrinks when coalescing fuses adjacent keys).
+TEST_P(QueryToEquivalenceTest, RepeatedCompactionsKeepFenceConsistent) {
+  Rng rng(GetParam() * 7919 + 17);
+  RangeIndex index(/*merge_threshold=*/1 << 30);  // manual compaction only
+  constexpr uint32_t kSpace = kMaxOffset + 1;
+  SegmentVec buf;
+
+  for (int round = 0; round < 8; ++round) {
+    // Insert a batch spread over the whole offset space so the fence table
+    // has many populated (and many empty) buckets.
+    int batch = 200 + static_cast<int>(rng.Uniform(800));
+    for (int i = 0; i < batch; ++i) {
+      uint32_t offset = static_cast<uint32_t>(rng.Uniform(kSpace - 256));
+      uint32_t length = static_cast<uint32_t>(rng.UniformRange(1, 256));
+      index.Insert(offset, length, rng.Uniform(1 << 20));
+    }
+    if (rng.Uniform(3) == 0) {
+      // Occasionally erase a swath, leaving tombstones for the merge.
+      uint32_t offset = static_cast<uint32_t>(rng.Uniform(kSpace - 4096));
+      index.EraseRange(offset, 4096);
+    }
+    index.Compact();
+    ASSERT_EQ(index.tree_size(), 0u);
+
+    // Random probes against the allocating reference after each merge.
+    for (int probe = 0; probe < 200; ++probe) {
+      uint32_t offset = static_cast<uint32_t>(rng.Uniform(kSpace - 512));
+      uint32_t length = static_cast<uint32_t>(rng.UniformRange(1, 512));
+      index.QueryTo(offset, length, &buf);
+      EXPECT_EQ(ToVector(buf), index.Query(offset, length))
+          << "round " << round << " offset " << offset << " length " << length;
+      index.QueryMappedTo(offset, length, &buf);
+      EXPECT_EQ(ToVector(buf), index.QueryMapped(offset, length))
+          << "round " << round << " offset " << offset << " length " << length;
+    }
+  }
+
+  // Compacting a compacted index (tree empty) must be a no-op for queries.
+  size_t before = index.array_size();
+  index.Compact();
+  EXPECT_EQ(index.array_size(), before);
+  for (int probe = 0; probe < 100; ++probe) {
+    uint32_t offset = static_cast<uint32_t>(rng.Uniform(kSpace - 512));
+    uint32_t length = static_cast<uint32_t>(rng.UniformRange(1, 512));
+    index.QueryTo(offset, length, &buf);
+    EXPECT_EQ(ToVector(buf), index.Query(offset, length));
+  }
+}
+
 }  // namespace
 }  // namespace ursa::index
