@@ -6,9 +6,13 @@
 //   chaos_smoke --seeds=42          # replay one seed, print its fault trace
 //   chaos_smoke --seeds=1,2,3 -v    # sweep, verbose per-seed summaries
 //   chaos_smoke --seeds=7 --qos     # same faults with the QoS scheduler on
+//   chaos_smoke --health            # sweep with health scoring on (verdicts
+//                                   # may only land on injected devices),
+//                                   # then the gray-disk detection drill
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -30,12 +34,77 @@ std::vector<uint64_t> ParseSeeds(const std::string& list) {
   return seeds;
 }
 
+// Health scoring tuned to chaos scale: the default production windows (2 s
+// horizon) outlast the whole fault window, so drills use a 600 ms horizon
+// and a 75 ms cadence instead.
+ursa::obs::HealthConfig ChaosHealthConfig() {
+  ursa::obs::HealthConfig h;
+  h.enabled = true;
+  h.window_length = ursa::msec(150);
+  h.num_windows = 4;
+  h.check_interval = ursa::msec(75);
+  h.min_samples = 12;
+  h.outlier_ratio = 3.0;
+  h.outlier_floor = ursa::usec(500);
+  h.suspect_after = 2;
+  h.degrade_after = 4;
+  h.clear_after = 4;
+  return h;
+}
+
+// The detection drill: one long gray-slow disk episode under steady traffic,
+// no other fault types. The episode outlives the workload, so the run must
+// END with the device flagged and its server demoted — a detector that
+// flickers or never fires fails the leg.
+int RunHealthDrill(uint64_t seed, bool verbose, const std::string& json_path) {
+  ursa::chaos::ChaosPlan plan;
+  plan.seed = seed;
+  plan.ops = 4000;
+  plan.fault_window = ursa::msec(300);   // the fault starts early...
+  plan.workload_tail = ursa::msec(1700);  // ...and traffic keeps feeding digests
+  plan.min_fault_len = ursa::sec(2);
+  plan.max_fault_len = ursa::sec(2);
+  plan.net_faults = 0;
+  plan.partitions = 0;
+  plan.disk_faults = 1;
+  plan.stuck_faults = 0;
+  plan.crashes = 0;
+  plan.bit_flips = 0;
+  plan.cluster.health = ChaosHealthConfig();
+
+  ursa::chaos::ChaosReport report = ursa::chaos::RunChaos(plan);
+  if (!json_path.empty() && !report.health_json.empty()) {
+    std::ofstream out(json_path);
+    out << report.health_json << "\n";
+  }
+
+  int failures = 0;
+  auto expect = [&failures](bool cond, const char* what) {
+    std::printf("  drill: %-58s %s\n", what, cond ? "OK" : "FAIL");
+    failures += cond ? 0 : 1;
+  };
+  expect(report.ok, "safety checks hold during detection and demotion");
+  expect(report.health_demotions >= 1, "gray disk was demoted");
+  expect(report.degraded_devices.size() == 1, "exactly the injected device degraded");
+  expect(!report.demoted_at_end.empty(), "run ends with the slow device still demoted");
+  if (!report.ok || verbose || failures > 0) {
+    std::printf("%s\n", report.Summary().c_str());
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<uint64_t> seeds = {1, 2, 3};
   bool verbose = false;
   bool qos = false;
+  bool health = false;
+  std::string health_json;
+  // Default drill seed picked so the episode lands on an SSD: backup HDDs
+  // journal to SSD regions, so HDDs see almost no foreground traffic in the
+  // hybrid cluster and are (correctly) invisible to the scorer.
+  uint64_t drill_seed = 1;
   int ops = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -45,10 +114,19 @@ int main(int argc, char** argv) {
       ops = std::atoi(arg + 6);
     } else if (std::strcmp(arg, "--qos") == 0) {
       qos = true;
+    } else if (std::strcmp(arg, "--health") == 0) {
+      health = true;
+    } else if (std::strncmp(arg, "--health-json=", 14) == 0) {
+      health_json = arg + 14;
+    } else if (std::strncmp(arg, "--drill-seed=", 13) == 0) {
+      drill_seed = std::strtoull(arg + 13, nullptr, 10);
     } else if (std::strcmp(arg, "-v") == 0 || std::strcmp(arg, "--verbose") == 0) {
       verbose = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--seeds=a,b,c] [--ops=N] [--qos] [-v]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--seeds=a,b,c] [--ops=N] [--qos] [--health] "
+                   "[--health-json=path] [-v]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -58,6 +136,11 @@ int main(int argc, char** argv) {
     ursa::chaos::ChaosPlan plan;
     plan.seed = seed;
     plan.cluster.qos.enabled = qos;
+    if (health) {
+      // Health on: the runner additionally fails any seed whose scorer
+      // degrades a device the engine never gray-faulted.
+      plan.cluster.health = ChaosHealthConfig();
+    }
     if (ops > 0) {
       plan.ops = ops;
     }
@@ -68,5 +151,9 @@ int main(int argc, char** argv) {
     failures += report.ok ? 0 : 1;
   }
   std::printf("chaos smoke: %zu seeds, %d failed\n", seeds.size(), failures);
+
+  if (health) {
+    failures += RunHealthDrill(drill_seed, verbose, health_json);
+  }
   return failures == 0 ? 0 : 1;
 }

@@ -153,6 +153,7 @@ void ChaosEngine::ScheduleFaults() {
     sim_->After(start, [this, device, name, fault, len, stuck]() {
       (stuck ? ctr_stuck_ : ctr_disk_)->Increment();
       active_devices_.push_back(device);
+      faulted_devices_.push_back(name);
       device->SetFault(fault);
       Note((stuck ? "stuck disk " : "slow disk ") + name +
            (stuck ? "" : " +" + Us(fault.extra_latency)) + " for " + Us(len));

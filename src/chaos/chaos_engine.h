@@ -46,6 +46,11 @@ class ChaosEngine {
   const std::vector<std::string>& trace() const { return trace_; }
   uint64_t bit_flips_landed() const { return bit_flips_landed_; }
 
+  // Names of devices that received a gray fault (slow or stuck) at any point.
+  // The health-enabled runner uses this as the ground truth for its
+  // false-positive check: a degraded verdict on any other device is a bug.
+  const std::vector<std::string>& faulted_devices() const { return faulted_devices_; }
+
  private:
   void Note(const std::string& line);
   std::vector<net::NodeId> AllNodes() const;
@@ -66,6 +71,7 @@ class ChaosEngine {
   Rng flip_rng_;  // bit-flip target selection (fire time)
   std::vector<net::NodeId> client_nodes_;
   std::vector<std::string> trace_;
+  std::vector<std::string> faulted_devices_;  // gray-faulted device names
 
   // Active-fault bookkeeping so HealAll can revert mid-flight episodes.
   std::vector<std::pair<net::NodeId, net::NodeId>> active_links_;

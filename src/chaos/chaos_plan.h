@@ -47,6 +47,10 @@ struct ChaosPlan {
   int blocks = 16;
   double write_fraction = 0.5;
   Nanos request_timeout = msec(300);  // client per-attempt timeout
+  // Extra time the paced workload keeps running past the fault window. Health
+  // drills use this so traffic keeps feeding the latency digests while a long
+  // gray fault plays out (detection needs samples, not silence).
+  Nanos workload_tail = 0;
 
   // ---- Fault schedule: event counts sampled over [warmup, warmup+window) ----
   Nanos warmup = msec(20);       // let the first writes land before chaos

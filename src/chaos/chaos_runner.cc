@@ -4,6 +4,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <utility>
 
 #include "src/chaos/chaos_engine.h"
@@ -79,6 +80,18 @@ std::string ChaosReport::Summary() const {
                     " bit_flips=" + std::to_string(bit_flips) +
                     " corruptions_detected=" + std::to_string(corruptions_detected) +
                     " corruptions_repaired=" + std::to_string(corruptions_repaired) + ")";
+  if (health_demotions > 0 || !degraded_devices.empty()) {
+    out += "\n  health: demotions=" + std::to_string(health_demotions) +
+           " undemotions=" + std::to_string(health_undemotions) + " degraded=[";
+    for (size_t i = 0; i < degraded_devices.size(); ++i) {
+      out += (i > 0 ? " " : "") + degraded_devices[i];
+    }
+    out += "] demoted_at_end=[";
+    for (size_t i = 0; i < demoted_at_end.size(); ++i) {
+      out += (i > 0 ? " " : "") + demoted_at_end[i];
+    }
+    out += "]";
+  }
   if (!ok) {
     for (const auto& v : violations) {
       out += "\n  violation: " + v;
@@ -165,7 +178,7 @@ ChaosReport RunChaos(const ChaosPlan& plan) {
   };
 
   Nanos workload_start = sim.Now();
-  Nanos span = plan.warmup + plan.fault_window;
+  Nanos span = plan.warmup + plan.fault_window + plan.workload_tail;
   Nanos spacing = span / std::max(1, plan.ops);
   for (int i = 0; i < plan.ops; ++i) {
     issue_op();
@@ -275,6 +288,37 @@ ChaosReport RunChaos(const ChaosPlan& plan) {
   for (const journal::JournalManager* jm : cluster.journal_managers()) {
     report.corruptions_detected += jm->stats().corruptions_detected;
     report.corruptions_repaired += jm->stats().corruptions_repaired;
+  }
+
+  // ---- Health verdicts vs injected ground truth ----
+  if (obs::HealthMonitor* hm = cluster.health_monitor()) {
+    report.health_demotions = cluster.master().recovery_stats().demotions;
+    report.health_undemotions = cluster.master().recovery_stats().undemotions;
+    for (const obs::HealthEvent& e : hm->events()) {
+      if (e.to != obs::HealthState::kDegraded) {
+        continue;
+      }
+      if (std::find(report.degraded_devices.begin(), report.degraded_devices.end(), e.name) ==
+          report.degraded_devices.end()) {
+        report.degraded_devices.push_back(e.name);
+      }
+      // Only devices the engine actually gray-faulted (slow or stuck) may be
+      // degraded. Anything else is a false-positive demotion: the scorer
+      // mistook ambient chaos (partitions, crashes, load) for a sick device.
+      const std::vector<std::string>& injected = engine.faulted_devices();
+      if (std::find(injected.begin(), injected.end(), e.name) == injected.end()) {
+        report.violations.push_back("false-positive demotion of " + e.name + " (" + e.evidence +
+                                    "): device was never gray-faulted");
+      }
+    }
+    for (uint32_t d = 0; d < static_cast<uint32_t>(hm->num_devices()); ++d) {
+      if (cluster.master().IsDemoted(cluster.ServerOfHealthDevice(d))) {
+        report.demoted_at_end.push_back(hm->device_name(d));
+      }
+    }
+    std::ostringstream health_os;
+    hm->WriteJson(health_os);
+    report.health_json = health_os.str();
   }
   report.fault_trace = engine.trace();
   report.ok = report.violations.empty() && report.committed_writes > 0 &&

@@ -41,6 +41,16 @@ struct ChaosReport {
   uint64_t corruptions_detected = 0;
   uint64_t corruptions_repaired = 0;
 
+  // Health pipeline (gray device -> digest outlier -> degrade -> demotion).
+  // Populated only when the plan enables health monitoring. A degraded
+  // verdict on a device the engine never gray-faulted is recorded as a
+  // violation (false-positive demotion).
+  uint64_t health_demotions = 0;
+  uint64_t health_undemotions = 0;
+  std::vector<std::string> degraded_devices;  // ever degraded during the run
+  std::vector<std::string> demoted_at_end;    // still demoted when the run ended
+  std::string health_json;                    // health-monitor snapshot (empty if disabled)
+
   std::vector<std::string> violations;   // empty iff ok
   std::vector<std::string> fault_trace;  // timestamped injection history
 

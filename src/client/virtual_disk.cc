@@ -19,6 +19,14 @@ using net::QuorumTracker;
 using net::WireBytes;
 using storage::ChunkId;
 
+namespace {
+// Primary-steering preference: healthy SSD < healthy HDD < demoted SSD <
+// demoted HDD (mirrors the master's layout ordering, DESIGN.md §10).
+int ReplicaPreference(const ReplicaRef& r) {
+  return (r.demoted ? 2 : 0) + (r.on_ssd ? 0 : 1);
+}
+}  // namespace
+
 VirtualDisk::VirtualDisk(cluster::Cluster* cluster, cluster::Machine* host,
                          cluster::ClientId client_id, const VirtualDiskClientOptions& options)
     : sim_(cluster->simulator()),
@@ -85,11 +93,15 @@ Status VirtualDisk::Open(cluster::DiskId disk) {
       }
     }
     cs.version = version;
+    // Preferred primary: healthy SSD, then healthy HDD, then demoted
+    // replicas (health steering, DESIGN.md §10).
     cs.primary = 0;
+    int best_pref = 99;
     for (size_t r = 0; r < layout.replicas.size(); ++r) {
-      if (layout.replicas[r].on_ssd) {
+      int pref = ReplicaPreference(layout.replicas[r]);
+      if (pref < best_pref) {
+        best_pref = pref;
         cs.primary = r;
-        break;
       }
     }
   }
@@ -192,6 +204,9 @@ void VirtualDisk::Read(uint64_t offset, uint64_t length, void* out, storage::IoC
     sim_->After(options_.vmm_overhead,
                 [this, start, first_error, span, done = std::move(done)]() {
       stats_.read_latency_us.Record(static_cast<int64_t>(ToUsec(sim_->Now() - start)));
+      if (qos::SloMonitor* slo = cluster_->slo_monitor()) {
+        slo->RecordForeground(sim_->Now() - start);
+      }
       if (span != nullptr) {
         cluster_->tracer().FinishSpan(span, sim_->Now());
       }
@@ -325,6 +340,9 @@ void VirtualDisk::Write(uint64_t offset, uint64_t length, ursa::BufferView data,
     sim_->After(options_.vmm_overhead,
                 [this, start, first_error, span, done = std::move(done)]() {
       stats_.write_latency_us.Record(static_cast<int64_t>(ToUsec(sim_->Now() - start)));
+      if (qos::SloMonitor* slo = cluster_->slo_monitor()) {
+        slo->RecordForeground(sim_->Now() - start);
+      }
       if (span != nullptr) {
         cluster_->tracer().FinishSpan(span, sim_->Now());
       }
@@ -663,6 +681,7 @@ void VirtualDisk::HandleAttemptFailure(const SubRequest& sub, const Status& stat
     cluster::ServerId stale = nl.replicas[cs.primary % nl.replicas.size()].server;
     uint64_t best_version = 0;
     size_t best = cs.primary % nl.replicas.size();
+    int best_pref = 99;
     for (size_t r = 0; r < nl.replicas.size(); ++r) {
       ChunkServer* server = Server(nl.replicas[r].server);
       if (server == nullptr || server->crashed()) {
@@ -670,8 +689,10 @@ void VirtualDisk::HandleAttemptFailure(const SubRequest& sub, const Status& stat
       }
       Result<ChunkServer::ReplicaState> st = server->GetState(nl.chunk);
       if (st.ok() && (st->version > best_version ||
-                      (st->version == best_version && nl.replicas[r].on_ssd))) {
+                      (st->version == best_version &&
+                       ReplicaPreference(nl.replicas[r]) < best_pref))) {
         best_version = st->version;
+        best_pref = ReplicaPreference(nl.replicas[r]);
         best = r;
       }
     }
@@ -739,11 +760,16 @@ void VirtualDisk::HandleAttemptFailure(const SubRequest& sub, const Status& stat
       }
     }
     ncs.version = version;
+    int best_pref = 99;
     for (size_t r = 0; r < nl.replicas.size(); ++r) {
       ChunkServer* server = Server(nl.replicas[r].server);
-      if (nl.replicas[r].on_ssd && server != nullptr && !server->crashed()) {
+      if (server == nullptr || server->crashed()) {
+        continue;
+      }
+      int pref = ReplicaPreference(nl.replicas[r]);
+      if (pref < best_pref) {
+        best_pref = pref;
         ncs.primary = r;
-        break;
       }
     }
   });

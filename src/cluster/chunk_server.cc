@@ -53,6 +53,16 @@ void ChunkServer::SetState(ChunkId chunk, uint64_t version, uint64_t view) {
   states_[chunk] = ReplicaState{version, view};
 }
 
+void ChunkServer::SetView(ChunkId chunk, uint64_t view) {
+  auto it = states_.find(chunk);
+  if (it != states_.end()) {
+    // Unlike SetState, preserves version AND last_write_id: a view bump that
+    // clears the write-identity would make an in-flight retry of the last
+    // committed write look like a different write reusing its version.
+    it->second.view = view;
+  }
+}
+
 void ChunkServer::RegisterMetrics(obs::MetricsRegistry* registry) {
   obs::Labels labels{{"server", std::to_string(id_)}};
   registry->RegisterCallbackCounter("server.reads_served", labels,

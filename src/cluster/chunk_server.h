@@ -82,6 +82,9 @@ class ChunkServer {
   bool HasChunk(ChunkId chunk) const { return states_.find(chunk) != states_.end(); }
   Result<ReplicaState> GetState(ChunkId chunk) const;
   void SetState(ChunkId chunk, uint64_t version, uint64_t view);
+  // View-only update preserving version and write identity (health demotion
+  // view bumps, where no data moved).
+  void SetView(ChunkId chunk, uint64_t view);
 
   // Fault injection: a crashed server drops every message (clients time out).
   void SetCrashed(bool crashed) { crashed_ = crashed; }

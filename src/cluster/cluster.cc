@@ -11,6 +11,11 @@ Cluster::Cluster(sim::Simulator* sim, const ClusterConfig& config)
   transport_ = std::make_unique<net::Transport>(sim);
   transport_->RegisterMetrics(&metrics_);
 
+  if (config.health.enabled) {
+    // Built before the machines so Build*Machine can register devices.
+    health_ = std::make_unique<obs::HealthMonitor>(sim, config.health, &metrics_);
+  }
+
   primary_pool_.resize(config.machines);
   backup_pool_.resize(config.machines);
 
@@ -53,6 +58,33 @@ Cluster::Cluster(sim::Simulator* sim, const ClusterConfig& config)
                                      Placement(primary_pool_, backup_pool_), server_ptrs);
   master_->set_chunk_size(config.chunk_size);
   master_->RegisterMetrics(&metrics_);
+
+  if (health_ != nullptr) {
+    // Close the detection loop: degraded devices demote their server's
+    // replicas at the master; recovering to healthy restores them.
+    health_->SetTransitionHandler(
+        [this](obs::HealthMonitor::DeviceId d, obs::HealthState from, obs::HealthState to) {
+          ServerId sid = health_device_server_[d];
+          if (to == obs::HealthState::kDegraded) {
+            master_->SetServerDemoted(sid, true);
+          } else if (from == obs::HealthState::kDegraded &&
+                     to == obs::HealthState::kHealthy) {
+            master_->SetServerDemoted(sid, false);
+          }
+        });
+    health_->Start();
+  }
+
+  if (config.slo.enabled && config.qos.enabled) {
+    std::vector<qos::IoScheduler*> scheduler_ptrs;
+    scheduler_ptrs.reserve(schedulers_.size());
+    for (auto& s : schedulers_) {
+      scheduler_ptrs.push_back(s.get());
+    }
+    slo_ = std::make_unique<qos::SloMonitor>(sim, config.slo, std::move(scheduler_ptrs),
+                                             &metrics_);
+    slo_->Start();
+  }
 
   // Servers resolve each other through the registry (replication fan-out).
   for (auto& s : servers_) {
@@ -101,6 +133,21 @@ Cluster::Cluster(sim::Simulator* sim, const ClusterConfig& config)
 
 Cluster::~Cluster() = default;
 
+void Cluster::RegisterHealthDevice(storage::BlockDevice* device, std::string name,
+                                   std::string group, ServerId server) {
+  if (health_ == nullptr) {
+    return;
+  }
+  obs::HealthMonitor::DeviceId id =
+      health_->RegisterDevice(std::move(name), std::move(group));
+  URSA_CHECK_EQ(static_cast<size_t>(id), health_device_server_.size());
+  health_device_server_.push_back(server);
+  device->SetLatencyObserver(
+      [hm = health_.get(), id](qos::ServiceClass cls, storage::IoType, Nanos latency) {
+        hm->RecordLatency(id, cls, latency);
+      });
+}
+
 ChunkServer* Cluster::MakeServer(Machine* machine, storage::ChunkStore* store,
                                  journal::JournalManager* jm, bool on_ssd) {
   auto server = std::make_unique<ChunkServer>(sim_, transport_.get(), machine,
@@ -140,6 +187,8 @@ void Cluster::BuildHybridMachine(Machine* machine) {
     ssd_stores.push_back(stores_.back().get());
     ChunkServer* server = MakeServer(machine, ssd_stores.back(), nullptr, /*on_ssd=*/true);
     primary_pool_[m].push_back(server->id());
+    RegisterHealthDevice(&machine->ssd(i), machine->name() + "/ssd" + std::to_string(i), "ssd",
+                         server->id());
   }
 
   // One backup server per HDD with a journal manager.
@@ -190,6 +239,8 @@ void Cluster::BuildHybridMachine(Machine* machine) {
     ChunkServer* server =
         MakeServer(machine, backup_store, journal_manager_ptrs_.back(), /*on_ssd=*/false);
     backup_pool_[m].push_back(server->id());
+    RegisterHealthDevice(&hdd, machine->name() + "/hdd" + std::to_string(k), "hdd",
+                         server->id());
   }
 }
 
@@ -205,6 +256,9 @@ void Cluster::BuildFlatMachine(Machine* machine, bool on_ssd) {
     ChunkServer* server = MakeServer(machine, stores_.back().get(), nullptr, on_ssd);
     primary_pool_[m].push_back(server->id());
     backup_pool_[m].push_back(server->id());
+    RegisterHealthDevice(device,
+                         machine->name() + (on_ssd ? "/ssd" : "/hdd") + std::to_string(i),
+                         on_ssd ? "ssd" : "hdd", server->id());
   }
 }
 

@@ -19,9 +19,11 @@
 #include "src/cluster/machine.h"
 #include "src/cluster/master.h"
 #include "src/cluster/types.h"
+#include "src/obs/health_monitor.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/trace.h"
 #include "src/qos/io_scheduler.h"
+#include "src/qos/slo_monitor.h"
 
 namespace ursa::cluster {
 
@@ -46,6 +48,16 @@ struct ClusterConfig {
   // Per-device QoS scheduling (src/qos). When `qos.enabled`, every SSD and
   // HDD gets an IoScheduler gate arbitrating service classes.
   qos::QosConfig qos;
+  // Device health scoring (src/obs/health_monitor.h). When `health.enabled`,
+  // every device feeds service latencies into a HealthMonitor whose degraded
+  // verdicts demote the hosting server's replicas at the master. The monitor
+  // self-schedules scoring ticks (keeps the event queue non-empty — pair
+  // with RunUntil-style loops, like StatsSampler).
+  obs::HealthConfig health;
+  // SLO-driven bulk-rate control (src/qos/slo_monitor.h). Requires
+  // `qos.enabled` (the controller acts through the per-device schedulers).
+  // Self-schedules like the health monitor.
+  qos::SloConfig slo;
 };
 
 class Cluster {
@@ -60,6 +72,13 @@ class Cluster {
   net::Transport& transport() { return *transport_; }
   obs::MetricsRegistry& metrics() { return metrics_; }
   obs::Tracer& tracer() { return tracer_; }
+  // Null unless the matching config block is enabled.
+  obs::HealthMonitor* health_monitor() { return health_.get(); }
+  qos::SloMonitor* slo_monitor() { return slo_.get(); }
+  // Server hosting the device behind a health DeviceId.
+  ServerId ServerOfHealthDevice(obs::HealthMonitor::DeviceId d) const {
+    return health_device_server_[d];
+  }
   Master& master() { return *master_; }
   Machine& machine(size_t i) { return *machines_[i]; }
   size_t num_machines() const { return machines_.size(); }
@@ -91,12 +110,23 @@ class Cluster {
   ChunkServer* MakeServer(Machine* machine, storage::ChunkStore* store,
                           journal::JournalManager* jm, bool on_ssd);
 
+  // Registers `device` with the health monitor (no-op when disabled) and
+  // installs the latency observer feeding its digests. `server` is the chunk
+  // server whose replicas a degraded verdict demotes.
+  void RegisterHealthDevice(storage::BlockDevice* device, std::string name, std::string group,
+                            ServerId server);
+
   sim::Simulator* sim_;
   ClusterConfig config_;
   // Declared before every component so the registry's callback closures
   // (which reference components) are unregistered-by-destruction last.
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
+  // Before machines_ (destroyed after them): devices hold observer closures
+  // referencing the monitor only while the sim runs, but keeping the monitor
+  // alive past the devices makes the ordering trivially safe.
+  std::unique_ptr<obs::HealthMonitor> health_;
+  std::vector<ServerId> health_device_server_;  // health DeviceId -> server
   std::unique_ptr<net::Transport> transport_;
   std::vector<std::unique_ptr<Machine>> machines_;
   // After machines_: schedulers reference machine-owned devices, so they are
@@ -110,6 +140,7 @@ class Cluster {
   std::vector<std::vector<ServerId>> primary_pool_;  // per machine
   std::vector<std::vector<ServerId>> backup_pool_;   // per machine
   std::unique_ptr<Master> master_;
+  std::unique_ptr<qos::SloMonitor> slo_;  // references schedulers_; last
 };
 
 }  // namespace ursa::cluster

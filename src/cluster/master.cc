@@ -9,12 +9,63 @@
 
 namespace ursa::cluster {
 
+namespace {
+// Preference order within a replica set: healthy SSD, healthy HDD, demoted
+// SSD, demoted HDD. Lower rank = preferred (primary selection, recovery
+// sources, layout ordering).
+int ReplicaRank(const ReplicaRef& r) {
+  return (r.demoted ? 2 : 0) + (r.on_ssd ? 0 : 1);
+}
+}  // namespace
+
 Master::Master(sim::Simulator* sim, net::Transport* transport, Placement placement,
                std::vector<ChunkServer*> servers)
     : sim_(sim),
       transport_(transport),
       placement_(std::move(placement)),
       servers_(std::move(servers)) {}
+
+void Master::SetServerDemoted(ServerId server, bool demoted) {
+  URSA_CHECK_LT(server, servers_.size());
+  if (demoted == IsDemoted(server)) {
+    return;
+  }
+  if (demoted) {
+    demoted_.insert(server);
+    ++recovery_stats_.demotions;
+  } else {
+    demoted_.erase(server);
+    ++recovery_stats_.undemotions;
+  }
+  for (auto& [disk_id, meta] : disks_) {
+    for (ChunkLayout& layout : meta.chunks) {
+      bool touched = false;
+      for (ReplicaRef& r : layout.replicas) {
+        if (r.server == server && r.demoted != demoted) {
+          r.demoted = demoted;
+          touched = true;
+        }
+      }
+      if (!touched) {
+        continue;
+      }
+      std::stable_sort(
+          layout.replicas.begin(), layout.replicas.end(),
+          [](const ReplicaRef& a, const ReplicaRef& b) { return ReplicaRank(a) < ReplicaRank(b); });
+      // Bump the view and install it on the alive replicas: clients holding
+      // the old layout get VersionMismatch("stale view") on their next op,
+      // refresh, and re-steer. Crashed replicas miss the install and resync
+      // through the normal stale-replica repair path when restored.
+      ++layout.view;
+      ++recovery_stats_.view_changes;
+      for (const ReplicaRef& r : layout.replicas) {
+        if (!servers_[r.server]->crashed()) {
+          servers_[r.server]->SetView(layout.chunk, layout.view);
+        }
+      }
+    }
+  }
+}
 
 void Master::RegisterMetrics(obs::MetricsRegistry* registry) {
   registry->RegisterCallbackCounter("master.chunks_recovered", {}, [this]() {
@@ -35,6 +86,11 @@ void Master::RegisterMetrics(obs::MetricsRegistry* registry) {
   registry->RegisterCallbackCounter("master.corruption_repairs", {}, [this]() {
     return static_cast<double>(recovery_stats_.corruption_repairs);
   });
+  registry->RegisterCallbackCounter("master.demotions", {}, [this]() {
+    return static_cast<double>(recovery_stats_.demotions);
+  });
+  registry->RegisterCallbackGauge(
+      "master.demoted_servers", {}, [this]() { return static_cast<double>(demoted_.size()); });
   registry->RegisterCallbackGauge(
       "master.disks", {}, [this]() { return static_cast<double>(disks_.size()); });
   registry->RegisterCallbackGauge(
@@ -363,14 +419,21 @@ void Master::ReportReplicaFailure(ChunkId chunk, ServerId failed,
 
   uint64_t version_h = 0;
   ChunkServer* source = nullptr;
+  int source_rank = 99;
   for (const ReplicaRef& r : survivors) {
     Result<ChunkServer::ReplicaState> st = servers_[r.server]->GetState(chunk);
-    if (st.ok() && st->version >= version_h) {
-      // Prefer an SSD-hosted source at equal versions (faster reads).
-      if (st->version > version_h || source == nullptr || r.on_ssd) {
-        version_h = st->version;
-        source = servers_[r.server];
-      }
+    if (!st.ok()) {
+      continue;
+    }
+    // Version first (a stale source would hide committed writes); at equal
+    // versions prefer healthy over demoted, SSD over HDD (faster reads, and
+    // a gray-slow source would drag the whole transfer).
+    int rank = ReplicaRank(r);
+    if (source == nullptr || st->version > version_h ||
+        (st->version == version_h && rank < source_rank)) {
+      version_h = st->version;
+      source = servers_[r.server];
+      source_rank = rank;
     }
   }
   if (source == nullptr) {
@@ -384,18 +447,23 @@ void Master::ReportReplicaFailure(ChunkId chunk, ServerId failed,
     exclude.push_back(placement_.MachineOf(r.server));
   }
   ChunkServer* target = nullptr;
-  for (uint64_t salt = chunk; salt < chunk + num_servers(); ++salt) {
-    Result<ServerId> candidate =
-        placement_.PlaceReplacement(failed_was_primary_capable, exclude, salt);
-    if (!candidate.ok()) {
-      continue;
-    }
-    ChunkServer* server = servers_[*candidate];
-    // Never reuse the failed server or any server already hosting the chunk
-    // (possible on small clusters where every machine holds a survivor).
-    if (*candidate != failed && !server->crashed() && !server->HasChunk(chunk)) {
-      target = server;
-      break;
+  // Two sweeps: prefer a healthy replacement, but accept a demoted one over
+  // leaving the chunk under-replicated.
+  for (int allow_demoted = 0; allow_demoted < 2 && target == nullptr; ++allow_demoted) {
+    for (uint64_t salt = chunk; salt < chunk + num_servers(); ++salt) {
+      Result<ServerId> candidate =
+          placement_.PlaceReplacement(failed_was_primary_capable, exclude, salt);
+      if (!candidate.ok()) {
+        continue;
+      }
+      ChunkServer* server = servers_[*candidate];
+      // Never reuse the failed server or any server already hosting the chunk
+      // (possible on small clusters where every machine holds a survivor).
+      if (*candidate != failed && !server->crashed() && !server->HasChunk(chunk) &&
+          (allow_demoted == 1 || !IsDemoted(*candidate))) {
+        target = server;
+        break;
+      }
     }
   }
   if (target == nullptr) {
@@ -441,7 +509,8 @@ void Master::ReportReplicaFailure(ChunkId chunk, ServerId failed,
           target->SetState(chunk, version_h, new_view);
           for (ReplicaRef& r : layout->replicas) {
             if (r.server == failed) {
-              r = ReplicaRef{target->id(), target->node(), target->on_ssd()};
+              r = ReplicaRef{target->id(), target->node(), target->on_ssd(),
+                             IsDemoted(target->id())};
             } else {
               Result<ChunkServer::ReplicaState> st = servers_[r.server]->GetState(chunk);
               if (st.ok()) {
@@ -451,10 +520,10 @@ void Master::ReportReplicaFailure(ChunkId chunk, ServerId failed,
             }
           }
           layout->view = new_view;
-          // Keep the preferred primary first (an SSD replica if any).
+          // Keep the preferred primary first (a healthy SSD replica if any).
           std::stable_sort(layout->replicas.begin(), layout->replicas.end(),
                            [](const ReplicaRef& a, const ReplicaRef& b) {
-                             return a.on_ssd && !b.on_ssd;
+                             return ReplicaRank(a) < ReplicaRank(b);
                            });
           ++recovery_stats_.chunks_recovered;
           ++recovery_stats_.view_changes;
@@ -511,14 +580,21 @@ void Master::RepairCorruptRange(ChunkId chunk, ServerId corrupt_server, uint64_t
   // the flipped bits destroyed its data, not its metadata.
   ChunkServer* source = nullptr;
   uint64_t best_version = 0;
+  int best_rank = 99;
   for (const ReplicaRef& r : layout->replicas) {
     if (r.server == corrupt_server || servers_[r.server]->crashed()) {
       continue;
     }
     Result<ChunkServer::ReplicaState> st = servers_[r.server]->GetState(chunk);
-    if (st.ok() && (source == nullptr || st->version > best_version)) {
+    if (!st.ok()) {
+      continue;
+    }
+    int rank = ReplicaRank(r);
+    if (source == nullptr || st->version > best_version ||
+        (st->version == best_version && rank < best_rank)) {
       best_version = st->version;
       source = servers_[r.server];
+      best_rank = rank;
     }
   }
   if (source == nullptr) {
@@ -550,17 +626,24 @@ void Master::RepairReplica(ChunkId chunk, ServerId lagging, std::function<void(S
     return;
   }
 
-  // Find the freshest peer.
+  // Find the freshest peer (healthy over demoted, SSD over HDD at ties).
   uint64_t version_h = lag_state->version;
   ChunkServer* source = nullptr;
+  int source_rank = 99;
   for (const ReplicaRef& r : layout->replicas) {
     if (r.server == lagging || servers_[r.server]->crashed()) {
       continue;
     }
     Result<ChunkServer::ReplicaState> st = servers_[r.server]->GetState(chunk);
-    if (st.ok() && st->version > version_h) {
+    if (!st.ok() || st->version <= lag_state->version) {
+      continue;
+    }
+    int rank = ReplicaRank(r);
+    if (source == nullptr || st->version > version_h ||
+        (st->version == version_h && rank < source_rank)) {
       version_h = st->version;
       source = servers_[r.server];
+      source_rank = rank;
     }
   }
   if (source == nullptr) {

@@ -11,6 +11,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,8 @@ struct RecoveryStats {
   uint64_t full_copies = 0;
   uint64_t view_changes = 0;
   uint64_t corruption_repairs = 0;  // CRC-detected ranges re-replicated
+  uint64_t demotions = 0;           // health-driven replica demotions
+  uint64_t undemotions = 0;         // recoveries back to full standing
 };
 
 class Master {
@@ -89,6 +92,21 @@ class Master {
   // rewritten (and must only then lift the read quarantine).
   void RepairCorruptRange(ChunkId chunk, ServerId corrupt_server, uint64_t offset,
                           uint64_t length, std::function<void(Status)> done);
+
+  // ---- Health-driven demotion (DESIGN.md §10) ----
+
+  // Marks every replica hosted by `server` as demoted (or restores it).
+  // Demotion re-sorts each affected layout so a healthy replica leads, and
+  // bumps the layout's view — lease-holding clients hit a "stale view"
+  // VersionMismatch on their next op, refresh, and steer away. No data
+  // moves: a demoted replica keeps serving replication writes and remains a
+  // last-resort read target, so a wrong demotion costs latency, never
+  // durability. Recovery source/placement decisions also tie-break away
+  // from demoted servers (but a uniquely-freshest demoted replica is still
+  // used — correctness beats steering).
+  void SetServerDemoted(ServerId server, bool demoted);
+  bool IsDemoted(ServerId server) const { return demoted_.count(server) > 0; }
+  const std::set<ServerId>& demoted_servers() const { return demoted_; }
 
   // ---- Master recovery (§4.2.2: "the master is recovered first") ----
   // The master's durable state is its metadata; a restart restores the
@@ -166,6 +184,7 @@ class Master {
   int recovery_window_ = 8;
   bool recovery_carries_data_ = true;
   RecoveryStats recovery_stats_;
+  std::set<ServerId> demoted_;  // health-demoted servers
 };
 
 }  // namespace ursa::cluster

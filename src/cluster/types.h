@@ -41,6 +41,12 @@ struct ReplicaRef {
   ServerId server = 0;
   uint32_t node = 0;       // transport NodeId of the hosting machine
   bool on_ssd = false;     // primary-capable
+  // Health demotion (DESIGN.md §10): the hosting device is degraded
+  // (fail-slow). Clients and the master steer primaries, failover targets,
+  // and recovery sources away from demoted replicas when any alternative
+  // exists; the replica still holds data and still receives replication
+  // writes, so correctness never depends on this flag.
+  bool demoted = false;
 };
 
 // Layout of one chunk: replica set plus the view number that versioned it.

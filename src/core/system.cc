@@ -173,6 +173,14 @@ void TestBed::DumpMetricsJson(const std::string& path) {
     os << ",\"samples\":";
     sampler_->WriteJson(os);
   }
+  if (obs::HealthMonitor* hm = cluster_->health_monitor()) {
+    os << ",\"health\":";
+    hm->WriteJson(os);
+  }
+  if (qos::SloMonitor* slo = cluster_->slo_monitor()) {
+    os << ",\"slo\":";
+    slo->WriteJson(os);
+  }
   os << ",\"runs\":[";
   for (size_t i = 0; i < run_history_.size(); ++i) {
     if (i > 0) {

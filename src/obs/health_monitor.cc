@@ -1,0 +1,248 @@
+#include "src/obs/health_monitor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace ursa::obs {
+
+HealthMonitor::HealthMonitor(sim::Simulator* sim, const HealthConfig& config,
+                             MetricsRegistry* registry)
+    : sim_(sim), config_(config) {
+  URSA_CHECK_GT(config.check_interval, 0);
+  URSA_CHECK_GT(config.degrade_after, config.suspect_after);
+  if (registry != nullptr) {
+    transitions_suspect_ = registry->GetCounter("health.transitions", {{"to", "suspect"}});
+    transitions_degraded_ = registry->GetCounter("health.transitions", {{"to", "degraded"}});
+    transitions_healthy_ = registry->GetCounter("health.transitions", {{"to", "healthy"}});
+    registry->RegisterCallbackGauge("health.devices", {},
+                                    [this]() { return static_cast<double>(devices_.size()); });
+    registry->RegisterCallbackGauge(
+        "health.suspect", {}, [this]() { return static_cast<double>(suspect_count()); });
+    registry->RegisterCallbackGauge(
+        "health.degraded", {}, [this]() { return static_cast<double>(degraded_count()); });
+    registry->RegisterCallbackCounter("health.checks", {},
+                                      [this]() { return static_cast<double>(checks_); });
+  }
+}
+
+HealthMonitor::DeviceId HealthMonitor::RegisterDevice(std::string name, std::string peer_group) {
+  Device d{std::move(name),
+           std::move(peer_group),
+           WindowedHistogram(config_.window_length, config_.num_windows),
+           WindowedHistogram(config_.window_length, config_.num_windows)};
+  devices_.push_back(std::move(d));
+  return static_cast<DeviceId>(devices_.size() - 1);
+}
+
+void HealthMonitor::RecordLatency(DeviceId device, qos::ServiceClass cls, Nanos latency) {
+  Device& d = devices_[device];
+  if (qos::IsForeground(cls) || cls == qos::ServiceClass::kAuto) {
+    d.fg.Record(sim_->Now(), latency);
+  } else {
+    d.bg.Record(sim_->Now(), latency);
+  }
+}
+
+void HealthMonitor::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  ++epoch_;
+  // First check one interval out: digests need traffic before scoring means
+  // anything, and an immediate pass would only burn a no-op tick.
+  ScheduleTick();
+}
+
+void HealthMonitor::ScheduleTick() {
+  uint64_t epoch = epoch_;
+  sim_->After(config_.check_interval, [this, epoch]() {
+    if (epoch != epoch_ || !running_) {
+      return;
+    }
+    CheckNow();
+    ScheduleTick();
+  });
+}
+
+void HealthMonitor::Stop() {
+  running_ = false;
+  ++epoch_;  // orphan the scheduled tick
+}
+
+size_t HealthMonitor::CountState(HealthState s) const {
+  size_t n = 0;
+  for (const Device& d : devices_) {
+    if (d.state == s) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void HealthMonitor::Transition(DeviceId id, HealthState to) {
+  Device& d = devices_[id];
+  HealthState from = d.state;
+  if (from == to) {
+    return;
+  }
+  d.state = to;
+  char evidence[160];
+  std::snprintf(evidence, sizeof(evidence),
+                "fg_p99=%.0fus peer_median_p99=%.0fus ratio=%.2f samples=%llu",
+                ToUsec(d.last_p99), ToUsec(d.last_peer_median), d.last_ratio,
+                static_cast<unsigned long long>(d.last_samples));
+  if (events_.size() >= config_.max_events) {
+    events_.erase(events_.begin());
+    ++events_dropped_;
+  }
+  events_.push_back(HealthEvent{sim_->Now(), id, d.name, from, to, evidence});
+  Counter* c = to == HealthState::kSuspect    ? transitions_suspect_
+               : to == HealthState::kDegraded ? transitions_degraded_
+                                              : transitions_healthy_;
+  if (c != nullptr) {
+    c->Increment();
+  }
+  if (on_transition_) {
+    on_transition_(id, from, to);
+  }
+}
+
+void HealthMonitor::ScoreGroup(const std::vector<DeviceId>& members, Nanos now) {
+  // Windowed fg p99 of every member with enough samples to be meaningful.
+  std::vector<std::pair<DeviceId, Nanos>> scored;
+  scored.reserve(members.size());
+  for (DeviceId id : members) {
+    Device& d = devices_[id];
+    uint64_t n = d.fg.Count(now);
+    d.last_samples = n;
+    if (n >= config_.min_samples) {
+      scored.emplace_back(id, d.fg.Percentile(now, 99));
+    }
+  }
+  for (DeviceId id : members) {
+    Device& d = devices_[id];
+    if (d.last_samples < config_.min_samples) {
+      // Idle or barely-used device: no evidence either way. Leave both
+      // streaks untouched — a degraded device does not heal by going quiet.
+      continue;
+    }
+    // Peer baseline: median p99 of the OTHER scored devices in the group.
+    std::vector<Nanos> peers;
+    Nanos self_p99 = 0;
+    for (const auto& [pid, p99] : scored) {
+      if (pid == id) {
+        self_p99 = p99;
+      } else {
+        peers.push_back(p99);
+      }
+    }
+    if (static_cast<int>(peers.size()) < config_.min_peers) {
+      continue;  // no baseline to compare against (single-device fleet)
+    }
+    std::nth_element(peers.begin(), peers.begin() + peers.size() / 2, peers.end());
+    Nanos median = peers[peers.size() / 2];
+    double ratio = median > 0 ? static_cast<double>(self_p99) / static_cast<double>(median)
+                              : static_cast<double>(self_p99 > 0);
+    d.last_p99 = self_p99;
+    d.last_peer_median = median;
+    d.last_ratio = ratio;
+    bool outlier = self_p99 > config_.outlier_floor &&
+                   static_cast<double>(self_p99) >
+                       config_.outlier_ratio * static_cast<double>(median);
+    if (outlier) {
+      ++d.outlier_streak;
+      d.clean_streak = 0;
+      if (d.state == HealthState::kHealthy && d.outlier_streak >= config_.suspect_after) {
+        Transition(id, HealthState::kSuspect);
+      }
+      if (d.state == HealthState::kSuspect && d.outlier_streak >= config_.degrade_after) {
+        Transition(id, HealthState::kDegraded);
+      }
+    } else {
+      ++d.clean_streak;
+      d.outlier_streak = 0;
+      if (d.state != HealthState::kHealthy && d.clean_streak >= config_.clear_after) {
+        Transition(id, HealthState::kHealthy);
+      }
+    }
+  }
+}
+
+void HealthMonitor::CheckNow() {
+  ++checks_;
+  Nanos now = sim_->Now();
+  std::map<std::string, std::vector<DeviceId>> groups;
+  for (DeviceId id = 0; id < devices_.size(); ++id) {
+    groups[devices_[id].group].push_back(id);
+  }
+  for (auto& [group, members] : groups) {
+    ScoreGroup(members, now);
+  }
+}
+
+std::string HealthMonitor::Table() const {
+  Nanos now = sim_->Now();
+  std::ostringstream os;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-16s %-5s %-8s %8s %10s %10s %10s\n", "device", "group",
+                "state", "score", "fg_p50_us", "fg_p99_us", "samples");
+  os << line;
+  for (const Device& d : devices_) {
+    Histogram fg = d.fg.Merged(now);
+    std::snprintf(line, sizeof(line), "%-16s %-5s %-8s %8.2f %10lld %10lld %10llu\n",
+                  d.name.c_str(), d.group.c_str(), HealthStateName(d.state), d.last_ratio,
+                  static_cast<long long>(ToUsec(fg.Percentile(50))),
+                  static_cast<long long>(ToUsec(fg.Percentile(99))),
+                  static_cast<unsigned long long>(fg.count()));
+    os << line;
+  }
+  return os.str();
+}
+
+void HealthMonitor::WriteJson(std::ostream& os) const {
+  Nanos now = sim_->Now();
+  os << "{\"config\":{\"window_ms\":" << ToMsec(config_.window_length)
+     << ",\"num_windows\":" << config_.num_windows
+     << ",\"check_interval_ms\":" << ToMsec(config_.check_interval)
+     << ",\"outlier_ratio\":" << config_.outlier_ratio
+     << ",\"outlier_floor_us\":" << ToUsec(config_.outlier_floor) << "},\"devices\":[";
+  for (size_t i = 0; i < devices_.size(); ++i) {
+    const Device& d = devices_[i];
+    if (i > 0) {
+      os << ",";
+    }
+    Histogram fg = d.fg.Merged(now);
+    Histogram bg = d.bg.Merged(now);
+    os << "{\"name\":";
+    WriteJsonString(os, d.name);
+    os << ",\"group\":";
+    WriteJsonString(os, d.group);
+    os << ",\"state\":\"" << HealthStateName(d.state) << "\",\"score\":" << d.last_ratio
+       << ",\"fg\":{\"count\":" << fg.count() << ",\"p50_us\":" << ToUsec(fg.Percentile(50))
+       << ",\"p99_us\":" << ToUsec(fg.Percentile(99)) << ",\"max_us\":" << ToUsec(fg.max())
+       << "},\"bg\":{\"count\":" << bg.count() << ",\"p99_us\":" << ToUsec(bg.Percentile(99))
+       << "}}";
+  }
+  os << "],\"events_dropped\":" << events_dropped_ << ",\"events\":[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const HealthEvent& e = events_[i];
+    if (i > 0) {
+      os << ",";
+    }
+    os << "{\"t_us\":" << ToUsec(e.time) << ",\"device\":";
+    WriteJsonString(os, e.name);
+    os << ",\"from\":\"" << HealthStateName(e.from) << "\",\"to\":\"" << HealthStateName(e.to)
+       << "\",\"evidence\":";
+    WriteJsonString(os, e.evidence);
+    os << "}";
+  }
+  os << "]}";
+}
+
+}  // namespace ursa::obs

@@ -1,0 +1,174 @@
+// Device health scoring: gray-failure detection from windowed latency digests.
+//
+// Every registered device keeps rolling latency digests (WindowedHistogram)
+// fed with per-request service latencies observed at the device. A periodic
+// scoring pass compares each device's windowed foreground p99 against the
+// median p99 of its PEERS — the other devices in the same peer group (tier:
+// "ssd" vs "hdd") — and flags sustained outliers. Peer-relative scoring is
+// what makes this a *gray-failure* detector rather than a threshold alarm: a
+// fleet-wide load spike inflates every digest together (no outlier), while a
+// single fail-slow disk separates from its peers within a few windows.
+//
+// State machine per device, driven by consecutive scoring passes:
+//
+//   healthy --outlier x suspect_after--> suspect
+//   suspect --outlier x degrade_after (total)--> degraded
+//   suspect/degraded --clean x clear_after--> healthy
+//
+// The streak thresholds are the hysteresis: a flapping device that alternates
+// slow and fast checks never accumulates the consecutive-outlier streak needed
+// to degrade, and a degraded device must prove itself for `clear_after`
+// consecutive checks before it is trusted again.
+//
+// Transitions are appended to a structured event log (timestamp + evidence:
+// the offending p99, the peer median, the sample count) and reported through
+// an optional handler — the cluster wires that handler to master replica
+// demotion. See DESIGN.md §10.
+#ifndef URSA_OBS_HEALTH_MONITOR_H_
+#define URSA_OBS_HEALTH_MONITOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics_registry.h"
+#include "src/obs/windowed_histogram.h"
+#include "src/qos/service_class.h"
+#include "src/sim/simulator.h"
+
+namespace ursa::obs {
+
+enum class HealthState : uint8_t { kHealthy, kSuspect, kDegraded };
+
+constexpr const char* HealthStateName(HealthState s) {
+  switch (s) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kSuspect:
+      return "suspect";
+    case HealthState::kDegraded:
+      return "degraded";
+  }
+  return "unknown";
+}
+
+struct HealthConfig {
+  bool enabled = false;
+  // Digest shape: horizon = window_length * num_windows of sim time.
+  Nanos window_length = msec(250);
+  int num_windows = 8;
+  // Scoring cadence.
+  Nanos check_interval = msec(100);
+  // A device is an outlier when its windowed fg p99 exceeds BOTH the absolute
+  // floor (ignores µs-level jitter between healthy devices) and
+  // outlier_ratio × the median fg p99 of its peers.
+  double outlier_ratio = 3.0;
+  Nanos outlier_floor = usec(400);
+  // Minimum windowed samples before a device is scored at all, and minimum
+  // number of peers (with samples) required to form a comparison baseline. A
+  // single-device fleet has no peers and is never flagged.
+  uint64_t min_samples = 16;
+  int min_peers = 2;
+  // Hysteresis (consecutive scoring passes).
+  int suspect_after = 2;
+  int degrade_after = 4;  // total consecutive outlier passes; > suspect_after
+  int clear_after = 6;
+  // Event-log cap; oldest entries are dropped beyond it.
+  size_t max_events = 4096;
+};
+
+struct HealthEvent {
+  Nanos time = 0;
+  uint32_t device = 0;
+  std::string name;
+  HealthState from = HealthState::kHealthy;
+  HealthState to = HealthState::kHealthy;
+  std::string evidence;
+};
+
+class HealthMonitor {
+ public:
+  using DeviceId = uint32_t;
+  using TransitionFn = std::function<void(DeviceId, HealthState from, HealthState to)>;
+
+  // A null registry skips metrics (standalone unit tests).
+  HealthMonitor(sim::Simulator* sim, const HealthConfig& config,
+                MetricsRegistry* registry = nullptr);
+
+  // Registers a device under `peer_group` (devices are only compared within
+  // their group). Returns the id used for feeding and queries.
+  DeviceId RegisterDevice(std::string name, std::string peer_group);
+
+  // Feeds one observed service latency. Foreground classes land in the digest
+  // the scorer reads; background classes are digested separately (exported as
+  // evidence, never scored — a device busy with recovery is not sick).
+  void RecordLatency(DeviceId device, qos::ServiceClass cls, Nanos latency);
+
+  // Periodic scoring. Start() self-schedules on the simulator (keeping the
+  // event queue non-empty, like StatsSampler — pair with RunUntil-style
+  // loops or Stop() before draining). CheckNow() runs a single scoring pass
+  // synchronously; tests drive the state machine with it directly.
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+  void CheckNow();
+
+  void SetTransitionHandler(TransitionFn fn) { on_transition_ = std::move(fn); }
+
+  // ---- Introspection ----
+  size_t num_devices() const { return devices_.size(); }
+  const std::string& device_name(DeviceId d) const { return devices_[d].name; }
+  HealthState state(DeviceId d) const { return devices_[d].state; }
+  // Last scored p99 / peer-median ratio (0 while unscored).
+  double score(DeviceId d) const { return devices_[d].last_ratio; }
+  size_t suspect_count() const { return CountState(HealthState::kSuspect); }
+  size_t degraded_count() const { return CountState(HealthState::kDegraded); }
+  uint64_t checks() const { return checks_; }
+  const std::vector<HealthEvent>& events() const { return events_; }
+  const HealthConfig& config() const { return config_; }
+
+  // Health table (devices × state/score/digest) for terminal output.
+  std::string Table() const;
+  // Health snapshot: config echo, per-device digest summaries, event log.
+  void WriteJson(std::ostream& os) const;
+
+ private:
+  struct Device {
+    std::string name;
+    std::string group;
+    WindowedHistogram fg;  // foreground service latencies (scored)
+    WindowedHistogram bg;  // background classes (evidence only)
+    HealthState state = HealthState::kHealthy;
+    int outlier_streak = 0;
+    int clean_streak = 0;
+    // Last scoring-pass evidence.
+    double last_ratio = 0;
+    Nanos last_p99 = 0;
+    Nanos last_peer_median = 0;
+    uint64_t last_samples = 0;
+  };
+
+  size_t CountState(HealthState s) const;
+  void ScheduleTick();
+  void Transition(DeviceId id, HealthState to);
+  void ScoreGroup(const std::vector<DeviceId>& members, Nanos now);
+
+  sim::Simulator* sim_;
+  HealthConfig config_;
+  std::vector<Device> devices_;
+  std::vector<HealthEvent> events_;
+  TransitionFn on_transition_;
+  bool running_ = false;
+  uint64_t epoch_ = 0;  // invalidates in-flight ticks across Stop/Start
+  uint64_t checks_ = 0;
+  uint64_t events_dropped_ = 0;
+  Counter* transitions_suspect_ = nullptr;
+  Counter* transitions_degraded_ = nullptr;
+  Counter* transitions_healthy_ = nullptr;
+};
+
+}  // namespace ursa::obs
+
+#endif  // URSA_OBS_HEALTH_MONITOR_H_

@@ -199,7 +199,21 @@ std::string MetricsRegistry::ToTable() const {
     std::string key = s.Key();
     os << key << std::string(width - key.size() + 2, ' ');
     if (s.kind == Kind::kHistogram) {
-      os << (s.hist != nullptr ? s.hist->Summary("") : "(unset)");
+      if (s.hist == nullptr) {
+        os << "(unset)";
+      } else {
+        // Aligned columns (same order/width on every row) so percentiles
+        // scan vertically across histograms — p99s of the health digests
+        // are readable straight off the table.
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "count=%-10llu mean=%-12.1f p50=%-10lld p99=%-10lld max=%-10lld",
+                      static_cast<unsigned long long>(s.hist->count()), s.hist->Mean(),
+                      static_cast<long long>(s.hist->Percentile(50)),
+                      static_cast<long long>(s.hist->Percentile(99)),
+                      static_cast<long long>(s.hist->max()));
+        os << buf;
+      }
     } else {
       os << FormatValue(s.value) << "  (" << KindName(s.kind) << ")";
     }

@@ -8,6 +8,9 @@ StatsSampler::StatsSampler(sim::Simulator* sim, MetricsRegistry* registry, Nanos
                            size_t max_points)
     : sim_(sim), registry_(registry), interval_(interval), max_points_(max_points) {
   URSA_CHECK_GT(interval, 0);
+  registry_->RegisterCallbackCounter("obs.sampler_dropped_points", {}, [this]() {
+    return static_cast<double>(dropped_points_);
+  });
 }
 
 void StatsSampler::Start() {
@@ -63,6 +66,8 @@ void StatsSampler::Tick() {
     if (total_points_ < max_points_) {
       series_[idx->second].points.push_back(Point{now, value});
       ++total_points_;
+    } else {
+      ++dropped_points_;
     }
   }
   prev_time_ = now;
@@ -77,7 +82,8 @@ void StatsSampler::Tick() {
 }
 
 void StatsSampler::WriteJson(std::ostream& os) const {
-  os << "{\"interval_ns\":" << interval_ << ",\"series\":[";
+  os << "{\"interval_ns\":" << interval_ << ",\"dropped_points\":" << dropped_points_
+     << ",\"series\":[";
   bool first = true;
   for (const Series& s : series_) {
     if (s.points.empty()) {

@@ -34,7 +34,10 @@ class StatsSampler {
 
   // Caps total stored points across all series; sampling stops recording
   // (but keeps ticking) once reached, so a forgotten sampler cannot eat the
-  // heap on a long run.
+  // heap on a long run. The cap is NOT silent: every point dropped past it
+  // counts into `dropped_points` (exported as the registry counter
+  // "obs.sampler_dropped_points" and in WriteJson), so a truncated series
+  // artifact is distinguishable from a run that simply ended.
   StatsSampler(sim::Simulator* sim, MetricsRegistry* registry, Nanos interval,
                size_t max_points = 1 << 20);
 
@@ -42,6 +45,7 @@ class StatsSampler {
   void Stop();
   bool running() const { return running_; }
   Nanos interval() const { return interval_; }
+  uint64_t dropped_points() const { return dropped_points_; }
 
   const std::vector<Series>& series() const { return series_; }
 
@@ -57,6 +61,7 @@ class StatsSampler {
   Nanos interval_;
   size_t max_points_;
   size_t total_points_ = 0;
+  uint64_t dropped_points_ = 0;
   bool running_ = false;
   uint64_t epoch_ = 0;  // invalidates in-flight ticks across Stop/Start
 

@@ -1,0 +1,81 @@
+#include "src/obs/windowed_histogram.h"
+
+#include "src/common/logging.h"
+
+namespace ursa::obs {
+
+WindowedHistogram::WindowedHistogram(Nanos window_length, int num_windows)
+    : window_length_(window_length) {
+  URSA_CHECK_GT(window_length, 0);
+  URSA_CHECK_GT(num_windows, 0);
+  windows_.resize(static_cast<size_t>(num_windows));
+}
+
+size_t WindowedHistogram::SlotFor(Nanos start) const {
+  return static_cast<size_t>((start / window_length_) % static_cast<Nanos>(windows_.size()));
+}
+
+bool WindowedHistogram::Live(const Window& w, Nanos now) const {
+  if (w.start < 0) {
+    return false;
+  }
+  Nanos cur_start = now - now % window_length_;
+  // Live windows are the current one plus the (num_windows - 1) before it.
+  return w.start <= cur_start && cur_start - w.start < horizon();
+}
+
+void WindowedHistogram::Record(Nanos now, int64_t value) {
+  Nanos cur_start = now - now % window_length_;
+  Window& w = windows_[SlotFor(cur_start)];
+  if (w.start != cur_start) {
+    // The slot last held a window one full ring-revolution ago; recycle it.
+    w.start = cur_start;
+    w.hist.Reset();
+  }
+  w.hist.Record(value);
+  ++total_count_;
+}
+
+Histogram WindowedHistogram::Merged(Nanos now) const {
+  Histogram merged;
+  for (const Window& w : windows_) {
+    if (Live(w, now)) {
+      merged.Merge(w.hist);
+    }
+  }
+  return merged;
+}
+
+uint64_t WindowedHistogram::Count(Nanos now) const {
+  uint64_t n = 0;
+  for (const Window& w : windows_) {
+    if (Live(w, now)) {
+      n += w.hist.count();
+    }
+  }
+  return n;
+}
+
+int64_t WindowedHistogram::Percentile(Nanos now, double p) const {
+  return Merged(now).Percentile(p);
+}
+
+int64_t WindowedHistogram::Max(Nanos now) const {
+  int64_t m = 0;
+  for (const Window& w : windows_) {
+    if (Live(w, now) && w.hist.max() > m) {
+      m = w.hist.max();
+    }
+  }
+  return m;
+}
+
+void WindowedHistogram::Reset() {
+  for (Window& w : windows_) {
+    w.start = -1;
+    w.hist.Reset();
+  }
+  total_count_ = 0;
+}
+
+}  // namespace ursa::obs

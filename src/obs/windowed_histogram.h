@@ -1,0 +1,69 @@
+// Rolling latency digest: a ring of histogram windows rotated by sim time.
+//
+// A plain Histogram accumulates forever, so a device that was slow ten
+// minutes ago looks slow now. WindowedHistogram keeps `num_windows` fixed-
+// length windows; Record() lands samples in the window covering `now` and
+// expires windows older than the horizon (num_windows * window_length), so
+// percentile queries reflect only the last W seconds of traffic. This is the
+// digest the health scorer (health_monitor.h) and the SLO controller
+// (qos/slo_monitor.h) read their p99s from.
+//
+// Window starts are aligned to multiples of window_length, which makes
+// rotation deterministic: two digests fed the same samples at the same sim
+// times report identical percentiles regardless of construction time.
+#ifndef URSA_OBS_WINDOWED_HISTOGRAM_H_
+#define URSA_OBS_WINDOWED_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/units.h"
+
+namespace ursa::obs {
+
+class WindowedHistogram {
+ public:
+  WindowedHistogram(Nanos window_length, int num_windows);
+
+  // Records `value` into the window covering `now`, expiring stale windows
+  // first. `now` must not move backward (sim time never does).
+  void Record(Nanos now, int64_t value);
+
+  // Merged view over every window still inside the horizon at `now`.
+  // Queries are pure: they never mutate ring state, so interleaving reads
+  // with writes cannot change what later reads observe.
+  Histogram Merged(Nanos now) const;
+  uint64_t Count(Nanos now) const;
+  int64_t Percentile(Nanos now, double p) const;
+  int64_t Max(Nanos now) const;
+
+  Nanos window_length() const { return window_length_; }
+  int num_windows() const { return static_cast<int>(windows_.size()); }
+  Nanos horizon() const { return window_length_ * num_windows(); }
+
+  // Total samples ever recorded (not windowed; monotone).
+  uint64_t total_count() const { return total_count_; }
+
+  void Reset();
+
+ private:
+  struct Window {
+    Nanos start = -1;  // -1 = never used
+    Histogram hist;
+  };
+
+  // Index of the ring slot whose window covers `start`.
+  size_t SlotFor(Nanos start) const;
+  // True when `w` still falls inside the horizon ending at the window
+  // covering `now`.
+  bool Live(const Window& w, Nanos now) const;
+
+  Nanos window_length_;
+  std::vector<Window> windows_;
+  uint64_t total_count_ = 0;
+};
+
+}  // namespace ursa::obs
+
+#endif  // URSA_OBS_WINDOWED_HISTOGRAM_H_

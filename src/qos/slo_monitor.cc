@@ -1,0 +1,127 @@
+#include "src/qos/slo_monitor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace ursa::qos {
+
+namespace {
+constexpr ServiceClass kBulkClasses[] = {ServiceClass::kJournalReplay, ServiceClass::kRecovery,
+                                         ServiceClass::kScrub};
+}  // namespace
+
+SloMonitor::SloMonitor(sim::Simulator* sim, const SloConfig& config,
+                       std::vector<IoScheduler*> schedulers, obs::MetricsRegistry* registry)
+    : sim_(sim),
+      config_(config),
+      schedulers_(std::move(schedulers)),
+      fg_latency_(config.window_length, config.num_windows) {
+  URSA_CHECK_GT(config.check_interval, 0);
+  URSA_CHECK_GT(config.fg_p99_target, 0);
+  if (registry != nullptr) {
+    registry->RegisterCallbackCounter("slo.violations", {},
+                                      [this]() { return static_cast<double>(violations_); });
+    registry->RegisterCallbackCounter(
+        "slo.recovery_steps", {}, [this]() { return static_cast<double>(recovery_steps_); });
+    registry->RegisterCallbackGauge("slo.bulk_rate_mbps", {}, [this]() {
+      return throttling_ ? bulk_rate_ / static_cast<double>(kMiB) : 0;
+    });
+    registry->RegisterCallbackGauge("slo.fg_p99_us", {},
+                                    [this]() { return ToUsec(last_fg_p99_); });
+  }
+}
+
+void SloMonitor::RecordForeground(Nanos latency) {
+  fg_latency_.Record(sim_->Now(), latency);
+}
+
+void SloMonitor::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  ++epoch_;
+  ScheduleTick();
+}
+
+void SloMonitor::Stop() {
+  running_ = false;
+  ++epoch_;
+}
+
+void SloMonitor::ScheduleTick() {
+  uint64_t epoch = epoch_;
+  sim_->After(config_.check_interval, [this, epoch]() {
+    if (epoch != epoch_ || !running_) {
+      return;
+    }
+    CheckNow();
+    ScheduleTick();
+  });
+}
+
+void SloMonitor::ApplyRate(double bytes_per_sec) {
+  for (IoScheduler* s : schedulers_) {
+    for (ServiceClass c : kBulkClasses) {
+      s->SetRate(c, bytes_per_sec);
+    }
+  }
+}
+
+void SloMonitor::CheckNow() {
+  ++checks_;
+  Nanos now = sim_->Now();
+  if (fg_latency_.Count(now) < config_.min_samples) {
+    // Too little foreground evidence to judge a violation. An idle tenant
+    // cannot be violated, so while throttled this counts as slack — otherwise
+    // a foreground that goes quiet after a storm would pin the bulk classes
+    // at the floor forever and recovery would never converge.
+    if (throttling_) {
+      RecoverStep();
+    }
+    return;
+  }
+  Nanos p99 = fg_latency_.Percentile(now, 99);
+  last_fg_p99_ = p99;
+  if (p99 > config_.fg_p99_target) {
+    // Violation: cut the bulk cap multiplicatively. The first violation
+    // starts from max_rate (the previous state was "unlimited").
+    ++violations_;
+    double rate = throttling_ ? bulk_rate_ * config_.decrease_factor
+                              : config_.max_rate * config_.decrease_factor;
+    bulk_rate_ = std::max(config_.min_rate, rate);
+    throttling_ = true;
+    ApplyRate(bulk_rate_);
+    return;
+  }
+  if (throttling_ && static_cast<double>(p99) <
+                         config_.slack_fraction * static_cast<double>(config_.fg_p99_target)) {
+    RecoverStep();
+  }
+}
+
+// Sustained slack: give bandwidth back additively; past max_rate the
+// throttle lifts entirely.
+void SloMonitor::RecoverStep() {
+  ++recovery_steps_;
+  bulk_rate_ += config_.recover_step;
+  if (bulk_rate_ >= config_.max_rate) {
+    throttling_ = false;
+    ApplyRate(0);
+  } else {
+    ApplyRate(bulk_rate_);
+  }
+}
+
+void SloMonitor::WriteJson(std::ostream& os) const {
+  os << "{\"target_p99_us\":" << ToUsec(config_.fg_p99_target)
+     << ",\"fg_p99_us\":" << ToUsec(last_fg_p99_)
+     << ",\"throttling\":" << (throttling_ ? "true" : "false")
+     << ",\"bulk_rate_mbps\":" << (throttling_ ? bulk_rate_ / static_cast<double>(kMiB) : 0)
+     << ",\"violations\":" << violations_ << ",\"recovery_steps\":" << recovery_steps_
+     << ",\"checks\":" << checks_ << "}";
+}
+
+}  // namespace ursa::qos

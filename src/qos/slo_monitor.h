@@ -1,0 +1,106 @@
+// SLO-driven control loop: adapts bulk-class QoS rates to hold foreground
+// p99 under a target (the ROADMAP's "adaptive QoS" item).
+//
+// The per-device IoScheduler arbitrates with static weights and token-bucket
+// rates; those defend foreground latency in the average case but cannot know
+// how much background throughput the *current* workload can absorb while
+// still meeting a latency SLO. SloMonitor closes that loop AIMD-style:
+//
+//   * clients feed end-to-end foreground latencies into a windowed digest;
+//   * every check interval the controller compares the windowed p99 to the
+//     configured target;
+//   * on violation it multiplicatively decreases one shared bulk-rate cap
+//     (applied to the replay / recovery / scrub token buckets of every
+//     scheduler), floored at `min_rate` so recovery always converges;
+//   * with sustained slack it additively recovers the cap, and past
+//     `max_rate` lifts the throttle entirely (rate 0 = unlimited).
+//
+// One global cap rather than per-device: bulk traffic (journal replay,
+// recovery pipelines) spans devices, and the foreground p99 the SLO is
+// written against is end-to-end, not per-device.
+#ifndef URSA_QOS_SLO_MONITOR_H_
+#define URSA_QOS_SLO_MONITOR_H_
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "src/obs/metrics_registry.h"
+#include "src/obs/windowed_histogram.h"
+#include "src/qos/io_scheduler.h"
+#include "src/sim/simulator.h"
+
+namespace ursa::qos {
+
+struct SloConfig {
+  bool enabled = false;
+  // Foreground end-to-end p99 target.
+  Nanos fg_p99_target = msec(2);
+  // Control cadence and digest shape.
+  Nanos check_interval = msec(50);
+  Nanos window_length = msec(100);
+  int num_windows = 5;
+  // Minimum windowed samples before the controller acts.
+  uint64_t min_samples = 32;
+  // AIMD: rate *= decrease_factor on violation; rate += recover_step per
+  // check while p99 < slack_fraction * target.
+  double decrease_factor = 0.5;
+  double recover_step = 8.0 * static_cast<double>(kMiB);
+  double min_rate = 1.0 * static_cast<double>(kMiB);
+  double max_rate = 512.0 * static_cast<double>(kMiB);
+  double slack_fraction = 0.7;
+};
+
+class SloMonitor {
+ public:
+  // `schedulers` are the per-device gates whose bulk classes the controller
+  // throttles (not owned; must outlive the monitor or be stopped first). A
+  // null registry skips metrics.
+  SloMonitor(sim::Simulator* sim, const SloConfig& config, std::vector<IoScheduler*> schedulers,
+             obs::MetricsRegistry* registry = nullptr);
+
+  // Feeds one end-to-end foreground completion latency (client read/write).
+  void RecordForeground(Nanos latency);
+
+  // Periodic control. Start() self-schedules on the simulator (pair with
+  // RunUntil-style loops or Stop() before draining); CheckNow() runs one
+  // control step synchronously for tests.
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+  void CheckNow();
+
+  // ---- Introspection ----
+  // Current bulk-class rate cap in bytes/s; 0 = unlimited (not throttling).
+  double bulk_rate() const { return throttling_ ? bulk_rate_ : 0; }
+  bool throttling() const { return throttling_; }
+  uint64_t violations() const { return violations_; }
+  uint64_t recovery_steps() const { return recovery_steps_; }
+  Nanos last_fg_p99() const { return last_fg_p99_; }
+  const SloConfig& config() const { return config_; }
+
+  // SLO-controller state snapshot (target, current p99, cap, counters).
+  void WriteJson(std::ostream& os) const;
+
+ private:
+  void ScheduleTick();
+  void ApplyRate(double bytes_per_sec);  // 0 = unlimited
+  void RecoverStep();                    // one additive step toward unthrottled
+
+  sim::Simulator* sim_;
+  SloConfig config_;
+  std::vector<IoScheduler*> schedulers_;
+  obs::WindowedHistogram fg_latency_;
+  bool running_ = false;
+  uint64_t epoch_ = 0;
+  bool throttling_ = false;
+  double bulk_rate_ = 0;  // meaningful while throttling_
+  uint64_t violations_ = 0;
+  uint64_t recovery_steps_ = 0;
+  uint64_t checks_ = 0;
+  Nanos last_fg_p99_ = 0;
+};
+
+}  // namespace ursa::qos
+
+#endif  // URSA_QOS_SLO_MONITOR_H_

@@ -76,6 +76,16 @@ class BlockDevice {
   void SetGate(IoGate* gate) { gate_ = gate; }
   IoGate* gate() const { return gate_; }
 
+  // Per-request service-latency observer (health monitoring). Invoked at
+  // completion with the effective service class and the admit→done latency,
+  // which includes device-model queueing/service AND injected gray-fault
+  // inflation — the signal a fail-slow detector must see — but not QoS queue
+  // wait (a request throttled by policy is not evidence of a sick device).
+  // Not owned; must outlive the device or be cleared first.
+  using LatencyObserver =
+      std::function<void(qos::ServiceClass cls, IoType type, Nanos service_latency)>;
+  void SetLatencyObserver(LatencyObserver observer) { observer_ = std::move(observer); }
+
   virtual uint64_t capacity() const = 0;
 
   const DeviceStats& stats() const { return stats_; }
@@ -103,6 +113,13 @@ class BlockDevice {
   // Device-model implementation of Submit; called after fault handling.
   virtual void SubmitIo(IoRequest req) = 0;
 
+ private:
+  // Applies the slow-fault delay and forwards into the device model. Shared
+  // by Admit and the stuck-heal release path in SetFault.
+  void Dispatch(IoRequest req);
+
+ protected:
+
   // Backing byte store of the device model, when it carries real data.
   // Submit uses it to apply write payloads eagerly while a QoS gate is
   // attached: the scheduler reorders requests for timing, but data
@@ -115,6 +132,7 @@ class BlockDevice {
 
  private:
   IoGate* gate_ = nullptr;
+  LatencyObserver observer_;
   DeviceFault fault_;
   std::vector<IoRequest> held_;  // admitted while stuck, awaiting heal
   uint64_t fault_delayed_ops_ = 0;

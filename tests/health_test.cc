@@ -1,0 +1,448 @@
+// Device health scoring: windowed digests, the gray-failure scorer's edge
+// cases (single-device fleets, uniformly slow fleets, flapping devices), the
+// SLO controller's AIMD steps, and the end-to-end demotion loop through a
+// live cluster.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/system.h"
+#include "src/obs/health_monitor.h"
+#include "src/obs/windowed_histogram.h"
+#include "src/qos/slo_monitor.h"
+#include "src/sim/simulator.h"
+#include "src/storage/block_device.h"
+
+namespace ursa {
+namespace {
+
+// ---- WindowedHistogram: rotation and decay ----
+
+TEST(WindowedHistogramTest, SamplesLandInCurrentWindow) {
+  obs::WindowedHistogram wh(msec(100), 4);
+  for (int i = 0; i < 50; ++i) {
+    wh.Record(msec(10), 1000);
+  }
+  EXPECT_EQ(wh.Count(msec(10)), 50u);
+  EXPECT_NEAR(static_cast<double>(wh.Percentile(msec(10), 99)), 1000.0, 1000.0 * 0.05);
+  EXPECT_EQ(wh.Max(msec(10)), 1000);
+  EXPECT_EQ(wh.total_count(), 50u);
+}
+
+TEST(WindowedHistogramTest, SamplesExpireBeyondHorizon) {
+  obs::WindowedHistogram wh(msec(100), 4);  // horizon 400 ms
+  wh.Record(0, 777);
+  EXPECT_EQ(wh.Count(msec(399)), 1u);   // still inside the horizon
+  EXPECT_EQ(wh.Count(msec(400)), 0u);   // the window aged out
+  EXPECT_EQ(wh.total_count(), 1u);      // monotone count survives expiry
+}
+
+TEST(WindowedHistogramTest, DecayIsGradualPerWindow) {
+  obs::WindowedHistogram wh(msec(100), 4);
+  for (int i = 0; i < 10; ++i) {
+    wh.Record(msec(50), 100);   // window [0, 100)
+  }
+  for (int i = 0; i < 10; ++i) {
+    wh.Record(msec(150), 200);  // window [100, 200)
+  }
+  EXPECT_EQ(wh.Count(msec(150)), 20u);
+  // At t=400ms the first window has aged out, the second has not.
+  EXPECT_EQ(wh.Count(msec(400)), 10u);
+  EXPECT_NEAR(static_cast<double>(wh.Percentile(msec(400), 50)), 200.0, 200.0 * 0.05);
+  EXPECT_EQ(wh.Count(msec(500)), 0u);
+}
+
+TEST(WindowedHistogramTest, RotationRecyclesStaleSlots) {
+  obs::WindowedHistogram wh(msec(100), 4);
+  wh.Record(0, 100);
+  // Far beyond the horizon: the ring slot covering t=0 is recycled for the
+  // new window, and queries must only see the fresh sample.
+  Nanos later = sec(10);
+  wh.Record(later, 9000);
+  EXPECT_EQ(wh.Count(later), 1u);
+  EXPECT_NEAR(static_cast<double>(wh.Percentile(later, 50)), 9000.0, 9000.0 * 0.05);
+}
+
+TEST(WindowedHistogramTest, QueriesArePure) {
+  obs::WindowedHistogram wh(msec(100), 4);
+  wh.Record(msec(10), 500);
+  // Querying at a later time (even past the horizon) must not mutate ring
+  // state: the sample is still visible to an in-horizon query afterwards.
+  EXPECT_EQ(wh.Count(sec(5)), 0u);
+  EXPECT_EQ(wh.Count(msec(20)), 1u);
+}
+
+// ---- HealthMonitor scorer edge cases ----
+
+obs::HealthConfig FastHealthConfig() {
+  obs::HealthConfig cfg;
+  cfg.enabled = true;
+  cfg.window_length = msec(100);
+  cfg.num_windows = 4;  // horizon 400 ms
+  cfg.check_interval = msec(50);
+  cfg.outlier_ratio = 3.0;
+  cfg.outlier_floor = usec(400);
+  cfg.min_samples = 8;
+  cfg.min_peers = 2;
+  cfg.suspect_after = 2;
+  cfg.degrade_after = 4;
+  cfg.clear_after = 3;
+  return cfg;
+}
+
+void Feed(obs::HealthMonitor* hm, obs::HealthMonitor::DeviceId id, int n, Nanos latency) {
+  for (int i = 0; i < n; ++i) {
+    hm->RecordLatency(id, qos::ServiceClass::kForegroundRead, latency);
+  }
+}
+
+TEST(HealthMonitorTest, SingleDeviceFleetIsNeverFlagged) {
+  sim::Simulator sim;
+  obs::HealthMonitor hm(&sim, FastHealthConfig());
+  auto only = hm.RegisterDevice("m0/ssd0", "ssd");
+  for (int round = 0; round < 10; ++round) {
+    Feed(&hm, only, 16, msec(20));  // grossly slow in absolute terms
+    hm.CheckNow();
+    sim.RunUntil(sim.Now() + msec(50));
+  }
+  // No peers, no baseline, no verdict — slow alone is not gray.
+  EXPECT_EQ(hm.state(only), obs::HealthState::kHealthy);
+  EXPECT_TRUE(hm.events().empty());
+}
+
+TEST(HealthMonitorTest, UniformlySlowFleetHasNoFalsePositive) {
+  sim::Simulator sim;
+  obs::HealthMonitor hm(&sim, FastHealthConfig());
+  std::vector<obs::HealthMonitor::DeviceId> devs;
+  for (int i = 0; i < 4; ++i) {
+    devs.push_back(hm.RegisterDevice("m0/ssd" + std::to_string(i), "ssd"));
+  }
+  for (int round = 0; round < 12; ++round) {
+    for (auto d : devs) {
+      Feed(&hm, d, 16, msec(10));  // a fleet-wide load spike, not a failure
+    }
+    hm.CheckNow();
+    sim.RunUntil(sim.Now() + msec(50));
+  }
+  for (auto d : devs) {
+    EXPECT_EQ(hm.state(d), obs::HealthState::kHealthy) << hm.device_name(d);
+  }
+  EXPECT_TRUE(hm.events().empty());
+}
+
+TEST(HealthMonitorTest, SustainedOutlierWalksSuspectThenDegraded) {
+  sim::Simulator sim;
+  obs::HealthMonitor hm(&sim, FastHealthConfig());
+  std::vector<std::pair<obs::HealthMonitor::DeviceId, obs::HealthState>> transitions;
+  hm.SetTransitionHandler([&transitions](obs::HealthMonitor::DeviceId d, obs::HealthState,
+                                         obs::HealthState to) {
+    transitions.emplace_back(d, to);
+  });
+  std::vector<obs::HealthMonitor::DeviceId> devs;
+  for (int i = 0; i < 4; ++i) {
+    devs.push_back(hm.RegisterDevice("m0/ssd" + std::to_string(i), "ssd"));
+  }
+  auto round = [&](Nanos slow_latency) {
+    Feed(&hm, devs[0], 16, slow_latency);
+    for (size_t i = 1; i < devs.size(); ++i) {
+      Feed(&hm, devs[i], 16, usec(150));
+    }
+    hm.CheckNow();
+    sim.RunUntil(sim.Now() + msec(50));
+  };
+  round(msec(5));
+  EXPECT_EQ(hm.state(devs[0]), obs::HealthState::kHealthy);  // one bad check is noise
+  round(msec(5));
+  EXPECT_EQ(hm.state(devs[0]), obs::HealthState::kSuspect);  // suspect_after = 2
+  round(msec(5));
+  EXPECT_EQ(hm.state(devs[0]), obs::HealthState::kSuspect);
+  round(msec(5));
+  EXPECT_EQ(hm.state(devs[0]), obs::HealthState::kDegraded);  // degrade_after = 4
+  EXPECT_GT(hm.score(devs[0]), 3.0);
+  EXPECT_EQ(hm.degraded_count(), 1u);
+
+  // Healthy peers were never flagged.
+  for (size_t i = 1; i < devs.size(); ++i) {
+    EXPECT_EQ(hm.state(devs[i]), obs::HealthState::kHealthy);
+  }
+  // The event log carries the evidence trail.
+  ASSERT_EQ(hm.events().size(), 2u);
+  EXPECT_EQ(hm.events()[0].to, obs::HealthState::kSuspect);
+  EXPECT_EQ(hm.events()[1].to, obs::HealthState::kDegraded);
+  EXPECT_NE(hm.events()[1].evidence.find("fg_p99="), std::string::npos);
+  EXPECT_NE(hm.events()[1].evidence.find("peer_median_p99="), std::string::npos);
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[1].first, devs[0]);
+  EXPECT_EQ(transitions[1].second, obs::HealthState::kDegraded);
+
+  // Table and JSON snapshots render the degraded row.
+  EXPECT_NE(hm.Table().find("degraded"), std::string::npos);
+  std::ostringstream os;
+  hm.WriteJson(os);
+  EXPECT_NE(os.str().find("\"state\":\"degraded\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"events\""), std::string::npos);
+}
+
+TEST(HealthMonitorTest, FlappingDeviceNeverDegrades) {
+  sim::Simulator sim;
+  obs::HealthConfig cfg = FastHealthConfig();
+  cfg.num_windows = 1;  // short horizon so each round's digest stands alone
+  obs::HealthMonitor hm(&sim, cfg);
+  std::vector<obs::HealthMonitor::DeviceId> devs;
+  for (int i = 0; i < 4; ++i) {
+    devs.push_back(hm.RegisterDevice("m0/ssd" + std::to_string(i), "ssd"));
+  }
+  // Alternates one slow check with one fast check: the consecutive-outlier
+  // streak resets every other pass and never reaches suspect_after.
+  for (int round = 0; round < 16; ++round) {
+    Feed(&hm, devs[0], 16, round % 2 == 0 ? msec(5) : usec(150));
+    for (size_t i = 1; i < devs.size(); ++i) {
+      Feed(&hm, devs[i], 16, usec(150));
+    }
+    hm.CheckNow();
+    sim.RunUntil(sim.Now() + msec(100));
+  }
+  EXPECT_EQ(hm.state(devs[0]), obs::HealthState::kHealthy);
+  EXPECT_TRUE(hm.events().empty());
+}
+
+TEST(HealthMonitorTest, DegradedDeviceMustEarnClearAfter) {
+  sim::Simulator sim;
+  obs::HealthMonitor hm(&sim, FastHealthConfig());
+  std::vector<obs::HealthMonitor::DeviceId> devs;
+  for (int i = 0; i < 4; ++i) {
+    devs.push_back(hm.RegisterDevice("m0/ssd" + std::to_string(i), "ssd"));
+  }
+  auto round = [&](Nanos dev0_latency) {
+    Feed(&hm, devs[0], 16, dev0_latency);
+    for (size_t i = 1; i < devs.size(); ++i) {
+      Feed(&hm, devs[i], 16, usec(150));
+    }
+    hm.CheckNow();
+    sim.RunUntil(sim.Now() + msec(50));
+  };
+  for (int i = 0; i < 4; ++i) {
+    round(msec(5));
+  }
+  ASSERT_EQ(hm.state(devs[0]), obs::HealthState::kDegraded);
+
+  // The device heals; let the slow samples age out of the horizon first.
+  sim.RunUntil(sim.Now() + msec(400));
+  round(usec(150));
+  EXPECT_EQ(hm.state(devs[0]), obs::HealthState::kDegraded);  // 1 clean < clear_after
+  round(usec(150));
+  EXPECT_EQ(hm.state(devs[0]), obs::HealthState::kDegraded);
+  round(usec(150));
+  EXPECT_EQ(hm.state(devs[0]), obs::HealthState::kHealthy);  // clear_after = 3
+  EXPECT_EQ(hm.events().back().to, obs::HealthState::kHealthy);
+}
+
+TEST(HealthMonitorTest, IdleDegradedDeviceStaysDegraded) {
+  sim::Simulator sim;
+  obs::HealthMonitor hm(&sim, FastHealthConfig());
+  std::vector<obs::HealthMonitor::DeviceId> devs;
+  for (int i = 0; i < 4; ++i) {
+    devs.push_back(hm.RegisterDevice("m0/ssd" + std::to_string(i), "ssd"));
+  }
+  for (int i = 0; i < 4; ++i) {
+    Feed(&hm, devs[0], 16, msec(5));
+    for (size_t j = 1; j < devs.size(); ++j) {
+      Feed(&hm, devs[j], 16, usec(150));
+    }
+    hm.CheckNow();
+    sim.RunUntil(sim.Now() + msec(50));
+  }
+  ASSERT_EQ(hm.state(devs[0]), obs::HealthState::kDegraded);
+  // The gray device goes quiet (its digest empties past the horizon) while
+  // peers stay busy: silence is not evidence of health.
+  for (int i = 0; i < 10; ++i) {
+    for (size_t j = 1; j < devs.size(); ++j) {
+      Feed(&hm, devs[j], 16, usec(150));
+    }
+    hm.CheckNow();
+    sim.RunUntil(sim.Now() + msec(50));
+  }
+  EXPECT_EQ(hm.state(devs[0]), obs::HealthState::kDegraded);
+}
+
+TEST(HealthMonitorTest, BackgroundLatencyIsNotScored) {
+  sim::Simulator sim;
+  obs::HealthMonitor hm(&sim, FastHealthConfig());
+  std::vector<obs::HealthMonitor::DeviceId> devs;
+  for (int i = 0; i < 4; ++i) {
+    devs.push_back(hm.RegisterDevice("m0/ssd" + std::to_string(i), "ssd"));
+  }
+  for (int round = 0; round < 8; ++round) {
+    for (auto d : devs) {
+      Feed(&hm, d, 16, usec(150));
+    }
+    // Device 0 also serves slow recovery traffic — busy, not sick.
+    for (int i = 0; i < 16; ++i) {
+      hm.RecordLatency(devs[0], qos::ServiceClass::kRecovery, msec(20));
+    }
+    hm.CheckNow();
+    sim.RunUntil(sim.Now() + msec(50));
+  }
+  EXPECT_EQ(hm.state(devs[0]), obs::HealthState::kHealthy);
+  EXPECT_TRUE(hm.events().empty());
+}
+
+// ---- SloMonitor AIMD steps ----
+
+TEST(SloMonitorTest, AimdThrottlesFloorsAndRecovers) {
+  sim::Simulator sim;
+  qos::SloConfig cfg;
+  cfg.enabled = true;
+  cfg.fg_p99_target = msec(2);
+  cfg.window_length = msec(100);
+  cfg.num_windows = 2;
+  cfg.min_samples = 8;
+  cfg.decrease_factor = 0.5;
+  cfg.recover_step = 100.0 * static_cast<double>(kMiB);
+  cfg.min_rate = 1.0 * static_cast<double>(kMiB);
+  cfg.max_rate = 256.0 * static_cast<double>(kMiB);
+  cfg.slack_fraction = 0.7;
+  qos::SloMonitor slo(&sim, cfg, {});
+
+  // Below min_samples: the controller must not act on thin evidence.
+  for (int i = 0; i < 4; ++i) {
+    slo.RecordForeground(msec(10));
+  }
+  slo.CheckNow();
+  EXPECT_FALSE(slo.throttling());
+  EXPECT_EQ(slo.bulk_rate(), 0.0);
+
+  // Sustained violation: multiplicative decrease, starting from max_rate.
+  for (int i = 0; i < 32; ++i) {
+    slo.RecordForeground(msec(10));
+  }
+  slo.CheckNow();
+  EXPECT_TRUE(slo.throttling());
+  EXPECT_DOUBLE_EQ(slo.bulk_rate(), 128.0 * static_cast<double>(kMiB));
+  slo.CheckNow();
+  EXPECT_DOUBLE_EQ(slo.bulk_rate(), 64.0 * static_cast<double>(kMiB));
+  for (int i = 0; i < 20; ++i) {
+    slo.CheckNow();
+  }
+  // Floored at min_rate so recovery always converges.
+  EXPECT_DOUBLE_EQ(slo.bulk_rate(), 1.0 * static_cast<double>(kMiB));
+  EXPECT_GE(slo.violations(), 3u);
+
+  // The violation window ages out; sustained slack recovers additively and
+  // finally lifts the throttle (bulk_rate()==0 means unlimited).
+  sim.RunUntil(sec(1));
+  for (int i = 0; i < 32; ++i) {
+    slo.RecordForeground(usec(200));
+  }
+  slo.CheckNow();
+  EXPECT_TRUE(slo.throttling());
+  EXPECT_DOUBLE_EQ(slo.bulk_rate(), 101.0 * static_cast<double>(kMiB));
+  slo.CheckNow();
+  EXPECT_DOUBLE_EQ(slo.bulk_rate(), 201.0 * static_cast<double>(kMiB));
+  slo.CheckNow();
+  EXPECT_FALSE(slo.throttling());
+  EXPECT_EQ(slo.bulk_rate(), 0.0);
+  EXPECT_EQ(slo.recovery_steps(), 3u);
+
+  std::ostringstream os;
+  slo.WriteJson(os);
+  EXPECT_NE(os.str().find("\"target_p99_us\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"violations\""), std::string::npos);
+}
+
+TEST(SloMonitorTest, IdleForegroundReleasesThrottle) {
+  sim::Simulator sim;
+  qos::SloConfig cfg;
+  cfg.enabled = true;
+  cfg.fg_p99_target = msec(2);
+  cfg.window_length = msec(100);
+  cfg.num_windows = 2;
+  cfg.min_samples = 8;
+  cfg.recover_step = 100.0 * static_cast<double>(kMiB);
+  cfg.min_rate = 1.0 * static_cast<double>(kMiB);
+  cfg.max_rate = 256.0 * static_cast<double>(kMiB);
+  qos::SloMonitor slo(&sim, cfg, {});
+
+  for (int i = 0; i < 32; ++i) {
+    slo.RecordForeground(msec(10));
+  }
+  slo.CheckNow();
+  ASSERT_TRUE(slo.throttling());
+
+  // The tenant goes quiet: the window empties past the horizon. An idle
+  // foreground cannot be violated, so each check must hand bandwidth back
+  // until the throttle lifts — a quiet tenant must not pin recovery at the
+  // throttle floor forever.
+  sim.RunUntil(sec(1));
+  slo.CheckNow();
+  EXPECT_TRUE(slo.throttling());
+  EXPECT_DOUBLE_EQ(slo.bulk_rate(), 228.0 * static_cast<double>(kMiB));
+  slo.CheckNow();
+  EXPECT_FALSE(slo.throttling());
+  EXPECT_EQ(slo.bulk_rate(), 0.0);
+}
+
+// ---- End-to-end: gray SSD demoted at the master, restored after heal ----
+
+TEST(HealthClusterTest, GraySsdIsDemotedSteeredAroundAndRestored) {
+  core::SystemProfile profile = core::UrsaSsdProfile(3);
+  obs::HealthConfig& h = profile.cluster.health;
+  h.enabled = true;
+  h.window_length = msec(100);
+  h.num_windows = 4;
+  h.check_interval = msec(50);
+  h.min_samples = 8;
+  h.suspect_after = 2;
+  h.degrade_after = 4;
+  h.clear_after = 4;
+  core::TestBed bed(profile);
+  cluster::Master& master = bed.cluster().master();
+  obs::HealthMonitor* hm = bed.cluster().health_monitor();
+  ASSERT_NE(hm, nullptr);
+  ASSERT_TRUE(hm->running());
+
+  auto* disk = bed.NewDisk(512ull * kMiB);
+  core::WorkloadSpec spec;
+  spec.block_size = 4 * kKiB;
+  spec.queue_depth = 8;
+  spec.read_fraction = 0.5;
+
+  // Healthy fleet: no device flagged, no replica demoted.
+  bed.RunWorkload(disk, spec, msec(100), msec(400), "baseline");
+  EXPECT_TRUE(master.demoted_servers().empty());
+  EXPECT_EQ(hm->degraded_count(), 0u);
+
+  // Gray-slow the first SSD: every I/O on it takes an extra 2 ms. Server 0
+  // hosts it (flat mode registers one server per device, in order).
+  bed.cluster().machine(0).ssd(0).SetFault(storage::DeviceFault{msec(2), /*stuck=*/false});
+  bed.RunWorkload(disk, spec, 0, sec(1), "gray");
+  EXPECT_EQ(hm->state(0), obs::HealthState::kDegraded) << hm->Table();
+  EXPECT_TRUE(master.IsDemoted(0));
+  // Exactly the faulted server — its healthy peers were never demoted.
+  EXPECT_EQ(master.demoted_servers().size(), 1u);
+  EXPECT_GE(master.recovery_stats().demotions, 1u);
+  EXPECT_EQ(bed.cluster().ServerOfHealthDevice(0), 0u);
+
+  // Demotion re-sorted every layout holding server 0 behind a healthy lead.
+  const cluster::DiskMeta* meta = master.GetDisk(1).value();
+  for (const cluster::ChunkLayout& layout : meta->chunks) {
+    ASSERT_FALSE(layout.replicas.empty());
+    for (const cluster::ReplicaRef& r : layout.replicas) {
+      if (r.server == 0) {
+        EXPECT_TRUE(r.demoted);
+        EXPECT_NE(&r, &layout.replicas.front());
+      }
+    }
+  }
+
+  // Heal: the device serves at fleet speed again, re-earns trust after
+  // clear_after clean checks, and the master restores full standing.
+  bed.cluster().machine(0).ssd(0).ClearFault();
+  bed.RunWorkload(disk, spec, 0, sec(2), "heal");
+  EXPECT_EQ(hm->state(0), obs::HealthState::kHealthy) << hm->Table();
+  EXPECT_FALSE(master.IsDemoted(0));
+  EXPECT_GE(master.recovery_stats().undemotions, 1u);
+}
+
+}  // namespace
+}  // namespace ursa

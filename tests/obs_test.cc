@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/common/histogram.h"
+#include "src/core/system.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/stats_sampler.h"
 #include "src/obs/trace.h"
@@ -186,6 +187,26 @@ TEST(TracerTest, WriteDeviceTermIsMaxOfStorageAndJournal) {
   EXPECT_NEAR(tracer.writes().StageMedianSum(), 120.0, 10.0);
 }
 
+// The decomposition must reconcile against real traffic, not just synthetic
+// spans: every stage of every request traced (sample_every=1) through a live
+// hybrid cluster at qd1, where the stage medians should partition the
+// end-to-end median. Drift here means a code path stopped recording its
+// stage (or records it twice) — that should fail tests, not just look odd in
+// bench_fig15_16 output.
+TEST(TracerTest, ReconciliationErrorStaysWithinOnePercent) {
+  core::TestBed bed(core::UrsaHybridProfile(3));
+  bed.EnableTracing(1);
+  auto* disk = bed.NewDisk(1ull * kGiB);
+  core::WorkloadSpec spec;
+  spec.block_size = 4 * kKiB;
+  spec.queue_depth = 1;  // no queueing skew between stage sums and e2e
+  spec.read_fraction = 0.5;
+  bed.RunWorkload(disk, spec, msec(100), sec(2), "recon");
+  ASSERT_GT(bed.tracer().spans_finished(), 500u);
+  EXPECT_LE(bed.tracer().reads().ReconciliationError(), 0.01);
+  EXPECT_LE(bed.tracer().writes().ReconciliationError(), 0.01);
+}
+
 TEST(TracerTest, ResetClearsAggregates) {
   obs::Tracer tracer(1);
   obs::SpanRef span = tracer.StartSpan(false, 0);
@@ -243,6 +264,34 @@ TEST(StatsSamplerTest, StopHaltsTicksAndRestartWorks) {
   sim.RunUntil(msec(25));
   EXPECT_GT(sampler.series()[0].points.size(), frozen);
   sampler.Stop();
+}
+
+TEST(StatsSamplerTest, PointsPastCapAreCountedNotSilent) {
+  sim::Simulator sim;
+  obs::MetricsRegistry reg;
+  reg.GetGauge("g")->Set(1);
+  obs::StatsSampler sampler(&sim, &reg, msec(1), /*max_points=*/3);
+  sampler.Start();
+  sim.RunUntil(msec(20));
+  sampler.Stop();
+  size_t stored = 0;
+  for (const auto& s : sampler.series()) {
+    stored += s.points.size();
+  }
+  EXPECT_EQ(stored, 3u);
+  EXPECT_GT(sampler.dropped_points(), 0u);
+  // The drop count surfaces both in the registry...
+  double exported = -1;
+  for (const auto& s : reg.Snapshot()) {
+    if (s.name == "obs.sampler_dropped_points") {
+      exported = s.value;
+    }
+  }
+  EXPECT_DOUBLE_EQ(exported, static_cast<double>(sampler.dropped_points()));
+  // ...and in the JSON artifact, so a truncated series is diagnosable.
+  std::ostringstream os;
+  sampler.WriteJson(os);
+  EXPECT_NE(os.str().find("\"dropped_points\":"), std::string::npos);
 }
 
 TEST(StatsSamplerTest, JsonShape) {
