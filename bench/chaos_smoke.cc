@@ -9,6 +9,10 @@
 //   chaos_smoke --health            # sweep with health scoring on (verdicts
 //                                   # may only land on injected devices),
 //                                   # then the gray-disk detection drill
+//   chaos_smoke --scrub             # sweep with background scrubbing on,
+//                                   # then the latent-corruption drill (cold
+//                                   # at-rest flips must be found and healed
+//                                   # by the scrubber, never by a client)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -93,6 +97,56 @@ int RunHealthDrill(uint64_t seed, bool verbose, const std::string& json_path) {
   return failures;
 }
 
+// Scrub tuned to chaos scale: production sweeps take minutes; the drill needs
+// a few sweeps inside a couple of simulated seconds.
+ursa::scrub::ScrubConfig ChaosScrubConfig() {
+  ursa::scrub::ScrubConfig s;
+  s.enabled = true;
+  s.sweep_interval = ursa::msec(250);
+  s.tick_interval = ursa::msec(5);
+  s.read_bytes = 256 * ursa::kKiB;
+  s.per_server_concurrent = 1;
+  s.max_concurrent = 4;
+  return s;
+}
+
+// The latent-corruption drill: flip bytes in at-rest cold blocks no client
+// will ever read, then require the background scrubber to detect every flip
+// within one sweep period, repair it end to end, and keep the damage
+// invisible to the (read-only) foreground workload.
+int RunScrubDrill(uint64_t seed, bool verbose, const std::string& json_path) {
+  ursa::chaos::ChaosPlan plan;
+  plan.seed = seed;
+  plan.cluster.scrub = ChaosScrubConfig();
+  ursa::chaos::ChaosReport report = ursa::chaos::RunLatentScrub(plan);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\"seed\": " << report.seed << ", \"ok\": " << (report.ok ? "true" : "false")
+        << ", \"latent_flips\": " << report.latent_flips
+        << ", \"scrub_detected\": " << report.scrub_detected
+        << ", \"scrub_repaired\": " << report.scrub_repaired
+        << ", \"client_integrity_errors\": " << report.client_integrity_errors
+        << ", \"mttd_us\": " << report.scrub_mttd_us
+        << ", \"sweep_period_us\": " << report.sweep_period_us << "}\n";
+  }
+
+  int failures = 0;
+  auto expect = [&failures](bool cond, const char* what) {
+    std::printf("  scrub drill: %-52s %s\n", what, cond ? "OK" : "FAIL");
+    failures += cond ? 0 : 1;
+  };
+  expect(report.latent_flips >= 3, "latent flips landed in cold at-rest data");
+  expect(report.scrub_detected >= report.latent_flips, "scrubber detected every flip");
+  expect(report.scrub_repaired >= report.scrub_detected, "every detection was repaired");
+  expect(report.client_integrity_errors == 0, "zero client-visible corruption errors");
+  expect(report.ok, "detection within one sweep period; bytes verified");
+  if (!report.ok || verbose || failures > 0) {
+    std::printf("%s\n", report.Summary().c_str());
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -100,7 +154,9 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool qos = false;
   bool health = false;
+  bool scrub = false;
   std::string health_json;
+  std::string scrub_json;
   // Default drill seed picked so the episode lands on an SSD: backup HDDs
   // journal to SSD regions, so HDDs see almost no foreground traffic in the
   // hybrid cluster and are (correctly) invisible to the scorer.
@@ -116,16 +172,20 @@ int main(int argc, char** argv) {
       qos = true;
     } else if (std::strcmp(arg, "--health") == 0) {
       health = true;
+    } else if (std::strcmp(arg, "--scrub") == 0) {
+      scrub = true;
     } else if (std::strncmp(arg, "--health-json=", 14) == 0) {
       health_json = arg + 14;
+    } else if (std::strncmp(arg, "--scrub-json=", 13) == 0) {
+      scrub_json = arg + 13;
     } else if (std::strncmp(arg, "--drill-seed=", 13) == 0) {
       drill_seed = std::strtoull(arg + 13, nullptr, 10);
     } else if (std::strcmp(arg, "-v") == 0 || std::strcmp(arg, "--verbose") == 0) {
       verbose = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--seeds=a,b,c] [--ops=N] [--qos] [--health] "
-                   "[--health-json=path] [-v]\n",
+                   "usage: %s [--seeds=a,b,c] [--ops=N] [--qos] [--health] [--scrub] "
+                   "[--health-json=path] [--scrub-json=path] [-v]\n",
                    argv[0]);
       return 2;
     }
@@ -141,6 +201,12 @@ int main(int argc, char** argv) {
       // degrades a device the engine never gray-faulted.
       plan.cluster.health = ChaosHealthConfig();
     }
+    if (scrub) {
+      // Scrub on: the full fault soup (crashes, partitions, gray disks, bit
+      // flips) runs with background sweeps and checksum ledgers active — the
+      // safety checks must hold with the scrubber competing for the devices.
+      plan.cluster.scrub = ChaosScrubConfig();
+    }
     if (ops > 0) {
       plan.ops = ops;
     }
@@ -154,6 +220,9 @@ int main(int argc, char** argv) {
 
   if (health) {
     failures += RunHealthDrill(drill_seed, verbose, health_json);
+  }
+  if (scrub) {
+    failures += RunScrubDrill(drill_seed, verbose, scrub_json);
   }
   return failures == 0 ? 0 : 1;
 }

@@ -30,6 +30,7 @@ ChaosEngine::ChaosEngine(sim::Simulator* sim, cluster::Cluster* cluster, const C
   ctr_stuck_ = reg.GetCounter("chaos.stuck_disks");
   ctr_crash_ = reg.GetCounter("chaos.crashes");
   ctr_flip_ = reg.GetCounter("chaos.bit_flips");
+  ctr_latent_ = reg.GetCounter("chaos.latent_flips");
   ctr_heal_ = reg.GetCounter("chaos.heals");
 }
 
@@ -216,6 +217,55 @@ void ChaosEngine::ScheduleFaults() {
     };
     sim_->After(start, [attempt]() { (*attempt)(); });
   }
+}
+
+bool ChaosEngine::InjectLatentFlip(storage::ChunkId chunk, uint64_t offset) {
+  constexpr uint64_t kSectorBytes = 512;
+  uint64_t sector_lo = offset - offset % kSectorBytes;
+  std::vector<cluster::ChunkServer*> candidates;
+  for (cluster::ServerId s = 0; s < cluster_->num_servers(); ++s) {
+    cluster::ChunkServer* server = cluster_->server(s);
+    if (server->crashed() || !server->HasChunk(chunk)) {
+      continue;
+    }
+    // The flip must land under live at-rest bytes: skip replicas whose
+    // journal still maps the sector (the journal copy would win on read,
+    // making the store flip dead and undetectable by design), replicas with
+    // no checksum ledger for the chunk (nothing to catch the flip), and
+    // already-quarantined ranges.
+    if (server->checksum_store() == nullptr ||
+        !server->checksum_store()->HasChecksums(chunk)) {
+      continue;
+    }
+    if (server->IsScrubQuarantined(chunk, sector_lo, kSectorBytes)) {
+      continue;
+    }
+    bool journal_mapped = false;
+    if (server->journal_manager() != nullptr) {
+      for (const index::Segment& seg : server->journal_manager()->IndexSnapshot(chunk)) {
+        uint64_t seg_lo = static_cast<uint64_t>(seg.offset) * kSectorBytes;
+        uint64_t seg_hi = seg_lo + static_cast<uint64_t>(seg.length) * kSectorBytes;
+        if (seg_lo < sector_lo + kSectorBytes && sector_lo < seg_hi) {
+          journal_mapped = true;
+          break;
+        }
+      }
+    }
+    if (!journal_mapped) {
+      candidates.push_back(server);
+    }
+  }
+  if (candidates.empty()) {
+    return false;
+  }
+  cluster::ChunkServer* victim = candidates[flip_rng_.Uniform(candidates.size())];
+  uint8_t mask = static_cast<uint8_t>(1u << flip_rng_.Uniform(8));
+  victim->store()->CorruptByte(chunk, offset, mask);
+  ctr_latent_->Increment();
+  ++latent_flips_landed_;
+  Note("latent flip in chunk " + std::to_string(chunk) + " @" + std::to_string(offset) +
+       " on server " + std::to_string(victim->id()));
+  return true;
 }
 
 void ChaosEngine::HealAll() {

@@ -42,9 +42,18 @@ class ChaosEngine {
   // stuck I/O), crashed servers. Idempotent.
   void HealAll();
 
+  // Latent corruption: flips one byte of `chunk` at byte `offset` (within the
+  // chunk) on one alive replica whose journal does NOT map the containing
+  // sector — the flip lands under at-rest chunk bytes with a valid checksum
+  // ledger entry, exactly the damage only a background scrub can find before
+  // a client read does. Picks uniformly (flip_rng_) among qualifying
+  // replicas. Returns false when no replica qualifies.
+  bool InjectLatentFlip(storage::ChunkId chunk, uint64_t offset);
+
   // Timestamped human-readable fault history ("t=12345us crash server 4").
   const std::vector<std::string>& trace() const { return trace_; }
   uint64_t bit_flips_landed() const { return bit_flips_landed_; }
+  uint64_t latent_flips_landed() const { return latent_flips_landed_; }
 
   // Names of devices that received a gray fault (slow or stuck) at any point.
   // The health-enabled runner uses this as the ground truth for its
@@ -85,9 +94,11 @@ class ChaosEngine {
   obs::Counter* ctr_stuck_;
   obs::Counter* ctr_crash_;
   obs::Counter* ctr_flip_;
+  obs::Counter* ctr_latent_;
   obs::Counter* ctr_heal_;
 
   uint64_t bit_flips_landed_ = 0;
+  uint64_t latent_flips_landed_ = 0;
 };
 
 }  // namespace ursa::chaos

@@ -64,6 +64,11 @@ struct ChaosPlan {
   int stuck_faults = 1;  // stuck-I/O device; heal re-admits held requests
   int crashes = 1;       // server crash + scheduled restore
   int bit_flips = 2;     // journal payload corruption (CRC must catch)
+  // At-rest chunk-store corruption of COLD blocks, used only by the
+  // RunLatentScrub leg (requires cluster.scrub.enabled). Unlike bit_flips,
+  // no client read ever touches the damaged range: only the background
+  // scrubber can find it.
+  int latent_flips = 3;
 
   // ---- Post-heal convergence budget ----
   Nanos drain_step = sec(2);  // settle time per repair round

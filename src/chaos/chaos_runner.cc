@@ -80,6 +80,14 @@ std::string ChaosReport::Summary() const {
                     " bit_flips=" + std::to_string(bit_flips) +
                     " corruptions_detected=" + std::to_string(corruptions_detected) +
                     " corruptions_repaired=" + std::to_string(corruptions_repaired) + ")";
+  if (latent_flips > 0) {
+    out += "\n  scrub: latent_flips=" + std::to_string(latent_flips) +
+           " detected=" + std::to_string(scrub_detected) +
+           " repaired=" + std::to_string(scrub_repaired) +
+           " client_integrity_errors=" + std::to_string(client_integrity_errors) +
+           " mttd=" + std::to_string(static_cast<uint64_t>(scrub_mttd_us)) + "us" +
+           " sweep_period=" + std::to_string(static_cast<uint64_t>(sweep_period_us)) + "us";
+  }
   if (health_demotions > 0 || !degraded_devices.empty()) {
     out += "\n  health: demotions=" + std::to_string(health_demotions) +
            " undemotions=" + std::to_string(health_undemotions) + " degraded=[";
@@ -328,6 +336,229 @@ ChaosReport RunChaos(const ChaosPlan& plan) {
   }
   if (report.checked_reads == 0) {
     report.violations.push_back("no reads checked: fault plan starved the workload");
+  }
+  return report;
+}
+
+ChaosReport RunLatentScrub(const ChaosPlan& plan) {
+  URSA_CHECK(plan.cluster.scrub.enabled) << "latent-scrub drill needs cluster.scrub.enabled";
+  URSA_CHECK_EQ(plan.stripe_group, 1) << "drill maps blocks to chunks linearly";
+  ChaosReport report;
+  report.seed = plan.seed;
+  report.sweep_period_us = ToUsec(plan.cluster.scrub.sweep_interval);
+
+  sim::Simulator sim;
+  Rng transport_rng(plan.seed ^ kTransportSalt);
+  cluster::Cluster cluster(&sim, plan.cluster);
+  cluster.transport().SetChaosRng(&transport_rng);
+
+  Result<cluster::DiskId> disk_id =
+      cluster.master().CreateDisk("scrub-drill", plan.disk_size, plan.replication,
+                                  plan.stripe_group);
+  URSA_CHECK(disk_id.ok());
+  client::VirtualDiskClientOptions options;
+  options.request_timeout = plan.request_timeout;
+  cluster::Machine* host = cluster.AddClientMachine();
+  client::VirtualDisk disk(&cluster, host, /*client_id=*/1, options);
+  URSA_CHECK(disk.Open(*disk_id).ok());
+
+  ChaosEngine engine(&sim, &cluster, plan);
+  engine.AddClientNode(host->node());
+  // No scheduled fault plan: the only injection is latent at-rest corruption.
+
+  const int blocks = std::max(2, plan.blocks);
+  uint64_t stride = plan.disk_size / static_cast<uint64_t>(blocks);
+  stride -= stride % kBlock;
+  URSA_CHECK_GE(stride, kBlock);
+  std::vector<BlockHistory> histories(blocks);
+
+  // ---- Phase 1: materialize every block with real bytes, so each covered
+  // sector lands in the replicas' checksum ledgers. ----
+  std::vector<std::vector<uint8_t>> expected(blocks);
+  int writes_pending = blocks;
+  for (int b = 0; b < blocks; ++b) {
+    expected[b].assign(kBlock, static_cast<uint8_t>(0xA0 + b));
+    uint32_t seq = histories[b].OnWriteInvoke(sim.Now());
+    std::memcpy(expected[b].data(), &seq, sizeof(seq));
+    disk.Write(static_cast<uint64_t>(b) * stride, kBlock, expected[b].data(),
+               [&, b, seq](const Status& s) {
+                 --writes_pending;
+                 if (s.ok()) {
+                   histories[b].OnWriteCommit(seq, sim.Now());
+                   ++report.committed_writes;
+                 } else {
+                   report.violations.push_back("seed write of block " + std::to_string(b) +
+                                               " failed: " + s.ToString());
+                 }
+               });
+    sim.RunUntil(sim.Now() + msec(5));
+  }
+  for (int round = 0; round < 100 && writes_pending > 0; ++round) {
+    sim.RunUntil(sim.Now() + msec(10));
+  }
+  URSA_CHECK_EQ(writes_pending, 0);
+
+  // ---- Phase 2: wait for journal replay to drain, so the data is at rest on
+  // the backup stores (a flip under a journal-mapped range would be dead). ----
+  auto replay_drained = [&]() {
+    for (const journal::JournalManager* jm : cluster.journal_managers()) {
+      if (!jm->ReplayDrained()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (int round = 0; round < 500 && !replay_drained(); ++round) {
+    sim.RunUntil(sim.Now() + msec(10));
+  }
+  if (!replay_drained()) {
+    report.violations.push_back("journal replay never drained before injection");
+  }
+
+  // ---- Phase 3: let the sweep in progress finish (it may have read blocks
+  // before they were written), then corrupt cold blocks. ----
+  scrub::ScrubCoordinator* coord = cluster.scrub_coordinator();
+  URSA_CHECK(coord != nullptr);
+  const Nanos sweep = plan.cluster.scrub.sweep_interval;
+  uint64_t settled = coord->sweeps_completed();
+  Nanos deadline = sim.Now() + 4 * sweep;
+  while (coord->sweeps_completed() < settled + 1 && sim.Now() < deadline) {
+    sim.RunUntil(sim.Now() + msec(5));
+  }
+
+  const cluster::DiskMeta* meta = *cluster.master().GetDisk(*disk_id);
+  const int cold_begin = blocks / 2;  // hot traffic stays below this index
+  Rng target_rng(plan.seed ^ 0x5C2BF11Bull);
+  int flips_wanted = std::min(plan.latent_flips, blocks - cold_begin);
+  for (int i = 0; i < flips_wanted; ++i) {
+    int block = cold_begin + i;
+    uint64_t disk_off =
+        static_cast<uint64_t>(block) * stride + target_rng.Uniform(kBlock);
+    size_t chunk_idx = static_cast<size_t>(disk_off / meta->chunk_size);
+    URSA_CHECK_LT(chunk_idx, meta->chunks.size());
+    if (!engine.InjectLatentFlip(meta->chunks[chunk_idx].chunk, disk_off % meta->chunk_size)) {
+      report.violations.push_back("latent flip " + std::to_string(i) +
+                                  " found no qualifying replica");
+    }
+  }
+  report.latent_flips = engine.latent_flips_landed();
+  sim.RunUntil(sim.Now() + msec(2));  // let the flip RMWs land on media
+  const Nanos inject_time = sim.Now();
+  const uint64_t epoch_inject = coord->sweeps_completed();
+
+  // ---- Phase 4: hot read-only traffic on the lower blocks while the
+  // scrubber sweeps. Detection must complete within the first full
+  // post-injection sweep (epoch_inject + 2: the sweep running at injection
+  // time may already have passed the damaged replicas). ----
+  Rng workload_rng(plan.seed ^ kWorkloadSalt);
+  auto issue_hot_read = [&]() {
+    int block = static_cast<int>(workload_rng.Uniform(static_cast<uint64_t>(cold_begin)));
+    auto buf = std::make_shared<std::vector<uint8_t>>(kBlock, 0);
+    Nanos invoke = sim.Now();
+    disk.Read(static_cast<uint64_t>(block) * stride, kBlock, buf->data(),
+              [&, block, invoke, buf](const Status& s) {
+                if (!s.ok()) {
+                  ++report.failed_ops;
+                  return;
+                }
+                uint32_t seq = 0;
+                std::memcpy(&seq, buf->data(), sizeof(seq));
+                std::string err = histories[block].CheckRead(seq, invoke, sim.Now());
+                if (!err.empty()) {
+                  report.violations.push_back("block " + std::to_string(block) + ": " + err);
+                }
+                ++report.checked_reads;
+              });
+  };
+  Nanos step = std::max<Nanos>(msec(1), sweep / 64);
+  Nanos hot_deadline = inject_time + 6 * sweep;
+  Nanos detected_at = -1;
+  while (sim.Now() < hot_deadline) {
+    issue_hot_read();
+    sim.RunUntil(sim.Now() + step);
+    if (detected_at < 0 && cluster.scrub_mismatches_reported() >= report.latent_flips &&
+        report.latent_flips > 0) {
+      detected_at = sim.Now();
+    }
+    if (coord->sweeps_completed() >= epoch_inject + 2 && detected_at >= 0) {
+      break;
+    }
+  }
+  report.scrub_detected = cluster.scrub_mismatches_reported();
+  if (detected_at < 0) {
+    report.violations.push_back(
+        "latent corruption not fully detected: " + std::to_string(report.scrub_detected) +
+        " of " + std::to_string(report.latent_flips) + " flips found after " +
+        std::to_string(static_cast<uint64_t>(ToUsec(sim.Now() - inject_time))) + "us");
+  } else {
+    report.scrub_mttd_us = ToUsec(detected_at - inject_time);
+    // The bound: everything found before the first full post-injection sweep
+    // completed — i.e. within one sweep period of that sweep's start.
+    if (coord->sweeps_completed() > epoch_inject + 2) {
+      report.violations.push_back("detection straggled past the first full sweep");
+    }
+  }
+
+  // ---- Phase 5: repairs must land and lift every quarantine. ----
+  auto quarantines = [&]() {
+    size_t total = 0;
+    for (size_t s = 0; s < cluster.num_servers(); ++s) {
+      total += cluster.server(static_cast<cluster::ServerId>(s))->scrub_quarantine_size();
+    }
+    return total;
+  };
+  for (int round = 0; round < plan.drain_rounds; ++round) {
+    if (cluster.scrub_repairs_completed() >= report.scrub_detected && quarantines() == 0) {
+      break;
+    }
+    sim.RunUntil(sim.Now() + plan.drain_step);
+  }
+  report.scrub_repaired = cluster.scrub_repairs_completed();
+  if (report.scrub_repaired < report.scrub_detected) {
+    report.violations.push_back("repairs incomplete: " + std::to_string(report.scrub_repaired) +
+                                " of " + std::to_string(report.scrub_detected) + " detections");
+  }
+  if (quarantines() > 0) {
+    report.violations.push_back("scrub quarantines still armed after repair: " +
+                                std::to_string(quarantines()));
+  }
+
+  // ---- Final read-back of EVERY block (cold ones included): repaired data
+  // must be byte-identical to what was written, and no read may surface
+  // kCorruption. ----
+  for (int block = 0; block < blocks; ++block) {
+    auto buf = std::make_shared<std::vector<uint8_t>>(kBlock, 0);
+    auto done = std::make_shared<bool>(false);
+    disk.Read(static_cast<uint64_t>(block) * stride, kBlock, buf->data(),
+              [&, block, buf, done](const Status& s) {
+                *done = true;
+                if (!s.ok()) {
+                  report.violations.push_back("final read of block " + std::to_string(block) +
+                                              " failed: " + s.ToString());
+                  return;
+                }
+                if (*buf != expected[block]) {
+                  report.violations.push_back("final read of block " + std::to_string(block) +
+                                              " returned bytes differing from what was written");
+                }
+                ++report.checked_reads;
+              });
+    sim.RunUntil(sim.Now() + sec(2));
+    if (!*done) {
+      report.violations.push_back("final read of block " + std::to_string(block) + " hung");
+    }
+  }
+
+  report.client_integrity_errors = disk.stats().integrity_errors;
+  if (report.client_integrity_errors > 0) {
+    report.violations.push_back("client observed " +
+                                std::to_string(report.client_integrity_errors) +
+                                " kCorruption error(s): latent damage leaked to a reader");
+  }
+  report.fault_trace = engine.trace();
+  report.ok = report.violations.empty() && report.latent_flips > 0 && report.checked_reads > 0;
+  if (report.latent_flips == 0) {
+    report.violations.push_back("no latent flips landed: drill exercised nothing");
   }
   return report;
 }

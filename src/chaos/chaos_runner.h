@@ -41,6 +41,16 @@ struct ChaosReport {
   uint64_t corruptions_detected = 0;
   uint64_t corruptions_repaired = 0;
 
+  // Latent-corruption pipeline (scrub leg only): at-rest flip in a cold chunk
+  // -> ledger mismatch on sweep -> quarantine -> re-replicate, all before any
+  // client read touches the range.
+  uint64_t latent_flips = 0;
+  uint64_t scrub_detected = 0;          // cluster scrub_mismatches_reported
+  uint64_t scrub_repaired = 0;          // cluster scrub_repairs_completed
+  uint64_t client_integrity_errors = 0; // client ops that saw kCorruption
+  double scrub_mttd_us = 0;             // inject -> last flip detected
+  double sweep_period_us = 0;           // configured sweep interval (the bound)
+
   // Health pipeline (gray device -> digest outlier -> degrade -> demotion).
   // Populated only when the plan enables health monitoring. A degraded
   // verdict on a device the engine never gray-faulted is recorded as a
@@ -60,6 +70,16 @@ struct ChaosReport {
 };
 
 ChaosReport RunChaos(const ChaosPlan& plan);
+
+// The latent-corruption drill (DESIGN.md §11): materialize every block, wait
+// for journal replay to put the data at rest, flip bytes in blocks the
+// workload will never read again, and drive hot traffic elsewhere while the
+// background scrubber sweeps. Passes iff every flip is detected within one
+// sweep period of the first post-injection sweep, every detection is
+// repaired, zero client ops observe kCorruption, and a final read-back of
+// every block (cold ones included) returns the pre-injection data.
+// Requires plan.cluster.scrub.enabled and stripe_group == 1.
+ChaosReport RunLatentScrub(const ChaosPlan& plan);
 
 }  // namespace ursa::chaos
 

@@ -1,5 +1,6 @@
 #include "src/cluster/chunk_server.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -33,7 +34,61 @@ Status ChunkServer::FreeChunk(ChunkId chunk) {
   URSA_RETURN_IF_ERROR(store_->Free(chunk));
   states_.erase(chunk);
   chunk_tenants_.erase(chunk);
+  scrub_quarantine_.erase(chunk);
+  if (checksums_ != nullptr) {
+    checksums_->Drop(chunk);
+  }
   return OkStatus();
+}
+
+std::vector<ChunkId> ChunkServer::HostedChunks() const {
+  std::vector<ChunkId> chunks;
+  chunks.reserve(states_.size());
+  for (const auto& [chunk, state] : states_) {
+    chunks.push_back(chunk);
+  }
+  return chunks;
+}
+
+void ChunkServer::AddScrubQuarantine(ChunkId chunk, uint64_t offset, uint64_t length) {
+  scrub_quarantine_[chunk].emplace_back(offset, length);
+}
+
+void ChunkServer::ClearScrubQuarantine(ChunkId chunk, uint64_t offset, uint64_t length) {
+  auto it = scrub_quarantine_.find(chunk);
+  if (it == scrub_quarantine_.end()) {
+    return;
+  }
+  auto& ranges = it->second;
+  ranges.erase(std::remove_if(ranges.begin(), ranges.end(),
+                              [offset, length](const std::pair<uint64_t, uint64_t>& r) {
+                                return r.first < offset + length && offset < r.first + r.second;
+                              }),
+               ranges.end());
+  if (ranges.empty()) {
+    scrub_quarantine_.erase(it);
+  }
+}
+
+bool ChunkServer::IsScrubQuarantined(ChunkId chunk, uint64_t offset, uint64_t length) const {
+  auto it = scrub_quarantine_.find(chunk);
+  if (it == scrub_quarantine_.end()) {
+    return false;
+  }
+  for (const auto& [qoff, qlen] : it->second) {
+    if (qoff < offset + length && offset < qoff + qlen) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t ChunkServer::scrub_quarantine_size() const {
+  size_t n = 0;
+  for (const auto& [chunk, ranges] : scrub_quarantine_) {
+    n += ranges.size();
+  }
+  return n;
 }
 
 uint64_t ChunkServer::TenantOf(ChunkId chunk) const {
@@ -137,6 +192,12 @@ void ChunkServer::HandleRead(ChunkId chunk, uint64_t offset, uint64_t length, ui
       done(VersionMismatch("replica version is stale"), st.version);
       return;
     }
+    if (IsScrubQuarantined(chunk, offset, length)) {
+      // Known-bad bytes are never served; repair (already in flight) clears
+      // the quarantine once fresh bytes land.
+      done(Corruption("range quarantined by scrub"), st.version);
+      return;
+    }
     ++reads_served_;
     uint64_t version = st.version;
     Nanos io_start = sim_->Now();
@@ -236,6 +297,9 @@ void ChunkServer::HandleWrite(ChunkId chunk, uint64_t offset, uint64_t length, u
       };
     }
     storage::IoTag tag{qos::ServiceClass::kForegroundWrite, TenantOf(chunk)};
+    if (!skip_local && checksums_ != nullptr) {
+      checksums_->OnWrite(chunk, offset, length, data.data());
+    }
     if (skip_local) {
       sim_->After(0, [local_leg]() { local_leg(OkStatus()); });
     } else if (journal_manager_ != nullptr) {
@@ -339,6 +403,9 @@ void ChunkServer::HandleReplicate(ChunkId chunk, uint64_t offset, uint64_t lengt
         ++replicates_served_;
         uint64_t new_version = st.version;
         journal_lite_.Record(chunk, new_version, offset, length);
+        if (checksums_ != nullptr) {
+          checksums_->OnWrite(chunk, offset, length, data.data());
+        }
         BackupWrite(chunk, offset, length, new_version, data,
                     [done = std::move(done), new_version](const Status& s) {
                       done(s, new_version);
@@ -374,6 +441,11 @@ void ChunkServer::HandleRecoveryRead(ChunkId chunk, uint64_t offset, uint64_t le
       return;
     }
     uint64_t version = it->second.version;
+    if (IsScrubQuarantined(chunk, offset, length)) {
+      // A replica with known-bad bytes in range is never a repair source.
+      done(Corruption("range quarantined by scrub"), version);
+      return;
+    }
     BackupRead(chunk, offset, length, out,
                [done = std::move(done), version](const Status& s) { done(s, version); },
                storage::IoTag{cls, TenantOf(chunk)});
@@ -393,6 +465,11 @@ void ChunkServer::HandleRecoveryWrite(ChunkId chunk, uint64_t offset, uint64_t l
                          done(NotFound("recovery target chunk not allocated"));
                          return;
                        }
+                       if (checksums_ != nullptr) {
+                         checksums_->OnWrite(chunk, offset, length, data.data());
+                       }
+                       // Fresh bytes heal whatever scrub flagged in range.
+                       ClearScrubQuarantine(chunk, offset, length);
                        store_->Write(chunk, offset, length, std::move(data), std::move(done),
                                      storage::IoTag{cls, TenantOf(chunk)});
                      });

@@ -29,6 +29,7 @@
 #include "src/net/transport.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/trace.h"
+#include "src/scrub/checksum_store.h"
 
 namespace ursa::cluster {
 
@@ -80,6 +81,8 @@ class ChunkServer {
   // QoS tenant recorded at allocation (0 when unknown).
   uint64_t TenantOf(ChunkId chunk) const;
   bool HasChunk(ChunkId chunk) const { return states_.find(chunk) != states_.end(); }
+  // Every chunk with a replica state here (the coordinator's sweep source).
+  std::vector<ChunkId> HostedChunks() const;
   Result<ReplicaState> GetState(ChunkId chunk) const;
   void SetState(ChunkId chunk, uint64_t version, uint64_t view);
   // View-only update preserving version and write identity (health demotion
@@ -89,6 +92,23 @@ class ChunkServer {
   // Fault injection: a crashed server drops every message (clients time out).
   void SetCrashed(bool crashed) { crashed_ = crashed; }
   bool crashed() const { return crashed_; }
+
+  // ---- Scrub integration (DESIGN.md §11) ----
+
+  // Attaches the per-server checksum ledger; every accepted write updates it
+  // (null data marks sectors unverifiable). Null detaches.
+  void SetChecksumStore(scrub::ChecksumStore* checksums) { checksums_ = checksums; }
+  scrub::ChecksumStore* checksum_store() const { return checksums_; }
+
+  // Scrub quarantine: a range flagged corrupt by the scrubber's ledger check.
+  // Quarantined ranges fail reads (foreground AND recovery-source) with
+  // kCorruption — known-bad bytes are never served and this replica is never
+  // a repair source for the damaged range. Repair completion (the recovery
+  // write landing fresh bytes) clears the overlap.
+  void AddScrubQuarantine(ChunkId chunk, uint64_t offset, uint64_t length);
+  void ClearScrubQuarantine(ChunkId chunk, uint64_t offset, uint64_t length);
+  bool IsScrubQuarantined(ChunkId chunk, uint64_t offset, uint64_t length) const;
+  size_t scrub_quarantine_size() const;
 
   // Hot-upgrade support (§5.2): a draining server has closed its service
   // port — new requests are dropped (clients retry elsewhere / later) while
@@ -207,6 +227,9 @@ class ChunkServer {
   ServerResolver resolver_;
   std::map<ChunkId, ReplicaState> states_;
   std::map<ChunkId, uint64_t> chunk_tenants_;  // QoS tenant (virtual disk id)
+  scrub::ChecksumStore* checksums_ = nullptr;  // null when scrub is disabled
+  // Ranges (offset, length) flagged corrupt by the scrubber, per chunk.
+  std::map<ChunkId, std::vector<std::pair<uint64_t, uint64_t>>> scrub_quarantine_;
   // Wraps a completion so inflight_ops_ tracks admitted requests. The
   // callback is held behind a shared_ptr so the wrapper stays copyable and
   // const-invocable inside nested non-mutable lambdas.

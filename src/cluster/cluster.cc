@@ -60,8 +60,17 @@ Cluster::Cluster(sim::Simulator* sim, const ClusterConfig& config)
   master_->RegisterMetrics(&metrics_);
 
   if (health_ != nullptr) {
+    // Continuous health weighting (DESIGN.md §11): the master breaks replica-
+    // rank ties with the live numeric score, so a *suspect* device sheds read
+    // preference before the binary demotion flag ever flips.
+    master_->SetHealthScoreProvider(
+        [this](ServerId sid) { return HealthScoreOfServer(sid); });
     // Close the detection loop: degraded devices demote their server's
-    // replicas at the master; recovering to healthy restores them.
+    // replicas at the master; recovering to healthy restores them. Every
+    // transition — including healthy->suspect — also re-weights layouts under
+    // the current scores (transition boundaries are exactly when scores have
+    // moved enough to matter; re-sorting every scoring pass would churn
+    // views).
     health_->SetTransitionHandler(
         [this](obs::HealthMonitor::DeviceId d, obs::HealthState from, obs::HealthState to) {
           ServerId sid = health_device_server_[d];
@@ -71,8 +80,29 @@ Cluster::Cluster(sim::Simulator* sim, const ClusterConfig& config)
                      to == obs::HealthState::kHealthy) {
             master_->SetServerDemoted(sid, false);
           }
+          master_->OnHealthScoresChanged();
         });
     health_->Start();
+  }
+
+  if (config.admission.enabled) {
+    // Cluster-wide per-source transfer pacing, shared by every transfer kind
+    // the master issues (DESIGN.md §11).
+    admission_ = std::make_unique<scrub::RecoveryAdmission>(sim, config.admission);
+    master_->SetAdmission(admission_.get());
+    scrub::RecoveryAdmission* adm = admission_.get();
+    metrics_.RegisterCallbackCounter("admission.grants", {},
+                                     [adm] { return static_cast<double>(adm->grants()); });
+    metrics_.RegisterCallbackCounter("admission.waits", {},
+                                     [adm] { return static_cast<double>(adm->waits()); });
+    metrics_.RegisterCallbackCounter(
+        "admission.scrub_yields", {},
+        [adm] { return static_cast<double>(adm->scrub_yields()); });
+    metrics_.RegisterCallbackGauge(
+        "admission.queued", {}, [adm] { return static_cast<double>(adm->QueuedTotal()); });
+    metrics_.RegisterCallbackGauge(
+        "admission.peak_in_flight", {},
+        [adm] { return static_cast<double>(adm->peak_in_flight()); });
   }
 
   if (config.slo.enabled && config.qos.enabled) {
@@ -110,14 +140,17 @@ Cluster::Cluster(sim::Simulator* sim, const ClusterConfig& config)
                                          uint64_t length, std::function<void()> healed) {
       // Retry until a healthy source exists: during a partition or multi-
       // fault window every peer may be unreachable, and giving up would
-      // strand the quarantine (reads would fail kCorruption forever).
+      // strand the quarantine (reads would fail kCorruption forever). A
+      // NotFound is terminal, not transient: replay scans can quarantine a
+      // record whose decoded chunk id is itself garbage (corrupt header), and
+      // no amount of retrying repairs a chunk the master never allocated.
       auto attempt = std::make_shared<std::function<void()>>();
       *attempt = [this, sid, chunk, offset, length, healed = std::move(healed), attempt]() {
         master_->RepairCorruptRange(chunk, sid, offset, length,
                                     [this, healed, attempt](Status s2) {
                                       if (s2.ok()) {
                                         healed();
-                                      } else {
+                                      } else if (s2.code() != StatusCode::kNotFound) {
                                         sim_->After(msec(100), *attempt);
                                       }
                                     });
@@ -126,12 +159,145 @@ Cluster::Cluster(sim::Simulator* sim, const ClusterConfig& config)
     });
   }
 
+  if (config.scrub.enabled) {
+    // Per-server checksum ledgers + scrub executors, and the master-side
+    // coordinator driving them (DESIGN.md §11).
+    for (auto& s : servers_) {
+      ChunkServer* server = s.get();
+      checksum_stores_.push_back(std::make_unique<scrub::ChecksumStore>(config.chunk_size));
+      server->SetChecksumStore(checksum_stores_.back().get());
+
+      scrub::Scrubber::Hooks hooks;
+      hooks.read = [this, server](storage::ChunkId chunk, uint64_t offset, uint64_t length,
+                                  void* out, std::function<void(const Status&)> done) {
+        if (server->crashed()) {
+          // A crashed server drops requests silently; fail fast instead of
+          // hanging the coordinator's in-flight slot.
+          sim_->After(0, [done = std::move(done)] { done(Unavailable("server crashed")); });
+          return;
+        }
+        server->HandleRecoveryRead(
+            chunk, offset, length, out,
+            [done = std::move(done)](const Status& s2, uint64_t) { done(s2); },
+            qos::ServiceClass::kScrub);
+      };
+      hooks.verify = [server](storage::ChunkId chunk, uint64_t offset, uint64_t length,
+                              const void* data) {
+        return server->checksum_store()->Verify(chunk, offset, length, data);
+      };
+      hooks.report = [this, server](storage::ChunkId chunk, uint64_t offset, uint64_t length) {
+        // A mismatch can be a benign race: a write landing during the
+        // scrubber's bulk read leaves fresh checksums in the ledger but stale
+        // bytes in the scrub buffer. Confirm with a targeted re-read of just
+        // the flagged run before quarantining — at-rest damage reproduces, a
+        // racing write verifies clean on the second look.
+        if (server->crashed()) {
+          return;  // next sweep re-checks after restore
+        }
+        auto buf = std::make_shared<std::vector<uint8_t>>(length);
+        server->HandleRecoveryRead(
+            chunk, offset, length, buf->data(),
+            [this, server, chunk, offset, length, buf](const Status& s, uint64_t) {
+              if (!s.ok()) {
+                // Journal-CRC failures already quarantined + kicked repair on
+                // their own path; anything else retries next sweep.
+                return;
+              }
+              if (server->checksum_store()->Verify(chunk, offset, length, buf->data()).ok) {
+                return;  // racing write, not corruption
+              }
+              // Scrub hit: quarantine first (no client ever reads the damaged
+              // bytes), then re-replicate the range from a healthy peer — the
+              // same pipeline a read-detected journal corruption takes. The
+              // recovery write landing at this server lifts the quarantine.
+              ++scrub_mismatches_reported_;
+              server->AddScrubQuarantine(chunk, offset, length);
+              ServerId sid = server->id();
+              auto attempt = std::make_shared<std::function<void()>>();
+              *attempt = [this, sid, chunk, offset, length, attempt]() {
+                master_->RepairCorruptRange(chunk, sid, offset, length,
+                                            [this, attempt](Status s2) {
+                                              if (s2.ok()) {
+                                                ++scrub_repairs_completed_;
+                                              } else if (s2.code() != StatusCode::kNotFound) {
+                                                sim_->After(msec(100), *attempt);
+                                              }
+                                            });
+              };
+              (*attempt)();
+            },
+            qos::ServiceClass::kScrub);
+      };
+      scrubbers_.push_back(
+          std::make_unique<scrub::Scrubber>(sim, config.scrub, std::move(hooks)));
+    }
+
+    metrics_.RegisterCallbackCounter("scrub.mismatches_reported", {}, [this] {
+      return static_cast<double>(scrub_mismatches_reported_);
+    });
+    metrics_.RegisterCallbackCounter("scrub.repairs_completed", {}, [this] {
+      return static_cast<double>(scrub_repairs_completed_);
+    });
+    metrics_.RegisterCallbackCounter("scrub.bytes_read", {}, [this] {
+      uint64_t total = 0;
+      for (const auto& sc : scrubbers_) {
+        total += sc->bytes_read();
+      }
+      return static_cast<double>(total);
+    });
+    metrics_.RegisterCallbackCounter("scrub.read_errors", {}, [this] {
+      uint64_t total = 0;
+      for (const auto& sc : scrubbers_) {
+        total += sc->read_errors();
+      }
+      return static_cast<double>(total);
+    });
+
+    scrub::ScrubCoordinator::Hooks chooks;
+    chooks.list_chunks = [this] {
+      std::vector<scrub::ScrubCoordinator::ChunkInfo> out;
+      for (const Master::ChunkPlacement& p : master_->ListChunks()) {
+        scrub::ScrubCoordinator::ChunkInfo info;
+        info.chunk = p.chunk;
+        info.size = p.size;
+        info.servers.assign(p.servers.begin(), p.servers.end());
+        out.push_back(std::move(info));
+      }
+      return out;
+    };
+    chooks.health_score = [this](uint64_t sid) {
+      return HealthScoreOfServer(static_cast<ServerId>(sid));
+    };
+    chooks.server_unavailable = [this](uint64_t sid) {
+      ChunkServer* server = servers_[sid].get();
+      return server->crashed() || server->draining();
+    };
+    chooks.scrub = [this](storage::ChunkId chunk, uint64_t sid, uint64_t size,
+                          std::function<void(scrub::Scrubber::ChunkResult)> done) {
+      scrubbers_[sid]->ScrubChunk(chunk, size, std::move(done));
+    };
+    scrub_coordinator_ = std::make_unique<scrub::ScrubCoordinator>(
+        sim, config.scrub, std::move(chooks), &metrics_);
+    scrub_coordinator_->Start();
+  }
+
   for (journal::JournalManager* jm : journal_manager_ptrs_) {
     jm->StartReplay();
   }
 }
 
 Cluster::~Cluster() = default;
+
+double Cluster::HealthScoreOfServer(ServerId server) const {
+  if (health_ == nullptr || server >= server_health_device_.size()) {
+    return 0.0;
+  }
+  int64_t device = server_health_device_[server];
+  if (device < 0) {
+    return 0.0;
+  }
+  return health_->score(static_cast<obs::HealthMonitor::DeviceId>(device));
+}
 
 void Cluster::RegisterHealthDevice(storage::BlockDevice* device, std::string name,
                                    std::string group, ServerId server) {
@@ -142,6 +308,10 @@ void Cluster::RegisterHealthDevice(storage::BlockDevice* device, std::string nam
       health_->RegisterDevice(std::move(name), std::move(group));
   URSA_CHECK_EQ(static_cast<size_t>(id), health_device_server_.size());
   health_device_server_.push_back(server);
+  if (server >= server_health_device_.size()) {
+    server_health_device_.resize(server + 1, -1);
+  }
+  server_health_device_[server] = static_cast<int64_t>(id);
   device->SetLatencyObserver(
       [hm = health_.get(), id](qos::ServiceClass cls, storage::IoType, Nanos latency) {
         hm->RecordLatency(id, cls, latency);

@@ -24,6 +24,11 @@
 #include "src/obs/trace.h"
 #include "src/qos/io_scheduler.h"
 #include "src/qos/slo_monitor.h"
+#include "src/scrub/checksum_store.h"
+#include "src/scrub/recovery_admission.h"
+#include "src/scrub/scrub_config.h"
+#include "src/scrub/scrub_coordinator.h"
+#include "src/scrub/scrubber.h"
 
 namespace ursa::cluster {
 
@@ -58,6 +63,14 @@ struct ClusterConfig {
   // `qos.enabled` (the controller acts through the per-device schedulers).
   // Self-schedules like the health monitor.
   qos::SloConfig slo;
+  // Background scrub (src/scrub, DESIGN.md §11). When `scrub.enabled`, every
+  // chunk server keeps a per-sector checksum ledger of accepted writes, and a
+  // master-side coordinator sweeps every replica once per `sweep_interval`
+  // under ServiceClass::kScrub. Self-schedules like the health monitor.
+  scrub::ScrubConfig scrub;
+  // Cluster-wide recovery admission: k-per-source-device transfer slots
+  // shared by recovery, demotion repair, and scrub re-replication.
+  scrub::AdmissionConfig admission;
 };
 
 class Cluster {
@@ -75,6 +88,18 @@ class Cluster {
   // Null unless the matching config block is enabled.
   obs::HealthMonitor* health_monitor() { return health_.get(); }
   qos::SloMonitor* slo_monitor() { return slo_.get(); }
+  scrub::ScrubCoordinator* scrub_coordinator() { return scrub_coordinator_.get(); }
+  scrub::RecoveryAdmission* recovery_admission() { return admission_.get(); }
+  // Per-server scrub executor (null index range when scrub is disabled).
+  scrub::Scrubber* scrubber(ServerId id) {
+    return id < scrubbers_.size() ? scrubbers_[id].get() : nullptr;
+  }
+  // HealthMonitor score of the device behind `server` (0 when unscored or
+  // health is disabled).
+  double HealthScoreOfServer(ServerId server) const;
+  // Scrub-detected media corruptions reported (and repairs completed).
+  uint64_t scrub_mismatches_reported() const { return scrub_mismatches_reported_; }
+  uint64_t scrub_repairs_completed() const { return scrub_repairs_completed_; }
   // Server hosting the device behind a health DeviceId.
   ServerId ServerOfHealthDevice(obs::HealthMonitor::DeviceId d) const {
     return health_device_server_[d];
@@ -127,6 +152,7 @@ class Cluster {
   // alive past the devices makes the ordering trivially safe.
   std::unique_ptr<obs::HealthMonitor> health_;
   std::vector<ServerId> health_device_server_;  // health DeviceId -> server
+  std::vector<int64_t> server_health_device_;   // server -> DeviceId (-1 = none)
   std::unique_ptr<net::Transport> transport_;
   std::vector<std::unique_ptr<Machine>> machines_;
   // After machines_: schedulers reference machine-owned devices, so they are
@@ -141,6 +167,15 @@ class Cluster {
   std::vector<std::vector<ServerId>> backup_pool_;   // per machine
   std::unique_ptr<Master> master_;
   std::unique_ptr<qos::SloMonitor> slo_;  // references schedulers_; last
+  // Scrub subsystem (built after master_; destroyed before it). The
+  // admission controller outlives the master's raw pointer use because no
+  // events run during destruction.
+  std::unique_ptr<scrub::RecoveryAdmission> admission_;
+  std::vector<std::unique_ptr<scrub::ChecksumStore>> checksum_stores_;  // per server
+  std::vector<std::unique_ptr<scrub::Scrubber>> scrubbers_;             // per server
+  std::unique_ptr<scrub::ScrubCoordinator> scrub_coordinator_;
+  uint64_t scrub_mismatches_reported_ = 0;
+  uint64_t scrub_repairs_completed_ = 0;
 };
 
 }  // namespace ursa::cluster

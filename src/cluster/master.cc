@@ -25,6 +25,86 @@ Master::Master(sim::Simulator* sim, net::Transport* transport, Placement placeme
       placement_(std::move(placement)),
       servers_(std::move(servers)) {}
 
+bool Master::PreferReplica(const ReplicaRef& a, const ReplicaRef& b) const {
+  int rank_a = ReplicaRank(a);
+  int rank_b = ReplicaRank(b);
+  if (rank_a != rank_b) {
+    return rank_a < rank_b;
+  }
+  // Continuous health tiebreak: at equal rank, steer toward the replica whose
+  // device scores lower — but only once a side clears the deadband, so the
+  // µs-level score jitter between two genuinely healthy devices never churns
+  // layouts (each churn costs a view change).
+  if (health_score_) {
+    double score_a = health_score_(a.server);
+    double score_b = health_score_(b.server);
+    if (score_a != score_b && std::max(score_a, score_b) >= health_score_deadband_) {
+      return score_a < score_b;
+    }
+  }
+  return false;  // equivalent: stable sorts keep the existing order
+}
+
+void Master::SortLayout(ChunkLayout* layout) {
+  std::stable_sort(
+      layout->replicas.begin(), layout->replicas.end(),
+      [this](const ReplicaRef& a, const ReplicaRef& b) { return PreferReplica(a, b); });
+}
+
+void Master::OnHealthScoresChanged() {
+  if (!health_score_) {
+    return;
+  }
+  for (auto& [disk_id, meta] : disks_) {
+    for (ChunkLayout& layout : meta.chunks) {
+      std::vector<ServerId> before;
+      before.reserve(layout.replicas.size());
+      for (const ReplicaRef& r : layout.replicas) {
+        before.push_back(r.server);
+      }
+      SortLayout(&layout);
+      bool changed = false;
+      for (size_t i = 0; i < before.size(); ++i) {
+        if (layout.replicas[i].server != before[i]) {
+          changed = true;
+          break;
+        }
+      }
+      if (!changed) {
+        continue;
+      }
+      // Same client-resteer protocol as demotion: bump the view, install it
+      // on alive replicas, and let the stale-view VersionMismatch redirect
+      // lease holders to the new preferred order.
+      ++layout.view;
+      ++recovery_stats_.view_changes;
+      for (const ReplicaRef& r : layout.replicas) {
+        if (!servers_[r.server]->crashed()) {
+          servers_[r.server]->SetView(layout.chunk, layout.view);
+        }
+      }
+    }
+  }
+}
+
+std::vector<Master::ChunkPlacement> Master::ListChunks() const {
+  std::vector<ChunkPlacement> out;
+  out.reserve(chunk_refs_.size());
+  for (const auto& [disk_id, meta] : disks_) {
+    for (const ChunkLayout& layout : meta.chunks) {
+      ChunkPlacement p;
+      p.chunk = layout.chunk;
+      p.size = meta.chunk_size;
+      p.servers.reserve(layout.replicas.size());
+      for (const ReplicaRef& r : layout.replicas) {
+        p.servers.push_back(r.server);
+      }
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
 void Master::SetServerDemoted(ServerId server, bool demoted) {
   URSA_CHECK_LT(server, servers_.size());
   if (demoted == IsDemoted(server)) {
@@ -49,9 +129,7 @@ void Master::SetServerDemoted(ServerId server, bool demoted) {
       if (!touched) {
         continue;
       }
-      std::stable_sort(
-          layout.replicas.begin(), layout.replicas.end(),
-          [](const ReplicaRef& a, const ReplicaRef& b) { return ReplicaRank(a) < ReplicaRank(b); });
+      SortLayout(&layout);
       // Bump the view and install it on the alive replicas: clients holding
       // the old layout get VersionMismatch("stale view") on their next op,
       // refresh, and re-steer. Crashed replicas miss the install and resync
@@ -226,6 +304,54 @@ ChunkLayout* Master::FindLayout(ChunkId chunk) {
 void Master::TransferChunk(ChunkId chunk, ChunkServer* source, ChunkServer* target,
                            uint64_t chunk_size, std::function<void(Status, uint64_t)> done,
                            qos::ServiceClass cls) {
+  if (admission_ != nullptr) {
+    // Cluster-wide per-source pacing: the piece pump starts only once this
+    // source device has a free transfer slot, and holds it until `done`.
+    auto priority = cls == qos::ServiceClass::kScrub
+                        ? scrub::RecoveryAdmission::Priority::kScrub
+                        : scrub::RecoveryAdmission::Priority::kRecovery;
+    uint64_t source_id = source->id();
+    auto released = [this, source_id, done = std::move(done)](Status s, uint64_t version) {
+      admission_->Release(source_id);
+      done(s, version);
+    };
+    admission_->Acquire(source_id, priority,
+                        [this, chunk, source, target, chunk_size, cls,
+                         released = std::move(released)]() mutable {
+                          TransferChunkNow(chunk, source, target, chunk_size,
+                                           std::move(released), cls);
+                        });
+    return;
+  }
+  TransferChunkNow(chunk, source, target, chunk_size, std::move(done), cls);
+}
+
+void Master::TransferRanges(ChunkId chunk, ChunkServer* source, ChunkServer* target,
+                            std::vector<Interval> ranges, std::function<void(Status)> done,
+                            qos::ServiceClass cls) {
+  if (admission_ != nullptr && !ranges.empty()) {
+    auto priority = cls == qos::ServiceClass::kScrub
+                        ? scrub::RecoveryAdmission::Priority::kScrub
+                        : scrub::RecoveryAdmission::Priority::kRecovery;
+    uint64_t source_id = source->id();
+    auto released = [this, source_id, done = std::move(done)](Status s) {
+      admission_->Release(source_id);
+      done(s);
+    };
+    admission_->Acquire(source_id, priority,
+                        [this, chunk, source, target, cls, ranges = std::move(ranges),
+                         released = std::move(released)]() mutable {
+                          TransferRangesNow(chunk, source, target, std::move(ranges),
+                                            std::move(released), cls);
+                        });
+    return;
+  }
+  TransferRangesNow(chunk, source, target, std::move(ranges), std::move(done), cls);
+}
+
+void Master::TransferChunkNow(ChunkId chunk, ChunkServer* source, ChunkServer* target,
+                              uint64_t chunk_size, std::function<void(Status, uint64_t)> done,
+                              qos::ServiceClass cls) {
   // Sliding window of `recovery_window_` pieces, each `recovery_piece_`
   // bytes: read at the source (journal-aware), ship over the network, write
   // at the target. Saturates the target's inbound NIC when sources are fast
@@ -315,9 +441,9 @@ void Master::TransferChunk(ChunkId chunk, ChunkServer* source, ChunkServer* targ
   (*pump)();
 }
 
-void Master::TransferRanges(ChunkId chunk, ChunkServer* source, ChunkServer* target,
-                            std::vector<Interval> ranges, std::function<void(Status)> done,
-                            qos::ServiceClass cls) {
+void Master::TransferRangesNow(ChunkId chunk, ChunkServer* source, ChunkServer* target,
+                               std::vector<Interval> ranges, std::function<void(Status)> done,
+                               qos::ServiceClass cls) {
   if (ranges.empty()) {
     sim_->After(0, [done = std::move(done)]() { done(OkStatus()); });
     return;
@@ -419,21 +545,20 @@ void Master::ReportReplicaFailure(ChunkId chunk, ServerId failed,
 
   uint64_t version_h = 0;
   ChunkServer* source = nullptr;
-  int source_rank = 99;
+  const ReplicaRef* source_ref = nullptr;
   for (const ReplicaRef& r : survivors) {
     Result<ChunkServer::ReplicaState> st = servers_[r.server]->GetState(chunk);
     if (!st.ok()) {
       continue;
     }
     // Version first (a stale source would hide committed writes); at equal
-    // versions prefer healthy over demoted, SSD over HDD (faster reads, and
-    // a gray-slow source would drag the whole transfer).
-    int rank = ReplicaRank(r);
+    // versions prefer healthy over demoted, SSD over HDD, and lower health
+    // score (a gray-slow source would drag the whole transfer).
     if (source == nullptr || st->version > version_h ||
-        (st->version == version_h && rank < source_rank)) {
+        (st->version == version_h && PreferReplica(r, *source_ref))) {
       version_h = st->version;
       source = servers_[r.server];
-      source_rank = rank;
+      source_ref = &r;
     }
   }
   if (source == nullptr) {
@@ -520,11 +645,9 @@ void Master::ReportReplicaFailure(ChunkId chunk, ServerId failed,
             }
           }
           layout->view = new_view;
-          // Keep the preferred primary first (a healthy SSD replica if any).
-          std::stable_sort(layout->replicas.begin(), layout->replicas.end(),
-                           [](const ReplicaRef& a, const ReplicaRef& b) {
-                             return ReplicaRank(a) < ReplicaRank(b);
-                           });
+          // Keep the preferred primary first (a healthy SSD replica if any,
+          // health-score tiebroken).
+          SortLayout(layout);
           ++recovery_stats_.chunks_recovered;
           ++recovery_stats_.view_changes;
           done(OkStatus());
@@ -580,7 +703,7 @@ void Master::RepairCorruptRange(ChunkId chunk, ServerId corrupt_server, uint64_t
   // the flipped bits destroyed its data, not its metadata.
   ChunkServer* source = nullptr;
   uint64_t best_version = 0;
-  int best_rank = 99;
+  const ReplicaRef* best_ref = nullptr;
   for (const ReplicaRef& r : layout->replicas) {
     if (r.server == corrupt_server || servers_[r.server]->crashed()) {
       continue;
@@ -589,12 +712,11 @@ void Master::RepairCorruptRange(ChunkId chunk, ServerId corrupt_server, uint64_t
     if (!st.ok()) {
       continue;
     }
-    int rank = ReplicaRank(r);
     if (source == nullptr || st->version > best_version ||
-        (st->version == best_version && rank < best_rank)) {
+        (st->version == best_version && PreferReplica(r, *best_ref))) {
       best_version = st->version;
       source = servers_[r.server];
-      best_rank = rank;
+      best_ref = &r;
     }
   }
   if (source == nullptr) {
@@ -629,7 +751,7 @@ void Master::RepairReplica(ChunkId chunk, ServerId lagging, std::function<void(S
   // Find the freshest peer (healthy over demoted, SSD over HDD at ties).
   uint64_t version_h = lag_state->version;
   ChunkServer* source = nullptr;
-  int source_rank = 99;
+  const ReplicaRef* source_ref = nullptr;
   for (const ReplicaRef& r : layout->replicas) {
     if (r.server == lagging || servers_[r.server]->crashed()) {
       continue;
@@ -638,12 +760,11 @@ void Master::RepairReplica(ChunkId chunk, ServerId lagging, std::function<void(S
     if (!st.ok() || st->version <= lag_state->version) {
       continue;
     }
-    int rank = ReplicaRank(r);
     if (source == nullptr || st->version > version_h ||
-        (st->version == version_h && rank < source_rank)) {
+        (st->version == version_h && PreferReplica(r, *source_ref))) {
       version_h = st->version;
       source = servers_[r.server];
-      source_rank = rank;
+      source_ref = &r;
     }
   }
   if (source == nullptr) {

@@ -19,6 +19,7 @@
 #include "src/cluster/placement.h"
 #include "src/cluster/types.h"
 #include "src/net/transport.h"
+#include "src/scrub/recovery_admission.h"
 
 namespace ursa::cluster {
 
@@ -108,6 +109,43 @@ class Master {
   bool IsDemoted(ServerId server) const { return demoted_.count(server) > 0; }
   const std::set<ServerId>& demoted_servers() const { return demoted_; }
 
+  // ---- Continuous health weighting (DESIGN.md §11) ----
+
+  // Supplies the HealthMonitor's numeric score for a server's device (windowed
+  // p99 / peer median; 0 while unscored). With a provider installed, replica
+  // ordering and recovery-source selection break rank ties toward the lower
+  // score once either side crosses `health_score_deadband` — a *suspect*
+  // device sheds read preference gracefully before the binary demotion flag
+  // ever flips.
+  void SetHealthScoreProvider(std::function<double(ServerId)> fn) {
+    health_score_ = std::move(fn);
+  }
+  void set_health_score_deadband(double d) { health_score_deadband_ = d; }
+
+  // Re-sorts every layout under the current health scores; bumps the view
+  // (and installs it) only for layouts whose replica order actually changed.
+  // The cluster calls this on every health transition, including ->suspect.
+  void OnHealthScoresChanged();
+
+  // ---- Recovery admission (DESIGN.md §11) ----
+
+  // Installs the cluster-wide per-source transfer admission controller.
+  // Every transfer the master issues — failure recovery, demotion-steered
+  // repair, scrub corruption repair — acquires a source slot before its piece
+  // pump starts; scrub-class transfers yield to recovery-class ones.
+  void SetAdmission(scrub::RecoveryAdmission* admission) { admission_ = admission; }
+  scrub::RecoveryAdmission* admission() const { return admission_; }
+
+  // ---- Scrub support (DESIGN.md §11) ----
+
+  // Every chunk's current placement (the scrub coordinator's sweep source).
+  struct ChunkPlacement {
+    ChunkId chunk = 0;
+    uint64_t size = 0;
+    std::vector<ServerId> servers;
+  };
+  std::vector<ChunkPlacement> ListChunks() const;
+
   // ---- Master recovery (§4.2.2: "the master is recovered first") ----
   // The master's durable state is its metadata; a restart restores the
   // checkpoint and re-verifies replica versions lazily through the normal
@@ -159,14 +197,29 @@ class Master {
   // target device has an I/O gate, the piece pump pauses at the recovery
   // class's queue-depth high watermark and resumes on drain (backpressure —
   // recovery yields to foreground instead of flooding the device queue).
+  // With an admission controller installed, the transfer first acquires a
+  // per-source slot (and releases it when `done` fires).
   void TransferChunk(ChunkId chunk, ChunkServer* source, ChunkServer* target,
                      uint64_t chunk_size, std::function<void(Status, uint64_t)> done,
                      qos::ServiceClass cls = qos::ServiceClass::kRecovery);
 
-  // Copies specific ranges (incremental repair / corruption scrub).
+  // Copies specific ranges (incremental repair / corruption scrub). Same
+  // admission contract as TransferChunk.
   void TransferRanges(ChunkId chunk, ChunkServer* source, ChunkServer* target,
                       std::vector<Interval> ranges, std::function<void(Status)> done,
                       qos::ServiceClass cls = qos::ServiceClass::kRecovery);
+
+  // Un-admitted piece pumps (the bodies of the above).
+  void TransferChunkNow(ChunkId chunk, ChunkServer* source, ChunkServer* target,
+                        uint64_t chunk_size, std::function<void(Status, uint64_t)> done,
+                        qos::ServiceClass cls);
+  void TransferRangesNow(ChunkId chunk, ChunkServer* source, ChunkServer* target,
+                         std::vector<Interval> ranges, std::function<void(Status)> done,
+                         qos::ServiceClass cls);
+
+  // Rank-first replica preference with the continuous-health tiebreak.
+  bool PreferReplica(const ReplicaRef& a, const ReplicaRef& b) const;
+  void SortLayout(ChunkLayout* layout);
 
   ChunkLayout* FindLayout(ChunkId chunk);
 
@@ -185,6 +238,9 @@ class Master {
   bool recovery_carries_data_ = true;
   RecoveryStats recovery_stats_;
   std::set<ServerId> demoted_;  // health-demoted servers
+  std::function<double(ServerId)> health_score_;  // null = binary demotion only
+  double health_score_deadband_ = 1.5;
+  scrub::RecoveryAdmission* admission_ = nullptr;  // null = watermark-only pacing
 };
 
 }  // namespace ursa::cluster

@@ -282,12 +282,18 @@ void JournalManager::Read(storage::ChunkId chunk, uint64_t offset, uint64_t leng
 
 void JournalManager::RecoverFromJournals(storage::IoCallback done) {
   indexes_.clear();
-  quarantine_.clear();  // rebuilt from scratch: scans re-detect damage
+  // The quarantine is volatile, but it is NOT safe to simply forget it: a
+  // crash mid-repair would otherwise resurrect reads of damaged ranges. The
+  // scans below re-detect every mid-ring corrupt record (decodable header,
+  // failed CRC) and `finish` re-quarantines those ranges and re-kicks the
+  // repair pipeline before any read is served.
+  quarantine_.clear();
   auto remaining = std::make_shared<size_t>(journals_.size());
   auto first_error = std::make_shared<Status>();
   auto all = std::make_shared<std::vector<std::vector<AppendedRecord>>>(journals_.size());
+  auto reports = std::make_shared<std::vector<ScanReport>>(journals_.size());
   auto done_shared = std::make_shared<storage::IoCallback>(std::move(done));
-  auto finish = [this, remaining, first_error, all, done_shared]() {
+  auto finish = [this, remaining, first_error, all, reports, done_shared]() {
     if (--*remaining > 0) {
       return;
     }
@@ -329,12 +335,36 @@ void JournalManager::RecoverFromJournals(storage::IoCallback done) {
     for (size_t k = 0; k < journals_.size(); ++k) {
       journals_[k].writer->RestorePending(std::move((*all)[k]));
     }
+    // Re-arm quarantines for settled records damaged in place (crash during
+    // an in-flight corruption repair, or silent damage while down). The range
+    // must fail reads with kCorruption — never stale HDD bytes — until the
+    // repair pipeline lands fresh data and clears it.
+    for (size_t k = 0; k < reports->size(); ++k) {
+      for (const ScanReport::CorruptRange& cr : (*reports)[k].corrupt_ranges) {
+        if (IsQuarantined(cr.chunk, cr.offset, cr.length)) {
+          continue;  // overlapping damage already re-armed
+        }
+        corruptions_detected_->Increment();
+        URSA_LOG(INFO) << journals_[k].writer->name()
+                       << ": re-quarantined corrupt record for chunk " << cr.chunk << " ["
+                       << cr.offset << ", +" << cr.length << ") after rebuild";
+        AddQuarantine(cr.chunk, cr.offset, cr.length);
+        if (corruption_handler_) {
+          corruption_handler_(cr.chunk, cr.offset, cr.length,
+                              [this, chunk = cr.chunk, offset = cr.offset,
+                               length = cr.length]() {
+                                ClearQuarantine(chunk, offset, length);
+                                corruptions_repaired_->Increment();
+                              });
+        }
+      }
+    }
     active_ = 0;
     Kick();
     (*done_shared)(OkStatus());
   };
   for (size_t k = 0; k < journals_.size(); ++k) {
-    journals_[k].writer->Scan([this, k, all, first_error, finish](
+    journals_[k].writer->Scan([this, k, all, reports, first_error, finish](
                                   const Status& s, std::vector<AppendedRecord> records,
                                   ScanReport report) {
       if (!s.ok() && first_error->ok()) {
@@ -347,6 +377,7 @@ void JournalManager::RecoverFromJournals(storage::IoCallback done) {
                        << report.torn_tail_bytes << " bytes";
       }
       (*all)[k] = std::move(records);
+      (*reports)[k] = std::move(report);
       finish();
     });
   }

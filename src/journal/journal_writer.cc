@@ -178,6 +178,9 @@ void JournalWriter::Scan(ScanCallback done) {
     struct CorruptAt {
       uint64_t pos;
       uint64_t footprint;
+      storage::ChunkId chunk;
+      uint64_t chunk_offset;
+      uint64_t length;
     };
     std::vector<CorruptAt> corrupt;
     ScanReport report;
@@ -193,7 +196,8 @@ void JournalWriter::Scan(ScanCallback done) {
           header->invalidation() ? nullptr : image->data() + pos + kSector;
       if (header->crc != header->ComputeCrc(payload)) {
         ++report.corrupt_sectors;
-        corrupt.push_back(CorruptAt{pos, header->Footprint()});
+        corrupt.push_back(CorruptAt{pos, header->Footprint(), header->chunk_id,
+                                    header->chunk_offset, header->length});
         pos += kSector;  // torn or stale record
         continue;
       }
@@ -223,6 +227,11 @@ void JournalWriter::Scan(ScanCallback done) {
       if (c.pos >= valid_end) {
         ++report.torn_tail_records;
         report.torn_tail_bytes += std::min(c.footprint, region_length_ - c.pos);
+      } else {
+        // Settled data damaged in place: the manager must re-quarantine this
+        // range on rebuild (a torn tail is just truncated instead).
+        report.corrupt_ranges.push_back(
+            ScanReport::CorruptRange{c.chunk, c.chunk_offset, c.length});
       }
     }
     done(OkStatus(), std::move(records), report);

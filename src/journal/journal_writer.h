@@ -54,6 +54,20 @@ struct ScanReport {
   uint64_t corrupt_sectors = 0;    // plausible header, CRC mismatch (anywhere)
   uint64_t torn_tail_records = 0;  // corrupt records past the last valid one
   uint64_t torn_tail_bytes = 0;    // bytes truncated with them
+
+  // Chunk ranges of MID-RING corrupt records (decodable header, CRC failure,
+  // before the last valid record — i.e. settled data damaged in place, not a
+  // crash-torn tail). The manager re-quarantines these on rebuild: a crash
+  // during an in-flight corruption repair must not let the restart forget the
+  // damage and resurrect corrupt reads. Covers corrupt invalidation markers
+  // too — dropping one silently would resurrect the older appends it
+  // superseded.
+  struct CorruptRange {
+    storage::ChunkId chunk = 0;
+    uint64_t offset = 0;
+    uint64_t length = 0;
+  };
+  std::vector<CorruptRange> corrupt_ranges;
 };
 
 class JournalWriter {

@@ -1,0 +1,80 @@
+// Cluster-wide recovery admission: k concurrent transfers per source device.
+//
+// The master's transfer pump already paces per TARGET via the recovery
+// class's queue-depth watermark, but nothing bounds how many transfers read
+// from one SOURCE — a recovery storm (many chunks re-replicating off the same
+// surviving SSD) fans out unboundedly and the source's foreground tenants pay
+// for it. This controller grants per-source transfer slots: at most
+// `per_source` concurrent transfers may read from any one source, waiters
+// queue FIFO within two priority bands, and scrub-triggered re-replication
+// always yields to failure recovery (a missing replica beats a damaged
+// range — the damaged range is quarantined and unreadable either way).
+//
+// One controller is shared by every transfer the master issues: failure
+// recovery, demotion-steered repair, and scrub corruption repair.
+#ifndef URSA_SCRUB_RECOVERY_ADMISSION_H_
+#define URSA_SCRUB_RECOVERY_ADMISSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "src/obs/metrics_registry.h"
+#include "src/scrub/scrub_config.h"
+#include "src/sim/simulator.h"
+
+namespace ursa::scrub {
+
+class RecoveryAdmission {
+ public:
+  enum class Priority : uint8_t { kRecovery = 0, kScrub = 1 };
+
+  // A null registry skips metrics (standalone unit tests).
+  RecoveryAdmission(sim::Simulator* sim, const AdmissionConfig& config,
+                    obs::MetricsRegistry* registry = nullptr);
+
+  // Requests a transfer slot on `source`; `grant` runs (asynchronously) once
+  // a slot is available. The caller MUST Release(source) exactly once after
+  // the granted transfer completes. When the controller is disabled every
+  // acquire is granted immediately (legacy watermark-only pacing).
+  void Acquire(uint64_t source, Priority priority, std::function<void()> grant);
+  void Release(uint64_t source);
+
+  bool enabled() const { return config_.enabled; }
+  int per_source() const { return config_.per_source; }
+  int InFlight(uint64_t source) const;
+  size_t QueuedTotal() const;
+
+  // ---- Stats ----
+  uint64_t grants() const { return grants_; }
+  uint64_t waits() const { return waits_; }          // acquires that queued
+  uint64_t scrub_yields() const { return scrub_yields_; }  // recovery granted past queued scrub
+  int peak_in_flight() const { return peak_in_flight_; }   // max on any one source
+
+ private:
+  struct Waiter {
+    Priority priority;
+    uint64_t order;  // global FIFO sequencing within a band
+    std::function<void()> grant;
+  };
+  struct SourceState {
+    int in_flight = 0;
+    std::deque<Waiter> queue;  // both bands; scheduling picks by priority
+  };
+
+  void GrantNext(uint64_t source);
+
+  sim::Simulator* sim_;
+  AdmissionConfig config_;
+  std::map<uint64_t, SourceState> sources_;
+  uint64_t next_order_ = 0;
+  uint64_t grants_ = 0;
+  uint64_t waits_ = 0;
+  uint64_t scrub_yields_ = 0;
+  int peak_in_flight_ = 0;
+};
+
+}  // namespace ursa::scrub
+
+#endif  // URSA_SCRUB_RECOVERY_ADMISSION_H_

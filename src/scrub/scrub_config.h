@@ -1,0 +1,56 @@
+// Configuration for the background scrub subsystem (DESIGN.md §11).
+//
+// Two independent knobs live here because the master consumes both: the
+// scrubber/coordinator pair that proactively verifies cold chunk data under
+// ServiceClass::kScrub, and the cluster-wide recovery admission controller
+// that caps concurrent transfers per *source* device — shared by failure
+// recovery, demotion-steered repair, and scrub-triggered re-replication.
+#ifndef URSA_SCRUB_SCRUB_CONFIG_H_
+#define URSA_SCRUB_SCRUB_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/common/units.h"
+
+namespace ursa::scrub {
+
+struct ScrubConfig {
+  bool enabled = false;
+
+  // Target period of one full sweep (every replica of every chunk verified
+  // once). The coordinator paces task starts so a sweep takes roughly this
+  // long; an overrunning sweep starts its successor immediately.
+  Nanos sweep_interval = sec(10);
+
+  // Coordinator scheduling cadence: how often eligible tasks are (re)started.
+  Nanos tick_interval = msec(20);
+
+  // Bytes per scrub read. Small pieces keep a single verification from
+  // monopolizing the device queue; the kScrub QoS class additionally yields
+  // to every foreground and recovery class.
+  uint64_t read_bytes = 256 * kKiB;
+
+  // Concurrency caps: at most one scrub task per server (a scrubber is
+  // background load, never a second storm) and a cluster-wide ceiling.
+  int per_server_concurrent = 1;
+  int max_concurrent = 4;
+
+  // Health-aware ordering: a chunk is prioritized when any peer replica's
+  // health score (windowed p99 / peer median, see obs::HealthMonitor) is at
+  // or above this ratio — its siblings may soon be the last good copies.
+  double peer_risk_score = 1.5;
+};
+
+// Cluster-wide recovery admission (master-side): at most `per_source`
+// concurrent transfers may read from any one source device. Replaces
+// per-target-watermark-only pacing as the storm-shaping mechanism — a source
+// SSD serving foreground traffic is never saturated by an unbounded fan-out
+// of recovery reads.
+struct AdmissionConfig {
+  bool enabled = true;
+  int per_source = 2;
+};
+
+}  // namespace ursa::scrub
+
+#endif  // URSA_SCRUB_SCRUB_CONFIG_H_

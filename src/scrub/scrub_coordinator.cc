@@ -1,0 +1,233 @@
+#include "src/scrub/scrub_coordinator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace ursa::scrub {
+
+ScrubCoordinator::ScrubCoordinator(sim::Simulator* sim, const ScrubConfig& config, Hooks hooks,
+                                   obs::MetricsRegistry* registry)
+    : sim_(sim), config_(config), hooks_(std::move(hooks)) {
+  URSA_CHECK(hooks_.list_chunks && hooks_.health_score && hooks_.server_unavailable &&
+             hooks_.scrub);
+  URSA_CHECK_GT(config_.sweep_interval, 0);
+  if (registry != nullptr) {
+    registry->RegisterCallbackCounter("scrub.sweeps_completed", {},
+                                      [this] { return static_cast<double>(sweeps_completed_); });
+    registry->RegisterCallbackCounter("scrub.tasks_completed", {},
+                                      [this] { return static_cast<double>(tasks_completed_); });
+    registry->RegisterCallbackCounter("scrub.tasks_skipped", {},
+                                      [this] { return static_cast<double>(tasks_skipped_); });
+    registry->RegisterCallbackGauge("scrub.in_flight", {},
+                                    [this] { return static_cast<double>(in_flight()); });
+    registry->RegisterCallbackGauge("scrub.epoch", {},
+                                    [this] { return static_cast<double>(epoch_); });
+    task_duration_ = registry->GetHistogram("scrub.task_duration_us");
+  }
+}
+
+void ScrubCoordinator::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  ++generation_;
+  ScheduleTick();
+}
+
+void ScrubCoordinator::Stop() {
+  running_ = false;
+  ++generation_;
+}
+
+void ScrubCoordinator::ScheduleTick() {
+  uint64_t gen = generation_;
+  sim_->After(config_.tick_interval, [this, gen] {
+    if (!running_ || gen != generation_) {
+      return;
+    }
+    Tick();
+    ScheduleTick();
+  });
+}
+
+void ScrubCoordinator::BeginSweep(Nanos now) {
+  ++epoch_;
+  sweep_start_ = now;
+  sweep_done_ = 0;
+  pending_.clear();
+
+  std::vector<ChunkInfo> chunks = hooks_.list_chunks();
+  // A device is "risky" once its health score crosses the configured ratio —
+  // suspect territory, even before the HealthMonitor demotes it.
+  for (const ChunkInfo& info : chunks) {
+    bool any_risky = false;
+    for (uint64_t s : info.servers) {
+      if (hooks_.health_score(s) >= config_.peer_risk_score) {
+        any_risky = true;
+        break;
+      }
+    }
+    for (uint64_t s : info.servers) {
+      Task t;
+      t.chunk = info.chunk;
+      t.server = s;
+      t.size = info.size;
+      // Prioritize the PEERS of the risky device: they may soon hold the
+      // last good copies. The risky replica itself is ranked normally (its
+      // bytes are still re-verified this sweep, just not first — and its
+      // device is already struggling, so don't lead with load on it).
+      t.risky = any_risky && hooks_.health_score(s) < config_.peer_risk_score;
+      pending_.push_back(t);
+    }
+  }
+  std::stable_sort(pending_.begin(), pending_.end(), [this](const Task& a, const Task& b) {
+    if (a.risky != b.risky) {
+      return a.risky;  // risky-peer tasks first
+    }
+    uint64_t ea = LastVerifiedEpoch(a.chunk, a.server);
+    uint64_t eb = LastVerifiedEpoch(b.chunk, b.server);
+    return ea < eb;  // least recently verified first
+  });
+  sweep_total_ = pending_.size();
+}
+
+void ScrubCoordinator::Tick() {
+  Nanos now = sim_->Now();
+  if (epoch_ == 0) {
+    BeginSweep(now);
+  }
+  // Sweep complete (every task either finished or skipped, none in flight):
+  // the next one starts at sweep_start + sweep_interval, or immediately when
+  // the sweep overran its period.
+  if (pending_.empty() && chunks_in_flight_.empty() && sweep_total_ > 0) {
+    if (sweeps_completed_ < epoch_) {
+      last_sweep_duration_ = now - sweep_start_;
+      sweeps_completed_ = epoch_;
+    }
+    if (now >= sweep_start_ + config_.sweep_interval) {
+      BeginSweep(now);
+    } else {
+      return;
+    }
+  } else if (pending_.empty() && chunks_in_flight_.empty()) {
+    // Empty cluster; retry the listing next sweep boundary.
+    if (now >= sweep_start_ + config_.sweep_interval) {
+      BeginSweep(now);
+    }
+    return;
+  }
+
+  // Pace task starts across the sweep interval so verification load is flat
+  // rather than front-loaded: by elapsed fraction f of the interval, about
+  // f * sweep_total tasks should have started.
+  double elapsed = static_cast<double>(now - sweep_start_);
+  double frac = std::min(1.0, elapsed / static_cast<double>(config_.sweep_interval));
+  size_t target = static_cast<size_t>(frac * static_cast<double>(sweep_total_)) + 1;
+  target = std::min(target, sweep_total_);
+
+  size_t started_or_done = sweep_total_ - pending_.size();
+  for (auto it = pending_.begin();
+       it != pending_.end() && started_or_done < target &&
+       static_cast<int>(chunks_in_flight_.size()) < config_.max_concurrent;) {
+    const Task task = *it;
+    if (chunks_in_flight_.count(task.chunk) > 0 ||
+        server_in_flight_[task.server] >= config_.per_server_concurrent) {
+      ++it;  // replica-staggered / server busy: try a later task this tick
+      continue;
+    }
+    it = pending_.erase(it);
+    ++started_or_done;
+    if (hooks_.server_unavailable(task.server)) {
+      ++tasks_skipped_;
+      ++sweep_done_;
+      continue;
+    }
+    if (task.risky) {
+      ++risky_first_scheduled_;
+    }
+    chunks_in_flight_.insert(task.chunk);
+    ++server_in_flight_[task.server];
+    Nanos started = now;
+    hooks_.scrub(task.chunk, task.server, task.size,
+                 [this, task, started](Scrubber::ChunkResult result) {
+                   FinishTask(task, started, result.completed);
+                 });
+  }
+}
+
+void ScrubCoordinator::FinishTask(const Task& task, Nanos started, bool verified) {
+  chunks_in_flight_.erase(task.chunk);
+  auto sit = server_in_flight_.find(task.server);
+  if (sit != server_in_flight_.end() && --sit->second <= 0) {
+    server_in_flight_.erase(sit);
+  }
+  ++sweep_done_;
+  ++tasks_completed_;
+  if (verified) {
+    last_verified_[{task.chunk, task.server}] = ReplicaMark{epoch_, sim_->Now()};
+  }
+  if (task_duration_ != nullptr) {
+    task_duration_->Record(ToUsec(sim_->Now() - started));
+  }
+}
+
+uint64_t ScrubCoordinator::LastVerifiedEpoch(storage::ChunkId chunk, uint64_t server) const {
+  auto it = last_verified_.find({chunk, server});
+  return it == last_verified_.end() ? 0 : it->second.epoch;
+}
+
+uint64_t ScrubCoordinator::ChunkVerifiedEpoch(storage::ChunkId chunk) const {
+  uint64_t min_epoch = 0;
+  bool first = true;
+  for (const ChunkInfo& info : hooks_.list_chunks()) {
+    if (info.chunk != chunk) {
+      continue;
+    }
+    for (uint64_t s : info.servers) {
+      uint64_t e = LastVerifiedEpoch(chunk, s);
+      if (first || e < min_epoch) {
+        min_epoch = e;
+        first = false;
+      }
+    }
+  }
+  return first ? 0 : min_epoch;
+}
+
+void ScrubCoordinator::WriteJson(std::ostream& os) const {
+  os << "{\"config\":{\"sweep_interval_ms\":" << ToMsec(config_.sweep_interval)
+     << ",\"read_bytes\":" << config_.read_bytes
+     << ",\"per_server_concurrent\":" << config_.per_server_concurrent
+     << ",\"max_concurrent\":" << config_.max_concurrent
+     << ",\"peer_risk_score\":" << config_.peer_risk_score << "}";
+  os << ",\"epoch\":" << epoch_ << ",\"sweeps_completed\":" << sweeps_completed_
+     << ",\"last_sweep_duration_ms\":" << ToMsec(last_sweep_duration_)
+     << ",\"tasks_completed\":" << tasks_completed_ << ",\"tasks_skipped\":" << tasks_skipped_
+     << ",\"in_flight\":" << in_flight();
+  os << ",\"chunks\":[";
+  bool first_chunk = true;
+  for (const ChunkInfo& info : hooks_.list_chunks()) {
+    if (!first_chunk) {
+      os << ",";
+    }
+    first_chunk = false;
+    os << "{\"chunk\":" << info.chunk << ",\"replicas\":[";
+    for (size_t i = 0; i < info.servers.size(); ++i) {
+      if (i > 0) {
+        os << ",";
+      }
+      uint64_t s = info.servers[i];
+      auto it = last_verified_.find({info.chunk, s});
+      os << "{\"server\":" << s << ",\"epoch\":" << (it == last_verified_.end() ? 0 : it->second.epoch)
+         << ",\"verified_ms\":"
+         << (it == last_verified_.end() ? 0.0 : ToMsec(it->second.time)) << "}";
+    }
+    os << "]}";
+  }
+  os << "]}";
+}
+
+}  // namespace ursa::scrub

@@ -1,0 +1,138 @@
+// Master-side scrub scheduling (DESIGN.md §11).
+//
+// A sweep visits every (chunk, replica) pair once. The coordinator paces task
+// starts so one sweep takes roughly `sweep_interval` — that pace IS the
+// mean-time-to-detect bound for latent corruption — under three constraints:
+//
+//   * replica-staggered: never scrub two replicas of one chunk concurrently
+//     (scrub reads are background load; hitting every copy of a chunk at once
+//     would momentarily degrade ALL of that chunk's replicas together);
+//   * per-server cap (`per_server_concurrent`, normally 1): a chunk server
+//     runs at most one scrub task at a time;
+//   * a cluster-wide ceiling (`max_concurrent`).
+//
+// Ordering is health-aware: chunks with any replica on a device whose
+// HealthMonitor score is at or above `peer_risk_score` sort first — if a
+// suspect device fails, its peers become the last copies, so verify those
+// peers NOW. Within a risk band, least-recently-verified replicas go first.
+//
+// The coordinator records a last-verified epoch per (chunk, replica) and
+// exposes sweep progress via metrics and JSON.
+#ifndef URSA_SCRUB_SCRUB_COORDINATOR_H_
+#define URSA_SCRUB_SCRUB_COORDINATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <set>
+#include <vector>
+
+#include "src/obs/metrics_registry.h"
+#include "src/scrub/scrub_config.h"
+#include "src/scrub/scrubber.h"
+#include "src/sim/simulator.h"
+
+namespace ursa::scrub {
+
+class ScrubCoordinator {
+ public:
+  struct ChunkInfo {
+    storage::ChunkId chunk = 0;
+    uint64_t size = 0;
+    std::vector<uint64_t> servers;  // every server hosting a replica
+  };
+
+  struct Hooks {
+    // Current chunk layouts (master's placement map).
+    std::function<std::vector<ChunkInfo>()> list_chunks;
+    // Health score of the device behind `server` (0 while unscored).
+    std::function<double(uint64_t server)> health_score;
+    // True when the server cannot take scrub traffic (crashed, draining).
+    std::function<bool(uint64_t server)> server_unavailable;
+    // Runs one chunk sweep on `server`'s Scrubber; `done(result)` fires once.
+    std::function<void(storage::ChunkId chunk, uint64_t server, uint64_t size,
+                       std::function<void(Scrubber::ChunkResult)> done)>
+        scrub;
+  };
+
+  // A null registry skips metrics (standalone unit tests).
+  ScrubCoordinator(sim::Simulator* sim, const ScrubConfig& config, Hooks hooks,
+                   obs::MetricsRegistry* registry = nullptr);
+
+  // Self-scheduling tick loop (keeps the event queue non-empty, like
+  // HealthMonitor — pair with RunUntil-style loops or Stop() first).
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+
+  // Runs one scheduling pass synchronously (tests drive the coordinator with
+  // this instead of Start()).
+  void TickNow() { Tick(); }
+
+  // ---- Introspection ----
+  uint64_t sweeps_completed() const { return sweeps_completed_; }
+  uint64_t current_epoch() const { return epoch_; }
+  Nanos last_sweep_duration() const { return last_sweep_duration_; }
+  uint64_t tasks_completed() const { return tasks_completed_; }
+  uint64_t tasks_skipped() const { return tasks_skipped_; }
+  uint64_t risky_first_scheduled() const { return risky_first_scheduled_; }
+  int in_flight() const { return static_cast<int>(chunks_in_flight_.size()); }
+
+  // Last-verified sweep epoch for one replica (0 = never verified).
+  uint64_t LastVerifiedEpoch(storage::ChunkId chunk, uint64_t server) const;
+  // Minimum last-verified epoch across a chunk's replicas as currently
+  // placed; 0 when any replica was never verified.
+  uint64_t ChunkVerifiedEpoch(storage::ChunkId chunk) const;
+
+  // Scrub snapshot: config echo, sweep progress, per-chunk verified epochs.
+  void WriteJson(std::ostream& os) const;
+
+ private:
+  struct Task {
+    storage::ChunkId chunk = 0;
+    uint64_t server = 0;
+    uint64_t size = 0;
+    bool risky = false;  // a PEER replica sits on a high-score device
+  };
+  struct ReplicaMark {
+    uint64_t epoch = 0;  // sweep epoch of the last completed verification
+    Nanos time = 0;
+  };
+
+  void ScheduleTick();
+  void Tick();
+  void BeginSweep(Nanos now);
+  void FinishTask(const Task& task, Nanos started, bool verified);
+
+  sim::Simulator* sim_;
+  ScrubConfig config_;
+  Hooks hooks_;
+
+  bool running_ = false;
+  uint64_t generation_ = 0;  // invalidates in-flight ticks across Stop/Start
+
+  // Current sweep.
+  uint64_t epoch_ = 0;  // sweep number, starts at 1 with the first sweep
+  Nanos sweep_start_ = 0;
+  std::vector<Task> pending_;  // priority order, consumed front to back
+  size_t sweep_total_ = 0;     // tasks this sweep started with
+  size_t sweep_done_ = 0;
+
+  // In-flight constraint tracking.
+  std::set<storage::ChunkId> chunks_in_flight_;
+  std::map<uint64_t, int> server_in_flight_;
+
+  std::map<std::pair<storage::ChunkId, uint64_t>, ReplicaMark> last_verified_;
+
+  uint64_t sweeps_completed_ = 0;
+  Nanos last_sweep_duration_ = 0;
+  uint64_t tasks_completed_ = 0;
+  uint64_t tasks_skipped_ = 0;  // replica unavailable at start time
+  uint64_t risky_first_scheduled_ = 0;
+  Histogram* task_duration_ = nullptr;
+};
+
+}  // namespace ursa::scrub
+
+#endif  // URSA_SCRUB_SCRUB_COORDINATOR_H_

@@ -1,5 +1,6 @@
 #include "src/storage/chunk_store.h"
 
+#include <memory>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -120,6 +121,32 @@ void ChunkStore::WriteBackground(ChunkId id, uint64_t offset, uint64_t length, B
   req.tag = tag;
   req.done = std::move(done);
   device_->Submit(std::move(req));
+}
+
+void ChunkStore::CorruptByte(ChunkId id, uint64_t offset, uint8_t xor_mask) {
+  URSA_CHECK_LT(offset, chunk_size_);
+  constexpr uint64_t kSector = 512;
+  uint64_t sector_start = SlotOffset(id) + (offset - offset % kSector);
+  auto buf = std::make_shared<std::vector<uint8_t>>(kSector);
+  IoRequest read;
+  read.type = IoType::kRead;
+  read.offset = sector_start;
+  read.length = kSector;
+  read.out = buf->data();
+  read.done = [this, buf, sector_start, offset, xor_mask](const Status& s) {
+    if (!s.ok()) {
+      return;
+    }
+    (*buf)[offset % 512] ^= xor_mask;
+    IoRequest write;
+    write.type = IoType::kWrite;
+    write.offset = sector_start;
+    write.length = 512;
+    write.data = buf->data();
+    write.done = [buf](const Status&) {};
+    device_->Submit(std::move(write));
+  };
+  device_->Submit(std::move(read));
 }
 
 void ChunkStore::WriteGather(ChunkId id, uint64_t offset, std::vector<IoSegment> segments,

@@ -74,6 +74,12 @@ class ChunkStore {
   // chunk to exist.
   uint64_t SlotOffset(ChunkId id) const;
 
+  // Fault injection: XORs `xor_mask` into the byte at `offset` within the
+  // chunk via a read-modify-write of its 512-byte sector through the device
+  // (async, fire-and-forget). Models silent media corruption of at-rest chunk
+  // data — the latent damage the background scrubber exists to find.
+  void CorruptByte(ChunkId id, uint64_t offset, uint8_t xor_mask);
+
  private:
   Status CheckRange(ChunkId id, uint64_t offset, uint64_t length, uint64_t* device_offset) const;
 

@@ -282,8 +282,10 @@ class JournalCrashTest : public JournalManagerTest {
  protected:
   // "Crashes" the manager: throws away all volatile state by constructing a
   // fresh JournalManager over the SAME devices and journal regions, then
-  // recovers it from the rings.
-  void CrashAndRecover() {
+  // recovers it from the rings. `before_recover` runs on the fresh manager
+  // before the scan (e.g. to wire a corruption handler, which in production
+  // the cluster installs at server construction — before recovery).
+  void CrashAndRecover(std::function<void(JournalManager&)> before_recover = nullptr) {
     manager_ = std::make_unique<JournalManager>(&sim_, store_.get(), JournalManagerOptions{});
     manager_->AddJournal(
         std::make_unique<JournalWriter>(&sim_, ssd_.get(), 0, 256 * kKiB, "ssd"), false);
@@ -292,6 +294,9 @@ class JournalCrashTest : public JournalManagerTest {
         false);
     manager_->AddJournal(
         std::make_unique<JournalWriter>(&sim_, hdd_.get(), 0, 512 * kKiB, "hdd"), true);
+    if (before_recover) {
+      before_recover(*manager_);
+    }
     Status status = Internal("pending");
     manager_->RecoverFromJournals([&](const Status& s) { status = s; });
     sim_.RunUntil(sim_.Now() + msec(50));
@@ -366,6 +371,94 @@ TEST_F(JournalCrashTest, PartiallyReplayedJournalRecoversConsistently) {
   for (uint64_t v = 1; v <= 8; ++v) {
     EXPECT_EQ(Read((v - 1) * 8192, 4096), data[v - 1]) << v;
   }
+}
+
+// Regression: the quarantine is volatile, so a crash mid-repair used to
+// forget detected damage — the rebuilt index simply dropped the corrupt
+// record and reads fell through to the stale HDD bytes underneath it. The
+// rebuild scan must re-detect mid-ring corrupt records and re-arm the
+// quarantine so such reads keep failing with kCorruption.
+TEST_F(JournalCrashTest, CorruptRecordRequarantinedAfterRebuild) {
+  Build();
+  // The HDD store holds v1; the journal holds the only copy of v2.
+  auto old_data = test::Pattern(4096, 21);
+  Status seeded = Internal("not completed");
+  store_->Write(1, 0, old_data.size(), old_data.data(), [&](const Status& s) { seeded = s; });
+  sim_.RunUntil(sim_.Now() + msec(10));
+  ASSERT_TRUE(seeded.ok());
+  auto new_data = test::Pattern(4096, 22);
+  ASSERT_TRUE(Write(0, new_data, 2).ok());
+
+  // Damage v2's record on media (the only live record, so the flip must hit
+  // it), detect it with a read — quarantined, repair pending — then crash
+  // before any repair lands.
+  Rng flip_rng(7);
+  ASSERT_TRUE(manager_->InjectBitFlip(flip_rng));
+  sim_.RunUntil(sim_.Now() + msec(1));
+  std::vector<uint8_t> out(4096, 0xEE);
+  Status status = Internal("not completed");
+  manager_->Read(1, 0, 4096, out.data(), [&](const Status& s) { status = s; });
+  sim_.RunUntil(sim_.Now() + msec(10));
+  ASSERT_EQ(status.code(), StatusCode::kCorruption) << status.ToString();
+  ASSERT_TRUE(manager_->IsQuarantined(1, 0, 4096));
+
+  // A later valid record keeps the damaged one mid-ring (a lone corrupt
+  // record at the head would be truncated as a torn tail instead).
+  auto anchor = test::Pattern(4096, 23);
+  ASSERT_TRUE(Write(65536, anchor, 3).ok());
+
+  CrashAndRecover();  // no corruption handler: nothing can lift the quarantine
+
+  // The scan re-detected the damage: reads of the range still fail with
+  // kCorruption — stale v1 bytes are never resurrected as v2.
+  EXPECT_TRUE(manager_->IsQuarantined(1, 0, 4096));
+  EXPECT_EQ(manager_->stats().corruptions_detected, 1u);
+  for (int i = 0; i < 3; ++i) {
+    std::vector<uint8_t> got(4096, 0xEE);
+    Status read_status = Internal("not completed");
+    manager_->Read(1, 0, 4096, got.data(), [&](const Status& s) { read_status = s; });
+    sim_.RunUntil(sim_.Now() + msec(10));
+    EXPECT_EQ(read_status.code(), StatusCode::kCorruption) << "read " << i;
+    EXPECT_NE(got, old_data);
+  }
+  // Undamaged ranges are unaffected.
+  EXPECT_EQ(Read(65536, 4096), anchor);
+}
+
+// Same crash, but the fresh manager has its corruption handler wired (as the
+// cluster does at construction): recovery re-detects the damage AND re-kicks
+// the repair, so the range heals without any client read touching it.
+TEST_F(JournalCrashTest, RequarantinedRangeRepairsThroughHandler) {
+  Build();
+  auto data = test::Pattern(4096, 31);
+  ASSERT_TRUE(Write(0, data, 1).ok());
+  Rng flip_rng(7);
+  ASSERT_TRUE(manager_->InjectBitFlip(flip_rng));
+  sim_.RunUntil(sim_.Now() + msec(1));
+  auto anchor = test::Pattern(4096, 32);
+  ASSERT_TRUE(Write(65536, anchor, 2).ok());
+
+  int handler_calls = 0;
+  CrashAndRecover([&](JournalManager& fresh) {
+    fresh.SetCorruptionHandler([&](storage::ChunkId chunk, uint64_t offset, uint64_t length,
+                                   std::function<void()> healed) {
+      ++handler_calls;
+      EXPECT_EQ(chunk, 1u);
+      EXPECT_EQ(offset, 0u);
+      EXPECT_EQ(length, 4096u);
+      store_->Write(chunk, offset, length, data.data(), [healed](const Status& s) {
+        ASSERT_TRUE(s.ok());
+        healed();
+      });
+    });
+  });
+
+  EXPECT_EQ(handler_calls, 1);
+  EXPECT_EQ(manager_->stats().corruptions_detected, 1u);
+  EXPECT_EQ(manager_->stats().corruptions_repaired, 1u);
+  EXPECT_FALSE(manager_->IsQuarantined(1, 0, 4096));
+  EXPECT_EQ(Read(0, 4096), data);
+  EXPECT_EQ(Read(65536, 4096), anchor);
 }
 
 // ---- Data integrity: CRC detect -> quarantine -> re-replicate -> heal ----

@@ -202,6 +202,51 @@ TEST_F(RecoveryTest, RecoveryPrefersDistinctMachine) {
   EXPECT_EQ(machines.size(), 3u);
 }
 
+TEST_F(RecoveryTest, AdmissionBoundsConcurrentTransfersPerSource) {
+  Build();
+  // Materialize all four chunks so a crash strands several replicas at once.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(WriteSync(i * kMiB, test::Pattern(8192, 20 + i), sec(10)).ok());
+  }
+  const auto& chunks = (*cluster_->master().GetDisk(disk_id_))->chunks;
+
+  // Crash one server and report every chunk it hosted: the re-replication
+  // storm reads from the surviving replicas, and the admission controller
+  // must keep per-source fan-out at or under its slot count.
+  cluster::ServerId failed = chunks[0].replicas[1].server;
+  std::vector<cluster::ChunkId> stranded;
+  for (const auto& layout : chunks) {
+    for (const auto& r : layout.replicas) {
+      if (r.server == failed) {
+        stranded.push_back(layout.chunk);
+      }
+    }
+  }
+  ASSERT_GE(stranded.size(), 1u);
+  cluster_->CrashServer(failed);
+  int pending = static_cast<int>(stranded.size());
+  for (cluster::ChunkId chunk : stranded) {
+    cluster_->master().ReportReplicaFailure(chunk, failed, [&](Status s) {
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      --pending;
+    });
+  }
+  sim_.RunUntil(sim_.Now() + sec(30));
+  EXPECT_EQ(pending, 0);
+
+  scrub::RecoveryAdmission* admission = cluster_->recovery_admission();
+  ASSERT_NE(admission, nullptr);
+  EXPECT_GE(admission->grants(), stranded.size());
+  EXPECT_LE(admission->peak_in_flight(), admission->per_source());
+  EXPECT_EQ(admission->QueuedTotal(), 0u);  // nothing left waiting
+
+  // Data still reads back after the admission-paced recovery.
+  disk_->RefreshLayout();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(ReadSync(i * kMiB, 8192, sec(20)), test::Pattern(8192, 20 + i)) << i;
+  }
+}
+
 TEST_F(RecoveryTest, AllReplicasLostReportsDataLoss) {
   Build();
   cluster::ChunkLayout layout = Layout0();
