@@ -10,15 +10,29 @@
 //   * EC(4+2), parity logging (Chan et al.: sequential delta appends)
 // for random 4 KB writes and for full-stripe writes, plus each scheme's
 // capacity overhead — making the §7 trade-off explicit.
+//
+// A second section benchmarks the GF(256) kernel tiers themselves (real
+// wall-clock, no sim): single multiply-accumulate and fused multi-parity
+// encode per dispatch tier (scalar / portable / ssse3 / avx2), plus fused
+// reconstruction — the data-plane cost EC adds over replication's memcpy.
+// Emits BENCH_ec_comparison.json (or --metrics-json=<path>) for the CI
+// bench-smoke regression gate.
+#include <algorithm>
+#include <array>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/histogram.h"
 #include "src/common/rng.h"
 #include "src/core/metrics.h"
 #include "src/ec/ec_stripe_store.h"
+#include "src/ec/gf256_kernels.h"
+#include "src/ec/reed_solomon.h"
 #include "src/storage/ssd_model.h"
 
 using namespace ursa;
@@ -158,9 +172,156 @@ SchemeResult RunEc(ec::PartialWriteMode mode, const char* name) {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// GF(256) kernel microbenchmarks (wall-clock)
+// ---------------------------------------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+constexpr std::array<ec::GfKernelTier, 4> kAllTiers = {
+    ec::GfKernelTier::kScalar, ec::GfKernelTier::kPortable, ec::GfKernelTier::kSsse3,
+    ec::GfKernelTier::kAvx2};
+
+// Iteration counts per tier: scalar runs ~1-2 orders of magnitude slower, so
+// it gets fewer passes for comparable (and still stable) wall time.
+int PassesFor(ec::GfKernelTier tier, int scalar_passes, int fast_passes) {
+  return tier == ec::GfKernelTier::kScalar ? scalar_passes : fast_passes;
+}
+
+struct TierGbps {
+  std::array<double, 4> gbps = {0, 0, 0, 0};  // indexed by tier enum; 0 = n/a
+  double at(ec::GfKernelTier t) const { return gbps[static_cast<size_t>(t)]; }
+};
+
+// out ^= c * in over a shard-sized buffer: the single-destination primitive
+// (parity RMW / parity-log delta scaling path).
+TierGbps BenchMulAccum(size_t len) {
+  Rng rng(11);
+  std::vector<uint8_t> in(len);
+  std::vector<uint8_t> out(len, 0);
+  for (auto& b : in) {
+    b = static_cast<uint8_t>(rng.Uniform(256));
+  }
+  ec::GfMulTable table;
+  ec::GfBuildMulTable(0x57, &table);
+  TierGbps result;
+  for (ec::GfKernelTier tier : kAllTiers) {
+    if (!ec::GfKernelTierAvailable(tier)) {
+      continue;
+    }
+    ec::GfMulAccumWith(tier, table, 0x57, in.data(), out.data(), len);  // warm up
+    int passes = PassesFor(tier, 256, 4096);
+    auto t0 = Clock::now();
+    for (int i = 0; i < passes; ++i) {
+      ec::GfMulAccumWith(tier, table, 0x57, in.data(), out.data(), len);
+    }
+    auto t1 = Clock::now();
+    result.gbps[static_cast<size_t>(tier)] =
+        static_cast<double>(len) * passes / Seconds(t0, t1) / 1e9;
+  }
+  return result;
+}
+
+// Full fused encode: k data shards -> m parities in one EncodeWith call.
+// Throughput is counted in DATA bytes (k * len per encode), the figure that
+// compares against replication's per-byte cost.
+TierGbps BenchEncode(int k, int m, size_t len) {
+  Rng rng(13);
+  std::vector<std::vector<uint8_t>> shards(k + m, std::vector<uint8_t>(len));
+  std::vector<const uint8_t*> data(k);
+  std::vector<uint8_t*> parity(m);
+  for (int d = 0; d < k; ++d) {
+    for (auto& b : shards[d]) {
+      b = static_cast<uint8_t>(rng.Uniform(256));
+    }
+    data[d] = shards[d].data();
+  }
+  for (int p = 0; p < m; ++p) {
+    parity[p] = shards[k + p].data();
+  }
+  ec::ReedSolomon rs(k, m);
+  TierGbps result;
+  for (ec::GfKernelTier tier : kAllTiers) {
+    if (!ec::GfKernelTierAvailable(tier)) {
+      continue;
+    }
+    rs.EncodeWith(tier, data, parity, len);  // warm up
+    int passes = PassesFor(tier, 48, 768);
+    auto t0 = Clock::now();
+    for (int i = 0; i < passes; ++i) {
+      rs.EncodeWith(tier, data, parity, len);
+    }
+    auto t1 = Clock::now();
+    result.gbps[static_cast<size_t>(tier)] =
+        static_cast<double>(len) * k * passes / Seconds(t0, t1) / 1e9;
+  }
+  return result;
+}
+
+// Fused reconstruction of the m worst-case losses (first m data shards) from
+// the k survivors, through a precompiled DecodePlan. Throughput counts the
+// k*len survivor bytes streamed per call, matching the encode accounting.
+TierGbps BenchReconstruct(int k, int m, size_t len) {
+  Rng rng(17);
+  std::vector<std::vector<uint8_t>> shards(k + m, std::vector<uint8_t>(len));
+  std::vector<const uint8_t*> data(k);
+  std::vector<uint8_t*> parity(m);
+  for (int d = 0; d < k; ++d) {
+    for (auto& b : shards[d]) {
+      b = static_cast<uint8_t>(rng.Uniform(256));
+    }
+    data[d] = shards[d].data();
+  }
+  for (int p = 0; p < m; ++p) {
+    parity[p] = shards[k + p].data();
+  }
+  ec::ReedSolomon rs(k, m);
+  rs.Encode(data, parity, len);
+
+  std::vector<bool> present(k + m, true);
+  std::vector<int> wanted;
+  for (int s = 0; s < m; ++s) {
+    present[s] = false;
+    wanted.push_back(s);
+  }
+  ec::ReedSolomon::DecodePlan plan;
+  if (!rs.PlanReconstruct(present, wanted, &plan).ok()) {
+    return {};
+  }
+  std::vector<const uint8_t*> view(k + m, nullptr);
+  for (int s = m; s < k + m; ++s) {
+    view[s] = shards[s].data();
+  }
+  std::vector<std::vector<uint8_t>> rebuilt(m, std::vector<uint8_t>(len));
+  std::vector<uint8_t*> out(k + m, nullptr);
+  for (int s = 0; s < m; ++s) {
+    out[s] = rebuilt[s].data();
+  }
+  TierGbps result;
+  for (ec::GfKernelTier tier : kAllTiers) {
+    if (!ec::GfKernelTierAvailable(tier)) {
+      continue;
+    }
+    rs.ReconstructWith(plan, view, out, len, tier);  // warm up
+    int passes = PassesFor(tier, 48, 768);
+    auto t0 = Clock::now();
+    for (int i = 0; i < passes; ++i) {
+      rs.ReconstructWith(plan, view, out, len, tier);
+    }
+    auto t1 = Clock::now();
+    result.gbps[static_cast<size_t>(tier)] =
+        static_cast<double>(len) * k * passes / Seconds(t0, t1) / 1e9;
+  }
+  return result;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Replication vs erasure coding (the paper's §7 trade-off) ===\n\n");
 
   std::vector<SchemeResult> results;
@@ -198,6 +359,77 @@ int main() {
   std::printf(" capacity is the cheapest resource in the hybrid design, hence Ursa\n");
   std::printf(" chose replication + journals over EC/PariX — though PariX narrows the\n");
   std::printf(" overwrite gap, exactly its design goal.)\n");
+
+  // ---- GF(256) kernel tiers (wall-clock) ----
+  std::printf("\n=== GF(256) kernel tiers (64 KiB shards) ===\n\n");
+  constexpr size_t kShard = 64 * 1024;
+  TierGbps mul = BenchMulAccum(kShard);
+  TierGbps enc42 = BenchEncode(4, 2, kShard);
+  TierGbps rec42 = BenchReconstruct(4, 2, kShard);
+
+  double enc_scalar = enc42.at(ec::GfKernelTier::kScalar);
+  core::Table kt({"tier", "mul-accum GB/s", "encode(4+2) GB/s", "reconstruct(4+2) GB/s",
+                  "encode vs scalar"});
+  for (ec::GfKernelTier tier : kAllTiers) {
+    if (!ec::GfKernelTierAvailable(tier)) {
+      kt.AddRow({ec::GfKernelTierName(tier), "-", "-", "-", "(unavailable)"});
+      continue;
+    }
+    kt.AddRow({ec::GfKernelTierName(tier), core::Table::Num(mul.at(tier), 2),
+               core::Table::Num(enc42.at(tier), 2), core::Table::Num(rec42.at(tier), 2),
+               core::Table::Num(enc42.at(tier) / enc_scalar, 1) + "x"});
+  }
+  kt.Print();
+  ec::GfKernelTier best = ec::GfKernelBestTier();
+  std::printf("active dispatch: %s\n", ec::GfKernelTierName(best));
+
+  // Fused encode across geometries, best tier only: per-byte cost is roughly
+  // flat in m because each data block is loaded once for all m parities.
+  core::Table gt({"geometry", "encode GB/s (best tier)"});
+  for (auto [k, m] : {std::pair{4, 2}, std::pair{6, 3}, std::pair{10, 4}}) {
+    TierGbps g = BenchEncode(k, m, kShard);
+    gt.AddRow({"EC(" + std::to_string(k) + "+" + std::to_string(m) + ")",
+               core::Table::Num(g.at(best), 2)});
+  }
+  gt.Print();
+
+  double enc_best = enc42.at(best);
+  double enc_portable = enc42.at(ec::GfKernelTier::kPortable);
+  double rec_portable = rec42.at(ec::GfKernelTier::kPortable);
+  double rec_scalar = rec42.at(ec::GfKernelTier::kScalar);
+
+  std::printf("\n--- kernel shape checks ---\n");
+  check(enc_portable > enc_scalar, "portable slicing beats the scalar log/exp reference");
+  check(rec_portable > rec_scalar, "portable reconstruction beats scalar");
+  if (ec::GfKernelTierAvailable(ec::GfKernelTier::kAvx2)) {
+    check(enc42.at(ec::GfKernelTier::kAvx2) >= 8.0 * enc_scalar,
+          "AVX2 fused encode is >= 8x scalar");
+  }
+  if (ec::GfKernelTierAvailable(ec::GfKernelTier::kSsse3)) {
+    check(enc42.at(ec::GfKernelTier::kSsse3) > enc_portable,
+          "SSSE3 pshufb beats the portable slicer");
+  }
+
+  std::string json_path = core::MetricsJsonPath(argc, argv);
+  if (json_path.empty()) {
+    json_path = "BENCH_ec_comparison.json";
+  }
+  std::ofstream os(json_path);
+  os << "{\"bench\":\"ec_comparison\""
+     << ",\"ec_encode_scalar_gbps\":" << enc_scalar
+     << ",\"ec_encode_portable_gbps\":" << enc_portable
+     << ",\"ec_encode_ssse3_gbps\":" << enc42.at(ec::GfKernelTier::kSsse3)
+     << ",\"ec_encode_avx2_gbps\":" << enc42.at(ec::GfKernelTier::kAvx2)
+     << ",\"ec_encode_best_vs_scalar\":" << (enc_best / enc_scalar)
+     << ",\"ec_encode_portable_vs_scalar\":" << (enc_portable / enc_scalar)
+     << ",\"ec_mulaccum_portable_gbps\":" << mul.at(ec::GfKernelTier::kPortable)
+     << ",\"ec_reconstruct_portable_gbps\":" << rec_portable
+     << ",\"ec_reconstruct_portable_vs_scalar\":" << (rec_portable / rec_scalar)
+     << ",\"_ec_kernel_best\":\"" << ec::GfKernelTierName(best) << "\""
+     << ",\"_repl_small_iops\":" << results[0].small_iops
+     << ",\"_ec_rmw_small_iops\":" << results[1].small_iops << "}\n";
+  std::printf("\nmetrics written to %s\n", json_path.c_str());
+
   std::printf("EC %s\n", ok ? "SHAPE-OK" : "SHAPE-MISMATCH");
   return 0;
 }

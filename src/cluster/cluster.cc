@@ -185,6 +185,14 @@ Cluster::Cluster(sim::Simulator* sim, const ClusterConfig& config)
                               const void* data) {
         return server->checksum_store()->Verify(chunk, offset, length, data);
       };
+      hooks.generation = [server](storage::ChunkId chunk) {
+        return server->checksum_store()->generation(chunk);
+      };
+      hooks.rearm = [server](storage::ChunkId chunk, uint64_t offset, uint64_t length,
+                             const void* data, uint64_t expected_generation) {
+        return server->checksum_store()->Rearm(chunk, offset, length, data,
+                                               expected_generation);
+      };
       hooks.report = [this, server](storage::ChunkId chunk, uint64_t offset, uint64_t length) {
         // A mismatch can be a benign race: a write landing during the
         // scrubber's bulk read leaves fresh checksums in the ledger but stale
@@ -249,6 +257,13 @@ Cluster::Cluster(sim::Simulator* sim, const ClusterConfig& config)
       uint64_t total = 0;
       for (const auto& sc : scrubbers_) {
         total += sc->read_errors();
+      }
+      return static_cast<double>(total);
+    });
+    metrics_.RegisterCallbackCounter("scrub.sectors_rearmed", {}, [this] {
+      uint64_t total = 0;
+      for (const auto& sc : scrubbers_) {
+        total += sc->sectors_rearmed();
       }
       return static_cast<double>(total);
     });

@@ -1,0 +1,16 @@
+#include "src/common/cpu.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ursa {
+
+bool ForcePortableKernels() {
+  static const bool forced = [] {
+    const char* v = std::getenv("URSA_FORCE_PORTABLE_KERNELS");
+    return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+  }();
+  return forced;
+}
+
+}  // namespace ursa

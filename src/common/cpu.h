@@ -1,0 +1,22 @@
+// Runtime CPU-dispatch policy shared by the hot-path kernel families
+// (CRC32C in src/common/crc32.cc, GF(256) in src/ec/gf256_kernels.cc).
+//
+// Every kernel family follows the same pattern: a one-time dispatch picks the
+// fastest implementation the host supports, and a `*With(impl, ...)` API lets
+// tests and benchmarks pin a specific tier. URSA_FORCE_PORTABLE_KERNELS is
+// the shared override: when set (non-empty, not "0"), every dispatcher skips
+// the hardware/SIMD tiers and reports them unavailable, so the portable
+// fallback paths run — and stay tested in CI — on SIMD-capable hosts.
+#ifndef URSA_COMMON_CPU_H_
+#define URSA_COMMON_CPU_H_
+
+namespace ursa {
+
+// True when URSA_FORCE_PORTABLE_KERNELS requests portable-only dispatch.
+// Read from the environment once, at first use (dispatchers latch their
+// choice, so flipping the variable mid-process has no effect anyway).
+bool ForcePortableKernels();
+
+}  // namespace ursa
+
+#endif  // URSA_COMMON_CPU_H_

@@ -3,6 +3,8 @@
 #include <array>
 #include <cstring>
 
+#include "src/common/cpu.h"
+
 #if defined(__x86_64__) || defined(__i386__)
 #include <nmmintrin.h>
 #define URSA_CRC32_X86 1
@@ -127,7 +129,9 @@ __attribute__((target("sse4.2"))) uint32_t CrcHardware(const void* data, size_t 
   return ~crc;
 }
 
-bool HardwareAvailable() { return __builtin_cpu_supports("sse4.2") != 0; }
+bool HardwareAvailable() {
+  return !ForcePortableKernels() && __builtin_cpu_supports("sse4.2") != 0;
+}
 #else
 uint32_t CrcHardware(const void* data, size_t len, uint32_t seed) {
   return CrcSlice8(data, len, seed);

@@ -9,6 +9,10 @@
 // so streaming works by feeding the previous result back as `seed`:
 //   Crc32c(b, nb, Crc32c(a, na)) == Crc32c(ab, na + nb)
 // No separate combine API is needed and existing callers are untouched.
+//
+// URSA_FORCE_PORTABLE_KERNELS (src/common/cpu.h) makes the dispatcher skip
+// the SSE4.2 tier and report it unavailable, so the portable slice8 path can
+// be exercised on hardware-capable hosts (CI runs the test suite both ways).
 #ifndef URSA_COMMON_CRC32_H_
 #define URSA_COMMON_CRC32_H_
 

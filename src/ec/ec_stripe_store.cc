@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/ec/gf256_kernels.h"
 
 namespace ursa::ec {
 
@@ -33,13 +34,43 @@ std::shared_ptr<Joiner> MakeJoiner(size_t n, storage::IoCallback done) {
 
 }  // namespace
 
+// Freelist of recycled byte buffers. Held by shared_ptr so buffer deleters
+// can outlive the store without dangling.
+class EcStripeStore::BufferPool {
+ public:
+  std::vector<std::unique_ptr<std::vector<uint8_t>>> free_list;
+};
+
+std::shared_ptr<std::vector<uint8_t>> EcStripeStore::AcquireBuf(size_t len, bool zero) {
+  ++stats_.scratch_acquires;
+  std::unique_ptr<std::vector<uint8_t>> vec;
+  if (!pool_->free_list.empty()) {
+    vec = std::move(pool_->free_list.back());
+    pool_->free_list.pop_back();
+  } else {
+    ++stats_.scratch_fresh;
+    vec = std::make_unique<std::vector<uint8_t>>();
+  }
+  if (zero) {
+    vec->assign(len, 0);
+  } else {
+    vec->resize(len);
+  }
+  std::shared_ptr<BufferPool> pool = pool_;
+  return std::shared_ptr<std::vector<uint8_t>>(
+      vec.release(), [pool](std::vector<uint8_t>* v) {
+        pool->free_list.emplace_back(v);
+      });
+}
+
 EcStripeStore::EcStripeStore(sim::Simulator* sim, std::vector<storage::BlockDevice*> devices,
                              uint64_t rows, const EcStripeConfig& config)
     : sim_(sim),
       devices_(std::move(devices)),
       rows_(rows),
       config_(config),
-      rs_(config.k, config.m) {
+      rs_(config.k, config.m),
+      pool_(std::make_shared<BufferPool>()) {
   URSA_CHECK_EQ(devices_.size(), static_cast<size_t>(config.k + config.m));
   alive_.assign(devices_.size(), true);
   uint64_t shard_bytes = rows_ * config_.stripe_unit;
@@ -163,20 +194,20 @@ void EcStripeStore::Write(uint64_t offset, uint64_t length, const void* data,
         ++it;
       }
     }
-    // Encode parity once, write all k+m shards in parallel.
-    std::shared_ptr<std::vector<std::vector<uint8_t>>> parity;
+    // Encode parity once (one pooled buffer holds all m parity units, one
+    // fused kernel pass per data shard), write all k+m shards in parallel.
+    std::shared_ptr<std::vector<uint8_t>> parity;
     if (src != nullptr) {
-      parity = std::make_shared<std::vector<std::vector<uint8_t>>>(
-          config_.m, std::vector<uint8_t>(u));
-      std::vector<const uint8_t*> data_ptrs(config_.k);
-      std::vector<uint8_t*> parity_ptrs(config_.m);
+      parity = AcquireBuf(static_cast<uint64_t>(config_.m) * u, false);
+      enc_data_ptrs_.resize(config_.k);
+      enc_parity_ptrs_.resize(config_.m);
       for (int d = 0; d < config_.k; ++d) {
-        data_ptrs[d] = src + fr.user_off + static_cast<uint64_t>(d) * u;
+        enc_data_ptrs_[d] = src + fr.user_off + static_cast<uint64_t>(d) * u;
       }
       for (int p = 0; p < config_.m; ++p) {
-        parity_ptrs[p] = (*parity)[p].data();
+        enc_parity_ptrs_[p] = parity->data() + static_cast<uint64_t>(p) * u;
       }
-      rs_.Encode(data_ptrs, parity_ptrs, u);
+      rs_.Encode(enc_data_ptrs_, enc_parity_ptrs_, u);
     }
     uint64_t shard_off = fr.row * u;
     auto row_join = MakeJoiner(devices_.size(), [joiner](const Status& s) { joiner->Finish(s); });
@@ -191,7 +222,7 @@ void EcStripeStore::Write(uint64_t offset, uint64_t length, const void* data,
     }
     for (int p = 0; p < config_.m; ++p) {
       int idx = config_.k + p;
-      const void* bytes = parity ? (*parity)[p].data() : nullptr;
+      const void* bytes = parity ? parity->data() + static_cast<uint64_t>(p) * u : nullptr;
       if (!alive_[idx]) {
         sim_->After(0, [row_join]() { row_join->Finish(OkStatus()); });
         continue;
@@ -241,10 +272,9 @@ void EcStripeStore::PartialWriteExtent(const Extent& ext, const uint8_t* data,
       ++stats_.speculative_hits;
       std::shared_ptr<std::vector<uint8_t>> delta;
       if (data != nullptr) {
-        delta = std::make_shared<std::vector<uint8_t>>(ext.len);
-        for (uint64_t i = 0; i < ext.len; ++i) {
-          (*delta)[i] = static_cast<uint8_t>(data[i] ^ it->second[i]);
-        }
+        delta = AcquireBuf(ext.len, false);
+        std::memcpy(delta->data(), data, ext.len);
+        GfXorAccum(it->second.data(), delta->data(), ext.len);
         it->second.assign(data, data + ext.len);
       }
       int alive_parities = 0;
@@ -261,7 +291,7 @@ void EcStripeStore::PartialWriteExtent(const Extent& ext, const uint8_t* data,
         }
         std::shared_ptr<std::vector<uint8_t>> scaled;
         if (delta) {
-          scaled = std::make_shared<std::vector<uint8_t>>(ext.len, 0);
+          scaled = AcquireBuf(ext.len, true);
           rs_.UpdateParity(p, ext.shard, delta->data(), scaled->data(), ext.len);
         }
         uint64_t log_base = rows_ * config_.stripe_unit;
@@ -282,8 +312,7 @@ void EcStripeStore::PartialWriteExtent(const Extent& ext, const uint8_t* data,
     }
   }
   // 1. Read the old data (needed for the parity delta in every scheme).
-  auto old_data =
-      data == nullptr ? nullptr : std::make_shared<std::vector<uint8_t>>(ext.len);
+  auto old_data = data == nullptr ? nullptr : AcquireBuf(ext.len, false);
   ShardRead(
       ext.shard, ext.shard_off, ext.len, old_data ? old_data->data() : nullptr,
       [this, ext, data, old_data, done = std::move(done)](const Status& s) mutable {
@@ -294,10 +323,9 @@ void EcStripeStore::PartialWriteExtent(const Extent& ext, const uint8_t* data,
         // 2. Compute the raw delta and write the new data.
         std::shared_ptr<std::vector<uint8_t>> delta;
         if (data != nullptr) {
-          delta = std::make_shared<std::vector<uint8_t>>(ext.len);
-          for (uint64_t i = 0; i < ext.len; ++i) {
-            (*delta)[i] = static_cast<uint8_t>(data[i] ^ (*old_data)[i]);
-          }
+          delta = AcquireBuf(ext.len, false);
+          std::memcpy(delta->data(), data, ext.len);
+          GfXorAccum(old_data->data(), delta->data(), ext.len);
         }
         if (config_.mode == PartialWriteMode::kParixSpeculative) {
           // Remember the new value so the next overwrite skips the read.
@@ -325,7 +353,7 @@ void EcStripeStore::PartialWriteExtent(const Extent& ext, const uint8_t* data,
           // Per-parity scaled delta: coef(p, shard) * raw delta.
           std::shared_ptr<std::vector<uint8_t>> scaled;
           if (delta) {
-            scaled = std::make_shared<std::vector<uint8_t>>(ext.len, 0);
+            scaled = AcquireBuf(ext.len, true);
             rs_.UpdateParity(p, ext.shard, delta->data(), scaled->data(), ext.len);
           }
           if (config_.mode != PartialWriteMode::kReadModifyWrite) {
@@ -346,8 +374,7 @@ void EcStripeStore::PartialWriteExtent(const Extent& ext, const uint8_t* data,
             devices_[idx]->Submit(std::move(log_req));
           } else {
             // RMW: read old parity, xor in the scaled delta, write back.
-            auto parity_buf =
-                scaled ? std::make_shared<std::vector<uint8_t>>(ext.len) : nullptr;
+            auto parity_buf = scaled ? AcquireBuf(ext.len, false) : nullptr;
             ShardRead(idx, ext.shard_off, ext.len, parity_buf ? parity_buf->data() : nullptr,
                       [this, idx, ext, scaled, parity_buf, joiner](const Status& s2) {
                         if (!s2.ok()) {
@@ -355,9 +382,7 @@ void EcStripeStore::PartialWriteExtent(const Extent& ext, const uint8_t* data,
                           return;
                         }
                         if (parity_buf) {
-                          for (uint64_t i = 0; i < ext.len; ++i) {
-                            (*parity_buf)[i] ^= (*scaled)[i];
-                          }
+                          GfXorAccum(scaled->data(), parity_buf->data(), ext.len);
                         }
                         ShardWrite(idx, ext.shard_off, ext.len,
                                    parity_buf ? parity_buf->data() : nullptr,
@@ -385,6 +410,24 @@ void EcStripeStore::Read(uint64_t offset, uint64_t length, void* out, storage::I
   }
 }
 
+const ReedSolomon::DecodePlan* EcStripeStore::PlanForDegraded(
+    int shard, const std::vector<int>& sources) {
+  auto key = std::make_pair(alive_, shard);
+  auto it = plan_cache_.find(key);
+  if (it != plan_cache_.end()) {
+    return &it->second;
+  }
+  std::vector<bool> present(devices_.size(), false);
+  for (int src : sources) {
+    present[src] = true;
+  }
+  ReedSolomon::DecodePlan plan;
+  if (!rs_.PlanReconstruct(present, {shard}, &plan).ok()) {
+    return nullptr;
+  }
+  return &plan_cache_.emplace(std::move(key), std::move(plan)).first->second;
+}
+
 void EcStripeStore::DegradedReadExtent(const Extent& ext, uint8_t* out,
                                        storage::IoCallback done) {
   ++stats_.degraded_reads;
@@ -405,7 +448,8 @@ void EcStripeStore::DegradedReadExtent(const Extent& ext, uint8_t* out,
   };
   auto state = std::make_shared<State>();
   state->bufs.resize(n);
-  auto finish = [this, ext, out, state, n, done = std::move(done)](const Status& s) {
+  auto finish = [this, ext, out, state, n, sources,
+                 done = std::move(done)](const Status& s) {
     if (!s.ok() || out == nullptr) {
       done(s);
       return;
@@ -422,30 +466,26 @@ void EcStripeStore::DegradedReadExtent(const Extent& ext, uint8_t* out,
         (*state->bufs[idx])[b - ext.shard_off] ^= (*entry.delta)[b - entry.offset];
       }
     }
-    std::vector<const uint8_t*> shards(n, nullptr);
-    std::vector<uint8_t*> rebuild(n, nullptr);
-    std::vector<std::vector<uint8_t>> scratch(n);
-    for (int i = 0; i < n; ++i) {
-      if (state->bufs[i]) {
-        shards[i] = state->bufs[i]->data();
-      } else {
-        scratch[i].resize(ext.len);
-        rebuild[i] = scratch[i].data();
-      }
-    }
-    Status rec = rs_.Reconstruct(shards, rebuild, ext.len);
-    if (!rec.ok()) {
-      done(rec);
+    // Rebuild ONLY the shard the caller asked for, straight into its output
+    // buffer, with the plan cached for this (alive set, shard) pair.
+    const ReedSolomon::DecodePlan* plan = PlanForDegraded(ext.shard, sources);
+    if (plan == nullptr) {
+      done(Unavailable("fewer than k shards alive"));
       return;
     }
-    std::memcpy(out, rebuild[ext.shard] != nullptr ? rebuild[ext.shard] : shards[ext.shard],
-                ext.len);
+    std::vector<const uint8_t*> shards(n, nullptr);
+    for (int src : sources) {
+      shards[src] = state->bufs[src]->data();
+    }
+    std::vector<uint8_t*> rebuild(n, nullptr);
+    rebuild[ext.shard] = out;
+    rs_.ReconstructWith(*plan, shards, rebuild, ext.len);
     done(OkStatus());
   };
   auto joiner = MakeJoiner(sources.size(), std::move(finish));
   for (int src : sources) {
     if (out != nullptr) {
-      state->bufs[src] = std::make_shared<std::vector<uint8_t>>(ext.len);
+      state->bufs[src] = AcquireBuf(ext.len, false);
     }
     ShardRead(src, ext.shard_off, ext.len,
               state->bufs[src] ? state->bufs[src]->data() : nullptr,
@@ -470,7 +510,7 @@ void EcStripeStore::Flush(storage::IoCallback done) {
       continue;
     }
     uint64_t len = entry.delta ? entry.delta->size() : 512;
-    auto parity_buf = entry.delta ? std::make_shared<std::vector<uint8_t>>(len) : nullptr;
+    auto parity_buf = entry.delta ? AcquireBuf(len, false) : nullptr;
     auto delta = entry.delta;
     uint64_t off = entry.offset;
     ShardRead(idx, off, len, parity_buf ? parity_buf->data() : nullptr,
@@ -480,9 +520,7 @@ void EcStripeStore::Flush(storage::IoCallback done) {
                   return;
                 }
                 if (parity_buf) {
-                  for (uint64_t i = 0; i < len; ++i) {
-                    (*parity_buf)[i] ^= (*delta)[i];
-                  }
+                  GfXorAccum(delta->data(), parity_buf->data(), len);
                 }
                 ShardWrite(idx, off, len, parity_buf ? parity_buf->data() : nullptr,
                            [joiner, parity_buf](const Status& s2) { joiner->Finish(s2); });
@@ -514,7 +552,7 @@ void EcStripeStore::RepairShard(int shard, storage::BlockDevice* replacement,
       }
       uint64_t shard_off = *row * u;
       Extent ext{*row, shard, shard_off, u, 0};
-      auto buf = std::make_shared<std::vector<uint8_t>>(u);
+      auto buf = AcquireBuf(u, false);
       DegradedReadExtent(ext, buf->data(),
                          [this, replacement, shard_off, u, buf, row, step,
                           done_shared](const Status& s) {

@@ -67,6 +67,11 @@ struct EcStats {
   uint64_t parity_log_appends = 0;
   uint64_t parity_log_applied = 0;
   uint64_t degraded_reads = 0;
+  // Scratch-pool accounting: `scratch_fresh` counts pool misses (heap
+  // allocations); in steady state acquires keep rising while fresh stays
+  // flat — encode/decode runs allocation-free off recycled buffers.
+  uint64_t scratch_acquires = 0;
+  uint64_t scratch_fresh = 0;
 };
 
 class EcStripeStore {
@@ -115,6 +120,16 @@ class EcStripeStore {
   void PartialWriteExtent(const Extent& ext, const uint8_t* data, storage::IoCallback done);
   void DegradedReadExtent(const Extent& ext, uint8_t* out, storage::IoCallback done);
 
+  // Pooled scratch: recycles shard-sized buffers across async operations so
+  // steady-state encode/decode allocates nothing (see EcStats scratch_*).
+  // Buffers return to the pool when their last shared_ptr drops.
+  class BufferPool;
+  std::shared_ptr<std::vector<uint8_t>> AcquireBuf(size_t len, bool zero);
+
+  // Cached reconstruction plan for degraded reads of `shard` under the
+  // current liveness pattern; compiled on first use per (alive set, shard).
+  const ReedSolomon::DecodePlan* PlanForDegraded(int shard, const std::vector<int>& sources);
+
   void ShardRead(int shard, uint64_t offset, uint64_t len, void* out, storage::IoCallback done);
   void ShardWrite(int shard, uint64_t offset, uint64_t len, const void* data,
                   storage::IoCallback done);
@@ -130,6 +145,11 @@ class EcStripeStore {
   // PariX speculation cache: (shard, shard_off) -> current bytes of ranges
   // written since the last flush (empty vector in timing-only runs).
   std::map<std::pair<int, uint64_t>, std::vector<uint8_t>> parix_cache_;
+  std::shared_ptr<BufferPool> pool_;
+  std::map<std::pair<std::vector<bool>, int>, ReedSolomon::DecodePlan> plan_cache_;
+  // Reused synchronously within one Encode call (never across callbacks).
+  std::vector<const uint8_t*> enc_data_ptrs_;
+  std::vector<uint8_t*> enc_parity_ptrs_;
   EcStats stats_;
 };
 

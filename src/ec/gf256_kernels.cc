@@ -1,0 +1,365 @@
+#include "src/ec/gf256_kernels.h"
+
+#include <cstring>
+
+#include "src/common/cpu.h"
+#include "src/common/logging.h"
+#include "src/ec/gf256.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define URSA_GF_X86 1
+#endif
+
+namespace ursa::ec {
+namespace {
+
+// Scalar tail shared by the vector tiers: the split tables evaluate
+// c*v = lo[v&15] ^ hi[v>>4] branch-free, so heads/tails shorter than one
+// vector stay bit-identical to the wide path.
+inline void TailMulAccum(const GfMulTable& t, const uint8_t* in, uint8_t* out, size_t len) {
+  for (size_t i = 0; i < len; ++i) {
+    out[i] = static_cast<uint8_t>(out[i] ^ t.lo[in[i] & 0x0F] ^ t.hi[in[i] >> 4]);
+  }
+}
+
+// ---- Portable tier: slicing-by-8 ----
+// Mirrors CRC32C slice8: one 64-bit load covers eight table lookups whose
+// results assemble into a single 64-bit XOR store. No branches, no per-byte
+// stores; the 256-entry product table stays L1-resident.
+
+inline uint64_t PortableProduct(const uint8_t* tab, uint64_t w) {
+  return static_cast<uint64_t>(tab[w & 0xFF]) |
+         static_cast<uint64_t>(tab[(w >> 8) & 0xFF]) << 8 |
+         static_cast<uint64_t>(tab[(w >> 16) & 0xFF]) << 16 |
+         static_cast<uint64_t>(tab[(w >> 24) & 0xFF]) << 24 |
+         static_cast<uint64_t>(tab[(w >> 32) & 0xFF]) << 32 |
+         static_cast<uint64_t>(tab[(w >> 40) & 0xFF]) << 40 |
+         static_cast<uint64_t>(tab[(w >> 48) & 0xFF]) << 48 |
+         static_cast<uint64_t>(tab[(w >> 56) & 0xFF]) << 56;
+}
+
+void PortableMulAccum(const GfMulTable& t, const uint8_t* in, uint8_t* out, size_t len) {
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t w;
+    uint64_t o;
+    std::memcpy(&w, in + i, 8);
+    std::memcpy(&o, out + i, 8);
+    o ^= PortableProduct(t.full, w);
+    std::memcpy(out + i, &o, 8);
+  }
+  TailMulAccum(t, in + i, out + i, len - i);
+}
+
+void PortableMulAccumMulti(const GfMulTable* tables, const uint8_t* in, uint8_t* const* outs,
+                           int m, size_t len) {
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, in + i, 8);
+    for (int j = 0; j < m; ++j) {
+      uint64_t o;
+      std::memcpy(&o, outs[j] + i, 8);
+      o ^= PortableProduct(tables[j].full, w);
+      std::memcpy(outs[j] + i, &o, 8);
+    }
+  }
+  for (int j = 0; j < m; ++j) {
+    TailMulAccum(tables[j], in + i, outs[j] + i, len - i);
+  }
+}
+
+// ---- SIMD tiers (x86) ----
+// Per-function target attributes keep the rest of the build on the baseline
+// ISA; these are only reached after a cpuid check.
+
+#ifdef URSA_GF_X86
+
+// Fused-group width: tables for this many destinations fit comfortably in
+// vector registers alongside the input block (m > kFusedGroup chunks).
+constexpr int kFusedGroup = 8;
+
+__attribute__((target("ssse3"))) void Ssse3MulAccum(const GfMulTable& t, const uint8_t* in,
+                                                    uint8_t* out, size_t len) {
+  const __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    __m128i l = _mm_and_si128(v, mask);
+    __m128i h = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+    __m128i prod = _mm_xor_si128(_mm_shuffle_epi8(lo, l), _mm_shuffle_epi8(hi, h));
+    __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(out + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), _mm_xor_si128(d, prod));
+  }
+  TailMulAccum(t, in + i, out + i, len - i);
+}
+
+__attribute__((target("ssse3"))) void Ssse3MulAccumMulti(const GfMulTable* tables,
+                                                         const uint8_t* in,
+                                                         uint8_t* const* outs, int m,
+                                                         size_t len) {
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  for (int base = 0; base < m; base += kFusedGroup) {
+    int g = m - base < kFusedGroup ? m - base : kFusedGroup;
+    __m128i lo[kFusedGroup];
+    __m128i hi[kFusedGroup];
+    for (int j = 0; j < g; ++j) {
+      lo[j] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(tables[base + j].lo));
+      hi[j] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(tables[base + j].hi));
+    }
+    size_t i = 0;
+    for (; i + 16 <= len; i += 16) {
+      __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+      __m128i l = _mm_and_si128(v, mask);
+      __m128i h = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+      for (int j = 0; j < g; ++j) {
+        uint8_t* o = outs[base + j] + i;
+        __m128i prod = _mm_xor_si128(_mm_shuffle_epi8(lo[j], l), _mm_shuffle_epi8(hi[j], h));
+        __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(o));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(o), _mm_xor_si128(d, prod));
+      }
+    }
+    for (int j = 0; j < g; ++j) {
+      TailMulAccum(tables[base + j], in + i, outs[base + j] + i, len - i);
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void Avx2MulAccum(const GfMulTable& t, const uint8_t* in,
+                                                  uint8_t* out, size_t len) {
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi)));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    __m256i l = _mm256_and_si256(v, mask);
+    __m256i h = _mm256_and_si256(_mm256_srli_epi64(v, 4), mask);
+    __m256i prod =
+        _mm256_xor_si256(_mm256_shuffle_epi8(lo, l), _mm256_shuffle_epi8(hi, h));
+    __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(out + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), _mm256_xor_si256(d, prod));
+  }
+  TailMulAccum(t, in + i, out + i, len - i);
+}
+
+__attribute__((target("avx2"))) void Avx2MulAccumMulti(const GfMulTable* tables,
+                                                       const uint8_t* in, uint8_t* const* outs,
+                                                       int m, size_t len) {
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  for (int base = 0; base < m; base += kFusedGroup) {
+    int g = m - base < kFusedGroup ? m - base : kFusedGroup;
+    __m256i lo[kFusedGroup];
+    __m256i hi[kFusedGroup];
+    for (int j = 0; j < g; ++j) {
+      lo[j] = _mm256_broadcastsi128_si256(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(tables[base + j].lo)));
+      hi[j] = _mm256_broadcastsi128_si256(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(tables[base + j].hi)));
+    }
+    size_t i = 0;
+    for (; i + 32 <= len; i += 32) {
+      __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+      __m256i l = _mm256_and_si256(v, mask);
+      __m256i h = _mm256_and_si256(_mm256_srli_epi64(v, 4), mask);
+      for (int j = 0; j < g; ++j) {
+        uint8_t* o = outs[base + j] + i;
+        __m256i prod =
+            _mm256_xor_si256(_mm256_shuffle_epi8(lo[j], l), _mm256_shuffle_epi8(hi[j], h));
+        __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(o));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(o), _mm256_xor_si256(d, prod));
+      }
+    }
+    for (int j = 0; j < g; ++j) {
+      TailMulAccum(tables[base + j], in + i, outs[base + j] + i, len - i);
+    }
+  }
+}
+
+bool Ssse3Available() { return __builtin_cpu_supports("ssse3") != 0; }
+bool Avx2Available() { return __builtin_cpu_supports("avx2") != 0; }
+
+#else
+
+bool Ssse3Available() { return false; }
+bool Avx2Available() { return false; }
+
+#endif  // URSA_GF_X86
+
+// ---- One-time runtime dispatch (the crc32.cc pattern) ----
+
+using MulAccumFn = void (*)(const GfMulTable&, const uint8_t*, uint8_t*, size_t);
+using MulAccumMultiFn = void (*)(const GfMulTable*, const uint8_t*, uint8_t* const*, int,
+                                 size_t);
+
+struct Dispatch {
+  GfKernelTier tier;
+  MulAccumFn mul;
+  MulAccumMultiFn multi;
+};
+
+Dispatch PickBest() {
+#ifdef URSA_GF_X86
+  if (!ForcePortableKernels()) {
+    if (Avx2Available()) {
+      return {GfKernelTier::kAvx2, &Avx2MulAccum, &Avx2MulAccumMulti};
+    }
+    if (Ssse3Available()) {
+      return {GfKernelTier::kSsse3, &Ssse3MulAccum, &Ssse3MulAccumMulti};
+    }
+  }
+#endif
+  return {GfKernelTier::kPortable, &PortableMulAccum, &PortableMulAccumMulti};
+}
+
+const Dispatch& Best() {
+  static const Dispatch best = PickBest();
+  return best;
+}
+
+}  // namespace
+
+bool GfKernelTierAvailable(GfKernelTier tier) {
+  switch (tier) {
+    case GfKernelTier::kScalar:
+    case GfKernelTier::kPortable:
+      return true;
+    case GfKernelTier::kSsse3:
+      return !ForcePortableKernels() && Ssse3Available();
+    case GfKernelTier::kAvx2:
+      return !ForcePortableKernels() && Avx2Available();
+  }
+  return false;
+}
+
+GfKernelTier GfKernelBestTier() { return Best().tier; }
+
+const char* GfKernelTierName(GfKernelTier tier) {
+  switch (tier) {
+    case GfKernelTier::kScalar:
+      return "scalar";
+    case GfKernelTier::kPortable:
+      return "portable";
+    case GfKernelTier::kSsse3:
+      return "ssse3";
+    case GfKernelTier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+void GfBuildMulTable(uint8_t coef, GfMulTable* table) {
+  const Gf256& gf = Gf256::Instance();
+  for (int x = 0; x < 16; ++x) {
+    table->lo[x] = gf.Mul(coef, static_cast<uint8_t>(x));
+    table->hi[x] = gf.Mul(coef, static_cast<uint8_t>(x << 4));
+  }
+  for (int v = 0; v < 256; ++v) {
+    table->full[v] = static_cast<uint8_t>(table->lo[v & 0x0F] ^ table->hi[v >> 4]);
+  }
+}
+
+void GfMulAccum(const GfMulTable& table, uint8_t coef, const uint8_t* in, uint8_t* out,
+                size_t len) {
+  if (coef == 0) {
+    return;
+  }
+  if (coef == 1) {
+    GfXorAccum(in, out, len);
+    return;
+  }
+  Best().mul(table, in, out, len);
+}
+
+void GfMulAccumWith(GfKernelTier tier, const GfMulTable& table, uint8_t coef,
+                    const uint8_t* in, uint8_t* out, size_t len) {
+  switch (tier) {
+    case GfKernelTier::kScalar:
+      Gf256::Instance().MulAccum(coef, in, out, len);
+      return;
+    case GfKernelTier::kPortable:
+      PortableMulAccum(table, in, out, len);
+      return;
+    case GfKernelTier::kSsse3:
+#ifdef URSA_GF_X86
+      Ssse3MulAccum(table, in, out, len);
+      return;
+#else
+      break;
+#endif
+    case GfKernelTier::kAvx2:
+#ifdef URSA_GF_X86
+      Avx2MulAccum(table, in, out, len);
+      return;
+#else
+      break;
+#endif
+  }
+  URSA_CHECK(false) << "kernel tier unavailable on this build";
+}
+
+void GfMulAccumMulti(const GfMulTable* tables, const uint8_t* coefs, const uint8_t* in,
+                     uint8_t* const* outs, int m, size_t len) {
+  (void)coefs;
+  if (m <= 0) {
+    return;
+  }
+  Best().multi(tables, in, outs, m, len);
+}
+
+void GfMulAccumMultiWith(GfKernelTier tier, const GfMulTable* tables, const uint8_t* coefs,
+                         const uint8_t* in, uint8_t* const* outs, int m, size_t len) {
+  if (m <= 0) {
+    return;
+  }
+  switch (tier) {
+    case GfKernelTier::kScalar: {
+      // The reference structure: one full pass over `in` per destination.
+      const Gf256& gf = Gf256::Instance();
+      for (int j = 0; j < m; ++j) {
+        gf.MulAccum(coefs[j], in, outs[j], len);
+      }
+      return;
+    }
+    case GfKernelTier::kPortable:
+      PortableMulAccumMulti(tables, in, outs, m, len);
+      return;
+    case GfKernelTier::kSsse3:
+#ifdef URSA_GF_X86
+      Ssse3MulAccumMulti(tables, in, outs, m, len);
+      return;
+#else
+      break;
+#endif
+    case GfKernelTier::kAvx2:
+#ifdef URSA_GF_X86
+      Avx2MulAccumMulti(tables, in, outs, m, len);
+      return;
+#else
+      break;
+#endif
+  }
+  URSA_CHECK(false) << "kernel tier unavailable on this build";
+}
+
+void GfXorAccum(const uint8_t* in, uint8_t* out, size_t len) {
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t a;
+    uint64_t b;
+    std::memcpy(&a, in + i, 8);
+    std::memcpy(&b, out + i, 8);
+    b ^= a;
+    std::memcpy(out + i, &b, 8);
+  }
+  for (; i < len; ++i) {
+    out[i] ^= in[i];
+  }
+}
+
+}  // namespace ursa::ec

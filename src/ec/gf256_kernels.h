@@ -1,0 +1,97 @@
+// Vectorized GF(2^8) multiply-accumulate kernels — the EC data plane.
+//
+// Reed-Solomon coding spends essentially all of its CPU in one primitive:
+//
+//     out[i] ^= coef * in[i]        (GF(256) multiply, XOR accumulate)
+//
+// The scalar reference (Gf256::MulAccum) pays a log/exp double lookup and a
+// zero-test branch per byte. ISA-L-class coders instead use the split-table
+// PSHUFB technique: for a fixed coefficient c, precompute two 16-entry tables
+//     lo[x] = c * x          (products of the low nibble)
+//     hi[x] = c * (x << 4)   (products of the high nibble)
+// and then, since GF addition is XOR and multiplication distributes,
+//     c * v = lo[v & 15] ^ hi[v >> 4]
+// — which a byte-shuffle instruction evaluates for 16 (SSSE3) or 32 (AVX2)
+// lanes at once. This header exposes that kernel family with one-time
+// runtime dispatch mirroring src/common/crc32.cc:
+//
+//   * kAvx2     — 32 bytes/iteration via vpshufb (x86-64 with AVX2),
+//   * kSsse3    — 16 bytes/iteration via pshufb,
+//   * kPortable — slicing-by-8: one 64-bit load, eight lookups into a
+//                 256-entry product table, one 64-bit XOR store (the CRC32C
+//                 slice8 pattern applied to GF multiply; branch-free),
+//   * kScalar   — the Gf256 log/exp reference (always available; the
+//                 bit-exactness baseline for tests and benchmarks).
+//
+// All kernels handle arbitrary lengths and alignments (unaligned loads plus
+// a scalar tail) and produce bit-identical results. The fused multi-
+// destination variant updates all m parity rows in one pass over a data
+// shard, so the shard streams from memory once and stays hot in L1/L2
+// instead of being re-read per parity row.
+//
+// URSA_FORCE_PORTABLE_KERNELS (see src/common/cpu.h) makes the dispatcher
+// pick kPortable and report the SIMD tiers unavailable.
+#ifndef URSA_EC_GF256_KERNELS_H_
+#define URSA_EC_GF256_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ursa::ec {
+
+enum class GfKernelTier {
+  kScalar,    // Gf256 log/exp reference
+  kPortable,  // 64-bit slicing through a 256-entry product table
+  kSsse3,     // pshufb split-nibble tables, 16 B/iter
+  kAvx2,      // vpshufb split-nibble tables, 32 B/iter
+};
+
+// Whether `tier` can run on this machine (kScalar/kPortable: always; SIMD
+// tiers: CPU support AND not forced portable).
+bool GfKernelTierAvailable(GfKernelTier tier);
+
+// The tier GfMulAccum/GfMulAccumMulti dispatch to (latched at first use).
+GfKernelTier GfKernelBestTier();
+
+// "scalar", "portable", "ssse3", or "avx2".
+const char* GfKernelTierName(GfKernelTier tier);
+
+// Per-coefficient lookup tables, built once and cached by the codec (288
+// bytes). `lo`/`hi` feed the PSHUFB tiers, `full` feeds the portable tier;
+// the scalar tier ignores the table and uses Gf256 directly.
+struct GfMulTable {
+  alignas(16) uint8_t lo[16];  // c * x for x in [0, 16)
+  alignas(16) uint8_t hi[16];  // c * (x << 4) for x in [0, 16)
+  uint8_t full[256];           // c * v for v in [0, 256)
+};
+
+void GfBuildMulTable(uint8_t coef, GfMulTable* table);
+
+// out[i] ^= coef * in[i] for i in [0, len), best tier. `table` must have been
+// built for `coef`.
+void GfMulAccum(const GfMulTable& table, uint8_t coef, const uint8_t* in, uint8_t* out,
+                size_t len);
+
+// Same, pinned to a specific tier (tests and benchmarks). `tier` must be
+// available.
+void GfMulAccumWith(GfKernelTier tier, const GfMulTable& table, uint8_t coef,
+                    const uint8_t* in, uint8_t* out, size_t len);
+
+// Fused multi-destination multiply-accumulate:
+//     outs[j][i] ^= coefs[j] * in[i]   for j in [0, m), i in [0, len)
+// One pass over `in` updates every destination — each input block is loaded
+// once and reused across all m coefficient rows. `tables[j]` must have been
+// built for `coefs[j]`. Destinations must not alias the input or each other.
+void GfMulAccumMulti(const GfMulTable* tables, const uint8_t* coefs, const uint8_t* in,
+                     uint8_t* const* outs, int m, size_t len);
+
+void GfMulAccumMultiWith(GfKernelTier tier, const GfMulTable* tables, const uint8_t* coefs,
+                         const uint8_t* in, uint8_t* const* outs, int m, size_t len);
+
+// out[i] ^= in[i]: the coefficient-1 special case (pure XOR), vectorized.
+// Used for delta application on the parity RMW path.
+void GfXorAccum(const uint8_t* in, uint8_t* out, size_t len);
+
+}  // namespace ursa::ec
+
+#endif  // URSA_EC_GF256_KERNELS_H_

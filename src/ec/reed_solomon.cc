@@ -1,5 +1,6 @@
 #include "src/ec/reed_solomon.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/common/logging.h"
@@ -19,26 +20,41 @@ ReedSolomon::ReedSolomon(int k, int m) : k_(k), m_(m) {
     rows_[d][d] = 1;
   }
   coding_.assign(m, std::vector<uint8_t>(k, 0));
+  enc_tables_.resize(static_cast<size_t>(k) * m);
+  enc_coefs_.resize(static_cast<size_t>(k) * m);
   for (int p = 0; p < m; ++p) {
     for (int d = 0; d < k; ++d) {
       uint8_t x = static_cast<uint8_t>(k + p);  // x_p in [k, k+m)
       uint8_t y = static_cast<uint8_t>(d);      // y_d in [0, k)
       coding_[p][d] = gf.Inv(Gf256::Add(x, y));
       rows_[k + p][d] = coding_[p][d];
+      enc_coefs_[static_cast<size_t>(d) * m + p] = coding_[p][d];
+      GfBuildMulTable(coding_[p][d], &enc_tables_[static_cast<size_t>(d) * m + p]);
     }
   }
 }
 
 void ReedSolomon::Encode(const std::vector<const uint8_t*>& data,
                          const std::vector<uint8_t*>& parity, size_t len) const {
+  EncodeWith(GfKernelBestTier(), data, parity, len);
+}
+
+void ReedSolomon::EncodeWith(GfKernelTier tier, const std::vector<const uint8_t*>& data,
+                             const std::vector<uint8_t*>& parity, size_t len) const {
   URSA_CHECK_EQ(data.size(), static_cast<size_t>(k_));
   URSA_CHECK_EQ(parity.size(), static_cast<size_t>(m_));
-  const Gf256& gf = Gf256::Instance();
   for (int p = 0; p < m_; ++p) {
     std::memset(parity[p], 0, len);
-    for (int d = 0; d < k_; ++d) {
-      gf.MulAccum(coding_[p][d], data[d], parity[p], len);
-    }
+  }
+  if (m_ == 0) {
+    return;
+  }
+  // Fused: stream each data shard once, updating all m parity rows while the
+  // shard's cache lines are hot — instead of m full passes over every shard.
+  for (int d = 0; d < k_; ++d) {
+    GfMulAccumMultiWith(tier, &enc_tables_[static_cast<size_t>(d) * m_],
+                        &enc_coefs_[static_cast<size_t>(d) * m_], data[d], parity.data(), m_,
+                        len);
   }
 }
 
@@ -81,57 +97,108 @@ bool ReedSolomon::Invert(std::vector<std::vector<uint8_t>>* matrix) {
   return true;
 }
 
-Status ReedSolomon::Reconstruct(const std::vector<const uint8_t*>& shards,
-                                std::vector<uint8_t*> out, size_t len) const {
-  URSA_CHECK_EQ(shards.size(), static_cast<size_t>(n()));
+Status ReedSolomon::PlanReconstruct(const std::vector<bool>& present,
+                                    const std::vector<int>& wanted, DecodePlan* plan) const {
+  URSA_CHECK_EQ(present.size(), static_cast<size_t>(n()));
   const Gf256& gf = Gf256::Instance();
 
-  // Collect k surviving shards and the encoding rows that produced them.
-  std::vector<int> alive;
-  for (int i = 0; i < n() && static_cast<int>(alive.size()) < k_; ++i) {
-    if (shards[i] != nullptr) {
-      alive.push_back(i);
+  plan->sources.clear();
+  plan->targets.clear();
+  for (int i = 0; i < n() && static_cast<int>(plan->sources.size()) < k_; ++i) {
+    if (present[i]) {
+      plan->sources.push_back(i);
     }
   }
-  if (static_cast<int>(alive.size()) < k_) {
+  if (static_cast<int>(plan->sources.size()) < k_) {
     return Unavailable("fewer than k shards survive; stripe unrecoverable");
   }
-
-  std::vector<std::vector<uint8_t>> sub(k_);
-  for (int r = 0; r < k_; ++r) {
-    sub[r] = rows_[alive[r]];
+  for (int t : wanted) {
+    URSA_CHECK_LT(static_cast<size_t>(t), static_cast<size_t>(n()));
+    if (!present[t]) {
+      plan->targets.push_back(t);
+    }
   }
-  if (!Invert(&sub)) {
+  size_t nt = plan->targets.size();
+  plan->coefs.assign(static_cast<size_t>(k_) * nt, 0);
+  plan->tables.resize(static_cast<size_t>(k_) * nt);
+  if (nt == 0) {
+    return OkStatus();
+  }
+
+  // Invert the k x k matrix of the survivors' encoding rows: inv[d][r] is
+  // the coefficient of survivor r in data shard d.
+  std::vector<std::vector<uint8_t>> inv(k_);
+  for (int r = 0; r < k_; ++r) {
+    inv[r] = rows_[plan->sources[r]];
+  }
+  if (!Invert(&inv)) {
     return Internal("singular decoding matrix (should be impossible for Cauchy)");
   }
 
-  // data[d] = sum_r inverse[d][r] * survivor[r]; rebuild only missing data.
-  std::vector<std::vector<uint8_t>> data_bufs;
-  std::vector<const uint8_t*> data(k_);
-  for (int d = 0; d < k_; ++d) {
-    if (shards[d] != nullptr) {
-      data[d] = shards[d];
-      continue;
-    }
-    URSA_CHECK(out[d] != nullptr) << "missing shard needs an output buffer";
-    std::memset(out[d], 0, len);
+  // Every lost shard is a direct linear combination of the survivors: a lost
+  // data shard d uses inv[d]; a lost parity p folds its coding row through
+  // the inverse (parity_p = coding_p . data = (coding_p . inv) . survivors).
+  for (size_t t = 0; t < nt; ++t) {
+    int shard = plan->targets[t];
     for (int r = 0; r < k_; ++r) {
-      gf.MulAccum(sub[d][r], shards[alive[r]], out[d], len);
-    }
-    data[d] = out[d];
-  }
-  // Re-encode any missing parity from the (now complete) data.
-  for (int p = 0; p < m_; ++p) {
-    int idx = k_ + p;
-    if (shards[idx] != nullptr) {
-      continue;
-    }
-    URSA_CHECK(out[idx] != nullptr);
-    std::memset(out[idx], 0, len);
-    for (int d = 0; d < k_; ++d) {
-      gf.MulAccum(coding_[p][d], data[d], out[idx], len);
+      uint8_t c;
+      if (shard < k_) {
+        c = inv[shard][r];
+      } else {
+        c = 0;
+        for (int d = 0; d < k_; ++d) {
+          c = Gf256::Add(c, gf.Mul(coding_[shard - k_][d], inv[d][r]));
+        }
+      }
+      plan->coefs[static_cast<size_t>(r) * nt + t] = c;
+      GfBuildMulTable(c, &plan->tables[static_cast<size_t>(r) * nt + t]);
     }
   }
+  return OkStatus();
+}
+
+void ReedSolomon::ReconstructWith(const DecodePlan& plan,
+                                  const std::vector<const uint8_t*>& shards,
+                                  const std::vector<uint8_t*>& out, size_t len,
+                                  GfKernelTier tier) const {
+  size_t nt = plan.targets.size();
+  if (nt == 0) {
+    return;
+  }
+  // Collect the rebuild destinations once, then stream each survivor through
+  // the fused kernel — one pass per survivor updates every target.
+  std::vector<uint8_t*> outs(nt);
+  for (size_t t = 0; t < nt; ++t) {
+    outs[t] = out[plan.targets[t]];
+    URSA_CHECK(outs[t] != nullptr) << "missing shard needs an output buffer";
+    std::memset(outs[t], 0, len);
+  }
+  for (int r = 0; r < k_; ++r) {
+    const uint8_t* src = shards[plan.sources[r]];
+    URSA_CHECK(src != nullptr);
+    GfMulAccumMultiWith(tier, &plan.tables[static_cast<size_t>(r) * nt],
+                        &plan.coefs[static_cast<size_t>(r) * nt], src, outs.data(),
+                        static_cast<int>(nt), len);
+  }
+}
+
+Status ReedSolomon::Reconstruct(const std::vector<const uint8_t*>& shards,
+                                std::vector<uint8_t*> out, size_t len) const {
+  URSA_CHECK_EQ(shards.size(), static_cast<size_t>(n()));
+  std::vector<bool> present(n());
+  std::vector<int> wanted;
+  for (int i = 0; i < n(); ++i) {
+    present[i] = shards[i] != nullptr;
+    if (!present[i]) {
+      wanted.push_back(i);
+    }
+  }
+  DecodePlan plan;
+  Status s = PlanReconstruct(present, wanted, &plan);
+  if (!s.ok()) {
+    return s;
+  }
+  ReconstructWith(plan, shards, out, len);
   return OkStatus();
 }
 

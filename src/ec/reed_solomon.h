@@ -5,6 +5,16 @@
 // incremental parity updates (parity_delta = coef * data_delta), which is
 // what makes partial-write strategies — RMW, parity logging (Chan et al.),
 // PariX-style speculation — implementable without full-stripe rewrites.
+//
+// The hot loops run on the vectorized GF(256) kernels (gf256_kernels.h).
+// The codec caches a split-nibble multiply table per (parity, data)
+// coefficient at construction, and Encode is FUSED: each data shard is
+// streamed once, updating all m parity rows while the shard is hot in cache,
+// instead of re-reading it per parity row. Reconstruction compiles a
+// DecodePlan — per-survivor coefficient rows (missing parity folded through
+// the inverse, so every lost shard, data or parity, is a direct linear
+// combination of the k survivors) plus their multiply tables — which callers
+// can cache across calls with the same liveness pattern.
 #ifndef URSA_EC_REED_SOLOMON_H_
 #define URSA_EC_REED_SOLOMON_H_
 
@@ -13,6 +23,7 @@
 
 #include "src/common/status.h"
 #include "src/ec/gf256.h"
+#include "src/ec/gf256_kernels.h"
 
 namespace ursa::ec {
 
@@ -25,22 +36,62 @@ class ReedSolomon {
   int m() const { return m_; }
   int n() const { return k_ + m_; }
 
-  // Computes the m parity shards from the k data shards (all `len` bytes).
+  // Computes the m parity shards from the k data shards (all `len` bytes),
+  // one fused pass per data shard on the best available kernel tier.
   void Encode(const std::vector<const uint8_t*>& data, const std::vector<uint8_t*>& parity,
               size_t len) const;
+
+  // Encode pinned to a kernel tier (tests assert bit-exactness across tiers,
+  // benchmarks report per-tier throughput). `tier` must be available.
+  void EncodeWith(GfKernelTier tier, const std::vector<const uint8_t*>& data,
+                  const std::vector<uint8_t*>& parity, size_t len) const;
 
   // Coefficient of data shard `d` in parity shard `p` — the scalar for
   // incremental parity updates: new_parity = old_parity + coef*(new - old).
   uint8_t ParityCoefficient(int p, int d) const { return coding_[p][d]; }
 
-  // Applies a data delta (new XOR old) of shard `d` to parity shard `p`.
+  // Applies a data delta (new XOR old) of shard `d` to parity shard `p`,
+  // using the cached coefficient table.
   void UpdateParity(int p, int d, const uint8_t* delta, uint8_t* parity, size_t len) const {
-    Gf256::Instance().MulAccum(coding_[p][d], delta, parity, len);
+    GfMulAccum(enc_tables_[static_cast<size_t>(d) * m_ + p], coding_[p][d], delta, parity,
+               len);
+  }
+
+  // A compiled reconstruction: which k survivors to read, which shards to
+  // rebuild, and the per-(survivor, target) coefficient tables. Building one
+  // costs a k x k matrix inversion plus table generation; callers that
+  // reconstruct repeatedly under a stable failure pattern (degraded reads,
+  // shard repair) should cache it.
+  struct DecodePlan {
+    std::vector<int> sources;  // k surviving shard indices, ascending
+    std::vector<int> targets;  // shard indices this plan rebuilds
+    // Row-major [source][target]: contribution of sources[r] to targets[t].
+    std::vector<uint8_t> coefs;
+    std::vector<GfMulTable> tables;
+  };
+
+  // Compiles a plan from `present` (shard availability, size n) rebuilding
+  // every shard in `wanted` (indices into [0, n)). Wanted shards that are
+  // present are ignored. Fails when fewer than k shards are present.
+  Status PlanReconstruct(const std::vector<bool>& present, const std::vector<int>& wanted,
+                         DecodePlan* plan) const;
+
+  // Executes a plan: out[t] (for each t in plan.targets) is overwritten with
+  // the reconstructed shard. `shards[s]` must be valid for every s in
+  // plan.sources. Fused: each survivor is streamed once, updating every
+  // rebuild target.
+  void ReconstructWith(const DecodePlan& plan, const std::vector<const uint8_t*>& shards,
+                       const std::vector<uint8_t*>& out, size_t len,
+                       GfKernelTier tier) const;
+  void ReconstructWith(const DecodePlan& plan, const std::vector<const uint8_t*>& shards,
+                       const std::vector<uint8_t*>& out, size_t len) const {
+    ReconstructWith(plan, shards, out, len, GfKernelBestTier());
   }
 
   // Reconstructs the full stripe from any k surviving shards.
   // `shards[i]` is shard i's bytes or nullptr if lost; lost shards must point
   // at writable buffers in `out[i]`. Fails when fewer than k survive.
+  // (Compiles a throwaway DecodePlan; hot paths cache one instead.)
   Status Reconstruct(const std::vector<const uint8_t*>& shards, std::vector<uint8_t*> out,
                      size_t len) const;
 
@@ -54,6 +105,10 @@ class ReedSolomon {
   std::vector<std::vector<uint8_t>> rows_;
   // Convenience view of the parity rows (m x k).
   std::vector<std::vector<uint8_t>> coding_;
+  // Cached multiply tables, grouped for the fused encode: entry d*m + p is
+  // the table for coding_[p][d], and enc_coefs_ mirrors the layout.
+  std::vector<GfMulTable> enc_tables_;
+  std::vector<uint8_t> enc_coefs_;
 };
 
 }  // namespace ursa::ec

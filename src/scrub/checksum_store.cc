@@ -28,6 +28,7 @@ void ChecksumStore::OnWrite(storage::ChunkId chunk, uint64_t offset, uint64_t le
     return;
   }
   URSA_CHECK_LE(offset + length, chunk_size_);
+  ++generations_[chunk];
   if (data == nullptr) {
     Invalidate(chunk, offset, length);
     return;
@@ -57,8 +58,14 @@ void ChecksumStore::OnWrite(storage::ChunkId chunk, uint64_t offset, uint64_t le
 }
 
 void ChecksumStore::Invalidate(storage::ChunkId chunk, uint64_t offset, uint64_t length) {
+  if (length == 0) {
+    return;
+  }
+  // Bump even when nothing is tracked yet: the bytes changed, so a scrub
+  // read snapshotted before this call must not be trusted to arm sectors.
+  ++generations_[chunk];
   auto it = chunks_.find(chunk);
-  if (it == chunks_.end() || length == 0) {
+  if (it == chunks_.end()) {
     return;  // nothing tracked: nothing to invalidate
   }
   uint64_t first = offset / kScrubSector;
@@ -72,6 +79,7 @@ void ChecksumStore::Invalidate(storage::ChunkId chunk, uint64_t offset, uint64_t
 }
 
 void ChecksumStore::Drop(storage::ChunkId chunk) {
+  ++generations_[chunk];
   auto it = chunks_.find(chunk);
   if (it == chunks_.end()) {
     return;
@@ -82,6 +90,36 @@ void ChecksumStore::Drop(storage::ChunkId chunk) {
     }
   }
   chunks_.erase(it);
+}
+
+uint64_t ChecksumStore::generation(storage::ChunkId chunk) const {
+  auto it = generations_.find(chunk);
+  return it == generations_.end() ? 0 : it->second;
+}
+
+uint64_t ChecksumStore::Rearm(storage::ChunkId chunk, uint64_t offset, uint64_t length,
+                              const void* data, uint64_t expected_generation) {
+  URSA_CHECK_EQ(offset % kScrubSector, 0u);
+  URSA_CHECK_EQ(length % kScrubSector, 0u);
+  URSA_CHECK_LE(offset + length, chunk_size_);
+  if (generation(chunk) != expected_generation) {
+    return 0;  // a write raced the scrub read; the next sweep retries
+  }
+  ChunkSums& sums = SumsFor(chunk);
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint64_t first = offset / kScrubSector;
+  uint64_t count = length / kScrubSector;
+  uint64_t armed = 0;
+  for (uint64_t s = 0; s < count; ++s) {
+    if (sums.known[first + s]) {
+      continue;
+    }
+    sums.crc[first + s] = Crc32c(bytes + s * kScrubSector, kScrubSector);
+    sums.known[first + s] = true;
+    ++sectors_tracked_;
+    ++armed;
+  }
+  return armed;
 }
 
 ChecksumStore::VerifyResult ChecksumStore::Verify(storage::ChunkId chunk, uint64_t offset,

@@ -44,6 +44,21 @@ class ChecksumStore {
   // Forgets everything about `chunk` (freed slot).
   void Drop(storage::ChunkId chunk);
 
+  // Content-mutation counter for `chunk`: bumped by every OnWrite /
+  // Invalidate / Drop that touches it (0 for a chunk never mutated). The
+  // scrubber snapshots this before a bulk read so Rearm can tell whether the
+  // bytes it is about to trust are stale.
+  uint64_t generation(storage::ChunkId chunk) const;
+
+  // Arms every unverifiable/never-written sector of the sector-aligned range
+  // with a checksum computed from `data` — the scrubber's read-and-recompute
+  // reclaim pass for boundary sectors of unaligned writes. Refuses (returns
+  // 0) when generation(chunk) != expected_generation: a write landed during
+  // the read, so `data` may be stale for the sectors it touched. Returns the
+  // number of sectors armed. Already-known sectors are left untouched.
+  uint64_t Rearm(storage::ChunkId chunk, uint64_t offset, uint64_t length, const void* data,
+                 uint64_t expected_generation);
+
   struct VerifyResult {
     bool ok = true;                 // no checksummed sector mismatched
     uint64_t sectors_verified = 0;  // sectors with a stored checksum
@@ -75,6 +90,9 @@ class ChecksumStore {
   uint64_t chunk_size_;
   uint64_t sectors_per_chunk_;
   std::unordered_map<storage::ChunkId, ChunkSums> chunks_;
+  // Kept separate from chunks_ (and surviving Drop) so a Rearm racing a
+  // Drop/recreate cycle still sees the generation move.
+  std::unordered_map<storage::ChunkId, uint64_t> generations_;
   uint64_t sectors_tracked_ = 0;  // sectors currently holding a checksum
 };
 

@@ -35,6 +35,14 @@ struct ScrubConfig {
   int per_server_concurrent = 1;
   int max_concurrent = 4;
 
+  // Re-arm unverifiable sectors from scrub reads: boundary sectors of
+  // unaligned writes (and timing-only ranges) have no stored checksum; when
+  // a piece verifies clean, the scrubber recomputes checksums for its
+  // skipped sectors from the bytes it just read, guarded by the ledger's
+  // per-chunk generation so a racing write can't arm stale bytes. Coverage
+  // converges to 100% within one clean sweep.
+  bool rearm_unverified = true;
+
   // Health-aware ordering: a chunk is prioritized when any peer replica's
   // health score (windowed p99 / peer median, see obs::HealthMonitor) is at
   // or above this ratio — its siblings may soon be the last good copies.

@@ -42,8 +42,12 @@ void Scrubber::ScrubChunk(storage::ChunkId chunk, uint64_t chunk_size,
     uint64_t length = std::min<uint64_t>(config_.read_bytes, sweep->chunk_size - sweep->offset);
     uint64_t offset = sweep->offset;
     sweep->offset += length;
+    // Snapshot the ledger generation BEFORE the read: if a write lands while
+    // the bulk read is in flight, Rearm sees a newer generation and refuses
+    // — the buffer may hold pre-write bytes for the sectors it touched.
+    uint64_t gen = hooks_.generation ? hooks_.generation(sweep->chunk) : 0;
     hooks_.read(sweep->chunk, offset, length, sweep->buf.data(),
-                [this, sweep, step, offset, length](const Status& st) {
+                [this, sweep, step, offset, length, gen](const Status& st) {
                   if (!st.ok()) {
                     // A journal-CRC hit: JournalManager::Read already
                     // quarantined the record and invoked the corruption
@@ -62,6 +66,14 @@ void Scrubber::ScrubChunk(storage::ChunkId chunk, uint64_t chunk_size,
                       ++sweep->result.mismatches;
                       ++mismatches_found_;
                       hooks_.report(sweep->chunk, v.mismatch_offset, v.mismatch_length);
+                    } else if (config_.rearm_unverified && v.sectors_skipped > 0 &&
+                               hooks_.generation && hooks_.rearm) {
+                      // Clean piece with unverifiable sectors: reclaim them
+                      // from the bytes we just read (unless a write raced).
+                      uint64_t armed =
+                          hooks_.rearm(sweep->chunk, offset, length, sweep->buf.data(), gen);
+                      sweep->result.sectors_rearmed += armed;
+                      sectors_rearmed_ += armed;
                     }
                   }
                   // Yield between pieces so a scrub never occupies more than

@@ -44,6 +44,14 @@ class Scrubber {
         verify;
     // Reports a media-resident mismatch (quarantine the range, kick repair).
     std::function<void(storage::ChunkId chunk, uint64_t offset, uint64_t length)> report;
+    // Optional pair backing the re-arm pass (config.rearm_unverified): the
+    // ledger's content-mutation counter, snapshotted before each bulk read,
+    // and the arm call itself (ChecksumStore::generation / Rearm). When
+    // either is unset, unverifiable sectors are skipped as before.
+    std::function<uint64_t(storage::ChunkId chunk)> generation;
+    std::function<uint64_t(storage::ChunkId chunk, uint64_t offset, uint64_t length,
+                           const void* data, uint64_t expected_generation)>
+        rearm;
   };
 
   struct ChunkResult {
@@ -51,6 +59,7 @@ class Scrubber {
     uint64_t bytes_read = 0;
     uint64_t sectors_verified = 0;
     uint64_t sectors_skipped = 0;
+    uint64_t sectors_rearmed = 0;  // unverifiable sectors given fresh checksums
     int mismatches = 0;   // ledger disagreements reported via hooks.report
     int read_errors = 0;  // pieces whose read failed (journal CRC, quarantine)
   };
@@ -67,6 +76,7 @@ class Scrubber {
   uint64_t chunks_scrubbed() const { return chunks_scrubbed_; }
   uint64_t bytes_read() const { return bytes_read_; }
   uint64_t sectors_verified() const { return sectors_verified_; }
+  uint64_t sectors_rearmed() const { return sectors_rearmed_; }
   uint64_t mismatches_found() const { return mismatches_found_; }
   uint64_t read_errors() const { return read_errors_; }
 
@@ -77,6 +87,7 @@ class Scrubber {
   uint64_t chunks_scrubbed_ = 0;
   uint64_t bytes_read_ = 0;
   uint64_t sectors_verified_ = 0;
+  uint64_t sectors_rearmed_ = 0;
   uint64_t mismatches_found_ = 0;
   uint64_t read_errors_ = 0;
 };

@@ -4,6 +4,7 @@
 // hardware) so the runtime dispatch can never change results.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <numeric>
 #include <string>
@@ -134,6 +135,21 @@ TEST(Crc32cTest, RandomBuffersAgreeAcrossImpls) {
     }
     // The default entry point (whatever the dispatcher picked) agrees too.
     EXPECT_EQ(Crc32c(p, len), want);
+  }
+}
+
+// With URSA_FORCE_PORTABLE_KERNELS set, the dispatcher must skip the SSE4.2
+// tier and report it unavailable; without it, whatever was picked must be
+// available. CI runs this binary both ways to cover both branches.
+TEST(Crc32cTest, DispatcherHonorsForcePortable) {
+  const char* forced = std::getenv("URSA_FORCE_PORTABLE_KERNELS");
+  bool force = forced != nullptr && forced[0] != '\0' && std::string(forced) != "0";
+  if (force) {
+    EXPECT_FALSE(Crc32cImplAvailable(Crc32cImpl::kHardware));
+    EXPECT_STRNE(Crc32cImplName(), "hardware");
+  } else {
+    EXPECT_TRUE(Crc32cImplAvailable(Crc32cImpl::kTable));
+    EXPECT_TRUE(Crc32cImplAvailable(Crc32cImpl::kSlice8));
   }
 }
 

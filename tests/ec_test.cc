@@ -4,12 +4,15 @@
 // degraded reads, and repair — byte-accurate end to end.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/rng.h"
 #include "src/ec/ec_stripe_store.h"
 #include "src/ec/gf256.h"
+#include "src/ec/gf256_kernels.h"
 #include "src/ec/reed_solomon.h"
 #include "src/storage/mem_device.h"
 #include "test_util.h"
@@ -63,6 +66,196 @@ TEST(Gf256Test, MulAccum) {
   gf.MulAccum(5, in.data(), out.data(), in.size());  // accumulate: cancels
   for (uint8_t v : out) {
     EXPECT_EQ(v, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GF(256) kernel tiers (src/ec/gf256_kernels.h)
+// ---------------------------------------------------------------------------
+
+std::vector<GfKernelTier> AvailableTiers() {
+  std::vector<GfKernelTier> tiers;
+  for (GfKernelTier t : {GfKernelTier::kScalar, GfKernelTier::kPortable, GfKernelTier::kSsse3,
+                         GfKernelTier::kAvx2}) {
+    if (GfKernelTierAvailable(t)) {
+      tiers.push_back(t);
+    }
+  }
+  return tiers;
+}
+
+// Every tier must be bit-identical to the scalar Gf256 reference across
+// randomized lengths (including 0, sub-word, and multi-vector), input/output
+// alignment offsets 0..15, and coefficients including the 0 and 1 shortcuts.
+TEST(GfKernelTest, TiersMatchScalarAcrossLengthsAlignmentsAndCoefs) {
+  const Gf256& gf = Gf256::Instance();
+  Rng rng(42);
+  constexpr size_t kMax = 1536;
+  std::vector<uint8_t> in_raw(kMax + 16);
+  std::vector<uint8_t> out_raw(kMax + 16);
+  std::vector<uint8_t> expect(kMax + 16);
+  std::vector<uint8_t> actual(kMax + 16);
+
+  for (int iter = 0; iter < 200; ++iter) {
+    uint8_t coef = iter == 0 ? 0 : iter == 1 ? 1 : static_cast<uint8_t>(rng.Next());
+    size_t len = iter < 8 ? static_cast<size_t>(iter)  // exercise tiny tails
+                          : static_cast<size_t>(rng.Next() % kMax);
+    size_t in_off = rng.Next() % 16;
+    size_t out_off = rng.Next() % 16;
+    for (auto& b : in_raw) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    for (size_t i = 0; i < out_raw.size(); ++i) {
+      out_raw[i] = static_cast<uint8_t>(rng.Next());
+    }
+
+    expect = out_raw;
+    gf.MulAccum(coef, in_raw.data() + in_off, expect.data() + out_off, len);
+
+    GfMulTable table;
+    GfBuildMulTable(coef, &table);
+    for (GfKernelTier tier : AvailableTiers()) {
+      actual = out_raw;
+      GfMulAccumWith(tier, table, coef, in_raw.data() + in_off, actual.data() + out_off, len);
+      ASSERT_EQ(actual, expect) << "tier=" << GfKernelTierName(tier) << " coef=" << int(coef)
+                                << " len=" << len << " in_off=" << in_off
+                                << " out_off=" << out_off;
+    }
+    // The dispatching entry point must agree too.
+    actual = out_raw;
+    GfMulAccum(table, coef, in_raw.data() + in_off, actual.data() + out_off, len);
+    ASSERT_EQ(actual, expect) << "dispatched coef=" << int(coef) << " len=" << len;
+  }
+}
+
+// The fused multi-destination kernel must equal m independent scalar passes,
+// across shard counts straddling the fused-group width.
+TEST(GfKernelTest, FusedMultiMatchesSeparateScalarPasses) {
+  const Gf256& gf = Gf256::Instance();
+  Rng rng(7);
+  for (int m : {1, 2, 3, 7, 8, 9, 11}) {
+    size_t len = 700 + rng.Next() % 700;
+    std::vector<uint8_t> in(len);
+    for (auto& b : in) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    std::vector<uint8_t> coefs(m);
+    std::vector<GfMulTable> tables(m);
+    coefs[0] = 0;  // include both shortcut coefficients in every fused call
+    if (m > 1) {
+      coefs[1] = 1;
+    }
+    for (int j = 2; j < m; ++j) {
+      coefs[j] = static_cast<uint8_t>(rng.Next());
+    }
+    for (int j = 0; j < m; ++j) {
+      GfBuildMulTable(coefs[j], &tables[j]);
+    }
+    std::vector<std::vector<uint8_t>> init(m, std::vector<uint8_t>(len));
+    for (auto& row : init) {
+      for (auto& b : row) {
+        b = static_cast<uint8_t>(rng.Next());
+      }
+    }
+    std::vector<std::vector<uint8_t>> expect = init;
+    for (int j = 0; j < m; ++j) {
+      gf.MulAccum(coefs[j], in.data(), expect[j].data(), len);
+    }
+    for (GfKernelTier tier : AvailableTiers()) {
+      std::vector<std::vector<uint8_t>> actual = init;
+      std::vector<uint8_t*> outs(m);
+      for (int j = 0; j < m; ++j) {
+        outs[j] = actual[j].data();
+      }
+      GfMulAccumMultiWith(tier, tables.data(), coefs.data(), in.data(), outs.data(), m, len);
+      for (int j = 0; j < m; ++j) {
+        ASSERT_EQ(actual[j], expect[j])
+            << "tier=" << GfKernelTierName(tier) << " m=" << m << " row=" << j;
+      }
+    }
+  }
+}
+
+// Pinned known-answer vectors (GF(2^8), polynomial 0x11D): guards against a
+// regression that changes scalar and SIMD tiers in lockstep.
+TEST(GfKernelTest, KnownAnswerVectors) {
+  const std::vector<uint8_t> in = {0x00, 0x01, 0x02, 0x0F, 0x10, 0x53,
+                                   0x80, 0x8D, 0xCA, 0xFE, 0xFF};
+  struct Kat {
+    uint8_t coef;
+    std::vector<uint8_t> product;  // coef * in, accumulated into zeros
+  };
+  const std::vector<Kat> kats = {
+      {0x02, {0x00, 0x02, 0x04, 0x1E, 0x20, 0xA6, 0x1D, 0x07, 0x89, 0xE1, 0xE3}},
+      {0x1D, {0x00, 0x1D, 0x3A, 0xBB, 0xCD, 0xF9, 0x26, 0xA7, 0xE7, 0xD9, 0xC4}},
+      {0xFF, {0x00, 0xFF, 0xE3, 0x6C, 0x4B, 0x66, 0x62, 0xED, 0x1B, 0x1D, 0xE2}},
+  };
+  for (const Kat& kat : kats) {
+    GfMulTable table;
+    GfBuildMulTable(kat.coef, &table);
+    for (GfKernelTier tier : AvailableTiers()) {
+      std::vector<uint8_t> out(in.size(), 0);
+      GfMulAccumWith(tier, table, kat.coef, in.data(), out.data(), in.size());
+      EXPECT_EQ(out, kat.product) << "tier=" << GfKernelTierName(tier) << " coef 0x" << std::hex
+                                  << int(kat.coef);
+    }
+  }
+  // Fused KAT: two coefficient rows over the same input, accumulators
+  // pre-seeded with 0xA5.
+  const uint8_t coefs[2] = {0x37, 0x85};
+  const std::vector<uint8_t> fused0 = {0xA5, 0x92, 0xCB, 0x85, 0xF2, 0xEA,
+                                       0x27, 0x69, 0xAD, 0x88, 0xBF};
+  const std::vector<uint8_t> fused1 = {0xA5, 0x20, 0xB2, 0x45, 0x1D, 0x55,
+                                       0x0C, 0xFB, 0x9D, 0x66, 0xE3};
+  GfMulTable tables[2];
+  GfBuildMulTable(coefs[0], &tables[0]);
+  GfBuildMulTable(coefs[1], &tables[1]);
+  for (GfKernelTier tier : AvailableTiers()) {
+    std::vector<uint8_t> row0(in.size(), 0xA5);
+    std::vector<uint8_t> row1(in.size(), 0xA5);
+    uint8_t* outs[2] = {row0.data(), row1.data()};
+    GfMulAccumMultiWith(tier, tables, coefs, in.data(), outs, 2, in.size());
+    EXPECT_EQ(row0, fused0) << GfKernelTierName(tier);
+    EXPECT_EQ(row1, fused1) << GfKernelTierName(tier);
+  }
+}
+
+TEST(GfKernelTest, XorAccumMatchesByteXor) {
+  Rng rng(3);
+  for (size_t len : {0u, 1u, 7u, 8u, 63u, 64u, 1000u}) {
+    for (size_t off = 0; off < 4; ++off) {
+      std::vector<uint8_t> in(len + off);
+      std::vector<uint8_t> out(len + off);
+      for (auto& b : in) {
+        b = static_cast<uint8_t>(rng.Next());
+      }
+      for (auto& b : out) {
+        b = static_cast<uint8_t>(rng.Next());
+      }
+      std::vector<uint8_t> expect = out;
+      for (size_t i = 0; i < len; ++i) {
+        expect[off + i] ^= in[off + i];
+      }
+      GfXorAccum(in.data() + off, out.data() + off, len);
+      ASSERT_EQ(out, expect) << "len=" << len << " off=" << off;
+    }
+  }
+}
+
+// The dispatcher must honor URSA_FORCE_PORTABLE_KERNELS: with it set, SIMD
+// tiers report unavailable and the best tier is portable (CI runs this test
+// binary both ways; either branch is exercised depending on the leg).
+TEST(GfKernelTest, DispatcherHonorsForcePortable) {
+  const char* forced = std::getenv("URSA_FORCE_PORTABLE_KERNELS");
+  bool force = forced != nullptr && forced[0] != '\0' && std::string(forced) != "0";
+  EXPECT_TRUE(GfKernelTierAvailable(GfKernelTier::kScalar));
+  EXPECT_TRUE(GfKernelTierAvailable(GfKernelTier::kPortable));
+  if (force) {
+    EXPECT_FALSE(GfKernelTierAvailable(GfKernelTier::kSsse3));
+    EXPECT_FALSE(GfKernelTierAvailable(GfKernelTier::kAvx2));
+    EXPECT_EQ(GfKernelBestTier(), GfKernelTier::kPortable);
+  } else {
+    EXPECT_TRUE(GfKernelTierAvailable(GfKernelBestTier()));
   }
 }
 
@@ -125,6 +318,89 @@ INSTANTIATE_TEST_SUITE_P(Geometries, ReedSolomonTest,
                            return "k" + std::to_string(info.param.first) + "m" +
                                   std::to_string(info.param.second);
                          });
+
+// Every kernel tier must produce byte-identical parities and byte-identical
+// reconstructions — the SIMD paths change nothing but speed.
+TEST(ReedSolomonTest, AllTiersEncodeAndReconstructBitIdentical) {
+  Rng rng(99);
+  for (auto [k, m] : {std::pair{2, 1}, std::pair{4, 2}, std::pair{6, 3}, std::pair{10, 4}}) {
+    ReedSolomon rs(k, m);
+    constexpr size_t kLen = 769;  // odd: exercises vector tails everywhere
+    std::vector<std::vector<uint8_t>> data(k, std::vector<uint8_t>(kLen));
+    std::vector<const uint8_t*> data_ptrs(k);
+    for (int d = 0; d < k; ++d) {
+      for (auto& b : data[d]) {
+        b = static_cast<uint8_t>(rng.Next());
+      }
+      data_ptrs[d] = data[d].data();
+    }
+
+    std::vector<std::vector<uint8_t>> ref_parity(m, std::vector<uint8_t>(kLen));
+    std::vector<uint8_t*> ref_ptrs(m);
+    for (int p = 0; p < m; ++p) {
+      ref_ptrs[p] = ref_parity[p].data();
+    }
+    rs.EncodeWith(GfKernelTier::kScalar, data_ptrs, ref_ptrs, kLen);
+
+    for (GfKernelTier tier : AvailableTiers()) {
+      std::vector<std::vector<uint8_t>> parity(m, std::vector<uint8_t>(kLen, 0xEE));
+      std::vector<uint8_t*> ptrs(m);
+      for (int p = 0; p < m; ++p) {
+        ptrs[p] = parity[p].data();
+      }
+      rs.EncodeWith(tier, data_ptrs, ptrs, kLen);
+      for (int p = 0; p < m; ++p) {
+        ASSERT_EQ(parity[p], ref_parity[p])
+            << "k=" << k << " m=" << m << " tier=" << GfKernelTierName(tier) << " parity " << p;
+      }
+    }
+
+    // Reconstruct the worst case (first m shards lost, data and parity mixed
+    // in the wanted set) on every tier and compare bytes.
+    std::vector<bool> present(k + m, true);
+    std::vector<int> wanted;
+    for (int s = 0; s < m; ++s) {
+      int victim = (s % 2 == 0) ? s : k + s / 2;  // alternate data/parity losses
+      if (present[victim]) {
+        present[victim] = false;
+        wanted.push_back(victim);
+      }
+    }
+    ReedSolomon::DecodePlan plan;
+    ASSERT_TRUE(rs.PlanReconstruct(present, wanted, &plan).ok());
+    std::vector<const uint8_t*> shards(k + m, nullptr);
+    for (int d = 0; d < k; ++d) {
+      shards[d] = data[d].data();
+    }
+    for (int p = 0; p < m; ++p) {
+      shards[k + p] = ref_parity[p].data();
+    }
+    // `out` is indexed by shard id; only the lost shards get buffers.
+    std::vector<std::vector<uint8_t>> ref_out(k + m);
+    std::vector<uint8_t*> ref_out_ptrs(k + m, nullptr);
+    for (int w : wanted) {
+      ref_out[w].resize(kLen);
+      ref_out_ptrs[w] = ref_out[w].data();
+    }
+    rs.ReconstructWith(plan, shards, ref_out_ptrs, kLen, GfKernelTier::kScalar);
+    for (int w : wanted) {
+      const auto& truth = w < k ? data[w] : ref_parity[w - k];
+      ASSERT_EQ(ref_out[w], truth) << "scalar reconstruct of shard " << w;
+    }
+    for (GfKernelTier tier : AvailableTiers()) {
+      std::vector<std::vector<uint8_t>> out(k + m);
+      std::vector<uint8_t*> out_ptrs(k + m, nullptr);
+      for (int w : wanted) {
+        out[w].assign(kLen, 0x11);
+        out_ptrs[w] = out[w].data();
+      }
+      rs.ReconstructWith(plan, shards, out_ptrs, kLen, tier);
+      for (int w : wanted) {
+        ASSERT_EQ(out[w], ref_out[w]) << "tier=" << GfKernelTierName(tier) << " shard " << w;
+      }
+    }
+  }
+}
 
 TEST(ReedSolomonTest, TooManyErasuresFails) {
   ReedSolomon rs(4, 2);
