@@ -13,6 +13,10 @@
 //                                   # then the latent-corruption drill (cold
 //                                   # at-rest flips must be found and healed
 //                                   # by the scrubber, never by a client)
+//   chaos_smoke --tier              # sweep with tiered placement on (EC
+//                                   # migrations race the fault soup), then
+//                                   # the tiering drill (demote wave,
+//                                   # degraded reads, rebuild, write-promote)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -147,6 +151,62 @@ int RunScrubDrill(uint64_t seed, bool verbose, const std::string& json_path) {
   return failures;
 }
 
+// Tiering tuned to chaos scale: production cold-ages are minutes; the drill
+// needs demotions within a couple of simulated seconds of idleness, and the
+// sweep needs migrations racing the fault soup inside the fault window.
+ursa::tier::TierConfig ChaosTierConfig() {
+  ursa::tier::TierConfig t;
+  t.enabled = true;
+  t.ec_k = 4;
+  t.ec_m = 2;
+  t.heat_half_life = ursa::msec(100);
+  t.scan_interval = ursa::msec(100);
+  t.demote_max_heat = 2.0;
+  t.cold_age = ursa::msec(250);
+  t.promote_heat = 16.0;
+  t.max_concurrent = 2;
+  return t;
+}
+
+// The tiering drill: demote wave on an idle disk (capacity factor must fall
+// to (k+m)/k), byte-correct degraded reads with a shard server down, a
+// report-driven stripe rebuild, and a write into a cold chunk that must
+// promote it back to replication before the ack.
+int RunTierDrill(uint64_t seed, bool verbose, const std::string& json_path) {
+  ursa::chaos::ChaosPlan plan;
+  plan.seed = seed;
+  plan.cluster.tier = ChaosTierConfig();
+  ursa::chaos::ChaosReport report = ursa::chaos::RunTierDrill(plan);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\"seed\": " << report.seed << ", \"ok\": " << (report.ok ? "true" : "false")
+        << ", \"demotions\": " << report.tier_demotions
+        << ", \"write_promotions\": " << report.tier_write_promotions
+        << ", \"shard_repairs\": " << report.tier_shard_repairs
+        << ", \"degraded_reads\": " << report.tier_degraded_reads
+        << ", \"capacity_factor_before\": " << report.capacity_factor_before
+        << ", \"capacity_factor_after\": " << report.capacity_factor_after << "}\n";
+  }
+
+  int failures = 0;
+  auto expect = [&failures](bool cond, const char* what) {
+    std::printf("  tier drill: %-53s %s\n", what, cond ? "OK" : "FAIL");
+    failures += cond ? 0 : 1;
+  };
+  expect(report.tier_demotions >= 4, "idle chunks demoted to EC stripes");
+  expect(report.capacity_factor_after < report.capacity_factor_before,
+         "capacity factor dropped toward (k+m)/k");
+  expect(report.tier_degraded_reads >= 1, "degraded read reconstructed the lost shard");
+  expect(report.tier_shard_repairs >= 1, "failure report drove a stripe rebuild");
+  expect(report.tier_write_promotions >= 1, "write into a cold chunk promoted before ack");
+  expect(report.ok, "all bytes correct; no safety violations");
+  if (!report.ok || verbose || failures > 0) {
+    std::printf("%s\n", report.Summary().c_str());
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -155,8 +215,10 @@ int main(int argc, char** argv) {
   bool qos = false;
   bool health = false;
   bool scrub = false;
+  bool tier = false;
   std::string health_json;
   std::string scrub_json;
+  std::string tier_json;
   // Default drill seed picked so the episode lands on an SSD: backup HDDs
   // journal to SSD regions, so HDDs see almost no foreground traffic in the
   // hybrid cluster and are (correctly) invisible to the scorer.
@@ -174,18 +236,22 @@ int main(int argc, char** argv) {
       health = true;
     } else if (std::strcmp(arg, "--scrub") == 0) {
       scrub = true;
+    } else if (std::strcmp(arg, "--tier") == 0) {
+      tier = true;
     } else if (std::strncmp(arg, "--health-json=", 14) == 0) {
       health_json = arg + 14;
     } else if (std::strncmp(arg, "--scrub-json=", 13) == 0) {
       scrub_json = arg + 13;
+    } else if (std::strncmp(arg, "--tier-json=", 12) == 0) {
+      tier_json = arg + 12;
     } else if (std::strncmp(arg, "--drill-seed=", 13) == 0) {
       drill_seed = std::strtoull(arg + 13, nullptr, 10);
     } else if (std::strcmp(arg, "-v") == 0 || std::strcmp(arg, "--verbose") == 0) {
       verbose = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--seeds=a,b,c] [--ops=N] [--qos] [--health] [--scrub] "
-                   "[--health-json=path] [--scrub-json=path] [-v]\n",
+                   "usage: %s [--seeds=a,b,c] [--ops=N] [--qos] [--health] [--scrub] [--tier] "
+                   "[--health-json=path] [--scrub-json=path] [--tier-json=path] [-v]\n",
                    argv[0]);
       return 2;
     }
@@ -207,6 +273,12 @@ int main(int argc, char** argv) {
       // safety checks must hold with the scrubber competing for the devices.
       plan.cluster.scrub = ChaosScrubConfig();
     }
+    if (tier) {
+      // Tier on: migrations race the fault soup. Chunks idle long enough
+      // demote mid-run; workload writes into them must promote-before-ack
+      // while crashes and partitions land — linearizability still checked.
+      plan.cluster.tier = ChaosTierConfig();
+    }
     if (ops > 0) {
       plan.ops = ops;
     }
@@ -223,6 +295,9 @@ int main(int argc, char** argv) {
   }
   if (scrub) {
     failures += RunScrubDrill(drill_seed, verbose, scrub_json);
+  }
+  if (tier) {
+    failures += RunTierDrill(drill_seed, verbose, tier_json);
   }
   return failures == 0 ? 0 : 1;
 }

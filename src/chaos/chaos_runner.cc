@@ -1,6 +1,7 @@
 #include "src/chaos/chaos_runner.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -87,6 +88,17 @@ std::string ChaosReport::Summary() const {
            " client_integrity_errors=" + std::to_string(client_integrity_errors) +
            " mttd=" + std::to_string(static_cast<uint64_t>(scrub_mttd_us)) + "us" +
            " sweep_period=" + std::to_string(static_cast<uint64_t>(sweep_period_us)) + "us";
+  }
+  if (tier_demotions > 0 || tier_promotions > 0 || tier_write_promotions > 0) {
+    char cap[64];
+    std::snprintf(cap, sizeof(cap), " capacity_factor=%.2f->%.2f", capacity_factor_before,
+                  capacity_factor_after);
+    out += "\n  tier: demotions=" + std::to_string(tier_demotions) +
+           " promotions=" + std::to_string(tier_promotions) +
+           " write_promotions=" + std::to_string(tier_write_promotions) +
+           " shard_repairs=" + std::to_string(tier_shard_repairs) +
+           " degraded_reads=" + std::to_string(tier_degraded_reads) +
+           (capacity_factor_before > 0 ? cap : "");
   }
   if (health_demotions > 0 || !degraded_devices.empty()) {
     out += "\n  health: demotions=" + std::to_string(health_demotions) +
@@ -210,6 +222,19 @@ ChaosReport RunChaos(const ChaosPlan& plan) {
   const cluster::DiskMeta* meta = *cluster.master().GetDisk(*disk_id);
   auto check_convergence = [&](std::vector<std::string>* problems) {
     for (const cluster::ChunkLayout& layout : meta->chunks) {
+      if (layout.tier == cluster::ChunkTier::kEc) {
+        // A demoted chunk has no replicas to compare — its redundancy is the
+        // stripe's parity. Require every shard to sit on a live server
+        // (post-heal stripe healing must have rebuilt any lost ones); the
+        // final client read-back checks the bytes, reconstructing if needed.
+        for (size_t i = 0; i < layout.ec_shards.size(); ++i) {
+          if (cluster.server(layout.ec_shards[i].server)->crashed()) {
+            problems->push_back("chunk " + std::to_string(layout.chunk) + " EC shard " +
+                                std::to_string(i) + " stranded on a crashed server");
+          }
+        }
+        continue;
+      }
       uint64_t version0 = 0;
       std::vector<std::vector<uint8_t>> images;
       for (size_t r = 0; r < layout.replicas.size(); ++r) {
@@ -296,6 +321,15 @@ ChaosReport RunChaos(const ChaosPlan& plan) {
   for (const journal::JournalManager* jm : cluster.journal_managers()) {
     report.corruptions_detected += jm->stats().corruptions_detected;
     report.corruptions_repaired += jm->stats().corruptions_repaired;
+  }
+
+  if (cluster.tier_migrator() != nullptr) {
+    const cluster::TierStats& ts = cluster.master().tier_stats();
+    report.tier_demotions = ts.demotions;
+    report.tier_promotions = ts.promotions;
+    report.tier_write_promotions = ts.write_promotions;
+    report.tier_shard_repairs = ts.shard_repairs;
+    report.tier_degraded_reads = disk.stats().ec_degraded_reads;
   }
 
   // ---- Health verdicts vs injected ground truth ----
@@ -559,6 +593,227 @@ ChaosReport RunLatentScrub(const ChaosPlan& plan) {
   report.ok = report.violations.empty() && report.latent_flips > 0 && report.checked_reads > 0;
   if (report.latent_flips == 0) {
     report.violations.push_back("no latent flips landed: drill exercised nothing");
+  }
+  return report;
+}
+
+ChaosReport RunTierDrill(const ChaosPlan& plan) {
+  URSA_CHECK(plan.cluster.tier.enabled) << "tier drill needs cluster.tier.enabled";
+  URSA_CHECK_EQ(plan.stripe_group, 1) << "drill maps blocks to chunks linearly";
+  ChaosReport report;
+  report.seed = plan.seed;
+
+  sim::Simulator sim;
+  Rng transport_rng(plan.seed ^ kTransportSalt);
+  cluster::Cluster cluster(&sim, plan.cluster);
+  cluster.transport().SetChaosRng(&transport_rng);
+
+  Result<cluster::DiskId> disk_id = cluster.master().CreateDisk(
+      "tier-drill", plan.disk_size, plan.replication, plan.stripe_group);
+  URSA_CHECK(disk_id.ok());
+  client::VirtualDiskClientOptions options;
+  options.request_timeout = plan.request_timeout;
+  cluster::Machine* host = cluster.AddClientMachine();
+  client::VirtualDisk disk(&cluster, host, /*client_id=*/1, options);
+  URSA_CHECK(disk.Open(*disk_id).ok());
+
+  const int blocks = std::max(2, plan.blocks);
+  uint64_t stride = plan.disk_size / static_cast<uint64_t>(blocks);
+  stride -= stride % kBlock;
+  URSA_CHECK_GE(stride, kBlock);
+
+  // ---- Phase 1: materialize every block and let journal replay put the
+  // data at rest (demotion refuses chunks with journal backlog). ----
+  std::vector<std::vector<uint8_t>> expected(blocks);
+  int writes_pending = blocks;
+  for (int b = 0; b < blocks; ++b) {
+    expected[b].assign(kBlock, static_cast<uint8_t>(0x3B + 7 * b));
+    disk.Write(static_cast<uint64_t>(b) * stride, kBlock, expected[b].data(),
+               [&, b](const Status& s) {
+                 --writes_pending;
+                 if (s.ok()) {
+                   ++report.committed_writes;
+                 } else {
+                   report.violations.push_back("seed write of block " + std::to_string(b) +
+                                               " failed: " + s.ToString());
+                 }
+               });
+    sim.RunUntil(sim.Now() + msec(2));
+  }
+  for (int round = 0; round < 200 && writes_pending > 0; ++round) {
+    sim.RunUntil(sim.Now() + msec(10));
+  }
+  URSA_CHECK_EQ(writes_pending, 0);
+  auto replay_drained = [&]() {
+    for (const journal::JournalManager* jm : cluster.journal_managers()) {
+      if (!jm->ReplayDrained()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (int round = 0; round < 500 && !replay_drained(); ++round) {
+    sim.RunUntil(sim.Now() + msec(10));
+  }
+  if (!replay_drained()) {
+    report.violations.push_back("journal replay never drained before the demote wave");
+  }
+
+  // ---- Phase 2: go idle and let the migrator demote every chunk. The
+  // capacity factor must drop from R toward (k+m)/k. ----
+  const cluster::DiskMeta* meta = *cluster.master().GetDisk(*disk_id);
+  const double logical = static_cast<double>(cluster.master().LogicalBytes());
+  URSA_CHECK_GT(logical, 0);
+  report.capacity_factor_before = static_cast<double>(cluster.master().PhysicalBytes()) / logical;
+  auto all_ec = [&]() {
+    for (const cluster::ChunkLayout& l : meta->chunks) {
+      if (l.tier != cluster::ChunkTier::kEc) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const Nanos wave_start = sim.Now();
+  Nanos demote_deadline =
+      sim.Now() + plan.cluster.tier.cold_age + 100 * plan.cluster.tier.scan_interval;
+  while (!all_ec() && sim.Now() < demote_deadline) {
+    sim.RunUntil(sim.Now() + msec(20));
+  }
+  report.tier_demotions = cluster.master().tier_stats().demotions;
+  report.capacity_factor_after = static_cast<double>(cluster.master().PhysicalBytes()) / logical;
+  if (!all_ec()) {
+    report.violations.push_back(
+        "demote wave incomplete: migrator left chunks replicated after " +
+        std::to_string(static_cast<uint64_t>(ToUsec(sim.Now() - wave_start))) + "us idle");
+    return report;  // the remaining phases all assume EC'd chunks
+  } else {
+    double ec_factor = static_cast<double>(plan.cluster.tier.ec_k + plan.cluster.tier.ec_m) /
+                       static_cast<double>(plan.cluster.tier.ec_k);
+    if (report.capacity_factor_after > ec_factor + 0.01) {
+      report.violations.push_back("capacity factor after the wave is " +
+                                  std::to_string(report.capacity_factor_after) +
+                                  ", expected (k+m)/k = " + std::to_string(ec_factor));
+    }
+  }
+
+  // ---- Phase 3: crash one shard server; reads of the chunk must stay
+  // byte-correct via client-side degraded reconstruction. ----
+  URSA_CHECK_GE(meta->chunks.size(), 2u);
+  const cluster::ChunkId chunk0 = meta->chunks[0].chunk;
+  URSA_CHECK_GE(meta->chunks[0].ec_shards.size(), 2u);
+  const cluster::ServerId lost = meta->chunks[0].ec_shards[1].server;
+  cluster.CrashServer(lost);
+  auto read_block = [&](int b, const char* what) {
+    auto buf = std::make_shared<std::vector<uint8_t>>(kBlock, 0);
+    auto done = std::make_shared<bool>(false);
+    disk.Read(static_cast<uint64_t>(b) * stride, kBlock, buf->data(),
+              [&, b, buf, done, what](const Status& s) {
+                *done = true;
+                if (!s.ok()) {
+                  report.violations.push_back(std::string(what) + " read of block " +
+                                              std::to_string(b) + " failed: " + s.ToString());
+                  return;
+                }
+                if (*buf != expected[b]) {
+                  report.violations.push_back(std::string(what) + " read of block " +
+                                              std::to_string(b) + " returned wrong bytes");
+                }
+                ++report.checked_reads;
+              });
+    for (int round = 0; round < 400 && !*done; ++round) {
+      sim.RunUntil(sim.Now() + msec(10));
+    }
+    if (!*done) {
+      report.violations.push_back(std::string(what) + " read of block " + std::to_string(b) +
+                                  " hung");
+    }
+  };
+  const int chunk0_blocks = static_cast<int>(meta->chunk_size / stride);
+  for (int b = 0; b < std::max(1, chunk0_blocks); ++b) {
+    read_block(b, "degraded");
+  }
+  report.tier_degraded_reads = disk.stats().ec_degraded_reads;
+  if (report.tier_degraded_reads == 0) {
+    report.violations.push_back("no degraded reads: the crashed shard was never reconstructed");
+  }
+
+  // ---- Phase 4: the failure report from the degraded read must drive a
+  // stripe rebuild onto a fresh server, without the drill asking for it. ----
+  auto chunk0_healthy = [&]() {
+    for (const cluster::EcShardRef& sh : meta->chunks[0].ec_shards) {
+      if (cluster.server(sh.server)->crashed()) {
+        return false;
+      }
+    }
+    return meta->chunks[0].tier == cluster::ChunkTier::kEc;
+  };
+  Nanos repair_deadline = sim.Now() + sec(15);
+  while ((cluster.master().tier_stats().shard_repairs < 1 || !chunk0_healthy()) &&
+         sim.Now() < repair_deadline) {
+    sim.RunUntil(sim.Now() + msec(20));
+  }
+  report.tier_shard_repairs = cluster.master().tier_stats().shard_repairs;
+  if (report.tier_shard_repairs < 1 || !chunk0_healthy()) {
+    report.violations.push_back("lost shard of chunk " + std::to_string(chunk0) +
+                                " was never rebuilt onto a live server");
+  } else {
+    // With the crashed server still down, the repaired stripe serves every
+    // byte without further reconstruction.
+    uint64_t degraded_before = disk.stats().ec_degraded_reads;
+    for (int b = 0; b < std::max(1, chunk0_blocks); ++b) {
+      read_block(b, "post-repair");
+    }
+    if (disk.stats().ec_degraded_reads != degraded_before) {
+      report.violations.push_back("reads still degraded after the shard rebuild");
+    }
+  }
+  cluster.RestoreServer(lost);
+
+  // ---- Phase 5: a client write into a cold chunk must promote it back to
+  // replication BEFORE the ack. ----
+  const int promote_block = chunk0_blocks < blocks ? chunk0_blocks : blocks - 1;
+  const size_t promote_chunk = chunk0_blocks < blocks ? 1 : 0;
+  if (meta->chunks[promote_chunk].tier != cluster::ChunkTier::kEc) {
+    report.violations.push_back("promote target chunk left EC before the write");
+  }
+  expected[promote_block].assign(kBlock, 0xE7);
+  auto wdone = std::make_shared<bool>(false);
+  disk.Write(static_cast<uint64_t>(promote_block) * stride, kBlock,
+             expected[promote_block].data(), [&, wdone](const Status& s) {
+               *wdone = true;
+               if (s.ok()) {
+                 ++report.committed_writes;
+               } else {
+                 report.violations.push_back("write into the cold chunk failed: " + s.ToString());
+               }
+             });
+  for (int round = 0; round < 400 && !*wdone; ++round) {
+    sim.RunUntil(sim.Now() + msec(10));
+  }
+  if (!*wdone) {
+    report.violations.push_back("write into the cold chunk hung");
+  } else if (meta->chunks[promote_chunk].tier != cluster::ChunkTier::kReplicated) {
+    report.violations.push_back("cold chunk not replicated at write-ack time");
+  }
+  report.tier_write_promotions = cluster.master().tier_stats().write_promotions;
+  report.tier_promotions = cluster.master().tier_stats().promotions;
+  if (report.tier_write_promotions < 1) {
+    report.violations.push_back("the acked write never triggered a promotion");
+  }
+
+  // ---- Final read-back of every block against the expected image. ----
+  for (int b = 0; b < blocks; ++b) {
+    read_block(b, "final");
+  }
+  if (disk.stats().integrity_errors > 0) {
+    report.violations.push_back("client observed " +
+                                std::to_string(disk.stats().integrity_errors) +
+                                " kCorruption error(s) during the drill");
+  }
+  report.ok = report.violations.empty() && report.tier_demotions >= meta->chunks.size() &&
+              report.checked_reads > 0;
+  if (report.tier_demotions < meta->chunks.size()) {
+    report.violations.push_back("fewer demotions than chunks: the wave exercised nothing");
   }
   return report;
 }

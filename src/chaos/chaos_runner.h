@@ -51,6 +51,17 @@ struct ChaosReport {
   double scrub_mttd_us = 0;             // inject -> last flip detected
   double sweep_period_us = 0;           // configured sweep interval (the bound)
 
+  // Tier pipeline (tier leg only): cold chunks demote to k+m EC stripes,
+  // client writes promote them back before the ack, lost shards rebuild from
+  // the stripe's parity after a client degraded read reports the loss.
+  uint64_t tier_demotions = 0;
+  uint64_t tier_promotions = 0;        // policy + write promotions combined
+  uint64_t tier_write_promotions = 0;
+  uint64_t tier_shard_repairs = 0;
+  uint64_t tier_degraded_reads = 0;    // client-side stripe reconstructions
+  double capacity_factor_before = 0;   // physical/logical before the demote wave
+  double capacity_factor_after = 0;    // ...after it (3.0 -> 1.5 for 4+2)
+
   // Health pipeline (gray device -> digest outlier -> degrade -> demotion).
   // Populated only when the plan enables health monitoring. A degraded
   // verdict on a device the engine never gray-faulted is recorded as a
@@ -80,6 +91,16 @@ ChaosReport RunChaos(const ChaosPlan& plan);
 // every block (cold ones included) returns the pre-injection data.
 // Requires plan.cluster.scrub.enabled and stripe_group == 1.
 ChaosReport RunLatentScrub(const ChaosPlan& plan);
+
+// The tiered-placement drill (DESIGN.md §13): materialize every block, go
+// idle until the migrator demotes every chunk to EC (capacity factor must
+// drop from R toward (k+m)/k), crash a shard server and require byte-correct
+// degraded reads, let the client's failure report drive a stripe rebuild
+// onto a fresh server, then write into a cold chunk and require the ack to
+// arrive only after promotion back to replication. Ends with a full
+// read-back against the expected image. Requires plan.cluster.tier.enabled
+// and stripe_group == 1.
+ChaosReport RunTierDrill(const ChaosPlan& plan);
 
 }  // namespace ursa::chaos
 

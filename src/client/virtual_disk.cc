@@ -64,6 +64,15 @@ VirtualDisk::VirtualDisk(cluster::Cluster* cluster, cluster::Machine* host,
   registry.RegisterCallbackCounter("client.backoff_retries", labels, [this]() {
     return static_cast<double>(stats_.backoff_retries);
   });
+  registry.RegisterCallbackCounter("client.ec_shard_reads", labels, [this]() {
+    return static_cast<double>(stats_.ec_shard_reads);
+  });
+  registry.RegisterCallbackCounter("client.ec_degraded_reads", labels, [this]() {
+    return static_cast<double>(stats_.ec_degraded_reads);
+  });
+  registry.RegisterCallbackCounter("client.write_promotes", labels, [this]() {
+    return static_cast<double>(stats_.write_promotes);
+  });
   registry.RegisterHistogram("client.read_latency_us", labels, &stats_.read_latency_us);
   registry.RegisterHistogram("client.write_latency_us", labels, &stats_.write_latency_us);
 }
@@ -232,6 +241,11 @@ void VirtualDisk::IssueRead(const SubRequest& sub, void* out, int attempt,
                       sim_->Now() - span->start() - options_.vmm_overhead);
   }
   const ChunkLayout& layout = Layout(sub.chunk_index);
+  if (layout.tier == cluster::ChunkTier::kEc) {
+    // Cold chunk: read from the EC shards (degraded if one is down).
+    IssueEcRead(sub, out, attempt, std::move(done), span);
+    return;
+  }
   ChunkState& cs = chunk_states_[sub.chunk_index];
   const ReplicaRef replica = layout.replicas[cs.primary % layout.replicas.size()];
 
@@ -286,6 +300,251 @@ void VirtualDisk::IssueRead(const SubRequest& sub, void* out, int attempt,
             span);
       },
       span, obs::Stage::kNetRequest);
+}
+
+ec::ReedSolomon* VirtualDisk::Codec(int k, int m) {
+  auto key = std::make_pair(k, m);
+  auto it = codecs_.find(key);
+  if (it == codecs_.end()) {
+    it = codecs_.emplace(key, std::make_unique<ec::ReedSolomon>(k, m)).first;
+  }
+  return it->second.get();
+}
+
+void VirtualDisk::IssueEcRead(const SubRequest& sub, void* out, int attempt,
+                              storage::IoCallback done, const obs::SpanRef& span) {
+  const ChunkLayout& layout = Layout(sub.chunk_index);
+  if (layout.tier != cluster::ChunkTier::kEc || layout.ec_shards.empty() ||
+      layout.ec_shard_size == 0) {
+    // Promoted back under us (or a stale routing decision): take the
+    // replicated path on the current layout.
+    IssueRead(sub, out, attempt, std::move(done), span);
+    return;
+  }
+  // Split the range on shard boundaries. Data shard d owns chunk bytes
+  // [d*S, (d+1)*S); stripe units normally sit entirely inside one shard, so
+  // the common case is a single piece.
+  struct Piece {
+    int shard;
+    uint64_t off;
+    uint64_t len;
+    uint64_t buf_off;
+  };
+  const uint64_t S = layout.ec_shard_size;
+  std::vector<Piece> pieces;
+  uint64_t pos = sub.chunk_offset;
+  const uint64_t end = sub.chunk_offset + sub.length;
+  while (pos < end) {
+    uint64_t off = pos % S;
+    uint64_t run = std::min(end - pos, S - off);
+    pieces.push_back(Piece{static_cast<int>(pos / S), off, run, pos - sub.chunk_offset});
+    pos += run;
+  }
+
+  auto remaining = std::make_shared<size_t>(pieces.size());
+  auto first_error = std::make_shared<Status>();
+  auto join = [this, sub, out, attempt, done, remaining, first_error,
+               span](const Status& s) {
+    if (!s.ok() && first_error->ok()) {
+      *first_error = s;
+    }
+    if (--*remaining > 0) {
+      return;
+    }
+    Nanos copy_cost =
+        static_cast<Nanos>(options_.loop_byte_cost_ns * static_cast<double>(sub.length));
+    loop_->Submit(options_.loop_complete_cost + (first_error->ok() ? copy_cost : 0),
+                  [this, sub, out, attempt, done, first_error, span]() {
+                    if (first_error->ok()) {
+                      chunk_states_[sub.chunk_index].timeout_streak = 0;
+                      done(OkStatus());
+                      return;
+                    }
+                    HandleAttemptFailure(sub, *first_error, attempt, done,
+                                         [this, sub, out, attempt, done, span]() {
+                                           IssueRead(sub, out, attempt + 1, done, span);
+                                         });
+                  });
+  };
+  for (const Piece& p : pieces) {
+    void* dest = out == nullptr ? nullptr : static_cast<uint8_t*>(out) + p.buf_off;
+    ReadShardPiece(sub.chunk_index, p.shard, p.off, p.len, dest, join, span);
+  }
+}
+
+void VirtualDisk::ReadShardPiece(size_t chunk_index, int shard_index, uint64_t shard_off,
+                                 uint64_t len, void* out, storage::IoCallback done,
+                                 const obs::SpanRef& span) {
+  const ChunkLayout& layout = Layout(chunk_index);
+  if (shard_index >= static_cast<int>(layout.ec_shards.size())) {
+    done(Unavailable("shard index out of range"));  // layout moved; caller retries
+    return;
+  }
+  ++stats_.ec_shard_reads;
+  const cluster::EcShardRef shard = layout.ec_shards[shard_index];
+  const uint64_t view = layout.view;
+  auto guard = PendingCall::Start(
+      sim_, options_.request_timeout,
+      [this, chunk_index, shard_index, shard, shard_off, len, out, done,
+       span](const Status& s) {
+        if (s.ok() || s.code() == StatusCode::kVersionMismatch ||
+            s.code() == StatusCode::kNotFound) {
+          // Mismatch/NotFound mean the layout moved (promote or shard
+          // repair), not that the bytes are gone: bubble up so the caller
+          // refreshes and re-routes.
+          done(s);
+          return;
+        }
+        // The shard server failed (timeout / crash / corruption): tell the
+        // master — it schedules a stripe repair — and satisfy the read in
+        // degraded mode from the surviving shards.
+        ++stats_.failures_reported;
+        cluster_->master().ReportReplicaFailure(shard.shard_chunk, shard.server,
+                                                [](const Status&) {});
+        DegradedShardRead(chunk_index, shard_index, shard_off, len, out, std::move(done),
+                          span);
+      });
+  cluster_->transport().Send(
+      host_->node(), shard.node, WireBytes(MessageType::kReadRequest),
+      [this, shard, shard_off, len, view, out, guard, span]() {
+        ChunkServer* server = Server(shard.server);
+        if (server == nullptr) {
+          return;  // the guard's timeout handles it
+        }
+        server->HandleRead(
+            shard.shard_chunk, shard_off, len, view, /*expected_version=*/0, out,
+            [this, shard, len, guard, span](const Status& s, uint64_t) {
+              uint64_t bytes = s.ok() ? len : 0;
+              cluster_->transport().Send(shard.node, host_->node(),
+                                         WireBytes(MessageType::kReadReply, bytes),
+                                         [guard, s]() { guard->Complete(s); }, span,
+                                         obs::Stage::kNetReply);
+            },
+            span);
+      },
+      span, obs::Stage::kNetRequest);
+}
+
+void VirtualDisk::DegradedShardRead(size_t chunk_index, int shard_index, uint64_t shard_off,
+                                    uint64_t len, void* out, storage::IoCallback done,
+                                    const obs::SpanRef& span) {
+  const ChunkLayout& layout = Layout(chunk_index);
+  if (layout.tier != cluster::ChunkTier::kEc) {
+    done(VersionMismatch("chunk promoted during degraded read"));
+    return;
+  }
+  const int k = layout.ec_k;
+  const int n = k + layout.ec_m;
+  std::vector<int> sources;
+  for (int i = 0; i < n && static_cast<int>(sources.size()) < k; ++i) {
+    if (i == shard_index) {
+      continue;
+    }
+    ChunkServer* server = Server(layout.ec_shards[i].server);
+    if (server == nullptr || server->crashed()) {
+      continue;
+    }
+    sources.push_back(i);
+  }
+  if (static_cast<int>(sources.size()) < k) {
+    done(Unavailable("too few live shards for degraded read"));
+    return;
+  }
+  ++stats_.ec_degraded_reads;
+  const uint64_t view = layout.view;
+  std::vector<cluster::EcShardRef> refs;
+  refs.reserve(sources.size());
+  for (int i : sources) {
+    refs.push_back(layout.ec_shards[i]);
+  }
+  // One contiguous survivor buffer: slot i holds source i's [off, off+len)
+  // range. Reconstruction is positional per byte, so reading the SAME range
+  // from k peers is enough to rebuild the missing shard's range.
+  auto buf = out == nullptr ? std::shared_ptr<std::vector<uint8_t>>()
+                            : std::make_shared<std::vector<uint8_t>>(sources.size() * len);
+  auto remaining = std::make_shared<size_t>(sources.size());
+  auto first_error = std::make_shared<Status>();
+  auto finish = [this, k, n, shard_index, sources, buf, len, out, done, remaining,
+                 first_error](const Status& s) {
+    if (!s.ok() && first_error->ok()) {
+      *first_error = s;
+    }
+    if (--*remaining > 0) {
+      return;
+    }
+    if (!first_error->ok()) {
+      done(*first_error);
+      return;
+    }
+    if (out != nullptr && buf != nullptr) {
+      ec::ReedSolomon* rs = Codec(k, n - k);
+      std::vector<bool> present(n, false);
+      std::vector<const uint8_t*> shards(n, nullptr);
+      for (size_t i = 0; i < sources.size(); ++i) {
+        present[sources[i]] = true;
+        shards[sources[i]] = buf->data() + i * len;
+      }
+      ec::ReedSolomon::DecodePlan plan;
+      Status ps = rs->PlanReconstruct(present, {shard_index}, &plan);
+      if (!ps.ok()) {
+        done(ps);
+        return;
+      }
+      std::vector<uint8_t*> rebuild(n, nullptr);
+      rebuild[shard_index] = static_cast<uint8_t*>(out);
+      rs->ReconstructWith(plan, shards, rebuild, len);
+    }
+    done(OkStatus());
+  };
+  for (size_t i = 0; i < refs.size(); ++i) {
+    const cluster::EcShardRef ref = refs[i];
+    void* dst = buf == nullptr ? nullptr : buf->data() + i * len;
+    auto guard = PendingCall::Start(sim_, options_.request_timeout,
+                                    [finish, buf](const Status& s) { finish(s); });
+    cluster_->transport().Send(
+        host_->node(), ref.node, WireBytes(MessageType::kReadRequest),
+        [this, ref, shard_off, len, view, dst, guard, span]() {
+          ChunkServer* server = Server(ref.server);
+          if (server == nullptr) {
+            return;  // the guard's timeout handles it
+          }
+          server->HandleRead(
+              ref.shard_chunk, shard_off, len, view, /*expected_version=*/0, dst,
+              [this, ref, len, guard, span](const Status& s, uint64_t) {
+                uint64_t bytes = s.ok() ? len : 0;
+                cluster_->transport().Send(ref.node, host_->node(),
+                                           WireBytes(MessageType::kReadReply, bytes),
+                                           [guard, s]() { guard->Complete(s); }, span,
+                                           obs::Stage::kNetReply);
+              },
+              span);
+        },
+        span, obs::Stage::kNetRequest);
+  }
+}
+
+void VirtualDisk::PromoteForWrite(const SubRequest& sub, ursa::BufferView data, int attempt,
+                                  storage::IoCallback done, const obs::SpanRef& span) {
+  ++stats_.write_promotes;
+  storage::ChunkId chunk = Layout(sub.chunk_index).chunk;
+  cluster_->master().PromoteChunk(
+      chunk, /*write_triggered=*/true, [this, sub, data, attempt, done, span](const Status& s) {
+        loop_->Submit(options_.loop_complete_cost, [this, sub, data, attempt, done, s,
+                                                    span]() {
+          RefreshLayout();
+          if (s.ok() || Layout(sub.chunk_index).tier == cluster::ChunkTier::kReplicated) {
+            // Promoted (by us or a concurrent migration): retry on the fresh
+            // layout. Same attempt number — the promote round-trip is not a
+            // replica failure.
+            IssueWriteAttempt(sub, data, attempt, done, span);
+            return;
+          }
+          HandleAttemptFailure(sub, s, attempt, done,
+                               [this, sub, data, attempt, done, span]() {
+                                 IssueWriteAttempt(sub, data, attempt + 1, done, span);
+                               });
+        });
+      });
 }
 
 void VirtualDisk::Write(uint64_t offset, uint64_t length, ursa::BufferView data,
@@ -398,6 +657,12 @@ void VirtualDisk::IssueWrite(const SubRequest& sub, ursa::BufferView data, int a
 
 void VirtualDisk::IssueWriteAttempt(const SubRequest& sub, ursa::BufferView data, int attempt,
                                     storage::IoCallback done, const obs::SpanRef& span) {
+  if (Layout(sub.chunk_index).tier == cluster::ChunkTier::kEc) {
+    // Cold chunk: writes always go to replicated form — promote first, ack
+    // after (DESIGN.md §13 keeps the write path single-tier).
+    PromoteForWrite(sub, std::move(data), attempt, std::move(done), span);
+    return;
+  }
   if (options_.client_directed && sub.length <= options_.tiny_write_threshold) {
     ClientDirectedWrite(sub, std::move(data), attempt, std::move(done), span);
   } else {
@@ -668,16 +933,32 @@ void VirtualDisk::HandleAttemptFailure(const SubRequest& sub, const Status& stat
     return;
   }
   ++stats_.retries;
-  const ChunkLayout& layout = Layout(sub.chunk_index);
 
-  if (status.code() == StatusCode::kVersionMismatch) {
+  if (status.code() == StatusCode::kVersionMismatch ||
+      status.code() == StatusCode::kNotFound) {
     // Either the view moved under us, or the replica we asked is STALE
-    // (restored after missing committed writes). Refresh the layout, steer
-    // the next attempt at the freshest alive replica, and ask the master to
-    // repair the laggard in the background (§4.2.1: "the primary tries to
-    // update its state by incremental repair").
+    // (restored after missing committed writes), or the chunk migrated
+    // tiers (demotion frees the replicated images — NotFound — and shard
+    // repair moves shards). Refresh the layout, steer the next attempt at
+    // the freshest alive replica, and ask the master to repair the laggard
+    // in the background (§4.2.1: "the primary tries to update its state by
+    // incremental repair").
     RefreshLayout();
     const ChunkLayout& nl = Layout(sub.chunk_index);
+    if (nl.tier == cluster::ChunkTier::kEc || nl.replicas.empty()) {
+      // Demoted under us: the issue path re-routes (EC shard read, or
+      // promote-on-write) against the fresh layout.
+      cs.timeout_streak = 0;
+      retry();
+      return;
+    }
+    if (status.code() == StatusCode::kNotFound) {
+      // Promoted under us (replicas replaced wholesale): nothing to steer —
+      // the fresh layout is enough.
+      cs.timeout_streak = 0;
+      retry();
+      return;
+    }
     cluster::ServerId stale = nl.replicas[cs.primary % nl.replicas.size()].server;
     uint64_t best_version = 0;
     size_t best = cs.primary % nl.replicas.size();
@@ -705,6 +986,17 @@ void VirtualDisk::HandleAttemptFailure(const SubRequest& sub, const Status& stat
     cs.version = std::max(cs.version, best_version);
     cs.timeout_streak = 0;
     retry();
+    return;
+  }
+
+  const ChunkLayout& layout = Layout(sub.chunk_index);
+  if (layout.tier == cluster::ChunkTier::kEc || layout.replicas.empty()) {
+    // EC-tier failure (a shard timed out, or the degraded read exhausted its
+    // survivors): the shard failure was already reported inside the EC read
+    // path; back off and retry — repair or promotion may land meanwhile.
+    cs.timeout_streak = 0;
+    RefreshLayout();
+    ScheduleRetry(attempt, std::move(retry));
     return;
   }
 

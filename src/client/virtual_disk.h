@@ -29,6 +29,7 @@
 #include "src/common/histogram.h"
 #include "src/common/rate_limiter.h"
 #include "src/common/rng.h"
+#include "src/ec/reed_solomon.h"
 
 namespace ursa::client {
 
@@ -73,6 +74,10 @@ struct ClientStats {
   uint64_t integrity_errors = 0;   // kCorruption: CRC-failed / quarantined data
   uint64_t backoff_retries = 0;    // retries that waited a backoff delay
   Nanos backoff_wait_ns = 0;       // total time spent backing off
+  // EC cold tier (DESIGN.md §13).
+  uint64_t ec_shard_reads = 0;     // shard reads issued against EC chunks
+  uint64_t ec_degraded_reads = 0;  // pieces served by client-side reconstruct
+  uint64_t write_promotes = 0;     // writes that promoted an EC chunk first
   Histogram read_latency_us;
   Histogram write_latency_us;
 };
@@ -174,6 +179,22 @@ class VirtualDisk {
   void PrimaryDrivenWrite(const SubRequest& sub, ursa::BufferView data, int attempt,
                           storage::IoCallback done, const obs::SpanRef& span);
 
+  // ---- EC cold-tier paths (DESIGN.md §13) ----
+  // Routes a sub-request at an EC-tier chunk to the shard(s) owning the
+  // range; each shard piece falls back to a client-side degraded read when
+  // its shard server fails (reconstruct from k surviving shards).
+  void IssueEcRead(const SubRequest& sub, void* out, int attempt, storage::IoCallback done,
+                   const obs::SpanRef& span);
+  void ReadShardPiece(size_t chunk_index, int shard_index, uint64_t shard_off, uint64_t len,
+                      void* out, storage::IoCallback done, const obs::SpanRef& span);
+  void DegradedShardRead(size_t chunk_index, int shard_index, uint64_t shard_off, uint64_t len,
+                         void* out, storage::IoCallback done, const obs::SpanRef& span);
+  // A write landed on an EC-tier chunk: promote it back to replicated form
+  // through the master BEFORE the ack, then retry on the fresh layout.
+  void PromoteForWrite(const SubRequest& sub, ursa::BufferView data, int attempt,
+                       storage::IoCallback done, const obs::SpanRef& span);
+  ec::ReedSolomon* Codec(int k, int m);
+
   // Failure path: classify the error (timeout / explicit / integrity), apply
   // primary-switch hysteresis, report to the master when warranted, then
   // retry via `retry` after a bounded-backoff delay.
@@ -219,6 +240,9 @@ class VirtualDisk {
   // Logical-write id generator (see SubRequest::write_id). Client ids are
   // folded in so two clients never mint the same id.
   uint64_t next_write_id_ = 0;
+
+  // Reed-Solomon codecs for client-side degraded reads, keyed by (k, m).
+  std::map<std::pair<int, int>, std::unique_ptr<ec::ReedSolomon>> codecs_;
 };
 
 }  // namespace ursa::client

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/tier/heat_tracker.h"
 
 namespace ursa::cluster {
 
@@ -199,6 +200,9 @@ void ChunkServer::HandleRead(ChunkId chunk, uint64_t offset, uint64_t length, ui
       return;
     }
     ++reads_served_;
+    if (heat_ != nullptr) {
+      heat_->RecordRead(chunk, length);
+    }
     uint64_t version = st.version;
     Nanos io_start = sim_->Now();
     auto io_done = [this, span, io_start, done = std::move(done), version](const Status& s) {
@@ -262,6 +266,10 @@ void ChunkServer::HandleWrite(ChunkId chunk, uint64_t offset, uint64_t length, u
       return;
     }
     ++writes_served_;
+    if (heat_ != nullptr) {
+      heat_->RecordWrite(chunk, length);
+      heat_->BeginWrite(chunk);
+    }
     uint64_t new_version = version + 1;
     journal_lite_.Record(chunk, new_version, offset, length);
 
@@ -269,7 +277,10 @@ void ChunkServer::HandleWrite(ChunkId chunk, uint64_t offset, uint64_t length, u
     int majority = total / 2 + 1;
     auto tracker = std::make_shared<net::QuorumTracker>(
         total, majority,
-        [done = std::move(done), new_version](const Status& s, int, int) {
+        [this, chunk, done = std::move(done), new_version](const Status& s, int, int) {
+          if (heat_ != nullptr) {
+            heat_->EndWrite(chunk);
+          }
           done(s, new_version);
         });
     // Authorize majority commit after the timeout (§4.1 step 6).
@@ -401,13 +412,20 @@ void ChunkServer::HandleReplicate(ChunkId chunk, uint64_t offset, uint64_t lengt
         st.version = version + 1;
         st.last_write_id = write_id;
         ++replicates_served_;
+        if (heat_ != nullptr) {
+          heat_->RecordWrite(chunk, length);
+          heat_->BeginWrite(chunk);
+        }
         uint64_t new_version = st.version;
         journal_lite_.Record(chunk, new_version, offset, length);
         if (checksums_ != nullptr) {
           checksums_->OnWrite(chunk, offset, length, data.data());
         }
         BackupWrite(chunk, offset, length, new_version, data,
-                    [done = std::move(done), new_version](const Status& s) {
+                    [this, chunk, done = std::move(done), new_version](const Status& s) {
+                      if (heat_ != nullptr) {
+                        heat_->EndWrite(chunk);
+                      }
                       done(s, new_version);
                     },
                     span, storage::IoTag{qos::ServiceClass::kForegroundWrite, TenantOf(chunk)});

@@ -31,6 +31,10 @@
 #include "src/obs/trace.h"
 #include "src/scrub/checksum_store.h"
 
+namespace ursa::tier {
+class HeatTracker;
+}  // namespace ursa::tier
+
 namespace ursa::cluster {
 
 struct ChunkServerConfig {
@@ -109,6 +113,18 @@ class ChunkServer {
   void ClearScrubQuarantine(ChunkId chunk, uint64_t offset, uint64_t length);
   bool IsScrubQuarantined(ChunkId chunk, uint64_t offset, uint64_t length) const;
   size_t scrub_quarantine_size() const;
+
+  // ---- Tiering integration (DESIGN.md §13) ----
+
+  // Attaches the cluster heat tracker: foreground reads/writes and
+  // replication legs feed per-chunk heat (recovery traffic does not).
+  void SetHeatTracker(tier::HeatTracker* heat) { heat_ = heat; }
+
+  // True when this replica still has journal records to replay for `chunk`.
+  // Demotion must wait them out: replaying into a freed chunk is fatal.
+  bool HasJournalBacklog(ChunkId chunk) const {
+    return journal_manager_ != nullptr && !journal_manager_->IndexSnapshot(chunk).empty();
+  }
 
   // Hot-upgrade support (§5.2): a draining server has closed its service
   // port — new requests are dropped (clients retry elsewhere / later) while
@@ -228,6 +244,7 @@ class ChunkServer {
   std::map<ChunkId, ReplicaState> states_;
   std::map<ChunkId, uint64_t> chunk_tenants_;  // QoS tenant (virtual disk id)
   scrub::ChecksumStore* checksums_ = nullptr;  // null when scrub is disabled
+  tier::HeatTracker* heat_ = nullptr;          // null when tiering is disabled
   // Ranges (offset, length) flagged corrupt by the scrubber, per chunk.
   std::map<ChunkId, std::vector<std::pair<uint64_t, uint64_t>>> scrub_quarantine_;
   // Wraps a completion so inflight_ops_ tracks admitted requests. The

@@ -296,6 +296,40 @@ Cluster::Cluster(sim::Simulator* sim, const ClusterConfig& config)
     scrub_coordinator_->Start();
   }
 
+  if (config.tier.enabled) {
+    // Tiered placement (DESIGN.md §13): chunk servers feed per-chunk heat;
+    // the migrator scans it and drives demote/promote through the master.
+    heat_ = std::make_unique<tier::HeatTracker>(sim, config.tier.heat_half_life);
+    heat_->RegisterMetrics(&metrics_);
+    for (auto& s : servers_) {
+      s->SetHeatTracker(heat_.get());
+    }
+    master_->SetHeatTracker(heat_.get());
+
+    tier::TierHooks thooks;
+    thooks.list_chunks = [this] {
+      std::vector<tier::TierChunkView> out;
+      for (const Master::TierChunkInfo& info : master_->ListTierChunks()) {
+        out.push_back(tier::TierChunkView{info.chunk, info.ec});
+      }
+      return out;
+    };
+    int ec_k = config.tier.ec_k;
+    int ec_m = config.tier.ec_m;
+    thooks.demote = [this, ec_k, ec_m](uint64_t chunk, std::function<void(bool)> done) {
+      master_->DemoteChunkToEc(static_cast<ChunkId>(chunk), ec_k, ec_m,
+                               [done = std::move(done)](Status s) { done(s.ok()); });
+    };
+    thooks.promote = [this](uint64_t chunk, std::function<void(bool)> done) {
+      master_->PromoteChunk(static_cast<ChunkId>(chunk), /*write_triggered=*/false,
+                            [done = std::move(done)](Status s) { done(s.ok()); });
+    };
+    tier_migrator_ =
+        std::make_unique<tier::TierMigrator>(sim, config.tier, heat_.get(), std::move(thooks));
+    tier_migrator_->RegisterMetrics(&metrics_);
+    tier_migrator_->Start();
+  }
+
   for (journal::JournalManager* jm : journal_manager_ptrs_) {
     jm->StartReplay();
   }

@@ -29,6 +29,9 @@
 #include "src/scrub/scrub_config.h"
 #include "src/scrub/scrub_coordinator.h"
 #include "src/scrub/scrubber.h"
+#include "src/tier/heat_tracker.h"
+#include "src/tier/tier_config.h"
+#include "src/tier/tier_migrator.h"
 
 namespace ursa::cluster {
 
@@ -71,6 +74,11 @@ struct ClusterConfig {
   // Cluster-wide recovery admission: k-per-source-device transfer slots
   // shared by recovery, demotion repair, and scrub re-replication.
   scrub::AdmissionConfig admission;
+  // Tiered placement (src/tier, DESIGN.md §13). When `tier.enabled`, chunk
+  // servers feed per-chunk heat into a HeatTracker and a TierMigrator
+  // periodically demotes cold chunks to k+m EC stripes (promoting them back
+  // when heat returns; writes promote synchronously through the master).
+  tier::TierConfig tier;
 };
 
 class Cluster {
@@ -90,6 +98,8 @@ class Cluster {
   qos::SloMonitor* slo_monitor() { return slo_.get(); }
   scrub::ScrubCoordinator* scrub_coordinator() { return scrub_coordinator_.get(); }
   scrub::RecoveryAdmission* recovery_admission() { return admission_.get(); }
+  tier::HeatTracker* heat_tracker() { return heat_.get(); }
+  tier::TierMigrator* tier_migrator() { return tier_migrator_.get(); }
   // Per-server scrub executor (null index range when scrub is disabled).
   scrub::Scrubber* scrubber(ServerId id) {
     return id < scrubbers_.size() ? scrubbers_[id].get() : nullptr;
@@ -176,6 +186,10 @@ class Cluster {
   std::unique_ptr<scrub::ScrubCoordinator> scrub_coordinator_;
   uint64_t scrub_mismatches_reported_ = 0;
   uint64_t scrub_repairs_completed_ = 0;
+  // Tiering (built after master_; destroyed before it — the migrator's
+  // pending scan events reference the master only while the sim runs).
+  std::unique_ptr<tier::HeatTracker> heat_;
+  std::unique_ptr<tier::TierMigrator> tier_migrator_;
 };
 
 }  // namespace ursa::cluster

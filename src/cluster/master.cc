@@ -6,6 +6,7 @@
 
 #include "src/common/logging.h"
 #include "src/net/message.h"
+#include "src/tier/heat_tracker.h"
 
 namespace ursa::cluster {
 
@@ -92,6 +93,18 @@ std::vector<Master::ChunkPlacement> Master::ListChunks() const {
   out.reserve(chunk_refs_.size());
   for (const auto& [disk_id, meta] : disks_) {
     for (const ChunkLayout& layout : meta.chunks) {
+      if (layout.tier == ChunkTier::kEc) {
+        // EC'd chunks expose their shards to the scrubber: each shard is a
+        // single-replica chunk whose checksum ledger covers the shard extent.
+        for (const EcShardRef& sh : layout.ec_shards) {
+          ChunkPlacement p;
+          p.chunk = sh.shard_chunk;
+          p.size = layout.ec_shard_size;
+          p.servers.push_back(sh.server);
+          out.push_back(std::move(p));
+        }
+        continue;
+      }
       ChunkPlacement p;
       p.chunk = layout.chunk;
       p.size = meta.chunk_size;
@@ -173,6 +186,40 @@ void Master::RegisterMetrics(obs::MetricsRegistry* registry) {
       "master.disks", {}, [this]() { return static_cast<double>(disks_.size()); });
   registry->RegisterCallbackGauge(
       "master.chunks", {}, [this]() { return static_cast<double>(chunk_refs_.size()); });
+  registry->RegisterCallbackCounter("tier.master_demotions", {}, [this]() {
+    return static_cast<double>(tier_stats_.demotions);
+  });
+  registry->RegisterCallbackCounter("tier.master_demote_aborts", {}, [this]() {
+    return static_cast<double>(tier_stats_.demote_aborts);
+  });
+  registry->RegisterCallbackCounter("tier.master_promotions", {}, [this]() {
+    return static_cast<double>(tier_stats_.promotions);
+  });
+  registry->RegisterCallbackCounter("tier.write_promotions", {}, [this]() {
+    return static_cast<double>(tier_stats_.write_promotions);
+  });
+  registry->RegisterCallbackCounter("tier.shard_repairs", {}, [this]() {
+    return static_cast<double>(tier_stats_.shard_repairs);
+  });
+  registry->RegisterCallbackCounter("tier.shard_range_repairs", {}, [this]() {
+    return static_cast<double>(tier_stats_.shard_range_repairs);
+  });
+  registry->RegisterCallbackCounter("tier.ec_bytes_encoded", {}, [this]() {
+    return static_cast<double>(tier_stats_.ec_bytes_encoded);
+  });
+  registry->RegisterCallbackGauge("tier.ec_chunks", {}, [this]() {
+    size_t n = 0;
+    for (const auto& [id, meta] : disks_) {
+      for (const ChunkLayout& l : meta.chunks) {
+        n += l.tier == ChunkTier::kEc ? 1 : 0;
+      }
+    }
+    return static_cast<double>(n);
+  });
+  registry->RegisterCallbackGauge(
+      "tier.physical_bytes", {}, [this]() { return static_cast<double>(PhysicalBytes()); });
+  registry->RegisterCallbackGauge(
+      "tier.logical_bytes", {}, [this]() { return static_cast<double>(LogicalBytes()); });
 }
 
 Result<DiskId> Master::CreateDisk(const std::string& name, uint64_t size, int replication,
@@ -284,11 +331,19 @@ void Master::Restore(const Checkpoint& checkpoint) {
   // re-acquire them after a master restart (their timing constraints make
   // interleaving impossible, §4.1).
   chunk_refs_.clear();
+  ec_shards_.clear();
   for (auto& [disk_id, meta] : disks_) {
     meta.lease_holder = 0;
     meta.lease_expiry = 0;
     for (size_t i = 0; i < meta.chunks.size(); ++i) {
       chunk_refs_[meta.chunks[i].chunk] = ChunkRef{disk_id, i};
+      const ChunkLayout& layout = meta.chunks[i];
+      if (layout.tier == ChunkTier::kEc) {
+        for (size_t s = 0; s < layout.ec_shards.size(); ++s) {
+          ec_shards_[layout.ec_shards[s].shard_chunk] =
+              EcShardInfo{layout.chunk, static_cast<int>(s)};
+        }
+      }
     }
   }
 }
@@ -498,9 +553,32 @@ void Master::TransferRangesNow(ChunkId chunk, ChunkServer* source, ChunkServer* 
 
 void Master::ReportReplicaFailure(ChunkId chunk, ServerId failed,
                                   std::function<void(Status)> done) {
+  // EC shard ids route to stripe repair, never to replica recovery: a shard
+  // has no replicas — its redundancy is the stripe's parity.
+  auto shard_it = ec_shards_.find(chunk);
+  if (shard_it != ec_shards_.end()) {
+    ChunkLayout* parent_layout = FindLayout(shard_it->second.parent);
+    if (parent_layout == nullptr || parent_layout->tier != ChunkTier::kEc) {
+      done(NotFound("stale shard"));
+      return;
+    }
+    const EcShardRef& sh = parent_layout->ec_shards[shard_it->second.index];
+    if (failed < servers_.size() && !servers_[failed]->crashed() && sh.server == failed) {
+      done(OkStatus());  // transient slowness; the shard's server is alive
+      return;
+    }
+    RepairEcShard(shard_it->second.parent, shard_it->second.index, std::move(done));
+    return;
+  }
   ChunkLayout* layout = FindLayout(chunk);
   if (layout == nullptr) {
     done(NotFound("unknown chunk"));
+    return;
+  }
+  if (layout->tier == ChunkTier::kEc) {
+    // Stale report against an already-demoted chunk: nothing to repair here
+    // (the client's refresh will discover the EC layout).
+    done(OkStatus());
     return;
   }
   auto ref = chunk_refs_.find(chunk);
@@ -684,6 +762,15 @@ void Master::RepairChunkReplicas(ChunkId chunk) {
   if (layout == nullptr) {
     return;
   }
+  if (layout->tier == ChunkTier::kEc) {
+    // Stripe healing: rebuild any shard stranded on a crashed server.
+    for (size_t i = 0; i < layout->ec_shards.size(); ++i) {
+      if (servers_[layout->ec_shards[i].server]->crashed()) {
+        RepairEcShard(chunk, static_cast<int>(i), [](Status) {});
+      }
+    }
+    return;
+  }
   for (const ReplicaRef& r : layout->replicas) {
     if (!servers_[r.server]->crashed()) {
       RepairReplica(chunk, r.server, [](Status) {});
@@ -693,6 +780,13 @@ void Master::RepairChunkReplicas(ChunkId chunk) {
 
 void Master::RepairCorruptRange(ChunkId chunk, ServerId corrupt_server, uint64_t offset,
                                 uint64_t length, std::function<void(Status)> done) {
+  if (IsEcShard(chunk)) {
+    // A corrupt shard range has no peer replica to copy from: reconstruct
+    // the bytes from the stripe's other shards instead.
+    ++recovery_stats_.corruption_repairs;
+    RepairEcShardRange(chunk, offset, length, std::move(done));
+    return;
+  }
   ChunkLayout* layout = FindLayout(chunk);
   if (layout == nullptr) {
     sim_->After(0, [done = std::move(done)]() { done(NotFound("unknown chunk")); });
@@ -739,6 +833,10 @@ void Master::RepairReplica(ChunkId chunk, ServerId lagging, std::function<void(S
   ChunkLayout* layout = FindLayout(chunk);
   if (layout == nullptr) {
     done(NotFound("unknown chunk"));
+    return;
+  }
+  if (layout->tier == ChunkTier::kEc) {
+    done(OkStatus());  // no replicas to repair; shards heal via RepairEcShard
     return;
   }
   ChunkServer* laggard = servers_[lagging];
@@ -803,6 +901,1151 @@ void Master::RepairReplica(ChunkId chunk, ServerId lagging, std::function<void(S
                     done(s);
                   });
   }
+}
+
+// ---- Tiered placement (DESIGN.md §13) ----
+
+// Shared completion state for one migration. Exactly one of the transfer
+// callbacks, the commit step, or the timeout finishes the op; everyone else
+// sees `finished` and backs off.
+struct Master::MigrationOp {
+  ChunkId chunk = 0;
+  bool finished = false;
+  bool granted = false;          // holding an admission slot
+  uint64_t admission_source = 0;
+  sim::EventId timeout_event = 0;
+  // Chunks allocated by this op; freed again if it aborts before commit.
+  std::vector<std::pair<ServerId, ChunkId>> allocated;
+  std::function<void(Status)> done;
+};
+
+ec::ReedSolomon* Master::Codec(int k, int m) {
+  auto key = std::make_pair(k, m);
+  auto it = codecs_.find(key);
+  if (it == codecs_.end()) {
+    it = codecs_.emplace(key, std::make_unique<ec::ReedSolomon>(k, m)).first;
+  }
+  return it->second.get();
+}
+
+Result<std::vector<ServerId>> Master::PickShardServers(int n, uint64_t salt) const {
+  // Round-robin machines so a k+m stripe spreads as widely as the cluster
+  // allows; with fewer machines than shards, machines host several shards
+  // but always on distinct servers.
+  size_t machines = placement_.num_machines();
+  std::vector<std::vector<ServerId>> by_machine(machines);
+  for (ServerId s = 0; s < static_cast<ServerId>(servers_.size()); ++s) {
+    if (!servers_[s]->crashed()) {
+      by_machine[placement_.MachineOf(s)].push_back(s);
+    }
+  }
+  std::vector<ServerId> out;
+  std::vector<size_t> cursor(machines, 0);
+  bool progress = true;
+  while (static_cast<int>(out.size()) < n && progress) {
+    progress = false;
+    for (size_t i = 0; i < machines && static_cast<int>(out.size()) < n; ++i) {
+      size_t mi = (salt + i) % machines;
+      if (cursor[mi] < by_machine[mi].size()) {
+        out.push_back(by_machine[mi][cursor[mi]++]);
+        progress = true;
+      }
+    }
+  }
+  if (static_cast<int>(out.size()) < n) {
+    return ResourceExhausted("too few alive servers for an EC stripe");
+  }
+  return out;
+}
+
+void Master::ReadChunkPieces(ChunkServer* server, ChunkId chunk, uint64_t size, uint8_t* out,
+                             std::shared_ptr<void> hold, qos::ServiceClass cls,
+                             std::function<void(Status, uint64_t)> done) {
+  struct State {
+    uint64_t next_offset = 0;
+    uint64_t completed = 0;
+    uint64_t total_pieces = 0;
+    uint64_t version = 0;
+    bool failed = false;
+    std::shared_ptr<void> hold;
+    std::function<void(Status, uint64_t)> done;
+  };
+  auto st = std::make_shared<State>();
+  st->total_pieces = (size + recovery_piece_ - 1) / recovery_piece_;
+  st->hold = std::move(hold);
+  st->done = std::move(done);
+  auto pump = std::make_shared<std::function<void()>>();
+  *pump = [this, server, chunk, size, out, cls, st, pump]() {
+    while (!st->failed && st->next_offset < size &&
+           (st->next_offset / recovery_piece_) - st->completed <
+               static_cast<uint64_t>(recovery_window_)) {
+      uint64_t offset = st->next_offset;
+      uint64_t len = std::min(recovery_piece_, size - offset);
+      st->next_offset += len;
+      server->HandleRecoveryRead(
+          chunk, offset, len, out == nullptr ? nullptr : out + offset,
+          [st, pump](const Status& s, uint64_t version) {
+            if (st->failed) {
+              return;
+            }
+            if (!s.ok()) {
+              st->failed = true;
+              st->done(s, 0);
+              return;
+            }
+            st->version = std::max(st->version, version);
+            if (++st->completed == st->total_pieces) {
+              st->done(OkStatus(), st->version);
+            } else {
+              (*pump)();
+            }
+          },
+          cls);
+    }
+  };
+  (*pump)();
+}
+
+void Master::WriteChunkPieces(ChunkServer* target, ChunkId chunk, uint64_t size,
+                              const uint8_t* data, std::shared_ptr<void> hold,
+                              net::NodeId from_node, qos::ServiceClass cls,
+                              std::function<void(Status)> done) {
+  struct State {
+    uint64_t next_offset = 0;
+    uint64_t completed = 0;
+    uint64_t total_pieces = 0;
+    bool failed = false;
+    bool waiting = false;
+    std::shared_ptr<void> hold;
+    std::function<void(Status)> done;
+  };
+  auto st = std::make_shared<State>();
+  st->total_pieces = (size + recovery_piece_ - 1) / recovery_piece_;
+  st->hold = std::move(hold);
+  st->done = std::move(done);
+  auto pump = std::make_shared<std::function<void()>>();
+  *pump = [this, target, chunk, size, data, from_node, cls, st, pump]() {
+    if (st->failed || st->waiting) {
+      return;
+    }
+    storage::IoGate* gate = target->store()->device()->gate();
+    if (gate != nullptr && gate->ShouldThrottle(cls)) {
+      st->waiting = true;
+      gate->WhenReady(cls, [st, pump]() {
+        st->waiting = false;
+        (*pump)();
+      });
+      return;
+    }
+    while (st->next_offset < size &&
+           (st->next_offset / recovery_piece_) - st->completed <
+               static_cast<uint64_t>(recovery_window_)) {
+      uint64_t offset = st->next_offset;
+      uint64_t len = std::min(recovery_piece_, size - offset);
+      st->next_offset += len;
+      uint64_t wire = net::WireBytes(net::MessageType::kRecoveryData, len);
+      transport_->Send(from_node, target->node(), wire,
+                       [this, target, chunk, offset, len, data, cls, st, pump]() {
+                         target->HandleRecoveryWrite(
+                             chunk, offset, len, data == nullptr ? nullptr : data + offset,
+                             [this, len, st, pump](const Status& s) {
+                               if (st->failed) {
+                                 return;
+                               }
+                               if (!s.ok()) {
+                                 st->failed = true;
+                                 st->done(s);
+                                 return;
+                               }
+                               recovery_stats_.bytes_transferred += len;
+                               if (++st->completed == st->total_pieces) {
+                                 st->done(OkStatus());
+                               } else {
+                                 (*pump)();
+                               }
+                             },
+                             cls);
+                       });
+    }
+  };
+  (*pump)();
+}
+
+void Master::CompleteMigration(std::shared_ptr<MigrationOp> op, Status s) {
+  if (op->finished) {
+    return;
+  }
+  op->finished = true;
+  if (op->timeout_event != 0) {
+    sim_->Cancel(op->timeout_event);
+  }
+  if (op->granted) {
+    admission_->Release(op->admission_source);
+  }
+  if (!s.ok()) {
+    // Roll back anything this op allocated but never committed.
+    for (const auto& [sid, cid] : op->allocated) {
+      if (!servers_[sid]->crashed() && servers_[sid]->HasChunk(cid)) {
+        servers_[sid]->FreeChunk(cid);
+      }
+      ec_shards_.erase(cid);
+      if (heat_ != nullptr) {
+        heat_->ClearAlias(cid);
+      }
+    }
+  }
+  FinishMigration(op->chunk);
+  if (op->done) {
+    op->done(std::move(s));
+  }
+}
+
+void Master::FinishMigration(ChunkId chunk) {
+  migrating_.erase(chunk);
+  auto it = promote_waiters_.find(chunk);
+  if (it == promote_waiters_.end()) {
+    return;
+  }
+  std::vector<std::function<void(Status)>> waiters = std::move(it->second);
+  promote_waiters_.erase(it);
+  for (auto& waiter : waiters) {
+    // Re-enter through the front door: if the finished migration was the
+    // promotion, this completes immediately via the idempotent path.
+    sim_->After(0, [this, chunk, waiter = std::move(waiter)]() mutable {
+      PromoteChunk(chunk, false, std::move(waiter));
+    });
+  }
+}
+
+void Master::DemoteChunkToEc(ChunkId chunk, int k, int m, std::function<void(Status)> done) {
+  auto fail = [this, &done](Status s) {
+    sim_->After(0, [s = std::move(s), done = std::move(done)]() mutable { done(std::move(s)); });
+  };
+  ChunkLayout* layout = FindLayout(chunk);
+  if (layout == nullptr) {
+    fail(NotFound("unknown chunk"));
+    return;
+  }
+  if (layout->tier != ChunkTier::kReplicated) {
+    fail(AlreadyExists("chunk already EC"));
+    return;
+  }
+  if (migrating_.count(chunk) > 0) {
+    fail(Unavailable("migration already in flight"));
+    return;
+  }
+  if (k < 1 || m < 1) {
+    fail(InvalidArgument("bad EC geometry"));
+    return;
+  }
+  auto ref = chunk_refs_.find(chunk);
+  const DiskMeta& disk = disks_[ref->second.disk];
+  if (disk.chunk_size % static_cast<uint64_t>(k) != 0) {
+    fail(InvalidArgument("chunk size not divisible by k"));
+    return;
+  }
+  if (heat_ != nullptr && heat_->InflightWrites(chunk) > 0) {
+    fail(Unavailable("writes in flight"));
+    return;
+  }
+  // Replay writes into a freed chunk would fail hard (the journal replayer
+  // treats a missing backup chunk as unrecoverable), so a replica with
+  // pending journal records pins the chunk on the replicated tier.
+  uint64_t version0 = 0;
+  bool have_version = false;
+  ChunkServer* source = nullptr;
+  const ReplicaRef* source_ref = nullptr;
+  for (const ReplicaRef& r : layout->replicas) {
+    ChunkServer* server = servers_[r.server];
+    if (server->crashed()) {
+      continue;
+    }
+    if (server->HasJournalBacklog(chunk)) {
+      fail(Unavailable("journal backlog pending"));
+      return;
+    }
+    Result<ChunkServer::ReplicaState> st = server->GetState(chunk);
+    if (!st.ok()) {
+      continue;
+    }
+    if (!have_version) {
+      version0 = st->version;
+      have_version = true;
+    } else if (st->version != version0) {
+      // Divergent replicas mean a repair is due; demote after it heals.
+      fail(Unavailable("replicas diverge"));
+      return;
+    }
+    if (source == nullptr || PreferReplica(r, *source_ref)) {
+      source = server;
+      source_ref = &r;
+    }
+  }
+  if (source == nullptr) {
+    fail(Unavailable("no alive replica"));
+    return;
+  }
+
+  auto op = std::make_shared<MigrationOp>();
+  op->chunk = chunk;
+  op->done = std::move(done);
+  migrating_.insert(chunk);
+  op->timeout_event = sim_->After(migration_timeout_, [this, op]() {
+    op->timeout_event = 0;
+    ++tier_stats_.demote_failures;
+    CompleteMigration(op, TimedOut("demotion timed out"));
+  });
+  if (admission_ != nullptr) {
+    op->admission_source = source->id();
+    admission_->Acquire(source->id(), scrub::RecoveryAdmission::Priority::kScrub,
+                        [this, chunk, k, m, op]() {
+                          if (op->finished) {
+                            admission_->Release(op->admission_source);
+                            return;
+                          }
+                          op->granted = true;
+                          DemoteChunkNow(chunk, k, m, op);
+                        });
+  } else {
+    DemoteChunkNow(chunk, k, m, op);
+  }
+}
+
+void Master::DemoteChunkNow(ChunkId chunk, int k, int m, std::shared_ptr<MigrationOp> op) {
+  if (op->finished) {
+    return;
+  }
+  ChunkLayout* layout = FindLayout(chunk);
+  if (layout == nullptr || layout->tier != ChunkTier::kReplicated) {
+    ++tier_stats_.demote_failures;
+    CompleteMigration(op, Aborted("layout changed"));
+    return;
+  }
+  auto ref = chunk_refs_.find(chunk);
+  const DiskMeta& disk = disks_[ref->second.disk];
+  const uint64_t chunk_size = disk.chunk_size;
+  const uint64_t shard_size = chunk_size / static_cast<uint64_t>(k);
+  const int n = k + m;
+
+  // Re-pick the source (state may have shifted while queued for admission).
+  ChunkServer* source = nullptr;
+  const ReplicaRef* source_ref = nullptr;
+  uint64_t version0 = 0;
+  for (const ReplicaRef& r : layout->replicas) {
+    ChunkServer* server = servers_[r.server];
+    if (server->crashed()) {
+      continue;
+    }
+    Result<ChunkServer::ReplicaState> st = server->GetState(chunk);
+    if (!st.ok()) {
+      continue;
+    }
+    if (source == nullptr || PreferReplica(r, *source_ref)) {
+      source = server;
+      source_ref = &r;
+      version0 = st->version;
+    }
+  }
+  if (source == nullptr) {
+    ++tier_stats_.demote_failures;
+    CompleteMigration(op, Unavailable("no alive replica"));
+    return;
+  }
+  Result<std::vector<ServerId>> targets = PickShardServers(n, chunk);
+  if (!targets.ok()) {
+    ++tier_stats_.demote_failures;
+    CompleteMigration(op, targets.status());
+    return;
+  }
+  // Buffer: the chunk image (k contiguous data shards) followed by m parity
+  // shards. Timing-only mode (large benches) skips the bytes entirely.
+  const bool carry = recovery_carries_data_;
+  auto buf = carry ? std::make_shared<std::vector<uint8_t>>(chunk_size +
+                                                            static_cast<uint64_t>(m) * shard_size)
+                   : nullptr;
+  ReadChunkPieces(
+      source, chunk, chunk_size, carry ? buf->data() : nullptr, buf, qos::ServiceClass::kScrub,
+      [this, chunk, k, m, n, shard_size, chunk_size, op, buf, carry, source,
+       targets = *targets, disk_id = disk.id, version0](const Status& s, uint64_t) {
+        if (op->finished) {
+          return;
+        }
+        if (!s.ok()) {
+          ++tier_stats_.demote_failures;
+          CompleteMigration(op, s);
+          return;
+        }
+        ChunkLayout* layout = FindLayout(chunk);
+        if (layout == nullptr || layout->tier != ChunkTier::kReplicated) {
+          ++tier_stats_.demote_failures;
+          CompleteMigration(op, Aborted("layout changed"));
+          return;
+        }
+        if (carry) {
+          std::vector<const uint8_t*> data(k);
+          std::vector<uint8_t*> parity(m);
+          for (int i = 0; i < k; ++i) {
+            data[i] = buf->data() + static_cast<uint64_t>(i) * shard_size;
+          }
+          for (int j = 0; j < m; ++j) {
+            parity[j] = buf->data() + chunk_size + static_cast<uint64_t>(j) * shard_size;
+          }
+          Codec(k, m)->Encode(data, parity, shard_size);
+        }
+        tier_stats_.ec_bytes_encoded += chunk_size;
+
+        std::vector<EcShardRef> shards(n);
+        const uint64_t alloc_view = layout->view + 1;
+        for (int i = 0; i < n; ++i) {
+          ChunkServer* target = servers_[targets[i]];
+          ChunkId shard_id = next_chunk_id_++;
+          Status alloc = target->AllocateChunk(shard_id, alloc_view, disk_id);
+          if (!alloc.ok()) {
+            ++tier_stats_.demote_failures;
+            CompleteMigration(op, alloc);
+            return;
+          }
+          op->allocated.emplace_back(targets[i], shard_id);
+          ec_shards_[shard_id] = EcShardInfo{chunk, i};
+          if (heat_ != nullptr) {
+            heat_->SetAlias(shard_id, chunk);
+          }
+          shards[i] = EcShardRef{targets[i], target->node(), shard_id};
+        }
+
+        auto remaining = std::make_shared<int>(n);
+        for (int i = 0; i < n; ++i) {
+          const uint8_t* src = nullptr;
+          if (carry) {
+            src = i < k ? buf->data() + static_cast<uint64_t>(i) * shard_size
+                        : buf->data() + chunk_size + static_cast<uint64_t>(i - k) * shard_size;
+          }
+          WriteChunkPieces(servers_[shards[i].server], shards[i].shard_chunk, shard_size, src,
+                           buf, source->node(), qos::ServiceClass::kScrub,
+                           [this, chunk, op, shards, remaining, version0, k, m,
+                            shard_size](const Status& ws) {
+                             if (op->finished) {
+                               return;
+                             }
+                             if (!ws.ok()) {
+                               ++tier_stats_.demote_failures;
+                               CompleteMigration(op, ws);
+                               return;
+                             }
+                             if (--*remaining > 0) {
+                               return;
+                             }
+                             CommitDemote(chunk, shards, version0, k, m, shard_size, op);
+                           });
+        }
+      });
+}
+
+void Master::CommitDemote(ChunkId chunk, std::vector<EcShardRef> shards, uint64_t frozen_version,
+                          int k, int m, uint64_t shard_size, std::shared_ptr<MigrationOp> op) {
+  if (op->finished) {
+    return;
+  }
+  ChunkLayout* layout = FindLayout(chunk);
+  // Atomic commit check: this whole function is one event, so nothing can
+  // interleave between the verification and the layout swap. Any write that
+  // landed during the copy (version moved), is still in the server pipeline
+  // (in-flight counter), or left journal records aborts the demotion — the
+  // shard images would be torn.
+  bool dirty = layout == nullptr || layout->tier != ChunkTier::kReplicated;
+  if (!dirty && heat_ != nullptr && heat_->InflightWrites(chunk) > 0) {
+    dirty = true;
+  }
+  if (!dirty) {
+    for (const ReplicaRef& r : layout->replicas) {
+      ChunkServer* server = servers_[r.server];
+      if (server->crashed()) {
+        continue;
+      }
+      Result<ChunkServer::ReplicaState> st = server->GetState(chunk);
+      if ((st.ok() && st->version != frozen_version) || server->HasJournalBacklog(chunk)) {
+        dirty = true;
+        break;
+      }
+    }
+  }
+  if (dirty) {
+    ++tier_stats_.demote_aborts;
+    CompleteMigration(op, Aborted("chunk went hot during demotion"));
+    return;
+  }
+  const uint64_t new_view = layout->view + 1;
+  for (const ReplicaRef& r : layout->replicas) {
+    if (!servers_[r.server]->crashed()) {
+      servers_[r.server]->FreeChunk(chunk);
+    }
+  }
+  layout->replicas.clear();
+  layout->tier = ChunkTier::kEc;
+  layout->ec_shards = std::move(shards);
+  layout->ec_k = static_cast<uint16_t>(k);
+  layout->ec_m = static_cast<uint16_t>(m);
+  layout->ec_shard_size = shard_size;
+  layout->ec_version = frozen_version;
+  layout->view = new_view;
+  ++recovery_stats_.view_changes;
+  for (const EcShardRef& sh : layout->ec_shards) {
+    servers_[sh.server]->SetView(sh.shard_chunk, new_view);
+  }
+  op->allocated.clear();  // committed: the abort path must not free them
+  ++tier_stats_.demotions;
+  CompleteMigration(op, OkStatus());
+}
+
+void Master::PromoteChunk(ChunkId chunk, bool write_triggered, std::function<void(Status)> done) {
+  ChunkLayout* layout = FindLayout(chunk);
+  if (layout == nullptr) {
+    sim_->After(0, [done = std::move(done)]() { done(NotFound("unknown chunk")); });
+    return;
+  }
+  if (layout->tier == ChunkTier::kReplicated && migrating_.count(chunk) == 0) {
+    sim_->After(0, [done = std::move(done)]() { done(OkStatus()); });
+    return;
+  }
+  if (migrating_.count(chunk) > 0) {
+    // Queue behind the in-flight migration (demote, promote, or shard
+    // repair); FinishMigration re-runs us, and the idempotent path above
+    // completes immediately if someone else already promoted.
+    promote_waiters_[chunk].push_back(std::move(done));
+    return;
+  }
+  // First alive shard is the admission source (the stripe read fans out, but
+  // one slot per migration keeps the controller's accounting simple).
+  ChunkServer* admit_on = nullptr;
+  for (const EcShardRef& sh : layout->ec_shards) {
+    if (!servers_[sh.server]->crashed()) {
+      admit_on = servers_[sh.server];
+      break;
+    }
+  }
+  if (admit_on == nullptr) {
+    ++tier_stats_.promote_failures;
+    sim_->After(0, [done = std::move(done)]() { done(Unavailable("no alive shard")); });
+    return;
+  }
+  auto op = std::make_shared<MigrationOp>();
+  op->chunk = chunk;
+  op->done = std::move(done);
+  migrating_.insert(chunk);
+  op->timeout_event = sim_->After(migration_timeout_, [this, op]() {
+    op->timeout_event = 0;
+    ++tier_stats_.promote_failures;
+    CompleteMigration(op, TimedOut("promotion timed out"));
+  });
+  if (admission_ != nullptr) {
+    op->admission_source = admit_on->id();
+    // A write is blocked on this promotion, so it competes at recovery
+    // priority; policy promotions yield like scrub traffic.
+    auto priority = write_triggered ? scrub::RecoveryAdmission::Priority::kRecovery
+                                    : scrub::RecoveryAdmission::Priority::kScrub;
+    admission_->Acquire(admit_on->id(), priority, [this, chunk, write_triggered, op]() {
+      if (op->finished) {
+        admission_->Release(op->admission_source);
+        return;
+      }
+      op->granted = true;
+      PromoteChunkNow(chunk, write_triggered, op);
+    });
+  } else {
+    PromoteChunkNow(chunk, write_triggered, op);
+  }
+}
+
+void Master::PromoteChunkNow(ChunkId chunk, bool write_triggered,
+                             std::shared_ptr<MigrationOp> op) {
+  if (op->finished) {
+    return;
+  }
+  ChunkLayout* layout = FindLayout(chunk);
+  if (layout == nullptr || layout->tier != ChunkTier::kEc) {
+    CompleteMigration(op, layout == nullptr ? NotFound("unknown chunk") : OkStatus());
+    return;
+  }
+  auto ref = chunk_refs_.find(chunk);
+  const DiskMeta& disk = disks_[ref->second.disk];
+  const int k = layout->ec_k;
+  const int m = layout->ec_m;
+  const int n = k + m;
+  const uint64_t shard_size = layout->ec_shard_size;
+  const uint64_t chunk_size = disk.chunk_size;
+  const uint64_t frozen_version = layout->ec_version;
+  const std::vector<EcShardRef> shards = layout->ec_shards;
+  const qos::ServiceClass cls =
+      write_triggered ? qos::ServiceClass::kRecovery : qos::ServiceClass::kScrub;
+
+  // Any k alive shards suffice; data shards first minimizes reconstruction.
+  std::vector<int> sources;
+  for (int i = 0; i < n && static_cast<int>(sources.size()) < k; ++i) {
+    if (!servers_[shards[i].server]->crashed()) {
+      sources.push_back(i);
+    }
+  }
+  if (static_cast<int>(sources.size()) < k) {
+    ++tier_stats_.promote_failures;
+    CompleteMigration(op, Unavailable("fewer than k shards alive"));
+    return;
+  }
+  const bool carry = recovery_carries_data_;
+  auto buf = carry ? std::make_shared<std::vector<uint8_t>>(chunk_size +
+                                                            static_cast<uint64_t>(m) * shard_size)
+                   : nullptr;
+  auto slot = [buf, chunk_size, shard_size, k](int i) -> uint8_t* {
+    if (!buf) {
+      return nullptr;
+    }
+    return i < k ? buf->data() + static_cast<uint64_t>(i) * shard_size
+                 : buf->data() + chunk_size + static_cast<uint64_t>(i - k) * shard_size;
+  };
+
+  auto remaining = std::make_shared<int>(k);
+  for (int idx : sources) {
+    ReadChunkPieces(
+        servers_[shards[idx].server], shards[idx].shard_chunk, shard_size, slot(idx), buf, cls,
+        [this, chunk, write_triggered, op, buf, carry, slot, sources, shards, k, m, n,
+         shard_size, chunk_size, frozen_version, cls, remaining, disk_id = disk.id,
+         seq = ref->second.index, replication = disk.replication](const Status& s, uint64_t) {
+          if (op->finished) {
+            return;
+          }
+          if (!s.ok()) {
+            ++tier_stats_.promote_failures;
+            CompleteMigration(op, s);
+            return;
+          }
+          if (--*remaining > 0) {
+            return;
+          }
+          // All k source shards are in; rebuild any missing data shards.
+          if (carry) {
+            std::vector<bool> present(n, false);
+            for (int i : sources) {
+              present[i] = true;
+            }
+            std::vector<int> wanted;
+            for (int d = 0; d < k; ++d) {
+              if (!present[d]) {
+                wanted.push_back(d);
+              }
+            }
+            if (!wanted.empty()) {
+              ec::ReedSolomon::DecodePlan plan;
+              Status ps = Codec(k, m)->PlanReconstruct(present, wanted, &plan);
+              if (!ps.ok()) {
+                ++tier_stats_.promote_failures;
+                CompleteMigration(op, ps);
+                return;
+              }
+              std::vector<const uint8_t*> shard_ptrs(n, nullptr);
+              for (int i : sources) {
+                shard_ptrs[i] = slot(i);
+              }
+              std::vector<uint8_t*> outs(n, nullptr);
+              for (int t : wanted) {
+                outs[t] = slot(t);
+              }
+              Codec(k, m)->ReconstructWith(plan, shard_ptrs, outs, shard_size);
+            }
+          }
+          // Place fresh replicas through the normal policy; top up around
+          // crashed servers with replacements.
+          ChunkLayout* layout = FindLayout(chunk);
+          if (layout == nullptr || layout->tier != ChunkTier::kEc) {
+            CompleteMigration(op, Aborted("layout changed"));
+            return;
+          }
+          std::vector<ServerId> targets;
+          std::vector<MachineId> used;
+          auto try_add = [this, chunk, &targets, &used](ServerId sid) {
+            ChunkServer* server = servers_[sid];
+            if (server->crashed() || server->HasChunk(chunk)) {
+              return;
+            }
+            targets.push_back(sid);
+            used.push_back(placement_.MachineOf(sid));
+          };
+          Result<std::vector<ServerId>> placed =
+              placement_.PlaceChunk(seq, replication, disk_id * 7919);
+          if (placed.ok()) {
+            for (ServerId sid : *placed) {
+              try_add(sid);
+            }
+          }
+          for (uint64_t salt = chunk;
+               static_cast<int>(targets.size()) < replication && salt < chunk + 2 * num_servers();
+               ++salt) {
+            Result<ServerId> cand =
+                placement_.PlaceReplacement(targets.empty(), used, salt);
+            if (cand.ok()) {
+              try_add(*cand);
+            }
+          }
+          if (static_cast<int>(targets.size()) < replication) {
+            ++tier_stats_.promote_failures;
+            CompleteMigration(op, ResourceExhausted("too few servers to re-replicate"));
+            return;
+          }
+          const uint64_t new_view = layout->view + 1;
+          for (ServerId sid : targets) {
+            Status alloc = servers_[sid]->AllocateChunk(chunk, new_view, disk_id);
+            if (!alloc.ok()) {
+              ++tier_stats_.promote_failures;
+              CompleteMigration(op, alloc);
+              return;
+            }
+            op->allocated.emplace_back(sid, chunk);
+          }
+          auto wremaining = std::make_shared<int>(static_cast<int>(targets.size()));
+          for (ServerId sid : targets) {
+            WriteChunkPieces(servers_[sid], chunk, chunk_size, carry ? buf->data() : nullptr,
+                             buf, shards[sources[0]].node, cls,
+                             [this, chunk, op, targets, write_triggered, wremaining,
+                              frozen_version](const Status& ws) {
+                               if (op->finished) {
+                                 return;
+                               }
+                               if (!ws.ok()) {
+                                 ++tier_stats_.promote_failures;
+                                 CompleteMigration(op, ws);
+                                 return;
+                               }
+                               if (--*wremaining > 0) {
+                                 return;
+                               }
+                               CommitPromote(chunk, targets, frozen_version, write_triggered,
+                                             op);
+                             });
+          }
+        });
+  }
+}
+
+void Master::CommitPromote(ChunkId chunk, std::vector<ServerId> targets,
+                           uint64_t frozen_version, bool write_triggered,
+                           std::shared_ptr<MigrationOp> op) {
+  if (op->finished) {
+    return;
+  }
+  ChunkLayout* layout = FindLayout(chunk);
+  if (layout == nullptr || layout->tier != ChunkTier::kEc) {
+    CompleteMigration(op, Aborted("layout changed"));
+    return;
+  }
+  const uint64_t new_view = layout->view + 1;
+  for (const EcShardRef& sh : layout->ec_shards) {
+    ChunkServer* server = servers_[sh.server];
+    if (!server->crashed() && server->HasChunk(sh.shard_chunk)) {
+      server->FreeChunk(sh.shard_chunk);
+    }
+    // A crashed server keeps its stale shard image; it is unreachable and no
+    // longer indexed, so it can never serve (or corrupt) future reads.
+    ec_shards_.erase(sh.shard_chunk);
+    if (heat_ != nullptr) {
+      heat_->ClearAlias(sh.shard_chunk);
+    }
+  }
+  layout->ec_shards.clear();
+  layout->ec_k = 0;
+  layout->ec_m = 0;
+  layout->ec_shard_size = 0;
+  layout->ec_version = 0;
+  layout->tier = ChunkTier::kReplicated;
+  layout->replicas.clear();
+  for (ServerId sid : targets) {
+    ChunkServer* server = servers_[sid];
+    // The EC tier froze the replica version at demotion; restore it so the
+    // promoted chunk resumes exactly where the replicated history left off.
+    server->SetState(chunk, frozen_version, new_view);
+    layout->replicas.push_back(
+        ReplicaRef{sid, server->node(), server->on_ssd(), IsDemoted(sid)});
+  }
+  layout->view = new_view;
+  SortLayout(layout);
+  ++recovery_stats_.view_changes;
+  op->allocated.clear();
+  ++tier_stats_.promotions;
+  if (write_triggered) {
+    ++tier_stats_.write_promotions;
+  }
+  CompleteMigration(op, OkStatus());
+}
+
+void Master::RepairEcShard(ChunkId parent, int shard_index, std::function<void(Status)> done) {
+  auto fail = [this, &done](Status s) {
+    sim_->After(0, [s = std::move(s), done = std::move(done)]() mutable { done(std::move(s)); });
+  };
+  ChunkLayout* layout = FindLayout(parent);
+  if (layout == nullptr) {
+    fail(NotFound("unknown chunk"));
+    return;
+  }
+  if (layout->tier != ChunkTier::kEc) {
+    fail(OkStatus());  // promoted away in the meantime; nothing to repair
+    return;
+  }
+  if (shard_index < 0 || shard_index >= static_cast<int>(layout->ec_shards.size())) {
+    fail(InvalidArgument("bad shard index"));
+    return;
+  }
+  if (migrating_.count(parent) > 0) {
+    fail(Unavailable("migration in flight"));
+    return;
+  }
+  ChunkServer* admit_on = nullptr;
+  for (int i = 0; i < static_cast<int>(layout->ec_shards.size()); ++i) {
+    if (i != shard_index && !servers_[layout->ec_shards[i].server]->crashed()) {
+      admit_on = servers_[layout->ec_shards[i].server];
+      break;
+    }
+  }
+  if (admit_on == nullptr) {
+    fail(Unavailable("fewer than k shards alive"));
+    return;
+  }
+  auto op = std::make_shared<MigrationOp>();
+  op->chunk = parent;
+  op->done = std::move(done);
+  migrating_.insert(parent);
+  op->timeout_event = sim_->After(migration_timeout_, [this, op]() {
+    op->timeout_event = 0;
+    CompleteMigration(op, TimedOut("shard repair timed out"));
+  });
+  if (admission_ != nullptr) {
+    op->admission_source = admit_on->id();
+    admission_->Acquire(admit_on->id(), scrub::RecoveryAdmission::Priority::kRecovery,
+                        [this, parent, shard_index, op]() {
+                          if (op->finished) {
+                            admission_->Release(op->admission_source);
+                            return;
+                          }
+                          op->granted = true;
+                          RepairEcShardNow(parent, shard_index, op);
+                        });
+  } else {
+    RepairEcShardNow(parent, shard_index, op);
+  }
+}
+
+void Master::RepairEcShardNow(ChunkId parent, int shard_index,
+                              std::shared_ptr<MigrationOp> op) {
+  if (op->finished) {
+    return;
+  }
+  ChunkLayout* layout = FindLayout(parent);
+  if (layout == nullptr || layout->tier != ChunkTier::kEc) {
+    CompleteMigration(op, Aborted("layout changed"));
+    return;
+  }
+  auto ref = chunk_refs_.find(parent);
+  const int k = layout->ec_k;
+  const int m = layout->ec_m;
+  const int n = k + m;
+  const uint64_t shard_size = layout->ec_shard_size;
+  const std::vector<EcShardRef> shards = layout->ec_shards;
+  const ChunkId shard_id = shards[shard_index].shard_chunk;
+  const ServerId old_server = shards[shard_index].server;
+
+  std::vector<int> sources;
+  for (int i = 0; i < n && static_cast<int>(sources.size()) < k; ++i) {
+    if (i != shard_index && !servers_[shards[i].server]->crashed()) {
+      sources.push_back(i);
+    }
+  }
+  if (static_cast<int>(sources.size()) < k) {
+    CompleteMigration(op, Unavailable("fewer than k shards alive"));
+    return;
+  }
+  // Replacement: no machine hosting a surviving shard, falling back to any
+  // alive server that doesn't already hold a piece of this stripe.
+  std::vector<MachineId> exclude;
+  for (int i = 0; i < n; ++i) {
+    if (i != shard_index && !servers_[shards[i].server]->crashed()) {
+      exclude.push_back(placement_.MachineOf(shards[i].server));
+    }
+  }
+  auto hosts_stripe = [&shards](ChunkServer* server) {
+    for (const EcShardRef& sh : shards) {
+      if (server->HasChunk(sh.shard_chunk)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  ChunkServer* replacement = nullptr;
+  const std::vector<MachineId> no_exclusions;
+  for (int relax = 0; relax < 2 && replacement == nullptr; ++relax) {
+    const std::vector<MachineId>& excl = relax == 0 ? exclude : no_exclusions;
+    for (uint64_t salt = parent; salt < parent + num_servers(); ++salt) {
+      Result<ServerId> cand = placement_.PlaceReplacement(false, excl, salt);
+      if (!cand.ok()) {
+        continue;
+      }
+      ChunkServer* server = servers_[*cand];
+      if (*cand != old_server && !server->crashed() && !hosts_stripe(server)) {
+        replacement = server;
+        break;
+      }
+    }
+  }
+  if (replacement == nullptr) {
+    CompleteMigration(op, ResourceExhausted("no replacement server for shard"));
+    return;
+  }
+  const bool carry = recovery_carries_data_;
+  auto buf =
+      carry ? std::make_shared<std::vector<uint8_t>>(static_cast<uint64_t>(n) * shard_size)
+            : nullptr;
+  auto slot = [buf, shard_size](int i) -> uint8_t* {
+    return buf ? buf->data() + static_cast<uint64_t>(i) * shard_size : nullptr;
+  };
+  auto remaining = std::make_shared<int>(k);
+  for (int idx : sources) {
+    ReadChunkPieces(
+        servers_[shards[idx].server], shards[idx].shard_chunk, shard_size, slot(idx), buf,
+        qos::ServiceClass::kRecovery,
+        [this, parent, shard_index, shard_id, op, buf, carry, slot, sources, shards, k, m, n,
+         shard_size, replacement, remaining,
+         disk_id = ref->second.disk](const Status& s, uint64_t) {
+          if (op->finished) {
+            return;
+          }
+          if (!s.ok()) {
+            CompleteMigration(op, s);
+            return;
+          }
+          if (--*remaining > 0) {
+            return;
+          }
+          if (carry) {
+            std::vector<bool> present(n, false);
+            for (int i : sources) {
+              present[i] = true;
+            }
+            ec::ReedSolomon::DecodePlan plan;
+            Status ps = Codec(k, m)->PlanReconstruct(present, {shard_index}, &plan);
+            if (!ps.ok()) {
+              CompleteMigration(op, ps);
+              return;
+            }
+            std::vector<const uint8_t*> shard_ptrs(n, nullptr);
+            for (int i : sources) {
+              shard_ptrs[i] = slot(i);
+            }
+            std::vector<uint8_t*> outs(n, nullptr);
+            outs[shard_index] = slot(shard_index);
+            Codec(k, m)->ReconstructWith(plan, shard_ptrs, outs, shard_size);
+          }
+          ChunkLayout* layout = FindLayout(parent);
+          if (layout == nullptr || layout->tier != ChunkTier::kEc) {
+            CompleteMigration(op, Aborted("layout changed"));
+            return;
+          }
+          const uint64_t new_view = layout->view + 1;
+          Status alloc = replacement->AllocateChunk(shard_id, new_view, disk_id);
+          if (!alloc.ok()) {
+            CompleteMigration(op, alloc);
+            return;
+          }
+          op->allocated.emplace_back(replacement->id(), shard_id);
+          WriteChunkPieces(
+              replacement, shard_id, shard_size, slot(shard_index), buf,
+              servers_[shards[sources[0]].server]->node(), qos::ServiceClass::kRecovery,
+              [this, parent, shard_index, shard_id, op, replacement](const Status& ws) {
+                if (op->finished) {
+                  return;
+                }
+                if (!ws.ok()) {
+                  CompleteMigration(op, ws);
+                  return;
+                }
+                ChunkLayout* layout = FindLayout(parent);
+                if (layout == nullptr || layout->tier != ChunkTier::kEc) {
+                  CompleteMigration(op, Aborted("layout changed"));
+                  return;
+                }
+                EcShardRef& sh = layout->ec_shards[shard_index];
+                ChunkServer* old = servers_[sh.server];
+                if (old != replacement && !old->crashed() && old->HasChunk(shard_id)) {
+                  old->FreeChunk(shard_id);
+                }
+                sh = EcShardRef{replacement->id(), replacement->node(), shard_id};
+                const uint64_t new_view = layout->view + 1;
+                layout->view = new_view;
+                ++recovery_stats_.view_changes;
+                for (const EcShardRef& other : layout->ec_shards) {
+                  if (!servers_[other.server]->crashed()) {
+                    servers_[other.server]->SetView(other.shard_chunk, new_view);
+                  }
+                }
+                op->allocated.clear();
+                ++tier_stats_.shard_repairs;
+                ++recovery_stats_.chunks_recovered;
+                CompleteMigration(op, OkStatus());
+              });
+        });
+  }
+}
+
+void Master::RepairEcShardRange(ChunkId shard, uint64_t offset, uint64_t length,
+                                std::function<void(Status)> done) {
+  auto fail = [this, &done](Status s) {
+    sim_->After(0, [s = std::move(s), done = std::move(done)]() mutable { done(std::move(s)); });
+  };
+  auto it = ec_shards_.find(shard);
+  if (it == ec_shards_.end()) {
+    fail(NotFound("not an EC shard"));
+    return;
+  }
+  ChunkLayout* layout = FindLayout(it->second.parent);
+  if (layout == nullptr || layout->tier != ChunkTier::kEc) {
+    fail(NotFound("stale shard"));
+    return;
+  }
+  const int target = it->second.index;
+  const int k = layout->ec_k;
+  const int m = layout->ec_m;
+  const int n = k + m;
+  const std::vector<EcShardRef> shards = layout->ec_shards;
+  ChunkServer* damaged = servers_[shards[target].server];
+  if (damaged->crashed()) {
+    fail(Unavailable("shard server down"));
+    return;
+  }
+  std::vector<int> sources;
+  for (int i = 0; i < n && static_cast<int>(sources.size()) < k; ++i) {
+    if (i != target && !servers_[shards[i].server]->crashed()) {
+      sources.push_back(i);
+    }
+  }
+  if (static_cast<int>(sources.size()) < k) {
+    fail(Unavailable("fewer than k shards alive"));
+    return;
+  }
+  auto op = std::make_shared<MigrationOp>();
+  op->chunk = 0;  // range repairs don't hold the parent's migration lock
+  op->done = std::move(done);
+  op->timeout_event = sim_->After(migration_timeout_, [this, op]() {
+    op->timeout_event = 0;
+    CompleteMigration(op, TimedOut("shard range repair timed out"));
+  });
+  auto run = [this, shard, offset, length, target, k, m, n, sources, shards, damaged, op]() {
+    const bool carry = recovery_carries_data_;
+    // RS reconstruction is positional: byte b of the lost shard needs byte b
+    // of k others, so only [offset, offset+length) of each source is read.
+    auto buf = carry
+                   ? std::make_shared<std::vector<uint8_t>>(static_cast<uint64_t>(n) * length)
+                   : nullptr;
+    auto slot = [buf, length](int i) -> uint8_t* {
+      return buf ? buf->data() + static_cast<uint64_t>(i) * length : nullptr;
+    };
+    auto remaining = std::make_shared<int>(k);
+    for (int idx : sources) {
+      servers_[shards[idx].server]->HandleRecoveryRead(
+          shards[idx].shard_chunk, offset, length, slot(idx),
+          [this, shard, offset, length, target, k, m, n, sources, shards, damaged, op, buf,
+           carry, slot, remaining](const Status& s, uint64_t) {
+            if (op->finished) {
+              return;
+            }
+            if (!s.ok()) {
+              CompleteMigration(op, s);
+              return;
+            }
+            if (--*remaining > 0) {
+              return;
+            }
+            if (carry) {
+              std::vector<bool> present(n, false);
+              for (int i : sources) {
+                present[i] = true;
+              }
+              ec::ReedSolomon::DecodePlan plan;
+              Status ps = Codec(k, m)->PlanReconstruct(present, {target}, &plan);
+              if (!ps.ok()) {
+                CompleteMigration(op, ps);
+                return;
+              }
+              std::vector<const uint8_t*> shard_ptrs(n, nullptr);
+              for (int i : sources) {
+                shard_ptrs[i] = slot(i);
+              }
+              std::vector<uint8_t*> outs(n, nullptr);
+              outs[target] = slot(target);
+              Codec(k, m)->ReconstructWith(plan, shard_ptrs, outs, length);
+            }
+            uint64_t wire = net::WireBytes(net::MessageType::kRecoveryData, length);
+            transport_->Send(
+                shards[sources[0]].node, damaged->node(), wire,
+                [this, shard, offset, length, target, damaged, op, buf, slot]() {
+                  damaged->HandleRecoveryWrite(
+                      shard, offset, length, slot(target),
+                      [this, length, op, buf](const Status& ws) {
+                        if (op->finished) {
+                          return;
+                        }
+                        if (ws.ok()) {
+                          recovery_stats_.bytes_transferred += length;
+                          ++tier_stats_.shard_range_repairs;
+                        }
+                        CompleteMigration(op, ws);
+                      },
+                      qos::ServiceClass::kScrub);
+                });
+          },
+          qos::ServiceClass::kScrub);
+    }
+  };
+  if (admission_ != nullptr) {
+    op->admission_source = servers_[shards[sources[0]].server]->id();
+    admission_->Acquire(op->admission_source, scrub::RecoveryAdmission::Priority::kScrub,
+                        [this, op, run]() {
+                          if (op->finished) {
+                            admission_->Release(op->admission_source);
+                            return;
+                          }
+                          op->granted = true;
+                          run();
+                        });
+  } else {
+    run();
+  }
+}
+
+std::vector<Master::TierChunkInfo> Master::ListTierChunks() const {
+  std::vector<TierChunkInfo> out;
+  out.reserve(chunk_refs_.size());
+  for (const auto& [disk_id, meta] : disks_) {
+    for (const ChunkLayout& layout : meta.chunks) {
+      out.push_back(TierChunkInfo{layout.chunk, layout.tier == ChunkTier::kEc});
+    }
+  }
+  return out;
+}
+
+uint64_t Master::PhysicalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [disk_id, meta] : disks_) {
+    for (const ChunkLayout& layout : meta.chunks) {
+      if (layout.tier == ChunkTier::kEc) {
+        total += layout.ec_shards.size() * layout.ec_shard_size;
+      } else {
+        total += layout.replicas.size() * meta.chunk_size;
+      }
+    }
+  }
+  return total;
+}
+
+uint64_t Master::LogicalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [disk_id, meta] : disks_) {
+    total += meta.chunks.size() * meta.chunk_size;
+  }
+  return total;
 }
 
 }  // namespace ursa::cluster

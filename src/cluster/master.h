@@ -18,8 +18,13 @@
 #include "src/cluster/chunk_server.h"
 #include "src/cluster/placement.h"
 #include "src/cluster/types.h"
+#include "src/ec/reed_solomon.h"
 #include "src/net/transport.h"
 #include "src/scrub/recovery_admission.h"
+
+namespace ursa::tier {
+class HeatTracker;
+}  // namespace ursa::tier
 
 namespace ursa::cluster {
 
@@ -49,6 +54,19 @@ struct RecoveryStats {
   uint64_t corruption_repairs = 0;  // CRC-detected ranges re-replicated
   uint64_t demotions = 0;           // health-driven replica demotions
   uint64_t undemotions = 0;         // recoveries back to full standing
+};
+
+// Tiering counters (DESIGN.md §13).
+struct TierStats {
+  uint64_t demotions = 0;           // replicated -> EC commits
+  uint64_t demote_aborts = 0;       // precondition races caught at commit
+  uint64_t demote_failures = 0;     // setup/transfer failures (incl. timeouts)
+  uint64_t promotions = 0;          // EC -> replicated commits
+  uint64_t write_promotions = 0;    // promotions triggered by a client write
+  uint64_t promote_failures = 0;
+  uint64_t shard_repairs = 0;       // full shard rebuilds onto a new server
+  uint64_t shard_range_repairs = 0;  // scrub-corruption stripe repairs
+  uint64_t ec_bytes_encoded = 0;     // logical bytes pushed through Encode
 };
 
 class Master {
@@ -146,6 +164,58 @@ class Master {
   };
   std::vector<ChunkPlacement> ListChunks() const;
 
+  // ---- Tiered placement (DESIGN.md §13) ----
+
+  // Installs the cluster heat tracker. With one installed, demotion refuses
+  // chunks with writes in flight and registers shard->parent aliases so
+  // reads of EC shards keep heating the parent chunk.
+  void SetHeatTracker(tier::HeatTracker* heat) { heat_ = heat; }
+
+  // Demotes a replicated chunk to a k+m EC stripe: reads the freshest
+  // replica, encodes, writes k data + m parity shards to distinct servers
+  // (machine-spread), then — atomically, in one event — re-verifies the
+  // preconditions (version unchanged, no write in flight) and commits by
+  // freeing the replicas and installing the EC layout. Any precondition
+  // change aborts and frees the shards instead; the chunk stays replicated.
+  // Transfer I/O runs under kScrub QoS and takes a kScrub admission slot
+  // (policy traffic yields to failure recovery).
+  void DemoteChunkToEc(ChunkId chunk, int k, int m, std::function<void(Status)> done);
+
+  // Promotes an EC'd chunk back to replication: reads k shards (degraded
+  // reconstruct if some are down), writes full replicas, restores the frozen
+  // replica version, frees the shards. Idempotent — promoting a replicated
+  // chunk succeeds immediately, and concurrent requests for a chunk whose
+  // migration is in flight queue behind it. `write_triggered` promotions
+  // (client write to an EC'd chunk, acked only after promotion) run under
+  // kRecovery QoS/priority; policy promotions under kScrub.
+  void PromoteChunk(ChunkId chunk, bool write_triggered, std::function<void(Status)> done);
+
+  // Rebuilds shard `shard_index` of EC'd chunk `parent` from k surviving
+  // shards onto a replacement server (kRecovery class + admission slot).
+  void RepairEcShard(ChunkId parent, int shard_index, std::function<void(Status)> done);
+
+  // True when `id` is an EC shard chunk (not a client-addressable chunk).
+  bool IsEcShard(ChunkId id) const { return ec_shards_.count(id) > 0; }
+
+  // Tier scan source: every client-addressable chunk and its current tier.
+  struct TierChunkInfo {
+    ChunkId chunk = 0;
+    bool ec = false;
+  };
+  std::vector<TierChunkInfo> ListTierChunks() const;
+
+  // Capacity accounting: physical bytes currently allocated for chunk data
+  // (replicas * chunk_size + shards * shard_size) vs logical disk bytes.
+  uint64_t PhysicalBytes() const;
+  uint64_t LogicalBytes() const;
+
+  const TierStats& tier_stats() const { return tier_stats_; }
+
+  // Upper bound on one migration's lifetime: a transfer wedged past this
+  // (e.g. a server crashing mid-copy silently drops the piece) aborts,
+  // releasing its admission slot and any allocated shards.
+  void set_migration_timeout(Nanos t) { migration_timeout_ = t; }
+
   // ---- Master recovery (§4.2.2: "the master is recovered first") ----
   // The master's durable state is its metadata; a restart restores the
   // checkpoint and re-verifies replica versions lazily through the normal
@@ -223,6 +293,55 @@ class Master {
 
   ChunkLayout* FindLayout(ChunkId chunk);
 
+  // ---- Tiering internals (DESIGN.md §13) ----
+
+  struct EcShardInfo {
+    ChunkId parent = 0;
+    int index = 0;
+  };
+
+  // Shared completion state for one migration: guards against the timeout
+  // and a late transfer callback both finishing the operation.
+  struct MigrationOp;
+
+  ec::ReedSolomon* Codec(int k, int m);
+
+  // Picks `n` distinct alive servers, round-robining machines for spread.
+  Result<std::vector<ServerId>> PickShardServers(int n, uint64_t salt) const;
+
+  // Windowed piece pump reading [0, size) of `chunk` on `server` into `out`
+  // (null = timing-only) under `cls`; `done(status, replica_version)`.
+  // `hold` keeps the buffer behind `out` alive until every piece lands.
+  void ReadChunkPieces(ChunkServer* server, ChunkId chunk, uint64_t size, uint8_t* out,
+                       std::shared_ptr<void> hold, qos::ServiceClass cls,
+                       std::function<void(Status, uint64_t)> done);
+
+  // Ships [0, size) over the wire from `from_node` and recovery-writes it
+  // into `chunk` on `target` (gate-backpressured like TransferChunkNow).
+  void WriteChunkPieces(ChunkServer* target, ChunkId chunk, uint64_t size, const uint8_t* data,
+                        std::shared_ptr<void> hold, net::NodeId from_node, qos::ServiceClass cls,
+                        std::function<void(Status)> done);
+
+  void DemoteChunkNow(ChunkId chunk, int k, int m, std::shared_ptr<MigrationOp> op);
+  void PromoteChunkNow(ChunkId chunk, bool write_triggered, std::shared_ptr<MigrationOp> op);
+  void RepairEcShardNow(ChunkId parent, int shard_index, std::shared_ptr<MigrationOp> op);
+  void RepairEcShardRange(ChunkId shard, uint64_t offset, uint64_t length,
+                          std::function<void(Status)> done);
+
+  // Atomic commit steps — each runs in one event, re-verifying preconditions
+  // before mutating the layout (nothing can interleave mid-function).
+  void CommitDemote(ChunkId chunk, std::vector<EcShardRef> shards, uint64_t frozen_version,
+                    int k, int m, uint64_t shard_size, std::shared_ptr<MigrationOp> op);
+  void CommitPromote(ChunkId chunk, std::vector<ServerId> targets, uint64_t frozen_version,
+                     bool write_triggered, std::shared_ptr<MigrationOp> op);
+
+  // Single completion funnel: cancels the timeout, releases the admission
+  // slot, frees uncommitted allocations on failure, and runs `done` once.
+  void CompleteMigration(std::shared_ptr<MigrationOp> op, Status s);
+
+  // Ends a migration: drops the in-flight mark and reruns queued promotes.
+  void FinishMigration(ChunkId chunk);
+
   sim::Simulator* sim_;
   net::Transport* transport_;
   Placement placement_;
@@ -241,6 +360,15 @@ class Master {
   std::function<double(ServerId)> health_score_;  // null = binary demotion only
   double health_score_deadband_ = 1.5;
   scrub::RecoveryAdmission* admission_ = nullptr;  // null = watermark-only pacing
+
+  // Tiering state (DESIGN.md §13).
+  std::map<ChunkId, EcShardInfo> ec_shards_;  // shard chunk id -> (parent, index)
+  std::map<std::pair<int, int>, std::unique_ptr<ec::ReedSolomon>> codecs_;
+  std::set<ChunkId> migrating_;  // chunks with a demote/promote/shard repair in flight
+  std::map<ChunkId, std::vector<std::function<void(Status)>>> promote_waiters_;
+  tier::HeatTracker* heat_ = nullptr;
+  Nanos migration_timeout_ = sec(10);
+  TierStats tier_stats_;
 };
 
 }  // namespace ursa::cluster

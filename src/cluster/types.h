@@ -49,11 +49,37 @@ struct ReplicaRef {
   bool demoted = false;
 };
 
+// Placement tier of a chunk (DESIGN.md §13): hot chunks are 3-way
+// replicated; cold chunks are demoted to a k+m Reed-Solomon stripe and
+// promoted back to replication on write (or on renewed read heat).
+enum class ChunkTier : uint8_t { kReplicated = 0, kEc = 1 };
+
+// One shard of an EC'd chunk. Shards are full first-class chunks on their
+// hosting servers (allocated, checksummed, scrubbed like replicas); the
+// shard chunk id maps back to its parent through the master.
+struct EcShardRef {
+  ServerId server = 0;
+  uint32_t node = 0;       // transport NodeId of the hosting machine
+  ChunkId shard_chunk = 0;
+};
+
 // Layout of one chunk: replica set plus the view number that versioned it.
 struct ChunkLayout {
   ChunkId chunk = 0;
   uint64_t view = 0;
   std::vector<ReplicaRef> replicas;  // replicas[0] is the preferred primary
+
+  // Tiering (DESIGN.md §13). When tier == kEc, `replicas` is empty and
+  // ec_shards holds k data shards (byte-contiguous: shard d covers chunk
+  // bytes [d*S, (d+1)*S), S = ec_shard_size) followed by m parity shards.
+  // ec_version freezes the replica version at demotion; promotion restores
+  // it so client version checks stay monotonic across a round trip.
+  ChunkTier tier = ChunkTier::kReplicated;
+  std::vector<EcShardRef> ec_shards;
+  uint16_t ec_k = 0;
+  uint16_t ec_m = 0;
+  uint64_t ec_shard_size = 0;
+  uint64_t ec_version = 0;
 };
 
 // Protocol constants (§3.2).

@@ -1,6 +1,7 @@
 #include "src/ec/ec_stripe_store.h"
 
 #include <cstring>
+#include <tuple>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -498,9 +499,39 @@ void EcStripeStore::Flush(storage::IoCallback done) {
     sim_->After(0, [done = std::move(done)]() { done(OkStatus()); });
     return;
   }
-  std::deque<LogEntry> entries;
-  entries.swap(parity_log_);
+  std::deque<LogEntry> raw;
+  raw.swap(parity_log_);
   parix_cache_.clear();
+  // Coalesce same-range deltas before touching the parity devices: chained
+  // overwrites leave one log entry per write, but scaled deltas compose
+  // under XOR, so one parity RMW per distinct range suffices.
+  std::vector<LogEntry> entries;
+  std::vector<bool> merged;  // entries[i].delta is a private merge buffer
+  std::map<std::tuple<int, uint64_t, uint64_t>, size_t> by_range;
+  for (LogEntry& e : raw) {
+    uint64_t len = e.delta ? e.delta->size() : 0;
+    auto key = std::make_tuple(e.parity, e.offset, len);
+    auto it = by_range.find(key);
+    if (it == by_range.end()) {
+      by_range.emplace(key, entries.size());
+      entries.push_back(std::move(e));
+      merged.push_back(false);
+      continue;
+    }
+    LogEntry& g = entries[it->second];
+    if (e.delta != nullptr) {
+      if (!merged[it->second]) {
+        // First merge into this range: the group's delta may still be aliased
+        // by an in-flight append, so compose into a private buffer.
+        auto buf = AcquireBuf(len, false);
+        std::memcpy(buf->data(), g.delta->data(), len);
+        g.delta = std::move(buf);
+        merged[it->second] = true;
+      }
+      GfXorAccum(e.delta->data(), g.delta->data(), len);
+    }
+    ++stats_.parity_log_coalesced;
+  }
   auto joiner = MakeJoiner(entries.size(), std::move(done));
   for (const LogEntry& entry : entries) {
     int idx = config_.k + entry.parity;
@@ -532,6 +563,28 @@ void EcStripeStore::RepairShard(int shard, storage::BlockDevice* replacement,
                                 storage::IoCallback done) {
   URSA_CHECK_LT(static_cast<size_t>(shard), devices_.size());
   URSA_CHECK(!alive_[shard]) << "repairing a live shard";
+  if (admission_.acquire == nullptr) {
+    RepairShardNow(shard, replacement, std::move(done));
+    return;
+  }
+  // Rebuild reads fan out across every surviving shard: hold the whole
+  // repair behind one transfer slot keyed by the rebuilt shard.
+  ++stats_.repair_admissions;
+  admission_.acquire(static_cast<uint64_t>(shard),
+                     [this, shard, replacement, done = std::move(done)]() mutable {
+                       auto release = admission_.release;
+                       RepairShardNow(shard, replacement,
+                                      [shard, release, done = std::move(done)](const Status& s) {
+                                        if (release != nullptr) {
+                                          release(static_cast<uint64_t>(shard));
+                                        }
+                                        done(s);
+                                      });
+                     });
+}
+
+void EcStripeStore::RepairShardNow(int shard, storage::BlockDevice* replacement,
+                                   storage::IoCallback done) {
   // Pending parity deltas must be durable in the parity shards before they
   // serve as reconstruction sources.
   Flush([this, shard, replacement, done = std::move(done)](const Status& fs) mutable {

@@ -1,0 +1,100 @@
+#include "src/tier/heat_tracker.h"
+
+#include <cmath>
+
+namespace ursa::tier {
+
+namespace {
+constexpr double kHeatUnitBytes = 4096.0;  // one 4 KiB access = 1.0 heat
+}  // namespace
+
+HeatTracker::HeatTracker(sim::Simulator* sim, Nanos half_life)
+    : sim_(sim), half_life_(half_life > 0 ? half_life : sec(30)) {}
+
+uint64_t HeatTracker::Resolve(uint64_t chunk) const {
+  auto it = aliases_.find(chunk);
+  return it == aliases_.end() ? chunk : it->second;
+}
+
+void HeatTracker::DecayTo(Entry& e, Nanos now) const {
+  if (now <= e.last_decay) {
+    return;
+  }
+  double halves =
+      static_cast<double>(now - e.last_decay) / static_cast<double>(half_life_);
+  double factor = std::exp2(-halves);
+  e.read_heat *= factor;
+  e.write_heat *= factor;
+  e.last_decay = now;
+}
+
+HeatTracker::Entry& HeatTracker::Touch(uint64_t chunk) {
+  Entry& e = entries_[chunk];
+  DecayTo(e, sim_->Now());
+  return e;
+}
+
+void HeatTracker::RecordRead(uint64_t chunk, uint64_t bytes) {
+  Entry& e = Touch(Resolve(chunk));
+  e.read_heat += static_cast<double>(bytes) / kHeatUnitBytes;
+}
+
+void HeatTracker::RecordWrite(uint64_t chunk, uint64_t bytes) {
+  Entry& e = Touch(Resolve(chunk));
+  e.write_heat += static_cast<double>(bytes) / kHeatUnitBytes;
+  e.last_write = sim_->Now();
+}
+
+void HeatTracker::BeginWrite(uint64_t chunk) { ++Touch(Resolve(chunk)).inflight_writes; }
+
+void HeatTracker::EndWrite(uint64_t chunk) {
+  Entry& e = Touch(Resolve(chunk));
+  if (e.inflight_writes > 0) {
+    --e.inflight_writes;
+  }
+}
+
+void HeatTracker::SetAlias(uint64_t shard, uint64_t parent) { aliases_[shard] = parent; }
+
+void HeatTracker::ClearAlias(uint64_t shard) { aliases_.erase(shard); }
+
+void HeatTracker::Forget(uint64_t chunk) { entries_.erase(chunk); }
+
+double HeatTracker::ReadHeat(uint64_t chunk) const {
+  auto it = entries_.find(Resolve(chunk));
+  if (it == entries_.end()) {
+    return 0;
+  }
+  Entry e = it->second;  // decay a copy; queries don't mutate
+  DecayTo(e, sim_->Now());
+  return e.read_heat;
+}
+
+double HeatTracker::WriteHeat(uint64_t chunk) const {
+  auto it = entries_.find(Resolve(chunk));
+  if (it == entries_.end()) {
+    return 0;
+  }
+  Entry e = it->second;
+  DecayTo(e, sim_->Now());
+  return e.write_heat;
+}
+
+Nanos HeatTracker::LastWrite(uint64_t chunk) const {
+  auto it = entries_.find(Resolve(chunk));
+  return it == entries_.end() ? 0 : it->second.last_write;
+}
+
+uint32_t HeatTracker::InflightWrites(uint64_t chunk) const {
+  auto it = entries_.find(Resolve(chunk));
+  return it == entries_.end() ? 0 : it->second.inflight_writes;
+}
+
+void HeatTracker::RegisterMetrics(obs::MetricsRegistry* registry) {
+  registry->RegisterCallbackGauge("tier.heat_tracked_chunks", {},
+                                  [this] { return static_cast<double>(entries_.size()); });
+  registry->RegisterCallbackGauge("tier.heat_aliases", {},
+                                  [this] { return static_cast<double>(aliases_.size()); });
+}
+
+}  // namespace ursa::tier

@@ -1,0 +1,83 @@
+// Per-chunk access heat with lazy exponential decay (DESIGN.md §13).
+//
+// Chunk servers feed read/write bytes into the tracker from their I/O
+// handlers; the TierMigrator and the master read decayed heat to decide
+// demotion (cold -> EC) and promotion (hot -> replicated). Heat is
+// normalized to 4 KiB units (one 4 KiB access adds 1.0) and halves every
+// configured half-life of inactivity. Decay is evaluated lazily at
+// touch/query time — no periodic sweep, O(1) per access.
+//
+// EC shard chunks alias to their parent: a read served by shard `s` of
+// chunk `c` heats `c`, so cold data that turns hot again is seen by the
+// promotion policy even though the client never touches chunk id `c`
+// directly while it is EC'd.
+//
+// The tracker also counts in-flight writes per chunk (Begin/EndWrite from
+// the chunk-server write path). Demotion refuses chunks with writes in
+// flight — the single-threaded event loop makes the check-at-commit
+// atomic, so a chunk can never lose its replicas under an unacked write.
+#ifndef URSA_TIER_HEAT_TRACKER_H_
+#define URSA_TIER_HEAT_TRACKER_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/common/units.h"
+#include "src/obs/metrics_registry.h"
+#include "src/sim/simulator.h"
+
+namespace ursa::tier {
+
+class HeatTracker {
+ public:
+  HeatTracker(sim::Simulator* sim, Nanos half_life);
+
+  // I/O-path feeds (chunk servers). `chunk` may be a shard alias.
+  void RecordRead(uint64_t chunk, uint64_t bytes);
+  void RecordWrite(uint64_t chunk, uint64_t bytes);
+
+  // In-flight write window (paired, from the chunk-server write handlers).
+  void BeginWrite(uint64_t chunk);
+  void EndWrite(uint64_t chunk);
+
+  // Shard aliasing: accesses to `shard` are accounted to `parent`.
+  void SetAlias(uint64_t shard, uint64_t parent);
+  void ClearAlias(uint64_t shard);
+
+  // Drops a chunk's entry entirely (chunk freed).
+  void Forget(uint64_t chunk);
+
+  // Decayed-to-now heat. Queries resolve aliases like the feeds do.
+  double ReadHeat(uint64_t chunk) const;
+  double WriteHeat(uint64_t chunk) const;
+  double Heat(uint64_t chunk) const { return ReadHeat(chunk) + WriteHeat(chunk); }
+
+  // Time of the last write feed (0 if never written).
+  Nanos LastWrite(uint64_t chunk) const;
+  uint32_t InflightWrites(uint64_t chunk) const;
+
+  size_t tracked() const { return entries_.size(); }
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+
+ private:
+  struct Entry {
+    double read_heat = 0;
+    double write_heat = 0;
+    Nanos last_decay = 0;  // heat fields are decayed to this instant
+    Nanos last_write = 0;
+    uint32_t inflight_writes = 0;
+  };
+
+  uint64_t Resolve(uint64_t chunk) const;
+  Entry& Touch(uint64_t chunk);          // get-or-create, decayed to now
+  void DecayTo(Entry& e, Nanos now) const;
+
+  sim::Simulator* sim_;
+  Nanos half_life_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::unordered_map<uint64_t, uint64_t> aliases_;  // shard -> parent
+};
+
+}  // namespace ursa::tier
+
+#endif  // URSA_TIER_HEAT_TRACKER_H_

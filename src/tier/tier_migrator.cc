@@ -1,0 +1,92 @@
+#include "src/tier/tier_migrator.h"
+
+#include <utility>
+
+namespace ursa::tier {
+
+TierMigrator::TierMigrator(sim::Simulator* sim, const TierConfig& config, HeatTracker* heat,
+                           TierHooks hooks)
+    : sim_(sim), config_(config), heat_(heat), hooks_(std::move(hooks)) {}
+
+void TierMigrator::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  next_scan_ = sim_->After(config_.scan_interval, [this] { Scan(); });
+}
+
+void TierMigrator::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  sim_->Cancel(next_scan_);
+}
+
+bool TierMigrator::WantsDemote(const TierChunkView& c) const {
+  if (c.ec) {
+    return false;
+  }
+  if (heat_->Heat(c.chunk) >= config_.demote_max_heat) {
+    return false;
+  }
+  if (heat_->InflightWrites(c.chunk) > 0) {
+    return false;
+  }
+  // Recently-written chunks stay replicated even once their heat decays:
+  // a fresh write predicts more writes, and demoting would just bounce.
+  return sim_->Now() - heat_->LastWrite(c.chunk) >= config_.cold_age;
+}
+
+bool TierMigrator::WantsPromote(const TierChunkView& c) const {
+  return c.ec && heat_->Heat(c.chunk) >= config_.promote_heat;
+}
+
+void TierMigrator::ScanOnce() { Scan(); }
+
+void TierMigrator::Scan() {
+  ++stats_.scans;
+  if (hooks_.list_chunks) {
+    for (const TierChunkView& c : hooks_.list_chunks()) {
+      if (in_flight_ >= config_.max_concurrent) {
+        break;
+      }
+      if (WantsDemote(c)) {
+        ++in_flight_;
+        hooks_.demote(c.chunk, [this](bool ok) {
+          --in_flight_;
+          ++(ok ? stats_.demotions : stats_.demote_failures);
+        });
+      } else if (WantsPromote(c)) {
+        ++in_flight_;
+        hooks_.promote(c.chunk, [this](bool ok) {
+          --in_flight_;
+          ++(ok ? stats_.promotions : stats_.promote_failures);
+        });
+      }
+    }
+  }
+  if (running_) {
+    next_scan_ = sim_->After(config_.scan_interval, [this] { Scan(); });
+  }
+}
+
+void TierMigrator::RegisterMetrics(obs::MetricsRegistry* registry) {
+  registry->RegisterCallbackCounter("tier.migrator_scans", {},
+                                    [this] { return static_cast<double>(stats_.scans); });
+  registry->RegisterCallbackCounter("tier.demotions", {},
+                                    [this] { return static_cast<double>(stats_.demotions); });
+  registry->RegisterCallbackCounter(
+      "tier.demote_failures", {},
+      [this] { return static_cast<double>(stats_.demote_failures); });
+  registry->RegisterCallbackCounter("tier.promotions", {},
+                                    [this] { return static_cast<double>(stats_.promotions); });
+  registry->RegisterCallbackCounter(
+      "tier.promote_failures", {},
+      [this] { return static_cast<double>(stats_.promote_failures); });
+  registry->RegisterCallbackGauge("tier.migrations_in_flight", {},
+                                  [this] { return static_cast<double>(in_flight_); });
+}
+
+}  // namespace ursa::tier

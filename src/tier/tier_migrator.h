@@ -1,0 +1,87 @@
+// Heat-driven tier migration policy (DESIGN.md §13).
+//
+// The migrator periodically scans the chunk population (listed through a
+// hook so this library stays cluster-agnostic) and drives the hot<->cold
+// state machine:
+//
+//   replicated --[heat < demote_max_heat, last write older than cold_age,
+//                 no write in flight]--> EC (k+m stripe)
+//   EC --[decayed heat >= promote_heat]--> replicated
+//
+// The actual data movement lives behind the demote/promote hooks (the
+// master's DemoteChunkToEc / PromoteChunk); the migrator only decides WHAT
+// migrates and bounds HOW MANY migrations run concurrently. Admission
+// control (RecoveryAdmission) and QoS classing happen inside the hooks, so
+// a migration wave can never starve foreground I/O or failure recovery.
+//
+// Write-triggered promotion does NOT pass through here: a client write to
+// an EC'd chunk promotes synchronously through the master before the ack.
+#ifndef URSA_TIER_TIER_MIGRATOR_H_
+#define URSA_TIER_TIER_MIGRATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/obs/metrics_registry.h"
+#include "src/sim/simulator.h"
+#include "src/tier/heat_tracker.h"
+#include "src/tier/tier_config.h"
+
+namespace ursa::tier {
+
+// One candidate chunk as seen by a scan.
+struct TierChunkView {
+  uint64_t chunk = 0;
+  bool ec = false;  // currently on the EC tier
+};
+
+// Cluster-facing hooks. `done(true)` on success; failures (precondition
+// races, unavailable servers) are counted and retried on a later scan.
+struct TierHooks {
+  std::function<std::vector<TierChunkView>()> list_chunks;
+  std::function<void(uint64_t chunk, std::function<void(bool)> done)> demote;
+  std::function<void(uint64_t chunk, std::function<void(bool)> done)> promote;
+};
+
+struct TierMigratorStats {
+  uint64_t scans = 0;
+  uint64_t demotions = 0;
+  uint64_t demote_failures = 0;
+  uint64_t promotions = 0;
+  uint64_t promote_failures = 0;
+};
+
+class TierMigrator {
+ public:
+  TierMigrator(sim::Simulator* sim, const TierConfig& config, HeatTracker* heat,
+               TierHooks hooks);
+
+  void Start();
+  void Stop();
+
+  const TierMigratorStats& stats() const { return stats_; }
+  int in_flight() const { return in_flight_; }
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+
+  // Runs one scan pass immediately (tests; benches forcing a wave).
+  void ScanOnce();
+
+ private:
+  void Scan();
+  bool WantsDemote(const TierChunkView& c) const;
+  bool WantsPromote(const TierChunkView& c) const;
+
+  sim::Simulator* sim_;
+  TierConfig config_;
+  HeatTracker* heat_;
+  TierHooks hooks_;
+  bool running_ = false;
+  sim::EventId next_scan_ = 0;
+  int in_flight_ = 0;
+  TierMigratorStats stats_;
+};
+
+}  // namespace ursa::tier
+
+#endif  // URSA_TIER_TIER_MIGRATOR_H_
