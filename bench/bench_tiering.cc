@@ -7,8 +7,14 @@
 // migrator must demote every chunk to a 4+2 stripe, dropping the capacity
 // factor from the replication factor (3.0) to (k+m)/k (1.5). Every byte
 // must then read back through the shard path, and a 4 KiB write into a cold
-// chunk must promote it back to replication BEFORE the ack (the measured
-// promote latency is the annotated cost of writing cold data).
+// chunk must ack once durable on a replica quorum (speculative promotion,
+// DESIGN.md §13.6) and then converge to clean replication with the byte
+// intact — the measured ack latency is the cost of writing cold data.
+//
+// Phase A2 (speculation payoff): the same cold 4 KiB write measured twice
+// on identical beds, speculative promotion on vs. off (reconstruct-first).
+// The speculative ack must come in at least 2x faster: it rides a replica
+// quorum of the new bytes while the k-shard reconstruct happens behind it.
 //
 // Phase B (foreground overhead, hybrid cluster + QoS): two identical beds
 // run the same mixed 4K workload on a hot disk; the tier-on bed also holds
@@ -18,8 +24,9 @@
 // quiescent arm — the wave must ride idle capacity, not tax the tail.
 //
 // Gates (bench/bench_baselines.json, "tiering"): wave demoted every chunk,
-// capacity factor halved, bytes intact through the shard path, write-promote
-// acked in replicated form, foreground p99 within 2x under the wave.
+// capacity factor halved, bytes intact through the shard path, cold write
+// acked and converged to replication, speculative ack >= 2x faster than
+// reconstruct-first, foreground p99 within 2x under the wave.
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -149,28 +156,122 @@ CapacityResult RunCapacity() {
   out.data_intact = read_status.ok() && check == data && all_ec() &&
                     disk->stats().ec_shard_reads > 0 && disk->stats().integrity_errors == 0;
 
-  // A 4 KiB write into a cold chunk: the ack may only arrive after the chunk
-  // is replicated again. The latency is the full promote + write round trip.
+  // A 4 KiB write into a cold chunk: the ack arrives once the bytes are
+  // durable on a replica quorum (speculative promotion — the full promote
+  // no longer sits in front of it), and the chunk must then converge to
+  // clean replication with the patched byte intact.
   auto patch = Pattern(4 * kKiB, 31);
   Nanos issue = sim.Now();
   Nanos acked = -1;
-  bool replicated_at_ack = false;
-  // The tier is checked INSIDE the ack callback: the chunk goes cold and
-  // re-demotes shortly after, so a later check would see EC again.
   disk->Write(0, patch.size(), patch.data(), [&](const Status& s) {
     if (s.ok()) {
       acked = sim.Now();
-      replicated_at_ack = meta->chunks[0].tier == cluster::ChunkTier::kReplicated;
     }
   });
   for (int i = 0; i < 4000 && acked < 0; ++i) {
     sim.RunUntil(sim.Now() + msec(5));
   }
-  out.promote_acked =
-      acked >= 0 && replicated_at_ack && master.tier_stats().write_promotions >= 1;
   if (acked >= 0) {
     out.promote_ack_us = ToUsec(acked - issue);
   }
+  // Convergence: the background back-fill retires the shards and the chunk
+  // lands replicated. (It goes cold and may re-demote much later; the bound
+  // here is far inside the re-demotion cold-age.)
+  auto converged = [&]() {
+    return meta->chunks[0].tier == cluster::ChunkTier::kReplicated &&
+           !meta->chunks[0].speculating();
+  };
+  Nanos converge_deadline = sim.Now() + sec(10);
+  while (!converged() && sim.Now() < converge_deadline) {
+    sim.RunUntil(sim.Now() + msec(5));
+  }
+  // Capture NOW: the freshly promoted chunk goes cold again and re-demotes
+  // within this config's cold-age, so a later converged() check would lie.
+  bool converged_replicated = converged();
+  std::vector<uint8_t> patched(patch.size(), 0xCD);
+  Status patch_read = Internal("pending");
+  disk->Read(0, patched.size(), patched.data(), [&](const Status& s) { patch_read = s; });
+  sim.RunUntil(sim.Now() + sec(5));
+  out.promote_acked = acked >= 0 && converged_replicated && patch_read.ok() &&
+                      patched == patch && master.tier_stats().write_promotions >= 1;
+  return out;
+}
+
+// Phase A2: ack latency of a 4 KiB write into a demoted chunk, with and
+// without speculative promotion. Same bed geometry; the only difference is
+// whether the ack waits for the full reconstruct-then-replicate promotion.
+struct ColdWriteResult {
+  bool ok = false;          // acked, converged to replication, byte-exact
+  double ack_us = -1;
+};
+
+ColdWriteResult MeasureColdWriteAck(bool speculative) {
+  core::SystemProfile profile = core::UrsaHybridProfile(3);
+  profile.name = speculative ? "cold-write-spec" : "cold-write-full";
+  profile.cluster.chunk_size = 1 * kMiB;
+  profile.cluster.tier = BenchTierConfig();
+  // Keep the migrator out of the measurement: the demotion is forced below,
+  // and a long cold-age stops the wave from racing the measured write.
+  profile.cluster.tier.cold_age = sec(30);
+  profile.cluster.tier.speculative_promote = speculative;
+  core::TestBed bed(profile);
+  auto& sim = bed.sim();
+  auto& master = bed.cluster().master();
+
+  client::VirtualDisk* disk = bed.NewDisk(2 * kMiB, 3, 1);
+  auto data = Pattern(1 * kMiB, 37);
+  Status write_status = Internal("pending");
+  bool write_done = false;
+  disk->Write(0, data.size(), data.data(), [&](const Status& s) {
+    write_status = s;
+    write_done = true;
+  });
+  for (int i = 0; i < 4000 && !write_done; ++i) {
+    sim.RunUntil(sim.Now() + msec(5));
+  }
+  URSA_CHECK(write_status.ok());
+  DrainReplay(bed);
+
+  const cluster::DiskMeta* meta = *master.GetDisk(1);
+  Status demote_status = Internal("pending");
+  master.DemoteChunkToEc(meta->chunks[0].chunk, 4, 2,
+                         [&](const Status& s) { demote_status = s; });
+  sim.RunUntil(sim.Now() + sec(10));
+  URSA_CHECK(demote_status.ok());
+
+  ColdWriteResult out;
+  auto patch = Pattern(4 * kKiB, 41);
+  Nanos issue = sim.Now();
+  Nanos acked = -1;
+  disk->Write(0, patch.size(), patch.data(), [&](const Status& s) {
+    if (s.ok()) {
+      acked = sim.Now();
+    }
+  });
+  for (int i = 0; i < 4000 && acked < 0; ++i) {
+    sim.RunUntil(sim.Now() + msec(5));
+  }
+  if (acked < 0) {
+    return out;
+  }
+  out.ack_us = ToUsec(acked - issue);
+
+  auto converged = [&]() {
+    return meta->chunks[0].tier == cluster::ChunkTier::kReplicated &&
+           !meta->chunks[0].speculating();
+  };
+  Nanos deadline = sim.Now() + sec(10);
+  while (!converged() && sim.Now() < deadline) {
+    sim.RunUntil(sim.Now() + msec(5));
+  }
+  std::vector<uint8_t> check(data.size(), 0xCD);
+  Status read_status = Internal("pending");
+  disk->Read(0, check.size(), check.data(), [&](const Status& s) { read_status = s; });
+  sim.RunUntil(sim.Now() + sec(5));
+  auto expected = data;
+  std::copy(patch.begin(), patch.end(), expected.begin());
+  out.ok = converged() && read_status.ok() && check == expected &&
+           master.tier_stats().write_promotions >= 1;
   return out;
 }
 
@@ -242,7 +343,18 @@ int main(int argc, char** argv) {
               cap.factor_after);
   std::printf("read-back through shards: %s\n", cap.data_intact ? "bytes intact" : "MISMATCH");
   std::printf("cold-write promote: %s (ack after %.0f us)\n",
-              cap.promote_acked ? "replicated before ack" : "NOT PROMOTED", cap.promote_ack_us);
+              cap.promote_acked ? "acked and converged to replication" : "NOT CONVERGED",
+              cap.promote_ack_us);
+
+  std::printf("\n=== Phase A2: cold-write ack, speculative vs reconstruct-first ===\n\n");
+  ColdWriteResult spec = MeasureColdWriteAck(/*speculative=*/true);
+  ColdWriteResult full = MeasureColdWriteAck(/*speculative=*/false);
+  double speedup = spec.ack_us > 0 ? full.ack_us / spec.ack_us : 0;
+  std::printf("speculative:       %s, ack after %.0f us\n", spec.ok ? "converged" : "FAILED",
+              spec.ack_us);
+  std::printf("reconstruct-first: %s, ack after %.0f us\n", full.ok ? "converged" : "FAILED",
+              full.ack_us);
+  std::printf("speculation speedup: %.2fx (gate: >= 2x)\n", speedup);
 
   std::printf("\n=== Phase B: foreground tail during a demotion wave ===\n\n");
   OverheadResult off = RunOverheadMode(false);
@@ -260,8 +372,9 @@ int main(int argc, char** argv) {
 
   bool wave_ran = on.demotions >= 8;  // at least half the cold chunks moved
   bool fg_ok = overhead > 0 && overhead <= kFgP99Bound;
+  bool spec_2x = spec.ok && full.ok && speedup >= 2.0;
   bool ok = cap.wave_complete && cap.capacity_halved && cap.data_intact && cap.promote_acked &&
-            wave_ran && fg_ok;
+            spec_2x && wave_ran && fg_ok;
   std::printf("\nTiering %s\n", ok ? "SHAPE-OK" : "SHAPE-MISMATCH");
 
   std::string json_path = core::MetricsJsonPath(argc, argv);
@@ -274,12 +387,16 @@ int main(int argc, char** argv) {
      << ",\"capacity_factor_halved\":" << (cap.capacity_halved ? 1 : 0)
      << ",\"data_intact\":" << (cap.data_intact ? 1 : 0)
      << ",\"write_promote_acked\":" << (cap.promote_acked ? 1 : 0)
+     << ",\"cold_write_spec_2x\":" << (spec_2x ? 1 : 0)
      << ",\"wave_overlapped_window\":" << (wave_ran ? 1 : 0)
      << ",\"fg_p99_within_2x\":" << (fg_ok ? 1 : 0)
      << ",\"_capacity_factor_before\":" << cap.factor_before
      << ",\"_capacity_factor_after\":" << cap.factor_after
      << ",\"_wave_ms\":" << cap.wave_ms
      << ",\"_promote_ack_us\":" << cap.promote_ack_us
+     << ",\"_cold_write_ack_us_spec\":" << spec.ack_us
+     << ",\"_cold_write_ack_us_full\":" << full.ack_us
+     << ",\"_cold_write_speedup\":" << speedup
      << ",\"_fg_read_p99_us_off\":" << off.read_p99_us
      << ",\"_fg_read_p99_us_on\":" << on.read_p99_us
      << ",\"_fg_write_p99_us_off\":" << off.write_p99_us

@@ -170,8 +170,10 @@ ursa::tier::TierConfig ChaosTierConfig() {
 
 // The tiering drill: demote wave on an idle disk (capacity factor must fall
 // to (k+m)/k), byte-correct degraded reads with a shard server down, a
-// report-driven stripe rebuild, and a write into a cold chunk that must
-// promote it back to replication before the ack.
+// report-driven stripe rebuild, a write into a cold chunk acked on
+// speculative replica-quorum durability and converging to replication, and
+// crashes injected mid-speculation (a replica target, then the master —
+// whose restore must resume the back-fill from checkpointed metadata).
 int RunTierDrill(uint64_t seed, bool verbose, const std::string& json_path) {
   ursa::chaos::ChaosPlan plan;
   plan.seed = seed;
@@ -183,6 +185,9 @@ int RunTierDrill(uint64_t seed, bool verbose, const std::string& json_path) {
     out << "{\"seed\": " << report.seed << ", \"ok\": " << (report.ok ? "true" : "false")
         << ", \"demotions\": " << report.tier_demotions
         << ", \"write_promotions\": " << report.tier_write_promotions
+        << ", \"spec_promotions\": " << report.tier_spec_promotions
+        << ", \"spec_resumes\": " << report.tier_spec_resumes
+        << ", \"spec_retries\": " << report.tier_spec_retries
         << ", \"shard_repairs\": " << report.tier_shard_repairs
         << ", \"degraded_reads\": " << report.tier_degraded_reads
         << ", \"capacity_factor_before\": " << report.capacity_factor_before
@@ -199,7 +204,9 @@ int RunTierDrill(uint64_t seed, bool verbose, const std::string& json_path) {
          "capacity factor dropped toward (k+m)/k");
   expect(report.tier_degraded_reads >= 1, "degraded read reconstructed the lost shard");
   expect(report.tier_shard_repairs >= 1, "failure report drove a stripe rebuild");
-  expect(report.tier_write_promotions >= 1, "write into a cold chunk promoted before ack");
+  expect(report.tier_write_promotions >= 1, "cold writes promoted their chunks");
+  expect(report.tier_spec_promotions >= 1, "speculative promotion served a cold write");
+  expect(report.tier_spec_resumes >= 1, "restored master resumed the back-fill");
   expect(report.ok, "all bytes correct; no safety violations");
   if (!report.ok || verbose || failures > 0) {
     std::printf("%s\n", report.Summary().c_str());

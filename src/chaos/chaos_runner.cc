@@ -96,6 +96,9 @@ std::string ChaosReport::Summary() const {
     out += "\n  tier: demotions=" + std::to_string(tier_demotions) +
            " promotions=" + std::to_string(tier_promotions) +
            " write_promotions=" + std::to_string(tier_write_promotions) +
+           " spec_promotions=" + std::to_string(tier_spec_promotions) +
+           " spec_resumes=" + std::to_string(tier_spec_resumes) +
+           " spec_retries=" + std::to_string(tier_spec_retries) +
            " shard_repairs=" + std::to_string(tier_shard_repairs) +
            " degraded_reads=" + std::to_string(tier_degraded_reads) +
            (capacity_factor_before > 0 ? cap : "");
@@ -769,37 +772,148 @@ ChaosReport RunTierDrill(const ChaosPlan& plan) {
   }
   cluster.RestoreServer(lost);
 
-  // ---- Phase 5: a client write into a cold chunk must promote it back to
-  // replication BEFORE the ack. ----
+  // ---- Phase 5: a client write into a cold chunk. The ack arrives once
+  // the bytes are quorum-durable on the speculative replicas (the chunk is
+  // still mid-promotion at that instant); the chunk must then converge to
+  // clean replication with the write intact. ----
+  auto wait_converged = [&](size_t chunk_index, const char* what) {
+    Nanos deadline = sim.Now() + sec(15);
+    auto settled = [&]() {
+      return meta->chunks[chunk_index].tier == cluster::ChunkTier::kReplicated &&
+             !meta->chunks[chunk_index].speculating();
+    };
+    while (!settled() && sim.Now() < deadline) {
+      sim.RunUntil(sim.Now() + msec(10));
+    }
+    if (!settled()) {
+      report.violations.push_back(std::string(what) +
+                                  ": chunk never converged to clean replication");
+    }
+  };
+  // Writes a whole block into `block` and requires the ack; returns true if
+  // acked. The caller injects its fault while the write is in flight.
+  auto cold_write = [&](int block, uint8_t fill, const char* what,
+                        const std::function<void()>& mid_flight) {
+    expected[block].assign(kBlock, fill);
+    auto wdone = std::make_shared<bool>(false);
+    disk.Write(static_cast<uint64_t>(block) * stride, kBlock, expected[block].data(),
+               [&, wdone, what](const Status& s) {
+                 *wdone = true;
+                 if (s.ok()) {
+                   ++report.committed_writes;
+                 } else {
+                   report.violations.push_back(std::string(what) +
+                                               " write failed: " + s.ToString());
+                 }
+               });
+    if (mid_flight) {
+      mid_flight();
+    }
+    for (int round = 0; round < 4000 && !*wdone; ++round) {
+      sim.RunUntil(sim.Now() + msec(10));
+    }
+    if (!*wdone) {
+      report.violations.push_back(std::string(what) + " write hung");
+    }
+    return *wdone;
+  };
   const int promote_block = chunk0_blocks < blocks ? chunk0_blocks : blocks - 1;
   const size_t promote_chunk = chunk0_blocks < blocks ? 1 : 0;
   if (meta->chunks[promote_chunk].tier != cluster::ChunkTier::kEc) {
     report.violations.push_back("promote target chunk left EC before the write");
   }
-  expected[promote_block].assign(kBlock, 0xE7);
-  auto wdone = std::make_shared<bool>(false);
-  disk.Write(static_cast<uint64_t>(promote_block) * stride, kBlock,
-             expected[promote_block].data(), [&, wdone](const Status& s) {
-               *wdone = true;
-               if (s.ok()) {
-                 ++report.committed_writes;
-               } else {
-                 report.violations.push_back("write into the cold chunk failed: " + s.ToString());
-               }
-             });
-  for (int round = 0; round < 400 && !*wdone; ++round) {
-    sim.RunUntil(sim.Now() + msec(10));
+  if (cold_write(promote_block, 0xE7, "cold-chunk", nullptr)) {
+    wait_converged(promote_chunk, "cold-chunk write");
   }
-  if (!*wdone) {
-    report.violations.push_back("write into the cold chunk hung");
-  } else if (meta->chunks[promote_chunk].tier != cluster::ChunkTier::kReplicated) {
-    report.violations.push_back("cold chunk not replicated at write-ack time");
+  if (cluster.master().tier_stats().write_promotions < 1) {
+    report.violations.push_back("the acked write never triggered a promotion");
+  }
+
+  // ---- Phase 6: crash a speculative replica TARGET mid-promotion. The ack
+  // and the commit must ride the surviving quorum of spec replicas. ----
+  // Re-demote the chunk so the leg starts from a cold stripe.
+  auto force_ec = [&](size_t chunk_index, const char* what) {
+    if (meta->chunks[chunk_index].tier == cluster::ChunkTier::kEc) {
+      return true;
+    }
+    // Demotion refuses chunks with journal backlog: drain the previous
+    // leg's write out of the backup journals first.
+    for (int round = 0; round < 500 && !replay_drained(); ++round) {
+      sim.RunUntil(sim.Now() + msec(10));
+    }
+    auto ddone = std::make_shared<bool>(false);
+    auto dstatus = std::make_shared<Status>(OkStatus());
+    cluster.master().DemoteChunkToEc(meta->chunks[chunk_index].chunk, plan.cluster.tier.ec_k,
+                                     plan.cluster.tier.ec_m, [ddone, dstatus](const Status& s) {
+                                       *ddone = true;
+                                       *dstatus = s;
+                                     });
+    Nanos deadline = sim.Now() + sec(15);
+    while (!*ddone && sim.Now() < deadline) {
+      sim.RunUntil(sim.Now() + msec(10));
+    }
+    if (!*ddone || !dstatus->ok()) {
+      report.violations.push_back(std::string(what) + ": could not re-demote the target chunk" +
+                                  (*ddone ? ": " + dstatus->ToString() : " (hung)"));
+      return false;
+    }
+    return true;
+  };
+  // Steps the sim in fine increments until the chunk is observed
+  // mid-speculation (spec replicas installed, shards not yet retired).
+  auto catch_speculating = [&](size_t chunk_index) {
+    for (int round = 0; round < 20000 && !meta->chunks[chunk_index].speculating(); ++round) {
+      sim.RunUntil(sim.Now() + usec(50));
+    }
+    return meta->chunks[chunk_index].speculating();
+  };
+  if (force_ec(promote_chunk, "spec-target-crash leg")) {
+    cluster::ServerId spec_victim = 0;
+    bool caught = false;
+    bool acked = cold_write(promote_block, 0xE8, "spec-target-crash", [&]() {
+      if ((caught = catch_speculating(promote_chunk))) {
+        spec_victim = meta->chunks[promote_chunk].spec_replicas[0].server;
+        cluster.CrashServer(spec_victim);
+      }
+    });
+    if (!caught) {
+      report.violations.push_back("spec-target-crash leg never observed a speculating chunk");
+    }
+    if (acked && caught) {
+      wait_converged(promote_chunk, "spec-target-crash write");
+      cluster.RestoreServer(spec_victim);
+    }
+  }
+
+  // ---- Phase 7: crash the MASTER mid-speculation, modeled as checkpoint at
+  // the crash instant + restore. The acked bytes live in spec_replicas /
+  // spec_extents (checkpointed metadata); the restored master must re-arm
+  // the back-fill and retire the shards without help. ----
+  const int master_block = 0;
+  const size_t master_chunk = 0;
+  if (force_ec(master_chunk, "master-crash leg")) {
+    bool caught = false;
+    bool acked = cold_write(master_block, 0xE9, "master-crash", [&]() {
+      if ((caught = catch_speculating(master_chunk))) {
+        cluster::Master::Checkpoint cp = cluster.master().TakeCheckpoint();
+        cluster.master().Restore(cp);
+      }
+    });
+    if (!caught) {
+      report.violations.push_back("master-crash leg never observed a speculating chunk");
+    }
+    if (acked && caught) {
+      wait_converged(master_chunk, "master-crash write");
+      if (cluster.master().tier_stats().spec_resumes < 1) {
+        report.violations.push_back("restored master never resumed the speculative back-fill");
+      }
+    }
   }
   report.tier_write_promotions = cluster.master().tier_stats().write_promotions;
   report.tier_promotions = cluster.master().tier_stats().promotions;
-  if (report.tier_write_promotions < 1) {
-    report.violations.push_back("the acked write never triggered a promotion");
-  }
+  report.tier_spec_promotions = cluster.master().tier_stats().spec_promotions;
+  report.tier_spec_resumes = cluster.master().tier_stats().spec_resumes;
+  report.tier_spec_retries = cluster.master().tier_stats().spec_backfill_retries;
 
   // ---- Final read-back of every block against the expected image. ----
   for (int b = 0; b < blocks; ++b) {

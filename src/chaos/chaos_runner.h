@@ -57,6 +57,9 @@ struct ChaosReport {
   uint64_t tier_demotions = 0;
   uint64_t tier_promotions = 0;        // policy + write promotions combined
   uint64_t tier_write_promotions = 0;
+  uint64_t tier_spec_promotions = 0;   // write promotions served speculatively
+  uint64_t tier_spec_resumes = 0;      // back-fills re-armed by a master restore
+  uint64_t tier_spec_retries = 0;      // back-fill passes retried after failure
   uint64_t tier_shard_repairs = 0;
   uint64_t tier_degraded_reads = 0;    // client-side stripe reconstructions
   double capacity_factor_before = 0;   // physical/logical before the demote wave
@@ -96,10 +99,15 @@ ChaosReport RunLatentScrub(const ChaosPlan& plan);
 // idle until the migrator demotes every chunk to EC (capacity factor must
 // drop from R toward (k+m)/k), crash a shard server and require byte-correct
 // degraded reads, let the client's failure report drive a stripe rebuild
-// onto a fresh server, then write into a cold chunk and require the ack to
-// arrive only after promotion back to replication. Ends with a full
-// read-back against the expected image. Requires plan.cluster.tier.enabled
-// and stripe_group == 1.
+// onto a fresh server, then write into a cold chunk: the ack arrives once
+// the bytes are durable on a replica quorum (speculative promotion,
+// DESIGN.md §13.6) and the chunk must then converge to clean replication.
+// Two crash legs then target the speculative window itself: a replica
+// target crashed mid-speculation (the ack and the commit must ride the
+// surviving quorum) and a master crash mid-speculation (the restored
+// master must resume the back-fill from checkpointed spec metadata). Ends
+// with a full read-back against the expected image. Requires
+// plan.cluster.tier.enabled and stripe_group == 1.
 ChaosReport RunTierDrill(const ChaosPlan& plan);
 
 }  // namespace ursa::chaos

@@ -73,6 +73,12 @@ VirtualDisk::VirtualDisk(cluster::Cluster* cluster, cluster::Machine* host,
   registry.RegisterCallbackCounter("client.write_promotes", labels, [this]() {
     return static_cast<double>(stats_.write_promotes);
   });
+  registry.RegisterCallbackCounter("client.spec_writes", labels, [this]() {
+    return static_cast<double>(stats_.spec_writes);
+  });
+  registry.RegisterCallbackCounter("client.spec_reads", labels, [this]() {
+    return static_cast<double>(stats_.spec_reads);
+  });
   registry.RegisterHistogram("client.read_latency_us", labels, &stats_.read_latency_us);
   registry.RegisterHistogram("client.write_latency_us", labels, &stats_.write_latency_us);
 }
@@ -91,8 +97,10 @@ Status VirtualDisk::Open(cluster::DiskId disk) {
     const ChunkLayout& layout = meta_.chunks[i];
     ChunkState& cs = chunk_states_[i];
     uint64_t version = 0;
-    for (size_t r = 0; r < layout.replicas.size(); ++r) {
-      ChunkServer* server = Server(layout.replicas[r].server);
+    // A speculating chunk's write set is its spec replicas (the committed
+    // replica list is empty until the promotion commits).
+    for (const ReplicaRef& ref : WriteSet(layout)) {
+      ChunkServer* server = Server(ref.server);
       if (server == nullptr || server->crashed()) {
         continue;
       }
@@ -102,6 +110,7 @@ Status VirtualDisk::Open(cluster::DiskId disk) {
       }
     }
     cs.version = version;
+    cs.spec_extents = layout.spec_extents;
     // Preferred primary: healthy SSD, then healthy HDD, then demoted
     // replicas (health steering, DESIGN.md §10).
     cs.primary = 0;
@@ -134,6 +143,17 @@ void VirtualDisk::RefreshLayout() {
   // Preserve per-chunk client state; only the layout (replicas, views) moved.
   for (size_t i = 0; i < meta_.chunks.size(); ++i) {
     meta_.chunks[i] = (*meta)->chunks[i];
+    // Sync speculation extents: merge the master's registered set into what
+    // this client already acked (registration is post-ack, so the local set
+    // can briefly lead the master's); drop them once speculation ends.
+    ChunkState& cs = chunk_states_[i];
+    if (meta_.chunks[i].speculating()) {
+      for (const Interval& e : meta_.chunks[i].spec_extents) {
+        InsertInterval(&cs.spec_extents, e);
+      }
+    } else {
+      cs.spec_extents.clear();
+    }
   }
 }
 
@@ -331,17 +351,35 @@ void VirtualDisk::IssueEcRead(const SubRequest& sub, void* out, int attempt,
     uint64_t buf_off;
   };
   const uint64_t S = layout.ec_shard_size;
+  // While the chunk speculates, ranges known durable on the spec replicas
+  // read THERE (the shards never saw those bytes); only the remainder goes
+  // to the shards.
+  const ChunkState& cs = chunk_states_[sub.chunk_index];
+  std::vector<Interval> spec_pieces;
+  std::vector<Interval> shard_ranges{Interval{sub.chunk_offset, sub.length}};
+  if (layout.speculating() && !cs.spec_extents.empty()) {
+    const Interval range{sub.chunk_offset, sub.length};
+    for (const Interval& e : cs.spec_extents) {
+      Interval isect = range.Intersect(e);
+      if (!isect.empty()) {
+        spec_pieces.push_back(isect);
+      }
+    }
+    shard_ranges = SubtractAll(range, cs.spec_extents);
+  }
   std::vector<Piece> pieces;
-  uint64_t pos = sub.chunk_offset;
-  const uint64_t end = sub.chunk_offset + sub.length;
-  while (pos < end) {
-    uint64_t off = pos % S;
-    uint64_t run = std::min(end - pos, S - off);
-    pieces.push_back(Piece{static_cast<int>(pos / S), off, run, pos - sub.chunk_offset});
-    pos += run;
+  for (const Interval& r : shard_ranges) {
+    uint64_t pos = r.offset;
+    const uint64_t end = r.end();
+    while (pos < end) {
+      uint64_t off = pos % S;
+      uint64_t run = std::min(end - pos, S - off);
+      pieces.push_back(Piece{static_cast<int>(pos / S), off, run, pos - sub.chunk_offset});
+      pos += run;
+    }
   }
 
-  auto remaining = std::make_shared<size_t>(pieces.size());
+  auto remaining = std::make_shared<size_t>(pieces.size() + spec_pieces.size());
   auto first_error = std::make_shared<Status>();
   auto join = [this, sub, out, attempt, done, remaining, first_error,
                span](const Status& s) {
@@ -370,6 +408,65 @@ void VirtualDisk::IssueEcRead(const SubRequest& sub, void* out, int attempt,
     void* dest = out == nullptr ? nullptr : static_cast<uint8_t*>(out) + p.buf_off;
     ReadShardPiece(sub.chunk_index, p.shard, p.off, p.len, dest, join, span);
   }
+  for (const Interval& p : spec_pieces) {
+    void* dest =
+        out == nullptr ? nullptr : static_cast<uint8_t*>(out) + (p.offset - sub.chunk_offset);
+    ReadSpecPiece(sub.chunk_index, p.offset, p.length, dest, /*replica_idx=*/0, join, span);
+  }
+}
+
+void VirtualDisk::ReadSpecPiece(size_t chunk_index, uint64_t offset, uint64_t len, void* out,
+                                size_t replica_idx, storage::IoCallback done,
+                                const obs::SpanRef& span) {
+  const ChunkLayout& layout = Layout(chunk_index);
+  if (!layout.speculating()) {
+    // Speculation committed under us; a refresh re-routes to the replicas.
+    done(VersionMismatch("speculation ended"));
+    return;
+  }
+  if (replica_idx >= layout.spec_replicas.size()) {
+    // Every spec replica is stale or unreachable. Surface a mismatch: the
+    // retry refreshes the layout, and by then either the back-fill committed
+    // (replicated reads work) or a fresher spec replica answers.
+    done(VersionMismatch("no spec replica served the range"));
+    return;
+  }
+  ++stats_.spec_reads;
+  const ReplicaRef replica = layout.spec_replicas[replica_idx];
+  const uint64_t view = layout.view;
+  // Any replica at the client's acked version holds every acked byte (the
+  // version guard makes each replica a prefix of the write sequence).
+  const uint64_t version = chunk_states_[chunk_index].version;
+  const ChunkId chunk = layout.chunk;
+  auto guard = PendingCall::Start(
+      sim_, options_.request_timeout,
+      [this, chunk_index, offset, len, out, replica_idx, done, span](const Status& s) {
+        if (s.ok()) {
+          done(s);
+          return;
+        }
+        // Stale or dead replica: fail over to the next spec replica.
+        ReadSpecPiece(chunk_index, offset, len, out, replica_idx + 1, done, span);
+      });
+  cluster_->transport().Send(
+      host_->node(), replica.node, WireBytes(MessageType::kReadRequest),
+      [this, replica, chunk, offset, len, view, version, out, guard, span]() {
+        ChunkServer* server = Server(replica.server);
+        if (server == nullptr) {
+          return;  // the guard's timeout handles it
+        }
+        server->HandleRead(
+            chunk, offset, len, view, version, out,
+            [this, replica, len, guard, span](const Status& s, uint64_t) {
+              uint64_t bytes = s.ok() ? len : 0;
+              cluster_->transport().Send(replica.node, host_->node(),
+                                         WireBytes(MessageType::kReadReply, bytes),
+                                         [guard, s]() { guard->Complete(s); }, span,
+                                         obs::Stage::kNetReply);
+            },
+            span);
+      },
+      span, obs::Stage::kNetRequest);
 }
 
 void VirtualDisk::ReadShardPiece(size_t chunk_index, int shard_index, uint64_t shard_off,
@@ -527,15 +624,20 @@ void VirtualDisk::PromoteForWrite(const SubRequest& sub, ursa::BufferView data, 
                                   storage::IoCallback done, const obs::SpanRef& span) {
   ++stats_.write_promotes;
   storage::ChunkId chunk = Layout(sub.chunk_index).chunk;
-  cluster_->master().PromoteChunk(
-      chunk, /*write_triggered=*/true, [this, sub, data, attempt, done, span](const Status& s) {
+  // With speculation enabled this returns as soon as the spec targets are
+  // allocated (no reconstruction wait); otherwise it blocks on the full
+  // promotion like before.
+  cluster_->master().BeginWritePromote(
+      chunk, [this, sub, data, attempt, done, span](const Status& s) {
         loop_->Submit(options_.loop_complete_cost, [this, sub, data, attempt, done, s,
                                                     span]() {
           RefreshLayout();
-          if (s.ok() || Layout(sub.chunk_index).tier == cluster::ChunkTier::kReplicated) {
-            // Promoted (by us or a concurrent migration): retry on the fresh
-            // layout. Same attempt number — the promote round-trip is not a
-            // replica failure.
+          const ChunkLayout& layout = Layout(sub.chunk_index);
+          if (s.ok() || layout.tier == cluster::ChunkTier::kReplicated ||
+              layout.speculating()) {
+            // Promoted or speculating (by us or a concurrent migration):
+            // retry on the fresh layout. Same attempt number — the promote
+            // round-trip is not a replica failure.
             IssueWriteAttempt(sub, data, attempt, done, span);
             return;
           }
@@ -657,7 +759,36 @@ void VirtualDisk::IssueWrite(const SubRequest& sub, ursa::BufferView data, int a
 
 void VirtualDisk::IssueWriteAttempt(const SubRequest& sub, ursa::BufferView data, int attempt,
                                     storage::IoCallback done, const obs::SpanRef& span) {
-  if (Layout(sub.chunk_index).tier == cluster::ChunkTier::kEc) {
+  const ChunkLayout& layout = Layout(sub.chunk_index);
+  if (layout.tier == cluster::ChunkTier::kEc) {
+    if (layout.speculating()) {
+      // Speculative fast path (DESIGN.md §13.6): the new data goes straight
+      // to the spec replicas and acks on quorum durability — no waiting for
+      // the reconstruction. All sizes take the client-directed form: a
+      // primary-driven chain through a crashed spec target would stall the
+      // whole write, while the quorum tolerates a minority down.
+      ChunkState& cs = chunk_states_[sub.chunk_index];
+      // Spec replicas start at the frozen EC version; a fresh client (whose
+      // counter may still read 0) adopts it rather than burning an attempt
+      // on the inevitable mismatch.
+      cs.version = std::max(cs.version, layout.ec_version);
+      auto acked = [this, sub, done = std::move(done)](const Status& s) {
+        if (s.ok()) {
+          ChunkState& ok_cs = chunk_states_[sub.chunk_index];
+          const ChunkLayout& now = Layout(sub.chunk_index);
+          if (now.speculating()) {
+            ++stats_.spec_writes;
+            InsertInterval(&ok_cs.spec_extents, Interval{sub.chunk_offset, sub.length});
+            // Post-ack, fire-and-forget: lets a re-opened client route reads
+            // of these bytes at the spec replicas. Not on the ack path.
+            cluster_->master().RegisterSpecExtent(now.chunk, sub.chunk_offset, sub.length);
+          }
+        }
+        done(s);
+      };
+      ClientDirectedWrite(sub, std::move(data), attempt, std::move(acked), span);
+      return;
+    }
     // Cold chunk: writes always go to replicated form — promote first, ack
     // after (DESIGN.md §13 keeps the write path single-tier).
     PromoteForWrite(sub, std::move(data), attempt, std::move(done), span);
@@ -678,7 +809,9 @@ void VirtualDisk::ClientDirectedWrite(const SubRequest& sub, ursa::BufferView da
   uint64_t version = cs.version;
   ChunkId chunk = layout.chunk;
 
-  int total = static_cast<int>(layout.replicas.size());
+  // Speculating chunks replicate onto the spec targets (same quorum rule).
+  const std::vector<ReplicaRef>& replicas = WriteSet(layout);
+  int total = static_cast<int>(replicas.size());
   int majority = total / 2 + 1;
 
   auto saw_mismatch = std::make_shared<bool>(false);
@@ -755,9 +888,9 @@ void VirtualDisk::ClientDirectedWrite(const SubRequest& sub, ursa::BufferView da
   // the critical path). Each replica counts toward the quorum at most once:
   // a chaos-duplicated request or reply must not let one replica's ack
   // masquerade as a majority.
-  auto leg_fired = std::make_shared<std::vector<bool>>(layout.replicas.size(), false);
-  for (size_t r = 0; r < layout.replicas.size(); ++r) {
-    const ReplicaRef& replica = layout.replicas[r];
+  auto leg_fired = std::make_shared<std::vector<bool>>(replicas.size(), false);
+  for (size_t r = 0; r < replicas.size(); ++r) {
+    const ReplicaRef& replica = replicas[r];
     auto leg_once = [leg, leg_fired, r](const Status& s, uint64_t ver) {
       if ((*leg_fired)[r]) {
         return;

@@ -78,6 +78,8 @@ struct ClientStats {
   uint64_t ec_shard_reads = 0;     // shard reads issued against EC chunks
   uint64_t ec_degraded_reads = 0;  // pieces served by client-side reconstruct
   uint64_t write_promotes = 0;     // writes that promoted an EC chunk first
+  uint64_t spec_writes = 0;        // writes acked against speculative replicas
+  uint64_t spec_reads = 0;         // read pieces served by speculative replicas
   Histogram read_latency_us;
   Histogram write_latency_us;
 };
@@ -160,6 +162,11 @@ class VirtualDisk {
     std::deque<PendingWrite> write_queue;
     bool write_inflight = false;
     int timeout_streak = 0;  // consecutive timeouts on the current primary
+    // While the chunk speculates (DESIGN.md §13.6): ranges known durable on
+    // the spec replicas (this client's acked writes merged with the master's
+    // spec_extents). Reads of these bytes route at the spec replicas; the
+    // rest still reads the shards. Cleared when speculation commits.
+    std::vector<Interval> spec_extents;
   };
 
   // Maps a logical byte range to per-chunk sub-requests (striping).
@@ -187,6 +194,11 @@ class VirtualDisk {
                    const obs::SpanRef& span);
   void ReadShardPiece(size_t chunk_index, int shard_index, uint64_t shard_off, uint64_t len,
                       void* out, storage::IoCallback done, const obs::SpanRef& span);
+  // Reads [offset, offset+len) of a speculating chunk from its spec
+  // replicas (version-guarded: a replica that missed an acked write fails
+  // the version check and the read fails over to the next one).
+  void ReadSpecPiece(size_t chunk_index, uint64_t offset, uint64_t len, void* out,
+                     size_t replica_idx, storage::IoCallback done, const obs::SpanRef& span);
   void DegradedShardRead(size_t chunk_index, int shard_index, uint64_t shard_off, uint64_t len,
                          void* out, storage::IoCallback done, const obs::SpanRef& span);
   // A write landed on an EC-tier chunk: promote it back to replicated form
@@ -210,6 +222,11 @@ class VirtualDisk {
 
   const cluster::ChunkLayout& Layout(size_t chunk_index) const {
     return meta_.chunks[chunk_index];
+  }
+  // The replica set writes go to: the speculative targets while the chunk
+  // is mid-promotion, the committed replicas otherwise.
+  static const std::vector<cluster::ReplicaRef>& WriteSet(const cluster::ChunkLayout& layout) {
+    return layout.speculating() ? layout.spec_replicas : layout.replicas;
   }
   cluster::ChunkServer* Server(cluster::ServerId id) { return cluster_->server(id); }
 

@@ -36,6 +36,7 @@ Status ChunkServer::FreeChunk(ChunkId chunk) {
   states_.erase(chunk);
   chunk_tenants_.erase(chunk);
   scrub_quarantine_.erase(chunk);
+  write_shield_.erase(chunk);
   if (checksums_ != nullptr) {
     checksums_->Drop(chunk);
   }
@@ -251,6 +252,12 @@ void ChunkServer::HandleWrite(ChunkId chunk, uint64_t offset, uint64_t length, u
       // Normal case: execute locally and advance the version.
       st.version = version + 1;
       st.last_write_id = write_id;
+      auto shield = write_shield_.find(chunk);
+      if (shield != write_shield_.end()) {
+        // Speculative promotion target: remember the client-written range so
+        // the back-fill never overwrites it with reconstructed old data.
+        InsertInterval(&shield->second, Interval{offset, length});
+      }
     } else if (version + 1 == st.version &&
                (write_id == 0 || write_id == st.last_write_id)) {
       // Already executed (client retry after partial failure): skip the
@@ -411,6 +418,10 @@ void ChunkServer::HandleReplicate(ChunkId chunk, uint64_t offset, uint64_t lengt
         }
         st.version = version + 1;
         st.last_write_id = write_id;
+        auto shield = write_shield_.find(chunk);
+        if (shield != write_shield_.end()) {
+          InsertInterval(&shield->second, Interval{offset, length});
+        }
         ++replicates_served_;
         if (heat_ != nullptr) {
           heat_->RecordWrite(chunk, length);
@@ -491,6 +502,55 @@ void ChunkServer::HandleRecoveryWrite(ChunkId chunk, uint64_t offset, uint64_t l
                        store_->Write(chunk, offset, length, std::move(data), std::move(done),
                                      storage::IoTag{cls, TenantOf(chunk)});
                      });
+}
+
+void ChunkServer::HandleBackfillWrite(ChunkId chunk, uint64_t offset, uint64_t length,
+                                      ursa::BufferView data, storage::IoCallback done,
+                                      qos::ServiceClass cls) {
+  if (crashed_) {
+    return;
+  }
+  machine_->RunOnCpu(config_.cpu.server_op, [this, chunk, offset, length, cls,
+                                             data = std::move(data),
+                                             done = std::move(done)]() mutable {
+    if (!store_->Contains(chunk)) {
+      done(NotFound("back-fill target chunk not allocated"));
+      return;
+    }
+    // Subtract the shield INSIDE this event: every client write applied so
+    // far is in the shield, and no new one can interleave before the pieces
+    // below are submitted, so old bytes never land over newer client bytes.
+    std::vector<Interval> pieces{Interval{offset, length}};
+    auto shield = write_shield_.find(chunk);
+    if (shield != write_shield_.end()) {
+      pieces = SubtractAll(Interval{offset, length}, shield->second);
+    }
+    if (pieces.empty()) {
+      sim_->After(0, [done = std::move(done)]() { done(OkStatus()); });
+      return;
+    }
+    auto remaining = std::make_shared<size_t>(pieces.size());
+    auto first_error = std::make_shared<Status>();
+    auto held = std::make_shared<storage::IoCallback>(std::move(done));
+    auto join = [remaining, first_error, held](const Status& s) {
+      if (!s.ok() && first_error->ok()) {
+        *first_error = s;
+      }
+      if (--*remaining == 0) {
+        (*held)(*first_error);
+      }
+    };
+    storage::IoTag tag{cls, TenantOf(chunk)};
+    for (const Interval& p : pieces) {
+      ursa::BufferView piece_data = data.Slice(p.offset - offset, p.length);
+      if (checksums_ != nullptr) {
+        checksums_->OnWrite(chunk, p.offset, p.length, piece_data.data());
+      }
+      // Fresh bytes heal whatever scrub flagged in range.
+      ClearScrubQuarantine(chunk, p.offset, p.length);
+      store_->Write(chunk, p.offset, p.length, piece_data, join, tag);
+    }
+  });
 }
 
 }  // namespace ursa::cluster

@@ -126,6 +126,28 @@ class ChunkServer {
     return journal_manager_ != nullptr && !journal_manager_->IndexSnapshot(chunk).empty();
   }
 
+  // ---- Speculative-promotion write shield (DESIGN.md §13.6) ----
+  //
+  // While a chunk is a speculative promotion target, client writes land here
+  // BEFORE the back-fill copies the old chunk image over. The shield records
+  // every client-written range so back-fill writes (HandleBackfillWrite)
+  // never clobber newer client bytes with reconstructed old data; the check
+  // happens at apply time inside one simulator event, so there is no window
+  // between "client write applied" and "shield visible to back-fill".
+  // (Clears leftovers: a chunk can speculate again after demoting anew.)
+  void EnableWriteShield(ChunkId chunk) { write_shield_[chunk].clear(); }
+  void DisableWriteShield(ChunkId chunk) { write_shield_.erase(chunk); }
+  bool write_shield_enabled(ChunkId chunk) const {
+    return write_shield_.find(chunk) != write_shield_.end();
+  }
+
+  // Back-fill write: like HandleRecoveryWrite, but any subrange the shield
+  // covers is skipped at apply time (the client's bytes there are newer than
+  // the reconstructed image). A fully-shielded piece completes immediately.
+  void HandleBackfillWrite(ChunkId chunk, uint64_t offset, uint64_t length,
+                           ursa::BufferView data, storage::IoCallback done,
+                           qos::ServiceClass cls = qos::ServiceClass::kRecovery);
+
   // Hot-upgrade support (§5.2): a draining server has closed its service
   // port — new requests are dropped (clients retry elsewhere / later) while
   // in-flight ones complete. `inflight_ops` counts admitted-but-unfinished
@@ -245,6 +267,9 @@ class ChunkServer {
   std::map<ChunkId, uint64_t> chunk_tenants_;  // QoS tenant (virtual disk id)
   scrub::ChecksumStore* checksums_ = nullptr;  // null when scrub is disabled
   tier::HeatTracker* heat_ = nullptr;          // null when tiering is disabled
+  // Presence of a key = shield enabled for that chunk; the value is the
+  // sorted, merged set of client-written ranges back-fill must not touch.
+  std::map<ChunkId, std::vector<Interval>> write_shield_;
   // Ranges (offset, length) flagged corrupt by the scrubber, per chunk.
   std::map<ChunkId, std::vector<std::pair<uint64_t, uint64_t>>> scrub_quarantine_;
   // Wraps a completion so inflight_ops_ tracks admitted requests. The

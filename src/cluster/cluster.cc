@@ -324,9 +324,17 @@ Cluster::Cluster(sim::Simulator* sim, const ClusterConfig& config)
       master_->PromoteChunk(static_cast<ChunkId>(chunk), /*write_triggered=*/false,
                             [done = std::move(done)](Status s) { done(s.ok()); });
     };
+    master_->set_speculative_promote(config.tier.speculative_promote);
     tier_migrator_ =
         std::make_unique<tier::TierMigrator>(sim, config.tier, heat_.get(), std::move(thooks));
     tier_migrator_->RegisterMetrics(&metrics_);
+    // Tier commits (and master restores) re-key the migrator's heat-indexed
+    // candidate queues; heat touches re-key through the tracker's listener.
+    master_->SetTierChangeListener([this](ChunkId chunk, bool ec) {
+      if (tier_migrator_ != nullptr) {
+        tier_migrator_->OnTierChanged(chunk, ec);
+      }
+    });
     tier_migrator_->Start();
   }
 

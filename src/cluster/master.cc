@@ -260,6 +260,7 @@ Result<DiskId> Master::CreateDisk(const std::string& name, uint64_t size, int re
       layout.replicas.push_back(ReplicaRef{sid, server->node(), server->on_ssd()});
     }
     chunk_refs_[layout.chunk] = ChunkRef{meta.id, seq};
+    NotifyTierChanged(layout.chunk, false);
     meta.chunks.push_back(std::move(layout));
   }
   DiskId id = meta.id;
@@ -327,6 +328,16 @@ void Master::Restore(const Checkpoint& checkpoint) {
   disks_ = checkpoint.disks;
   next_disk_id_ = checkpoint.next_disk_id;
   next_chunk_id_ = checkpoint.next_chunk_id;
+  // Every in-flight back-fill pass died with the old process: cancel them so
+  // late callbacks fall silent, then rebuild speculation state from the
+  // restored layouts below (spec_replicas/spec_extents are checkpointed
+  // metadata, so an acked speculative write survives the master crash).
+  std::vector<ChunkId> old_spec;
+  for (auto& [id, st] : spec_) {
+    old_spec.push_back(id);
+    CancelSpecPass(st.get());
+  }
+  spec_.clear();
   // Rebuild the chunk index; leases are deliberately NOT restored — clients
   // re-acquire them after a master restart (their timing constraints make
   // interleaving impossible, §4.1).
@@ -344,6 +355,30 @@ void Master::Restore(const Checkpoint& checkpoint) {
               EcShardInfo{layout.chunk, static_cast<int>(s)};
         }
       }
+    }
+  }
+  // Chunks that were speculating before the restore but not in the
+  // checkpoint would otherwise hold their migration mark forever.
+  for (ChunkId id : old_spec) {
+    ChunkLayout* layout = FindLayout(id);
+    if (layout == nullptr || !layout->speculating()) {
+      FinishMigration(id);
+    }
+  }
+  // Restart the back-fill for every speculating chunk in the checkpoint and
+  // re-key the tier migrator's candidate queues (tiers may have moved
+  // relative to what it last observed).
+  for (auto& [disk_id, meta] : disks_) {
+    (void)disk_id;
+    for (ChunkLayout& layout : meta.chunks) {
+      if (layout.speculating()) {
+        migrating_.insert(layout.chunk);
+        spec_[layout.chunk] = std::make_unique<SpecState>();
+        ++tier_stats_.spec_resumes;
+        ChunkId chunk = layout.chunk;
+        sim_->After(0, [this, chunk]() { StartSpecBackfill(chunk); });
+      }
+      NotifyTierChanged(layout.chunk, layout.tier == ChunkTier::kEc);
     }
   }
 }
@@ -763,6 +798,11 @@ void Master::RepairChunkReplicas(ChunkId chunk) {
     return;
   }
   if (layout->tier == ChunkTier::kEc) {
+    if (layout->speculating()) {
+      // Mid-speculation the back-fill pass owns the stripe; its retry loop
+      // (and the post-commit stale-replica repair) covers every failure.
+      return;
+    }
     // Stripe healing: rebuild any shard stranded on a crashed server.
     for (size_t i = 0; i < layout->ec_shards.size(); ++i) {
       if (servers_[layout->ec_shards[i].server]->crashed()) {
@@ -919,6 +959,35 @@ struct Master::MigrationOp {
   std::function<void(Status)> done;
 };
 
+// One attempt at back-filling a speculatively-promoted chunk from its
+// shards (DESIGN.md §13.6). Exactly one of the final write completion, the
+// timeout, or a cancel finishes a pass; late callbacks see `finished` or
+// `canceled` and fall silent.
+struct Master::SpecPass {
+  ChunkId chunk = 0;
+  bool finished = false;
+  bool canceled = false;
+  bool granted = false;          // holding an admission slot
+  uint64_t admission_source = 0;
+  sim::EventId timeout_event = 0;
+  uint64_t chunk_size = 0;
+  // Reconstructed old image: chunk bytes followed by m parity slots
+  // (null in timing-only mode).
+  std::shared_ptr<std::vector<uint8_t>> image;
+  // Spec replicas alive at pass start — the set the commit installs. Must
+  // be a majority of the spec set so it is guaranteed to intersect every
+  // client write quorum (the freshest acked data is on some member).
+  std::vector<ServerId> targets;
+};
+
+struct Master::SpecState {
+  std::shared_ptr<SpecPass> pass;  // null between retries
+  int retries = 0;
+};
+
+// Defined after SpecState so ~unique_ptr<SpecState> sees a complete type.
+Master::~Master() = default;
+
 ec::ReedSolomon* Master::Codec(int k, int m) {
   auto key = std::make_pair(k, m);
   auto it = codecs_.find(key);
@@ -1009,7 +1078,7 @@ void Master::ReadChunkPieces(ChunkServer* server, ChunkId chunk, uint64_t size, 
 void Master::WriteChunkPieces(ChunkServer* target, ChunkId chunk, uint64_t size,
                               const uint8_t* data, std::shared_ptr<void> hold,
                               net::NodeId from_node, qos::ServiceClass cls,
-                              std::function<void(Status)> done) {
+                              std::function<void(Status)> done, bool shielded) {
   struct State {
     uint64_t next_offset = 0;
     uint64_t completed = 0;
@@ -1024,7 +1093,7 @@ void Master::WriteChunkPieces(ChunkServer* target, ChunkId chunk, uint64_t size,
   st->hold = std::move(hold);
   st->done = std::move(done);
   auto pump = std::make_shared<std::function<void()>>();
-  *pump = [this, target, chunk, size, data, from_node, cls, st, pump]() {
+  *pump = [this, target, chunk, size, data, from_node, cls, st, pump, shielded]() {
     if (st->failed || st->waiting) {
       return;
     }
@@ -1045,26 +1114,32 @@ void Master::WriteChunkPieces(ChunkServer* target, ChunkId chunk, uint64_t size,
       st->next_offset += len;
       uint64_t wire = net::WireBytes(net::MessageType::kRecoveryData, len);
       transport_->Send(from_node, target->node(), wire,
-                       [this, target, chunk, offset, len, data, cls, st, pump]() {
-                         target->HandleRecoveryWrite(
-                             chunk, offset, len, data == nullptr ? nullptr : data + offset,
-                             [this, len, st, pump](const Status& s) {
-                               if (st->failed) {
-                                 return;
-                               }
-                               if (!s.ok()) {
-                                 st->failed = true;
-                                 st->done(s);
-                                 return;
-                               }
-                               recovery_stats_.bytes_transferred += len;
-                               if (++st->completed == st->total_pieces) {
-                                 st->done(OkStatus());
-                               } else {
-                                 (*pump)();
-                               }
-                             },
-                             cls);
+                       [this, target, chunk, offset, len, data, cls, st, pump, shielded]() {
+                         auto piece_done = [this, len, st, pump](const Status& s) {
+                           if (st->failed) {
+                             return;
+                           }
+                           if (!s.ok()) {
+                             st->failed = true;
+                             st->done(s);
+                             return;
+                           }
+                           recovery_stats_.bytes_transferred += len;
+                           if (++st->completed == st->total_pieces) {
+                             st->done(OkStatus());
+                           } else {
+                             (*pump)();
+                           }
+                         };
+                         const uint8_t* src = data == nullptr ? nullptr : data + offset;
+                         if (shielded) {
+                           target->HandleBackfillWrite(chunk, offset, len,
+                                                       ursa::BufferView::Unowned(src, len),
+                                                       std::move(piece_done), cls);
+                         } else {
+                           target->HandleRecoveryWrite(chunk, offset, len, src,
+                                                       std::move(piece_done), cls);
+                         }
                        });
     }
   };
@@ -1115,6 +1190,393 @@ void Master::FinishMigration(ChunkId chunk) {
       PromoteChunk(chunk, false, std::move(waiter));
     });
   }
+}
+
+// ---- Speculative write promotion (DESIGN.md §13.6) ----
+
+void Master::BeginWritePromote(ChunkId chunk, std::function<void(Status)> done) {
+  ChunkLayout* layout = FindLayout(chunk);
+  if (layout == nullptr) {
+    sim_->After(0, [done = std::move(done)]() { done(NotFound("unknown chunk")); });
+    return;
+  }
+  if (layout->tier == ChunkTier::kReplicated && migrating_.count(chunk) == 0) {
+    sim_->After(0, [done = std::move(done)]() { done(OkStatus()); });
+    return;
+  }
+  if (layout->speculating()) {
+    // Join the in-flight speculation: the caller can write immediately.
+    sim_->After(0, [done = std::move(done)]() { done(OkStatus()); });
+    return;
+  }
+  if (migrating_.count(chunk) > 0) {
+    // A demote/promote/shard repair owns the chunk; queue behind it (the
+    // waiter re-enters through PromoteChunk's idempotent path).
+    promote_waiters_[chunk].push_back(std::move(done));
+    return;
+  }
+  if (!speculative_promote_ || layout->tier != ChunkTier::kEc) {
+    PromoteChunk(chunk, /*write_triggered=*/true, std::move(done));
+    return;
+  }
+
+  // Place the future replica set exactly like a blocking promotion would.
+  auto ref = chunk_refs_.find(chunk);
+  const DiskMeta& disk = disks_[ref->second.disk];
+  const int replication = disk.replication;
+  std::vector<ServerId> targets;
+  std::vector<MachineId> used;
+  auto try_add = [this, chunk, &targets, &used](ServerId sid) {
+    ChunkServer* server = servers_[sid];
+    if (server->crashed() || server->HasChunk(chunk)) {
+      return;
+    }
+    targets.push_back(sid);
+    used.push_back(placement_.MachineOf(sid));
+  };
+  Result<std::vector<ServerId>> placed =
+      placement_.PlaceChunk(ref->second.index, replication, disk.id * 7919);
+  if (placed.ok()) {
+    for (ServerId sid : *placed) {
+      try_add(sid);
+    }
+  }
+  for (uint64_t salt = chunk;
+       static_cast<int>(targets.size()) < replication && salt < chunk + 2 * num_servers();
+       ++salt) {
+    Result<ServerId> cand = placement_.PlaceReplacement(targets.empty(), used, salt);
+    if (cand.ok()) {
+      try_add(*cand);
+    }
+  }
+  if (static_cast<int>(targets.size()) < replication) {
+    // Not enough healthy servers for the fast path; take the blocking one
+    // (it shares the shortage, but also its retry/queueing machinery).
+    PromoteChunk(chunk, /*write_triggered=*/true, std::move(done));
+    return;
+  }
+  // Allocate all-or-nothing, then install. Targets start at the frozen EC
+  // version AND the *current* view: shard reads stay valid and the client
+  // needs no resteer — the view bumps only at commit.
+  std::vector<ReplicaRef> refs;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    ChunkServer* server = servers_[targets[i]];
+    Status alloc = server->AllocateChunk(chunk, layout->view, disk.id);
+    if (!alloc.ok()) {
+      for (size_t j = 0; j < i; ++j) {
+        servers_[targets[j]]->FreeChunk(chunk);
+      }
+      PromoteChunk(chunk, /*write_triggered=*/true, std::move(done));
+      return;
+    }
+    server->SetState(chunk, layout->ec_version, layout->view);
+    server->EnableWriteShield(chunk);
+    refs.push_back(ReplicaRef{targets[i], server->node(), server->on_ssd(),
+                              IsDemoted(targets[i])});
+  }
+  layout->spec_replicas = std::move(refs);
+  layout->spec_extents.clear();
+  migrating_.insert(chunk);
+  spec_[chunk] = std::make_unique<SpecState>();
+  StartSpecBackfill(chunk);
+  // The ack gate is gone: the caller may write as soon as this fires.
+  sim_->After(0, [done = std::move(done)]() { done(OkStatus()); });
+}
+
+void Master::RegisterSpecExtent(ChunkId chunk, uint64_t offset, uint64_t length) {
+  ChunkLayout* layout = FindLayout(chunk);
+  if (layout == nullptr || !layout->speculating()) {
+    return;  // committed (or never speculated) — extents are moot
+  }
+  InsertInterval(&layout->spec_extents, Interval{offset, length});
+}
+
+void Master::CancelSpecPass(SpecState* st) {
+  if (st == nullptr || st->pass == nullptr) {
+    return;
+  }
+  st->pass->canceled = true;
+  if (st->pass->timeout_event != 0) {
+    sim_->Cancel(st->pass->timeout_event);
+    st->pass->timeout_event = 0;
+  }
+  if (st->pass->granted) {
+    admission_->Release(st->pass->admission_source);
+    st->pass->granted = false;
+  }
+  st->pass = nullptr;
+}
+
+void Master::StartSpecBackfill(ChunkId chunk) {
+  auto it = spec_.find(chunk);
+  if (it == spec_.end() || it->second->pass != nullptr) {
+    return;
+  }
+  ChunkLayout* layout = FindLayout(chunk);
+  if (layout == nullptr || layout->tier != ChunkTier::kEc || !layout->speculating()) {
+    return;  // committed or vanished while the retry was pending
+  }
+  auto pass = std::make_shared<SpecPass>();
+  pass->chunk = chunk;
+  it->second->pass = pass;
+  pass->timeout_event = sim_->After(migration_timeout_, [this, chunk, pass]() {
+    pass->timeout_event = 0;
+    FailSpecPass(chunk, pass, TimedOut("spec back-fill timed out"));
+  });
+  // First alive shard is the admission source, as in PromoteChunk. The
+  // back-fill unblocks the chunk's EC capacity reclaim but no ack, so it
+  // competes at recovery priority like any promotion finishing a write.
+  ChunkServer* admit_on = nullptr;
+  for (const EcShardRef& sh : layout->ec_shards) {
+    if (!servers_[sh.server]->crashed()) {
+      admit_on = servers_[sh.server];
+      break;
+    }
+  }
+  if (admit_on == nullptr) {
+    FailSpecPass(chunk, pass, Unavailable("no alive shard"));
+    return;
+  }
+  if (admission_ != nullptr) {
+    pass->admission_source = admit_on->id();
+    admission_->Acquire(admit_on->id(), scrub::RecoveryAdmission::Priority::kRecovery,
+                        [this, chunk, pass]() {
+                          if (pass->finished || pass->canceled) {
+                            admission_->Release(pass->admission_source);
+                            return;
+                          }
+                          pass->granted = true;
+                          RunSpecBackfill(chunk, pass);
+                        });
+  } else {
+    RunSpecBackfill(chunk, pass);
+  }
+}
+
+void Master::RunSpecBackfill(ChunkId chunk, std::shared_ptr<SpecPass> pass) {
+  if (pass->finished || pass->canceled) {
+    return;
+  }
+  ChunkLayout* layout = FindLayout(chunk);
+  if (layout == nullptr || layout->tier != ChunkTier::kEc || !layout->speculating()) {
+    FailSpecPass(chunk, pass, Aborted("layout changed"));
+    return;
+  }
+  auto ref = chunk_refs_.find(chunk);
+  const DiskMeta& disk = disks_[ref->second.disk];
+  const int k = layout->ec_k;
+  const int m = layout->ec_m;
+  const int n = k + m;
+  const uint64_t shard_size = layout->ec_shard_size;
+  pass->chunk_size = disk.chunk_size;
+  const std::vector<EcShardRef> shards = layout->ec_shards;
+
+  // The commit installs exactly the replicas this pass back-fills, so fix
+  // the target set now: every spec replica alive at this instant. A
+  // majority of the spec set is required — it then intersects every client
+  // write quorum, so the max-version committed replica holds all acked data.
+  pass->targets.clear();
+  for (const ReplicaRef& r : layout->spec_replicas) {
+    if (!servers_[r.server]->crashed()) {
+      pass->targets.push_back(r.server);
+    }
+  }
+  if (pass->targets.size() < layout->spec_replicas.size() / 2 + 1) {
+    FailSpecPass(chunk, pass, Unavailable("spec replica majority down"));
+    return;
+  }
+
+  std::vector<bool> alive(n);
+  for (int i = 0; i < n; ++i) {
+    alive[i] = !servers_[shards[i].server]->crashed();
+  }
+  ec::BackfillReadPlan plan;
+  Status plan_s = ec::PlanBackfillRead(alive, k, m, &plan);
+  if (!plan_s.ok()) {
+    FailSpecPass(chunk, pass, plan_s);
+    return;
+  }
+  const bool carry = recovery_carries_data_;
+  pass->image = carry ? std::make_shared<std::vector<uint8_t>>(
+                            pass->chunk_size + static_cast<uint64_t>(m) * shard_size)
+                      : nullptr;
+  auto buf = pass->image;
+  const uint64_t chunk_size = pass->chunk_size;
+  auto slot = [buf, chunk_size, shard_size, k](int i) -> uint8_t* {
+    if (!buf) {
+      return nullptr;
+    }
+    return i < k ? buf->data() + static_cast<uint64_t>(i) * shard_size
+                 : buf->data() + chunk_size + static_cast<uint64_t>(i - k) * shard_size;
+  };
+
+  auto remaining = std::make_shared<int>(k);
+  for (int idx : plan.sources) {
+    ReadChunkPieces(
+        servers_[shards[idx].server], shards[idx].shard_chunk, shard_size, slot(idx), buf,
+        qos::ServiceClass::kRecovery,
+        [this, chunk, pass, buf, carry, slot, plan, shards, k, m, n, shard_size,
+         remaining](const Status& s, uint64_t) {
+          if (pass->finished || pass->canceled) {
+            return;
+          }
+          if (!s.ok()) {
+            FailSpecPass(chunk, pass, s);
+            return;
+          }
+          if (--*remaining > 0) {
+            return;
+          }
+          // All k source shards are in; rebuild any dead data shards so the
+          // image is complete before it streams out.
+          if (carry && !plan.missing_data.empty()) {
+            std::vector<bool> present(n, false);
+            for (int i : plan.sources) {
+              present[i] = true;
+            }
+            ec::ReedSolomon::DecodePlan dplan;
+            Status ps = Codec(k, m)->PlanReconstruct(present, plan.missing_data, &dplan);
+            if (!ps.ok()) {
+              FailSpecPass(chunk, pass, ps);
+              return;
+            }
+            std::vector<const uint8_t*> shard_ptrs(n, nullptr);
+            for (int i : plan.sources) {
+              shard_ptrs[i] = slot(i);
+            }
+            std::vector<uint8_t*> outs(n, nullptr);
+            for (int t : plan.missing_data) {
+              outs[t] = slot(t);
+            }
+            Codec(k, m)->ReconstructWith(dplan, shard_ptrs, outs, shard_size);
+          }
+          // Stream the old image into every pass target through the write
+          // shield: ranges the client already wrote are subtracted at apply
+          // time, so old bytes can never clobber new data.
+          auto wremaining = std::make_shared<int>(static_cast<int>(pass->targets.size()));
+          net::NodeId from_node = shards[plan.sources[0]].node;
+          for (ServerId sid : pass->targets) {
+            WriteChunkPieces(servers_[sid], chunk, pass->chunk_size,
+                             carry ? buf->data() : nullptr, buf, from_node,
+                             qos::ServiceClass::kRecovery,
+                             [this, chunk, pass, wremaining](const Status& ws) {
+                               if (pass->finished || pass->canceled) {
+                                 return;
+                               }
+                               if (!ws.ok()) {
+                                 FailSpecPass(chunk, pass, ws);
+                                 return;
+                               }
+                               if (--*wremaining > 0) {
+                                 return;
+                               }
+                               CommitSpecPromote(chunk, pass);
+                             },
+                             /*shielded=*/true);
+          }
+        });
+  }
+}
+
+void Master::FailSpecPass(ChunkId chunk, std::shared_ptr<SpecPass> pass, Status s) {
+  if (pass->finished || pass->canceled) {
+    return;
+  }
+  pass->finished = true;
+  if (pass->timeout_event != 0) {
+    sim_->Cancel(pass->timeout_event);
+  }
+  if (pass->granted) {
+    admission_->Release(pass->admission_source);
+  }
+  auto it = spec_.find(chunk);
+  if (it == spec_.end() || it->second->pass != pass) {
+    return;
+  }
+  it->second->pass = nullptr;
+  ++it->second->retries;
+  ++tier_stats_.spec_backfill_retries;
+  (void)s;  // the retry is unconditional; the cause only matters for stats
+  sim_->After(spec_retry_, [this, chunk]() { StartSpecBackfill(chunk); });
+}
+
+void Master::CommitSpecPromote(ChunkId chunk, std::shared_ptr<SpecPass> pass) {
+  if (pass->finished || pass->canceled) {
+    return;
+  }
+  ChunkLayout* layout = FindLayout(chunk);
+  auto it = spec_.find(chunk);
+  if (layout == nullptr || layout->tier != ChunkTier::kEc || !layout->speculating() ||
+      it == spec_.end() || it->second->pass != pass) {
+    FailSpecPass(chunk, pass, Aborted("layout changed"));
+    return;
+  }
+  pass->finished = true;
+  if (pass->timeout_event != 0) {
+    sim_->Cancel(pass->timeout_event);
+  }
+  if (pass->granted) {
+    admission_->Release(pass->admission_source);
+  }
+
+  const uint64_t new_view = layout->view + 1;
+  // Retire the shards (a crashed server keeps its stale image, as in
+  // CommitPromote — unreachable and no longer indexed).
+  for (const EcShardRef& sh : layout->ec_shards) {
+    ChunkServer* server = servers_[sh.server];
+    if (!server->crashed() && server->HasChunk(sh.shard_chunk)) {
+      server->FreeChunk(sh.shard_chunk);
+    }
+    ec_shards_.erase(sh.shard_chunk);
+    if (heat_ != nullptr) {
+      heat_->ClearAlias(sh.shard_chunk);
+    }
+  }
+  layout->ec_shards.clear();
+  layout->ec_k = 0;
+  layout->ec_m = 0;
+  layout->ec_shard_size = 0;
+  layout->ec_version = 0;
+  layout->tier = ChunkTier::kReplicated;
+  layout->replicas.clear();
+  std::set<ServerId> committed(pass->targets.begin(), pass->targets.end());
+  for (ServerId sid : pass->targets) {
+    ChunkServer* server = servers_[sid];
+    // SetView, not SetState: the spec replicas carry client-advanced
+    // versions — wiping them back to the frozen one would orphan the acked
+    // writes. A target that crashed after completing its back-fill misses
+    // the install (like SetServerDemoted's view pushes) and resyncs through
+    // the stale-replica repair path once restored.
+    if (!server->crashed()) {
+      server->SetView(chunk, new_view);
+    }
+    server->DisableWriteShield(chunk);
+    layout->replicas.push_back(
+        ReplicaRef{sid, server->node(), server->on_ssd(), IsDemoted(sid)});
+  }
+  // Spec replicas dropped at pass start (crashed then): free any that have
+  // come back — their image is a hole-ridden mix and they are not in the
+  // new replica set.
+  for (const ReplicaRef& r : layout->spec_replicas) {
+    if (committed.count(r.server) > 0) {
+      continue;
+    }
+    ChunkServer* server = servers_[r.server];
+    if (!server->crashed() && server->HasChunk(chunk)) {
+      server->FreeChunk(chunk);
+    }
+  }
+  layout->spec_replicas.clear();
+  layout->spec_extents.clear();
+  layout->view = new_view;
+  SortLayout(layout);
+  ++recovery_stats_.view_changes;
+  ++tier_stats_.promotions;
+  ++tier_stats_.write_promotions;
+  ++tier_stats_.spec_promotions;
+  spec_.erase(it);
+  NotifyTierChanged(chunk, false);
+  FinishMigration(chunk);
 }
 
 void Master::DemoteChunkToEc(ChunkId chunk, int k, int m, std::function<void(Status)> done) {
@@ -1394,6 +1856,7 @@ void Master::CommitDemote(ChunkId chunk, std::vector<EcShardRef> shards, uint64_
   }
   op->allocated.clear();  // committed: the abort path must not free them
   ++tier_stats_.demotions;
+  NotifyTierChanged(chunk, true);
   CompleteMigration(op, OkStatus());
 }
 
@@ -1479,17 +1942,18 @@ void Master::PromoteChunkNow(ChunkId chunk, bool write_triggered,
       write_triggered ? qos::ServiceClass::kRecovery : qos::ServiceClass::kScrub;
 
   // Any k alive shards suffice; data shards first minimizes reconstruction.
-  std::vector<int> sources;
-  for (int i = 0; i < n && static_cast<int>(sources.size()) < k; ++i) {
-    if (!servers_[shards[i].server]->crashed()) {
-      sources.push_back(i);
-    }
+  std::vector<bool> alive(n);
+  for (int i = 0; i < n; ++i) {
+    alive[i] = !servers_[shards[i].server]->crashed();
   }
-  if (static_cast<int>(sources.size()) < k) {
+  ec::BackfillReadPlan rplan;
+  Status plan_s = ec::PlanBackfillRead(alive, k, m, &rplan);
+  if (!plan_s.ok()) {
     ++tier_stats_.promote_failures;
-    CompleteMigration(op, Unavailable("fewer than k shards alive"));
+    CompleteMigration(op, plan_s);
     return;
   }
+  const std::vector<int> sources = rplan.sources;
   const bool carry = recovery_carries_data_;
   auto buf = carry ? std::make_shared<std::vector<uint8_t>>(chunk_size +
                                                             static_cast<uint64_t>(m) * shard_size)
@@ -1671,6 +2135,7 @@ void Master::CommitPromote(ChunkId chunk, std::vector<ServerId> targets,
   if (write_triggered) {
     ++tier_stats_.write_promotions;
   }
+  NotifyTierChanged(chunk, false);
   CompleteMigration(op, OkStatus());
 }
 

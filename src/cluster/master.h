@@ -67,12 +67,16 @@ struct TierStats {
   uint64_t shard_repairs = 0;       // full shard rebuilds onto a new server
   uint64_t shard_range_repairs = 0;  // scrub-corruption stripe repairs
   uint64_t ec_bytes_encoded = 0;     // logical bytes pushed through Encode
+  uint64_t spec_promotions = 0;      // promotions committed via speculation
+  uint64_t spec_backfill_retries = 0;  // failed back-fill passes (retried)
+  uint64_t spec_resumes = 0;         // back-fills restarted by Restore()
 };
 
 class Master {
  public:
   Master(sim::Simulator* sim, net::Transport* transport, Placement placement,
          std::vector<ChunkServer*> servers);
+  ~Master();  // out-of-line: members hold unique_ptrs to private impl types
 
   // ---- Virtual disk management ----
 
@@ -190,6 +194,37 @@ class Master {
   // kRecovery QoS/priority; policy promotions under kScrub.
   void PromoteChunk(ChunkId chunk, bool write_triggered, std::function<void(Status)> done);
 
+  // Speculative write promotion (PariX-style, DESIGN.md §13.6): allocates
+  // fresh replica targets for a cold chunk *at the current view*, installs
+  // them as the layout's spec_replicas, arms the background shard back-fill,
+  // and completes `done` immediately — the client then writes its new data
+  // straight to the spec replicas and acks on quorum durability while the
+  // old bytes stream in behind it. Falls back to the blocking PromoteChunk
+  // when speculation is disabled or placement fails. Idempotent: a chunk
+  // that is already replicated or already speculating completes at once.
+  void BeginWritePromote(ChunkId chunk, std::function<void(Status)> done);
+
+  // Client post-ack notification: [offset, offset+length) of `chunk` is now
+  // durable on the spec replica quorum. The master merges it into the
+  // layout's spec_extents so a freshly-opened client routes reads of those
+  // bytes at the spec replicas instead of the (stale) shards. Fire-and-forget
+  // and monotonic — replays and duplicates are harmless.
+  void RegisterSpecExtent(ChunkId chunk, uint64_t offset, uint64_t length);
+
+  void set_speculative_promote(bool on) { speculative_promote_ = on; }
+  bool speculative_promote() const { return speculative_promote_; }
+
+  // Delay before a failed back-fill pass is retried.
+  void set_spec_retry_delay(Nanos d) { spec_retry_ = d; }
+
+  // Observer fired with (chunk, now_ec) whenever a chunk's tier changes —
+  // demote/promote/speculative commits and master Restore. The tier
+  // migrator uses it to keep its heat-indexed candidate queues keyed
+  // without rescanning the chunk population.
+  void SetTierChangeListener(std::function<void(ChunkId, bool)> fn) {
+    tier_changed_ = std::move(fn);
+  }
+
   // Rebuilds shard `shard_index` of EC'd chunk `parent` from k surviving
   // shards onto a replacement server (kRecovery class + admission slot).
   void RepairEcShard(ChunkId parent, int shard_index, std::function<void(Status)> done);
@@ -304,6 +339,13 @@ class Master {
   // and a late transfer callback both finishing the operation.
   struct MigrationOp;
 
+  // One attempt at back-filling a speculatively-promoted chunk from its
+  // shards, plus the per-chunk record that owns it. Exactly one of the
+  // final write completion, the timeout, or a Restore finishes a pass;
+  // canceled passes let their in-flight callbacks die silently.
+  struct SpecPass;
+  struct SpecState;
+
   ec::ReedSolomon* Codec(int k, int m);
 
   // Picks `n` distinct alive servers, round-robining machines for spread.
@@ -318,9 +360,12 @@ class Master {
 
   // Ships [0, size) over the wire from `from_node` and recovery-writes it
   // into `chunk` on `target` (gate-backpressured like TransferChunkNow).
+  // `shielded` routes pieces through HandleBackfillWrite, which subtracts
+  // the target's client-written ranges at apply time — the speculative
+  // back-fill path, where old shard bytes must never clobber new data.
   void WriteChunkPieces(ChunkServer* target, ChunkId chunk, uint64_t size, const uint8_t* data,
                         std::shared_ptr<void> hold, net::NodeId from_node, qos::ServiceClass cls,
-                        std::function<void(Status)> done);
+                        std::function<void(Status)> done, bool shielded = false);
 
   void DemoteChunkNow(ChunkId chunk, int k, int m, std::shared_ptr<MigrationOp> op);
   void PromoteChunkNow(ChunkId chunk, bool write_triggered, std::shared_ptr<MigrationOp> op);
@@ -341,6 +386,29 @@ class Master {
 
   // Ends a migration: drops the in-flight mark and reruns queued promotes.
   void FinishMigration(ChunkId chunk);
+
+  // ---- Speculative promotion internals (DESIGN.md §13.6) ----
+
+  // Arms a back-fill pass for a speculating chunk (admission + timeout);
+  // no-op when the chunk stopped speculating or a pass is already running.
+  void StartSpecBackfill(ChunkId chunk);
+  // The pass body: plan the shard reads, reconstruct missing data shards,
+  // then stream the old image into every alive spec replica via shielded
+  // back-fill writes (client-written ranges are subtracted at apply time).
+  void RunSpecBackfill(ChunkId chunk, std::shared_ptr<SpecPass> pass);
+  // Fails the pass and schedules a retry after spec_retry_.
+  void FailSpecPass(ChunkId chunk, std::shared_ptr<SpecPass> pass, Status s);
+  // Cancels a state's in-flight pass (if any): late callbacks fall silent.
+  void CancelSpecPass(SpecState* st);
+  // Atomic commit: retires the shards, turns the spec replicas into the
+  // chunk's replica set at view+1, and clears all speculation state.
+  void CommitSpecPromote(ChunkId chunk, std::shared_ptr<SpecPass> pass);
+
+  void NotifyTierChanged(ChunkId chunk, bool ec) {
+    if (tier_changed_) {
+      tier_changed_(chunk, ec);
+    }
+  }
 
   sim::Simulator* sim_;
   net::Transport* transport_;
@@ -369,6 +437,13 @@ class Master {
   tier::HeatTracker* heat_ = nullptr;
   Nanos migration_timeout_ = sec(10);
   TierStats tier_stats_;
+
+  // Speculative promotion state (DESIGN.md §13.6). Keyed by parent chunk;
+  // an entry exists exactly while the chunk's layout is speculating.
+  bool speculative_promote_ = true;
+  Nanos spec_retry_ = msec(100);
+  std::map<ChunkId, std::unique_ptr<SpecState>> spec_;
+  std::function<void(ChunkId, bool)> tier_changed_;
 };
 
 }  // namespace ursa::cluster

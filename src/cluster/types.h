@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/interval.h"
 #include "src/common/units.h"
 #include "src/storage/chunk_store.h"
 
@@ -80,6 +81,16 @@ struct ChunkLayout {
   uint16_t ec_m = 0;
   uint64_t ec_shard_size = 0;
   uint64_t ec_version = 0;
+
+  // Speculative write-promotion (DESIGN.md §13): while a cold chunk promotes,
+  // the tier stays kEc but spec_replicas already holds the allocated replica
+  // targets and client writes land on them directly. spec_extents is the
+  // sorted, merged range map of chunk bytes the client has (re)written since
+  // the promotion began — reads serve those bytes from spec_replicas and
+  // everything else from the shards until back-fill commits the promotion.
+  std::vector<ReplicaRef> spec_replicas;
+  std::vector<Interval> spec_extents;
+  bool speculating() const { return !spec_replicas.empty(); }
 };
 
 // Protocol constants (§3.2).

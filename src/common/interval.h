@@ -59,6 +59,50 @@ inline std::vector<Interval> Subtract(const Interval& a, const Interval& b) {
   return out;
 }
 
+// Inserts `add` into an interval set kept sorted by offset, coalescing any
+// overlapping or adjacent pieces into one. The result stays sorted, merged,
+// and pairwise-disjoint.
+inline void InsertInterval(std::vector<Interval>* set, Interval add) {
+  if (add.empty()) {
+    return;
+  }
+  std::vector<Interval> out;
+  out.reserve(set->size() + 1);
+  for (const Interval& iv : *set) {
+    if (iv.end() < add.offset || add.end() < iv.offset) {
+      out.push_back(iv);  // strictly disjoint and non-adjacent: keep as-is
+    } else {
+      uint64_t lo = std::min(iv.offset, add.offset);
+      uint64_t hi = std::max(iv.end(), add.end());
+      add = {lo, hi - lo};
+    }
+  }
+  out.push_back(add);
+  std::sort(out.begin(), out.end(),
+            [](const Interval& x, const Interval& y) { return x.offset < y.offset; });
+  *set = std::move(out);
+}
+
+// `a` minus every interval in `set`: the pieces of `a` no set member covers.
+inline std::vector<Interval> SubtractAll(Interval a, const std::vector<Interval>& set) {
+  std::vector<Interval> pieces;
+  if (!a.empty()) {
+    pieces.push_back(a);
+  }
+  for (const Interval& s : set) {
+    std::vector<Interval> next;
+    for (const Interval& p : pieces) {
+      std::vector<Interval> rem = Subtract(p, s);
+      next.insert(next.end(), rem.begin(), rem.end());
+    }
+    pieces = std::move(next);
+    if (pieces.empty()) {
+      break;
+    }
+  }
+  return pieces;
+}
+
 }  // namespace ursa
 
 #endif  // URSA_COMMON_INTERVAL_H_

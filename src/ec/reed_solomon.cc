@@ -202,4 +202,26 @@ Status ReedSolomon::Reconstruct(const std::vector<const uint8_t*>& shards,
   return OkStatus();
 }
 
+Status PlanBackfillRead(const std::vector<bool>& alive, int k, int m, BackfillReadPlan* plan) {
+  URSA_CHECK_EQ(alive.size(), static_cast<size_t>(k + m));
+  plan->sources.clear();
+  plan->missing_data.clear();
+  // Data shards first: every alive data shard read is a byte range of the
+  // final image for free; parity shards only fill in for dead data shards.
+  for (int i = 0; i < k + m && static_cast<int>(plan->sources.size()) < k; ++i) {
+    if (alive[i]) {
+      plan->sources.push_back(i);
+    }
+  }
+  if (static_cast<int>(plan->sources.size()) < k) {
+    return Unavailable("fewer than k shards alive; image unrecoverable");
+  }
+  for (int d = 0; d < k; ++d) {
+    if (!alive[d]) {
+      plan->missing_data.push_back(d);
+    }
+  }
+  return OkStatus();
+}
+
 }  // namespace ursa::ec

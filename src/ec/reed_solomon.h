@@ -111,6 +111,19 @@ class ReedSolomon {
   std::vector<uint8_t> enc_coefs_;
 };
 
+// Read plan for rebuilding the full data image of a stripe (promotion
+// back-fill, PariX-style speculation): which k shards to read — data shards
+// first, so in the no-failure case the image needs no decode at all — and
+// which data shards must then be reconstructed from those sources.
+struct BackfillReadPlan {
+  std::vector<int> sources;       // k shard indices to read, data-first
+  std::vector<int> missing_data;  // data shards to rebuild from the sources
+};
+
+// Compiles a BackfillReadPlan from `alive` (shard availability, size k+m).
+// Fails when fewer than k shards are alive.
+Status PlanBackfillRead(const std::vector<bool>& alive, int k, int m, BackfillReadPlan* plan);
+
 }  // namespace ursa::ec
 
 #endif  // URSA_EC_REED_SOLOMON_H_

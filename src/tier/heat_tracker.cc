@@ -35,14 +35,22 @@ HeatTracker::Entry& HeatTracker::Touch(uint64_t chunk) {
 }
 
 void HeatTracker::RecordRead(uint64_t chunk, uint64_t bytes) {
-  Entry& e = Touch(Resolve(chunk));
+  uint64_t id = Resolve(chunk);
+  Entry& e = Touch(id);
   e.read_heat += static_cast<double>(bytes) / kHeatUnitBytes;
+  if (listener_) {
+    listener_(id);
+  }
 }
 
 void HeatTracker::RecordWrite(uint64_t chunk, uint64_t bytes) {
-  Entry& e = Touch(Resolve(chunk));
+  uint64_t id = Resolve(chunk);
+  Entry& e = Touch(id);
   e.write_heat += static_cast<double>(bytes) / kHeatUnitBytes;
   e.last_write = sim_->Now();
+  if (listener_) {
+    listener_(id);
+  }
 }
 
 void HeatTracker::BeginWrite(uint64_t chunk) { ++Touch(Resolve(chunk)).inflight_writes; }

@@ -20,7 +20,9 @@
 #define URSA_TIER_HEAT_TRACKER_H_
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
+#include <utility>
 
 #include "src/common/units.h"
 #include "src/obs/metrics_registry.h"
@@ -59,6 +61,11 @@ class HeatTracker {
   size_t tracked() const { return entries_.size(); }
   void RegisterMetrics(obs::MetricsRegistry* registry);
 
+  // Touch listener: fired with the RESOLVED chunk id on every read/write
+  // feed. The TierMigrator uses it to re-key touched chunks in its
+  // heat-indexed candidate queues instead of rescanning the population.
+  void SetListener(std::function<void(uint64_t chunk)> fn) { listener_ = std::move(fn); }
+
  private:
   struct Entry {
     double read_heat = 0;
@@ -76,6 +83,7 @@ class HeatTracker {
   Nanos half_life_;
   std::unordered_map<uint64_t, Entry> entries_;
   std::unordered_map<uint64_t, uint64_t> aliases_;  // shard -> parent
+  std::function<void(uint64_t)> listener_;          // touch observer (or null)
 };
 
 }  // namespace ursa::tier

@@ -38,6 +38,13 @@ struct TierConfig {
   // additionally takes a RecoveryAdmission slot on its source, so the
   // effective parallelism is min(this, admission slots).
   int max_concurrent = 2;
+
+  // Speculative write-promotion (PariX-style, DESIGN.md §13.6): a write into
+  // an EC chunk allocates replica targets immediately, lands the new bytes on
+  // them, and acks on quorum durability while full-chunk back-fill from the
+  // shards proceeds in the background. Off = the write waits for the whole
+  // reconstruct-then-replicate promotion before its ack.
+  bool speculative_promote = true;
 };
 
 }  // namespace ursa::tier

@@ -1,12 +1,22 @@
 #include "src/tier/tier_migrator.h"
 
+#include <cmath>
 #include <utility>
+#include <vector>
 
 namespace ursa::tier {
 
 TierMigrator::TierMigrator(sim::Simulator* sim, const TierConfig& config, HeatTracker* heat,
                            TierHooks hooks)
-    : sim_(sim), config_(config), heat_(heat), hooks_(std::move(hooks)) {}
+    : sim_(sim), config_(config), heat_(heat), hooks_(std::move(hooks)) {
+  // Heat touches dirty the promote side: only EC chunks that were actually
+  // accessed since the last scan get (re-)examined for promotion.
+  heat_->SetListener([this](uint64_t chunk) {
+    if (ec_.count(chunk) != 0) {
+      promote_dirty_.insert(chunk);
+    }
+  });
+}
 
 void TierMigrator::Start() {
   if (running_) {
@@ -22,6 +32,18 @@ void TierMigrator::Stop() {
   }
   running_ = false;
   sim_->Cancel(next_scan_);
+}
+
+void TierMigrator::OnTierChanged(uint64_t chunk, bool ec) {
+  if (ec) {
+    demote_seq_.erase(chunk);  // heap key (if any) goes stale, dropped on pop
+    ec_.insert(chunk);
+    promote_dirty_.insert(chunk);  // examine once so a hot-on-arrival chunk isn't missed
+  } else {
+    ec_.erase(chunk);
+    promote_dirty_.erase(chunk);
+    PushDemote(chunk);
+  }
 }
 
 bool TierMigrator::WantsDemote(const TierChunkView& c) const {
@@ -43,30 +65,123 @@ bool TierMigrator::WantsPromote(const TierChunkView& c) const {
   return c.ec && heat_->Heat(c.chunk) >= config_.promote_heat;
 }
 
+// Earliest instant the chunk could pass WantsDemote. Heat only decays
+// between touches, so this never predicts EARLY; a touch in the meantime
+// pushes real eligibility later, which the pop-time re-check catches.
+Nanos TierMigrator::PredictDemoteEligible(uint64_t chunk) const {
+  Nanos now = sim_->Now();
+  Nanos eligible = now;
+  Nanos write_ready = heat_->LastWrite(chunk) + config_.cold_age;
+  if (write_ready > eligible) {
+    eligible = write_ready;
+  }
+  if (heat_->InflightWrites(chunk) > 0) {
+    // The matching EndWrite lands with the write ack; re-check a cold-age out.
+    if (now + config_.cold_age > eligible) {
+      eligible = now + config_.cold_age;
+    }
+  }
+  double heat = heat_->Heat(chunk);
+  if (config_.demote_max_heat > 0 && heat >= config_.demote_max_heat) {
+    // heat * 2^(-t / half_life) < threshold  =>  t > log2(heat/thr) * half_life
+    double halves = std::log2(heat / config_.demote_max_heat);
+    Nanos cool = static_cast<Nanos>(halves * static_cast<double>(config_.heat_half_life)) + 1;
+    if (now + cool > eligible) {
+      eligible = now + cool;
+    }
+  }
+  return eligible;
+}
+
+void TierMigrator::PushDemote(uint64_t chunk) {
+  uint64_t seq = next_seq_++;
+  demote_seq_[chunk] = seq;
+  demote_heap_.push(DemoteKey{PredictDemoteEligible(chunk), chunk, seq});
+}
+
+void TierMigrator::SeedIfNeeded() {
+  if (seeded_) {
+    return;
+  }
+  seeded_ = true;
+  if (!hooks_.list_chunks) {
+    return;
+  }
+  for (const TierChunkView& c : hooks_.list_chunks()) {
+    OnTierChanged(c.chunk, c.ec);
+  }
+}
+
 void TierMigrator::ScanOnce() { Scan(); }
 
 void TierMigrator::Scan() {
   ++stats_.scans;
-  if (hooks_.list_chunks) {
-    for (const TierChunkView& c : hooks_.list_chunks()) {
-      if (in_flight_ >= config_.max_concurrent) {
-        break;
-      }
-      if (WantsDemote(c)) {
-        ++in_flight_;
-        hooks_.demote(c.chunk, [this](bool ok) {
-          --in_flight_;
-          ++(ok ? stats_.demotions : stats_.demote_failures);
-        });
-      } else if (WantsPromote(c)) {
-        ++in_flight_;
-        hooks_.promote(c.chunk, [this](bool ok) {
-          --in_flight_;
-          ++(ok ? stats_.promotions : stats_.promote_failures);
-        });
-      }
+  SeedIfNeeded();
+  Nanos now = sim_->Now();
+
+  // Demote side: drain due heap keys. Stale seqs (re-keyed or tier-changed
+  // since push) are dropped for free; live-but-not-ready chunks re-key at
+  // their new predicted time.
+  while (in_flight_ < config_.max_concurrent && !demote_heap_.empty() &&
+         demote_heap_.top().eligible_at <= now) {
+    DemoteKey key = demote_heap_.top();
+    demote_heap_.pop();
+    auto live = demote_seq_.find(key.chunk);
+    if (live == demote_seq_.end() || live->second != key.seq) {
+      continue;  // stale
     }
+    ++stats_.candidates_examined;
+    if (!WantsDemote(TierChunkView{key.chunk, false})) {
+      demote_seq_.erase(live);
+      PushDemote(key.chunk);
+      continue;
+    }
+    demote_seq_.erase(live);
+    ++in_flight_;
+    uint64_t chunk = key.chunk;
+    hooks_.demote(chunk, [this, chunk](bool ok) {
+      --in_flight_;
+      ++(ok ? stats_.demotions : stats_.demote_failures);
+      // Self-reconcile so the index stays correct even without a master
+      // tier-change listener (fake-hook tests); with one, the listener
+      // fires first and this is an idempotent no-op.
+      if (ok) {
+        if (ec_.count(chunk) == 0) {
+          OnTierChanged(chunk, true);
+        }
+      } else if (ec_.count(chunk) == 0 && demote_seq_.count(chunk) == 0) {
+        PushDemote(chunk);
+      }
+    });
   }
+
+  // Promote side: only chunks touched since last examined. Cold heat can
+  // only decay, so an untouched EC chunk can never newly qualify.
+  for (auto it = promote_dirty_.begin();
+       it != promote_dirty_.end() && in_flight_ < config_.max_concurrent;) {
+    uint64_t chunk = *it;
+    it = promote_dirty_.erase(it);
+    if (ec_.count(chunk) == 0) {
+      continue;
+    }
+    ++stats_.candidates_examined;
+    if (!WantsPromote(TierChunkView{chunk, true})) {
+      continue;  // cooled below threshold; the next touch re-dirties it
+    }
+    ++in_flight_;
+    hooks_.promote(chunk, [this, chunk](bool ok) {
+      --in_flight_;
+      ++(ok ? stats_.promotions : stats_.promote_failures);
+      if (ok) {
+        if (ec_.count(chunk) != 0) {
+          OnTierChanged(chunk, false);
+        }
+      } else if (ec_.count(chunk) != 0) {
+        promote_dirty_.insert(chunk);  // retry on a later scan
+      }
+    });
+  }
+
   if (running_) {
     next_scan_ = sim_->After(config_.scan_interval, [this] { Scan(); });
   }
@@ -85,6 +200,9 @@ void TierMigrator::RegisterMetrics(obs::MetricsRegistry* registry) {
   registry->RegisterCallbackCounter(
       "tier.promote_failures", {},
       [this] { return static_cast<double>(stats_.promote_failures); });
+  registry->RegisterCallbackCounter(
+      "tier.scan_candidates_examined", {},
+      [this] { return static_cast<double>(stats_.candidates_examined); });
   registry->RegisterCallbackGauge("tier.migrations_in_flight", {},
                                   [this] { return static_cast<double>(in_flight_); });
 }

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <random>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "src/client/virtual_disk.h"
@@ -76,6 +78,112 @@ TEST(HeatTrackerTest, InflightWriteWindowPairsAndGuardsUnderflow) {
   heat.Forget(3);
   EXPECT_EQ(heat.tracked(), 0u);
   EXPECT_DOUBLE_EQ(heat.Heat(3), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// HeatTracker properties under random op sequences
+// ---------------------------------------------------------------------------
+
+// Between touches, heat only decays: sampling at later instants with no
+// feeds in between must never read higher.
+TEST(HeatTrackerPropertyTest, DecayIsMonotoneBetweenTouches) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::Simulator sim;
+    HeatTracker heat(&sim, msec(700));
+    std::mt19937_64 rng(seed);
+    // Random warm-up feeds.
+    for (int i = 0; i < 10; ++i) {
+      uint64_t bytes = 1 + rng() % (256 * kKiB);
+      if (rng() % 2 == 0) {
+        heat.RecordRead(7, bytes);
+      } else {
+        heat.RecordWrite(7, bytes);
+      }
+      sim.RunUntil(sim.Now() + rng() % msec(50));
+    }
+    double prev = heat.Heat(7);
+    for (int i = 0; i < 50; ++i) {
+      sim.RunUntil(sim.Now() + 1 + rng() % msec(100));
+      double cur = heat.Heat(7);
+      ASSERT_LE(cur, prev + 1e-12) << "seed " << seed << " step " << i;
+      prev = cur;
+    }
+  }
+}
+
+// Normalization invariance: N bytes fed as one access and fed as an
+// arbitrary same-instant split must account the same heat — 4 KiB units
+// are proportional to bytes, not to call counts.
+TEST(HeatTrackerPropertyTest, NormalizationIsSplitInvariant) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::Simulator sim;
+    HeatTracker heat(&sim, sec(10));
+    std::mt19937_64 rng(seed);
+    uint64_t total = 1 + rng() % (4 * kMiB);
+
+    heat.RecordRead(1, total);  // single shot
+    uint64_t left = total;      // random split, same instant
+    while (left > 0) {
+      uint64_t piece = 1 + rng() % left;
+      heat.RecordRead(2, piece);
+      left -= piece;
+    }
+    ASSERT_NEAR(heat.Heat(1), heat.Heat(2), 1e-9 * heat.Heat(1) + 1e-12)
+        << "seed " << seed;
+    ASSERT_NEAR(heat.Heat(1), static_cast<double>(total) / (4 * kKiB), 1e-6)
+        << "seed " << seed;
+  }
+}
+
+// Alias pairing: a tracker fed through shard ids with SetAlias/ClearAlias
+// must agree, at every step, with a twin tracker fed directly on the ids a
+// test-side alias model resolves to.
+TEST(HeatTrackerPropertyTest, AliasResolutionMatchesDirectFeeds) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::Simulator sim;
+    HeatTracker aliased(&sim, sec(5));
+    HeatTracker direct(&sim, sec(5));
+    std::mt19937_64 rng(seed);
+    std::unordered_map<uint64_t, uint64_t> model;  // shard -> parent
+
+    for (int step = 0; step < 200; ++step) {
+      uint64_t shard = 100 + rng() % 8;
+      uint64_t parent = rng() % 4;
+      switch (rng() % 5) {
+        case 0:
+          aliased.SetAlias(shard, parent);
+          model[shard] = parent;
+          break;
+        case 1:
+          aliased.ClearAlias(shard);
+          model.erase(shard);
+          break;
+        case 2: {
+          uint64_t bytes = 1 + rng() % (64 * kKiB);
+          aliased.RecordRead(shard, bytes);
+          auto it = model.find(shard);
+          direct.RecordRead(it == model.end() ? shard : it->second, bytes);
+          break;
+        }
+        case 3: {
+          uint64_t bytes = 1 + rng() % (64 * kKiB);
+          aliased.RecordWrite(shard, bytes);
+          auto it = model.find(shard);
+          direct.RecordWrite(it == model.end() ? shard : it->second, bytes);
+          break;
+        }
+        default:
+          sim.RunUntil(sim.Now() + rng() % msec(200));
+          break;
+      }
+      for (uint64_t p = 0; p < 4; ++p) {
+        ASSERT_NEAR(aliased.Heat(p), direct.Heat(p), 1e-9)
+            << "seed " << seed << " step " << step << " parent " << p;
+        ASSERT_EQ(aliased.LastWrite(p), direct.LastWrite(p))
+            << "seed " << seed << " step " << step << " parent " << p;
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -187,6 +295,65 @@ TEST_F(MigratorTest, ConcurrencyCapBoundsMigrationsPerScan) {
   migrator.ScanOnce();
   EXPECT_EQ(demotes_.size(), 1u);  // cap holds across scans
   EXPECT_EQ(migrator.in_flight(), 1);
+}
+
+// Pins the heat-index scan cost: with a population of hot chunks whose
+// demote eligibility is far in the future and no EC chunks being touched,
+// repeated scans examine ZERO candidates — the old implementation walked
+// the full chunk list on every pass. The index must still be live: once
+// the heat decays past the threshold the chunks demote without any feed.
+TEST_F(MigratorTest, ScanCostIsIndexNotPopulation) {
+  HeatTracker heat(&sim_, sec(10));
+  constexpr int kChunks = 200;
+  for (uint64_t c = 1; c <= kChunks; ++c) {
+    chunks_.push_back({c, false});
+    heat.RecordRead(c, 64 * kKiB);  // 16 units: ~40s until heat < 1.0
+  }
+  TierConfig config = Config();
+  config.max_concurrent = kChunks;
+  TierMigrator migrator(&sim_, config, &heat, Hooks());
+
+  migrator.ScanOnce();  // seeds the index (not counted as examination)
+  for (int i = 0; i < 100; ++i) {
+    sim_.RunUntil(sim_.Now() + msec(100));
+    migrator.ScanOnce();
+  }
+  // 101 scans over a 200-chunk population: nothing was due, nothing was
+  // examined. The full-list scanner would have examined 20200 candidates.
+  EXPECT_EQ(migrator.stats().candidates_examined, 0u);
+  EXPECT_TRUE(demotes_.empty());
+
+  // Liveness: past the predicted cool-down (plus cold_age) the heap keys
+  // come due and every chunk demotes, still without any external kick.
+  sim_.RunUntil(sim_.Now() + sec(45));
+  migrator.ScanOnce();
+  sim_.RunUntil(sim_.Now() + msec(10));
+  EXPECT_EQ(demotes_.size(), static_cast<size_t>(kChunks));
+  // Each chunk was examined once (eligible on first pop) — cost stayed
+  // proportional to due work, not scans x population.
+  EXPECT_LE(migrator.stats().candidates_examined, 2u * kChunks);
+}
+
+// A touch between key-push and pop delays real eligibility; the pop-time
+// re-check must re-key instead of demoting a warm chunk.
+TEST_F(MigratorTest, TouchAfterPushReKeysInsteadOfDemoting) {
+  HeatTracker heat(&sim_, sec(10));
+  chunks_ = {{1, false}};
+  TierMigrator migrator(&sim_, Config(), &heat, Hooks());
+  migrator.ScanOnce();  // seed: eligible at cold_age from t=0
+
+  sim_.RunUntil(sim_.Now() + msec(150));
+  heat.RecordRead(1, 64 * kKiB);  // hot again before the key comes due
+  sim_.RunUntil(sim_.Now() + msec(150));
+  migrator.ScanOnce();  // key due, but the chunk no longer qualifies
+  sim_.RunUntil(sim_.Now() + msec(10));
+  EXPECT_TRUE(demotes_.empty());
+  EXPECT_EQ(migrator.stats().candidates_examined, 1u);
+
+  sim_.RunUntil(sim_.Now() + sec(45));  // decay past threshold again
+  migrator.ScanOnce();
+  sim_.RunUntil(sim_.Now() + msec(10));
+  EXPECT_EQ(demotes_, std::vector<uint64_t>{1});
 }
 
 // ---------------------------------------------------------------------------
